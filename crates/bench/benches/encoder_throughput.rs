@@ -1,0 +1,51 @@
+//! Encoder throughput: bursts encoded per second for every scheme.
+//!
+//! This is the software-side counterpart of the paper's hardware timing
+//! argument: the optimal encoder must keep up with the memory interface.
+//! The benchmark reports the time to encode one 8-byte burst for every
+//! scheme, plus the Fig. 5 hardware-datapath simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbi_bench::random_bursts;
+use dbi_core::{BusState, CostWeights, DbiEncoder, Scheme};
+use dbi_hw::PipelineEncoder;
+
+fn encoder_throughput(c: &mut Criterion) {
+    let bursts = random_bursts(1024);
+    let state = BusState::idle();
+    let mut group = c.benchmark_group("encode_burst");
+    group.throughput(Throughput::Elements(bursts.len() as u64));
+
+    let schemes = [
+        Scheme::Raw,
+        Scheme::Dc,
+        Scheme::Ac,
+        Scheme::AcDc,
+        Scheme::Greedy(CostWeights::FIXED),
+        Scheme::Opt(CostWeights::FIXED),
+        Scheme::OptFixed,
+    ];
+    for scheme in schemes {
+        group.bench_with_input(BenchmarkId::new("scheme", scheme.name()), &scheme, |b, scheme| {
+            b.iter(|| {
+                for burst in &bursts {
+                    black_box(scheme.encode(black_box(burst), &state));
+                }
+            });
+        });
+    }
+
+    // The bit-accurate hardware datapath model.
+    let hardware = PipelineEncoder::fixed();
+    group.bench_function("hardware_datapath_fixed", |b| {
+        b.iter(|| {
+            for burst in &bursts {
+                black_box(hardware.encode(black_box(burst), &state));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, encoder_throughput);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figs. 3 and 4: the coefficient sweep as a benchmark target.
+//!
+//! Running `cargo bench -p dbi-bench --bench fig3_fig4_sweep` both measures
+//! the sweep cost and prints the reproduced headline numbers (peak
+//! advantage of DBI OPT and of DBI OPT (Fixed) over the best conventional
+//! scheme), so the figure can be regenerated straight from the benchmark
+//! harness.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dbi_bench::random_bursts;
+use dbi_experiments::fig3;
+
+fn fig3_fig4(c: &mut Criterion) {
+    // A reduced burst count keeps the benchmark runtime reasonable while
+    // preserving the curve shapes; the `reproduce` binary runs the full
+    // 10 000-burst version.
+    let bursts = random_bursts(2_000);
+
+    // Print the reproduced numbers once, so the bench output doubles as the
+    // figure regeneration.
+    let fig3_result = fig3::run_fig3(&bursts, 20);
+    let (alpha3, saving3) = fig3_result.peak_opt_advantage();
+    let fig4_result = fig3::run_fig4(&bursts, 20);
+    let (_, saving4) = fig4_result.peak_fixed_advantage();
+    println!(
+        "[fig3] peak OPT advantage {:.2}% at alpha={:.2}; DC/AC crossover at alpha={:?}",
+        saving3 * 100.0,
+        alpha3,
+        fig3_result.dc_ac_crossover()
+    );
+    println!(
+        "[fig4] peak OPT(Fixed) advantage {:.2}%; max loss vs tunable {:.2}%",
+        saving4 * 100.0,
+        fig4_result.max_fixed_coefficient_loss() * 100.0
+    );
+
+    let mut group = c.benchmark_group("fig3_fig4");
+    group.sample_size(10);
+    group.bench_function("fig3_sweep_21_points", |b| {
+        b.iter(|| black_box(fig3::run_fig3(black_box(&bursts), 20)));
+    });
+    group.bench_function("fig4_sweep_21_points", |b| {
+        b.iter(|| black_box(fig3::run_fig4(black_box(&bursts), 20)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig3_fig4);
+criterion_main!(benches);

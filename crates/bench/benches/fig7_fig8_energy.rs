@@ -1,0 +1,46 @@
+//! Figs. 7 and 8: the data-rate / load energy sweeps as benchmark targets.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dbi_bench::random_bursts;
+use dbi_experiments::{fig7, fig8};
+
+fn fig7_fig8(c: &mut Criterion) {
+    let bursts = random_bursts(2_000);
+    let rates = fig7::paper_rates();
+
+    // Print the reproduced headline numbers.
+    let fig7_result = fig7::run(&bursts, &rates, 3.0);
+    if let Some((gbps, saving)) = fig7_result.best_operating_point() {
+        println!(
+            "[fig7] OPT(Fixed) overtakes DC at {:?} Gbps, best operating point {} Gbps ({:.2}%)",
+            fig7_result.opt_fixed_beats_dc_from(),
+            gbps,
+            saving * 100.0
+        );
+    }
+    let energies = fig8::EncoderEnergies::from_synthesis();
+    let fig8_result = fig8::run(&bursts, &rates, &fig8::paper_loads(), energies);
+    for curve in &fig8_result.curves {
+        if let Some((gbps, normalized)) = curve.best_point() {
+            println!(
+                "[fig8] {} pF: best point {} Gbps, {:.2}% below best of DC/AC",
+                curve.cload_pf,
+                gbps,
+                (1.0 - normalized) * 100.0
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("fig7_fig8");
+    group.sample_size(10);
+    group.bench_function("fig7_rate_sweep", |b| {
+        b.iter(|| black_box(fig7::run(black_box(&bursts), &rates, 3.0)));
+    });
+    group.bench_function("fig8_rate_and_load_sweep", |b| {
+        b.iter(|| black_box(fig8::run(black_box(&bursts), &rates, &fig8::paper_loads(), energies)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig7_fig8);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Memory-channel benchmark: full write-path simulation under every scheme.
+//!
+//! Measures the cost of pushing a 16 KiB pseudo-random buffer through the
+//! GDDR5X write channel (controller + bus + device) with each DBI scheme,
+//! and prints the resulting channel energy so the system-level comparison
+//! of the extension study can be regenerated from the bench harness.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbi_bench::random_buffer;
+use dbi_core::Scheme;
+use dbi_mem::{ChannelConfig, MemoryController};
+
+fn memory_channel(c: &mut Criterion) {
+    let data = random_buffer(16 * 1024);
+    let schemes = [Scheme::Raw, Scheme::Dc, Scheme::Ac, Scheme::OptFixed];
+
+    // Print the channel energy per scheme once.
+    for scheme in schemes {
+        let mut controller = MemoryController::new(ChannelConfig::gddr5x(), scheme);
+        controller.write_buffer(0, &data).expect("buffer is access-aligned");
+        println!(
+            "[channel] {:<18} {:8.3} nJ interface energy for 16 KiB",
+            format!("{scheme}"),
+            controller.totals().interface_energy_j * 1e9
+        );
+    }
+
+    let mut group = c.benchmark_group("memory_channel_16KiB");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for scheme in schemes {
+        group.bench_with_input(BenchmarkId::new("write", format!("{scheme}")), &scheme, |b, &scheme| {
+            b.iter(|| {
+                let mut controller = MemoryController::new(ChannelConfig::gddr5x(), scheme);
+                controller.write_buffer(0, black_box(&data)).expect("buffer is access-aligned");
+                black_box(controller.totals().interface_energy_j)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, memory_channel);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table I: the synthesis model and the hardware datapath as benchmarks.
+//!
+//! Running this bench prints the reproduced Table I rows and measures both
+//! the analytical synthesis model and the per-burst latency of the
+//! bit-accurate Fig. 5 datapath simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dbi_bench::random_bursts;
+use dbi_core::{BusState, DbiEncoder};
+use dbi_experiments::table1;
+use dbi_hw::{PipelineEncoder, Synthesizer};
+
+fn table1_hardware(c: &mut Criterion) {
+    // Print the reproduced table once.
+    println!("{}", table1::run().to_table());
+
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("synthesize_all_four_designs", |b| {
+        b.iter(|| black_box(Synthesizer::new().table1()));
+    });
+
+    let bursts = random_bursts(256);
+    let state = BusState::idle();
+    let fixed = PipelineEncoder::fixed();
+    let configurable = PipelineEncoder::with_coefficients(5, 3);
+    group.bench_function("datapath_fixed_coefficients", |b| {
+        b.iter(|| {
+            for burst in &bursts {
+                black_box(fixed.encode(black_box(burst), &state));
+            }
+        });
+    });
+    group.bench_function("datapath_3bit_coefficients", |b| {
+        b.iter(|| {
+            for burst in &bursts {
+                black_box(configurable.encode(black_box(burst), &state));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table1_hardware);
+criterion_main!(benches);

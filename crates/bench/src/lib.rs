@@ -1,0 +1,52 @@
+//! # dbi-bench
+//!
+//! Shared fixtures for the Criterion benchmarks of the DBI reproduction.
+//!
+//! The actual benchmarks live in `benches/`; one bench target exists per
+//! paper artefact (Figs. 3/4, Fig. 7, Fig. 8, Table I) plus an encoder
+//! throughput bench and a memory-channel bench. This library only holds
+//! the deterministic workload fixtures they share, so that every benchmark
+//! measures the same data.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use dbi_core::Burst;
+use dbi_workloads::{BurstSource, UniformRandomBursts};
+
+/// Seed used by every benchmark fixture.
+pub const BENCH_SEED: u64 = 0xBE_5EED;
+
+/// A deterministic set of uniformly random bursts for throughput and sweep
+/// benchmarks.
+#[must_use]
+pub fn random_bursts(count: usize) -> Vec<Burst> {
+    UniformRandomBursts::with_seed(BENCH_SEED).take_bursts(count)
+}
+
+/// A deterministic pseudo-random byte buffer sized to a whole number of
+/// GDDR5X accesses (32-byte multiples), for the memory-channel benchmark.
+#[must_use]
+pub fn random_buffer(bytes: usize) -> Vec<u8> {
+    let len = bytes.max(32) / 32 * 32;
+    let mut data = vec![0u8; len];
+    let mut seed = BENCH_SEED as u32;
+    for byte in &mut data {
+        seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        *byte = (seed >> 24) as u8;
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(random_bursts(10), random_bursts(10));
+        assert_eq!(random_buffer(100), random_buffer(100));
+        assert_eq!(random_buffer(100).len(), 96);
+        assert_eq!(random_bursts(3).len(), 3);
+    }
+}

@@ -1,0 +1,283 @@
+//! Cross-scheme analysis helpers: coefficient sweeps and relative savings.
+//!
+//! These helpers implement the arithmetic behind Figs. 3 and 4: sweep the
+//! transition cost α from 0 to 1 with β = 1 − α, evaluate the mean cost per
+//! burst of each scheme, and report the advantage of the optimal encoding
+//! over the best conventional scheme.
+
+use crate::burst::{Burst, BusState};
+use crate::cost::CostWeights;
+use crate::schemes::{DbiEncoder, Scheme};
+use crate::stats::SchemeStats;
+
+/// Relative saving of `candidate` versus `reference`, as a fraction
+/// (0.0675 means 6.75 % cheaper). Positive values mean the candidate is
+/// cheaper. Returns 0 when the reference is zero.
+#[must_use]
+pub fn relative_saving(candidate: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        0.0
+    } else {
+        (reference - candidate) / reference
+    }
+}
+
+/// Converts a continuous AC cost α ∈ [0, 1] (with β = 1 − α) into integer
+/// coefficients suitable for [`crate::schemes::OptEncoder`].
+///
+/// The figures sweep α on a fine grid; the integer encoder needs a rational
+/// approximation. `resolution` is the denominator of that approximation
+/// (the paper's configurable hardware uses 3-bit coefficients, i.e.
+/// resolution 7).
+///
+/// # Panics
+///
+/// Panics if `alpha` is not within `[0, 1]` or `resolution` is zero; both
+/// indicate a programming error in the sweep driver.
+#[must_use]
+pub fn weights_for_alpha(alpha: f64, resolution: u32) -> CostWeights {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must lie in [0, 1], got {alpha}");
+    assert!(resolution > 0, "resolution must be positive");
+    let a = (alpha * f64::from(resolution)).round() as u32;
+    let b = resolution - a.min(resolution);
+    match (a, b) {
+        (0, 0) => CostWeights::FIXED,
+        (0, b) => CostWeights::new(0, b).expect("b is non-zero"),
+        (a, 0) => CostWeights::new(a, 0).expect("a is non-zero"),
+        (a, b) => CostWeights::new(a, b).expect("both non-zero"),
+    }
+}
+
+/// One point of a coefficient sweep: the mean per-burst cost of every
+/// scheme at a particular AC cost α (β = 1 − α).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Cost per transition used for this point.
+    pub alpha: f64,
+    /// Cost per zero used for this point (always `1 - alpha`).
+    pub beta: f64,
+    /// `(scheme name, mean cost per burst)` pairs in the order the schemes
+    /// were supplied.
+    pub mean_costs: Vec<(String, f64)>,
+}
+
+impl SweepPoint {
+    /// Mean cost of the named scheme at this sweep point, if present.
+    #[must_use]
+    pub fn cost_of(&self, name: &str) -> Option<f64> {
+        self.mean_costs.iter().find(|(n, _)| n == name).map(|(_, c)| *c)
+    }
+
+    /// The cheapest conventional scheme (DBI DC or DBI AC) at this point,
+    /// which is what Fig. 3's shaded area is measured against.
+    #[must_use]
+    pub fn best_conventional(&self) -> Option<f64> {
+        let dc = self.cost_of("DBI DC");
+        let ac = self.cost_of("DBI AC");
+        match (dc, ac) {
+            (Some(dc), Some(ac)) => Some(dc.min(ac)),
+            (Some(dc), None) => Some(dc),
+            (None, Some(ac)) => Some(ac),
+            (None, None) => None,
+        }
+    }
+}
+
+/// Sweeps the AC cost α over `steps + 1` evenly spaced points in [0, 1]
+/// (β = 1 − α) and evaluates the mean cost per burst of each scheme on the
+/// given bursts, every burst starting from the idle bus state exactly as in
+/// the paper's evaluation.
+///
+/// The optimal scheme's integer coefficients are re-derived at every sweep
+/// point with the given `resolution`; the other schemes do not depend on
+/// the coefficients and are simply re-priced.
+#[must_use]
+pub fn sweep_alpha(
+    bursts: &[Burst],
+    schemes: &[Scheme],
+    steps: usize,
+    resolution: u32,
+) -> Vec<SweepPoint> {
+    let state = BusState::idle();
+
+    // Pre-compute the activity of the coefficient-independent schemes once.
+    let mut fixed_stats: Vec<Option<SchemeStats>> = Vec::with_capacity(schemes.len());
+    for scheme in schemes {
+        match scheme {
+            Scheme::Opt(_) | Scheme::Greedy(_) => fixed_stats.push(None),
+            _ => {
+                let mut stats = SchemeStats::new(scheme.name().to_owned());
+                for burst in bursts {
+                    let encoded = scheme.encode(burst, &state);
+                    stats.record(&encoded.breakdown(&state));
+                }
+                fixed_stats.push(Some(stats));
+            }
+        }
+    }
+
+    (0..=steps)
+        .map(|step| {
+            let alpha = step as f64 / steps.max(1) as f64;
+            let beta = 1.0 - alpha;
+            let mean_costs = schemes
+                .iter()
+                .zip(fixed_stats.iter())
+                .map(|(scheme, cached)| {
+                    let stats = match (scheme, cached) {
+                        (_, Some(stats)) => stats.clone(),
+                        (Scheme::Opt(_), None) => {
+                            let weights = weights_for_alpha(alpha, resolution);
+                            let mut stats = SchemeStats::new(scheme.name().to_owned());
+                            let tuned = Scheme::Opt(weights);
+                            for burst in bursts {
+                                let encoded = tuned.encode(burst, &state);
+                                stats.record(&encoded.breakdown(&state));
+                            }
+                            stats
+                        }
+                        (Scheme::Greedy(_), None) => {
+                            let weights = weights_for_alpha(alpha, resolution);
+                            let mut stats = SchemeStats::new(scheme.name().to_owned());
+                            let tuned = Scheme::Greedy(weights);
+                            for burst in bursts {
+                                let encoded = tuned.encode(burst, &state);
+                                stats.record(&encoded.breakdown(&state));
+                            }
+                            stats
+                        }
+                        _ => unreachable!("non-parametric schemes are always cached"),
+                    };
+                    (scheme.name().to_owned(), stats.mean_cost(alpha, beta))
+                })
+                .collect();
+            SweepPoint { alpha, beta, mean_costs }
+        })
+        .collect()
+}
+
+/// Finds the sweep point with the largest relative advantage of `candidate`
+/// over the best conventional scheme, returning `(alpha, saving)`.
+#[must_use]
+pub fn peak_advantage(points: &[SweepPoint], candidate: &str) -> Option<(f64, f64)> {
+    points
+        .iter()
+        .filter_map(|p| {
+            let cand = p.cost_of(candidate)?;
+            let best = p.best_conventional()?;
+            Some((p.alpha, relative_saving(cand, best)))
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("savings are finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_bursts() -> Vec<Burst> {
+        // Deterministic pseudo-random bursts (LCG) so the test is stable.
+        let mut seed = 0xDEAD_BEEFu32;
+        (0..300)
+            .map(|_| {
+                let mut bytes = [0u8; 8];
+                for b in &mut bytes {
+                    seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    *b = (seed >> 24) as u8;
+                }
+                Burst::from_array(bytes)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn relative_saving_basics() {
+        assert!((relative_saving(94.0, 100.0) - 0.06).abs() < 1e-12);
+        assert!((relative_saving(100.0, 100.0)).abs() < 1e-12);
+        assert!(relative_saving(110.0, 100.0) < 0.0);
+        assert_eq!(relative_saving(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn weights_for_alpha_endpoints_and_midpoint() {
+        // alpha = 0 gives a beta-only weighting; alpha = 1 an alpha-only one.
+        assert_eq!(weights_for_alpha(0.0, 16).alpha(), 0);
+        assert_eq!(weights_for_alpha(0.0, 16).beta(), 16);
+        assert_eq!(weights_for_alpha(1.0, 16).beta(), 0);
+        assert_eq!(weights_for_alpha(1.0, 16).alpha(), 16);
+        let mid = weights_for_alpha(0.5, 16);
+        assert_eq!(mid.alpha(), mid.beta());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must lie in [0, 1]")]
+    fn weights_for_alpha_rejects_out_of_range() {
+        let _ = weights_for_alpha(1.5, 8);
+    }
+
+    #[test]
+    fn sweep_produces_requested_points() {
+        let bursts = test_bursts();
+        let points = sweep_alpha(&bursts, &Scheme::paper_set(), 4, 16);
+        assert_eq!(points.len(), 5);
+        assert!((points[0].alpha - 0.0).abs() < 1e-12);
+        assert!((points[4].alpha - 1.0).abs() < 1e-12);
+        for p in &points {
+            assert!((p.alpha + p.beta - 1.0).abs() < 1e-12);
+            assert_eq!(p.mean_costs.len(), 5);
+            assert!(p.cost_of("RAW").is_some());
+            assert!(p.best_conventional().is_some());
+        }
+    }
+
+    #[test]
+    fn opt_is_never_above_the_best_conventional_scheme() {
+        let bursts = test_bursts();
+        let points = sweep_alpha(&bursts, &Scheme::paper_set(), 10, 32);
+        for p in &points {
+            let opt = p.cost_of("DBI OPT").unwrap();
+            let best = p.best_conventional().unwrap();
+            assert!(
+                opt <= best + 1e-6,
+                "at alpha {} OPT ({opt}) exceeded the best conventional scheme ({best})",
+                p.alpha
+            );
+        }
+    }
+
+    #[test]
+    fn dc_matches_opt_at_zero_ac_cost_and_ac_matches_at_zero_dc_cost() {
+        let bursts = test_bursts();
+        let points = sweep_alpha(&bursts, &Scheme::paper_set(), 10, 32);
+        let first = &points[0];
+        assert!((first.cost_of("DBI DC").unwrap() - first.cost_of("DBI OPT").unwrap()).abs() < 1e-9);
+        let last = &points[10];
+        assert!((last.cost_of("DBI AC").unwrap() - last.cost_of("DBI OPT").unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_advantage_is_positive_and_near_the_crossover() {
+        let bursts = test_bursts();
+        let points = sweep_alpha(&bursts, &Scheme::paper_set(), 20, 32);
+        let (alpha, saving) = peak_advantage(&points, "DBI OPT").unwrap();
+        assert!(saving > 0.03, "expected a clear advantage, got {saving}");
+        assert!(saving < 0.12, "advantage implausibly large: {saving}");
+        assert!((0.3..=0.8).contains(&alpha), "peak should sit near the DC/AC crossover, got {alpha}");
+    }
+
+    #[test]
+    fn greedy_sweep_is_between_conventional_and_optimal() {
+        let bursts = test_bursts();
+        let schemes = vec![
+            Scheme::Dc,
+            Scheme::Ac,
+            Scheme::Greedy(CostWeights::FIXED),
+            Scheme::Opt(CostWeights::FIXED),
+        ];
+        let points = sweep_alpha(&bursts, &schemes, 4, 16);
+        for p in &points {
+            let greedy = p.cost_of("Greedy").unwrap();
+            let opt = p.cost_of("DBI OPT").unwrap();
+            assert!(opt <= greedy + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Burst and bus-state types.
+//!
+//! GDDR5/GDDR5X and DDR4 transfer data in bursts of eight unit intervals
+//! per DQ group. [`Burst`] holds the payload bytes of one such burst for a
+//! single 8-bit DBI group, and [`BusState`] tracks the lane levels left on
+//! the wires by the previous transfer, which is what the AC-style encoders
+//! need in order to count signal transitions.
+
+use crate::error::{DbiError, Result};
+use crate::word::LaneWord;
+use core::fmt;
+
+/// The burst length used by GDDR5/GDDR5X/DDR4 and throughout the paper.
+pub const STANDARD_BURST_LEN: usize = 8;
+
+/// Maximum burst length accepted by exhaustive (2^n) operations such as the
+/// brute-force oracle encoder and the Pareto-front enumeration.
+pub const MAX_EXHAUSTIVE_LEN: usize = 24;
+
+/// The payload bytes of one burst on a single 8-bit DBI group.
+///
+/// The standard burst length is eight bytes ([`STANDARD_BURST_LEN`]), but
+/// every algorithm in this crate works for any non-empty length so that
+/// shorter chopped bursts (e.g. GDDR5X BL16 halves or masked writes) can be
+/// modelled as well.
+///
+/// ```
+/// # fn main() -> Result<(), dbi_core::DbiError> {
+/// use dbi_core::Burst;
+///
+/// let burst = Burst::new(vec![0x10, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4])?;
+/// assert_eq!(burst.len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Burst {
+    bytes: Vec<u8>,
+}
+
+impl Burst {
+    /// Creates a burst from owned bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::EmptyBurst`] when `bytes` is empty.
+    pub fn new(bytes: Vec<u8>) -> Result<Self> {
+        if bytes.is_empty() {
+            return Err(DbiError::EmptyBurst);
+        }
+        Ok(Burst { bytes })
+    }
+
+    /// Creates a burst by copying from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::EmptyBurst`] when `bytes` is empty.
+    pub fn from_slice(bytes: &[u8]) -> Result<Self> {
+        Self::new(bytes.to_vec())
+    }
+
+    /// Creates a standard 8-byte burst. Infallible because the length is
+    /// fixed by the type.
+    #[must_use]
+    pub fn from_array(bytes: [u8; STANDARD_BURST_LEN]) -> Self {
+        Burst { bytes: bytes.to_vec() }
+    }
+
+    /// The worked example of Fig. 2 in the paper: eight bytes whose optimal
+    /// encoding (with α = β = 1) has 28 zeros and 24 transitions, while
+    /// DBI DC yields 26/42 and DBI AC yields 43/22.
+    #[must_use]
+    pub fn paper_example() -> Self {
+        Burst::from_array([
+            0b1000_1110,
+            0b1000_0110,
+            0b1001_0110,
+            0b1110_1001,
+            0b0111_1101,
+            0b1011_0111,
+            0b0101_0111,
+            0b1100_0100,
+        ])
+    }
+
+    /// Number of bytes (unit intervals) in the burst.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` when the burst has no bytes. Always `false` for values
+    /// constructed through the public API, but provided for completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The payload bytes in transmission order.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Byte at position `index`, if any.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<u8> {
+        self.bytes.get(index).copied()
+    }
+
+    /// Iterates over the payload bytes.
+    pub fn iter(&self) -> core::iter::Copied<core::slice::Iter<'_, u8>> {
+        self.bytes.iter().copied()
+    }
+
+    /// Consumes the burst and returns the underlying byte vector.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// `true` when the burst has the standard length of eight bytes.
+    #[must_use]
+    pub fn is_standard_length(&self) -> bool {
+        self.bytes.len() == STANDARD_BURST_LEN
+    }
+
+    /// Total number of zero bits across the raw payload (8 bits per byte,
+    /// no DBI lane). This is the termination cost of transmitting the burst
+    /// completely unencoded.
+    #[must_use]
+    pub fn raw_zero_bits(&self) -> u32 {
+        self.bytes.iter().map(|b| b.count_zeros()).sum()
+    }
+}
+
+impl AsRef<[u8]> for Burst {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl TryFrom<Vec<u8>> for Burst {
+    type Error = DbiError;
+
+    fn try_from(bytes: Vec<u8>) -> Result<Self> {
+        Burst::new(bytes)
+    }
+}
+
+impl TryFrom<&[u8]> for Burst {
+    type Error = DbiError;
+
+    fn try_from(bytes: &[u8]) -> Result<Self> {
+        Burst::from_slice(bytes)
+    }
+}
+
+impl From<[u8; STANDARD_BURST_LEN]> for Burst {
+    fn from(bytes: [u8; STANDARD_BURST_LEN]) -> Self {
+        Burst::from_array(bytes)
+    }
+}
+
+impl<'a> IntoIterator for &'a Burst {
+    type Item = u8;
+    type IntoIter = core::iter::Copied<core::slice::Iter<'a, u8>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl fmt::Display for Burst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, byte) in self.bytes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{byte:02x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The logic levels left on the nine lanes of a DBI group by the previous
+/// transfer.
+///
+/// AC-style encoders count transitions relative to this state, and the
+/// optimal encoder uses it as the start node of its shortest-path trellis.
+/// The default state is all lanes high, matching the paper's boundary
+/// condition.
+///
+/// ```
+/// use dbi_core::{BusState, LaneWord};
+///
+/// let mut state = BusState::default();
+/// assert_eq!(state.last(), LaneWord::ALL_ONES);
+/// state.advance(LaneWord::encode_byte(0x00, true));
+/// assert_eq!(state.last().decode(), 0x00);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BusState {
+    last: LaneWord,
+}
+
+impl BusState {
+    /// Creates a bus state with an explicit previous lane word.
+    #[must_use]
+    pub const fn new(last: LaneWord) -> Self {
+        BusState { last }
+    }
+
+    /// The idle state assumed by the paper: every lane (including DBI) high.
+    #[must_use]
+    pub const fn idle() -> Self {
+        BusState { last: LaneWord::ALL_ONES }
+    }
+
+    /// The lane levels currently on the bus.
+    #[must_use]
+    pub const fn last(&self) -> LaneWord {
+        self.last
+    }
+
+    /// Updates the state after `word` has been driven on the lanes.
+    pub fn advance(&mut self, word: LaneWord) {
+        self.last = word;
+    }
+
+    /// Returns the state that results from driving `word`, without mutating
+    /// `self`.
+    #[must_use]
+    pub const fn after(&self, word: LaneWord) -> Self {
+        BusState { last: word }
+    }
+}
+
+impl Default for BusState {
+    fn default() -> Self {
+        BusState::idle()
+    }
+}
+
+impl From<LaneWord> for BusState {
+    fn from(word: LaneWord) -> Self {
+        BusState::new(word)
+    }
+}
+
+impl fmt::Display for BusState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bus={}", self.last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_empty_bursts() {
+        assert_eq!(Burst::new(vec![]), Err(DbiError::EmptyBurst));
+        assert_eq!(Burst::from_slice(&[]), Err(DbiError::EmptyBurst));
+    }
+
+    #[test]
+    fn from_array_is_standard_length() {
+        let burst = Burst::from_array([0; 8]);
+        assert!(burst.is_standard_length());
+        assert_eq!(burst.len(), STANDARD_BURST_LEN);
+        assert!(!burst.is_empty());
+    }
+
+    #[test]
+    fn paper_example_matches_fig2_bytes() {
+        let burst = Burst::paper_example();
+        assert_eq!(burst.bytes()[0], 0b1000_1110);
+        assert_eq!(burst.bytes()[7], 0b1100_0100);
+        assert_eq!(burst.len(), 8);
+    }
+
+    #[test]
+    fn accessors_and_iteration() {
+        let burst = Burst::from_slice(&[1, 2, 3]).unwrap();
+        assert_eq!(burst.get(0), Some(1));
+        assert_eq!(burst.get(3), None);
+        let collected: Vec<u8> = burst.iter().collect();
+        assert_eq!(collected, vec![1, 2, 3]);
+        let collected: Vec<u8> = (&burst).into_iter().collect();
+        assert_eq!(collected, vec![1, 2, 3]);
+        assert_eq!(burst.clone().into_bytes(), vec![1, 2, 3]);
+        assert_eq!(burst.as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn raw_zero_bits_counts_payload_only() {
+        let burst = Burst::from_slice(&[0x00, 0xFF, 0x0F]).unwrap();
+        assert_eq!(burst.raw_zero_bits(), 8 + 4);
+    }
+
+    #[test]
+    fn conversions() {
+        let burst: Burst = [0u8; 8].into();
+        assert_eq!(burst.len(), 8);
+        let burst = Burst::try_from(vec![1u8, 2]).unwrap();
+        assert_eq!(burst.len(), 2);
+        let burst = Burst::try_from(&[9u8, 8][..]).unwrap();
+        assert_eq!(burst.len(), 2);
+        assert!(Burst::try_from(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let burst = Burst::from_slice(&[0xDE, 0xAD]).unwrap();
+        assert_eq!(burst.to_string(), "[de ad]");
+    }
+
+    #[test]
+    fn bus_state_defaults_to_idle() {
+        assert_eq!(BusState::default(), BusState::idle());
+        assert_eq!(BusState::default().last(), LaneWord::ALL_ONES);
+    }
+
+    #[test]
+    fn bus_state_advances() {
+        let mut state = BusState::idle();
+        let word = LaneWord::encode_byte(0x12, true);
+        state.advance(word);
+        assert_eq!(state.last(), word);
+        let next = state.after(LaneWord::ALL_ONES);
+        assert_eq!(next.last(), LaneWord::ALL_ONES);
+        // `after` does not mutate.
+        assert_eq!(state.last(), word);
+    }
+
+    #[test]
+    fn bus_state_conversions_and_display() {
+        let word = LaneWord::encode_byte(0xF0, false);
+        let state: BusState = word.into();
+        assert_eq!(state.last(), word);
+        assert!(state.to_string().starts_with("bus="));
+    }
+}

@@ -1,0 +1,380 @@
+//! Encoded bursts and inversion masks.
+//!
+//! The result of any DBI scheme is, per byte, a single decision: transmit
+//! the byte as-is or inverted. [`InversionMask`] records those decisions
+//! compactly, and [`EncodedBurst`] pairs the mask with the resulting lane
+//! words so that activity counts, energy, decoding and bus-state updates
+//! can all be derived from one value.
+
+use crate::burst::{Burst, BusState};
+use crate::cost::{CostBreakdown, CostWeights};
+use crate::error::{DbiError, Result};
+use crate::word::LaneWord;
+use core::fmt;
+
+/// Per-byte inversion decisions for a burst, stored as a bit mask.
+///
+/// Bit *i* set means byte *i* of the burst is transmitted inverted (DBI
+/// lane low during that unit interval). Masks for bursts longer than 32
+/// bytes are not representable; every burst the standards define (BL8,
+/// BL16) fits comfortably.
+///
+/// ```
+/// use dbi_core::InversionMask;
+///
+/// let mask = InversionMask::from_bits(0b0000_0101);
+/// assert!(mask.is_inverted(0));
+/// assert!(!mask.is_inverted(1));
+/// assert_eq!(mask.count_inverted(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct InversionMask(u32);
+
+impl InversionMask {
+    /// The mask in which no byte is inverted (what the RAW baseline and an
+    /// all-cheap burst produce).
+    pub const NONE: InversionMask = InversionMask(0);
+
+    /// Creates a mask from raw bits (bit *i* = invert byte *i*).
+    #[must_use]
+    pub const fn from_bits(bits: u32) -> Self {
+        InversionMask(bits)
+    }
+
+    /// Raw bit representation.
+    #[must_use]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// `true` when byte `index` is transmitted inverted.
+    #[must_use]
+    pub const fn is_inverted(self, index: usize) -> bool {
+        index < 32 && (self.0 >> index) & 1 == 1
+    }
+
+    /// Returns a copy of the mask with byte `index` marked as inverted.
+    #[must_use]
+    pub const fn with_inverted(self, index: usize) -> Self {
+        InversionMask(self.0 | (1 << index))
+    }
+
+    /// Number of inverted bytes.
+    #[must_use]
+    pub const fn count_inverted(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Checks that the mask does not reference bytes beyond `burst_len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::MaskTooWide`] when a bit at or above `burst_len`
+    /// is set.
+    pub fn validate_for_len(self, burst_len: usize) -> Result<()> {
+        if burst_len >= 32 || self.0 >> burst_len == 0 {
+            Ok(())
+        } else {
+            let highest_bit = 31 - self.0.leading_zeros() as usize;
+            Err(DbiError::MaskTooWide { burst_len, highest_bit })
+        }
+    }
+
+    /// Iterates over the per-byte decisions for a burst of `len` bytes.
+    pub fn iter(self, len: usize) -> impl Iterator<Item = bool> {
+        (0..len).map(move |i| self.is_inverted(i))
+    }
+}
+
+impl fmt::Display for InversionMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:b}", self.0)
+    }
+}
+
+impl fmt::Binary for InversionMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl From<u32> for InversionMask {
+    fn from(bits: u32) -> Self {
+        InversionMask(bits)
+    }
+}
+
+impl From<InversionMask> for u32 {
+    fn from(mask: InversionMask) -> u32 {
+        mask.bits()
+    }
+}
+
+/// A burst together with the inversion decisions applied to it — the value
+/// driven onto the nine lanes of one DBI group.
+///
+/// ```
+/// # fn main() -> Result<(), dbi_core::DbiError> {
+/// use dbi_core::{Burst, BusState, EncodedBurst, InversionMask};
+///
+/// let burst = Burst::from_slice(&[0x00, 0xFF])?;
+/// let encoded = EncodedBurst::from_mask(&burst, InversionMask::from_bits(0b01))?;
+/// assert_eq!(encoded.decode(), burst);
+/// let activity = encoded.breakdown(&BusState::idle());
+/// assert_eq!(activity.zeros, 1); // inverted 0x00 transmits 0xFF + a low DBI lane
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EncodedBurst {
+    symbols: Vec<LaneWord>,
+    mask: InversionMask,
+}
+
+impl EncodedBurst {
+    /// Applies an inversion mask to a burst.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::MaskTooWide`] when the mask references bytes the
+    /// burst does not have, or [`DbiError::BurstTooLong`] when the burst has
+    /// more than 32 bytes (masks are 32 bits wide).
+    pub fn from_mask(burst: &Burst, mask: InversionMask) -> Result<Self> {
+        if burst.len() > 32 {
+            return Err(DbiError::BurstTooLong { len: burst.len(), max: 32 });
+        }
+        mask.validate_for_len(burst.len())?;
+        let symbols = burst
+            .iter()
+            .enumerate()
+            .map(|(i, byte)| LaneWord::encode_byte(byte, mask.is_inverted(i)))
+            .collect();
+        Ok(EncodedBurst { symbols, mask })
+    }
+
+    /// Builds an encoded burst from per-byte decisions produced by an
+    /// encoder walking the burst front to back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decisions` and `burst` have different lengths; encoders in
+    /// this crate always produce exactly one decision per byte.
+    #[must_use]
+    pub fn from_decisions(burst: &Burst, decisions: &[bool]) -> Self {
+        assert_eq!(
+            decisions.len(),
+            burst.len(),
+            "one inversion decision is required per burst byte"
+        );
+        let mut mask = InversionMask::NONE;
+        for (i, &invert) in decisions.iter().enumerate() {
+            if invert {
+                mask = mask.with_inverted(i);
+            }
+        }
+        let symbols = burst
+            .iter()
+            .zip(decisions.iter())
+            .map(|(byte, &invert)| LaneWord::encode_byte(byte, invert))
+            .collect();
+        EncodedBurst { symbols, mask }
+    }
+
+    /// The lane words in transmission order.
+    #[must_use]
+    pub fn symbols(&self) -> &[LaneWord] {
+        &self.symbols
+    }
+
+    /// The per-byte inversion decisions.
+    #[must_use]
+    pub const fn mask(&self) -> InversionMask {
+        self.mask
+    }
+
+    /// Number of unit intervals in the encoded burst.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// `true` when the burst contains no symbols (never the case for values
+    /// built through the public constructors).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Zero and transition counts of transmitting this burst starting from
+    /// `state`.
+    #[must_use]
+    pub fn breakdown(&self, state: &BusState) -> CostBreakdown {
+        CostBreakdown::of_symbols(&self.symbols, state)
+    }
+
+    /// Weighted integer cost of transmitting this burst starting from
+    /// `state`.
+    #[must_use]
+    pub fn cost(&self, state: &BusState, weights: &CostWeights) -> u64 {
+        self.breakdown(state).weighted(weights)
+    }
+
+    /// Recovers the original payload bytes, as the receiver does by undoing
+    /// the inversion signalled on the DBI lane.
+    #[must_use]
+    pub fn decode(&self) -> Burst {
+        let bytes: Vec<u8> = self.symbols.iter().map(|w| w.decode()).collect();
+        Burst::new(bytes).expect("encoded bursts are never empty")
+    }
+
+    /// The bus state after the last symbol of this burst has been driven.
+    #[must_use]
+    pub fn final_state(&self, initial: &BusState) -> BusState {
+        match self.symbols.last() {
+            Some(&word) => BusState::new(word),
+            None => *initial,
+        }
+    }
+}
+
+impl fmt::Display for EncodedBurst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mask={:08b} [", self.mask.bits())?;
+        for (i, word) in self.symbols.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{word}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Decodes a sequence of lane words back into payload bytes.
+///
+/// # Errors
+///
+/// Returns [`DbiError::EmptyBurst`] when `symbols` is empty.
+pub fn decode_symbols(symbols: &[LaneWord]) -> Result<Burst> {
+    Burst::new(symbols.iter().map(|w| w.decode()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_bit_operations() {
+        let mask = InversionMask::NONE.with_inverted(0).with_inverted(5);
+        assert!(mask.is_inverted(0));
+        assert!(mask.is_inverted(5));
+        assert!(!mask.is_inverted(1));
+        assert!(!mask.is_inverted(40));
+        assert_eq!(mask.count_inverted(), 2);
+        assert_eq!(mask.bits(), 0b10_0001);
+        let decisions: Vec<bool> = mask.iter(6).collect();
+        assert_eq!(decisions, vec![true, false, false, false, false, true]);
+    }
+
+    #[test]
+    fn mask_validation() {
+        let mask = InversionMask::from_bits(0b1_0000);
+        assert!(mask.validate_for_len(5).is_ok());
+        assert_eq!(
+            mask.validate_for_len(4),
+            Err(DbiError::MaskTooWide { burst_len: 4, highest_bit: 4 })
+        );
+        assert!(InversionMask::NONE.validate_for_len(0).is_ok());
+    }
+
+    #[test]
+    fn mask_conversions_and_display() {
+        let mask: InversionMask = 0b101u32.into();
+        let raw: u32 = mask.into();
+        assert_eq!(raw, 0b101);
+        assert_eq!(format!("{mask:b}"), "101");
+        assert_eq!(mask.to_string(), "101");
+    }
+
+    #[test]
+    fn from_mask_applies_inversion() {
+        let burst = Burst::from_slice(&[0x0F, 0xF0]).unwrap();
+        let encoded = EncodedBurst::from_mask(&burst, InversionMask::from_bits(0b10)).unwrap();
+        assert_eq!(encoded.symbols()[0].dq_levels(), 0x0F);
+        assert_eq!(encoded.symbols()[1].dq_levels(), 0x0F); // inverted 0xF0
+        assert_eq!(encoded.decode(), burst);
+        assert_eq!(encoded.len(), 2);
+        assert!(!encoded.is_empty());
+    }
+
+    #[test]
+    fn from_mask_rejects_wide_masks_and_long_bursts() {
+        let burst = Burst::from_slice(&[0x00]).unwrap();
+        assert!(matches!(
+            EncodedBurst::from_mask(&burst, InversionMask::from_bits(0b10)),
+            Err(DbiError::MaskTooWide { .. })
+        ));
+        let long = Burst::new(vec![0u8; 33]).unwrap();
+        assert!(matches!(
+            EncodedBurst::from_mask(&long, InversionMask::NONE),
+            Err(DbiError::BurstTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn from_decisions_matches_from_mask() {
+        let burst = Burst::from_slice(&[1, 2, 3, 4]).unwrap();
+        let decisions = [true, false, true, false];
+        let a = EncodedBurst::from_decisions(&burst, &decisions);
+        let b = EncodedBurst::from_mask(&burst, InversionMask::from_bits(0b0101)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one inversion decision")]
+    fn from_decisions_panics_on_length_mismatch() {
+        let burst = Burst::from_slice(&[1, 2]).unwrap();
+        let _ = EncodedBurst::from_decisions(&burst, &[true]);
+    }
+
+    #[test]
+    fn breakdown_and_cost() {
+        let burst = Burst::from_slice(&[0x00, 0x00]).unwrap();
+        let idle = BusState::idle();
+        // Not inverted: each word is 0x00 + DBI high -> 8 zeros each,
+        // 8 transitions for the first word, none for the second.
+        let plain = EncodedBurst::from_mask(&burst, InversionMask::NONE).unwrap();
+        assert_eq!(plain.breakdown(&idle), CostBreakdown::new(16, 8));
+        // Inverted: each word is 0xFF + DBI low -> 1 zero each,
+        // 1 transition for the first word (DBI lane), none for the second.
+        let inverted = EncodedBurst::from_mask(&burst, InversionMask::from_bits(0b11)).unwrap();
+        assert_eq!(inverted.breakdown(&idle), CostBreakdown::new(2, 1));
+        let weights = CostWeights::FIXED;
+        assert!(inverted.cost(&idle, &weights) < plain.cost(&idle, &weights));
+    }
+
+    #[test]
+    fn final_state_tracks_last_symbol() {
+        let burst = Burst::from_slice(&[0xAB, 0xCD]).unwrap();
+        let encoded = EncodedBurst::from_mask(&burst, InversionMask::from_bits(0b10)).unwrap();
+        let state = encoded.final_state(&BusState::idle());
+        assert_eq!(state.last(), LaneWord::encode_byte(0xCD, true));
+    }
+
+    #[test]
+    fn decode_symbols_roundtrip_and_empty_error() {
+        let burst = Burst::from_slice(&[9, 8, 7]).unwrap();
+        let encoded = EncodedBurst::from_mask(&burst, InversionMask::from_bits(0b111)).unwrap();
+        assert_eq!(decode_symbols(encoded.symbols()).unwrap(), burst);
+        assert_eq!(decode_symbols(&[]), Err(DbiError::EmptyBurst));
+    }
+
+    #[test]
+    fn display_contains_mask_and_symbols() {
+        let burst = Burst::from_slice(&[0xFF]).unwrap();
+        let encoded = EncodedBurst::from_mask(&burst, InversionMask::NONE).unwrap();
+        let text = encoded.to_string();
+        assert!(text.contains("mask="));
+        assert!(text.contains("111111111"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Error types for the `dbi-core` crate.
+
+use core::fmt;
+
+/// Errors returned by fallible constructors and encoders in this crate.
+///
+/// Every public function that can fail returns a [`Result`] with this error
+/// type. The error is cheap to construct and carries enough context to make
+/// the failure actionable for a caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DbiError {
+    /// A burst with zero bytes was supplied where at least one byte is
+    /// required.
+    EmptyBurst,
+    /// A burst exceeded the maximum length supported by an exhaustive
+    /// (2^n) operation.
+    BurstTooLong {
+        /// The length of the offending burst.
+        len: usize,
+        /// The maximum length supported by the operation.
+        max: usize,
+    },
+    /// A raw lane-word value did not fit into the 9 usable bits
+    /// (8 DQ lanes + 1 DBI lane).
+    InvalidLaneWord(u16),
+    /// Both cost coefficients were zero, which makes every encoding equally
+    /// "optimal" and usually indicates a configuration bug.
+    ZeroWeights,
+    /// An inversion mask referenced more bytes than the burst contains.
+    MaskTooWide {
+        /// Number of bytes in the burst.
+        burst_len: usize,
+        /// Index of the highest set bit in the mask.
+        highest_bit: usize,
+    },
+    /// A cost coefficient exceeded the supported integer range.
+    WeightOutOfRange {
+        /// The offending coefficient value.
+        value: u64,
+        /// The maximum supported value.
+        max: u64,
+    },
+}
+
+impl fmt::Display for DbiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbiError::EmptyBurst => write!(f, "burst must contain at least one byte"),
+            DbiError::BurstTooLong { len, max } => {
+                write!(f, "burst of {len} bytes exceeds the supported maximum of {max}")
+            }
+            DbiError::InvalidLaneWord(raw) => {
+                write!(f, "lane word {raw:#x} does not fit into 9 bits")
+            }
+            DbiError::ZeroWeights => {
+                write!(f, "at least one of the cost coefficients must be non-zero")
+            }
+            DbiError::MaskTooWide { burst_len, highest_bit } => write!(
+                f,
+                "inversion mask bit {highest_bit} is out of range for a burst of {burst_len} bytes"
+            ),
+            DbiError::WeightOutOfRange { value, max } => {
+                write!(f, "cost coefficient {value} exceeds the supported maximum of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbiError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T, E = DbiError> = core::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(DbiError, &str)> = vec![
+            (DbiError::EmptyBurst, "at least one byte"),
+            (DbiError::BurstTooLong { len: 40, max: 24 }, "40"),
+            (DbiError::InvalidLaneWord(0x400), "0x400"),
+            (DbiError::ZeroWeights, "non-zero"),
+            (
+                DbiError::MaskTooWide { burst_len: 8, highest_bit: 12 },
+                "out of range",
+            ),
+            (
+                DbiError::WeightOutOfRange { value: 1 << 40, max: 1 << 20 },
+                "exceeds",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "message {msg:?} should contain {needle:?}"
+            );
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "message should start lowercase: {msg:?}"
+            );
+            assert!(!msg.ends_with('.'), "message should not end with a period: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<DbiError>();
+    }
+
+    #[test]
+    fn error_is_cloneable_and_comparable() {
+        let a = DbiError::BurstTooLong { len: 3, max: 2 };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

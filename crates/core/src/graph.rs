@@ -1,0 +1,345 @@
+//! Explicit trellis-graph formulation of the encoding problem (Fig. 2).
+//!
+//! Section III reformulates minimum-energy DBI encoding as a shortest-path
+//! problem on a directed graph with non-negative weights: a start node, two
+//! nodes per byte (inverted / non-inverted transmission) and an end node.
+//! The production encoder ([`OptEncoder`](crate::schemes::OptEncoder)) uses
+//! a specialised dynamic program, but this module materialises the graph
+//! explicitly and solves it with Dijkstra's algorithm. It serves three
+//! purposes:
+//!
+//! 1. an independent cross-check of the DP encoder,
+//! 2. the data behind the Fig. 2 reproduction (edge weights of the worked
+//!    example), and
+//! 3. a place to reason about the problem structure (node/edge counts,
+//!    path reconstruction) in tests.
+
+use crate::burst::{Burst, BusState};
+use crate::cost::CostWeights;
+use crate::encoding::{EncodedBurst, InversionMask};
+use crate::word::LaneWord;
+use core::fmt;
+use std::collections::BinaryHeap;
+
+/// Identifier of a node in the encoding trellis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrellisNode {
+    /// The virtual start node representing the bus state before the burst.
+    Start,
+    /// Transmission of byte `index` with the given inversion decision.
+    Byte {
+        /// Position of the byte within the burst.
+        index: usize,
+        /// `true` when the byte is transmitted inverted.
+        inverted: bool,
+    },
+    /// The virtual end node reached after the last byte.
+    End,
+}
+
+impl fmt::Display for TrellisNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrellisNode::Start => write!(f, "start"),
+            TrellisNode::Byte { index, inverted } => {
+                write!(f, "byte{}({})", index, if *inverted { "inv" } else { "plain" })
+            }
+            TrellisNode::End => write!(f, "end"),
+        }
+    }
+}
+
+/// A weighted directed edge of the trellis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrellisEdge {
+    /// Source node.
+    pub from: TrellisNode,
+    /// Destination node.
+    pub to: TrellisNode,
+    /// Weight α·transitions + β·zeros of entering `to` from `from`
+    /// (zero for edges into the end node).
+    pub weight: u64,
+}
+
+/// The encoding trellis of one burst under one set of coefficients.
+///
+/// ```
+/// # fn main() -> Result<(), dbi_core::DbiError> {
+/// use dbi_core::{Burst, BusState, CostWeights};
+/// use dbi_core::graph::Trellis;
+///
+/// let trellis = Trellis::build(
+///     &Burst::paper_example(),
+///     &BusState::idle(),
+///     CostWeights::new(1, 1)?,
+/// );
+/// let path = trellis.shortest_path();
+/// assert_eq!(path.cost, 52);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trellis {
+    burst: Burst,
+    weights: CostWeights,
+    edges: Vec<TrellisEdge>,
+    nodes: Vec<TrellisNode>,
+}
+
+/// The result of a shortest-path query on a [`Trellis`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortestPath {
+    /// Total weight of the path from start to end.
+    pub cost: u64,
+    /// Inversion decisions along the path, in byte order.
+    pub mask: InversionMask,
+    /// The byte nodes visited, in order.
+    pub nodes: Vec<TrellisNode>,
+}
+
+impl Trellis {
+    /// Builds the trellis for a burst: a start node, two nodes per byte and
+    /// an end node, with edge weights given by the cost model.
+    #[must_use]
+    pub fn build(burst: &Burst, state: &BusState, weights: CostWeights) -> Self {
+        let mut nodes = vec![TrellisNode::Start];
+        let mut edges = Vec::new();
+        let n = burst.len();
+
+        for (i, byte) in burst.iter().enumerate() {
+            for inverted in [false, true] {
+                nodes.push(TrellisNode::Byte { index: i, inverted });
+                let word = LaneWord::encode_byte(byte, inverted);
+                if i == 0 {
+                    let weight = weights.symbol_cost(word, state.last());
+                    edges.push(TrellisEdge {
+                        from: TrellisNode::Start,
+                        to: TrellisNode::Byte { index: 0, inverted },
+                        weight,
+                    });
+                } else {
+                    let prev_byte = burst.get(i - 1).expect("index i-1 is in range");
+                    for prev_inverted in [false, true] {
+                        let prev_word = LaneWord::encode_byte(prev_byte, prev_inverted);
+                        let weight = weights.symbol_cost(word, prev_word);
+                        edges.push(TrellisEdge {
+                            from: TrellisNode::Byte { index: i - 1, inverted: prev_inverted },
+                            to: TrellisNode::Byte { index: i, inverted },
+                            weight,
+                        });
+                    }
+                }
+            }
+        }
+        nodes.push(TrellisNode::End);
+        for inverted in [false, true] {
+            edges.push(TrellisEdge {
+                from: TrellisNode::Byte { index: n - 1, inverted },
+                to: TrellisNode::End,
+                weight: 0,
+            });
+        }
+        Trellis { burst: burst.clone(), weights, edges, nodes }
+    }
+
+    /// All nodes of the trellis (start, 2·n byte nodes, end).
+    #[must_use]
+    pub fn nodes(&self) -> &[TrellisNode] {
+        &self.nodes
+    }
+
+    /// All weighted edges of the trellis.
+    #[must_use]
+    pub fn edges(&self) -> &[TrellisEdge] {
+        &self.edges
+    }
+
+    /// The cost coefficients the edge weights were computed with.
+    #[must_use]
+    pub const fn weights(&self) -> CostWeights {
+        self.weights
+    }
+
+    /// The burst the trellis was built for.
+    #[must_use]
+    pub fn burst(&self) -> &Burst {
+        &self.burst
+    }
+
+    /// Weight of the edge between two nodes, if such an edge exists.
+    #[must_use]
+    pub fn edge_weight(&self, from: TrellisNode, to: TrellisNode) -> Option<u64> {
+        self.edges
+            .iter()
+            .find(|e| e.from == from && e.to == to)
+            .map(|e| e.weight)
+    }
+
+    fn node_index(&self, node: TrellisNode) -> usize {
+        match node {
+            TrellisNode::Start => 0,
+            TrellisNode::Byte { index, inverted } => 1 + index * 2 + usize::from(inverted),
+            TrellisNode::End => self.nodes.len() - 1,
+        }
+    }
+
+    /// Solves the shortest-path problem with Dijkstra's algorithm (binary
+    /// heap, non-negative weights) and reconstructs the optimal inversion
+    /// mask, exactly as described for Fig. 2.
+    #[must_use]
+    pub fn shortest_path(&self) -> ShortestPath {
+        let node_count = self.nodes.len();
+        let mut adjacency: Vec<Vec<(usize, u64)>> = vec![Vec::new(); node_count];
+        for edge in &self.edges {
+            adjacency[self.node_index(edge.from)].push((self.node_index(edge.to), edge.weight));
+        }
+
+        let mut dist = vec![u64::MAX; node_count];
+        let mut predecessor = vec![usize::MAX; node_count];
+        let start = self.node_index(TrellisNode::Start);
+        let end = self.node_index(TrellisNode::End);
+        dist[start] = 0;
+
+        // Max-heap on Reverse ordering via negated comparison: store
+        // (cost, node) and pop the smallest cost first.
+        let mut heap: BinaryHeap<core::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+        heap.push(core::cmp::Reverse((0, start)));
+        while let Some(core::cmp::Reverse((cost, node))) = heap.pop() {
+            if cost > dist[node] {
+                continue;
+            }
+            for &(next, weight) in &adjacency[node] {
+                let candidate = cost + weight;
+                if candidate < dist[next] {
+                    dist[next] = candidate;
+                    predecessor[next] = node;
+                    heap.push(core::cmp::Reverse((candidate, next)));
+                }
+            }
+        }
+
+        // Backtrack from the end node.
+        let mut path_nodes = Vec::new();
+        let mut cursor = end;
+        while cursor != start {
+            let node = self.nodes[cursor];
+            if let TrellisNode::Byte { .. } = node {
+                path_nodes.push(node);
+            }
+            cursor = predecessor[cursor];
+        }
+        path_nodes.reverse();
+
+        let mut mask = InversionMask::NONE;
+        for node in &path_nodes {
+            if let TrellisNode::Byte { index, inverted: true } = node {
+                mask = mask.with_inverted(*index);
+            }
+        }
+        ShortestPath { cost: dist[end], mask, nodes: path_nodes }
+    }
+
+    /// Applies the shortest path's inversion mask to the burst.
+    #[must_use]
+    pub fn shortest_path_encoding(&self) -> EncodedBurst {
+        let path = self.shortest_path();
+        EncodedBurst::from_mask(&self.burst, path.mask)
+            .expect("shortest-path masks only reference bytes of the burst")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{DbiEncoder, OptEncoder};
+
+    #[test]
+    fn node_and_edge_counts() {
+        let burst = Burst::paper_example();
+        let trellis = Trellis::build(&burst, &BusState::idle(), CostWeights::FIXED);
+        // start + 2 per byte + end.
+        assert_eq!(trellis.nodes().len(), 2 + 2 * burst.len());
+        // 2 start edges + 4 per interior transition + 2 end edges.
+        assert_eq!(trellis.edges().len(), 2 + 4 * (burst.len() - 1) + 2);
+        assert_eq!(trellis.weights(), CostWeights::FIXED);
+        assert_eq!(trellis.burst(), &burst);
+    }
+
+    #[test]
+    fn fig2_start_edge_weights() {
+        // Fig. 2 annotates the two edges out of the start node with 8 and 10.
+        let trellis =
+            Trellis::build(&Burst::paper_example(), &BusState::idle(), CostWeights::FIXED);
+        assert_eq!(
+            trellis.edge_weight(TrellisNode::Start, TrellisNode::Byte { index: 0, inverted: false }),
+            Some(8)
+        );
+        assert_eq!(
+            trellis.edge_weight(TrellisNode::Start, TrellisNode::Byte { index: 0, inverted: true }),
+            Some(10)
+        );
+        assert_eq!(
+            trellis.edge_weight(TrellisNode::Start, TrellisNode::End),
+            None
+        );
+    }
+
+    #[test]
+    fn shortest_path_matches_the_dp_encoder() {
+        let state = BusState::idle();
+        let bursts = [
+            Burst::paper_example(),
+            Burst::from_array([0x5A, 0xA5, 0x3C, 0xC3, 0x0F, 0xF0, 0x00, 0xFF]),
+            Burst::from_slice(&[0x42]).unwrap(),
+            Burst::from_slice(&[0x42, 0x13, 0x99]).unwrap(),
+        ];
+        for (alpha, beta) in [(1u32, 1u32), (1, 3), (5, 2)] {
+            let weights = CostWeights::new(alpha, beta).unwrap();
+            for burst in &bursts {
+                let trellis = Trellis::build(burst, &state, weights);
+                let path = trellis.shortest_path();
+                let dp = OptEncoder::new(weights).encode(burst, &state);
+                assert_eq!(path.cost, dp.cost(&state, &weights), "burst {burst}");
+                assert_eq!(
+                    trellis.shortest_path_encoding().cost(&state, &weights),
+                    dp.cost(&state, &weights)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_shortest_path_cost_is_52() {
+        let trellis =
+            Trellis::build(&Burst::paper_example(), &BusState::idle(), CostWeights::FIXED);
+        let path = trellis.shortest_path();
+        assert_eq!(path.cost, 52);
+        assert_eq!(path.nodes.len(), 8);
+    }
+
+    #[test]
+    fn path_mask_matches_visited_nodes() {
+        let trellis =
+            Trellis::build(&Burst::paper_example(), &BusState::idle(), CostWeights::FIXED);
+        let path = trellis.shortest_path();
+        for node in &path.nodes {
+            if let TrellisNode::Byte { index, inverted } = node {
+                assert_eq!(path.mask.is_inverted(*index), *inverted);
+            }
+        }
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(TrellisNode::Start.to_string(), "start");
+        assert_eq!(TrellisNode::End.to_string(), "end");
+        assert_eq!(
+            TrellisNode::Byte { index: 3, inverted: true }.to_string(),
+            "byte3(inv)"
+        );
+        assert_eq!(
+            TrellisNode::Byte { index: 0, inverted: false }.to_string(),
+            "byte0(plain)"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! # dbi-core
+//!
+//! Data bus inversion (DBI) encoding schemes, including the **optimal
+//! DC/AC encoder** from *"Optimal DC/AC Data Bus Inversion Coding"*
+//! (Lucas, Lal, Juurlink — DATE 2018).
+//!
+//! GDDR5/GDDR5X and DDR4 memories use a pseudo-open-drain (POD) interface
+//! in which transmitting a **zero** draws DC termination current and every
+//! lane **transition** burns switching energy. DBI adds one lane per byte
+//! so the transmitter can send each byte inverted when that is cheaper.
+//! The classic schemes optimise only one of the two cost components:
+//!
+//! * **DBI DC** ([`schemes::DcEncoder`]) minimises transmitted zeros,
+//! * **DBI AC** ([`schemes::AcEncoder`]) minimises lane transitions.
+//!
+//! The paper's contribution — [`schemes::OptEncoder`] — finds the
+//! minimum of `α·transitions + β·zeros` over the whole burst by solving a
+//! shortest-path problem on a two-state trellis, and a fixed-coefficient
+//! variant ([`schemes::OptFixedEncoder`], α = β = 1) does so cheaply enough
+//! for a 1.5 GHz hardware encoder.
+//!
+//! ## Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), dbi_core::DbiError> {
+//! use dbi_core::{Burst, BusState, CostWeights};
+//! use dbi_core::schemes::{DbiEncoder, DcEncoder, AcEncoder, OptEncoder};
+//!
+//! let burst = Burst::paper_example();
+//! let state = BusState::idle();
+//! let weights = CostWeights::new(1, 1)?;
+//!
+//! let dc = DcEncoder::new().encode(&burst, &state);
+//! let ac = AcEncoder::new().encode(&burst, &state);
+//! let opt = OptEncoder::new(weights).encode(&burst, &state);
+//!
+//! // Fig. 2 of the paper: 68 vs 65 vs 52 cost units.
+//! assert_eq!(dc.cost(&state, &weights), 68);
+//! assert_eq!(ac.cost(&state, &weights), 65);
+//! assert_eq!(opt.cost(&state, &weights), 52);
+//!
+//! // Every scheme is lossless: the receiver recovers the original bytes.
+//! assert_eq!(opt.decode(), burst);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Module overview
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`word`] | 9-lane words (8 DQ + DBI), zero/transition counting |
+//! | [`burst`] | burst payloads and bus state |
+//! | [`cost`] | α/β cost weights and activity breakdowns |
+//! | [`encoding`] | inversion masks, encoded bursts, decoding |
+//! | [`schemes`] | RAW, DC, AC, ACDC, greedy, OPT, OPT(Fixed), exhaustive oracle |
+//! | [`graph`] | explicit trellis + Dijkstra (Fig. 2 cross-check) |
+//! | [`pareto`] | Pareto front of the zero/transition trade-off |
+//! | [`stats`] | per-scheme statistics over burst streams |
+//! | [`analysis`] | coefficient sweeps and relative savings (Figs. 3/4) |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod burst;
+pub mod cost;
+pub mod encoding;
+pub mod error;
+pub mod graph;
+pub mod pareto;
+pub mod schemes;
+pub mod stats;
+pub mod word;
+
+pub use burst::{Burst, BusState, MAX_EXHAUSTIVE_LEN, STANDARD_BURST_LEN};
+pub use cost::{CostBreakdown, CostWeights};
+pub use encoding::{decode_symbols, EncodedBurst, InversionMask};
+pub use error::{DbiError, Result};
+pub use pareto::{ParetoFront, ParetoPoint};
+pub use schemes::{DbiEncoder, Scheme};
+pub use stats::{SchemeComparison, SchemeStats};
+pub use word::{DbiBit, LaneWord};
+
+#[cfg(test)]
+mod tests {
+    //! Crate-level smoke tests exercising the re-exported API surface.
+
+    use super::*;
+    use crate::schemes::{AcEncoder, DcEncoder, OptEncoder};
+
+    #[test]
+    fn public_api_reproduces_the_fig2_story() {
+        let burst = Burst::paper_example();
+        let state = BusState::idle();
+        let weights = CostWeights::FIXED;
+
+        let dc = DcEncoder::new().encode(&burst, &state).breakdown(&state);
+        let ac = AcEncoder::new().encode(&burst, &state).breakdown(&state);
+        let opt = OptEncoder::new(weights).encode(&burst, &state).breakdown(&state);
+
+        assert_eq!((dc.zeros, dc.transitions), (26, 42));
+        assert_eq!((ac.zeros, ac.transitions), (43, 22));
+        assert_eq!(opt.weighted(&weights), 52);
+
+        let front = ParetoFront::of_burst(&burst, &state).unwrap();
+        assert!(front.contains(opt));
+    }
+
+    #[test]
+    fn reexports_are_usable_without_module_paths() {
+        let _ = Scheme::paper_set();
+        let _ = InversionMask::NONE;
+        let _ = LaneWord::ALL_ONES;
+        let _ = DbiBit::Inverted;
+        let _: CostBreakdown = CostBreakdown::ZERO;
+        assert_eq!(STANDARD_BURST_LEN, 8);
+        assert!(MAX_EXHAUSTIVE_LEN >= 16);
+    }
+}

@@ -1,0 +1,259 @@
+//! Pareto analysis of the zero/transition trade-off (Fig. 2 discussion).
+//!
+//! Section III observes that varying the α/β ratio over the same burst
+//! exposes a small set of Pareto-optimal encodings — pairs of (zeros,
+//! transitions) such that no other encoding is better on both axes. DBI DC
+//! and DBI AC each find one extreme point of that front; the optimal
+//! encoder can reach every point on it by choosing the coefficients.
+
+use crate::burst::{Burst, BusState, MAX_EXHAUSTIVE_LEN};
+use crate::cost::{CostBreakdown, CostWeights};
+use crate::encoding::{EncodedBurst, InversionMask};
+use crate::error::{DbiError, Result};
+use core::fmt;
+
+/// One Pareto-optimal encoding of a burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParetoPoint {
+    /// Activity counts of the encoding.
+    pub breakdown: CostBreakdown,
+    /// The inversion mask that realises those counts.
+    pub mask: InversionMask,
+}
+
+impl ParetoPoint {
+    /// Transmitted zeros of the encoding.
+    #[must_use]
+    pub const fn zeros(&self) -> u64 {
+        self.breakdown.zeros
+    }
+
+    /// Lane transitions of the encoding.
+    #[must_use]
+    pub const fn transitions(&self) -> u64 {
+        self.breakdown.transitions
+    }
+}
+
+impl fmt::Display for ParetoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DC: {} AC: {} (mask {:08b})",
+            self.breakdown.zeros,
+            self.breakdown.transitions,
+            self.mask.bits()
+        )
+    }
+}
+
+/// The set of Pareto-optimal encodings of one burst.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParetoFront {
+    points: Vec<ParetoPoint>,
+}
+
+impl ParetoFront {
+    /// Enumerates every inversion mask of the burst and keeps the
+    /// non-dominated (zeros, transitions) points. Points are returned
+    /// sorted by ascending zero count (therefore descending transitions).
+    /// When several masks realise the same non-dominated point, the
+    /// numerically smallest mask is kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::BurstTooLong`] for bursts longer than
+    /// [`MAX_EXHAUSTIVE_LEN`], since the enumeration is exponential.
+    pub fn of_burst(burst: &Burst, state: &BusState) -> Result<Self> {
+        if burst.len() > MAX_EXHAUSTIVE_LEN {
+            return Err(DbiError::BurstTooLong { len: burst.len(), max: MAX_EXHAUSTIVE_LEN });
+        }
+        let count = 1u64 << burst.len();
+        let mut candidates: Vec<ParetoPoint> = Vec::with_capacity(count as usize);
+        for bits in 0..count {
+            let mask = InversionMask::from_bits(bits as u32);
+            let encoded = EncodedBurst::from_mask(burst, mask)
+                .expect("mask bits are bounded by the burst length");
+            candidates.push(ParetoPoint { breakdown: encoded.breakdown(state), mask });
+        }
+
+        let mut front: Vec<ParetoPoint> = Vec::new();
+        for candidate in &candidates {
+            let dominated = candidates.iter().any(|other| other.breakdown.dominates(&candidate.breakdown));
+            if !dominated {
+                front.push(*candidate);
+            }
+        }
+        // Deduplicate equal (zeros, transitions) pairs, keeping the smallest mask.
+        front.sort_by_key(|p| (p.breakdown.zeros, p.breakdown.transitions, p.mask.bits()));
+        front.dedup_by_key(|p| p.breakdown);
+        Ok(ParetoFront { points: front })
+    }
+
+    /// The non-dominated points, sorted by ascending zero count.
+    #[must_use]
+    pub fn points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// Number of distinct Pareto-optimal (zeros, transitions) pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the front has no points (never for a valid burst).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// `true` when the given activity counts lie on the front.
+    #[must_use]
+    pub fn contains(&self, breakdown: CostBreakdown) -> bool {
+        self.points.iter().any(|p| p.breakdown == breakdown)
+    }
+
+    /// The point that minimises the weighted cost under the given
+    /// coefficients. The optimal encoder always lands on the front, so this
+    /// is also the cost of `OptEncoder` with those coefficients.
+    #[must_use]
+    pub fn best_for(&self, weights: &CostWeights) -> Option<ParetoPoint> {
+        self.points
+            .iter()
+            .copied()
+            .min_by_key(|p| (p.breakdown.weighted(weights), p.mask.bits()))
+    }
+
+    /// Iterates over the points of the front.
+    pub fn iter(&self) -> core::slice::Iter<'_, ParetoPoint> {
+        self.points.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ParetoFront {
+    type Item = &'a ParetoPoint;
+    type IntoIter = core::slice::Iter<'a, ParetoPoint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+impl fmt::Display for ParetoFront {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, point) in self.points.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{point}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{AcEncoder, DbiEncoder, DcEncoder, OptEncoder};
+
+    fn paper_front() -> ParetoFront {
+        ParetoFront::of_burst(&Burst::paper_example(), &BusState::idle()).unwrap()
+    }
+
+    #[test]
+    fn no_point_dominates_another() {
+        let front = paper_front();
+        for a in front.points() {
+            for b in front.points() {
+                assert!(!a.breakdown.dominates(&b.breakdown));
+            }
+        }
+        assert!(!front.is_empty());
+    }
+
+    #[test]
+    fn front_is_sorted_by_zeros() {
+        let front = paper_front();
+        let zeros: Vec<u64> = front.iter().map(|p| p.zeros()).collect();
+        let mut sorted = zeros.clone();
+        sorted.sort_unstable();
+        assert_eq!(zeros, sorted);
+    }
+
+    #[test]
+    fn paper_example_front_contains_the_figure_points() {
+        // Fig. 2 lists the encodings (DC zeros, AC transitions):
+        // (26,42) found by DBI DC, (43,22) found by DBI AC, and the balanced
+        // options (27,28), (28,24), (29,23).
+        let front = paper_front();
+        for (zeros, transitions) in [(26, 42), (27, 28), (28, 24), (29, 23), (43, 22)] {
+            assert!(
+                front.contains(CostBreakdown::new(zeros, transitions)),
+                "expected ({zeros},{transitions}) on the Pareto front; got {front}"
+            );
+        }
+    }
+
+    #[test]
+    fn dc_and_ac_land_on_the_extremes_of_the_front() {
+        let burst = Burst::paper_example();
+        let state = BusState::idle();
+        let front = paper_front();
+        let dc = DcEncoder::new().encode(&burst, &state).breakdown(&state);
+        let ac = AcEncoder::new().encode(&burst, &state).breakdown(&state);
+        assert_eq!(front.points().first().unwrap().breakdown, dc, "DC is the min-zeros extreme");
+        assert_eq!(
+            front.points().last().unwrap().breakdown,
+            ac,
+            "AC is the min-transitions extreme"
+        );
+    }
+
+    #[test]
+    fn optimal_encoder_always_lands_on_the_front() {
+        let burst = Burst::paper_example();
+        let state = BusState::idle();
+        let front = paper_front();
+        for (alpha, beta) in [(1u32, 1u32), (0, 1), (1, 0), (1, 3), (3, 1), (2, 5)] {
+            let weights = CostWeights::new(alpha, beta).unwrap();
+            let encoded = OptEncoder::new(weights).encode(&burst, &state);
+            let breakdown = encoded.breakdown(&state);
+            assert!(front.contains(breakdown), "OPT({alpha},{beta}) produced {breakdown} off the front");
+            // And it matches the front's own arg-min.
+            assert_eq!(
+                front.best_for(&weights).unwrap().breakdown.weighted(&weights),
+                breakdown.weighted(&weights)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_bursts() {
+        let burst = Burst::new(vec![0u8; MAX_EXHAUSTIVE_LEN + 1]).unwrap();
+        assert!(matches!(
+            ParetoFront::of_burst(&burst, &BusState::idle()),
+            Err(DbiError::BurstTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn display_and_iteration() {
+        let front = paper_front();
+        let text = front.to_string();
+        assert!(text.contains("DC: 26 AC: 42"));
+        let collected: Vec<&ParetoPoint> = (&front).into_iter().collect();
+        assert_eq!(collected.len(), front.len());
+    }
+
+    #[test]
+    fn single_byte_front() {
+        // A byte with four zeros: plain (4 zeros / 4 transitions from idle),
+        // inverted (5 zeros / 5 transitions). The inverted form is dominated,
+        // so the front has exactly one point.
+        let burst = Burst::from_slice(&[0x0F]).unwrap();
+        let front = ParetoFront::of_burst(&burst, &BusState::idle()).unwrap();
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.points()[0].breakdown, CostBreakdown::new(4, 4));
+    }
+}

@@ -1,0 +1,253 @@
+//! DBI encoding schemes.
+//!
+//! All schemes implement the [`DbiEncoder`] trait: given the payload bytes
+//! of a burst and the lane levels left on the bus by the previous transfer,
+//! they decide per byte whether to transmit it inverted.
+//!
+//! | Scheme | Module | Objective |
+//! |--------|--------|-----------|
+//! | RAW | [`raw`] | no encoding (baseline) |
+//! | DBI DC | [`dc`] | at most four zeros per byte (per-byte zero minimisation) |
+//! | DBI AC | [`ac`] | per-byte transition minimisation vs. the previous word |
+//! | DBI ACDC | [`acdc`] | Hollis' mode switch: first byte DC, remaining bytes AC |
+//! | Greedy | [`greedy`] | per-byte weighted (α, β) minimisation, no look-ahead |
+//! | DBI OPT | [`opt`] | burst-global minimum of α·transitions + β·zeros (shortest path) |
+//! | DBI OPT (Fixed) | [`opt`] | DBI OPT with α = β = 1 (the paper's hardware-friendly variant) |
+//! | Exhaustive | [`exhaustive`] | brute-force 2ⁿ search, used as a correctness oracle |
+
+mod ac;
+mod acdc;
+mod dc;
+mod exhaustive;
+mod greedy;
+mod opt;
+mod raw;
+
+pub use ac::AcEncoder;
+pub use acdc::AcDcEncoder;
+pub use dc::DcEncoder;
+pub use exhaustive::ExhaustiveEncoder;
+pub use greedy::GreedyEncoder;
+pub use opt::{OptEncoder, OptFixedEncoder};
+pub use raw::RawEncoder;
+
+use crate::burst::{Burst, BusState};
+use crate::cost::CostWeights;
+use crate::encoding::EncodedBurst;
+use core::fmt;
+
+/// A data bus inversion encoder.
+///
+/// Implementations are pure functions of the burst payload and the previous
+/// bus state; they hold only configuration (such as cost coefficients) and
+/// are therefore `Send + Sync` and freely shareable.
+pub trait DbiEncoder {
+    /// Short human-readable name used in reports and benchmarks
+    /// (for example `"DBI DC"` or `"DBI OPT (Fixed)"`).
+    fn name(&self) -> &str;
+
+    /// Chooses the per-byte inversion decisions for `burst`, given that the
+    /// lanes currently carry `state`.
+    fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst;
+}
+
+impl<T: DbiEncoder + ?Sized> DbiEncoder for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst {
+        (**self).encode(burst, state)
+    }
+}
+
+impl<T: DbiEncoder + ?Sized> DbiEncoder for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst {
+        (**self).encode(burst, state)
+    }
+}
+
+/// Enumeration of every scheme evaluated in the paper, for convenient
+/// configuration-driven selection (figures sweep over this set).
+///
+/// ```
+/// use dbi_core::{Burst, BusState, Scheme};
+/// use dbi_core::schemes::DbiEncoder;
+///
+/// let burst = Burst::paper_example();
+/// for scheme in Scheme::paper_set() {
+///     let encoded = scheme.encode(&burst, &BusState::idle());
+///     assert_eq!(encoded.decode(), burst);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Scheme {
+    /// Unencoded transmission (no DBI).
+    Raw,
+    /// DBI DC: invert bytes with five or more zeros.
+    Dc,
+    /// DBI AC: invert when it reduces transitions vs. the previous word.
+    Ac,
+    /// DBI ACDC (Hollis): first byte DC, remaining bytes AC.
+    AcDc,
+    /// Greedy weighted per-byte heuristic with the given coefficients.
+    Greedy(CostWeights),
+    /// Optimal shortest-path encoding with the given coefficients.
+    Opt(CostWeights),
+    /// Optimal shortest-path encoding with fixed α = β = 1.
+    OptFixed,
+}
+
+impl Scheme {
+    /// The schemes compared in Figs. 3, 4, 7 and 8 of the paper, in plot
+    /// order: RAW, DC, AC, OPT(α=β=1), OPT(Fixed).
+    #[must_use]
+    pub fn paper_set() -> Vec<Scheme> {
+        vec![
+            Scheme::Raw,
+            Scheme::Dc,
+            Scheme::Ac,
+            Scheme::Opt(CostWeights::FIXED),
+            Scheme::OptFixed,
+        ]
+    }
+
+    /// The conventional schemes DBI OPT is compared against (RAW, DC, AC,
+    /// ACDC).
+    #[must_use]
+    pub fn conventional_set() -> Vec<Scheme> {
+        vec![Scheme::Raw, Scheme::Dc, Scheme::Ac, Scheme::AcDc]
+    }
+
+    /// Builds a boxed encoder for dynamic dispatch over heterogeneous
+    /// scheme collections.
+    #[must_use]
+    pub fn boxed(&self) -> Box<dyn DbiEncoder + Send + Sync> {
+        match *self {
+            Scheme::Raw => Box::new(RawEncoder::new()),
+            Scheme::Dc => Box::new(DcEncoder::new()),
+            Scheme::Ac => Box::new(AcEncoder::new()),
+            Scheme::AcDc => Box::new(AcDcEncoder::new()),
+            Scheme::Greedy(weights) => Box::new(GreedyEncoder::new(weights)),
+            Scheme::Opt(weights) => Box::new(OptEncoder::new(weights)),
+            Scheme::OptFixed => Box::new(OptFixedEncoder::new()),
+        }
+    }
+}
+
+impl DbiEncoder for Scheme {
+    fn name(&self) -> &str {
+        match self {
+            Scheme::Raw => "RAW",
+            Scheme::Dc => "DBI DC",
+            Scheme::Ac => "DBI AC",
+            Scheme::AcDc => "DBI ACDC",
+            Scheme::Greedy(_) => "Greedy",
+            Scheme::Opt(_) => "DBI OPT",
+            Scheme::OptFixed => "DBI OPT (Fixed)",
+        }
+    }
+
+    fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst {
+        match *self {
+            Scheme::Raw => RawEncoder::new().encode(burst, state),
+            Scheme::Dc => DcEncoder::new().encode(burst, state),
+            Scheme::Ac => AcEncoder::new().encode(burst, state),
+            Scheme::AcDc => AcDcEncoder::new().encode(burst, state),
+            Scheme::Greedy(weights) => GreedyEncoder::new(weights).encode(burst, state),
+            Scheme::Opt(weights) => OptEncoder::new(weights).encode(burst, state),
+            Scheme::OptFixed => OptFixedEncoder::new().encode(burst, state),
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", DbiEncoder::name(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostWeights;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn encoders_are_send_and_sync() {
+        assert_send_sync::<RawEncoder>();
+        assert_send_sync::<DcEncoder>();
+        assert_send_sync::<AcEncoder>();
+        assert_send_sync::<AcDcEncoder>();
+        assert_send_sync::<GreedyEncoder>();
+        assert_send_sync::<OptEncoder>();
+        assert_send_sync::<OptFixedEncoder>();
+        assert_send_sync::<ExhaustiveEncoder>();
+        assert_send_sync::<Scheme>();
+    }
+
+    #[test]
+    fn scheme_names_are_distinct() {
+        let schemes = [
+            Scheme::Raw,
+            Scheme::Dc,
+            Scheme::Ac,
+            Scheme::AcDc,
+            Scheme::Greedy(CostWeights::FIXED),
+            Scheme::Opt(CostWeights::FIXED),
+            Scheme::OptFixed,
+        ];
+        let mut names: Vec<&str> = schemes.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), schemes.len());
+    }
+
+    #[test]
+    fn paper_set_contains_the_plotted_schemes() {
+        let set = Scheme::paper_set();
+        assert_eq!(set.len(), 5);
+        assert_eq!(set[0], Scheme::Raw);
+        assert!(set.contains(&Scheme::OptFixed));
+    }
+
+    #[test]
+    fn every_scheme_roundtrips_through_decode() {
+        let burst = Burst::paper_example();
+        let state = BusState::idle();
+        let mut all = Scheme::paper_set();
+        all.extend(Scheme::conventional_set());
+        all.push(Scheme::Greedy(CostWeights::new(2, 3).unwrap()));
+        for scheme in all {
+            let encoded = scheme.encode(&burst, &state);
+            assert_eq!(encoded.decode(), burst, "scheme {scheme} must be lossless");
+            assert_eq!(encoded.len(), burst.len());
+        }
+    }
+
+    #[test]
+    fn boxed_and_borrowed_dispatch_agree_with_direct_dispatch() {
+        let burst = Burst::paper_example();
+        let state = BusState::idle();
+        for scheme in Scheme::paper_set() {
+            let direct = scheme.encode(&burst, &state);
+            let boxed = scheme.boxed().encode(&burst, &state);
+            let via_ref = scheme.encode(&burst, &state);
+            assert_eq!(direct, boxed);
+            assert_eq!(direct, via_ref);
+            assert_eq!(scheme.boxed().name(), scheme.name());
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Scheme::OptFixed.to_string(), "DBI OPT (Fixed)");
+        assert_eq!(Scheme::Raw.to_string(), "RAW");
+    }
+}

@@ -1,0 +1,284 @@
+//! Aggregated activity statistics over many bursts.
+//!
+//! The paper's figures report *average* energy per burst over 10 000 random
+//! bursts. [`SchemeStats`] accumulates the zero/transition counts of one
+//! scheme over a stream of bursts, and [`SchemeComparison`] summarises a
+//! whole set of schemes over the same stream so that relative savings
+//! (e.g. "6 % lower than the best conventional scheme") can be computed.
+
+use crate::burst::{Burst, BusState};
+use crate::cost::{CostBreakdown, CostWeights};
+use crate::schemes::DbiEncoder;
+use core::fmt;
+
+/// Running totals for one encoding scheme over a stream of bursts.
+///
+/// ```
+/// use dbi_core::{Burst, BusState, SchemeStats};
+/// use dbi_core::schemes::{DbiEncoder, DcEncoder};
+///
+/// let mut stats = SchemeStats::new("DBI DC");
+/// let encoder = DcEncoder::new();
+/// let state = BusState::idle();
+/// for burst in [Burst::paper_example(), Burst::from_array([0u8; 8])] {
+///     stats.record(&encoder.encode(&burst, &state).breakdown(&state));
+/// }
+/// assert_eq!(stats.bursts(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeStats {
+    name: String,
+    total: CostBreakdown,
+    bursts: u64,
+}
+
+impl SchemeStats {
+    /// Creates an empty accumulator labelled with the scheme name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        SchemeStats { name: name.into(), total: CostBreakdown::ZERO, bursts: 0 }
+    }
+
+    /// Adds the activity of one burst.
+    pub fn record(&mut self, breakdown: &CostBreakdown) {
+        self.total += *breakdown;
+        self.bursts += 1;
+    }
+
+    /// Scheme label.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of recorded bursts.
+    #[must_use]
+    pub const fn bursts(&self) -> u64 {
+        self.bursts
+    }
+
+    /// Total activity over all recorded bursts.
+    #[must_use]
+    pub const fn total(&self) -> CostBreakdown {
+        self.total
+    }
+
+    /// Mean number of transmitted zeros per burst.
+    #[must_use]
+    pub fn mean_zeros(&self) -> f64 {
+        self.mean(self.total.zeros)
+    }
+
+    /// Mean number of lane transitions per burst.
+    #[must_use]
+    pub fn mean_transitions(&self) -> f64 {
+        self.mean(self.total.transitions)
+    }
+
+    /// Mean weighted cost per burst for the given coefficients, in the same
+    /// abstract units as Figs. 3 and 4 (α per transition, β per zero).
+    #[must_use]
+    pub fn mean_cost(&self, alpha: f64, beta: f64) -> f64 {
+        if self.bursts == 0 {
+            return 0.0;
+        }
+        (alpha * self.total.transitions as f64 + beta * self.total.zeros as f64)
+            / self.bursts as f64
+    }
+
+    /// Mean weighted integer cost per burst.
+    #[must_use]
+    pub fn mean_weighted(&self, weights: &CostWeights) -> f64 {
+        self.mean(self.total.weighted(weights))
+    }
+
+    /// Mean physical energy per burst given per-event energies in joules.
+    #[must_use]
+    pub fn mean_energy(&self, energy_per_zero: f64, energy_per_transition: f64) -> f64 {
+        if self.bursts == 0 {
+            return 0.0;
+        }
+        self.total.energy(energy_per_zero, energy_per_transition) / self.bursts as f64
+    }
+
+    fn mean(&self, value: u64) -> f64 {
+        if self.bursts == 0 {
+            0.0
+        } else {
+            value as f64 / self.bursts as f64
+        }
+    }
+}
+
+impl fmt::Display for SchemeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.2} zeros/burst, {:.2} transitions/burst over {} bursts",
+            self.name,
+            self.mean_zeros(),
+            self.mean_transitions(),
+            self.bursts
+        )
+    }
+}
+
+/// Evaluates a set of schemes over the same burst stream, tracking the bus
+/// state independently per scheme (each scheme sees the lane history its
+/// own encodings produced, exactly as real hardware would).
+#[derive(Debug)]
+pub struct SchemeComparison<E> {
+    entries: Vec<ComparisonEntry<E>>,
+}
+
+#[derive(Debug)]
+struct ComparisonEntry<E> {
+    encoder: E,
+    state: BusState,
+    stats: SchemeStats,
+}
+
+impl<E: DbiEncoder> SchemeComparison<E> {
+    /// Creates a comparison over the given encoders, all starting from the
+    /// idle bus state.
+    #[must_use]
+    pub fn new(encoders: Vec<E>) -> Self {
+        Self::with_initial_state(encoders, BusState::idle())
+    }
+
+    /// Creates a comparison with an explicit initial bus state.
+    #[must_use]
+    pub fn with_initial_state(encoders: Vec<E>, state: BusState) -> Self {
+        let entries = encoders
+            .into_iter()
+            .map(|encoder| {
+                let stats = SchemeStats::new(encoder.name().to_owned());
+                ComparisonEntry { encoder, state, stats }
+            })
+            .collect();
+        SchemeComparison { entries }
+    }
+
+    /// Encodes `burst` with every scheme, records the activity and advances
+    /// each scheme's private bus state.
+    pub fn record(&mut self, burst: &Burst) {
+        for entry in &mut self.entries {
+            let encoded = entry.encoder.encode(burst, &entry.state);
+            entry.stats.record(&encoded.breakdown(&entry.state));
+            entry.state = encoded.final_state(&entry.state);
+        }
+    }
+
+    /// Encodes `burst` with every scheme but resets the bus state to idle
+    /// before each burst, matching the paper's per-burst boundary condition.
+    pub fn record_isolated(&mut self, burst: &Burst) {
+        let idle = BusState::idle();
+        for entry in &mut self.entries {
+            let encoded = entry.encoder.encode(burst, &idle);
+            entry.stats.record(&encoded.breakdown(&idle));
+        }
+    }
+
+    /// The accumulated statistics, in the order the encoders were given.
+    #[must_use]
+    pub fn stats(&self) -> Vec<&SchemeStats> {
+        self.entries.iter().map(|e| &e.stats).collect()
+    }
+
+    /// Statistics for the scheme with the given name, if present.
+    #[must_use]
+    pub fn stats_for(&self, name: &str) -> Option<&SchemeStats> {
+        self.entries.iter().map(|e| &e.stats).find(|s| s.name() == name)
+    }
+
+    /// Number of schemes under comparison.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no schemes are being compared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Scheme;
+
+    #[test]
+    fn empty_stats_report_zero_means() {
+        let stats = SchemeStats::new("empty");
+        assert_eq!(stats.bursts(), 0);
+        assert_eq!(stats.mean_zeros(), 0.0);
+        assert_eq!(stats.mean_transitions(), 0.0);
+        assert_eq!(stats.mean_cost(0.5, 0.5), 0.0);
+        assert_eq!(stats.mean_energy(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn means_divide_by_burst_count() {
+        let mut stats = SchemeStats::new("x");
+        stats.record(&CostBreakdown::new(10, 20));
+        stats.record(&CostBreakdown::new(30, 40));
+        assert_eq!(stats.bursts(), 2);
+        assert_eq!(stats.total(), CostBreakdown::new(40, 60));
+        assert!((stats.mean_zeros() - 20.0).abs() < 1e-12);
+        assert!((stats.mean_transitions() - 30.0).abs() < 1e-12);
+        assert!((stats.mean_cost(1.0, 1.0) - 50.0).abs() < 1e-12);
+        assert!((stats.mean_weighted(&CostWeights::FIXED) - 50.0).abs() < 1e-12);
+        assert!((stats.mean_energy(2.0, 1.0) - (40.0 * 2.0 + 60.0) / 2.0).abs() < 1e-12);
+        assert!(stats.to_string().contains("zeros/burst"));
+    }
+
+    #[test]
+    fn comparison_tracks_per_scheme_state() {
+        let mut comparison = SchemeComparison::new(Scheme::paper_set());
+        comparison.record(&Burst::paper_example());
+        comparison.record(&Burst::from_array([0x00; 8]));
+        assert_eq!(comparison.len(), 5);
+        assert!(!comparison.is_empty());
+        for stats in comparison.stats() {
+            assert_eq!(stats.bursts(), 2);
+        }
+        assert!(comparison.stats_for("RAW").is_some());
+        assert!(comparison.stats_for("nope").is_none());
+    }
+
+    #[test]
+    fn isolated_recording_resets_the_state() {
+        // When every burst starts from the idle state, two identical bursts
+        // must contribute identical activity.
+        let mut comparison = SchemeComparison::new(vec![Scheme::Dc]);
+        let burst = Burst::paper_example();
+        comparison.record_isolated(&burst);
+        let after_one = comparison.stats()[0].total();
+        comparison.record_isolated(&burst);
+        let after_two = comparison.stats()[0].total();
+        assert_eq!(after_two.zeros, 2 * after_one.zeros);
+        assert_eq!(after_two.transitions, 2 * after_one.transitions);
+    }
+
+    #[test]
+    fn opt_mean_cost_is_never_above_dc_or_ac() {
+        let mut comparison = SchemeComparison::new(Scheme::paper_set());
+        // A deterministic pseudo-random byte stream.
+        let mut seed = 0x1234_5678u32;
+        for _ in 0..200 {
+            let mut bytes = [0u8; 8];
+            for b in &mut bytes {
+                seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                *b = (seed >> 24) as u8;
+            }
+            comparison.record_isolated(&Burst::from_array(bytes));
+        }
+        let opt = comparison.stats_for("DBI OPT").unwrap().mean_cost(0.5, 0.5);
+        let dc = comparison.stats_for("DBI DC").unwrap().mean_cost(0.5, 0.5);
+        let ac = comparison.stats_for("DBI AC").unwrap().mean_cost(0.5, 0.5);
+        assert!(opt <= dc + 1e-9);
+        assert!(opt <= ac + 1e-9);
+    }
+}

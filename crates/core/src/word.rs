@@ -1,0 +1,401 @@
+//! Lane-level word representation.
+//!
+//! A DBI-encoded byte occupies nine physical lanes: the eight DQ (data)
+//! lanes plus the DBI lane. [`LaneWord`] models the logic value driven on
+//! those nine lanes during one unit interval of a burst. The DBI lane
+//! carries a **zero** when the byte is transmitted inverted and a **one**
+//! when it is transmitted as-is, exactly as defined by the GDDR5/DDR4
+//! standards and Section I of the paper.
+
+use crate::error::{DbiError, Result};
+use core::fmt;
+
+/// Number of data (DQ) lanes per DBI group.
+pub const DATA_BITS: u32 = 8;
+/// Number of physical lanes per DBI group: eight DQ lanes plus the DBI lane.
+pub const LANE_BITS: u32 = 9;
+/// Bit mask covering all nine lanes.
+pub const LANE_MASK: u16 = 0x1FF;
+/// Bit position of the DBI lane inside a [`LaneWord`].
+pub const DBI_BIT: u32 = 8;
+
+/// Logic value of the DBI lane for one transmitted byte.
+///
+/// The polarity follows the JEDEC convention used in the paper: a **low**
+/// DBI lane marks an inverted payload, a **high** DBI lane marks a
+/// non-inverted payload.
+///
+/// ```
+/// use dbi_core::word::DbiBit;
+///
+/// assert_eq!(DbiBit::Inverted.line_level(), 0);
+/// assert_eq!(DbiBit::NotInverted.line_level(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DbiBit {
+    /// The eight DQ lanes carry the bitwise complement of the data byte;
+    /// the DBI lane is driven low (contributes one transmitted zero).
+    Inverted,
+    /// The eight DQ lanes carry the data byte unchanged; the DBI lane is
+    /// driven high.
+    NotInverted,
+}
+
+impl DbiBit {
+    /// Electrical level driven on the DBI lane (0 = low, 1 = high).
+    #[must_use]
+    pub const fn line_level(self) -> u16 {
+        match self {
+            DbiBit::Inverted => 0,
+            DbiBit::NotInverted => 1,
+        }
+    }
+
+    /// `true` when the payload is transmitted inverted.
+    #[must_use]
+    pub const fn is_inverted(self) -> bool {
+        matches!(self, DbiBit::Inverted)
+    }
+
+    /// Builds the flag from the boolean "invert this byte?" decision used by
+    /// the encoders.
+    #[must_use]
+    pub const fn from_invert(invert: bool) -> Self {
+        if invert {
+            DbiBit::Inverted
+        } else {
+            DbiBit::NotInverted
+        }
+    }
+}
+
+impl fmt::Display for DbiBit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbiBit::Inverted => write!(f, "inverted"),
+            DbiBit::NotInverted => write!(f, "not inverted"),
+        }
+    }
+}
+
+/// The logic levels driven on the nine lanes of one DBI group during one
+/// unit interval.
+///
+/// Bits 0–7 are the DQ lanes (bit *i* = DQ*i*), bit 8 is the DBI lane.
+/// The two quantities that matter for interface energy are exposed
+/// directly: [`LaneWord::zeros`] (DC termination current in a POD
+/// interface flows only while a lane is low) and
+/// [`LaneWord::transitions_from`] (each lane toggle charges or discharges
+/// the load capacitance).
+///
+/// ```
+/// use dbi_core::word::{DbiBit, LaneWord};
+///
+/// let idle = LaneWord::ALL_ONES;
+/// let word = LaneWord::from_byte_and_dbi(0b1000_1110, DbiBit::NotInverted);
+/// assert_eq!(word.zeros(), 4);
+/// assert_eq!(word.transitions_from(idle), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LaneWord(u16);
+
+impl LaneWord {
+    /// All nine lanes driven high — the paper's boundary condition before a
+    /// burst starts ("all lines transmitted ones prior to transmitting the
+    /// evaluated burst").
+    pub const ALL_ONES: LaneWord = LaneWord(LANE_MASK);
+
+    /// All nine lanes driven low. Worst case for termination energy.
+    pub const ALL_ZEROS: LaneWord = LaneWord(0);
+
+    /// Creates a lane word from a raw 9-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::InvalidLaneWord`] when `raw` has bits set above
+    /// bit 8.
+    pub fn new(raw: u16) -> Result<Self> {
+        if raw & !LANE_MASK != 0 {
+            return Err(DbiError::InvalidLaneWord(raw));
+        }
+        Ok(LaneWord(raw))
+    }
+
+    /// Creates a lane word from a data byte and an explicit DBI flag.
+    ///
+    /// When `dbi` is [`DbiBit::Inverted`] the payload placed on the DQ lanes
+    /// is the bitwise complement of `byte`, matching what a DBI transmitter
+    /// drives on the pins.
+    #[must_use]
+    pub const fn from_byte_and_dbi(byte: u8, dbi: DbiBit) -> Self {
+        let payload = match dbi {
+            DbiBit::Inverted => !byte,
+            DbiBit::NotInverted => byte,
+        };
+        LaneWord((payload as u16) | (dbi.line_level() << DBI_BIT))
+    }
+
+    /// Lane word that transmits `byte` with the given inversion decision.
+    ///
+    /// This is the encoder-facing constructor: `invert == true` produces an
+    /// inverted payload with a low DBI lane.
+    #[must_use]
+    pub const fn encode_byte(byte: u8, invert: bool) -> Self {
+        Self::from_byte_and_dbi(byte, DbiBit::from_invert(invert))
+    }
+
+    /// Raw 9-bit lane levels (bit 8 = DBI lane).
+    #[must_use]
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// The byte as observed on the DQ lanes (possibly inverted payload).
+    #[must_use]
+    pub const fn dq_levels(self) -> u8 {
+        (self.0 & 0xFF) as u8
+    }
+
+    /// The DBI flag carried by this word.
+    #[must_use]
+    pub const fn dbi(self) -> DbiBit {
+        if self.0 & (1 << DBI_BIT) == 0 {
+            DbiBit::Inverted
+        } else {
+            DbiBit::NotInverted
+        }
+    }
+
+    /// Recovers the original data byte by undoing the inversion signalled on
+    /// the DBI lane. This is exactly what the receiver in the DRAM (for
+    /// writes) or the memory controller (for reads) does.
+    #[must_use]
+    pub const fn decode(self) -> u8 {
+        match self.dbi() {
+            DbiBit::Inverted => !self.dq_levels(),
+            DbiBit::NotInverted => self.dq_levels(),
+        }
+    }
+
+    /// Number of lanes driven low, including the DBI lane.
+    ///
+    /// In a POD interface each low lane draws DC current through the
+    /// termination resistor, so this count is proportional to the
+    /// termination energy of the unit interval.
+    #[must_use]
+    pub const fn zeros(self) -> u32 {
+        LANE_BITS - self.ones()
+    }
+
+    /// Number of lanes driven high, including the DBI lane.
+    #[must_use]
+    pub const fn ones(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Number of lanes that toggle when the bus moves from `prev` to `self`.
+    ///
+    /// Each toggle charges or discharges the lane's load capacitance, so
+    /// this count is proportional to the dynamic switching energy.
+    #[must_use]
+    pub const fn transitions_from(self, prev: LaneWord) -> u32 {
+        (self.0 ^ prev.0).count_ones()
+    }
+
+    /// Returns the word with the payload inversion decision flipped while
+    /// still transmitting the same decoded data byte.
+    #[must_use]
+    pub const fn with_flipped_inversion(self) -> Self {
+        let byte = self.decode();
+        match self.dbi() {
+            DbiBit::Inverted => Self::from_byte_and_dbi(byte, DbiBit::NotInverted),
+            DbiBit::NotInverted => Self::from_byte_and_dbi(byte, DbiBit::Inverted),
+        }
+    }
+}
+
+impl Default for LaneWord {
+    /// The idle bus state: all lanes high.
+    fn default() -> Self {
+        LaneWord::ALL_ONES
+    }
+}
+
+impl fmt::Display for LaneWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:09b}", self.0)
+    }
+}
+
+impl fmt::Binary for LaneWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for LaneWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for LaneWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for LaneWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl From<LaneWord> for u16 {
+    fn from(word: LaneWord) -> u16 {
+        word.bits()
+    }
+}
+
+impl TryFrom<u16> for LaneWord {
+    type Error = DbiError;
+
+    fn try_from(raw: u16) -> Result<Self> {
+        LaneWord::new(raw)
+    }
+}
+
+/// Counts the zero bits in a plain data byte (8 bits, no DBI lane).
+///
+/// This is the quantity the DBI DC rule thresholds against: a byte with
+/// five or more zeros is cheaper to transmit inverted.
+#[must_use]
+pub const fn byte_zeros(byte: u8) -> u32 {
+    byte.count_zeros()
+}
+
+/// Counts the bit positions in which two data bytes differ.
+#[must_use]
+pub const fn byte_transitions(a: u8, b: u8) -> u32 {
+    (a ^ b).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ones_has_no_zeros() {
+        assert_eq!(LaneWord::ALL_ONES.zeros(), 0);
+        assert_eq!(LaneWord::ALL_ONES.ones(), 9);
+    }
+
+    #[test]
+    fn all_zeros_has_nine_zeros() {
+        assert_eq!(LaneWord::ALL_ZEROS.zeros(), 9);
+        assert_eq!(LaneWord::ALL_ZEROS.ones(), 0);
+    }
+
+    #[test]
+    fn new_rejects_out_of_range_values() {
+        assert_eq!(LaneWord::new(0x200), Err(DbiError::InvalidLaneWord(0x200)));
+        assert!(LaneWord::new(0x1FF).is_ok());
+        assert!(LaneWord::new(0).is_ok());
+    }
+
+    #[test]
+    fn non_inverted_word_keeps_payload() {
+        let w = LaneWord::from_byte_and_dbi(0xA5, DbiBit::NotInverted);
+        assert_eq!(w.dq_levels(), 0xA5);
+        assert_eq!(w.dbi(), DbiBit::NotInverted);
+        assert_eq!(w.decode(), 0xA5);
+    }
+
+    #[test]
+    fn inverted_word_complements_payload() {
+        let w = LaneWord::from_byte_and_dbi(0xA5, DbiBit::Inverted);
+        assert_eq!(w.dq_levels(), !0xA5);
+        assert_eq!(w.dbi(), DbiBit::Inverted);
+        assert_eq!(w.decode(), 0xA5);
+    }
+
+    #[test]
+    fn inverted_word_pays_for_the_dbi_zero() {
+        // 0xFF inverted becomes 0x00 on the DQ lanes plus a low DBI lane:
+        // nine zeros in total.
+        let w = LaneWord::from_byte_and_dbi(0xFF, DbiBit::Inverted);
+        assert_eq!(w.zeros(), 9);
+        // Non-inverted 0xFF has no zeros at all.
+        let w = LaneWord::from_byte_and_dbi(0xFF, DbiBit::NotInverted);
+        assert_eq!(w.zeros(), 0);
+    }
+
+    #[test]
+    fn paper_fig2_first_byte_edge_weights() {
+        // Fig. 2, byte 0 = 0b1000_1110, starting from the all-ones bus state,
+        // with alpha = beta = 1: non-inverted costs 8, inverted costs 10.
+        let byte = 0b1000_1110;
+        let ni = LaneWord::encode_byte(byte, false);
+        let inv = LaneWord::encode_byte(byte, true);
+        let start = LaneWord::ALL_ONES;
+        assert_eq!(ni.zeros() + ni.transitions_from(start), 8);
+        assert_eq!(inv.zeros() + inv.transitions_from(start), 10);
+    }
+
+    #[test]
+    fn transitions_are_symmetric_and_zero_on_identity() {
+        let a = LaneWord::encode_byte(0x3C, false);
+        let b = LaneWord::encode_byte(0xC3, true);
+        assert_eq!(a.transitions_from(b), b.transitions_from(a));
+        assert_eq!(a.transitions_from(a), 0);
+    }
+
+    #[test]
+    fn flipping_inversion_preserves_decoded_byte() {
+        for byte in [0x00u8, 0xFF, 0xA5, 0x5A, 0x12, 0xEF] {
+            let w = LaneWord::encode_byte(byte, false);
+            let flipped = w.with_flipped_inversion();
+            assert_eq!(flipped.decode(), byte);
+            assert_ne!(flipped.dbi(), w.dbi());
+        }
+    }
+
+    #[test]
+    fn default_is_idle_bus() {
+        assert_eq!(LaneWord::default(), LaneWord::ALL_ONES);
+    }
+
+    #[test]
+    fn formatting_traits_are_available() {
+        let w = LaneWord::encode_byte(0x0F, false);
+        assert_eq!(format!("{w}"), "100001111");
+        assert_eq!(format!("{w:x}"), "10f");
+        assert_eq!(format!("{w:X}"), "10F");
+        assert_eq!(format!("{w:b}"), "100001111");
+        assert_eq!(format!("{w:o}"), "417");
+    }
+
+    #[test]
+    fn conversions_to_and_from_u16() {
+        let w = LaneWord::encode_byte(0x55, true);
+        let raw: u16 = w.into();
+        assert_eq!(LaneWord::try_from(raw).unwrap(), w);
+        assert!(LaneWord::try_from(0xFFFF).is_err());
+    }
+
+    #[test]
+    fn byte_helpers_match_std_popcount() {
+        assert_eq!(byte_zeros(0x00), 8);
+        assert_eq!(byte_zeros(0xFF), 0);
+        assert_eq!(byte_zeros(0x0F), 4);
+        assert_eq!(byte_transitions(0x00, 0xFF), 8);
+        assert_eq!(byte_transitions(0xAA, 0xAA), 0);
+        assert_eq!(byte_transitions(0xAA, 0x55), 8);
+    }
+
+    #[test]
+    fn dbi_bit_display() {
+        assert_eq!(DbiBit::Inverted.to_string(), "inverted");
+        assert_eq!(DbiBit::NotInverted.to_string(), "not inverted");
+    }
+}

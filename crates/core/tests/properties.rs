@@ -1,0 +1,174 @@
+//! Property-based tests for the core DBI invariants.
+//!
+//! These cover the claims the paper's argument rests on:
+//! * every scheme is lossless (the receiver recovers the payload),
+//! * the DP optimal encoder equals the brute-force oracle for any burst and
+//!   any coefficients,
+//! * DBI DC bounds the zeros per word, DBI AC never increases transitions,
+//! * DBI ACDC equals DBI AC under the idle boundary condition,
+//! * the optimal encoder is never worse than any other scheme.
+
+use dbi_core::schemes::{
+    AcDcEncoder, AcEncoder, DbiEncoder, DcEncoder, ExhaustiveEncoder, GreedyEncoder, OptEncoder,
+    RawEncoder,
+};
+use dbi_core::{Burst, BusState, CostBreakdown, CostWeights, LaneWord, ParetoFront};
+use proptest::prelude::*;
+
+/// Strategy producing a standard-length burst of arbitrary bytes.
+fn burst_strategy() -> impl Strategy<Value = Burst> {
+    proptest::collection::vec(any::<u8>(), 1..=10).prop_map(|bytes| Burst::new(bytes).unwrap())
+}
+
+/// Strategy producing an arbitrary previous bus state.
+fn state_strategy() -> impl Strategy<Value = BusState> {
+    (0u16..512).prop_map(|raw| BusState::new(LaneWord::new(raw).unwrap()))
+}
+
+/// Strategy producing valid, non-degenerate cost weights.
+fn weights_strategy() -> impl Strategy<Value = CostWeights> {
+    (0u32..=7, 0u32..=7)
+        .prop_filter("at least one coefficient must be non-zero", |(a, b)| *a != 0 || *b != 0)
+        .prop_map(|(a, b)| CostWeights::new(a, b).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_scheme_is_lossless(burst in burst_strategy(), state in state_strategy(), weights in weights_strategy()) {
+        let encoders: Vec<Box<dyn DbiEncoder>> = vec![
+            Box::new(RawEncoder::new()),
+            Box::new(DcEncoder::new()),
+            Box::new(AcEncoder::new()),
+            Box::new(AcDcEncoder::new()),
+            Box::new(GreedyEncoder::new(weights)),
+            Box::new(OptEncoder::new(weights)),
+        ];
+        for encoder in &encoders {
+            let encoded = encoder.encode(&burst, &state);
+            prop_assert_eq!(encoded.decode(), burst.clone(), "{} must be lossless", encoder.name());
+            prop_assert_eq!(encoded.len(), burst.len());
+        }
+    }
+
+    #[test]
+    fn optimal_equals_exhaustive(burst in burst_strategy(), state in state_strategy(), weights in weights_strategy()) {
+        let opt = OptEncoder::new(weights).encode(&burst, &state);
+        let oracle = ExhaustiveEncoder::new(weights).encode(&burst, &state);
+        prop_assert_eq!(
+            opt.cost(&state, &weights),
+            oracle.cost(&state, &weights),
+            "DP optimum must match brute force for {} with {}", burst, weights
+        );
+    }
+
+    #[test]
+    fn optimal_never_worse_than_any_other_scheme(burst in burst_strategy(), state in state_strategy(), weights in weights_strategy()) {
+        let opt_cost = OptEncoder::new(weights).encode(&burst, &state).cost(&state, &weights);
+        let others: Vec<Box<dyn DbiEncoder>> = vec![
+            Box::new(RawEncoder::new()),
+            Box::new(DcEncoder::new()),
+            Box::new(AcEncoder::new()),
+            Box::new(AcDcEncoder::new()),
+            Box::new(GreedyEncoder::new(weights)),
+        ];
+        for other in &others {
+            let cost = other.encode(&burst, &state).cost(&state, &weights);
+            prop_assert!(opt_cost <= cost, "OPT ({opt_cost}) worse than {} ({cost})", other.name());
+        }
+    }
+
+    #[test]
+    fn dc_bounds_zeros_per_word(burst in burst_strategy(), state in state_strategy()) {
+        let encoded = DcEncoder::new().encode(&burst, &state);
+        for word in encoded.symbols() {
+            prop_assert!(word.zeros() <= 4, "DBI DC transmitted {} zeros in one interval", word.zeros());
+        }
+    }
+
+    #[test]
+    fn ac_never_increases_transitions(burst in burst_strategy(), state in state_strategy()) {
+        let ac = AcEncoder::new().encode(&burst, &state).breakdown(&state);
+        let raw = RawEncoder::new().encode(&burst, &state).breakdown(&state);
+        prop_assert!(ac.transitions <= raw.transitions);
+    }
+
+    #[test]
+    fn ac_is_transition_optimal(burst in burst_strategy(), state in state_strategy()) {
+        // DBI AC minimises transitions globally (the reason its curve touches
+        // DBI OPT at DC cost 0 in Fig. 3).
+        let weights = CostWeights::AC_ONLY;
+        let ac = AcEncoder::new().encode(&burst, &state).cost(&state, &weights);
+        let oracle = ExhaustiveEncoder::new(weights).encode(&burst, &state).cost(&state, &weights);
+        prop_assert_eq!(ac, oracle);
+    }
+
+    #[test]
+    fn dc_is_zero_optimal(burst in burst_strategy(), state in state_strategy()) {
+        let weights = CostWeights::DC_ONLY;
+        let dc = DcEncoder::new().encode(&burst, &state).cost(&state, &weights);
+        let oracle = ExhaustiveEncoder::new(weights).encode(&burst, &state).cost(&state, &weights);
+        prop_assert_eq!(dc, oracle);
+    }
+
+    #[test]
+    fn acdc_equals_ac_from_idle(burst in burst_strategy()) {
+        // Section II: with all lanes idle high before the burst, DBI ACDC and
+        // DBI AC make identical decisions.
+        let state = BusState::idle();
+        let acdc = AcDcEncoder::new().encode(&burst, &state);
+        let ac = AcEncoder::new().encode(&burst, &state);
+        prop_assert_eq!(acdc.mask(), ac.mask());
+    }
+
+    #[test]
+    fn opt_lands_on_the_pareto_front(burst in proptest::collection::vec(any::<u8>(), 1..=8).prop_map(|b| Burst::new(b).unwrap()), weights in weights_strategy()) {
+        let state = BusState::idle();
+        let front = ParetoFront::of_burst(&burst, &state).unwrap();
+        let breakdown = OptEncoder::new(weights).encode(&burst, &state).breakdown(&state);
+        prop_assert!(front.contains(breakdown));
+    }
+
+    #[test]
+    fn breakdown_of_concatenated_bursts_is_additive(
+        first in burst_strategy(),
+        second in burst_strategy(),
+        state in state_strategy(),
+        weights in weights_strategy(),
+    ) {
+        // Encoding a stream burst-by-burst while carrying the bus state is
+        // energy-consistent: the totals add up across the boundary.
+        let opt = OptEncoder::new(weights);
+        let enc1 = opt.encode(&first, &state);
+        let mid = enc1.final_state(&state);
+        let enc2 = opt.encode(&second, &mid);
+        let total = enc1.breakdown(&state) + enc2.breakdown(&mid);
+        let recomputed = CostBreakdown::of_symbols(
+            &[enc1.symbols(), enc2.symbols()].concat(),
+            &state,
+        );
+        prop_assert_eq!(total, recomputed);
+    }
+
+    #[test]
+    fn lane_word_complement_relationship(byte in any::<u8>()) {
+        // The inverted and non-inverted transmissions of a byte are exact
+        // 9-bit complements, which is why zeros(plain) + zeros(inverted) = 9.
+        let plain = LaneWord::encode_byte(byte, false);
+        let inverted = LaneWord::encode_byte(byte, true);
+        prop_assert_eq!(plain.bits() ^ inverted.bits(), 0x1FF);
+        prop_assert_eq!(plain.zeros() + inverted.zeros(), 9);
+    }
+
+    #[test]
+    fn transitions_metric_is_a_valid_distance(a in 0u16..512, b in 0u16..512, c in 0u16..512) {
+        let wa = LaneWord::new(a).unwrap();
+        let wb = LaneWord::new(b).unwrap();
+        let wc = LaneWord::new(c).unwrap();
+        // Symmetry, identity and the triangle inequality of the Hamming metric.
+        prop_assert_eq!(wa.transitions_from(wb), wb.transitions_from(wa));
+        prop_assert_eq!(wa.transitions_from(wa), 0);
+        prop_assert!(wa.transitions_from(wc) <= wa.transitions_from(wb) + wb.transitions_from(wc));
+    }
+}

@@ -1,0 +1,200 @@
+//! Ablation studies of the design choices behind DBI OPT.
+//!
+//! Two questions the paper answers qualitatively are quantified here:
+//!
+//! 1. **Coefficient resolution** — Section III argues the coefficients "do
+//!    not need to be very accurate"; Table I shows that 3-bit programmable
+//!    coefficients are not worth their hardware cost. The
+//!    [`coefficient_resolution_study`] measures the interface-energy loss
+//!    of quantising α/β to 1–6 bits (and of fixing them to 1/1) relative
+//!    to an ideally-tuned encoder across the Fig. 7 data-rate sweep.
+//! 2. **Burst length** — the shortest-path formulation works for any burst
+//!    length. The [`burst_length_study`] measures how the advantage of the
+//!    optimal encoder over the best conventional scheme grows with the
+//!    burst length (longer bursts give the trellis more freedom).
+
+use crate::report::Table;
+use dbi_core::{Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, Scheme};
+use dbi_phy::fig7_operating_point;
+use dbi_workloads::UniformRandomBursts;
+use dbi_workloads::BurstSource;
+
+/// Result of the coefficient-resolution ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolutionStudy {
+    /// `(label, mean loss, worst-case loss)` — losses are fractions of the
+    /// ideally-tuned encoder's interface energy, over the data-rate sweep.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+impl ResolutionStudy {
+    /// Renders the study as a printable table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "Ablation — energy loss vs. ideally tuned coefficients (1-20 Gbps, POD135, 3 pF)",
+            vec!["coefficients".into(), "mean loss".into(), "worst-case loss".into()],
+        );
+        for (label, mean, worst) in &self.rows {
+            table.push_row(vec![
+                label.clone(),
+                format!("{:.2}%", mean * 100.0),
+                format!("{:.2}%", worst * 100.0),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs the coefficient-resolution ablation over the given bursts.
+///
+/// For every data rate of the Fig. 7 sweep the "ideal" reference encoder
+/// uses 16-bit quantised coefficients derived from the physical energy
+/// ratio; each ablated variant is compared against it.
+#[must_use]
+pub fn coefficient_resolution_study(bursts: &[Burst]) -> ResolutionStudy {
+    let state = BusState::idle();
+    let rates: Vec<f64> = (1..=20).map(f64::from).collect();
+
+    // Candidate coefficient policies: fixed 1/1 and 1..=6 bit quantisation.
+    let mut policies: Vec<(String, Option<u32>)> =
+        vec![("fixed alpha=beta=1".into(), None)];
+    for bits in 1..=6u32 {
+        policies.push((format!("{bits}-bit quantised"), Some(bits)));
+    }
+
+    let energy_of = |weights: CostWeights, e_zero: f64, e_transition: f64| -> f64 {
+        let scheme = Scheme::Opt(weights);
+        let activity: CostBreakdown =
+            bursts.iter().map(|b| scheme.encode(b, &state).breakdown(&state)).sum();
+        activity.energy(e_zero, e_transition)
+    };
+
+    let mut rows = Vec::new();
+    for (label, bits) in policies {
+        let mut losses = Vec::new();
+        for &gbps in &rates {
+            let model = fig7_operating_point(gbps).expect("rates are positive");
+            let e_zero = model.energy_per_zero_j();
+            let e_transition = model.energy_per_transition_j();
+            let ideal_weights = model.quantised_weights(16).expect("energies are positive");
+            let ideal = energy_of(ideal_weights, e_zero, e_transition);
+            let candidate_weights = match bits {
+                None => CostWeights::FIXED,
+                Some(bits) => model.quantised_weights(bits).expect("energies are positive"),
+            };
+            let candidate = energy_of(candidate_weights, e_zero, e_transition);
+            losses.push((candidate - ideal) / ideal);
+        }
+        let mean = losses.iter().sum::<f64>() / losses.len() as f64;
+        let worst = losses.iter().cloned().fold(0.0, f64::max);
+        rows.push((label, mean, worst));
+    }
+    ResolutionStudy { rows }
+}
+
+/// Result of the burst-length ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstLengthStudy {
+    /// `(burst length, OPT saving vs. best of DC/AC at alpha = beta)`.
+    pub rows: Vec<(usize, f64)>,
+}
+
+impl BurstLengthStudy {
+    /// Renders the study as a printable table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "Ablation — OPT advantage vs. burst length (alpha = beta, random data)",
+            vec!["burst length".into(), "saving vs best of DC/AC".into()],
+        );
+        for (len, saving) in &self.rows {
+            table.push_row(vec![len.to_string(), format!("{:.2}%", saving * 100.0)]);
+        }
+        table
+    }
+}
+
+/// Runs the burst-length ablation: for each length, random bursts of that
+/// length are encoded with DC, AC and OPT (α = β = 1) and the relative
+/// saving of OPT over the best conventional scheme is reported.
+#[must_use]
+pub fn burst_length_study(lengths: &[usize], bursts_per_length: usize, seed: u64) -> BurstLengthStudy {
+    let state = BusState::idle();
+    let weights = CostWeights::FIXED;
+    let rows = lengths
+        .iter()
+        .filter(|&&len| len > 0)
+        .map(|&len| {
+            let mut source = UniformRandomBursts::with_seed_and_len(seed ^ len as u64, len);
+            let bursts = source.take_bursts(bursts_per_length);
+            let cost = |scheme: Scheme| -> f64 {
+                bursts
+                    .iter()
+                    .map(|b| scheme.encode(b, &state).cost(&state, &weights) as f64)
+                    .sum::<f64>()
+            };
+            let best = cost(Scheme::Dc).min(cost(Scheme::Ac));
+            let opt = cost(Scheme::Opt(weights));
+            (len, (best - opt) / best)
+        })
+        .collect();
+    BurstLengthStudy { rows }
+}
+
+/// The burst lengths covered by the ablation: a GDDR5X half burst up to a
+/// 32-beat packetised burst.
+#[must_use]
+pub fn standard_lengths() -> Vec<usize> {
+    vec![2, 4, 8, 16, 32]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bursts() -> Vec<Burst> {
+        UniformRandomBursts::with_seed(77).take_bursts(400)
+    }
+
+    #[test]
+    fn finer_coefficients_never_do_worse_on_average() {
+        let study = coefficient_resolution_study(&bursts());
+        assert_eq!(study.rows.len(), 7);
+        // Every policy is within a few percent of ideal (the paper's claim
+        // that coefficient accuracy barely matters).
+        for (label, mean, worst) in &study.rows {
+            assert!(*mean >= -1e-9, "{label}: negative loss {mean}");
+            assert!(*mean < 0.05, "{label}: mean loss {mean} too large");
+            assert!(*worst < 0.10, "{label}: worst loss {worst} too large");
+        }
+        // 6-bit quantisation is essentially ideal.
+        let six_bit = study.rows.iter().find(|(l, _, _)| l.starts_with("6-bit")).unwrap();
+        assert!(six_bit.1 < 0.005);
+        let table = study.to_table();
+        assert_eq!(table.len(), 7);
+        assert!(table.to_string().contains("fixed alpha=beta=1"));
+    }
+
+    #[test]
+    fn longer_bursts_widen_the_opt_advantage() {
+        let study = burst_length_study(&standard_lengths(), 300, 5);
+        assert_eq!(study.rows.len(), 5);
+        let saving_of = |len: usize| study.rows.iter().find(|(l, _)| *l == len).unwrap().1;
+        assert!(
+            saving_of(32) > saving_of(2),
+            "longer bursts should give the trellis more freedom: {:?}",
+            study.rows
+        );
+        for (_, saving) in &study.rows {
+            assert!(*saving >= -1e-9);
+        }
+        assert!(study.to_table().to_string().contains("burst length"));
+    }
+
+    #[test]
+    fn zero_lengths_are_skipped() {
+        let study = burst_length_study(&[0, 8], 50, 1);
+        assert_eq!(study.rows.len(), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! `reproduce` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce                 # run everything at paper scale (10 000 bursts)
+//! reproduce fig3 fig7       # run a subset
+//! reproduce --quick         # 1 000 bursts instead of 10 000 (CI-friendly)
+//! reproduce --csv fig8      # print CSV instead of aligned tables
+//! ```
+
+use dbi_experiments::{ablation, extensions, fig2, fig3, fig7, fig8, table1, Experiment, Table};
+use dbi_workloads::{BurstSource, UniformRandomBursts};
+
+struct Options {
+    csv: bool,
+    burst_count: usize,
+    experiments: Vec<Experiment>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut csv = false;
+    let mut burst_count = dbi_workloads::random::PAPER_BURST_COUNT;
+    let mut experiments = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--csv" => csv = true,
+            "--quick" => burst_count = 1_000,
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: reproduce [--csv] [--quick] [{}]",
+                    Experiment::all().map(|e| e.name()).join("|")
+                ))
+            }
+            name => match Experiment::parse(name) {
+                Some(exp) => experiments.push(exp),
+                None => return Err(format!("unknown experiment '{name}' (try --help)")),
+            },
+        }
+    }
+    if experiments.is_empty() {
+        experiments = Experiment::all().to_vec();
+    }
+    Ok(Options { csv, burst_count, experiments })
+}
+
+fn print_table(table: &Table, csv: bool) {
+    if csv {
+        println!("# {}", table.title());
+        print!("{}", table.to_csv());
+    } else {
+        println!("{table}");
+    }
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(if message.starts_with("usage:") { 0 } else { 2 });
+        }
+    };
+
+    println!(
+        "Reproducing 'Optimal DC/AC Data Bus Inversion Coding' (DATE 2018) — {} random bursts per sweep point\n",
+        options.burst_count
+    );
+    let bursts = UniformRandomBursts::new().take_bursts(options.burst_count);
+
+    for experiment in &options.experiments {
+        match experiment {
+            Experiment::Fig2 => {
+                let result = fig2::run();
+                print_table(&result.to_table(), options.csv);
+                println!(
+                    "start-edge weights: {} (plain) / {} (inverted); optimal cost {}\n",
+                    result.start_edge_plain, result.start_edge_inverted, result.opt_cost
+                );
+            }
+            Experiment::Fig3 => {
+                let result = fig3::run_fig3(&bursts, 20);
+                print_table(&result.to_table("Fig. 3 — energy per burst vs. AC cost"), options.csv);
+                let (alpha, saving) = result.peak_opt_advantage();
+                println!(
+                    "peak OPT advantage over best conventional scheme: {:.2}% at alpha = {:.2}; DC/AC crossover at alpha = {}\n",
+                    saving * 100.0,
+                    alpha,
+                    result
+                        .dc_ac_crossover()
+                        .map(|a| format!("{a:.2}"))
+                        .unwrap_or_else(|| "none".into())
+                );
+            }
+            Experiment::Fig4 => {
+                let result = fig3::run_fig4(&bursts, 20);
+                print_table(
+                    &result.to_table("Fig. 4 — energy per burst vs. AC cost, incl. OPT(Fixed)"),
+                    options.csv,
+                );
+                let (_, fixed) = result.peak_fixed_advantage();
+                println!(
+                    "peak OPT(Fixed) advantage: {:.2}%; max loss vs. tunable OPT: {:.2}%\n",
+                    fixed * 100.0,
+                    result.max_fixed_coefficient_loss() * 100.0
+                );
+            }
+            Experiment::Table1 => {
+                let result = table1::run();
+                print_table(&result.to_table(), options.csv);
+                println!();
+            }
+            Experiment::Fig7 => {
+                let result = fig7::run(&bursts, &fig7::paper_rates(), 3.0);
+                print_table(&result.to_table(), options.csv);
+                if let Some((gbps, saving)) = result.best_operating_point() {
+                    println!(
+                        "OPT(Fixed) overtakes DC at {} Gbps; best operating point {} Gbps ({:.2}% below best conventional)\n",
+                        result
+                            .opt_fixed_beats_dc_from()
+                            .map(|g| format!("{g:.1}"))
+                            .unwrap_or_else(|| "n/a".into()),
+                        gbps,
+                        saving * 100.0
+                    );
+                }
+            }
+            Experiment::Fig8 => {
+                let result = fig8::run(
+                    &bursts,
+                    &fig7::paper_rates(),
+                    &fig8::paper_loads(),
+                    fig8::EncoderEnergies::from_synthesis(),
+                );
+                print_table(&result.to_table(), options.csv);
+                for curve in &result.curves {
+                    if let Some((gbps, normalized)) = curve.best_point() {
+                        println!(
+                            "  {} pF: best operating point {} Gbps, {:.2}% below best of DC/AC",
+                            curve.cload_pf,
+                            gbps,
+                            (1.0 - normalized) * 100.0
+                        );
+                    }
+                }
+                println!();
+            }
+            Experiment::Ablation => {
+                let resolution = ablation::coefficient_resolution_study(&bursts);
+                print_table(&resolution.to_table(), options.csv);
+                let lengths = ablation::burst_length_study(
+                    &ablation::standard_lengths(),
+                    options.burst_count.min(2_000),
+                    7,
+                );
+                print_table(&lengths.to_table(), options.csv);
+                println!();
+            }
+            Experiment::Extensions => {
+                let study = extensions::workload_study(7, 12.0);
+                print_table(&study.to_table(), options.csv);
+                println!("Extension — GDDR5X channel energy writing a 16 KiB pseudo-random buffer:");
+                for (scheme, nanojoules) in extensions::channel_study(16 * 1024) {
+                    println!("  {scheme:<18} {nanojoules:9.3} nJ");
+                }
+                println!();
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Extension experiments beyond the paper's evaluation.
+//!
+//! The paper evaluates on uniformly random bursts. These extensions apply
+//! the same methodology to structured synthetic workloads (zero-heavy,
+//! floating-point, text, framebuffer, correlated data) and to a full
+//! memory-channel simulation, to show how the advantage of optimal DBI
+//! coding shifts with data statistics. They are clearly labelled as
+//! extensions in EXPERIMENTS.md and make no claims about the paper's own
+//! numbers.
+
+use crate::report::{fmt_f64, Table};
+use dbi_core::{Burst, BusState, CostBreakdown, DbiEncoder, Scheme};
+use dbi_mem::{ChannelConfig, MemoryController};
+use dbi_phy::{fig7_operating_point, InterfaceEnergyModel};
+use dbi_workloads::standard_suite;
+
+/// Interface energy per burst of one scheme on one workload, plus its
+/// saving relative to RAW and to the best conventional scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadRow {
+    /// Workload name (from `dbi_workloads::standard_suite`).
+    pub workload: String,
+    /// `(scheme name, mean interface energy per burst in pJ)`.
+    pub energies_pj: Vec<(String, f64)>,
+}
+
+impl WorkloadRow {
+    /// Mean energy of the named scheme, if present.
+    #[must_use]
+    pub fn energy_of(&self, name: &str) -> Option<f64> {
+        self.energies_pj.iter().find(|(n, _)| n == name).map(|(_, e)| *e)
+    }
+
+    /// Relative saving of OPT(Fixed) versus the best of DC and AC.
+    #[must_use]
+    pub fn opt_saving_vs_conventional(&self) -> f64 {
+        let (Some(opt), Some(dc), Some(ac)) = (
+            self.energy_of("DBI OPT (Fixed)"),
+            self.energy_of("DBI DC"),
+            self.energy_of("DBI AC"),
+        ) else {
+            return 0.0;
+        };
+        let best = dc.min(ac);
+        if best > 0.0 {
+            (best - opt) / best
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The workload-sensitivity extension experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadStudy {
+    /// One row per workload.
+    pub rows: Vec<WorkloadRow>,
+    /// The operating point used (data rate in Gbps).
+    pub gbps: f64,
+}
+
+impl WorkloadStudy {
+    /// Renders the study as a printable table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut headers = vec!["workload".to_owned()];
+        if let Some(first) = self.rows.first() {
+            headers.extend(first.energies_pj.iter().map(|(n, _)| format!("{n} (pJ)")));
+        }
+        headers.push("OPT(Fixed) saving vs best DC/AC".to_owned());
+        let mut table = Table::new(
+            format!("Extension — workload sensitivity at {} Gbps, POD135, 3 pF", self.gbps),
+            headers,
+        );
+        for row in &self.rows {
+            let mut cells = vec![row.workload.clone()];
+            cells.extend(row.energies_pj.iter().map(|(_, e)| fmt_f64(*e)));
+            cells.push(format!("{:.1}%", row.opt_saving_vs_conventional() * 100.0));
+            table.push_row(cells);
+        }
+        table
+    }
+}
+
+/// The schemes compared by the extension experiments.
+fn extension_schemes() -> Vec<Scheme> {
+    vec![Scheme::Raw, Scheme::Dc, Scheme::Ac, Scheme::OptFixed]
+}
+
+/// Evaluates every scheme on every workload of the standard synthetic suite
+/// at the Fig. 7 operating point (`gbps`, POD135, 3 pF).
+#[must_use]
+pub fn workload_study(seed: u64, gbps: f64) -> WorkloadStudy {
+    let model: InterfaceEnergyModel =
+        fig7_operating_point(gbps.max(0.1)).expect("rate is clamped to a positive value");
+    let state = BusState::idle();
+    let rows = standard_suite(seed)
+        .into_iter()
+        .map(|(workload, bursts)| {
+            let energies_pj = extension_schemes()
+                .into_iter()
+                .map(|scheme| {
+                    let activity: CostBreakdown =
+                        bursts.iter().map(|b: &Burst| scheme.encode(b, &state).breakdown(&state)).sum();
+                    let mean_j = model.burst_energy_j(&activity) / bursts.len().max(1) as f64;
+                    (scheme.name().to_owned(), mean_j * 1e12)
+                })
+                .collect();
+            WorkloadRow { workload, energies_pj }
+        })
+        .collect();
+    WorkloadStudy { rows, gbps }
+}
+
+/// End-to-end channel comparison: writes the same pseudo-random buffer
+/// through a GDDR5X channel under every scheme and reports the total
+/// channel energy (interface + encoder) in nanojoules per scheme.
+#[must_use]
+pub fn channel_study(buffer_bytes: usize) -> Vec<(String, f64)> {
+    let encoder_energies = crate::fig8::EncoderEnergies::from_synthesis();
+    let mut data = vec![0u8; buffer_bytes.max(32) / 32 * 32];
+    let mut seed = 0x00C0_FFEEu32;
+    for byte in &mut data {
+        seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        *byte = (seed >> 24) as u8;
+    }
+    extension_schemes()
+        .into_iter()
+        .map(|scheme| {
+            let encoder_j = match scheme {
+                Scheme::Dc => encoder_energies.dc_j,
+                Scheme::Ac => encoder_energies.ac_j,
+                Scheme::OptFixed => encoder_energies.opt_fixed_j,
+                _ => 0.0,
+            };
+            let mut controller = MemoryController::new(ChannelConfig::gddr5x(), scheme)
+                .with_encoding_energy(encoder_j);
+            controller.write_buffer(0, &data).expect("the buffer is sized to the access granularity");
+            (scheme.name().to_owned(), controller.totals().total_energy_j() * 1e9)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_study_covers_the_suite() {
+        let study = workload_study(3, 12.0);
+        assert_eq!(study.rows.len(), 6);
+        for row in &study.rows {
+            assert_eq!(row.energies_pj.len(), 4);
+            assert!(row.energy_of("RAW").unwrap() > 0.0);
+            assert!(row.energy_of("nope").is_none());
+        }
+        let table = study.to_table();
+        assert_eq!(table.len(), 6);
+        assert!(table.to_string().contains("framebuffer"));
+    }
+
+    #[test]
+    fn opt_fixed_never_loses_to_both_conventional_schemes() {
+        let study = workload_study(3, 12.0);
+        for row in &study.rows {
+            assert!(
+                row.opt_saving_vs_conventional() >= -1e-9,
+                "{}: OPT(Fixed) should never be worse than the best of DC/AC",
+                row.workload
+            );
+        }
+    }
+
+    #[test]
+    fn zero_heavy_data_is_cheaper_than_random_for_every_scheme() {
+        let study = workload_study(3, 12.0);
+        let energy = |workload: &str| {
+            study
+                .rows
+                .iter()
+                .find(|r| r.workload == workload)
+                .and_then(|r| r.energy_of("DBI OPT (Fixed)"))
+                .unwrap()
+        };
+        assert!(energy("zero-heavy") < energy("uniform random") * 1.2);
+    }
+
+    #[test]
+    fn channel_study_orders_raw_worst() {
+        let results = channel_study(32 * 64);
+        assert_eq!(results.len(), 4);
+        let get = |name: &str| results.iter().find(|(n, _)| n == name).map(|(_, e)| *e).unwrap();
+        assert!(get("DBI OPT (Fixed)") < get("RAW"));
+        assert!(get("DBI DC") < get("RAW"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Experiment E1 — Fig. 2: the worked shortest-path example.
+//!
+//! Reproduces the numbers printed in Fig. 2 of the paper for its example
+//! burst: the DBI DC encoding (26 zeros / 42 transitions), the DBI AC
+//! encoding (43 zeros / 22 transitions), the optimal cost of 52 with
+//! α = β = 1, the edge weights out of the start node (8 and 10) and the
+//! Pareto-optimal encoding options.
+
+use crate::report::Table;
+use dbi_core::graph::{Trellis, TrellisNode};
+use dbi_core::schemes::{AcEncoder, DcEncoder, OptEncoder};
+use dbi_core::{Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, ParetoFront};
+
+/// The reproduced quantities of Fig. 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Result {
+    /// Zeros/transitions of the DBI DC encoding of the example burst.
+    pub dc: CostBreakdown,
+    /// Zeros/transitions of the DBI AC encoding of the example burst.
+    pub ac: CostBreakdown,
+    /// Zeros/transitions of the optimal encoding with α = β = 1.
+    pub opt: CostBreakdown,
+    /// Total cost of the optimal encoding (zeros + transitions, α = β = 1).
+    pub opt_cost: u64,
+    /// Weight of the start edge into the non-inverted first byte.
+    pub start_edge_plain: u64,
+    /// Weight of the start edge into the inverted first byte.
+    pub start_edge_inverted: u64,
+    /// The Pareto-optimal (zeros, transitions) pairs of the example burst.
+    pub pareto: Vec<(u64, u64)>,
+}
+
+impl Fig2Result {
+    /// Renders the result as a printable table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "Fig. 2 — optimal DBI encoding as a shortest-path problem (example burst)",
+            vec!["quantity".into(), "zeros (DC)".into(), "transitions (AC)".into(), "cost".into()],
+        );
+        let mut row = |name: &str, b: CostBreakdown| {
+            table.push_row(vec![
+                name.into(),
+                b.zeros.to_string(),
+                b.transitions.to_string(),
+                (b.zeros + b.transitions).to_string(),
+            ]);
+        };
+        row("DBI DC", self.dc);
+        row("DBI AC", self.ac);
+        row("DBI OPT (alpha=beta=1)", self.opt);
+        for (zeros, transitions) in &self.pareto {
+            table.push_row(vec![
+                "pareto option".into(),
+                zeros.to_string(),
+                transitions.to_string(),
+                (zeros + transitions).to_string(),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs the Fig. 2 experiment on the paper's example burst.
+#[must_use]
+pub fn run() -> Fig2Result {
+    let burst = Burst::paper_example();
+    let state = BusState::idle();
+    let weights = CostWeights::FIXED;
+
+    let dc = DcEncoder::new().encode(&burst, &state).breakdown(&state);
+    let ac = AcEncoder::new().encode(&burst, &state).breakdown(&state);
+    let opt_encoded = OptEncoder::new(weights).encode(&burst, &state);
+    let opt = opt_encoded.breakdown(&state);
+
+    let trellis = Trellis::build(&burst, &state, weights);
+    let start_edge_plain = trellis
+        .edge_weight(TrellisNode::Start, TrellisNode::Byte { index: 0, inverted: false })
+        .expect("the start node always has an edge to byte 0");
+    let start_edge_inverted = trellis
+        .edge_weight(TrellisNode::Start, TrellisNode::Byte { index: 0, inverted: true })
+        .expect("the start node always has an edge to byte 0 (inverted)");
+
+    let pareto = ParetoFront::of_burst(&burst, &state)
+        .expect("the example burst is 8 bytes, well inside the exhaustive limit")
+        .points()
+        .iter()
+        .map(|p| (p.zeros(), p.transitions()))
+        .collect();
+
+    Fig2Result {
+        dc,
+        ac,
+        opt,
+        opt_cost: opt.weighted(&weights),
+        start_edge_plain,
+        start_edge_inverted,
+        pareto,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_published_numbers() {
+        let result = run();
+        assert_eq!(result.dc, CostBreakdown::new(26, 42));
+        assert_eq!(result.ac, CostBreakdown::new(43, 22));
+        assert_eq!(result.opt_cost, 52);
+        assert_eq!(result.start_edge_plain, 8);
+        assert_eq!(result.start_edge_inverted, 10);
+    }
+
+    #[test]
+    fn pareto_front_contains_the_balanced_options() {
+        let result = run();
+        for pair in [(27, 28), (28, 24), (29, 23)] {
+            assert!(result.pareto.contains(&pair), "missing {pair:?} in {:?}", result.pareto);
+        }
+        // The extremes found by DC and AC are on the front too.
+        assert!(result.pareto.contains(&(26, 42)));
+        assert!(result.pareto.contains(&(43, 22)));
+    }
+
+    #[test]
+    fn table_rendering_includes_every_scheme() {
+        let table = run().to_table();
+        let text = table.to_string();
+        assert!(text.contains("DBI DC"));
+        assert!(text.contains("DBI AC"));
+        assert!(text.contains("DBI OPT"));
+        assert!(table.len() >= 3 + 5);
+    }
+}

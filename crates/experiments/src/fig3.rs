@@ -1,0 +1,199 @@
+//! Experiments E2/E3 — Figs. 3 and 4: energy per burst versus the AC cost.
+//!
+//! The paper sweeps the cost per transition α from 0 to 1 (with β = 1 − α)
+//! over 10 000 random bursts and plots the mean cost per burst of RAW,
+//! DBI DC, DBI AC and DBI OPT (Fig. 3), adding the fixed-coefficient
+//! variant in Fig. 4. The headline numbers are a ≈ 6.75 % peak advantage of
+//! the optimal scheme over the best conventional one near the DC/AC
+//! crossover (α ≈ 0.56), shrinking only marginally (to ≈ 6.58 %) when the
+//! coefficients are fixed to α = β = 1.
+
+use crate::report::{fmt_f64, Table};
+use dbi_core::analysis::{peak_advantage, sweep_alpha, SweepPoint};
+use dbi_core::{Burst, CostWeights, Scheme};
+use dbi_workloads::{BurstSource, UniformRandomBursts};
+
+/// Resolution (denominator) used to quantise α into integer coefficients
+/// for the tunable optimal encoder during the sweep.
+pub const SWEEP_RESOLUTION: u32 = 64;
+
+/// The result of the Fig. 3 / Fig. 4 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Mean cost per burst of every scheme at every sweep point.
+    pub points: Vec<SweepPoint>,
+    /// Number of bursts evaluated per point.
+    pub burst_count: usize,
+}
+
+impl SweepResult {
+    /// Peak relative advantage of the tunable optimal scheme over the best
+    /// conventional scheme, as `(alpha, saving fraction)`.
+    #[must_use]
+    pub fn peak_opt_advantage(&self) -> (f64, f64) {
+        peak_advantage(&self.points, "DBI OPT").unwrap_or((0.0, 0.0))
+    }
+
+    /// Peak relative advantage of the fixed-coefficient scheme over the
+    /// best conventional scheme.
+    #[must_use]
+    pub fn peak_fixed_advantage(&self) -> (f64, f64) {
+        peak_advantage(&self.points, "DBI OPT (Fixed)").unwrap_or((0.0, 0.0))
+    }
+
+    /// The α at which DBI AC becomes cheaper than DBI DC (the crossover the
+    /// paper reports at α ≈ 0.56), if it occurs inside the sweep.
+    #[must_use]
+    pub fn dc_ac_crossover(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| match (p.cost_of("DBI AC"), p.cost_of("DBI DC")) {
+                (Some(ac), Some(dc)) => ac < dc,
+                _ => false,
+            })
+            .map(|p| p.alpha)
+    }
+
+    /// Largest efficiency loss of the fixed-coefficient scheme relative to
+    /// the tunable optimal scheme, as a fraction of the tunable cost (the
+    /// shaded area of Fig. 4).
+    #[must_use]
+    pub fn max_fixed_coefficient_loss(&self) -> f64 {
+        self.points
+            .iter()
+            .filter_map(|p| {
+                let opt = p.cost_of("DBI OPT")?;
+                let fixed = p.cost_of("DBI OPT (Fixed)")?;
+                if opt > 0.0 {
+                    Some((fixed - opt) / opt)
+                } else {
+                    None
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the sweep as a printable table (one row per α).
+    #[must_use]
+    pub fn to_table(&self, title: &str) -> Table {
+        let mut headers = vec!["AC cost (alpha)".to_owned(), "DC cost (beta)".to_owned()];
+        if let Some(first) = self.points.first() {
+            headers.extend(first.mean_costs.iter().map(|(name, _)| name.clone()));
+        }
+        let mut table = Table::new(title, headers);
+        for point in &self.points {
+            let mut row = vec![fmt_f64(point.alpha), fmt_f64(point.beta)];
+            row.extend(point.mean_costs.iter().map(|(_, cost)| fmt_f64(*cost)));
+            table.push_row(row);
+        }
+        table
+    }
+}
+
+/// Runs the Fig. 3 sweep (RAW, DC, AC, OPT) over the provided bursts.
+#[must_use]
+pub fn run_fig3(bursts: &[Burst], steps: usize) -> SweepResult {
+    let schemes =
+        vec![Scheme::Raw, Scheme::Dc, Scheme::Ac, Scheme::Opt(CostWeights::FIXED)];
+    SweepResult {
+        points: sweep_alpha(bursts, &schemes, steps, SWEEP_RESOLUTION),
+        burst_count: bursts.len(),
+    }
+}
+
+/// Runs the Fig. 4 sweep (Fig. 3 plus the fixed-coefficient variant) over
+/// the provided bursts.
+#[must_use]
+pub fn run_fig4(bursts: &[Burst], steps: usize) -> SweepResult {
+    let schemes = vec![
+        Scheme::Raw,
+        Scheme::Dc,
+        Scheme::Ac,
+        Scheme::Opt(CostWeights::FIXED),
+        Scheme::OptFixed,
+    ];
+    SweepResult {
+        points: sweep_alpha(bursts, &schemes, steps, SWEEP_RESOLUTION),
+        burst_count: bursts.len(),
+    }
+}
+
+/// Runs both sweeps on the paper's workload: 10 000 uniformly random bursts
+/// and 20 sweep steps.
+#[must_use]
+pub fn run_paper_scale() -> (SweepResult, SweepResult) {
+    let bursts = UniformRandomBursts::new().take_bursts(dbi_workloads::random::PAPER_BURST_COUNT);
+    (run_fig3(&bursts, 20), run_fig4(&bursts, 20))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_bursts() -> Vec<Burst> {
+        UniformRandomBursts::with_seed(99).take_bursts(600)
+    }
+
+    #[test]
+    fn fig3_shapes_match_the_paper() {
+        let result = run_fig3(&small_bursts(), 10);
+        assert_eq!(result.points.len(), 11);
+        assert_eq!(result.burst_count, 600);
+
+        // At alpha = 0 the DC scheme equals OPT; at alpha = 1 the AC scheme does.
+        let first = &result.points[0];
+        assert!((first.cost_of("DBI DC").unwrap() - first.cost_of("DBI OPT").unwrap()).abs() < 1e-9);
+        let last = result.points.last().unwrap();
+        assert!((last.cost_of("DBI AC").unwrap() - last.cost_of("DBI OPT").unwrap()).abs() < 1e-9);
+
+        // OPT is never above the best conventional scheme, and RAW is never
+        // below OPT.
+        for p in &result.points {
+            let opt = p.cost_of("DBI OPT").unwrap();
+            assert!(opt <= p.best_conventional().unwrap() + 1e-9, "alpha {}", p.alpha);
+            assert!(opt <= p.cost_of("RAW").unwrap() + 1e-9);
+        }
+
+        // Peak advantage in the mid-single-digit percent range, near the
+        // crossover that itself sits a little past alpha = 0.5.
+        let (alpha, saving) = result.peak_opt_advantage();
+        assert!((0.02..0.12).contains(&saving), "saving {saving}");
+        assert!((0.35..0.8).contains(&alpha), "alpha {alpha}");
+        let crossover = result.dc_ac_crossover().unwrap();
+        assert!((0.4..0.75).contains(&crossover), "crossover {crossover}");
+    }
+
+    #[test]
+    fn fig4_fixed_coefficients_lose_little() {
+        let result = run_fig4(&small_bursts(), 10);
+        // The fixed-coefficient scheme tracks the tunable one closely: the
+        // worst-case loss over the sweep is a few percent...
+        assert!(result.max_fixed_coefficient_loss() < 0.08);
+        // ...and its peak advantage over the conventional schemes is nearly
+        // as large as the tunable scheme's.
+        let (_, tunable) = result.peak_opt_advantage();
+        let (_, fixed) = result.peak_fixed_advantage();
+        assert!(fixed > 0.8 * tunable, "fixed {fixed} vs tunable {tunable}");
+    }
+
+    #[test]
+    fn table_rendering() {
+        let result = run_fig3(&small_bursts()[..100], 4);
+        let table = result.to_table("Fig. 3");
+        assert_eq!(table.len(), 5);
+        assert!(table.to_string().contains("DBI OPT"));
+        assert!(table.to_csv().lines().count() >= 6);
+    }
+
+    #[test]
+    fn raw_curve_is_flat() {
+        // RAW's mean cost is independent of alpha when alpha + beta = 1 only
+        // up to the zero/transition balance of the data; for uniform random
+        // bursts both averages are ~32, so the curve is nearly flat.
+        let result = run_fig3(&small_bursts(), 5);
+        let raw: Vec<f64> = result.points.iter().map(|p| p.cost_of("RAW").unwrap()).collect();
+        let min = raw.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = raw.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(max - min < 2.0, "RAW curve varies too much: {raw:?}");
+    }
+}

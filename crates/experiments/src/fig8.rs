@@ -1,0 +1,258 @@
+//! Experiment E6 — Fig. 8: system-level energy including the encoder.
+//!
+//! Fig. 8 charges the encoder's own energy (Table I) on top of the
+//! interface energy and normalises the fixed-coefficient optimal scheme to
+//! the better of DBI DC and DBI AC, sweeping both the data rate and the
+//! per-lane load (1–8 pF). The paper's conclusions: the fixed-coefficient
+//! encoder still saves 5–6 % at the best operating points for 3–8 pF loads,
+//! and heavier loads move the best operating point towards lower data
+//! rates.
+
+use crate::report::{fmt_f64, Table};
+use crate::table1;
+use dbi_core::{Burst, BusState, CostBreakdown, DbiEncoder, Scheme};
+use dbi_hw::EncoderDesign;
+use dbi_phy::{Capacitance, DataRate, InterfaceEnergyModel, PodInterface};
+use dbi_workloads::{BurstSource, UniformRandomBursts};
+
+/// Per-burst encoder energies used in the system-level accounting, taken
+/// from the Table I synthesis model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncoderEnergies {
+    /// Energy per burst of the DBI DC encoder, in joules.
+    pub dc_j: f64,
+    /// Energy per burst of the DBI AC encoder, in joules.
+    pub ac_j: f64,
+    /// Energy per burst of the fixed-coefficient optimal encoder, in joules.
+    pub opt_fixed_j: f64,
+}
+
+impl EncoderEnergies {
+    /// Derives the encoder energies from the Table I synthesis reports.
+    #[must_use]
+    pub fn from_synthesis() -> Self {
+        let rows = table1::run();
+        let energy = |design: EncoderDesign| {
+            rows.reports
+                .iter()
+                .find(|r| r.design == design)
+                .map(|r| r.energy_per_burst_j())
+                .unwrap_or(0.0)
+        };
+        EncoderEnergies {
+            dc_j: energy(EncoderDesign::Dc),
+            ac_j: energy(EncoderDesign::Ac),
+            opt_fixed_j: energy(EncoderDesign::OptFixed),
+        }
+    }
+}
+
+/// One curve of Fig. 8: a fixed load capacitance swept over data rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadCurve {
+    /// Load capacitance in pF.
+    pub cload_pf: f64,
+    /// `(data rate in Gbps, OPT(Fixed) energy normalised to the best of
+    /// DC/AC, encoder energy included on both sides)`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl LoadCurve {
+    /// The operating point with the lowest normalised energy: `(Gbps,
+    /// normalised energy)`.
+    #[must_use]
+    pub fn best_point(&self) -> Option<(f64, f64)> {
+        self.points
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("energies are finite"))
+    }
+
+    /// Peak relative saving versus the best conventional scheme (a positive
+    /// number means OPT(Fixed) is cheaper).
+    #[must_use]
+    pub fn peak_saving(&self) -> f64 {
+        self.best_point().map(|(_, normalized)| 1.0 - normalized).unwrap_or(0.0)
+    }
+}
+
+/// The full Fig. 8 result: one curve per load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Result {
+    /// Curves in ascending load order.
+    pub curves: Vec<LoadCurve>,
+    /// The encoder energies charged per burst.
+    pub encoder_energies: EncoderEnergies,
+}
+
+impl Fig8Result {
+    /// Renders the result as a printable table (rates as rows, loads as
+    /// columns).
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut headers = vec!["data rate (Gbps)".to_owned()];
+        headers.extend(self.curves.iter().map(|c| format!("{} pF", c.cload_pf)));
+        let mut table = Table::new(
+            "Fig. 8 — OPT(Fixed) energy per burst incl. encoding, normalised to best of DC/AC",
+            headers,
+        );
+        if let Some(first) = self.curves.first() {
+            for (i, (gbps, _)) in first.points.iter().enumerate() {
+                let mut row = vec![fmt_f64(*gbps)];
+                for curve in &self.curves {
+                    row.push(fmt_f64(curve.points.get(i).map(|p| p.1).unwrap_or(f64::NAN)));
+                }
+                table.push_row(row);
+            }
+        }
+        table
+    }
+}
+
+/// The loads swept in the paper's Fig. 8, in pF.
+#[must_use]
+pub fn paper_loads() -> Vec<f64> {
+    vec![1.0, 2.0, 3.0, 4.0, 6.0, 8.0]
+}
+
+/// Runs the Fig. 8 sweep over the given bursts, rates and loads, charging
+/// the supplied per-burst encoder energies.
+#[must_use]
+pub fn run(
+    bursts: &[Burst],
+    rates_gbps: &[f64],
+    loads_pf: &[f64],
+    encoder_energies: EncoderEnergies,
+) -> Fig8Result {
+    let interface = PodInterface::pod135();
+    let state = BusState::idle();
+    let activity = |scheme: Scheme| -> CostBreakdown {
+        bursts.iter().map(|b| scheme.encode(b, &state).breakdown(&state)).sum()
+    };
+    let dc_activity = activity(Scheme::Dc);
+    let ac_activity = activity(Scheme::Ac);
+    let opt_activity = activity(Scheme::OptFixed);
+    let count = bursts.len().max(1) as f64;
+
+    let curves = loads_pf
+        .iter()
+        .map(|&cload_pf| {
+            let points = rates_gbps
+                .iter()
+                .filter(|&&gbps| gbps > 0.0)
+                .map(|&gbps| {
+                    let model = InterfaceEnergyModel::new(
+                        interface,
+                        Capacitance::from_pf(cload_pf),
+                        DataRate::from_gbps(gbps).expect("non-positive rates are filtered out"),
+                    );
+                    let e_zero = model.energy_per_zero_j();
+                    let e_transition = model.energy_per_transition_j();
+                    let per_burst = |activity: &CostBreakdown, encoder_j: f64| {
+                        activity.energy(e_zero, e_transition) / count + encoder_j
+                    };
+                    let dc = per_burst(&dc_activity, encoder_energies.dc_j);
+                    let ac = per_burst(&ac_activity, encoder_energies.ac_j);
+                    let opt = per_burst(&opt_activity, encoder_energies.opt_fixed_j);
+                    (gbps, opt / dc.min(ac))
+                })
+                .collect();
+            LoadCurve { cload_pf, points }
+        })
+        .collect();
+
+    Fig8Result { curves, encoder_energies }
+}
+
+/// Runs the experiment at paper scale: 10 000 random bursts, 1–20 Gbps, the
+/// paper's six loads, encoder energies from the Table I model.
+#[must_use]
+pub fn run_paper_scale() -> Fig8Result {
+    let bursts = UniformRandomBursts::new().take_bursts(dbi_workloads::random::PAPER_BURST_COUNT);
+    run(
+        &bursts,
+        &crate::fig7::paper_rates(),
+        &paper_loads(),
+        EncoderEnergies::from_synthesis(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Fig8Result {
+        let bursts = UniformRandomBursts::with_seed(17).take_bursts(500);
+        run(
+            &bursts,
+            &crate::fig7::paper_rates(),
+            &paper_loads(),
+            EncoderEnergies::from_synthesis(),
+        )
+    }
+
+    #[test]
+    fn produces_one_curve_per_load() {
+        let result = small();
+        assert_eq!(result.curves.len(), 6);
+        for curve in &result.curves {
+            assert_eq!(curve.points.len(), 20);
+        }
+        assert!(result.encoder_energies.opt_fixed_j > result.encoder_energies.dc_j);
+    }
+
+    #[test]
+    fn meaningful_savings_remain_for_medium_and_large_loads() {
+        // The paper: 5–6 % savings at the best operating points for 3–8 pF.
+        let result = small();
+        for curve in result.curves.iter().filter(|c| c.cload_pf >= 3.0) {
+            let saving = curve.peak_saving();
+            assert!(
+                (0.02..=0.12).contains(&saving),
+                "{} pF: peak saving {saving}",
+                curve.cload_pf
+            );
+        }
+    }
+
+    #[test]
+    fn heavier_loads_move_the_best_operating_point_down() {
+        let result = small();
+        let best_rate = |pf: f64| {
+            result
+                .curves
+                .iter()
+                .find(|c| (c.cload_pf - pf).abs() < 1e-9)
+                .and_then(LoadCurve::best_point)
+                .map(|(gbps, _)| gbps)
+                .unwrap()
+        };
+        assert!(
+            best_rate(8.0) <= best_rate(2.0),
+            "8 pF best rate {} should not exceed the 2 pF best rate {}",
+            best_rate(8.0),
+            best_rate(2.0)
+        );
+    }
+
+    #[test]
+    fn encoder_overhead_eats_part_of_the_gain_at_low_loads_and_rates() {
+        // At 1 pF and low data rates the interface energy is small, so the
+        // encoder overhead keeps OPT(Fixed) close to (or above) the best
+        // conventional scheme.
+        let result = small();
+        let light = result.curves.iter().find(|c| c.cload_pf == 1.0).unwrap();
+        let low_rate = light.points.first().unwrap().1;
+        let best = light.best_point().unwrap().1;
+        assert!(low_rate > best, "the curve should improve away from the lowest rate");
+    }
+
+    #[test]
+    fn table_rendering_has_loads_as_columns() {
+        let result = small();
+        let table = result.to_table();
+        assert_eq!(table.headers().len(), 7);
+        assert_eq!(table.len(), 20);
+        assert!(table.to_string().contains("8 pF"));
+    }
+}

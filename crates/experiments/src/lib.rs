@@ -1,0 +1,123 @@
+//! # dbi-experiments
+//!
+//! The experiment harness that regenerates every table and figure of
+//! *"Optimal DC/AC Data Bus Inversion Coding"* (DATE 2018), plus a small
+//! set of clearly-labelled extension studies.
+//!
+//! | Module | Paper artefact |
+//! |--------|----------------|
+//! | [`fig2`] | Fig. 2 — the worked shortest-path example and its Pareto front |
+//! | [`fig3`] | Fig. 3 — energy/burst vs. AC cost for RAW/DC/AC/OPT, and Fig. 4 with OPT(Fixed) |
+//! | [`table1`] | Table I — synthesis results of the four encoder designs |
+//! | [`fig7`] | Fig. 7 — interface energy vs. data rate, normalised to RAW |
+//! | [`fig8`] | Fig. 8 — energy incl. encoder overhead, normalised to best of DC/AC |
+//! | [`extensions`] | workload-sensitivity and memory-channel studies (not in the paper) |
+//! | [`ablation`] | coefficient-resolution and burst-length ablations (not in the paper) |
+//!
+//! Each module exposes a `run*` function returning a typed result plus a
+//! `to_table` rendering; the `reproduce` binary runs everything at paper
+//! scale and prints the tables (use `--csv` for machine-readable output).
+//!
+//! ```
+//! let fig2 = dbi_experiments::fig2::run();
+//! assert_eq!(fig2.opt_cost, 52);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod extensions;
+pub mod fig2;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod report;
+pub mod table1;
+
+pub use report::Table;
+
+/// Identifier of one reproducible paper artefact, used by the `reproduce`
+/// binary's command-line interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Experiment {
+    /// Fig. 2 — the worked example.
+    Fig2,
+    /// Fig. 3 — coefficient sweep without the fixed variant.
+    Fig3,
+    /// Fig. 4 — coefficient sweep with the fixed variant.
+    Fig4,
+    /// Table I — synthesis results.
+    Table1,
+    /// Fig. 7 — energy vs. data rate.
+    Fig7,
+    /// Fig. 8 — energy incl. encoding overhead vs. data rate and load.
+    Fig8,
+    /// The extension studies.
+    Extensions,
+    /// The ablation studies (coefficient resolution, burst length).
+    Ablation,
+}
+
+impl Experiment {
+    /// All experiments in presentation order.
+    #[must_use]
+    pub const fn all() -> [Experiment; 8] {
+        [
+            Experiment::Fig2,
+            Experiment::Fig3,
+            Experiment::Fig4,
+            Experiment::Table1,
+            Experiment::Fig7,
+            Experiment::Fig8,
+            Experiment::Extensions,
+            Experiment::Ablation,
+        ]
+    }
+
+    /// Parses a command-line name such as `fig3` or `table1`.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Experiment> {
+        match name.to_ascii_lowercase().as_str() {
+            "fig2" => Some(Experiment::Fig2),
+            "fig3" => Some(Experiment::Fig3),
+            "fig4" => Some(Experiment::Fig4),
+            "table1" | "tab1" => Some(Experiment::Table1),
+            "fig7" => Some(Experiment::Fig7),
+            "fig8" => Some(Experiment::Fig8),
+            "extensions" | "ext" => Some(Experiment::Extensions),
+            "ablation" | "abl" => Some(Experiment::Ablation),
+            _ => None,
+        }
+    }
+
+    /// The command-line name of the experiment.
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        match self {
+            Experiment::Fig2 => "fig2",
+            Experiment::Fig3 => "fig3",
+            Experiment::Fig4 => "fig4",
+            Experiment::Table1 => "table1",
+            Experiment::Fig7 => "fig7",
+            Experiment::Fig8 => "fig8",
+            Experiment::Extensions => "extensions",
+            Experiment::Ablation => "ablation",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_names_round_trip() {
+        for experiment in Experiment::all() {
+            assert_eq!(Experiment::parse(experiment.name()), Some(experiment));
+        }
+        assert_eq!(Experiment::parse("TABLE1"), Some(Experiment::Table1));
+        assert_eq!(Experiment::parse("fig9"), None);
+    }
+}

@@ -1,0 +1,172 @@
+//! Plain-text and CSV table rendering for the experiment harness.
+
+use core::fmt;
+
+/// A rectangular table of results with a title and column headers.
+///
+/// The `reproduce` binary prints these tables; `to_csv` produces the same
+/// data in a form that can be plotted next to the paper's figures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table { title: title.into(), headers, rows: Vec::new() }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are truncated, so the table always stays
+    /// rectangular.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        let mut row = row;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    #[must_use]
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as comma-separated values (header line included,
+    /// title omitted). Cells containing commas or quotes are quoted.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        let widths = self.column_widths();
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let rendered: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(cell, width)| format!("{cell:>width$}"))
+                .collect();
+            writeln!(f, "| {} |", rendered.join(" | "))
+        };
+        print_row(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "|-{}-|", rule.join("-|-"))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a floating-point value with three decimals (the precision used
+/// throughout the reproduced tables).
+#[must_use]
+pub fn fmt_f64(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["longer".into()]);
+        t
+    }
+
+    #[test]
+    fn rows_are_padded_and_counted() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.rows()[1], vec!["longer".to_owned(), String::new()]);
+        assert_eq!(t.title(), "demo");
+        assert_eq!(t.headers().len(), 2);
+    }
+
+    #[test]
+    fn display_is_aligned_markdown() {
+        let text = sample().to_string();
+        assert!(text.contains("## demo"));
+        // Cells are right-aligned to the widest entry of the column.
+        assert!(text.contains(" a |"), "header row missing in:\n{text}");
+        assert!(text.contains("longer |"));
+        assert!(text.contains("|-"));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new("x", vec!["h".into()]);
+        t.push_row(vec!["a,b".into()]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(1.23456), "1.235");
+        assert_eq!(fmt_f64(2.0), "2.000");
+    }
+}

@@ -1,0 +1,173 @@
+//! Parametric building blocks of the encoder datapaths.
+//!
+//! Each function returns the gate inventory (including the block's own
+//! critical-path estimate) of one arithmetic block of Fig. 5: population
+//! counters, ripple-carry adders, comparators, small multipliers, 2:1 mux
+//! vectors and register banks. The inventories are deliberately simple —
+//! ripple topologies and full-adder counts straight from the textbook —
+//! because Table I only needs the *relative* complexity of the four encoder
+//! designs to come out right.
+
+use crate::cells::{CellKind, CellLibrary};
+use crate::netlist::GateCount;
+
+/// Population count of a `width`-bit input (a tree of full/half adders).
+///
+/// An 8-bit popcount needs 4 + 2 + 1 = 7 compressor stages' worth of
+/// adders; the result is `ceil(log2(width + 1))` bits wide.
+#[must_use]
+pub fn popcount(width: u32, library: &CellLibrary) -> GateCount {
+    // A Wallace-style reduction of `width` bits into a binary count uses
+    // roughly `width - popcount_result_bits` full adders; model it as a tree
+    // of full adders with one half adder per tree level.
+    let result_bits = result_bits(width);
+    let full_adders = u64::from(width.saturating_sub(result_bits));
+    let half_adders = u64::from(result_bits);
+    let levels = (f64::from(width)).log2().ceil().max(1.0);
+    let fa = library.params(CellKind::FullAdder).delay_ps;
+    GateCount::new()
+        .with(CellKind::FullAdder, full_adders.max(1))
+        .with(CellKind::HalfAdder, half_adders)
+        .with_critical_path_ps(levels * fa)
+}
+
+/// Number of bits needed to represent a popcount result of `width` inputs.
+#[must_use]
+pub fn result_bits(width: u32) -> u32 {
+    32 - width.leading_zeros()
+}
+
+/// Adder of two `width`-bit operands. The cell inventory is that of a
+/// ripple-carry adder (one full adder per bit); the delay is that of the
+/// carry-lookahead structure a synthesis tool would infer under timing
+/// pressure, i.e. logarithmic in the width.
+#[must_use]
+pub fn adder(width: u32, library: &CellLibrary) -> GateCount {
+    let fa = library.params(CellKind::FullAdder).delay_ps;
+    let levels = (f64::from(width)).log2().ceil().max(1.0);
+    GateCount::new()
+        .with(CellKind::FullAdder, u64::from(width))
+        .with_critical_path_ps(levels * fa)
+}
+
+/// Constant-operand adder / subtractor of a `width`-bit value (used for the
+/// `8 − x`, `x + 1` and `9 − x` terms in Fig. 5). Cheaper than a full adder
+/// chain because one operand is constant.
+#[must_use]
+pub fn constant_adder(width: u32, library: &CellLibrary) -> GateCount {
+    let ha = library.params(CellKind::HalfAdder).delay_ps;
+    GateCount::new()
+        .with(CellKind::HalfAdder, u64::from(width))
+        .with(CellKind::Inverter, u64::from(width))
+        .with_critical_path_ps(f64::from(width) * ha * 0.5)
+}
+
+/// Magnitude comparator of two `width`-bit values (subtract and inspect the
+/// carry). Like [`adder`], the delay model assumes a lookahead carry chain.
+#[must_use]
+pub fn comparator(width: u32, library: &CellLibrary) -> GateCount {
+    let fa = library.params(CellKind::FullAdder).delay_ps;
+    let levels = (f64::from(width)).log2().ceil().max(1.0);
+    GateCount::new()
+        .with(CellKind::FullAdder, u64::from(width))
+        .with(CellKind::Inverter, u64::from(width))
+        .with_critical_path_ps(levels * fa)
+}
+
+/// A vector of `width` 2:1 multiplexers sharing one select signal.
+#[must_use]
+pub fn mux2(width: u32, library: &CellLibrary) -> GateCount {
+    let delay = library.params(CellKind::Mux2).delay_ps;
+    GateCount::new()
+        .with(CellKind::Mux2, u64::from(width))
+        .with_critical_path_ps(delay)
+}
+
+/// Bitwise XOR of two `width`-bit vectors (the `Byte(i−1) ⊕ Byte(i)` input
+/// of each processing block).
+#[must_use]
+pub fn xor_vector(width: u32, library: &CellLibrary) -> GateCount {
+    let delay = library.params(CellKind::Xor2).delay_ps;
+    GateCount::new()
+        .with(CellKind::Xor2, u64::from(width))
+        .with_critical_path_ps(delay)
+}
+
+/// A register bank of `width` flip-flops.
+#[must_use]
+pub fn register(width: u32, library: &CellLibrary) -> GateCount {
+    let delay = library.params(CellKind::Dff).delay_ps;
+    GateCount::new()
+        .with(CellKind::Dff, u64::from(width))
+        .with_critical_path_ps(delay)
+}
+
+/// An unsigned array multiplier of `a_bits` × `b_bits` (used only by the
+/// configurable-coefficient design: cost terms are multiplied by the 3-bit
+/// α/β coefficients).
+#[must_use]
+pub fn multiplier(a_bits: u32, b_bits: u32, library: &CellLibrary) -> GateCount {
+    let and_gates = u64::from(a_bits * b_bits);
+    let full_adders = u64::from(a_bits.saturating_sub(1) * b_bits);
+    let fa = library.params(CellKind::FullAdder).delay_ps;
+    let and = library.params(CellKind::And2).delay_ps;
+    GateCount::new()
+        .with(CellKind::And2, and_gates)
+        .with(CellKind::FullAdder, full_adders.max(1))
+        .with_critical_path_ps(and + f64::from(a_bits + b_bits) * fa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::generic_32nm()
+    }
+
+    #[test]
+    fn result_bits_matches_log2() {
+        assert_eq!(result_bits(8), 4);
+        assert_eq!(result_bits(9), 4);
+        assert_eq!(result_bits(15), 4);
+        assert_eq!(result_bits(16), 5);
+        assert_eq!(result_bits(1), 1);
+    }
+
+    #[test]
+    fn popcount_inventory_scales_with_width() {
+        let lib = lib();
+        let p8 = popcount(8, &lib);
+        let p16 = popcount(16, &lib);
+        assert!(p8.total_cells() >= 5);
+        assert!(p16.total_cells() > p8.total_cells());
+        assert!(p16.critical_path_ps() > p8.critical_path_ps());
+    }
+
+    #[test]
+    fn adder_and_comparator_are_linear_in_width() {
+        let lib = lib();
+        assert_eq!(adder(8, &lib).count(CellKind::FullAdder), 8);
+        assert_eq!(adder(16, &lib).count(CellKind::FullAdder), 16);
+        assert!(comparator(10, &lib).critical_path_ps() > comparator(5, &lib).critical_path_ps());
+        // A constant-operand adder is cheaper than a full two-operand adder.
+        assert!(constant_adder(4, &lib).area_um2(&lib) < adder(4, &lib).area_um2(&lib));
+    }
+
+    #[test]
+    fn mux_xor_register_widths() {
+        let lib = lib();
+        assert_eq!(mux2(8, &lib).count(CellKind::Mux2), 8);
+        assert_eq!(xor_vector(8, &lib).count(CellKind::Xor2), 8);
+        assert_eq!(register(12, &lib).count(CellKind::Dff), 12);
+    }
+
+    #[test]
+    fn multiplier_is_much_bigger_than_an_adder() {
+        let lib = lib();
+        let mult = multiplier(3, 4, &lib);
+        let add = adder(4, &lib);
+        assert!(mult.area_um2(&lib) > add.area_um2(&lib));
+        assert!(mult.critical_path_ps() > add.critical_path_ps());
+    }
+}

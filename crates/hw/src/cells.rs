@@ -1,0 +1,208 @@
+//! A small generic 32 nm standard-cell library.
+//!
+//! The paper synthesises its encoders with Synopsys Design Compiler and the
+//! Synopsys 32 nm generic libraries. That flow is proprietary, so this
+//! module substitutes an analytical cell library: for each cell class we
+//! carry a typical area, leakage power, switching energy per output toggle
+//! and propagation delay. The absolute values are representative of a
+//! generic 32 nm process; what the Table I reproduction relies on is that
+//! they are *consistent across the four encoder designs*, so the relative
+//! area/power/timing ordering is meaningful.
+
+use core::fmt;
+
+/// The cell classes used by the encoder netlists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum CellKind {
+    /// Inverter.
+    Inverter,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input AND (for enables and decision logic).
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2:1 multiplexer.
+    Mux2,
+    /// Full adder (3:2 compressor).
+    FullAdder,
+    /// Half adder.
+    HalfAdder,
+    /// D flip-flop with clock enable (pipeline / decision registers).
+    Dff,
+}
+
+impl CellKind {
+    /// Every cell class, for iteration in reports.
+    #[must_use]
+    pub const fn all() -> [CellKind; 10] {
+        [
+            CellKind::Inverter,
+            CellKind::Nand2,
+            CellKind::Nor2,
+            CellKind::Xor2,
+            CellKind::And2,
+            CellKind::Or2,
+            CellKind::Mux2,
+            CellKind::FullAdder,
+            CellKind::HalfAdder,
+            CellKind::Dff,
+        ]
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            CellKind::Inverter => 0,
+            CellKind::Nand2 => 1,
+            CellKind::Nor2 => 2,
+            CellKind::Xor2 => 3,
+            CellKind::And2 => 4,
+            CellKind::Or2 => 5,
+            CellKind::Mux2 => 6,
+            CellKind::FullAdder => 7,
+            CellKind::HalfAdder => 8,
+            CellKind::Dff => 9,
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CellKind::Inverter => "INV",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nor2 => "NOR2",
+            CellKind::Xor2 => "XOR2",
+            CellKind::And2 => "AND2",
+            CellKind::Or2 => "OR2",
+            CellKind::Mux2 => "MUX2",
+            CellKind::FullAdder => "FA",
+            CellKind::HalfAdder => "HA",
+            CellKind::Dff => "DFF",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Electrical characteristics of one cell class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellParams {
+    /// Layout area in µm².
+    pub area_um2: f64,
+    /// Leakage power in µW.
+    pub leakage_uw: f64,
+    /// Energy per output toggle in fJ.
+    pub switch_energy_fj: f64,
+    /// Propagation delay in ps (clock-to-Q for the flip-flop).
+    pub delay_ps: f64,
+}
+
+/// A complete cell library: parameters for every [`CellKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellLibrary {
+    name: &'static str,
+    params: [CellParams; 10],
+    /// Setup time added to every register-bounded path, in ps.
+    setup_ps: f64,
+}
+
+impl CellLibrary {
+    /// A generic 32 nm high-k metal-gate library at nominal voltage. The
+    /// values are textbook-level estimates (a NAND2 around 1 µm², gate
+    /// delays of 10–25 ps, leakage of tens of nanowatts per gate) — adequate
+    /// for relative comparisons between netlists synthesised from the same
+    /// library, which is all Table I needs.
+    #[must_use]
+    pub fn generic_32nm() -> Self {
+        let p = |area, leak_nw: f64, fj, ps| CellParams {
+            area_um2: area,
+            leakage_uw: leak_nw / 1000.0,
+            switch_energy_fj: fj,
+            delay_ps: ps,
+        };
+        CellLibrary {
+            name: "generic-32nm",
+            params: [
+                p(0.6, 15.0, 0.35, 9.0),   // Inverter
+                p(0.8, 22.0, 0.55, 13.0),  // Nand2
+                p(0.8, 22.0, 0.55, 15.0),  // Nor2
+                p(1.8, 45.0, 1.10, 24.0),  // Xor2
+                p(1.0, 26.0, 0.65, 16.0),  // And2
+                p(1.0, 26.0, 0.65, 16.0),  // Or2
+                p(1.6, 38.0, 0.95, 20.0),  // Mux2
+                p(3.6, 95.0, 2.40, 42.0),  // FullAdder
+                p(1.9, 50.0, 1.20, 24.0),  // HalfAdder
+                p(4.2, 110.0, 1.80, 55.0), // Dff (delay = clock-to-Q)
+            ],
+            setup_ps: 35.0,
+        }
+    }
+
+    /// Library name.
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Parameters of one cell class.
+    #[must_use]
+    pub fn params(&self, kind: CellKind) -> CellParams {
+        self.params[kind.index()]
+    }
+
+    /// Register setup time in ps, added to every register-bounded path.
+    #[must_use]
+    pub const fn setup_ps(&self) -> f64 {
+        self.setup_ps
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::generic_32nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_covers_every_cell_kind() {
+        let lib = CellLibrary::generic_32nm();
+        for kind in CellKind::all() {
+            let p = lib.params(kind);
+            assert!(p.area_um2 > 0.0, "{kind} area");
+            assert!(p.leakage_uw > 0.0, "{kind} leakage");
+            assert!(p.switch_energy_fj > 0.0, "{kind} energy");
+            assert!(p.delay_ps > 0.0, "{kind} delay");
+        }
+        assert_eq!(lib.name(), "generic-32nm");
+        assert!(lib.setup_ps() > 0.0);
+        assert_eq!(CellLibrary::default(), lib);
+    }
+
+    #[test]
+    fn relative_cell_sizes_are_sensible() {
+        let lib = CellLibrary::generic_32nm();
+        // An inverter is the smallest cell; a flip-flop and a full adder are
+        // the biggest; an XOR costs more than a NAND.
+        let area = |k| lib.params(k).area_um2;
+        assert!(area(CellKind::Inverter) < area(CellKind::Nand2));
+        assert!(area(CellKind::Nand2) < area(CellKind::Xor2));
+        assert!(area(CellKind::Xor2) < area(CellKind::FullAdder));
+        assert!(area(CellKind::Mux2) < area(CellKind::Dff));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CellKind::FullAdder.to_string(), "FA");
+        assert_eq!(CellKind::Dff.to_string(), "DFF");
+        assert_eq!(CellKind::all().len(), 10);
+    }
+}

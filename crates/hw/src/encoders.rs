@@ -1,0 +1,274 @@
+//! Structural designs of the four encoder variants of Table I.
+//!
+//! Every design is expressed as a gate inventory built from the blocks in
+//! [`crate::blocks`]. The DBI OPT designs follow the architecture of
+//! Fig. 5: one processing block per burst byte, each holding two POPCNT
+//! units, the four candidate-cost adders, two comparators and the
+//! cost-forwarding muxes, followed by the backtrack muxes and — as in the
+//! paper — eight pipeline register stages that the synthesis tool retimes
+//! into the chain.
+
+use crate::blocks;
+use crate::cells::CellLibrary;
+use crate::netlist::GateCount;
+use core::fmt;
+
+/// Burst length the hardware encoders are sized for (8 bytes per clock, as
+/// in the paper: 12 Gbps per pin requires a 1.5 GHz encoder clock).
+pub const HW_BURST_LEN: u32 = 8;
+
+/// The encoder variants synthesised in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum EncoderDesign {
+    /// Per-byte zero-count threshold (DBI DC).
+    Dc,
+    /// Per-byte transition minimisation against the previous word (DBI AC).
+    Ac,
+    /// Shortest-path encoder with fixed α = β = 1 coefficients.
+    OptFixed,
+    /// Shortest-path encoder with configurable 3-bit α/β coefficients
+    /// (adds multipliers and widens the whole datapath).
+    OptConfigurable,
+}
+
+impl EncoderDesign {
+    /// The four designs in Table I order.
+    #[must_use]
+    pub const fn table1_set() -> [EncoderDesign; 4] {
+        [
+            EncoderDesign::Dc,
+            EncoderDesign::Ac,
+            EncoderDesign::OptFixed,
+            EncoderDesign::OptConfigurable,
+        ]
+    }
+
+    /// The row label used by Table I.
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        match self {
+            EncoderDesign::Dc => "DBI DC",
+            EncoderDesign::Ac => "DBI AC",
+            EncoderDesign::OptFixed => "DBI OPT (Fixed Coeff.)",
+            EncoderDesign::OptConfigurable => "DBI OPT (3-Bit Coeff.)",
+        }
+    }
+
+    /// Builds the gate inventory of this design for an 8-byte burst.
+    #[must_use]
+    pub fn netlist(&self, library: &CellLibrary) -> GateCount {
+        match self {
+            EncoderDesign::Dc => dc_netlist(library),
+            EncoderDesign::Ac => ac_netlist(library),
+            EncoderDesign::OptFixed => opt_netlist(library, CoefficientStyle::Fixed),
+            EncoderDesign::OptConfigurable => opt_netlist(library, CoefficientStyle::ThreeBit),
+        }
+    }
+}
+
+impl fmt::Display for EncoderDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Whether the optimal design carries multipliers for programmable
+/// coefficients or hard-wires α = β = 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoefficientStyle {
+    Fixed,
+    ThreeBit,
+}
+
+/// DBI DC: per byte a popcount of the data bits, a constant comparator
+/// against the ≥ 5 threshold, the data-inversion XORs and a decision
+/// register. The decision of each byte is independent, so no inter-byte
+/// logic exists and the critical path is a single byte slice.
+fn dc_netlist(library: &CellLibrary) -> GateCount {
+    let mut slice = GateCount::new();
+    slice.merge_series(&blocks::popcount(8, library));
+    slice.merge_series(&blocks::comparator(4, library));
+    // Data inversion on the DQ path: 8 XOR gates driven by the decision.
+    slice.merge_parallel(&blocks::xor_vector(8, library));
+    // Decision flop (the DBI output bit).
+    slice.merge_parallel(&blocks::register(1, library));
+
+    let mut total = slice.replicate(u64::from(HW_BURST_LEN));
+    total.set_critical_path_ps(slice.critical_path_ps());
+    total
+}
+
+/// DBI AC: per byte the XOR against the previously transmitted word, a
+/// 9-lane popcount (the DBI lane participates in the transition count), a
+/// constant comparator and the data-inversion XORs; plus a 9-bit register
+/// holding the previous lane word. The previous word of byte *i* is byte
+/// *i − 1*'s output, so the slices chain combinationally, but — as with the
+/// optimal design — the paper's eight retimed pipeline stages reduce the
+/// per-cycle path to one slice.
+fn ac_netlist(library: &CellLibrary) -> GateCount {
+    let mut slice = GateCount::new();
+    slice.merge_series(&blocks::xor_vector(9, library));
+    slice.merge_series(&blocks::popcount(9, library));
+    slice.merge_series(&blocks::comparator(4, library));
+    slice.merge_parallel(&blocks::xor_vector(8, library));
+    slice.merge_parallel(&blocks::register(1, library));
+
+    let mut total = slice.replicate(u64::from(HW_BURST_LEN));
+    // Previous-lane-word register at the head of the chain.
+    total.merge_parallel(&blocks::register(9, library));
+    total.set_critical_path_ps(slice.critical_path_ps());
+    total
+}
+
+/// The Fig. 5 processing block plus the shared backtrack logic, for either
+/// coefficient style.
+fn opt_netlist(library: &CellLibrary, style: CoefficientStyle) -> GateCount {
+    // Width of the running path costs: 8 bytes × 9 lanes × max coefficient.
+    let (cost_bits, coeff_bits) = match style {
+        CoefficientStyle::Fixed => (7u32, 0u32),
+        CoefficientStyle::ThreeBit => (10u32, 3u32),
+    };
+
+    let mut block = GateCount::new();
+    // Byte(i−1) ⊕ Byte(i) feeding the transition POPCNT.
+    block.merge_series(&blocks::xor_vector(8, library));
+    // The two population counters of Fig. 5.
+    block.merge_series(&blocks::popcount(8, library));
+    block.merge_parallel(&blocks::popcount(8, library));
+    // The four derived cost terms: α·x, α·(9−x), β·(8−y), β·(y+1).
+    for _ in 0..4 {
+        block.merge_parallel(&blocks::constant_adder(4, library));
+    }
+    if style == CoefficientStyle::ThreeBit {
+        // Programmable coefficients need a 4×3 multiplier per cost term.
+        let mult = blocks::multiplier(coeff_bits, 4, library);
+        block.merge_series(&mult);
+        for _ in 0..3 {
+            block.merge_parallel(&mult);
+        }
+    }
+    // Four three-input candidate adders: carry-save stage plus a final
+    // carry-propagate adder of the running cost width.
+    let csa = blocks::adder(cost_bits, library);
+    let cpa = blocks::adder(cost_bits, library);
+    let mut candidate = GateCount::new();
+    candidate.merge_series(&csa);
+    candidate.merge_series(&cpa);
+    block.merge_series(&candidate);
+    for _ in 0..3 {
+        block.merge_parallel(&candidate);
+    }
+    // Two comparators choosing the cheaper predecessor per node, and the
+    // cost-forwarding muxes.
+    let cmp = blocks::comparator(cost_bits, library);
+    block.merge_series(&cmp);
+    block.merge_parallel(&cmp);
+    block.merge_parallel(&blocks::mux2(cost_bits, library));
+    block.merge_parallel(&blocks::mux2(cost_bits, library));
+    // Decision bits stored for the backtrack.
+    block.merge_parallel(&blocks::register(2, library));
+
+    let mut total = block.replicate(u64::from(HW_BURST_LEN));
+    total.set_critical_path_ps(block.critical_path_ps());
+
+    // Final end-node comparator and the backtrack mux chain (Fig. 6).
+    total.merge_parallel(&blocks::comparator(cost_bits, library));
+    total.merge_parallel(&blocks::mux2(HW_BURST_LEN, library));
+    // Data inversion XORs on the DQ outputs.
+    total.merge_parallel(&blocks::xor_vector(8 * HW_BURST_LEN, library));
+
+    // Eight pipeline register stages (the paper adds them at the output and
+    // lets retiming distribute them through the chain). Each stage carries
+    // the two running costs, the byte, its XOR with the neighbour and the
+    // accumulated decision bits.
+    let stage_bits = 2 * cost_bits + 8 + 8 + 2 * HW_BURST_LEN;
+    let pipeline = blocks::register(stage_bits, library).replicate(u64::from(HW_BURST_LEN));
+    total.merge_parallel(&pipeline);
+
+    if style == CoefficientStyle::ThreeBit {
+        // Coefficient holding registers.
+        total.merge_parallel(&blocks::register(2 * coeff_bits, library));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::generic_32nm()
+    }
+
+    #[test]
+    fn table1_set_order_and_labels() {
+        let set = EncoderDesign::table1_set();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set[0].label(), "DBI DC");
+        assert_eq!(set[3].to_string(), "DBI OPT (3-Bit Coeff.)");
+    }
+
+    #[test]
+    fn area_ordering_matches_table1() {
+        // Table I: DC < AC < OPT(Fixed) < OPT(3-bit).
+        let lib = lib();
+        let areas: Vec<f64> = EncoderDesign::table1_set()
+            .iter()
+            .map(|d| d.netlist(&lib).area_um2(&lib))
+            .collect();
+        for pair in areas.windows(2) {
+            assert!(pair[0] < pair[1], "area ordering violated: {areas:?}");
+        }
+    }
+
+    #[test]
+    fn conventional_encoders_are_an_order_of_magnitude_smaller_than_opt() {
+        let lib = lib();
+        let dc = EncoderDesign::Dc.netlist(&lib).area_um2(&lib);
+        let opt = EncoderDesign::OptFixed.netlist(&lib).area_um2(&lib);
+        assert!(opt / dc > 5.0, "OPT(Fixed)/DC area ratio {:.1} too small", opt / dc);
+        assert!(opt / dc < 40.0, "OPT(Fixed)/DC area ratio {:.1} implausibly large", opt / dc);
+    }
+
+    #[test]
+    fn timing_ordering_matches_table1() {
+        // DC and AC are faster than OPT(Fixed), which is faster than the
+        // configurable-coefficient design.
+        let lib = lib();
+        let clock = |d: EncoderDesign| d.netlist(&lib).max_clock_ghz(&lib);
+        assert!(clock(EncoderDesign::Dc) > clock(EncoderDesign::OptFixed));
+        assert!(clock(EncoderDesign::Ac) > clock(EncoderDesign::OptFixed));
+        assert!(clock(EncoderDesign::OptFixed) > clock(EncoderDesign::OptConfigurable));
+    }
+
+    #[test]
+    fn simple_and_fixed_designs_meet_gddr5x_timing_the_configurable_one_does_not() {
+        // The paper's headline hardware result: DC, AC and OPT(Fixed) close
+        // 1.5 GHz (12 Gbps), the 3-bit coefficient design does not.
+        let lib = lib();
+        let clock = |d: EncoderDesign| d.netlist(&lib).max_clock_ghz(&lib);
+        for design in [EncoderDesign::Dc, EncoderDesign::Ac, EncoderDesign::OptFixed] {
+            assert!(
+                clock(design) >= 1.5,
+                "{design} should meet 1.5 GHz, got {:.2} GHz",
+                clock(design)
+            );
+        }
+        assert!(
+            clock(EncoderDesign::OptConfigurable) < 1.5,
+            "the 3-bit coefficient design should miss 1.5 GHz, got {:.2} GHz",
+            clock(EncoderDesign::OptConfigurable)
+        );
+    }
+
+    #[test]
+    fn configurable_design_carries_multipliers() {
+        use crate::cells::CellKind;
+        let lib = lib();
+        let fixed = EncoderDesign::OptFixed.netlist(&lib);
+        let conf = EncoderDesign::OptConfigurable.netlist(&lib);
+        assert!(conf.count(CellKind::And2) > fixed.count(CellKind::And2));
+        assert!(conf.total_cells() > fixed.total_cells());
+    }
+}

@@ -1,0 +1,258 @@
+//! Gate inventories and the netlist-level area/power arithmetic.
+//!
+//! A [`GateCount`] is the structural summary of a combinational or
+//! sequential block: how many instances of each cell class it contains and
+//! how deep its critical path is. Area, leakage and switching energy follow
+//! directly from the cell library; the synthesis-style report in
+//! [`crate::synthesis`] combines them with a clock frequency and an
+//! activity factor.
+
+use crate::cells::{CellKind, CellLibrary};
+use core::fmt;
+use core::ops::{Add, AddAssign};
+use std::collections::BTreeMap;
+
+/// A bag of standard cells plus the block's critical-path delay.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GateCount {
+    cells: BTreeMap<CellKind, u64>,
+    critical_path_ps: f64,
+}
+
+impl GateCount {
+    /// An empty inventory.
+    #[must_use]
+    pub fn new() -> Self {
+        GateCount::default()
+    }
+
+    /// Adds `count` instances of a cell class.
+    pub fn add_cells(&mut self, kind: CellKind, count: u64) {
+        if count > 0 {
+            *self.cells.entry(kind).or_insert(0) += count;
+        }
+    }
+
+    /// Builder-style variant of [`GateCount::add_cells`].
+    #[must_use]
+    pub fn with(mut self, kind: CellKind, count: u64) -> Self {
+        self.add_cells(kind, count);
+        self
+    }
+
+    /// Number of instances of one cell class.
+    #[must_use]
+    pub fn count(&self, kind: CellKind) -> u64 {
+        self.cells.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total number of cell instances.
+    #[must_use]
+    pub fn total_cells(&self) -> u64 {
+        self.cells.values().sum()
+    }
+
+    /// The critical-path delay through this block, in ps.
+    #[must_use]
+    pub const fn critical_path_ps(&self) -> f64 {
+        self.critical_path_ps
+    }
+
+    /// Records the critical path of this block (keeps the maximum of the
+    /// current and the supplied value).
+    pub fn set_critical_path_ps(&mut self, delay_ps: f64) {
+        if delay_ps > self.critical_path_ps {
+            self.critical_path_ps = delay_ps;
+        }
+    }
+
+    /// Builder-style variant of [`GateCount::set_critical_path_ps`].
+    #[must_use]
+    pub fn with_critical_path_ps(mut self, delay_ps: f64) -> Self {
+        self.set_critical_path_ps(delay_ps);
+        self
+    }
+
+    /// Merges another inventory whose logic operates **in parallel** with
+    /// this one: cells add up, the critical path is the maximum of the two.
+    pub fn merge_parallel(&mut self, other: &GateCount) {
+        for (&kind, &count) in &other.cells {
+            self.add_cells(kind, count);
+        }
+        self.set_critical_path_ps(other.critical_path_ps);
+    }
+
+    /// Merges another inventory whose logic operates **in series** after
+    /// this one: cells add up and the critical paths add up too.
+    pub fn merge_series(&mut self, other: &GateCount) {
+        for (&kind, &count) in &other.cells {
+            self.add_cells(kind, count);
+        }
+        self.critical_path_ps += other.critical_path_ps;
+    }
+
+    /// Returns `n` copies of this block operating in parallel.
+    #[must_use]
+    pub fn replicate(&self, n: u64) -> GateCount {
+        let mut result = GateCount::new();
+        for (&kind, &count) in &self.cells {
+            result.add_cells(kind, count * n);
+        }
+        result.critical_path_ps = self.critical_path_ps;
+        result
+    }
+
+    /// Total layout area in µm² under the given library.
+    #[must_use]
+    pub fn area_um2(&self, library: &CellLibrary) -> f64 {
+        self.cells
+            .iter()
+            .map(|(&kind, &count)| library.params(kind).area_um2 * count as f64)
+            .sum()
+    }
+
+    /// Total leakage power in µW under the given library.
+    #[must_use]
+    pub fn leakage_uw(&self, library: &CellLibrary) -> f64 {
+        self.cells
+            .iter()
+            .map(|(&kind, &count)| library.params(kind).leakage_uw * count as f64)
+            .sum()
+    }
+
+    /// Switching energy of one evaluation of the whole block, in fJ,
+    /// assuming the fraction `activity` of cells toggles per evaluation.
+    #[must_use]
+    pub fn switch_energy_fj(&self, library: &CellLibrary, activity: f64) -> f64 {
+        let activity = activity.clamp(0.0, 1.0);
+        self.cells
+            .iter()
+            .map(|(&kind, &count)| library.params(kind).switch_energy_fj * count as f64)
+            .sum::<f64>()
+            * activity
+    }
+
+    /// Maximum clock frequency in GHz for a register-bounded path through
+    /// this block (critical path + setup).
+    #[must_use]
+    pub fn max_clock_ghz(&self, library: &CellLibrary) -> f64 {
+        let period_ps = self.critical_path_ps + library.setup_ps();
+        if period_ps <= 0.0 {
+            f64::INFINITY
+        } else {
+            1000.0 / period_ps
+        }
+    }
+
+    /// Iterates over `(cell kind, count)` pairs in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (CellKind, u64)> + '_ {
+        self.cells.iter().map(|(&k, &c)| (k, c))
+    }
+}
+
+impl Add for GateCount {
+    type Output = GateCount;
+
+    fn add(mut self, rhs: GateCount) -> GateCount {
+        self.merge_parallel(&rhs);
+        self
+    }
+}
+
+impl AddAssign for GateCount {
+    fn add_assign(&mut self, rhs: GateCount) {
+        self.merge_parallel(&rhs);
+    }
+}
+
+impl fmt::Display for GateCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cells, critical path {:.0} ps", self.total_cells(), self.critical_path_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GateCount {
+        GateCount::new()
+            .with(CellKind::FullAdder, 7)
+            .with(CellKind::Xor2, 8)
+            .with_critical_path_ps(120.0)
+    }
+
+    #[test]
+    fn counting_and_totals() {
+        let g = sample();
+        assert_eq!(g.count(CellKind::FullAdder), 7);
+        assert_eq!(g.count(CellKind::Dff), 0);
+        assert_eq!(g.total_cells(), 15);
+        assert_eq!(g.iter().count(), 2);
+        assert!(g.to_string().contains("15 cells"));
+    }
+
+    #[test]
+    fn adding_zero_cells_is_a_no_op() {
+        let mut g = GateCount::new();
+        g.add_cells(CellKind::Inverter, 0);
+        assert_eq!(g.total_cells(), 0);
+    }
+
+    #[test]
+    fn parallel_merge_takes_the_max_path_series_merge_adds() {
+        let a = sample(); // 120 ps
+        let b = GateCount::new().with(CellKind::Mux2, 2).with_critical_path_ps(80.0);
+        let mut parallel = a.clone();
+        parallel.merge_parallel(&b);
+        assert_eq!(parallel.total_cells(), 17);
+        assert!((parallel.critical_path_ps() - 120.0).abs() < 1e-9);
+
+        let mut series = a.clone();
+        series.merge_series(&b);
+        assert!((series.critical_path_ps() - 200.0).abs() < 1e-9);
+
+        let summed = a.clone() + b.clone();
+        assert_eq!(summed.total_cells(), 17);
+        let mut assigned = a;
+        assigned += b;
+        assert_eq!(assigned.total_cells(), 17);
+    }
+
+    #[test]
+    fn replication_scales_cells_not_delay() {
+        let g = sample().replicate(8);
+        assert_eq!(g.count(CellKind::FullAdder), 56);
+        assert!((g.critical_path_ps() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_leakage_energy_follow_the_library() {
+        let lib = CellLibrary::generic_32nm();
+        let g = GateCount::new().with(CellKind::FullAdder, 10);
+        let fa = lib.params(CellKind::FullAdder);
+        assert!((g.area_um2(&lib) - 10.0 * fa.area_um2).abs() < 1e-9);
+        assert!((g.leakage_uw(&lib) - 10.0 * fa.leakage_uw).abs() < 1e-9);
+        assert!((g.switch_energy_fj(&lib, 0.5) - 5.0 * fa.switch_energy_fj).abs() < 1e-9);
+        // Activity outside [0, 1] is clamped.
+        assert!((g.switch_energy_fj(&lib, 2.0) - 10.0 * fa.switch_energy_fj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_clock_uses_path_plus_setup() {
+        let lib = CellLibrary::generic_32nm();
+        let g = GateCount::new().with_critical_path_ps(965.0);
+        let expected = 1000.0 / (965.0 + lib.setup_ps());
+        assert!((g.max_clock_ghz(&lib) - expected).abs() < 1e-9);
+        let empty = GateCount::new();
+        assert!(empty.max_clock_ghz(&lib).is_finite());
+    }
+
+    #[test]
+    fn critical_path_keeps_the_maximum() {
+        let mut g = GateCount::new();
+        g.set_critical_path_ps(50.0);
+        g.set_critical_path_ps(30.0);
+        assert!((g.critical_path_ps() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property test: the Fig. 5 hardware datapath is functionally equivalent
+//! to the software shortest-path encoder for every burst, bus state and
+//! 3-bit coefficient pair.
+
+use dbi_core::schemes::{DbiEncoder, OptEncoder};
+use dbi_core::{Burst, BusState, CostWeights, LaneWord};
+use dbi_hw::PipelineEncoder;
+use proptest::prelude::*;
+
+fn burst_strategy() -> impl Strategy<Value = Burst> {
+    proptest::collection::vec(any::<u8>(), 1..=12).prop_map(|bytes| Burst::new(bytes).unwrap())
+}
+
+fn state_strategy() -> impl Strategy<Value = BusState> {
+    (0u16..512).prop_map(|raw| BusState::new(LaneWord::new(raw).unwrap()))
+}
+
+fn coefficient_strategy() -> impl Strategy<Value = (u8, u8)> {
+    (0u8..=7, 0u8..=7).prop_filter("coefficients must not both be zero", |(a, b)| *a != 0 || *b != 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn hardware_equals_software_for_all_coefficients(
+        burst in burst_strategy(),
+        state in state_strategy(),
+        (alpha, beta) in coefficient_strategy(),
+    ) {
+        let hw = PipelineEncoder::with_coefficients(alpha, beta);
+        let sw = OptEncoder::new(CostWeights::new(u32::from(alpha), u32::from(beta)).unwrap());
+        let hw_encoded = hw.encode(&burst, &state);
+        let sw_encoded = sw.encode(&burst, &state);
+        // Identical masks, not merely identical costs: the hardware mirrors
+        // the reference tie-breaking exactly.
+        prop_assert_eq!(hw_encoded.mask(), sw_encoded.mask());
+        prop_assert_eq!(hw_encoded, sw_encoded);
+    }
+
+    #[test]
+    fn hardware_trace_cost_matches_the_weighted_activity(
+        burst in burst_strategy(),
+        state in state_strategy(),
+        (alpha, beta) in coefficient_strategy(),
+    ) {
+        let hw = PipelineEncoder::with_coefficients(alpha, beta);
+        let trace = hw.encode_trace(&burst, &state);
+        let encoded = hw.encode(&burst, &state);
+        prop_assert_eq!(
+            u64::from(trace.total_cost),
+            encoded.cost(&state, &hw.weights())
+        );
+        prop_assert_eq!(trace.decisions.len(), burst.len());
+    }
+
+    #[test]
+    fn hardware_is_lossless(burst in burst_strategy(), state in state_strategy()) {
+        let encoded = PipelineEncoder::fixed().encode(&burst, &state);
+        prop_assert_eq!(encoded.decode(), burst);
+    }
+}

@@ -1,0 +1,275 @@
+//! Channel configurations for the memory-interface substrate.
+
+use crate::error::{MemError, Result};
+use core::fmt;
+use dbi_core::STANDARD_BURST_LEN;
+use dbi_phy::{Capacitance, DataRate, InterfaceEnergyModel, LoadBudget, PodInterface};
+
+/// The memory technology a channel models. Only parameters that matter for
+/// interface energy and DBI behaviour are captured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum MemoryKind {
+    /// GDDR5 graphics memory (POD135, x32 channels, up to ~8 Gbps/pin).
+    Gddr5,
+    /// GDDR5X graphics memory (POD135, x32 channels, up to 12 Gbps/pin).
+    Gddr5x,
+    /// DDR4 commodity memory (POD12, x64 channels, up to 3.2 Gbps/pin).
+    Ddr4,
+}
+
+impl fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MemoryKind::Gddr5 => "GDDR5",
+            MemoryKind::Gddr5x => "GDDR5X",
+            MemoryKind::Ddr4 => "DDR4",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Static configuration of one memory channel.
+///
+/// ```
+/// use dbi_mem::ChannelConfig;
+///
+/// let config = ChannelConfig::gddr5x();
+/// assert_eq!(config.lane_groups(), 4);          // x32 channel
+/// assert_eq!(config.access_bytes(), 32);        // 4 groups × BL8
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelConfig {
+    kind: MemoryKind,
+    bus_width_bits: u32,
+    burst_len: usize,
+    interface: PodInterface,
+    load: LoadBudget,
+    data_rate: DataRate,
+}
+
+impl ChannelConfig {
+    /// A GDDR5X channel as evaluated in the paper: x32, BL8, POD135, 3 pF
+    /// per lane, 12 Gbps per pin.
+    #[must_use]
+    pub fn gddr5x() -> Self {
+        ChannelConfig {
+            kind: MemoryKind::Gddr5x,
+            bus_width_bits: 32,
+            burst_len: STANDARD_BURST_LEN,
+            interface: PodInterface::pod135(),
+            load: LoadBudget::gddr5_point_to_point(),
+            data_rate: DataRate::from_gbps(DataRate::GDDR5X_GBPS)
+                .expect("the GDDR5X preset rate is positive"),
+        }
+    }
+
+    /// A GDDR5 channel: x32, BL8, POD135, 8 Gbps per pin.
+    #[must_use]
+    pub fn gddr5() -> Self {
+        ChannelConfig {
+            kind: MemoryKind::Gddr5,
+            data_rate: DataRate::from_gbps(DataRate::GDDR5_GBPS)
+                .expect("the GDDR5 preset rate is positive"),
+            ..ChannelConfig::gddr5x()
+        }
+    }
+
+    /// A DDR4-3200 channel: x64, BL8, POD12, DIMM load budget.
+    #[must_use]
+    pub fn ddr4_3200() -> Self {
+        ChannelConfig {
+            kind: MemoryKind::Ddr4,
+            bus_width_bits: 64,
+            burst_len: STANDARD_BURST_LEN,
+            interface: PodInterface::pod12(),
+            load: LoadBudget::ddr4_dimm(),
+            data_rate: DataRate::from_gbps(DataRate::DDR4_3200_GBPS)
+                .expect("the DDR4 preset rate is positive"),
+        }
+    }
+
+    /// Builds a custom configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemError::BadBusWidth`] if `bus_width_bits` is zero or not a
+    ///   multiple of 8.
+    /// * [`MemError::ZeroBurstLength`] if `burst_len` is zero.
+    pub fn custom(
+        kind: MemoryKind,
+        bus_width_bits: u32,
+        burst_len: usize,
+        interface: PodInterface,
+        load: LoadBudget,
+        data_rate: DataRate,
+    ) -> Result<Self> {
+        if bus_width_bits == 0 || !bus_width_bits.is_multiple_of(8) {
+            return Err(MemError::BadBusWidth(bus_width_bits));
+        }
+        if burst_len == 0 {
+            return Err(MemError::ZeroBurstLength);
+        }
+        Ok(ChannelConfig { kind, bus_width_bits, burst_len, interface, load, data_rate })
+    }
+
+    /// Returns a copy running at a different per-pin data rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dbi_phy::PhyError::InvalidDataRate`] for non-positive rates.
+    pub fn at_data_rate(&self, gbps: f64) -> dbi_phy::Result<Self> {
+        Ok(ChannelConfig { data_rate: DataRate::from_gbps(gbps)?, ..self.clone() })
+    }
+
+    /// Returns a copy with a different lumped per-lane load.
+    #[must_use]
+    pub fn with_load(&self, cload: Capacitance) -> Self {
+        ChannelConfig { load: LoadBudget::lumped(cload), ..self.clone() }
+    }
+
+    /// The memory technology.
+    #[must_use]
+    pub const fn kind(&self) -> MemoryKind {
+        self.kind
+    }
+
+    /// Width of the DQ bus in data lanes (excluding DBI lanes).
+    #[must_use]
+    pub const fn bus_width_bits(&self) -> u32 {
+        self.bus_width_bits
+    }
+
+    /// Number of independent 8-lane DBI groups on the bus.
+    #[must_use]
+    pub const fn lane_groups(&self) -> usize {
+        (self.bus_width_bits / 8) as usize
+    }
+
+    /// Burst length in unit intervals.
+    #[must_use]
+    pub const fn burst_len(&self) -> usize {
+        self.burst_len
+    }
+
+    /// Bytes transferred by one full-bus burst (the channel's access
+    /// granularity): lane groups × burst length.
+    #[must_use]
+    pub const fn access_bytes(&self) -> usize {
+        self.lane_groups() * self.burst_len
+    }
+
+    /// The electrical interface.
+    #[must_use]
+    pub const fn interface(&self) -> PodInterface {
+        self.interface
+    }
+
+    /// The per-lane load budget.
+    #[must_use]
+    pub const fn load(&self) -> LoadBudget {
+        self.load
+    }
+
+    /// The per-pin data rate.
+    #[must_use]
+    pub const fn data_rate(&self) -> DataRate {
+        self.data_rate
+    }
+
+    /// The per-lane energy model implied by this configuration.
+    #[must_use]
+    pub fn energy_model(&self) -> InterfaceEnergyModel {
+        InterfaceEnergyModel::new(self.interface, self.load.total(), self.data_rate)
+    }
+}
+
+impl fmt::Display for ChannelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} x{} BL{} @ {}",
+            self.kind, self.bus_width_bits, self.burst_len, self.data_rate
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_the_expected_geometry() {
+        let gddr5x = ChannelConfig::gddr5x();
+        assert_eq!(gddr5x.kind(), MemoryKind::Gddr5x);
+        assert_eq!(gddr5x.bus_width_bits(), 32);
+        assert_eq!(gddr5x.lane_groups(), 4);
+        assert_eq!(gddr5x.access_bytes(), 32);
+        assert!((gddr5x.data_rate().gbps() - 12.0).abs() < 1e-9);
+
+        let ddr4 = ChannelConfig::ddr4_3200();
+        assert_eq!(ddr4.lane_groups(), 8);
+        assert_eq!(ddr4.access_bytes(), 64);
+        assert!((ddr4.interface().vddq_v() - 1.2).abs() < 1e-9);
+
+        let gddr5 = ChannelConfig::gddr5();
+        assert_eq!(gddr5.kind(), MemoryKind::Gddr5);
+        assert!((gddr5.data_rate().gbps() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_validation() {
+        let base = ChannelConfig::gddr5x();
+        assert!(matches!(
+            ChannelConfig::custom(
+                MemoryKind::Gddr5,
+                12,
+                8,
+                base.interface(),
+                base.load(),
+                base.data_rate()
+            ),
+            Err(MemError::BadBusWidth(12))
+        ));
+        assert!(matches!(
+            ChannelConfig::custom(
+                MemoryKind::Gddr5,
+                32,
+                0,
+                base.interface(),
+                base.load(),
+                base.data_rate()
+            ),
+            Err(MemError::ZeroBurstLength)
+        ));
+        let ok = ChannelConfig::custom(
+            MemoryKind::Ddr4,
+            16,
+            4,
+            base.interface(),
+            base.load(),
+            base.data_rate(),
+        )
+        .unwrap();
+        assert_eq!(ok.lane_groups(), 2);
+        assert_eq!(ok.access_bytes(), 8);
+    }
+
+    #[test]
+    fn rate_and_load_overrides() {
+        let config = ChannelConfig::gddr5x().at_data_rate(14.0).unwrap();
+        assert!((config.data_rate().gbps() - 14.0).abs() < 1e-9);
+        assert!(ChannelConfig::gddr5x().at_data_rate(0.0).is_err());
+        let config = config.with_load(Capacitance::from_pf(6.0));
+        assert!((config.load().total().picofarads() - 6.0).abs() < 1e-9);
+        assert!((config.energy_model().cload().picofarads() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_kind_and_rate() {
+        let text = ChannelConfig::gddr5x().to_string();
+        assert!(text.contains("GDDR5X"));
+        assert!(text.contains("Gbps"));
+        assert_eq!(MemoryKind::Ddr4.to_string(), "DDR4");
+    }
+}

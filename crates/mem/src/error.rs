@@ -1,0 +1,59 @@
+//! Error types for the `dbi-mem` crate.
+
+use core::fmt;
+
+/// Errors returned by the memory-channel model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// The payload length of a write does not match the channel's access
+    /// granularity (lane groups × burst length).
+    BadAccessSize {
+        /// Bytes supplied by the caller.
+        got: usize,
+        /// Bytes required per access.
+        expected: usize,
+    },
+    /// A channel was configured with a bus width that is not a multiple of
+    /// eight data lanes.
+    BadBusWidth(u32),
+    /// A channel was configured with a zero burst length.
+    ZeroBurstLength,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::BadAccessSize { got, expected } => {
+                write!(f, "access payload of {got} bytes does not match the channel granularity of {expected} bytes")
+            }
+            MemError::BadBusWidth(width) => {
+                write!(f, "bus width {width} is not a positive multiple of 8 data lanes")
+            }
+            MemError::ZeroBurstLength => write!(f, "burst length must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T, E = MemError> = core::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MemError::BadAccessSize { got: 3, expected: 32 }.to_string().contains("32"));
+        assert!(MemError::BadBusWidth(12).to_string().contains("12"));
+        assert!(MemError::ZeroBurstLength.to_string().contains("burst length"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<MemError>();
+    }
+}

@@ -1,0 +1,73 @@
+//! # dbi-mem
+//!
+//! A GDDR5/GDDR5X/DDR4 write-channel substrate for evaluating data bus
+//! inversion schemes at the system level.
+//!
+//! The paper measures encoding schemes on isolated bursts; a real memory
+//! controller drives many lane groups whose wire state persists across
+//! bursts, pays the encoder's own energy on every burst and must never
+//! corrupt the stored data. This crate provides that surrounding machinery:
+//!
+//! * [`ChannelConfig`] — channel geometry, electrical interface, load and
+//!   data rate (GDDR5, GDDR5X and DDR4 presets),
+//! * [`DqBus`] — per-group lane state and activity accounting,
+//! * [`DramDevice`] — the DBI-decoding receiver with a sparse backing store,
+//! * [`MemoryController`] — the write path tying it all together with a
+//!   pluggable [`dbi_core::Scheme`] and full energy accounting.
+//!
+//! ```
+//! # fn main() -> Result<(), dbi_mem::MemError> {
+//! use dbi_core::Scheme;
+//! use dbi_mem::{ChannelConfig, MemoryController};
+//!
+//! let mut controller = MemoryController::new(ChannelConfig::gddr5x(), Scheme::OptFixed);
+//! let data: Vec<u8> = (0..32).collect();
+//! controller.write(0x1000, &data)?;
+//! assert!(controller.verify(0x1000, &data));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod bus;
+pub mod config;
+pub mod controller;
+pub mod device;
+pub mod error;
+pub mod read_path;
+
+pub use bus::DqBus;
+pub use config::{ChannelConfig, MemoryKind};
+pub use controller::{AccessReport, EnergyTotals, MemoryController};
+pub use device::DramDevice;
+pub use error::{MemError, Result};
+pub use read_path::ReadPath;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbi_core::Scheme;
+
+    #[test]
+    fn the_optimal_scheme_saves_channel_energy_on_random_traffic() {
+        // A small end-to-end sanity check of the whole substrate: writing
+        // the same pseudo-random buffer through a GDDR5X channel costs less
+        // interface energy with OPT(Fixed) than with RAW.
+        let mut data = vec![0u8; 32 * 64];
+        let mut seed = 0x2468_ACE0u32;
+        for byte in &mut data {
+            seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            *byte = (seed >> 24) as u8;
+        }
+        let energy = |scheme: Scheme| {
+            let mut controller = MemoryController::new(ChannelConfig::gddr5x(), scheme);
+            controller.write_buffer(0, &data).unwrap();
+            assert!(controller.verify(0, &data[..32]));
+            controller.totals().interface_energy_j
+        };
+        assert!(energy(Scheme::OptFixed) < energy(Scheme::Raw));
+    }
+}

@@ -1,0 +1,328 @@
+//! Load-capacitance budgets for the memory interconnect.
+//!
+//! Section IV-A of the paper folds every contribution to the line load into
+//! a single capacitance `cload`: the driver's effective output capacitance,
+//! the input capacitance of each memory device hanging on the DQ line, the
+//! trace connecting controller and memory, and — where present — the DIMM
+//! socket. The figures sweep the total from 1 pF to 8 pF.
+
+use crate::error::{PhyError, Result};
+use core::fmt;
+use core::ops::Add;
+
+/// Conversion helper: picofarads to farads.
+const PF: f64 = 1e-12;
+
+/// A capacitance value stored in farads.
+///
+/// ```
+/// use dbi_phy::Capacitance;
+///
+/// let c = Capacitance::from_pf(3.0);
+/// assert!((c.farads() - 3e-12).abs() < 1e-18);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Capacitance {
+    farads: f64,
+}
+
+impl Capacitance {
+    /// Zero capacitance.
+    pub const ZERO: Capacitance = Capacitance { farads: 0.0 };
+
+    /// Creates a capacitance from picofarads. Negative, NaN and infinite
+    /// inputs are clamped to zero rather than rejected, because budgets are
+    /// built additively from component estimates and a missing component is
+    /// simply absent.
+    #[must_use]
+    pub fn from_pf(pf: f64) -> Self {
+        if pf.is_finite() && pf > 0.0 {
+            Capacitance { farads: pf * PF }
+        } else {
+            Capacitance::ZERO
+        }
+    }
+
+    /// Creates a capacitance from farads, with the same clamping behaviour
+    /// as [`Capacitance::from_pf`].
+    #[must_use]
+    pub fn from_farads(farads: f64) -> Self {
+        if farads.is_finite() && farads > 0.0 {
+            Capacitance { farads }
+        } else {
+            Capacitance::ZERO
+        }
+    }
+
+    /// The value in farads.
+    #[must_use]
+    pub const fn farads(&self) -> f64 {
+        self.farads
+    }
+
+    /// The value in picofarads.
+    #[must_use]
+    pub fn picofarads(&self) -> f64 {
+        self.farads / PF
+    }
+}
+
+impl Add for Capacitance {
+    type Output = Capacitance;
+
+    fn add(self, rhs: Capacitance) -> Capacitance {
+        Capacitance { farads: self.farads + rhs.farads }
+    }
+}
+
+impl core::iter::Sum for Capacitance {
+    fn sum<I: Iterator<Item = Capacitance>>(iter: I) -> Self {
+        iter.fold(Capacitance::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Capacitance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} pF", self.picofarads())
+    }
+}
+
+/// An itemised per-lane load budget, mirroring the contributions listed in
+/// Section IV-A of the paper.
+///
+/// ```
+/// # fn main() -> Result<(), dbi_phy::PhyError> {
+/// use dbi_phy::LoadBudget;
+///
+/// // The CACTI-IO style DDR4 point-to-point budget: 2 pF driver + 1 pF device.
+/// let budget = LoadBudget::builder()
+///     .driver_pf(2.0)
+///     .devices(1, 1.0)
+///     .trace_pf(0.5)
+///     .build()?;
+/// assert!((budget.total().picofarads() - 3.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadBudget {
+    driver: Capacitance,
+    devices: Capacitance,
+    trace: Capacitance,
+    socket: Capacitance,
+}
+
+impl LoadBudget {
+    /// Starts building a budget.
+    #[must_use]
+    pub fn builder() -> LoadBudgetBuilder {
+        LoadBudgetBuilder::default()
+    }
+
+    /// A flat budget consisting of a single lumped capacitance, as used by
+    /// the paper's 1–8 pF sweep.
+    #[must_use]
+    pub fn lumped(total: Capacitance) -> Self {
+        LoadBudget {
+            driver: total,
+            devices: Capacitance::ZERO,
+            trace: Capacitance::ZERO,
+            socket: Capacitance::ZERO,
+        }
+    }
+
+    /// A GDDR5/GDDR5X-style point-to-point budget: 1.3 pF driver
+    /// (Amirkhany et al.), one 1.3 pF device input, a short 0.4 pF trace and
+    /// no socket. Total ≈ 3 pF, the load Fig. 7 uses.
+    #[must_use]
+    pub fn gddr5_point_to_point() -> Self {
+        LoadBudget {
+            driver: Capacitance::from_pf(1.3),
+            devices: Capacitance::from_pf(1.3),
+            trace: Capacitance::from_pf(0.4),
+            socket: Capacitance::ZERO,
+        }
+    }
+
+    /// A DDR4 DIMM-based budget: 2 pF driver (CACTI-IO), one 1.3 pF device,
+    /// 1.5 pF of PCB trace and 1 pF for the DIMM socket.
+    #[must_use]
+    pub fn ddr4_dimm() -> Self {
+        LoadBudget {
+            driver: Capacitance::from_pf(2.0),
+            devices: Capacitance::from_pf(1.3),
+            trace: Capacitance::from_pf(1.5),
+            socket: Capacitance::from_pf(1.0),
+        }
+    }
+
+    /// Driver output capacitance.
+    #[must_use]
+    pub const fn driver(&self) -> Capacitance {
+        self.driver
+    }
+
+    /// Total input capacitance of all memory devices on the lane.
+    #[must_use]
+    pub const fn devices(&self) -> Capacitance {
+        self.devices
+    }
+
+    /// Transmission-line (PCB trace / package) capacitance.
+    #[must_use]
+    pub const fn trace(&self) -> Capacitance {
+        self.trace
+    }
+
+    /// Socket / connector capacitance (zero for soldered-down memory).
+    #[must_use]
+    pub const fn socket(&self) -> Capacitance {
+        self.socket
+    }
+
+    /// Total per-lane load — the `cload` of Eq. 2.
+    #[must_use]
+    pub fn total(&self) -> Capacitance {
+        self.driver + self.devices + self.trace + self.socket
+    }
+}
+
+impl fmt::Display for LoadBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "load {} (driver {}, devices {}, trace {}, socket {})",
+            self.total(),
+            self.driver,
+            self.devices,
+            self.trace,
+            self.socket
+        )
+    }
+}
+
+/// Builder for [`LoadBudget`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadBudgetBuilder {
+    driver_pf: f64,
+    device_count: u32,
+    device_pf: f64,
+    trace_pf: f64,
+    socket_pf: f64,
+}
+
+impl LoadBudgetBuilder {
+    /// Sets the driver output capacitance in picofarads.
+    #[must_use]
+    pub fn driver_pf(mut self, pf: f64) -> Self {
+        self.driver_pf = pf;
+        self
+    }
+
+    /// Sets the number of memory devices on the lane and the input
+    /// capacitance of each, in picofarads.
+    #[must_use]
+    pub fn devices(mut self, count: u32, pf_each: f64) -> Self {
+        self.device_count = count;
+        self.device_pf = pf_each;
+        self
+    }
+
+    /// Sets the trace capacitance in picofarads.
+    #[must_use]
+    pub fn trace_pf(mut self, pf: f64) -> Self {
+        self.trace_pf = pf;
+        self
+    }
+
+    /// Sets the socket/connector capacitance in picofarads.
+    #[must_use]
+    pub fn socket_pf(mut self, pf: f64) -> Self {
+        self.socket_pf = pf;
+        self
+    }
+
+    /// Builds the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::InvalidParameter`] when the resulting total is
+    /// zero — an interconnect with no load at all cannot be simulated
+    /// meaningfully.
+    pub fn build(self) -> Result<LoadBudget> {
+        let budget = LoadBudget {
+            driver: Capacitance::from_pf(self.driver_pf),
+            devices: Capacitance::from_pf(self.device_pf * f64::from(self.device_count)),
+            trace: Capacitance::from_pf(self.trace_pf),
+            socket: Capacitance::from_pf(self.socket_pf),
+        };
+        if budget.total().farads() <= 0.0 {
+            return Err(PhyError::InvalidParameter {
+                name: "load budget total",
+                value: budget.total().farads(),
+            });
+        }
+        Ok(budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacitance_conversions_and_clamping() {
+        assert!((Capacitance::from_pf(2.5).farads() - 2.5e-12).abs() < 1e-20);
+        assert!((Capacitance::from_farads(1e-12).picofarads() - 1.0).abs() < 1e-12);
+        assert_eq!(Capacitance::from_pf(-1.0), Capacitance::ZERO);
+        assert_eq!(Capacitance::from_pf(f64::NAN), Capacitance::ZERO);
+        assert_eq!(Capacitance::from_farads(-1.0), Capacitance::ZERO);
+    }
+
+    #[test]
+    fn capacitance_arithmetic() {
+        let total: Capacitance =
+            [Capacitance::from_pf(1.0), Capacitance::from_pf(2.0)].into_iter().sum();
+        assert!((total.picofarads() - 3.0).abs() < 1e-12);
+        assert_eq!(Capacitance::from_pf(1.0).to_string(), "1.00 pF");
+    }
+
+    #[test]
+    fn builder_accumulates_components() {
+        let budget = LoadBudget::builder()
+            .driver_pf(2.0)
+            .devices(2, 1.0)
+            .trace_pf(1.0)
+            .socket_pf(0.5)
+            .build()
+            .unwrap();
+        assert!((budget.total().picofarads() - 5.5).abs() < 1e-9);
+        assert!((budget.devices().picofarads() - 2.0).abs() < 1e-9);
+        assert!((budget.driver().picofarads() - 2.0).abs() < 1e-9);
+        assert!((budget.trace().picofarads() - 1.0).abs() < 1e-9);
+        assert!((budget.socket().picofarads() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_rejects_an_empty_budget() {
+        assert!(LoadBudget::builder().build().is_err());
+    }
+
+    #[test]
+    fn presets_are_in_the_papers_range() {
+        // The paper sweeps 1 pF to 8 pF; the presets must land inside that.
+        for budget in [LoadBudget::gddr5_point_to_point(), LoadBudget::ddr4_dimm()] {
+            let pf = budget.total().picofarads();
+            assert!((1.0..=8.0).contains(&pf), "preset total {pf} pF out of range");
+        }
+        // Fig. 7 uses 3 pF; the GDDR5 preset is the closest physical story.
+        assert!((LoadBudget::gddr5_point_to_point().total().picofarads() - 3.0).abs() < 0.11);
+    }
+
+    #[test]
+    fn lumped_budget_puts_everything_in_one_component() {
+        let budget = LoadBudget::lumped(Capacitance::from_pf(4.0));
+        assert!((budget.total().picofarads() - 4.0).abs() < 1e-9);
+        assert!(budget.to_string().contains("4.00 pF"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-pin data rates and the derived timing quantities.
+
+use crate::error::{PhyError, Result};
+use core::fmt;
+
+/// A per-pin data rate, stored in gigabits per second.
+///
+/// GDDR5 runs up to 6–8 Gbps per pin, GDDR5X up to 12 Gbps, and the
+/// paper's Figs. 7 and 8 sweep the rate from (almost) 0 to 20 Gbps.
+///
+/// ```
+/// # fn main() -> Result<(), dbi_phy::PhyError> {
+/// use dbi_phy::DataRate;
+///
+/// let rate = DataRate::from_gbps(12.0)?;
+/// assert!((rate.bit_time_s() - 83.3e-12).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct DataRate {
+    gbps: f64,
+}
+
+impl DataRate {
+    /// GDDR5 at its common upper speed bin.
+    pub const GDDR5_GBPS: f64 = 8.0;
+    /// GDDR5X as referenced in the paper ("up to 12 Gbps data rate per pin").
+    pub const GDDR5X_GBPS: f64 = 12.0;
+    /// DDR4-3200, the fastest standard DDR4 speed bin.
+    pub const DDR4_3200_GBPS: f64 = 3.2;
+
+    /// Creates a data rate from gigabits per second.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::InvalidDataRate`] when the rate is zero, negative
+    /// or not finite.
+    pub fn from_gbps(gbps: f64) -> Result<Self> {
+        if gbps.is_finite() && gbps > 0.0 {
+            Ok(DataRate { gbps })
+        } else {
+            Err(PhyError::InvalidDataRate(gbps))
+        }
+    }
+
+    /// The data rate in gigabits per second.
+    #[must_use]
+    pub const fn gbps(&self) -> f64 {
+        self.gbps
+    }
+
+    /// The data rate in bits per second.
+    #[must_use]
+    pub fn bits_per_second(&self) -> f64 {
+        self.gbps * 1e9
+    }
+
+    /// Duration of one unit interval (one bit time) in seconds.
+    #[must_use]
+    pub fn bit_time_s(&self) -> f64 {
+        1.0 / self.bits_per_second()
+    }
+
+    /// Duration of one burst of `burst_len` unit intervals, in seconds.
+    #[must_use]
+    pub fn burst_time_s(&self, burst_len: usize) -> f64 {
+        self.bit_time_s() * burst_len as f64
+    }
+
+    /// Clock frequency of an encoder that processes one whole burst of
+    /// `burst_len` unit intervals per cycle, in hertz. The paper's encoder
+    /// handles 8 bytes per cycle, so 12 Gbps requires 1.5 GHz.
+    #[must_use]
+    pub fn encoder_clock_hz(&self, burst_len: usize) -> f64 {
+        self.bits_per_second() / burst_len as f64
+    }
+}
+
+impl fmt::Display for DataRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} Gbps", self.gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_positive_rates() {
+        assert!(DataRate::from_gbps(0.0).is_err());
+        assert!(DataRate::from_gbps(-1.0).is_err());
+        assert!(DataRate::from_gbps(f64::NAN).is_err());
+        assert!(DataRate::from_gbps(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let rate = DataRate::from_gbps(10.0).unwrap();
+        assert!((rate.bits_per_second() - 1e10).abs() < 1.0);
+        assert!((rate.bit_time_s() - 1e-10).abs() < 1e-16);
+        assert!((rate.burst_time_s(8) - 8e-10).abs() < 1e-15);
+    }
+
+    #[test]
+    fn paper_gddr5x_needs_a_1_5_ghz_encoder() {
+        // "Our design encodes 8 bytes per clock cycle, thus a clock frequency
+        // of 1.5 GHz is required" for 12 Gbps.
+        let rate = DataRate::from_gbps(DataRate::GDDR5X_GBPS).unwrap();
+        assert!((rate.encoder_clock_hz(8) - 1.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DataRate::from_gbps(3.2).unwrap().to_string(), "3.2 Gbps");
+    }
+}

@@ -1,0 +1,290 @@
+//! The CACTI-IO derived interface energy model (Eqs. 1–4 of the paper).
+//!
+//! The paper unifies all load capacitances into a single `cload` and
+//! reformulates the CACTI-IO power equations as **energy per activity
+//! event**:
+//!
+//! * Eq. 1 — `E_zero = VDDQ² / (Rpullup + Rpulldown) · 1/f` — the DC
+//!   termination energy of keeping one lane low for one unit interval,
+//! * Eq. 2 — `E_transition = ½ · VDDQ · Vswing · cload` — the switching
+//!   energy of one lane toggle,
+//! * Eq. 3 — `Vswing = VDDQ · Rpullup / (Rpullup + Rpulldown)`,
+//! * Eq. 4 — `E_burst = n_zeros · E_zero + n_transitions · E_transition`.
+//!
+//! Because `E_zero` shrinks with the data rate while `E_transition` does
+//! not, the best DBI strategy changes with the operating point: DC coding
+//! wins at low rates, AC coding at (very) high rates, and the optimal
+//! encoder adapts — which is exactly the story of Figs. 7 and 8.
+
+use crate::capacitance::Capacitance;
+use crate::datarate::DataRate;
+use crate::error::Result;
+use crate::pod::PodInterface;
+use core::fmt;
+use dbi_core::{CostBreakdown, CostWeights};
+
+/// Interface energy model for one POD-signalled lane group.
+///
+/// ```
+/// # fn main() -> Result<(), dbi_phy::PhyError> {
+/// use dbi_phy::{Capacitance, DataRate, InterfaceEnergyModel, PodInterface};
+///
+/// let model = InterfaceEnergyModel::new(
+///     PodInterface::pod135(),
+///     Capacitance::from_pf(3.0),
+///     DataRate::from_gbps(12.0)?,
+/// );
+/// // At 12 Gbps and 3 pF the two per-event energies are the same order of
+/// // magnitude, which is why balanced alpha = beta coefficients work well.
+/// let ratio = model.energy_per_transition_j() / model.energy_per_zero_j();
+/// assert!(ratio > 0.2 && ratio < 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterfaceEnergyModel {
+    interface: PodInterface,
+    cload: Capacitance,
+    data_rate: DataRate,
+}
+
+impl InterfaceEnergyModel {
+    /// Creates an energy model from an interface, a per-lane load and a
+    /// per-pin data rate.
+    #[must_use]
+    pub const fn new(interface: PodInterface, cload: Capacitance, data_rate: DataRate) -> Self {
+        InterfaceEnergyModel { interface, cload, data_rate }
+    }
+
+    /// The electrical interface.
+    #[must_use]
+    pub const fn interface(&self) -> PodInterface {
+        self.interface
+    }
+
+    /// The per-lane load capacitance.
+    #[must_use]
+    pub const fn cload(&self) -> Capacitance {
+        self.cload
+    }
+
+    /// The per-pin data rate.
+    #[must_use]
+    pub const fn data_rate(&self) -> DataRate {
+        self.data_rate
+    }
+
+    /// Returns a copy of the model at a different data rate (used by the
+    /// Fig. 7/8 sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PhyError::InvalidDataRate`] for non-positive rates.
+    pub fn at_data_rate(&self, gbps: f64) -> Result<Self> {
+        Ok(InterfaceEnergyModel {
+            interface: self.interface,
+            cload: self.cload,
+            data_rate: DataRate::from_gbps(gbps)?,
+        })
+    }
+
+    /// Returns a copy of the model with a different load capacitance (used
+    /// by the Fig. 8 sweep).
+    #[must_use]
+    pub fn with_cload(&self, cload: Capacitance) -> Self {
+        InterfaceEnergyModel { interface: self.interface, cload, data_rate: self.data_rate }
+    }
+
+    /// Eq. 1: energy of transmitting a single zero for one unit interval,
+    /// in joules.
+    #[must_use]
+    pub fn energy_per_zero_j(&self) -> f64 {
+        self.interface.zero_power_w() * self.data_rate.bit_time_s()
+    }
+
+    /// Eq. 2: energy of a single lane transition, in joules.
+    #[must_use]
+    pub fn energy_per_transition_j(&self) -> f64 {
+        0.5 * self.interface.vddq_v() * self.interface.swing_v() * self.cload.farads()
+    }
+
+    /// Eq. 4: total interface energy of a burst with the given activity
+    /// counts, in joules.
+    #[must_use]
+    pub fn burst_energy_j(&self, activity: &CostBreakdown) -> f64 {
+        activity.energy(self.energy_per_zero_j(), self.energy_per_transition_j())
+    }
+
+    /// The AC-cost share α = E_transition / (E_transition + E_zero), i.e.
+    /// the x-axis position of this operating point in Figs. 3 and 4.
+    #[must_use]
+    pub fn ac_cost_share(&self) -> f64 {
+        let et = self.energy_per_transition_j();
+        let ez = self.energy_per_zero_j();
+        et / (et + ez)
+    }
+
+    /// Integer cost coefficients quantised from the physical energy ratio,
+    /// as the paper's configurable hardware variant would be programmed
+    /// (3-bit coefficients by default in Table I).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dbi_core::DbiError::ZeroWeights`] only if both energies are
+    /// degenerate, which cannot happen for a validated model.
+    pub fn quantised_weights(&self, resolution_bits: u32) -> dbi_core::Result<CostWeights> {
+        CostWeights::from_energy_ratio(
+            self.energy_per_transition_j(),
+            self.energy_per_zero_j(),
+            resolution_bits,
+        )
+    }
+
+    /// The data rate at which one zero and one transition cost the same
+    /// energy, in Gbps. Around this operating point the fixed α = β = 1
+    /// coefficients of the paper's hardware-friendly encoder are exact.
+    #[must_use]
+    pub fn break_even_gbps(&self) -> f64 {
+        // E_zero(f) = E_transition  =>  P_zero / f = E_transition.
+        self.interface.zero_power_w() / self.energy_per_transition_j() / 1e9
+    }
+}
+
+impl fmt::Display for InterfaceEnergyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {} with {}",
+            self.interface, self.data_rate, self.cload
+        )
+    }
+}
+
+/// Convenience: the Fig. 7 operating point (POD135, 3 pF) at a given rate.
+///
+/// # Errors
+///
+/// Returns [`crate::PhyError::InvalidDataRate`] for non-positive rates.
+pub fn fig7_operating_point(gbps: f64) -> Result<InterfaceEnergyModel> {
+    Ok(InterfaceEnergyModel::new(
+        PodInterface::pod135(),
+        Capacitance::from_pf(3.0),
+        DataRate::from_gbps(gbps)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(gbps: f64, pf: f64) -> InterfaceEnergyModel {
+        InterfaceEnergyModel::new(
+            PodInterface::pod135(),
+            Capacitance::from_pf(pf),
+            DataRate::from_gbps(gbps).unwrap(),
+        )
+    }
+
+    #[test]
+    fn eq1_energy_per_zero_scales_inversely_with_data_rate() {
+        let slow = model(1.0, 3.0);
+        let fast = model(10.0, 3.0);
+        assert!((slow.energy_per_zero_j() / fast.energy_per_zero_j() - 10.0).abs() < 1e-9);
+        // Absolute value: 1.35^2/100 W * 1 ns ≈ 18.2 pJ at 1 Gbps.
+        assert!((slow.energy_per_zero_j() - 1.35 * 1.35 / 100.0 * 1e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eq2_energy_per_transition_is_rate_independent() {
+        let slow = model(1.0, 3.0);
+        let fast = model(20.0, 3.0);
+        assert!((slow.energy_per_transition_j() - fast.energy_per_transition_j()).abs() < 1e-20);
+        // 0.5 * 1.35 * 0.81 * 3 pF ≈ 1.64 pJ.
+        let expected = 0.5 * 1.35 * (1.35 * 0.6) * 3e-12;
+        assert!((slow.energy_per_transition_j() - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn eq4_burst_energy_is_linear_in_the_activity() {
+        let m = model(12.0, 3.0);
+        let a = CostBreakdown::new(10, 5);
+        let b = CostBreakdown::new(20, 10);
+        assert!((2.0 * m.burst_energy_j(&a) - m.burst_energy_j(&b)).abs() < 1e-18);
+        let manual =
+            10.0 * m.energy_per_zero_j() + 5.0 * m.energy_per_transition_j();
+        assert!((m.burst_energy_j(&a) - manual).abs() < 1e-20);
+    }
+
+    #[test]
+    fn ac_cost_share_grows_with_data_rate() {
+        let shares: Vec<f64> = [1.0, 4.0, 8.0, 12.0, 16.0, 20.0]
+            .iter()
+            .map(|&g| model(g, 3.0).ac_cost_share())
+            .collect();
+        for pair in shares.windows(2) {
+            assert!(pair[0] < pair[1], "AC share must grow with data rate: {shares:?}");
+        }
+        assert!(shares[0] < 0.2, "at 1 Gbps the termination energy dominates");
+        assert!(shares[5] > 0.5, "at 20 Gbps the switching energy dominates");
+    }
+
+    #[test]
+    fn break_even_sits_in_the_papers_sweet_spot() {
+        // Fig. 7: the biggest gain of the fixed-coefficient encoder is
+        // around the low-teens of Gbps for a 3 pF load.
+        let m = model(12.0, 3.0);
+        let break_even = m.break_even_gbps();
+        assert!(
+            (8.0..=16.0).contains(&break_even),
+            "break-even {break_even} Gbps outside the expected window"
+        );
+        // And at that rate the quantised ratio is 1:1.
+        let at_even = m.at_data_rate(break_even).unwrap();
+        let w = at_even.quantised_weights(3).unwrap();
+        assert_eq!(w.alpha(), w.beta());
+    }
+
+    #[test]
+    fn higher_load_moves_the_break_even_down() {
+        // Fig. 8: "Higher capacitive load reduces the frequency where the
+        // highest reduction of energy is achieved."
+        let light = model(12.0, 1.0).break_even_gbps();
+        let heavy = model(12.0, 8.0).break_even_gbps();
+        assert!(heavy < light);
+    }
+
+    #[test]
+    fn builders_and_accessors() {
+        let m = model(12.0, 3.0);
+        assert!((m.data_rate().gbps() - 12.0).abs() < 1e-12);
+        assert!((m.cload().picofarads() - 3.0).abs() < 1e-12);
+        assert!((m.interface().vddq_v() - 1.35).abs() < 1e-12);
+        let m2 = m.at_data_rate(6.0).unwrap();
+        assert!((m2.data_rate().gbps() - 6.0).abs() < 1e-12);
+        assert!(m.at_data_rate(0.0).is_err());
+        let m3 = m.with_cload(Capacitance::from_pf(8.0));
+        assert!((m3.cload().picofarads() - 8.0).abs() < 1e-12);
+        assert!(m.to_string().contains("Gbps"));
+        assert!(fig7_operating_point(14.0).is_ok());
+        assert!(fig7_operating_point(-1.0).is_err());
+    }
+
+    #[test]
+    fn ddr4_pod12_behaves_like_gddr5x_pod135() {
+        // "results for DDR4 with POD12 are almost identical": the AC share
+        // curves of the two interfaces track each other closely.
+        for gbps in [2.0, 6.0, 10.0, 14.0] {
+            let gddr = InterfaceEnergyModel::new(
+                PodInterface::pod135(),
+                Capacitance::from_pf(3.0),
+                DataRate::from_gbps(gbps).unwrap(),
+            );
+            let ddr4 = InterfaceEnergyModel::new(
+                PodInterface::pod12(),
+                Capacitance::from_pf(3.0),
+                DataRate::from_gbps(gbps).unwrap(),
+            );
+            assert!((gddr.ac_cost_share() - ddr4.ac_cost_share()).abs() < 0.05);
+        }
+    }
+}

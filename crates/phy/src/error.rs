@@ -1,0 +1,80 @@
+//! Error types for the `dbi-phy` crate.
+
+use core::fmt;
+
+/// Errors returned by the electrical-model constructors.
+///
+/// All physical quantities are validated at construction time so the energy
+/// equations never see zero or negative resistances, voltages, capacitances
+/// or data rates.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PhyError {
+    /// A physical parameter was zero, negative, NaN or infinite.
+    InvalidParameter {
+        /// Name of the offending parameter (e.g. `"vddq"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A data rate of zero or below was supplied.
+    InvalidDataRate(f64),
+}
+
+impl fmt::Display for PhyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} must be positive and finite, got {value}")
+            }
+            PhyError::InvalidDataRate(rate) => {
+                write!(f, "data rate must be positive and finite, got {rate} Gbps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PhyError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T, E = PhyError> = core::result::Result<T, E>;
+
+/// Validates that a physical parameter is positive and finite.
+pub(crate) fn check_positive(name: &'static str, value: f64) -> Result<f64> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(PhyError::InvalidParameter { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_positive_accepts_positive_finite_values() {
+        assert_eq!(check_positive("x", 1.5).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn check_positive_rejects_bad_values() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(check_positive("x", bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn display_messages() {
+        let err = PhyError::InvalidParameter { name: "vddq", value: -1.0 };
+        assert!(err.to_string().contains("vddq"));
+        let err = PhyError::InvalidDataRate(0.0);
+        assert!(err.to_string().contains("data rate"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<PhyError>();
+    }
+}

@@ -1,0 +1,87 @@
+//! # dbi-phy
+//!
+//! Electrical and energy model of the DRAM data-bus interface used by
+//! *"Optimal DC/AC Data Bus Inversion Coding"* (DATE 2018).
+//!
+//! The crate models the pseudo-open-drain (POD) signalling of
+//! GDDR5/GDDR5X/DDR4 ([`PodInterface`]), the per-lane load-capacitance
+//! budget ([`LoadBudget`]), per-pin data rates ([`DataRate`]) and the
+//! CACTI-IO derived per-event energy equations
+//! ([`InterfaceEnergyModel`], Eqs. 1–4 of the paper). An SSTL model
+//! ([`SstlInterface`]) is included for contrast: mid-rail terminated
+//! interfaces draw DC current for both logic levels, which is why
+//! zero-minimising DBI only pays off with POD termination.
+//!
+//! ```
+//! # fn main() -> Result<(), dbi_phy::PhyError> {
+//! use dbi_core::{Burst, BusState, DbiEncoder, Scheme};
+//! use dbi_phy::{Capacitance, DataRate, InterfaceEnergyModel, PodInterface};
+//!
+//! let model = InterfaceEnergyModel::new(
+//!     PodInterface::pod135(),
+//!     Capacitance::from_pf(3.0),
+//!     DataRate::from_gbps(14.0)?,
+//! );
+//! let burst = Burst::paper_example();
+//! let state = BusState::idle();
+//! let raw = Scheme::Raw.encode(&burst, &state).breakdown(&state);
+//! let opt = Scheme::OptFixed.encode(&burst, &state).breakdown(&state);
+//! assert!(model.burst_energy_j(&opt) < model.burst_energy_j(&raw));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod capacitance;
+pub mod datarate;
+pub mod energy;
+pub mod error;
+pub mod pod;
+pub mod sstl;
+
+pub use capacitance::{Capacitance, LoadBudget, LoadBudgetBuilder};
+pub use datarate::DataRate;
+pub use energy::{fig7_operating_point, InterfaceEnergyModel};
+pub use error::{PhyError, Result};
+pub use pod::PodInterface;
+pub use sstl::SstlInterface;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbi_core::{Burst, BusState, DbiEncoder, Scheme};
+
+    #[test]
+    fn energy_ordering_matches_fig7_at_high_rate() {
+        // Around 14 Gbps with 3 pF, OPT(Fixed) should beat both DC and AC,
+        // and all encoded schemes should beat RAW.
+        let model = fig7_operating_point(14.0).unwrap();
+        let burst = Burst::paper_example();
+        let state = BusState::idle();
+        let energy = |scheme: Scheme| {
+            model.burst_energy_j(&scheme.encode(&burst, &state).breakdown(&state))
+        };
+        let raw = energy(Scheme::Raw);
+        let dc = energy(Scheme::Dc);
+        let ac = energy(Scheme::Ac);
+        let opt = energy(Scheme::OptFixed);
+        assert!(opt <= dc);
+        assert!(opt <= ac);
+        assert!(opt < raw);
+    }
+
+    #[test]
+    fn low_rate_favours_dc_high_rate_favours_ac() {
+        let burst = Burst::paper_example();
+        let state = BusState::idle();
+        let dc = Scheme::Dc.encode(&burst, &state).breakdown(&state);
+        let ac = Scheme::Ac.encode(&burst, &state).breakdown(&state);
+        let slow = fig7_operating_point(1.0).unwrap();
+        let fast = fig7_operating_point(20.0).unwrap();
+        assert!(slow.burst_energy_j(&dc) < slow.burst_energy_j(&ac));
+        assert!(fast.burst_energy_j(&ac) < fast.burst_energy_j(&dc));
+    }
+}

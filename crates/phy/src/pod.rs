@@ -1,0 +1,199 @@
+//! Pseudo open drain (POD) interface model.
+//!
+//! GDDR5/GDDR5X and DDR4 use POD signalling: the receiver terminates the
+//! line to VDDQ through an on-die termination resistor, and the transmitter
+//! pulls the line low through its output driver to signal a zero. DC
+//! current therefore flows **only while a zero is on the wire**, which is
+//! what makes zero-minimising DBI coding worthwhile in the first place
+//! (Fig. 1 of the paper).
+
+use crate::error::{check_positive, Result};
+use core::fmt;
+
+/// Electrical parameters of a POD I/O interface.
+///
+/// The three presets match the JEDEC classes referenced in the paper:
+/// [`PodInterface::pod135`] (GDDR5/GDDR5X), [`PodInterface::pod12`] (DDR4)
+/// and [`PodInterface::pod15`] (the original POD15 definition). The default
+/// resistor split — 60 Ω on-die termination pull-up against a 40 Ω driver
+/// pull-down — is typical for GDDR5-class interfaces; the paper does not
+/// fix the split, and the figures depend only on the resulting
+/// zero-energy / transition-energy ratio.
+///
+/// ```
+/// use dbi_phy::PodInterface;
+///
+/// let pod = PodInterface::pod135();
+/// assert!((pod.vddq_v() - 1.35).abs() < 1e-12);
+/// // Output-low level sits at the resistive divider between driver and ODT.
+/// assert!(pod.output_low_v() < pod.vddq_v());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PodInterface {
+    vddq_v: f64,
+    r_pullup_ohm: f64,
+    r_pulldown_ohm: f64,
+}
+
+impl PodInterface {
+    /// Default on-die termination (pull-up to VDDQ) resistance in ohms.
+    pub const DEFAULT_R_PULLUP_OHM: f64 = 60.0;
+    /// Default driver pull-down resistance in ohms.
+    pub const DEFAULT_R_PULLDOWN_OHM: f64 = 40.0;
+
+    /// Creates a POD interface from explicit electrical parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PhyError::InvalidParameter`] when any value is zero,
+    /// negative or not finite.
+    pub fn new(vddq_v: f64, r_pullup_ohm: f64, r_pulldown_ohm: f64) -> Result<Self> {
+        Ok(PodInterface {
+            vddq_v: check_positive("vddq", vddq_v)?,
+            r_pullup_ohm: check_positive("r_pullup", r_pullup_ohm)?,
+            r_pulldown_ohm: check_positive("r_pulldown", r_pulldown_ohm)?,
+        })
+    }
+
+    /// POD135 (VDDQ = 1.35 V) as used by GDDR5 and GDDR5X — the interface
+    /// Figs. 7 and 8 of the paper are computed for.
+    #[must_use]
+    pub fn pod135() -> Self {
+        PodInterface {
+            vddq_v: 1.35,
+            r_pullup_ohm: Self::DEFAULT_R_PULLUP_OHM,
+            r_pulldown_ohm: Self::DEFAULT_R_PULLDOWN_OHM,
+        }
+    }
+
+    /// POD12 (VDDQ = 1.2 V) as used by DDR4. The paper notes the DDR4
+    /// results are "almost identical" to the GDDR5X ones.
+    #[must_use]
+    pub fn pod12() -> Self {
+        PodInterface {
+            vddq_v: 1.2,
+            r_pullup_ohm: Self::DEFAULT_R_PULLUP_OHM,
+            r_pulldown_ohm: Self::DEFAULT_R_PULLDOWN_OHM,
+        }
+    }
+
+    /// POD15 (VDDQ = 1.5 V), the original JEDEC POD definition (JESD8-20A).
+    #[must_use]
+    pub fn pod15() -> Self {
+        PodInterface {
+            vddq_v: 1.5,
+            r_pullup_ohm: Self::DEFAULT_R_PULLUP_OHM,
+            r_pulldown_ohm: Self::DEFAULT_R_PULLDOWN_OHM,
+        }
+    }
+
+    /// Returns a copy with a different resistor split, keeping VDDQ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PhyError::InvalidParameter`] for non-positive values.
+    pub fn with_resistors(&self, r_pullup_ohm: f64, r_pulldown_ohm: f64) -> Result<Self> {
+        PodInterface::new(self.vddq_v, r_pullup_ohm, r_pulldown_ohm)
+    }
+
+    /// I/O supply voltage in volts.
+    #[must_use]
+    pub const fn vddq_v(&self) -> f64 {
+        self.vddq_v
+    }
+
+    /// Termination (pull-up) resistance in ohms.
+    #[must_use]
+    pub const fn r_pullup_ohm(&self) -> f64 {
+        self.r_pullup_ohm
+    }
+
+    /// Driver (pull-down) resistance in ohms.
+    #[must_use]
+    pub const fn r_pulldown_ohm(&self) -> f64 {
+        self.r_pulldown_ohm
+    }
+
+    /// Total resistance of the DC path while a zero is transmitted.
+    #[must_use]
+    pub fn series_resistance_ohm(&self) -> f64 {
+        self.r_pullup_ohm + self.r_pulldown_ohm
+    }
+
+    /// Signal swing per Eq. 3 of the paper:
+    /// `Vswing = VDDQ · Rpullup / (Rpullup + Rpulldown)`.
+    #[must_use]
+    pub fn swing_v(&self) -> f64 {
+        self.vddq_v * self.r_pullup_ohm / self.series_resistance_ohm()
+    }
+
+    /// Output-low voltage: the level the line settles to while a zero is
+    /// driven (the resistive divider between driver and termination).
+    #[must_use]
+    pub fn output_low_v(&self) -> f64 {
+        self.vddq_v - self.swing_v()
+    }
+
+    /// DC power drawn from VDDQ while one lane transmits a zero, in watts:
+    /// `VDDQ² / (Rpullup + Rpulldown)`.
+    #[must_use]
+    pub fn zero_power_w(&self) -> f64 {
+        self.vddq_v * self.vddq_v / self.series_resistance_ohm()
+    }
+}
+
+impl fmt::Display for PodInterface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "POD {:.2} V (pull-up {:.0} Ω, pull-down {:.0} Ω)",
+            self.vddq_v, self.r_pullup_ohm, self.r_pulldown_ohm
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_the_jedec_voltages() {
+        assert!((PodInterface::pod135().vddq_v() - 1.35).abs() < 1e-12);
+        assert!((PodInterface::pod12().vddq_v() - 1.2).abs() < 1e-12);
+        assert!((PodInterface::pod15().vddq_v() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_rejects_non_positive_parameters() {
+        assert!(PodInterface::new(0.0, 60.0, 40.0).is_err());
+        assert!(PodInterface::new(1.35, -60.0, 40.0).is_err());
+        assert!(PodInterface::new(1.35, 60.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn swing_follows_eq3() {
+        let pod = PodInterface::new(1.35, 60.0, 40.0).unwrap();
+        assert!((pod.swing_v() - 1.35 * 0.6).abs() < 1e-12);
+        assert!((pod.output_low_v() - 1.35 * 0.4).abs() < 1e-12);
+        assert!((pod.series_resistance_ohm() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_power_matches_ohms_law() {
+        let pod = PodInterface::new(1.2, 60.0, 40.0).unwrap();
+        assert!((pod.zero_power_w() - 1.2 * 1.2 / 100.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn with_resistors_changes_only_the_split() {
+        let pod = PodInterface::pod135().with_resistors(50.0, 50.0).unwrap();
+        assert!((pod.vddq_v() - 1.35).abs() < 1e-12);
+        assert!((pod.swing_v() - 0.675).abs() < 1e-12);
+        assert!(PodInterface::pod135().with_resistors(0.0, 50.0).is_err());
+    }
+
+    #[test]
+    fn display_mentions_the_voltage() {
+        assert!(PodInterface::pod135().to_string().contains("1.35"));
+    }
+}

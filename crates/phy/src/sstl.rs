@@ -1,0 +1,108 @@
+//! Stub-series terminated logic (SSTL) interface model, for contrast.
+//!
+//! Pre-DDR4 memories (DDR2/DDR3) use SSTL signalling terminated to the
+//! mid-rail voltage 0.5·VDDQ. In a terminated SSTL link DC current flows
+//! regardless of the transmitted value — only the direction of the current
+//! changes — so zero-minimising DBI coding does not reduce termination
+//! power there. This module exists to make that asymmetry concrete and
+//! testable; the paper's introduction uses it to motivate why POD + DBI is
+//! the interesting combination.
+
+use crate::error::{check_positive, Result};
+use core::fmt;
+
+/// Electrical parameters of a mid-rail terminated SSTL interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SstlInterface {
+    vddq_v: f64,
+    r_termination_ohm: f64,
+    r_driver_ohm: f64,
+}
+
+impl SstlInterface {
+    /// SSTL-15 (DDR3, VDDQ = 1.5 V) with typical 60 Ω ODT and 40 Ω driver.
+    #[must_use]
+    pub fn sstl15() -> Self {
+        SstlInterface { vddq_v: 1.5, r_termination_ohm: 60.0, r_driver_ohm: 40.0 }
+    }
+
+    /// Creates an SSTL interface from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PhyError::InvalidParameter`] for non-positive values.
+    pub fn new(vddq_v: f64, r_termination_ohm: f64, r_driver_ohm: f64) -> Result<Self> {
+        Ok(SstlInterface {
+            vddq_v: check_positive("vddq", vddq_v)?,
+            r_termination_ohm: check_positive("r_termination", r_termination_ohm)?,
+            r_driver_ohm: check_positive("r_driver", r_driver_ohm)?,
+        })
+    }
+
+    /// I/O supply voltage in volts.
+    #[must_use]
+    pub const fn vddq_v(&self) -> f64 {
+        self.vddq_v
+    }
+
+    /// DC power drawn while transmitting a **zero**, in watts. The line is
+    /// pulled below the mid-rail termination voltage, so current flows from
+    /// the termination supply into the driver.
+    #[must_use]
+    pub fn zero_power_w(&self) -> f64 {
+        self.level_power_w()
+    }
+
+    /// DC power drawn while transmitting a **one**, in watts. The line is
+    /// pulled above the termination voltage, so current flows in the other
+    /// direction — but its magnitude is the same. This is the key contrast
+    /// with POD, where transmitting a one draws no DC current at all.
+    #[must_use]
+    pub fn one_power_w(&self) -> f64 {
+        self.level_power_w()
+    }
+
+    fn level_power_w(&self) -> f64 {
+        // The line is driven 0.5·VDDQ away from the termination voltage
+        // through the series combination of driver and termination.
+        let half = 0.5 * self.vddq_v;
+        half * half / (self.r_termination_ohm + self.r_driver_ohm)
+    }
+}
+
+impl fmt::Display for SstlInterface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SSTL {:.2} V (mid-rail terminated)", self.vddq_v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pod::PodInterface;
+
+    #[test]
+    fn sstl_draws_current_for_both_levels() {
+        let sstl = SstlInterface::sstl15();
+        assert!(sstl.zero_power_w() > 0.0);
+        assert!((sstl.zero_power_w() - sstl.one_power_w()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pod_draws_current_only_for_zeros() {
+        let pod = PodInterface::pod135();
+        assert!(pod.zero_power_w() > 0.0);
+        // A transmitted one leaves both ends at VDDQ: no voltage across the
+        // termination, no DC current. The POD model has no `one_power`
+        // method at all; this test documents the asymmetry the DBI DC
+        // scheme exploits.
+    }
+
+    #[test]
+    fn constructor_validation_and_accessors() {
+        assert!(SstlInterface::new(1.5, 0.0, 40.0).is_err());
+        let sstl = SstlInterface::new(1.35, 60.0, 40.0).unwrap();
+        assert!((sstl.vddq_v() - 1.35).abs() < 1e-12);
+        assert!(sstl.to_string().contains("SSTL"));
+    }
+}

@@ -1,0 +1,102 @@
+//! The workload-generator abstraction.
+
+use dbi_core::Burst;
+
+/// A source of bursts for DBI evaluation.
+///
+/// Generators are deterministic given their construction parameters (all
+/// random generators take an explicit seed), so every figure in the
+/// experiment harness is reproducible bit-for-bit.
+pub trait BurstSource {
+    /// Short human-readable name used in reports ("uniform random",
+    /// "framebuffer gradient", ...).
+    fn name(&self) -> &str;
+
+    /// Produces the next burst of the stream.
+    fn next_burst(&mut self) -> Burst;
+
+    /// Collects `count` bursts into a vector.
+    fn take_bursts(&mut self, count: usize) -> Vec<Burst>
+    where
+        Self: Sized,
+    {
+        (0..count).map(|_| self.next_burst()).collect()
+    }
+}
+
+impl<T: BurstSource + ?Sized> BurstSource for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn next_burst(&mut self) -> Burst {
+        (**self).next_burst()
+    }
+}
+
+/// Adapts any infinite iterator of bursts into a [`BurstSource`].
+#[derive(Debug, Clone)]
+pub struct IterSource<I> {
+    name: String,
+    iter: I,
+}
+
+impl<I> IterSource<I>
+where
+    I: Iterator<Item = Burst>,
+{
+    /// Wraps an iterator as a burst source.
+    pub fn new(name: impl Into<String>, iter: I) -> Self {
+        IterSource { name: name.into(), iter }
+    }
+}
+
+impl<I> BurstSource for IterSource<I>
+where
+    I: Iterator<Item = Burst>,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the underlying iterator is exhausted; wrap finite iterators
+    /// with [`Iterator::cycle`] when an endless stream is required.
+    fn next_burst(&mut self) -> Burst {
+        self.iter.next().expect("the wrapped iterator must not be exhausted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_source_yields_the_wrapped_bursts() {
+        let bursts = vec![Burst::from_array([1; 8]), Burst::from_array([2; 8])];
+        let mut source = IterSource::new("fixed", bursts.clone().into_iter().cycle());
+        assert_eq!(source.name(), "fixed");
+        assert_eq!(source.next_burst(), bursts[0]);
+        assert_eq!(source.next_burst(), bursts[1]);
+        assert_eq!(source.next_burst(), bursts[0]);
+        let taken = source.take_bursts(3);
+        assert_eq!(taken.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be exhausted")]
+    fn iter_source_panics_when_exhausted() {
+        let mut source = IterSource::new("finite", Vec::<Burst>::new().into_iter());
+        let _ = source.next_burst();
+    }
+
+    #[test]
+    fn boxed_sources_forward() {
+        let bursts = vec![Burst::from_array([7; 8])];
+        let mut boxed: Box<dyn BurstSource> =
+            Box::new(IterSource::new("boxed", bursts.into_iter().cycle()));
+        assert_eq!(boxed.name(), "boxed");
+        assert_eq!(boxed.next_burst().bytes()[0], 7);
+    }
+}

@@ -1,0 +1,210 @@
+//! Deterministic stress patterns.
+//!
+//! These are the classic memory-interface test patterns: they bound the
+//! best and worst cases of the DBI schemes (all-zeros is the termination
+//! worst case, checkerboards and walking bits are the switching worst
+//! cases) and make handy fixtures for unit tests and benchmarks.
+
+use crate::generator::BurstSource;
+use dbi_core::{Burst, STANDARD_BURST_LEN};
+use core::fmt;
+
+/// The deterministic pattern families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Pattern {
+    /// Every byte is `0x00` — the POD termination worst case.
+    AllZeros,
+    /// Every byte is `0xFF` — the POD termination best case.
+    AllOnes,
+    /// Alternating `0xAA`/`0x55` bytes — maximum toggling on every lane.
+    Checkerboard,
+    /// A single one bit walking through the byte (`0x01, 0x02, 0x04, ...`).
+    WalkingOnes,
+    /// A single zero bit walking through the byte (`0xFE, 0xFD, 0xFB, ...`).
+    WalkingZeros,
+    /// Monotonically incrementing byte values.
+    Ramp,
+    /// Each byte is the complement of the previous one, starting from `0x00`.
+    AlternatingInversion,
+}
+
+impl Pattern {
+    /// All pattern families, for exhaustive sweeps.
+    #[must_use]
+    pub const fn all() -> [Pattern; 7] {
+        [
+            Pattern::AllZeros,
+            Pattern::AllOnes,
+            Pattern::Checkerboard,
+            Pattern::WalkingOnes,
+            Pattern::WalkingZeros,
+            Pattern::Ramp,
+            Pattern::AlternatingInversion,
+        ]
+    }
+
+    /// The byte this pattern places at stream position `index`.
+    #[must_use]
+    pub fn byte_at(self, index: usize) -> u8 {
+        match self {
+            Pattern::AllZeros => 0x00,
+            Pattern::AllOnes => 0xFF,
+            Pattern::Checkerboard => {
+                if index.is_multiple_of(2) {
+                    0xAA
+                } else {
+                    0x55
+                }
+            }
+            Pattern::WalkingOnes => 1u8 << (index % 8),
+            Pattern::WalkingZeros => !(1u8 << (index % 8)),
+            Pattern::Ramp => (index % 256) as u8,
+            Pattern::AlternatingInversion => {
+                if index.is_multiple_of(2) {
+                    0x00
+                } else {
+                    0xFF
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Pattern::AllZeros => "all zeros",
+            Pattern::AllOnes => "all ones",
+            Pattern::Checkerboard => "checkerboard",
+            Pattern::WalkingOnes => "walking ones",
+            Pattern::WalkingZeros => "walking zeros",
+            Pattern::Ramp => "ramp",
+            Pattern::AlternatingInversion => "alternating inversion",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A [`BurstSource`] producing an endless stream of one pattern family.
+#[derive(Debug, Clone)]
+pub struct PatternBursts {
+    pattern: Pattern,
+    position: usize,
+    burst_len: usize,
+    name: String,
+}
+
+impl PatternBursts {
+    /// Creates a pattern stream with the standard burst length.
+    #[must_use]
+    pub fn new(pattern: Pattern) -> Self {
+        PatternBursts {
+            pattern,
+            position: 0,
+            burst_len: STANDARD_BURST_LEN,
+            name: pattern.to_string(),
+        }
+    }
+
+    /// Creates a pattern stream with a custom burst length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_len` is zero.
+    #[must_use]
+    pub fn with_len(pattern: Pattern, burst_len: usize) -> Self {
+        assert!(burst_len > 0, "burst length must be positive");
+        PatternBursts { pattern, position: 0, burst_len, name: pattern.to_string() }
+    }
+
+    /// The pattern family of this stream.
+    #[must_use]
+    pub const fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+}
+
+impl BurstSource for PatternBursts {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_burst(&mut self) -> Burst {
+        let bytes: Vec<u8> = (0..self.burst_len)
+            .map(|i| self.pattern.byte_at(self.position + i))
+            .collect();
+        self.position += self.burst_len;
+        Burst::new(bytes).expect("burst length is validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbi_core::{BusState, DbiEncoder, Scheme};
+
+    #[test]
+    fn pattern_bytes() {
+        assert_eq!(Pattern::AllZeros.byte_at(3), 0x00);
+        assert_eq!(Pattern::AllOnes.byte_at(0), 0xFF);
+        assert_eq!(Pattern::Checkerboard.byte_at(0), 0xAA);
+        assert_eq!(Pattern::Checkerboard.byte_at(1), 0x55);
+        assert_eq!(Pattern::WalkingOnes.byte_at(0), 0x01);
+        assert_eq!(Pattern::WalkingOnes.byte_at(7), 0x80);
+        assert_eq!(Pattern::WalkingOnes.byte_at(8), 0x01);
+        assert_eq!(Pattern::WalkingZeros.byte_at(0), 0xFE);
+        assert_eq!(Pattern::Ramp.byte_at(300), 44);
+        assert_eq!(Pattern::AlternatingInversion.byte_at(5), 0xFF);
+        assert_eq!(Pattern::all().len(), 7);
+    }
+
+    #[test]
+    fn stream_walks_through_the_pattern() {
+        let mut stream = PatternBursts::new(Pattern::Ramp);
+        assert_eq!(stream.pattern(), Pattern::Ramp);
+        let first = stream.next_burst();
+        let second = stream.next_burst();
+        assert_eq!(first.bytes(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(second.bytes(), &[8, 9, 10, 11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn custom_length_and_name() {
+        let mut stream = PatternBursts::with_len(Pattern::Checkerboard, 4);
+        assert_eq!(stream.next_burst().len(), 4);
+        assert_eq!(stream.name(), "checkerboard");
+    }
+
+    #[test]
+    #[should_panic(expected = "burst length must be positive")]
+    fn zero_length_is_rejected() {
+        let _ = PatternBursts::with_len(Pattern::Ramp, 0);
+    }
+
+    #[test]
+    fn dbi_dc_tames_the_all_zero_pattern() {
+        // All-zero data is the worst case for POD termination; DBI DC caps
+        // the damage to at most 4 zeros per interval (36 per 8-byte burst
+        // including the DBI lane) versus 64 unencoded.
+        let mut stream = PatternBursts::new(Pattern::AllZeros);
+        let burst = stream.next_burst();
+        let state = BusState::idle();
+        let raw = Scheme::Raw.encode(&burst, &state).breakdown(&state);
+        let dc = Scheme::Dc.encode(&burst, &state).breakdown(&state);
+        assert_eq!(raw.zeros, 64);
+        assert!(dc.zeros <= 36);
+    }
+
+    #[test]
+    fn dbi_ac_tames_the_alternating_inversion_pattern() {
+        // Bytes alternating between 0x00 and 0xFF toggle every DQ lane each
+        // interval when sent raw; DBI AC removes nearly all of that.
+        let mut stream = PatternBursts::new(Pattern::AlternatingInversion);
+        let burst = stream.next_burst();
+        let state = BusState::idle();
+        let raw = Scheme::Raw.encode(&burst, &state).breakdown(&state);
+        let ac = Scheme::Ac.encode(&burst, &state).breakdown(&state);
+        assert!(ac.transitions * 4 < raw.transitions);
+    }
+}

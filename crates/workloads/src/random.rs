@@ -1,0 +1,142 @@
+//! Uniform random bursts — the paper's evaluation workload.
+//!
+//! Section III: "We simulated the different DBI encoding schemes on 10000
+//! random bursts." This module provides exactly that stream, seeded so the
+//! experiment harness is reproducible.
+
+use crate::generator::BurstSource;
+use dbi_core::{Burst, STANDARD_BURST_LEN};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of random bursts the paper evaluates per sweep point.
+pub const PAPER_BURST_COUNT: usize = 10_000;
+
+/// Seed used by the experiment harness so every run of the figures sees the
+/// same burst stream.
+pub const DEFAULT_SEED: u64 = 0x0D_B1_C0DE;
+
+/// A stream of uniformly random bursts.
+///
+/// ```
+/// use dbi_workloads::{BurstSource, UniformRandomBursts};
+///
+/// let mut gen = UniformRandomBursts::with_seed(42);
+/// let a = gen.take_bursts(3);
+/// let mut again = UniformRandomBursts::with_seed(42);
+/// assert_eq!(a, again.take_bursts(3), "same seed, same stream");
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformRandomBursts {
+    rng: StdRng,
+    burst_len: usize,
+}
+
+impl UniformRandomBursts {
+    /// Creates a generator with the harness default seed and the standard
+    /// burst length of eight bytes.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_seed(DEFAULT_SEED)
+    }
+
+    /// Creates a generator with an explicit seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        UniformRandomBursts { rng: StdRng::seed_from_u64(seed), burst_len: STANDARD_BURST_LEN }
+    }
+
+    /// Creates a generator producing bursts of a non-standard length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_len` is zero.
+    #[must_use]
+    pub fn with_seed_and_len(seed: u64, burst_len: usize) -> Self {
+        assert!(burst_len > 0, "burst length must be positive");
+        UniformRandomBursts { rng: StdRng::seed_from_u64(seed), burst_len }
+    }
+
+    /// The burst length produced by this generator.
+    #[must_use]
+    pub const fn burst_len(&self) -> usize {
+        self.burst_len
+    }
+
+    /// Convenience: the paper's 10 000-burst evaluation set with the default
+    /// seed.
+    #[must_use]
+    pub fn paper_evaluation_set() -> Vec<Burst> {
+        UniformRandomBursts::new().take_bursts(PAPER_BURST_COUNT)
+    }
+}
+
+impl Default for UniformRandomBursts {
+    fn default() -> Self {
+        UniformRandomBursts::new()
+    }
+}
+
+impl BurstSource for UniformRandomBursts {
+    fn name(&self) -> &str {
+        "uniform random"
+    }
+
+    fn next_burst(&mut self) -> Burst {
+        let bytes: Vec<u8> = (0..self.burst_len).map(|_| self.rng.gen()).collect();
+        Burst::new(bytes).expect("burst length is validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_length_is_standard() {
+        let mut gen = UniformRandomBursts::new();
+        assert_eq!(gen.burst_len(), STANDARD_BURST_LEN);
+        assert_eq!(gen.next_burst().len(), STANDARD_BURST_LEN);
+        assert_eq!(gen.name(), "uniform random");
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_different_stream() {
+        let a = UniformRandomBursts::with_seed(1).take_bursts(16);
+        let b = UniformRandomBursts::with_seed(1).take_bursts(16);
+        let c = UniformRandomBursts::with_seed(2).take_bursts(16);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn custom_length() {
+        let mut gen = UniformRandomBursts::with_seed_and_len(7, 16);
+        assert_eq!(gen.next_burst().len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst length must be positive")]
+    fn zero_length_is_rejected() {
+        let _ = UniformRandomBursts::with_seed_and_len(7, 0);
+    }
+
+    #[test]
+    fn random_bytes_are_roughly_uniform() {
+        // With 2000 bursts of 8 bytes the mean popcount per byte should be
+        // very close to 4 and the mean byte value close to 127.5.
+        let bursts = UniformRandomBursts::with_seed(3).take_bursts(2000);
+        let (mut ones, mut sum, mut n) = (0u64, 0u64, 0u64);
+        for burst in &bursts {
+            for byte in burst.iter() {
+                ones += u64::from(byte.count_ones());
+                sum += u64::from(byte);
+                n += 1;
+            }
+        }
+        let mean_ones = ones as f64 / n as f64;
+        let mean_value = sum as f64 / n as f64;
+        assert!((mean_ones - 4.0).abs() < 0.1, "mean popcount {mean_ones}");
+        assert!((mean_value - 127.5).abs() < 3.0, "mean byte {mean_value}");
+    }
+}

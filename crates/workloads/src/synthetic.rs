@@ -1,0 +1,359 @@
+//! Structured synthetic workloads.
+//!
+//! The paper evaluates on uniformly random bursts; real write traffic is
+//! rarely uniform. These generators produce data with the statistical
+//! structure of common GPU/CPU memory contents — zero-dominated buffers,
+//! floating-point arrays, ASCII text, framebuffer pixels and bit-correlated
+//! streams — so that the examples and extension experiments can show how
+//! the advantage of optimal DBI coding shifts with data statistics. They
+//! are substitutes for proprietary application traces, as documented in
+//! DESIGN.md.
+
+use crate::generator::BurstSource;
+use dbi_core::{Burst, STANDARD_BURST_LEN};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Zero-dominated data: each byte is `0x00` with probability `zero_fraction`
+/// and uniformly random otherwise. Models sparsely initialised buffers and
+/// zero-compressed tensors.
+#[derive(Debug, Clone)]
+pub struct ZeroHeavyBursts {
+    rng: StdRng,
+    zero_fraction: f64,
+}
+
+impl ZeroHeavyBursts {
+    /// Creates a zero-heavy stream. `zero_fraction` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn new(seed: u64, zero_fraction: f64) -> Self {
+        ZeroHeavyBursts {
+            rng: StdRng::seed_from_u64(seed),
+            zero_fraction: zero_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The fraction of bytes forced to zero.
+    #[must_use]
+    pub const fn zero_fraction(&self) -> f64 {
+        self.zero_fraction
+    }
+}
+
+impl BurstSource for ZeroHeavyBursts {
+    fn name(&self) -> &str {
+        "zero-heavy"
+    }
+
+    fn next_burst(&mut self) -> Burst {
+        let bytes: Vec<u8> = (0..STANDARD_BURST_LEN)
+            .map(|_| {
+                if self.rng.gen_bool(self.zero_fraction) {
+                    0x00
+                } else {
+                    self.rng.gen()
+                }
+            })
+            .collect();
+        Burst::new(bytes).expect("standard burst length is non-zero")
+    }
+}
+
+/// IEEE-754 single-precision values drawn from a unit normal distribution
+/// (approximated by summing uniforms), laid out little-endian. Models HPC
+/// and graphics vertex data: exponent bytes are highly correlated while
+/// mantissa bytes look random.
+#[derive(Debug, Clone)]
+pub struct FloatArrayBursts {
+    rng: StdRng,
+}
+
+impl FloatArrayBursts {
+    /// Creates a float-array stream.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FloatArrayBursts { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn next_f32(&mut self) -> f32 {
+        // Irwin–Hall approximation of a normal distribution: the sum of 12
+        // uniforms minus 6 has zero mean and unit variance.
+        let sum: f32 = (0..12).map(|_| self.rng.gen::<f32>()).sum();
+        sum - 6.0
+    }
+}
+
+impl BurstSource for FloatArrayBursts {
+    fn name(&self) -> &str {
+        "float array"
+    }
+
+    fn next_burst(&mut self) -> Burst {
+        let mut bytes = Vec::with_capacity(STANDARD_BURST_LEN);
+        while bytes.len() < STANDARD_BURST_LEN {
+            bytes.extend_from_slice(&self.next_f32().to_le_bytes());
+        }
+        bytes.truncate(STANDARD_BURST_LEN);
+        Burst::new(bytes).expect("standard burst length is non-zero")
+    }
+}
+
+/// Printable ASCII text with an English-like letter/space mix. Models log
+/// buffers and string-heavy heaps: the high bit is always clear and the
+/// byte entropy is low.
+#[derive(Debug, Clone)]
+pub struct TextBursts {
+    rng: StdRng,
+}
+
+impl TextBursts {
+    /// Creates a text stream.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TextBursts { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn next_char(&mut self) -> u8 {
+        // Rough English statistics: 15 % spaces, 2 % digits/punctuation,
+        // the rest lowercase letters weighted towards the common ones.
+        let roll: f64 = self.rng.gen();
+        if roll < 0.15 {
+            b' '
+        } else if roll < 0.17 {
+            b'0' + self.rng.gen_range(0..10)
+        } else {
+            const COMMON: &[u8] = b"etaoinshrdlcumwfgypbvkjxqz";
+            let idx = (self.rng.gen::<f64>().powi(2) * COMMON.len() as f64) as usize;
+            COMMON[idx.min(COMMON.len() - 1)]
+        }
+    }
+}
+
+impl BurstSource for TextBursts {
+    fn name(&self) -> &str {
+        "ascii text"
+    }
+
+    fn next_burst(&mut self) -> Burst {
+        let bytes: Vec<u8> = (0..STANDARD_BURST_LEN).map(|_| self.next_char()).collect();
+        Burst::new(bytes).expect("standard burst length is non-zero")
+    }
+}
+
+/// RGBA8888 framebuffer rows with a smooth horizontal gradient plus a small
+/// amount of noise. Models GPU colour-buffer writes: adjacent pixels differ
+/// in only a few low-order bits, which strongly favours AC-style coding.
+#[derive(Debug, Clone)]
+pub struct FramebufferBursts {
+    rng: StdRng,
+    x: u32,
+    base: [u8; 3],
+}
+
+impl FramebufferBursts {
+    /// Creates a framebuffer stream with a random base colour.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = [rng.gen(), rng.gen(), rng.gen()];
+        FramebufferBursts { rng, x: 0, base }
+    }
+
+    fn next_pixel(&mut self) -> [u8; 4] {
+        let gradient = (self.x % 256) as u8;
+        self.x = self.x.wrapping_add(1);
+        let noise = |rng: &mut StdRng| rng.gen_range(0..4u8);
+        [
+            self.base[0].wrapping_add(gradient).wrapping_add(noise(&mut self.rng)),
+            self.base[1].wrapping_add(gradient / 2).wrapping_add(noise(&mut self.rng)),
+            self.base[2].wrapping_add(gradient / 4).wrapping_add(noise(&mut self.rng)),
+            0xFF,
+        ]
+    }
+}
+
+impl BurstSource for FramebufferBursts {
+    fn name(&self) -> &str {
+        "framebuffer gradient"
+    }
+
+    fn next_burst(&mut self) -> Burst {
+        let mut bytes = Vec::with_capacity(STANDARD_BURST_LEN);
+        while bytes.len() < STANDARD_BURST_LEN {
+            bytes.extend_from_slice(&self.next_pixel());
+        }
+        bytes.truncate(STANDARD_BURST_LEN);
+        Burst::new(bytes).expect("standard burst length is non-zero")
+    }
+}
+
+/// A first-order Markov bit stream: each byte repeats the previous byte's
+/// bits with probability `correlation` per bit position. Models the
+/// temporally correlated traffic (pointers, counters) where consecutive
+/// words share most of their bits.
+#[derive(Debug, Clone)]
+pub struct MarkovBursts {
+    rng: StdRng,
+    correlation: f64,
+    previous: u8,
+}
+
+impl MarkovBursts {
+    /// Creates a correlated stream. `correlation` is the per-bit probability
+    /// of repeating the previous byte's bit, clamped to `[0, 1]`.
+    #[must_use]
+    pub fn new(seed: u64, correlation: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let previous = rng.gen();
+        MarkovBursts { rng, correlation: correlation.clamp(0.0, 1.0), previous }
+    }
+
+    fn next_byte(&mut self) -> u8 {
+        let mut byte = 0u8;
+        for bit in 0..8 {
+            let prev_bit = (self.previous >> bit) & 1;
+            let new_bit = if self.rng.gen_bool(self.correlation) {
+                prev_bit
+            } else {
+                u8::from(self.rng.gen_bool(0.5))
+            };
+            byte |= new_bit << bit;
+        }
+        self.previous = byte;
+        byte
+    }
+}
+
+impl BurstSource for MarkovBursts {
+    fn name(&self) -> &str {
+        "markov correlated"
+    }
+
+    fn next_burst(&mut self) -> Burst {
+        let bytes: Vec<u8> = (0..STANDARD_BURST_LEN).map(|_| self.next_byte()).collect();
+        Burst::new(bytes).expect("standard burst length is non-zero")
+    }
+}
+
+/// The named synthetic workload suite used by the extension experiments and
+/// the examples: one representative instance of every generator in this
+/// module plus the uniform random baseline.
+#[must_use]
+pub fn standard_suite(seed: u64) -> Vec<(String, Vec<Burst>)> {
+    let count = 2_000;
+    let mut suite: Vec<(String, Vec<Burst>)> = Vec::new();
+    let mut push = |mut source: Box<dyn BurstSource>| {
+        let name = source.name().to_owned();
+        let bursts: Vec<Burst> = (0..count).map(|_| source.next_burst()).collect();
+        suite.push((name, bursts));
+    };
+    push(Box::new(crate::random::UniformRandomBursts::with_seed(seed)));
+    push(Box::new(ZeroHeavyBursts::new(seed ^ 1, 0.6)));
+    push(Box::new(FloatArrayBursts::new(seed ^ 2)));
+    push(Box::new(TextBursts::new(seed ^ 3)));
+    push(Box::new(FramebufferBursts::new(seed ^ 4)));
+    push(Box::new(MarkovBursts::new(seed ^ 5, 0.9)));
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbi_core::{BusState, DbiEncoder, Scheme};
+
+    #[test]
+    fn zero_heavy_is_mostly_zero() {
+        let mut gen = ZeroHeavyBursts::new(1, 0.7);
+        assert!((gen.zero_fraction() - 0.7).abs() < 1e-12);
+        let bursts = gen.take_bursts(500);
+        let zero_bytes: usize = bursts
+            .iter()
+            .flat_map(|b| b.iter())
+            .filter(|&b| b == 0)
+            .count();
+        let total = 500 * STANDARD_BURST_LEN;
+        let fraction = zero_bytes as f64 / total as f64;
+        assert!((0.6..0.8).contains(&fraction), "zero fraction {fraction}");
+    }
+
+    #[test]
+    fn zero_fraction_is_clamped() {
+        assert_eq!(ZeroHeavyBursts::new(1, 2.0).zero_fraction(), 1.0);
+        assert_eq!(ZeroHeavyBursts::new(1, -1.0).zero_fraction(), 0.0);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = FloatArrayBursts::new(9).take_bursts(10);
+        let b = FloatArrayBursts::new(9).take_bursts(10);
+        assert_eq!(a, b);
+        let a = TextBursts::new(9).take_bursts(10);
+        let b = TextBursts::new(9).take_bursts(10);
+        assert_eq!(a, b);
+        let a = FramebufferBursts::new(9).take_bursts(10);
+        let b = FramebufferBursts::new(9).take_bursts(10);
+        assert_eq!(a, b);
+        let a = MarkovBursts::new(9, 0.9).take_bursts(10);
+        let b = MarkovBursts::new(9, 0.9).take_bursts(10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn text_is_printable_ascii() {
+        let bursts = TextBursts::new(4).take_bursts(200);
+        for byte in bursts.iter().flat_map(|b| b.iter()) {
+            assert!((0x20..0x7F).contains(&byte), "byte {byte:#x} is not printable ASCII");
+        }
+    }
+
+    #[test]
+    fn framebuffer_alpha_channel_is_opaque() {
+        let bursts = FramebufferBursts::new(4).take_bursts(50);
+        for burst in &bursts {
+            assert_eq!(burst.bytes()[3], 0xFF);
+            assert_eq!(burst.bytes()[7], 0xFF);
+        }
+    }
+
+    #[test]
+    fn markov_correlation_reduces_transitions() {
+        // Highly correlated data toggles far fewer lanes than random data.
+        let state = BusState::idle();
+        let correlated = MarkovBursts::new(11, 0.95).take_bursts(300);
+        let random = crate::random::UniformRandomBursts::with_seed(11).take_bursts(300);
+        let transitions = |bursts: &[Burst]| -> u64 {
+            bursts
+                .iter()
+                .map(|b| Scheme::Raw.encode(b, &state).breakdown(&state).transitions)
+                .sum()
+        };
+        assert!(transitions(&correlated) * 2 < transitions(&random));
+    }
+
+    #[test]
+    fn zero_heavy_data_widens_the_dc_gap() {
+        // On zero-dominated data the DC scheme saves far more termination
+        // energy relative to RAW than on uniform data.
+        let state = BusState::idle();
+        let heavy = ZeroHeavyBursts::new(2, 0.7).take_bursts(300);
+        let zeros = |bursts: &[Burst], scheme: Scheme| -> u64 {
+            bursts.iter().map(|b| scheme.encode(b, &state).breakdown(&state).zeros).sum()
+        };
+        let raw = zeros(&heavy, Scheme::Raw);
+        let dc = zeros(&heavy, Scheme::Dc);
+        assert!(dc * 2 < raw, "DC should halve the zero count on zero-heavy data");
+    }
+
+    #[test]
+    fn standard_suite_has_six_named_workloads() {
+        let suite = standard_suite(7);
+        assert_eq!(suite.len(), 6);
+        for (name, bursts) in &suite {
+            assert!(!name.is_empty());
+            assert_eq!(bursts.len(), 2_000);
+        }
+        let names: Vec<&str> = suite.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"uniform random"));
+        assert!(names.contains(&"framebuffer gradient"));
+    }
+}

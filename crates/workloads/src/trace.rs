@@ -1,0 +1,228 @@
+//! Burst traces: capture, replay and a simple text serialisation.
+//!
+//! A [`Trace`] is an ordered list of bursts — what a logic analyser on the
+//! DQ bus (before DBI encoding) would record. Traces let experiments be
+//! replayed bit-for-bit, exchanged as plain text files, and summarised
+//! without re-running a generator.
+
+use crate::generator::BurstSource;
+use dbi_core::Burst;
+use core::fmt;
+use std::str::FromStr;
+
+/// An ordered sequence of bursts with a human-readable label.
+///
+/// ```
+/// use dbi_core::Burst;
+/// use dbi_workloads::Trace;
+///
+/// let trace = Trace::new("demo", vec![Burst::from_array([0xAB; 8])]);
+/// let text = trace.to_string();
+/// let parsed: Trace = text.parse().unwrap();
+/// assert_eq!(parsed, trace);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    label: String,
+    bursts: Vec<Burst>,
+}
+
+/// Error produced when parsing a textual trace fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid trace at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl Trace {
+    /// Creates a trace from existing bursts.
+    #[must_use]
+    pub fn new(label: impl Into<String>, bursts: Vec<Burst>) -> Self {
+        Trace { label: label.into(), bursts }
+    }
+
+    /// Records `count` bursts from a generator into a trace labelled with
+    /// the generator's name.
+    #[must_use]
+    pub fn record<S: BurstSource>(source: &mut S, count: usize) -> Self {
+        let label = source.name().to_owned();
+        let bursts = source.take_bursts(count);
+        Trace { label, bursts }
+    }
+
+    /// The trace label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The recorded bursts in order.
+    #[must_use]
+    pub fn bursts(&self) -> &[Burst] {
+        &self.bursts
+    }
+
+    /// Number of bursts in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bursts.len()
+    }
+
+    /// `true` when the trace contains no bursts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bursts.is_empty()
+    }
+
+    /// Total number of payload bytes in the trace.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.bursts.iter().map(Burst::len).sum()
+    }
+
+    /// Mean number of zero bits per payload byte — a quick measure of how
+    /// zero-dominated the data is (4.0 for uniform random data).
+    #[must_use]
+    pub fn mean_zero_bits_per_byte(&self) -> f64 {
+        let bytes = self.total_bytes();
+        if bytes == 0 {
+            return 0.0;
+        }
+        let zeros: u32 = self.bursts.iter().map(Burst::raw_zero_bits).sum();
+        f64::from(zeros) / bytes as f64
+    }
+
+    /// Iterates over the bursts.
+    pub fn iter(&self) -> core::slice::Iter<'_, Burst> {
+        self.bursts.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Burst;
+    type IntoIter = core::slice::Iter<'a, Burst>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.bursts.iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    /// Serialises the trace as text: a header line `# trace: <label>`
+    /// followed by one line of space-separated hex bytes per burst.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# trace: {}", self.label)?;
+        for burst in &self.bursts {
+            let line: Vec<String> = burst.iter().map(|b| format!("{b:02x}")).collect();
+            writeln!(f, "{}", line.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Trace {
+    type Err = ParseTraceError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let mut label = String::from("unnamed");
+        let mut bursts = Vec::new();
+        for (number, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# trace:") {
+                label = rest.trim().to_owned();
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let bytes: Result<Vec<u8>, _> = line
+                .split_whitespace()
+                .map(|tok| u8::from_str_radix(tok, 16))
+                .collect();
+            let bytes = bytes.map_err(|e| ParseTraceError {
+                line: number + 1,
+                message: format!("bad hex byte: {e}"),
+            })?;
+            let burst = Burst::new(bytes).map_err(|e| ParseTraceError {
+                line: number + 1,
+                message: e.to_string(),
+            })?;
+            bursts.push(burst);
+        }
+        Ok(Trace { label, bursts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::UniformRandomBursts;
+
+    #[test]
+    fn record_uses_the_generator_name() {
+        let mut gen = UniformRandomBursts::with_seed(5);
+        let trace = Trace::record(&mut gen, 10);
+        assert_eq!(trace.label(), "uniform random");
+        assert_eq!(trace.len(), 10);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.total_bytes(), 80);
+        assert_eq!(trace.iter().count(), 10);
+        assert_eq!((&trace).into_iter().count(), 10);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut gen = UniformRandomBursts::with_seed(6);
+        let trace = Trace::record(&mut gen, 25);
+        let text = trace.to_string();
+        let parsed: Trace = text.parse().unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn parser_skips_comments_and_blank_lines() {
+        let text = "# trace: demo\n\n# a comment\nde ad be ef 00 11 22 33\n";
+        let trace: Trace = text.parse().unwrap();
+        assert_eq!(trace.label(), "demo");
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.bursts()[0].bytes()[0], 0xDE);
+    }
+
+    #[test]
+    fn parser_reports_bad_lines() {
+        let err = "zz 00".parse::<Trace>().unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+        let err = "# trace: x\n00 11\nnot hex".parse::<Trace>().unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn parser_defaults_the_label() {
+        let trace: Trace = "00 11 22 33 44 55 66 77".parse().unwrap();
+        assert_eq!(trace.label(), "unnamed");
+    }
+
+    #[test]
+    fn zero_bit_statistics() {
+        let trace = Trace::new(
+            "stats",
+            vec![Burst::from_array([0x00; 8]), Burst::from_array([0xFF; 8])],
+        );
+        assert!((trace.mean_zero_bits_per_byte() - 4.0).abs() < 1e-12);
+        let empty = Trace::new("empty", vec![]);
+        assert_eq!(empty.mean_zero_bits_per_byte(), 0.0);
+        assert!(empty.is_empty());
+    }
+}

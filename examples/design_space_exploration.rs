@@ -1,0 +1,77 @@
+//! Design-space exploration: when is which DBI scheme worth it?
+//!
+//! Run with `cargo run --example design_space_exploration`.
+//!
+//! Sweeps the two knobs a memory-interface architect controls — the per-pin
+//! data rate and the per-lane load capacitance — and reports, for each
+//! operating point, which scheme minimises the interface energy and how
+//! much the optimal encoder saves over the best conventional scheme. This
+//! is the decision the paper's Figs. 7 and 8 support: fixed-coefficient
+//! optimal DBI is the right default for GDDR5X-class operating points.
+
+use dbi::workloads::{BurstSource, UniformRandomBursts};
+use dbi::{
+    BusState, Capacitance, CostBreakdown, DataRate, DbiEncoder, InterfaceEnergyModel,
+    PodInterface, Scheme,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bursts = UniformRandomBursts::with_seed(2024).take_bursts(2_000);
+    let state = BusState::idle();
+
+    // Per-scheme activity is independent of the electrical operating point,
+    // so compute it once.
+    let activity = |scheme: Scheme| -> CostBreakdown {
+        bursts.iter().map(|b| scheme.encode(b, &state).breakdown(&state)).sum()
+    };
+    let raw = activity(Scheme::Raw);
+    let dc = activity(Scheme::Dc);
+    let ac = activity(Scheme::Ac);
+    let opt = activity(Scheme::OptFixed);
+
+    println!("uniform random write data, POD135, {} bursts\n", bursts.len());
+    println!(
+        "{:>6} {:>6} | {:>10} {:>10} {:>10} {:>10} | {:>10} {:>8}",
+        "Gbps", "pF", "RAW", "DBI DC", "DBI AC", "OPT-Fixed", "winner", "saving"
+    );
+
+    for &cload_pf in &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0] {
+        for &gbps in &[2.0, 6.0, 10.0, 14.0, 18.0] {
+            let model = InterfaceEnergyModel::new(
+                PodInterface::pod135(),
+                Capacitance::from_pf(cload_pf),
+                DataRate::from_gbps(gbps)?,
+            );
+            let per_burst =
+                |a: &CostBreakdown| model.burst_energy_j(a) / bursts.len() as f64 * 1e12;
+            let raw_pj = per_burst(&raw);
+            let dc_pj = per_burst(&dc);
+            let ac_pj = per_burst(&ac);
+            let opt_pj = per_burst(&opt);
+
+            let best_conventional = dc_pj.min(ac_pj).min(raw_pj);
+            let winner = if opt_pj <= best_conventional {
+                "OPT-Fixed"
+            } else if dc_pj <= ac_pj.min(raw_pj) {
+                "DBI DC"
+            } else if ac_pj <= raw_pj {
+                "DBI AC"
+            } else {
+                "RAW"
+            };
+            let saving = (best_conventional - opt_pj) / best_conventional * 100.0;
+
+            println!(
+                "{gbps:>6.1} {cload_pf:>6.1} | {raw_pj:>10.2} {dc_pj:>10.2} {ac_pj:>10.2} {opt_pj:>10.2} | {winner:>10} {saving:>7.2}%"
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Reading the table: at low data rates termination energy dominates and DBI DC is \
+         nearly optimal; at GDDR5X-class rates (and realistic 3-8 pF loads) the fixed-\
+         coefficient optimal encoder is consistently the cheapest choice."
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! # dbi — Optimal DC/AC Data Bus Inversion Coding
+//!
+//! Facade crate for the reproduction of *"Optimal DC/AC Data Bus Inversion
+//! Coding"* (Lucas, Lal, Juurlink — DATE 2018). It re-exports the workspace
+//! crates so that examples, integration tests and downstream users can
+//! depend on a single crate:
+//!
+//! | Re-export | Crate | Contents |
+//! |-----------|-------|----------|
+//! | [`core`] | `dbi-core` | DBI schemes (DC, AC, ACDC, OPT, OPT-Fixed), trellis, Pareto analysis |
+//! | [`phy`] | `dbi-phy` | POD/SSTL interfaces and the CACTI-IO derived energy model |
+//! | [`hw`] | `dbi-hw` | 32 nm cell-library model, Table I synthesis reports, Fig. 5 datapath simulation |
+//! | [`mem`] | `dbi-mem` | GDDR5/GDDR5X/DDR4 write-channel substrate |
+//! | [`workloads`] | `dbi-workloads` | burst/trace generators |
+//! | [`experiments`] | `dbi-experiments` | per-figure/table experiment harness |
+//!
+//! The most common types are also re-exported at the crate root.
+//!
+//! ```
+//! use dbi::{Burst, BusState, CostWeights, DbiEncoder, Scheme};
+//!
+//! let burst = Burst::paper_example();
+//! let encoded = Scheme::OptFixed.encode(&burst, &BusState::idle());
+//! assert_eq!(encoded.cost(&BusState::idle(), &CostWeights::FIXED), 52);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use dbi_core as core;
+pub use dbi_experiments as experiments;
+pub use dbi_hw as hw;
+pub use dbi_mem as mem;
+pub use dbi_phy as phy;
+pub use dbi_workloads as workloads;
+
+pub use dbi_core::{
+    Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, DbiError, EncodedBurst,
+    InversionMask, LaneWord, ParetoFront, Scheme, SchemeComparison, SchemeStats,
+};
+pub use dbi_hw::{EncoderDesign, PipelineEncoder, SynthesisReport, Synthesizer};
+pub use dbi_mem::{ChannelConfig, MemoryController};
+pub use dbi_phy::{Capacitance, DataRate, InterfaceEnergyModel, LoadBudget, PodInterface};
+pub use dbi_workloads::{BurstSource, Trace, UniformRandomBursts};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let mut source = UniformRandomBursts::with_seed(1);
+        let burst = source.next_burst();
+        let state = BusState::idle();
+        let sw = Scheme::OptFixed.encode(&burst, &state);
+        let hw = PipelineEncoder::fixed().encode(&burst, &state);
+        assert_eq!(sw, hw);
+        let model = InterfaceEnergyModel::new(
+            PodInterface::pod135(),
+            Capacitance::from_pf(3.0),
+            DataRate::from_gbps(12.0).unwrap(),
+        );
+        assert!(model.burst_energy_j(&sw.breakdown(&state)) > 0.0);
+    }
+}

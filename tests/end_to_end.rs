@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: encoding schemes, the electrical model,
+//! the hardware model and the memory-channel substrate working together.
+
+use dbi::workloads::{BurstSource, UniformRandomBursts};
+use dbi::{
+    Burst, BusState, Capacitance, ChannelConfig, CostWeights, DataRate, DbiEncoder,
+    InterfaceEnergyModel, MemoryController, PipelineEncoder, PodInterface, Scheme,
+    SchemeComparison, Synthesizer,
+};
+
+/// The full Fig. 2 story through the facade crate: DC/AC/OPT costs, the
+/// hardware datapath agreeing with software, and lossless decoding.
+#[test]
+fn fig2_example_end_to_end() {
+    let burst = Burst::paper_example();
+    let state = BusState::idle();
+    let weights = CostWeights::FIXED;
+
+    assert_eq!(Scheme::Dc.encode(&burst, &state).cost(&state, &weights), 68);
+    assert_eq!(Scheme::Ac.encode(&burst, &state).cost(&state, &weights), 65);
+    assert_eq!(Scheme::OptFixed.encode(&burst, &state).cost(&state, &weights), 52);
+    assert_eq!(
+        PipelineEncoder::fixed().encode(&burst, &state),
+        Scheme::OptFixed.encode(&burst, &state)
+    );
+    for scheme in Scheme::paper_set() {
+        assert_eq!(scheme.encode(&burst, &state).decode(), burst);
+    }
+}
+
+/// Over a stream of random bursts the optimal scheme never loses to DC, AC
+/// or RAW in weighted cost, and the advantage is strictly positive overall.
+#[test]
+fn optimal_scheme_wins_on_random_streams() {
+    let bursts = UniformRandomBursts::with_seed(11).take_bursts(2_000);
+    let mut comparison = SchemeComparison::new(Scheme::paper_set());
+    for burst in &bursts {
+        comparison.record_isolated(burst);
+    }
+    let cost = |name: &str| comparison.stats_for(name).unwrap().mean_cost(0.5, 0.5);
+    let opt = cost("DBI OPT");
+    assert!(opt < cost("RAW"));
+    assert!(opt <= cost("DBI DC"));
+    assert!(opt <= cost("DBI AC"));
+    // At the balanced operating point the advantage over the best
+    // conventional scheme is a few percent (the paper reports ~6.7%).
+    let best = cost("DBI DC").min(cost("DBI AC"));
+    let saving = (best - opt) / best;
+    assert!((0.02..0.12).contains(&saving), "saving {saving}");
+}
+
+/// The electrical model, the synthesis model and the channel substrate
+/// agree on the paper's system-level conclusion: at GDDR5X operating
+/// points, fixed-coefficient optimal DBI saves energy even after paying
+/// for its own encoder.
+#[test]
+fn system_level_savings_at_gddr5x_operating_point() {
+    let synthesis = Synthesizer::new();
+    let encoder_energy = |design: dbi::EncoderDesign| synthesis.report(design).energy_per_burst_j();
+
+    let mut data = vec![0u8; 32 * 256];
+    let mut seed = 0x5EED_5EEDu32;
+    for byte in &mut data {
+        seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        *byte = (seed >> 24) as u8;
+    }
+
+    let total = |scheme: Scheme, encoder_j: f64| {
+        let mut controller = MemoryController::new(ChannelConfig::gddr5x(), scheme)
+            .with_encoding_energy(encoder_j);
+        controller.write_buffer(0, &data).unwrap();
+        assert!(controller.verify(0, &data[..32]), "scheme {scheme} corrupted data");
+        controller.totals().total_energy_j()
+    };
+
+    let dc = total(Scheme::Dc, encoder_energy(dbi::EncoderDesign::Dc));
+    let ac = total(Scheme::Ac, encoder_energy(dbi::EncoderDesign::Ac));
+    let opt = total(Scheme::OptFixed, encoder_energy(dbi::EncoderDesign::OptFixed));
+    let raw = total(Scheme::Raw, 0.0);
+
+    assert!(opt < raw, "OPT(Fixed) must beat unencoded transmission");
+    assert!(opt < dc.min(ac), "OPT(Fixed) must beat the best conventional scheme at 12 Gbps");
+}
+
+/// The quantised coefficients derived from the physical energy model steer
+/// the tunable optimal encoder to (at least) the fixed variant's quality at
+/// every data rate.
+#[test]
+fn physically_derived_coefficients_track_the_operating_point() {
+    let bursts = UniformRandomBursts::with_seed(21).take_bursts(500);
+    let state = BusState::idle();
+    for gbps in [2.0, 6.0, 12.0, 18.0] {
+        let model = InterfaceEnergyModel::new(
+            PodInterface::pod135(),
+            Capacitance::from_pf(3.0),
+            DataRate::from_gbps(gbps).unwrap(),
+        );
+        let weights = model.quantised_weights(3).unwrap();
+        let tuned = Scheme::Opt(weights);
+        let energy = |scheme: Scheme| -> f64 {
+            bursts
+                .iter()
+                .map(|b| model.burst_energy_j(&scheme.encode(b, &state).breakdown(&state)))
+                .sum()
+        };
+        assert!(
+            energy(tuned) <= energy(Scheme::Dc) + 1e-15,
+            "tuned OPT must not lose to DC at {gbps} Gbps"
+        );
+        assert!(
+            energy(tuned) <= energy(Scheme::Ac) + 1e-15,
+            "tuned OPT must not lose to AC at {gbps} Gbps"
+        );
+    }
+}
+
+/// DDR4 and GDDR5X channels both profit from DBI; the DDR4 (lower rate)
+/// channel leans harder on the DC component.
+#[test]
+fn ddr4_and_gddr5x_channels_both_profit() {
+    let mut data = vec![0u8; 64 * 64];
+    let mut seed = 0xABCD_EF01u32;
+    for byte in &mut data {
+        seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        *byte = (seed >> 24) as u8;
+    }
+    for config in [ChannelConfig::gddr5x(), ChannelConfig::ddr4_3200()] {
+        let energy = |scheme: Scheme| {
+            let mut controller = MemoryController::new(config.clone(), scheme);
+            controller.write_buffer(0, &data).unwrap();
+            controller.totals().interface_energy_j
+        };
+        assert!(energy(Scheme::OptFixed) < energy(Scheme::Raw), "{config}");
+        assert!(energy(Scheme::Dc) < energy(Scheme::Raw), "{config}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Smoke tests for the experiment harness at reduced scale: every figure
+//! and table module runs and reproduces the paper's qualitative claims.
+
+use dbi::workloads::{BurstSource, UniformRandomBursts};
+use dbi::experiments::{extensions, fig2, fig3, fig7, fig8, table1, Experiment};
+
+#[test]
+fn fig2_reproduces_the_published_example() {
+    let result = fig2::run();
+    assert_eq!((result.dc.zeros, result.dc.transitions), (26, 42));
+    assert_eq!((result.ac.zeros, result.ac.transitions), (43, 22));
+    assert_eq!(result.opt_cost, 52);
+}
+
+#[test]
+fn fig3_and_fig4_reproduce_the_headline_savings() {
+    let bursts = UniformRandomBursts::with_seed(123).take_bursts(1_000);
+    let fig3_result = fig3::run_fig3(&bursts, 20);
+    let (alpha, saving) = fig3_result.peak_opt_advantage();
+    // Paper: 6.75% peak advantage near alpha = 0.56. Allow a band because
+    // the burst sample is smaller here.
+    assert!((0.04..0.10).contains(&saving), "peak saving {saving}");
+    assert!((0.40..0.75).contains(&alpha), "peak alpha {alpha}");
+
+    let fig4_result = fig3::run_fig4(&bursts, 20);
+    let (_, fixed_saving) = fig4_result.peak_fixed_advantage();
+    // Paper: 6.58% for the fixed coefficients — nearly the full advantage.
+    assert!(fixed_saving > 0.8 * saving);
+}
+
+#[test]
+fn table1_reproduces_the_feasibility_conclusions() {
+    let rows = table1::run().reports;
+    assert!(rows[0].area_um2 < rows[2].area_um2);
+    assert!(rows[2].meets_gddr5x_timing());
+    assert!(!rows[3].meets_gddr5x_timing());
+    assert!(rows[3].energy_per_burst_pj > rows[2].energy_per_burst_pj);
+}
+
+#[test]
+fn fig7_and_fig8_reproduce_the_operating_point_story() {
+    let bursts = UniformRandomBursts::with_seed(321).take_bursts(1_000);
+    let fig7_result = fig7::run(&bursts, &fig7::paper_rates(), 3.0);
+    let crossover = fig7_result.opt_fixed_beats_dc_from().unwrap();
+    assert!((2.0..8.0).contains(&crossover), "crossover {crossover} Gbps");
+    let (best_gbps, _) = fig7_result.best_operating_point().unwrap();
+    assert!((8.0..18.0).contains(&best_gbps), "best operating point {best_gbps} Gbps");
+
+    let fig8_result = fig8::run(
+        &bursts,
+        &fig7::paper_rates(),
+        &fig8::paper_loads(),
+        fig8::EncoderEnergies::from_synthesis(),
+    );
+    for curve in fig8_result.curves.iter().filter(|c| c.cload_pf >= 3.0) {
+        assert!(curve.peak_saving() > 0.02, "{} pF", curve.cload_pf);
+    }
+}
+
+#[test]
+fn extension_studies_run() {
+    let study = extensions::workload_study(1, 12.0);
+    assert_eq!(study.rows.len(), 6);
+    let channel = extensions::channel_study(4 * 1024);
+    assert_eq!(channel.len(), 4);
+}
+
+#[test]
+fn experiment_ids_cover_every_artefact() {
+    let names: Vec<&str> = Experiment::all().iter().map(|e| e.name()).collect();
+    for required in ["fig2", "fig3", "fig4", "table1", "fig7", "fig8"] {
+        assert!(names.contains(&required));
+    }
+}
