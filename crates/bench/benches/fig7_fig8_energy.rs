@@ -37,7 +37,14 @@ fn fig7_fig8(c: &mut Criterion) {
         b.iter(|| black_box(fig7::run(black_box(&bursts), &rates, 3.0)));
     });
     group.bench_function("fig8_rate_and_load_sweep", |b| {
-        b.iter(|| black_box(fig8::run(black_box(&bursts), &rates, &fig8::paper_loads(), energies)));
+        b.iter(|| {
+            black_box(fig8::run(
+                black_box(&bursts),
+                &rates,
+                &fig8::paper_loads(),
+                energies,
+            ))
+        });
     });
     group.finish();
 }

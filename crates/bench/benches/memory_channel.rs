@@ -17,7 +17,9 @@ fn memory_channel(c: &mut Criterion) {
     // Print the channel energy per scheme once.
     for scheme in schemes {
         let mut controller = MemoryController::new(ChannelConfig::gddr5x(), scheme);
-        controller.write_buffer(0, &data).expect("buffer is access-aligned");
+        controller
+            .write_buffer(0, &data)
+            .expect("buffer is access-aligned");
         println!(
             "[channel] {:<18} {:8.3} nJ interface energy for 16 KiB",
             format!("{scheme}"),
@@ -28,13 +30,19 @@ fn memory_channel(c: &mut Criterion) {
     let mut group = c.benchmark_group("memory_channel_16KiB");
     group.throughput(Throughput::Bytes(data.len() as u64));
     for scheme in schemes {
-        group.bench_with_input(BenchmarkId::new("write", format!("{scheme}")), &scheme, |b, &scheme| {
-            b.iter(|| {
-                let mut controller = MemoryController::new(ChannelConfig::gddr5x(), scheme);
-                controller.write_buffer(0, black_box(&data)).expect("buffer is access-aligned");
-                black_box(controller.totals().interface_energy_j)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("write", format!("{scheme}")),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let mut controller = MemoryController::new(ChannelConfig::gddr5x(), scheme);
+                    controller
+                        .write_buffer(0, black_box(&data))
+                        .expect("buffer is access-aligned");
+                    black_box(controller.totals().interface_energy_j)
+                });
+            },
+        );
     }
     group.finish();
 }

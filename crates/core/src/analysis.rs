@@ -36,7 +36,10 @@ pub fn relative_saving(candidate: f64, reference: f64) -> f64 {
 /// indicate a programming error in the sweep driver.
 #[must_use]
 pub fn weights_for_alpha(alpha: f64, resolution: u32) -> CostWeights {
-    assert!((0.0..=1.0).contains(&alpha), "alpha must lie in [0, 1], got {alpha}");
+    assert!(
+        (0.0..=1.0).contains(&alpha),
+        "alpha must lie in [0, 1], got {alpha}"
+    );
     assert!(resolution > 0, "resolution must be positive");
     let a = (alpha * f64::from(resolution)).round() as u32;
     let b = resolution - a.min(resolution);
@@ -65,7 +68,10 @@ impl SweepPoint {
     /// Mean cost of the named scheme at this sweep point, if present.
     #[must_use]
     pub fn cost_of(&self, name: &str) -> Option<f64> {
-        self.mean_costs.iter().find(|(n, _)| n == name).map(|(_, c)| *c)
+        self.mean_costs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
     }
 
     /// The cheapest conventional scheme (DBI DC or DBI AC) at this point,
@@ -81,6 +87,23 @@ impl SweepPoint {
             (None, None) => None,
         }
     }
+}
+
+/// Prices every burst with one prebuilt encoder through the allocation-free
+/// mask path, starting each burst from `state` (the paper's per-burst
+/// boundary condition).
+fn record_all<E: DbiEncoder>(
+    name: &str,
+    encoder: &E,
+    bursts: &[Burst],
+    state: &BusState,
+) -> SchemeStats {
+    let mut stats = SchemeStats::new(name.to_owned());
+    for burst in bursts {
+        let mask = encoder.encode_mask(burst, state);
+        stats.record(&mask.breakdown(burst, state));
+    }
+    stats
 }
 
 /// Sweeps the AC cost α over `steps + 1` evenly spaced points in [0, 1]
@@ -105,14 +128,7 @@ pub fn sweep_alpha(
     for scheme in schemes {
         match scheme {
             Scheme::Opt(_) | Scheme::Greedy(_) => fixed_stats.push(None),
-            _ => {
-                let mut stats = SchemeStats::new(scheme.name().to_owned());
-                for burst in bursts {
-                    let encoded = scheme.encode(burst, &state);
-                    stats.record(&encoded.breakdown(&state));
-                }
-                fixed_stats.push(Some(stats));
-            }
+            _ => fixed_stats.push(Some(record_all(scheme.name(), scheme, bursts, &state))),
         }
     }
 
@@ -124,34 +140,32 @@ pub fn sweep_alpha(
                 .iter()
                 .zip(fixed_stats.iter())
                 .map(|(scheme, cached)| {
+                    // Parametric schemes get their encoder (and, for OPT,
+                    // its cost tables) built once per sweep point, then
+                    // price every burst through the allocation-free mask
+                    // path.
                     let stats = match (scheme, cached) {
                         (_, Some(stats)) => stats.clone(),
                         (Scheme::Opt(_), None) => {
                             let weights = weights_for_alpha(alpha, resolution);
-                            let mut stats = SchemeStats::new(scheme.name().to_owned());
-                            let tuned = Scheme::Opt(weights);
-                            for burst in bursts {
-                                let encoded = tuned.encode(burst, &state);
-                                stats.record(&encoded.breakdown(&state));
-                            }
-                            stats
+                            let tuned = crate::schemes::OptEncoder::new(weights);
+                            record_all(scheme.name(), &tuned, bursts, &state)
                         }
                         (Scheme::Greedy(_), None) => {
                             let weights = weights_for_alpha(alpha, resolution);
-                            let mut stats = SchemeStats::new(scheme.name().to_owned());
-                            let tuned = Scheme::Greedy(weights);
-                            for burst in bursts {
-                                let encoded = tuned.encode(burst, &state);
-                                stats.record(&encoded.breakdown(&state));
-                            }
-                            stats
+                            let tuned = crate::schemes::GreedyEncoder::new(weights);
+                            record_all(scheme.name(), &tuned, bursts, &state)
                         }
                         _ => unreachable!("non-parametric schemes are always cached"),
                     };
                     (scheme.name().to_owned(), stats.mean_cost(alpha, beta))
                 })
                 .collect();
-            SweepPoint { alpha, beta, mean_costs }
+            SweepPoint {
+                alpha,
+                beta,
+                mean_costs,
+            }
         })
         .collect()
 }
@@ -217,7 +231,7 @@ mod tests {
     #[test]
     fn sweep_produces_requested_points() {
         let bursts = test_bursts();
-        let points = sweep_alpha(&bursts, &Scheme::paper_set(), 4, 16);
+        let points = sweep_alpha(&bursts, Scheme::paper_set(), 4, 16);
         assert_eq!(points.len(), 5);
         assert!((points[0].alpha - 0.0).abs() < 1e-12);
         assert!((points[4].alpha - 1.0).abs() < 1e-12);
@@ -232,7 +246,7 @@ mod tests {
     #[test]
     fn opt_is_never_above_the_best_conventional_scheme() {
         let bursts = test_bursts();
-        let points = sweep_alpha(&bursts, &Scheme::paper_set(), 10, 32);
+        let points = sweep_alpha(&bursts, Scheme::paper_set(), 10, 32);
         for p in &points {
             let opt = p.cost_of("DBI OPT").unwrap();
             let best = p.best_conventional().unwrap();
@@ -247,9 +261,11 @@ mod tests {
     #[test]
     fn dc_matches_opt_at_zero_ac_cost_and_ac_matches_at_zero_dc_cost() {
         let bursts = test_bursts();
-        let points = sweep_alpha(&bursts, &Scheme::paper_set(), 10, 32);
+        let points = sweep_alpha(&bursts, Scheme::paper_set(), 10, 32);
         let first = &points[0];
-        assert!((first.cost_of("DBI DC").unwrap() - first.cost_of("DBI OPT").unwrap()).abs() < 1e-9);
+        assert!(
+            (first.cost_of("DBI DC").unwrap() - first.cost_of("DBI OPT").unwrap()).abs() < 1e-9
+        );
         let last = &points[10];
         assert!((last.cost_of("DBI AC").unwrap() - last.cost_of("DBI OPT").unwrap()).abs() < 1e-9);
     }
@@ -257,11 +273,14 @@ mod tests {
     #[test]
     fn peak_advantage_is_positive_and_near_the_crossover() {
         let bursts = test_bursts();
-        let points = sweep_alpha(&bursts, &Scheme::paper_set(), 20, 32);
+        let points = sweep_alpha(&bursts, Scheme::paper_set(), 20, 32);
         let (alpha, saving) = peak_advantage(&points, "DBI OPT").unwrap();
         assert!(saving > 0.03, "expected a clear advantage, got {saving}");
         assert!(saving < 0.12, "advantage implausibly large: {saving}");
-        assert!((0.3..=0.8).contains(&alpha), "peak should sit near the DC/AC crossover, got {alpha}");
+        assert!(
+            (0.3..=0.8).contains(&alpha),
+            "peak should sit near the DC/AC crossover, got {alpha}"
+        );
     }
 
     #[test]

@@ -64,7 +64,9 @@ impl Burst {
     /// fixed by the type.
     #[must_use]
     pub fn from_array(bytes: [u8; STANDARD_BURST_LEN]) -> Self {
-        Burst { bytes: bytes.to_vec() }
+        Burst {
+            bytes: bytes.to_vec(),
+        }
     }
 
     /// The worked example of Fig. 2 in the paper: eight bytes whose optimal
@@ -216,7 +218,9 @@ impl BusState {
     /// The idle state assumed by the paper: every lane (including DBI) high.
     #[must_use]
     pub const fn idle() -> Self {
-        BusState { last: LaneWord::ALL_ONES }
+        BusState {
+            last: LaneWord::ALL_ONES,
+        }
     }
 
     /// The lane levels currently on the bus.

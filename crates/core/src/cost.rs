@@ -172,7 +172,10 @@ pub struct CostBreakdown {
 
 impl CostBreakdown {
     /// A breakdown with no activity at all.
-    pub const ZERO: CostBreakdown = CostBreakdown { zeros: 0, transitions: 0 };
+    pub const ZERO: CostBreakdown = CostBreakdown {
+        zeros: 0,
+        transitions: 0,
+    };
 
     /// Creates a breakdown from explicit counts.
     #[must_use]
@@ -296,8 +299,14 @@ mod tests {
         assert_eq!(w.alpha(), 7);
         assert!((3..=4).contains(&w.beta()));
         // Degenerate cases fall back to the single-objective weightings.
-        assert_eq!(CostWeights::from_energy_ratio(0.0, 1e-12, 3).unwrap(), CostWeights::DC_ONLY);
-        assert_eq!(CostWeights::from_energy_ratio(1e-12, 0.0, 3).unwrap(), CostWeights::AC_ONLY);
+        assert_eq!(
+            CostWeights::from_energy_ratio(0.0, 1e-12, 3).unwrap(),
+            CostWeights::DC_ONLY
+        );
+        assert_eq!(
+            CostWeights::from_energy_ratio(1e-12, 0.0, 3).unwrap(),
+            CostWeights::AC_ONLY
+        );
         assert!(CostWeights::from_energy_ratio(0.0, 0.0, 3).is_err());
         assert!(CostWeights::from_energy_ratio(f64::NAN, f64::NAN, 3).is_err());
     }
@@ -306,7 +315,11 @@ mod tests {
     fn from_energy_ratio_never_rounds_small_side_to_zero() {
         let w = CostWeights::from_energy_ratio(1e-9, 1e-15, 3).unwrap();
         assert_eq!(w.alpha(), 7);
-        assert_eq!(w.beta(), 1, "tiny but non-zero energy must keep a non-zero coefficient");
+        assert_eq!(
+            w.beta(),
+            1,
+            "tiny but non-zero energy must keep a non-zero coefficient"
+        );
     }
 
     #[test]
@@ -354,6 +367,9 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(CostWeights::FIXED.to_string(), "alpha=1 beta=1");
-        assert_eq!(CostBreakdown::new(1, 2).to_string(), "zeros=1 transitions=2");
+        assert_eq!(
+            CostBreakdown::new(1, 2).to_string(),
+            "zeros=1 transitions=2"
+        );
     }
 }

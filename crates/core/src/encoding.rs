@@ -5,12 +5,32 @@
 //! compactly, and [`EncodedBurst`] pairs the mask with the resulting lane
 //! words so that activity counts, energy, decoding and bus-state updates
 //! can all be derived from one value.
+//!
+//! Two levels of the API matter for throughput:
+//!
+//! * A mask alone is enough for accounting: [`InversionMask::breakdown`]
+//!   and [`InversionMask::final_state`] compute wire activity and the
+//!   post-burst lane state straight from the payload bytes and the mask,
+//!   without materialising any symbols. This is what the streaming
+//!   encoders ([`DbiEncoder::encode_mask`](crate::schemes::DbiEncoder))
+//!   build on.
+//! * When symbols are needed, [`EncodedBurst`] stores them in an inline
+//!   small buffer ([`INLINE_SYMBOLS`] words): bursts up to BL16 — in
+//!   particular the standard BL8 — never touch the heap, and
+//!   [`EncodedBurst::assign_from_mask`] refills an existing value without
+//!   reallocating.
 
 use crate::burst::{Burst, BusState};
 use crate::cost::{CostBreakdown, CostWeights};
 use crate::error::{DbiError, Result};
 use crate::word::LaneWord;
 use core::fmt;
+use core::hash::{Hash, Hasher};
+
+/// Number of lane words an [`EncodedBurst`] stores inline before spilling
+/// to the heap. Covers BL8 and BL16, the burst lengths the standards
+/// define.
+pub const INLINE_SYMBOLS: usize = 16;
 
 /// Per-byte inversion decisions for a burst, stored as a bit mask.
 ///
@@ -76,13 +96,65 @@ impl InversionMask {
             Ok(())
         } else {
             let highest_bit = 31 - self.0.leading_zeros() as usize;
-            Err(DbiError::MaskTooWide { burst_len, highest_bit })
+            Err(DbiError::MaskTooWide {
+                burst_len,
+                highest_bit,
+            })
         }
     }
 
     /// Iterates over the per-byte decisions for a burst of `len` bytes.
     pub fn iter(self, len: usize) -> impl Iterator<Item = bool> {
         (0..len).map(move |i| self.is_inverted(i))
+    }
+
+    /// The lane word transmitted for byte `index` of `burst` under this
+    /// mask, without materialising the rest of the encoding.
+    #[inline]
+    #[must_use]
+    pub fn symbol_at(self, burst: &Burst, index: usize) -> Option<LaneWord> {
+        burst
+            .get(index)
+            .map(|byte| LaneWord::encode_byte(byte, self.is_inverted(index)))
+    }
+
+    /// Zero and transition counts of transmitting `burst` under this mask,
+    /// starting from `state` — computed directly from the payload bytes, no
+    /// symbol buffer and no heap allocation.
+    ///
+    /// Equivalent to `EncodedBurst::from_mask(burst, mask)?.breakdown(state)`.
+    #[must_use]
+    pub fn breakdown(self, burst: &Burst, state: &BusState) -> CostBreakdown {
+        let mut prev = state.last();
+        let mut zeros = 0u64;
+        let mut transitions = 0u64;
+        for (i, byte) in burst.iter().enumerate() {
+            let word = LaneWord::encode_byte(byte, self.is_inverted(i));
+            zeros += u64::from(word.zeros());
+            transitions += u64::from(word.transitions_from(prev));
+            prev = word;
+        }
+        CostBreakdown::new(zeros, transitions)
+    }
+
+    /// Weighted integer cost of transmitting `burst` under this mask from
+    /// `state`, allocation-free.
+    #[must_use]
+    pub fn cost(self, burst: &Burst, state: &BusState, weights: &CostWeights) -> u64 {
+        self.breakdown(burst, state).weighted(weights)
+    }
+
+    /// The bus state after `burst` has been driven under this mask —
+    /// derived from the last byte alone, allocation-free.
+    #[must_use]
+    pub fn final_state(self, burst: &Burst, initial: &BusState) -> BusState {
+        match burst.len().checked_sub(1) {
+            Some(last) => BusState::new(
+                self.symbol_at(burst, last)
+                    .expect("index is within the burst"),
+            ),
+            None => *initial,
+        }
     }
 }
 
@@ -110,8 +182,78 @@ impl From<InversionMask> for u32 {
     }
 }
 
+/// Symbol storage of an [`EncodedBurst`]: an inline array for the standard
+/// burst lengths, a heap vector beyond that.
+///
+/// Equality and hashing are defined over the logical slice, so an inline
+/// buffer and a heap buffer holding the same words compare equal.
+#[derive(Debug, Clone)]
+enum SymbolBuf {
+    Inline {
+        len: u8,
+        words: [LaneWord; INLINE_SYMBOLS],
+    },
+    Heap(Vec<LaneWord>),
+}
+
+impl SymbolBuf {
+    const fn empty() -> Self {
+        SymbolBuf::Inline {
+            len: 0,
+            words: [LaneWord::ALL_ONES; INLINE_SYMBOLS],
+        }
+    }
+
+    fn as_slice(&self) -> &[LaneWord] {
+        match self {
+            SymbolBuf::Inline { len, words } => &words[..usize::from(*len)],
+            SymbolBuf::Heap(vec) => vec,
+        }
+    }
+
+    /// Clears and refills the buffer from an iterator of known length,
+    /// reusing existing heap capacity and never allocating for bursts of at
+    /// most [`INLINE_SYMBOLS`] words (unless already spilled, in which case
+    /// the existing heap buffer is reused anyway).
+    fn refill<I: Iterator<Item = LaneWord>>(&mut self, len: usize, mut items: I) {
+        match self {
+            SymbolBuf::Heap(vec) => {
+                vec.clear();
+                vec.extend(items);
+            }
+            SymbolBuf::Inline { len: stored, words } if len <= INLINE_SYMBOLS => {
+                for slot in words.iter_mut().take(len) {
+                    *slot = items.next().expect("iterator yields `len` items");
+                }
+                *stored = len as u8;
+            }
+            SymbolBuf::Inline { .. } => {
+                *self = SymbolBuf::Heap(items.collect());
+            }
+        }
+    }
+}
+
+impl PartialEq for SymbolBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SymbolBuf {}
+
+impl Hash for SymbolBuf {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 /// A burst together with the inversion decisions applied to it — the value
 /// driven onto the nine lanes of one DBI group.
+///
+/// Symbols are stored inline for bursts up to [`INLINE_SYMBOLS`] words, so
+/// constructing (or [reusing](EncodedBurst::assign_from_mask)) an encoded
+/// BL8/BL16 burst performs no heap allocation.
 ///
 /// ```
 /// # fn main() -> Result<(), dbi_core::DbiError> {
@@ -127,11 +269,22 @@ impl From<InversionMask> for u32 {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EncodedBurst {
-    symbols: Vec<LaneWord>,
+    symbols: SymbolBuf,
     mask: InversionMask,
 }
 
 impl EncodedBurst {
+    /// Creates an empty reusable buffer for
+    /// [`DbiEncoder::encode_into`](crate::schemes::DbiEncoder::encode_into).
+    /// The only way to obtain an [`EncodedBurst::is_empty`] value.
+    #[must_use]
+    pub const fn empty() -> Self {
+        EncodedBurst {
+            symbols: SymbolBuf::empty(),
+            mask: InversionMask::NONE,
+        }
+    }
+
     /// Applies an inversion mask to a burst.
     ///
     /// # Errors
@@ -140,16 +293,36 @@ impl EncodedBurst {
     /// burst does not have, or [`DbiError::BurstTooLong`] when the burst has
     /// more than 32 bytes (masks are 32 bits wide).
     pub fn from_mask(burst: &Burst, mask: InversionMask) -> Result<Self> {
+        let mut encoded = EncodedBurst::empty();
+        encoded.assign_from_mask(burst, mask)?;
+        Ok(encoded)
+    }
+
+    /// Refills `self` with the encoding of `burst` under `mask`, reusing
+    /// the existing symbol storage. The allocation-free way to encode a
+    /// stream of bursts through one buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EncodedBurst::from_mask`]; on error `self` is
+    /// left unchanged.
+    pub fn assign_from_mask(&mut self, burst: &Burst, mask: InversionMask) -> Result<()> {
         if burst.len() > 32 {
-            return Err(DbiError::BurstTooLong { len: burst.len(), max: 32 });
+            return Err(DbiError::BurstTooLong {
+                len: burst.len(),
+                max: 32,
+            });
         }
         mask.validate_for_len(burst.len())?;
-        let symbols = burst
-            .iter()
-            .enumerate()
-            .map(|(i, byte)| LaneWord::encode_byte(byte, mask.is_inverted(i)))
-            .collect();
-        Ok(EncodedBurst { symbols, mask })
+        self.symbols.refill(
+            burst.len(),
+            burst
+                .iter()
+                .enumerate()
+                .map(|(i, byte)| LaneWord::encode_byte(byte, mask.is_inverted(i))),
+        );
+        self.mask = mask;
+        Ok(())
     }
 
     /// Builds an encoded burst from per-byte decisions produced by an
@@ -172,18 +345,13 @@ impl EncodedBurst {
                 mask = mask.with_inverted(i);
             }
         }
-        let symbols = burst
-            .iter()
-            .zip(decisions.iter())
-            .map(|(byte, &invert)| LaneWord::encode_byte(byte, invert))
-            .collect();
-        EncodedBurst { symbols, mask }
+        Self::from_mask(burst, mask).expect("the decision slice length matches the burst length")
     }
 
     /// The lane words in transmission order.
     #[must_use]
     pub fn symbols(&self) -> &[LaneWord] {
-        &self.symbols
+        self.symbols.as_slice()
     }
 
     /// The per-byte inversion decisions.
@@ -195,21 +363,21 @@ impl EncodedBurst {
     /// Number of unit intervals in the encoded burst.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.symbols.len()
+        self.symbols.as_slice().len()
     }
 
-    /// `true` when the burst contains no symbols (never the case for values
-    /// built through the public constructors).
+    /// `true` when the burst contains no symbols — only the case for a
+    /// fresh [`EncodedBurst::empty`] buffer that has not been assigned yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.symbols.is_empty()
+        self.symbols.as_slice().is_empty()
     }
 
     /// Zero and transition counts of transmitting this burst starting from
     /// `state`.
     #[must_use]
     pub fn breakdown(&self, state: &BusState) -> CostBreakdown {
-        CostBreakdown::of_symbols(&self.symbols, state)
+        CostBreakdown::of_symbols(self.symbols.as_slice(), state)
     }
 
     /// Weighted integer cost of transmitting this burst starting from
@@ -221,16 +389,21 @@ impl EncodedBurst {
 
     /// Recovers the original payload bytes, as the receiver does by undoing
     /// the inversion signalled on the DBI lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unassigned [`EncodedBurst::empty`] buffer, which holds
+    /// no symbols and therefore no payload.
     #[must_use]
     pub fn decode(&self) -> Burst {
-        let bytes: Vec<u8> = self.symbols.iter().map(|w| w.decode()).collect();
-        Burst::new(bytes).expect("encoded bursts are never empty")
+        let bytes: Vec<u8> = self.symbols.as_slice().iter().map(|w| w.decode()).collect();
+        Burst::new(bytes).expect("assigned encoded bursts are never empty")
     }
 
     /// The bus state after the last symbol of this burst has been driven.
     #[must_use]
     pub fn final_state(&self, initial: &BusState) -> BusState {
-        match self.symbols.last() {
+        match self.symbols.as_slice().last() {
             Some(&word) => BusState::new(word),
             None => *initial,
         }
@@ -240,7 +413,7 @@ impl EncodedBurst {
 impl fmt::Display for EncodedBurst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "mask={:08b} [", self.mask.bits())?;
-        for (i, word) in self.symbols.iter().enumerate() {
+        for (i, word) in self.symbols.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, " ")?;
             }
@@ -282,7 +455,10 @@ mod tests {
         assert!(mask.validate_for_len(5).is_ok());
         assert_eq!(
             mask.validate_for_len(4),
-            Err(DbiError::MaskTooWide { burst_len: 4, highest_bit: 4 })
+            Err(DbiError::MaskTooWide {
+                burst_len: 4,
+                highest_bit: 4
+            })
         );
         assert!(InversionMask::NONE.validate_for_len(0).is_ok());
     }
@@ -294,6 +470,37 @@ mod tests {
         assert_eq!(raw, 0b101);
         assert_eq!(format!("{mask:b}"), "101");
         assert_eq!(mask.to_string(), "101");
+    }
+
+    #[test]
+    fn mask_breakdown_matches_the_symbol_buffer_path() {
+        let burst = Burst::from_slice(&[0x10, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4]).unwrap();
+        for bits in [0u32, 0b1, 0b1010_1010, 0xFF, 0b0110_0101] {
+            let mask = InversionMask::from_bits(bits);
+            let encoded = EncodedBurst::from_mask(&burst, mask).unwrap();
+            for state in [BusState::idle(), BusState::new(LaneWord::ALL_ZEROS)] {
+                assert_eq!(mask.breakdown(&burst, &state), encoded.breakdown(&state));
+                assert_eq!(
+                    mask.cost(&burst, &state, &CostWeights::FIXED),
+                    encoded.cost(&state, &CostWeights::FIXED)
+                );
+                assert_eq!(
+                    mask.final_state(&burst, &state),
+                    encoded.final_state(&state)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mask_symbol_at_matches_the_buffer() {
+        let burst = Burst::from_slice(&[0x0F, 0xF0, 0xAA]).unwrap();
+        let mask = InversionMask::from_bits(0b010);
+        let encoded = EncodedBurst::from_mask(&burst, mask).unwrap();
+        for i in 0..burst.len() {
+            assert_eq!(mask.symbol_at(&burst, i), Some(encoded.symbols()[i]));
+        }
+        assert_eq!(mask.symbol_at(&burst, 3), None);
     }
 
     #[test]
@@ -335,6 +542,70 @@ mod tests {
     fn from_decisions_panics_on_length_mismatch() {
         let burst = Burst::from_slice(&[1, 2]).unwrap();
         let _ = EncodedBurst::from_decisions(&burst, &[true]);
+    }
+
+    #[test]
+    fn assign_reuses_the_buffer_across_lengths() {
+        let mut encoded = EncodedBurst::empty();
+        assert!(encoded.is_empty());
+
+        let short = Burst::from_slice(&[0xAB, 0xCD]).unwrap();
+        encoded
+            .assign_from_mask(&short, InversionMask::from_bits(0b01))
+            .unwrap();
+        assert_eq!(encoded.len(), 2);
+        assert_eq!(encoded.decode(), short);
+
+        // Spill to the heap...
+        let long = Burst::new((0..20u8).collect()).unwrap();
+        encoded
+            .assign_from_mask(&long, InversionMask::NONE)
+            .unwrap();
+        assert_eq!(encoded.len(), 20);
+        assert_eq!(encoded.decode(), long);
+
+        // ...and back to a short burst, still comparing equal to a fresh value.
+        encoded
+            .assign_from_mask(&short, InversionMask::from_bits(0b01))
+            .unwrap();
+        let fresh = EncodedBurst::from_mask(&short, InversionMask::from_bits(0b01)).unwrap();
+        assert_eq!(
+            encoded, fresh,
+            "heap-backed and inline-backed values compare equal"
+        );
+    }
+
+    #[test]
+    fn assign_errors_leave_the_buffer_unchanged() {
+        let burst = Burst::from_slice(&[1, 2, 3]).unwrap();
+        let mut encoded = EncodedBurst::from_mask(&burst, InversionMask::from_bits(0b111)).unwrap();
+        let before = encoded.clone();
+        let narrow = Burst::from_slice(&[9]).unwrap();
+        assert!(encoded
+            .assign_from_mask(&narrow, InversionMask::from_bits(0b10))
+            .is_err());
+        assert_eq!(encoded, before);
+    }
+
+    #[test]
+    fn standard_bursts_compare_and_hash_by_content() {
+        use std::collections::hash_map::DefaultHasher;
+        let burst = Burst::from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+        let a = EncodedBurst::from_mask(&burst, InversionMask::from_bits(0b1001)).unwrap();
+        let mut b = EncodedBurst::from_mask(
+            &Burst::new((0..24u8).collect()).unwrap(),
+            InversionMask::NONE,
+        )
+        .unwrap();
+        b.assign_from_mask(&burst, InversionMask::from_bits(0b1001))
+            .unwrap();
+        assert_eq!(a, b);
+        let hash = |e: &EncodedBurst| {
+            let mut h = DefaultHasher::new();
+            e.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
     }
 
     #[test]

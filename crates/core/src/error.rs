@@ -48,7 +48,10 @@ impl fmt::Display for DbiError {
         match self {
             DbiError::EmptyBurst => write!(f, "burst must contain at least one byte"),
             DbiError::BurstTooLong { len, max } => {
-                write!(f, "burst of {len} bytes exceeds the supported maximum of {max}")
+                write!(
+                    f,
+                    "burst of {len} bytes exceeds the supported maximum of {max}"
+                )
             }
             DbiError::InvalidLaneWord(raw) => {
                 write!(f, "lane word {raw:#x} does not fit into 9 bits")
@@ -56,12 +59,18 @@ impl fmt::Display for DbiError {
             DbiError::ZeroWeights => {
                 write!(f, "at least one of the cost coefficients must be non-zero")
             }
-            DbiError::MaskTooWide { burst_len, highest_bit } => write!(
+            DbiError::MaskTooWide {
+                burst_len,
+                highest_bit,
+            } => write!(
                 f,
                 "inversion mask bit {highest_bit} is out of range for a burst of {burst_len} bytes"
             ),
             DbiError::WeightOutOfRange { value, max } => {
-                write!(f, "cost coefficient {value} exceeds the supported maximum of {max}")
+                write!(
+                    f,
+                    "cost coefficient {value} exceeds the supported maximum of {max}"
+                )
             }
         }
     }
@@ -84,11 +93,17 @@ mod tests {
             (DbiError::InvalidLaneWord(0x400), "0x400"),
             (DbiError::ZeroWeights, "non-zero"),
             (
-                DbiError::MaskTooWide { burst_len: 8, highest_bit: 12 },
+                DbiError::MaskTooWide {
+                    burst_len: 8,
+                    highest_bit: 12,
+                },
                 "out of range",
             ),
             (
-                DbiError::WeightOutOfRange { value: 1 << 40, max: 1 << 20 },
+                DbiError::WeightOutOfRange {
+                    value: 1 << 40,
+                    max: 1 << 20,
+                },
                 "exceeds",
             ),
         ];
@@ -102,7 +117,10 @@ mod tests {
                 msg.chars().next().unwrap().is_lowercase(),
                 "message should start lowercase: {msg:?}"
             );
-            assert!(!msg.ends_with('.'), "message should not end with a period: {msg:?}");
+            assert!(
+                !msg.ends_with('.'),
+                "message should not end with a period: {msg:?}"
+            );
         }
     }
 

@@ -42,7 +42,12 @@ impl fmt::Display for TrellisNode {
         match self {
             TrellisNode::Start => write!(f, "start"),
             TrellisNode::Byte { index, inverted } => {
-                write!(f, "byte{}({})", index, if *inverted { "inv" } else { "plain" })
+                write!(
+                    f,
+                    "byte{}({})",
+                    index,
+                    if *inverted { "inv" } else { "plain" }
+                )
             }
             TrellisNode::End => write!(f, "end"),
         }
@@ -123,7 +128,10 @@ impl Trellis {
                         let prev_word = LaneWord::encode_byte(prev_byte, prev_inverted);
                         let weight = weights.symbol_cost(word, prev_word);
                         edges.push(TrellisEdge {
-                            from: TrellisNode::Byte { index: i - 1, inverted: prev_inverted },
+                            from: TrellisNode::Byte {
+                                index: i - 1,
+                                inverted: prev_inverted,
+                            },
                             to: TrellisNode::Byte { index: i, inverted },
                             weight,
                         });
@@ -134,12 +142,20 @@ impl Trellis {
         nodes.push(TrellisNode::End);
         for inverted in [false, true] {
             edges.push(TrellisEdge {
-                from: TrellisNode::Byte { index: n - 1, inverted },
+                from: TrellisNode::Byte {
+                    index: n - 1,
+                    inverted,
+                },
                 to: TrellisNode::End,
                 weight: 0,
             });
         }
-        Trellis { burst: burst.clone(), weights, edges, nodes }
+        Trellis {
+            burst: burst.clone(),
+            weights,
+            edges,
+            nodes,
+        }
     }
 
     /// All nodes of the trellis (start, 2·n byte nodes, end).
@@ -232,11 +248,19 @@ impl Trellis {
 
         let mut mask = InversionMask::NONE;
         for node in &path_nodes {
-            if let TrellisNode::Byte { index, inverted: true } = node {
+            if let TrellisNode::Byte {
+                index,
+                inverted: true,
+            } = node
+            {
                 mask = mask.with_inverted(*index);
             }
         }
-        ShortestPath { cost: dist[end], mask, nodes: path_nodes }
+        ShortestPath {
+            cost: dist[end],
+            mask,
+            nodes: path_nodes,
+        }
     }
 
     /// Applies the shortest path's inversion mask to the burst.
@@ -268,14 +292,29 @@ mod tests {
     #[test]
     fn fig2_start_edge_weights() {
         // Fig. 2 annotates the two edges out of the start node with 8 and 10.
-        let trellis =
-            Trellis::build(&Burst::paper_example(), &BusState::idle(), CostWeights::FIXED);
+        let trellis = Trellis::build(
+            &Burst::paper_example(),
+            &BusState::idle(),
+            CostWeights::FIXED,
+        );
         assert_eq!(
-            trellis.edge_weight(TrellisNode::Start, TrellisNode::Byte { index: 0, inverted: false }),
+            trellis.edge_weight(
+                TrellisNode::Start,
+                TrellisNode::Byte {
+                    index: 0,
+                    inverted: false
+                }
+            ),
             Some(8)
         );
         assert_eq!(
-            trellis.edge_weight(TrellisNode::Start, TrellisNode::Byte { index: 0, inverted: true }),
+            trellis.edge_weight(
+                TrellisNode::Start,
+                TrellisNode::Byte {
+                    index: 0,
+                    inverted: true
+                }
+            ),
             Some(10)
         );
         assert_eq!(
@@ -310,8 +349,11 @@ mod tests {
 
     #[test]
     fn fig2_shortest_path_cost_is_52() {
-        let trellis =
-            Trellis::build(&Burst::paper_example(), &BusState::idle(), CostWeights::FIXED);
+        let trellis = Trellis::build(
+            &Burst::paper_example(),
+            &BusState::idle(),
+            CostWeights::FIXED,
+        );
         let path = trellis.shortest_path();
         assert_eq!(path.cost, 52);
         assert_eq!(path.nodes.len(), 8);
@@ -319,8 +361,11 @@ mod tests {
 
     #[test]
     fn path_mask_matches_visited_nodes() {
-        let trellis =
-            Trellis::build(&Burst::paper_example(), &BusState::idle(), CostWeights::FIXED);
+        let trellis = Trellis::build(
+            &Burst::paper_example(),
+            &BusState::idle(),
+            CostWeights::FIXED,
+        );
         let path = trellis.shortest_path();
         for node in &path.nodes {
             if let TrellisNode::Byte { index, inverted } = node {
@@ -334,11 +379,19 @@ mod tests {
         assert_eq!(TrellisNode::Start.to_string(), "start");
         assert_eq!(TrellisNode::End.to_string(), "end");
         assert_eq!(
-            TrellisNode::Byte { index: 3, inverted: true }.to_string(),
+            TrellisNode::Byte {
+                index: 3,
+                inverted: true
+            }
+            .to_string(),
             "byte3(inv)"
         );
         assert_eq!(
-            TrellisNode::Byte { index: 0, inverted: false }.to_string(),
+            TrellisNode::Byte {
+                index: 0,
+                inverted: false
+            }
+            .to_string(),
             "byte0(plain)"
         );
     }

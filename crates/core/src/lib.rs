@@ -45,6 +45,18 @@
 //! # }
 //! ```
 //!
+//! ## Streaming fast path
+//!
+//! Every scheme also offers an allocation-free API for line-rate use:
+//! [`schemes::DbiEncoder::encode_mask`] returns only the per-byte
+//! decisions (no symbol materialisation),
+//! [`encoding::InversionMask::breakdown`] prices a mask straight from the
+//! payload bytes, and [`schemes::DbiEncoder::encode_into`] refills a
+//! caller-owned [`EncodedBurst`] whose inline buffer keeps standard
+//! bursts off the heap. The optimal encoder backs this with precomputed
+//! edge-cost tables ([`lut::CostLut`]), making its forward sweep pure
+//! table lookups and adds.
+//!
 //! ## Module overview
 //!
 //! | Module | Contents |
@@ -52,7 +64,8 @@
 //! | [`word`] | 9-lane words (8 DQ + DBI), zero/transition counting |
 //! | [`burst`] | burst payloads and bus state |
 //! | [`cost`] | α/β cost weights and activity breakdowns |
-//! | [`encoding`] | inversion masks, encoded bursts, decoding |
+//! | [`lut`] | precomputed trellis edge-cost tables (the encode hot path) |
+//! | [`encoding`] | inversion masks, encoded bursts (inline small-buffer storage), decoding |
 //! | [`schemes`] | RAW, DC, AC, ACDC, greedy, OPT, OPT(Fixed), exhaustive oracle |
 //! | [`graph`] | explicit trellis + Dijkstra (Fig. 2 cross-check) |
 //! | [`pareto`] | Pareto front of the zero/transition trade-off |
@@ -69,6 +82,7 @@ pub mod cost;
 pub mod encoding;
 pub mod error;
 pub mod graph;
+pub mod lut;
 pub mod pareto;
 pub mod schemes;
 pub mod stats;
@@ -76,8 +90,9 @@ pub mod word;
 
 pub use burst::{Burst, BusState, MAX_EXHAUSTIVE_LEN, STANDARD_BURST_LEN};
 pub use cost::{CostBreakdown, CostWeights};
-pub use encoding::{decode_symbols, EncodedBurst, InversionMask};
+pub use encoding::{decode_symbols, EncodedBurst, InversionMask, INLINE_SYMBOLS};
 pub use error::{DbiError, Result};
+pub use lut::CostLut;
 pub use pareto::{ParetoFront, ParetoPoint};
 pub use schemes::{DbiEncoder, Scheme};
 pub use stats::{SchemeComparison, SchemeStats};
@@ -98,7 +113,9 @@ mod tests {
 
         let dc = DcEncoder::new().encode(&burst, &state).breakdown(&state);
         let ac = AcEncoder::new().encode(&burst, &state).breakdown(&state);
-        let opt = OptEncoder::new(weights).encode(&burst, &state).breakdown(&state);
+        let opt = OptEncoder::new(weights)
+            .encode(&burst, &state)
+            .breakdown(&state);
 
         assert_eq!((dc.zeros, dc.transitions), (26, 42));
         assert_eq!((ac.zeros, ac.transitions), (43, 22));
@@ -116,6 +133,6 @@ mod tests {
         let _ = DbiBit::Inverted;
         let _: CostBreakdown = CostBreakdown::ZERO;
         assert_eq!(STANDARD_BURST_LEN, 8);
-        assert!(MAX_EXHAUSTIVE_LEN >= 16);
+        const { assert!(MAX_EXHAUSTIVE_LEN >= 16) };
     }
 }

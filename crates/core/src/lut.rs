@@ -1,0 +1,236 @@
+//! Precomputed trellis edge-cost lookup tables.
+//!
+//! The optimal encoder's inner loop evaluates, for every byte of a burst,
+//! the four trellis edge costs between the two transmission states of the
+//! previous byte (plain / inverted) and the two states of the current byte.
+//! Done naively that means reconstructing four 9-bit [`LaneWord`]s and
+//! counting their zeros and pairwise transitions — per byte, per burst.
+//!
+//! All of that collapses into table lookups thanks to two identities of the
+//! 9-lane encoding (8 DQ lanes + DBI lane, inverted payload ⇒ DBI low):
+//!
+//! 1. **Transitions depend only on the XOR of the data bytes.** Writing
+//!    `d = popcount(prev_byte ^ cur_byte)`, the lane toggles between the
+//!    transmitted words are
+//!    * `d` when both bytes use the *same* state (plain→plain carries the
+//!      payload XOR unchanged and the DBI lane holds; inv→inv complements
+//!      both payloads, which cancels),
+//!    * `9 − d` when the state *changes* (the payload XOR complements to
+//!      `8 − d` and the DBI lane toggles once).
+//! 2. **Zeros depend only on the current byte.** A plain word drives
+//!    `8 − popcount(b)` lanes low; an inverted word drives
+//!    `popcount(b) + 1` low (the complemented payload plus the DBI lane).
+//!
+//! [`CostLut`] bakes the α/β weighting of [`CostWeights`] into four
+//! 256-entry tables (4 KiB total, L1-resident), so one trellis step is four
+//! lookups and a handful of adds — no [`LaneWord`] is ever built. The
+//! construction is a `const fn`, which lets fixed-coefficient encoders live
+//! in `static`s with their tables computed at compile time.
+//!
+//! ```
+//! use dbi_core::lut::CostLut;
+//! use dbi_core::CostWeights;
+//!
+//! let lut = CostLut::new(CostWeights::FIXED);
+//! // From byte 0xFF to byte 0x00 every data lane toggles: 8 same-state
+//! // transitions, 1 cross-state transition (only the DBI lane).
+//! assert_eq!(lut.transition_same(0xFF ^ 0x00), 8);
+//! assert_eq!(lut.transition_cross(0xFF ^ 0x00), 1);
+//! // 0x0F plain transmits four zeros; inverted it transmits five
+//! // (four complemented payload bits plus the low DBI lane).
+//! assert_eq!(lut.zeros_plain(0x0F), 4);
+//! assert_eq!(lut.zeros_inverted(0x0F), 5);
+//! ```
+
+use crate::cost::CostWeights;
+use crate::word::{LaneWord, LANE_BITS};
+
+/// Weighted trellis edge costs for one [`CostWeights`] pair, precomputed
+/// per byte value.
+///
+/// See the [module documentation](self) for the derivation. All entries are
+/// `u32`: the largest possible entry is `max(α, β) · 9`, far below the
+/// coefficient cap, and path costs are accumulated in `u64` by the callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostLut {
+    weights: CostWeights,
+    /// `[α · popcount(x), α · (9 − popcount(x))]`, indexed by
+    /// `x = prev_byte ^ cur_byte`: transition cost for a same-state edge
+    /// and a state-flipping edge. Paired so one trellis step touches a
+    /// single cache line per lookup class.
+    trans: [[u32; 2]; 256],
+    /// `[β · (8 − popcount(b)), β · (popcount(b) + 1)]`, indexed by the
+    /// current byte: zero cost of the plain and the inverted transmission.
+    zeros: [[u32; 2]; 256],
+}
+
+impl CostLut {
+    /// Builds the tables for the given coefficients.
+    ///
+    /// This is a `const fn`, so fixed-weight tables can be computed at
+    /// compile time and stored in `static` encoders.
+    #[must_use]
+    pub const fn new(weights: CostWeights) -> Self {
+        let alpha = weights.alpha();
+        let beta = weights.beta();
+        let mut trans = [[0u32; 2]; 256];
+        let mut zeros = [[0u32; 2]; 256];
+        let mut b = 0usize;
+        while b < 256 {
+            let ones = (b as u8).count_ones();
+            trans[b] = [alpha * ones, alpha * (LANE_BITS - ones)];
+            zeros[b] = [beta * (8 - ones), beta * (ones + 1)];
+            b += 1;
+        }
+        CostLut {
+            weights,
+            trans,
+            zeros,
+        }
+    }
+
+    /// The coefficients the tables were built for.
+    #[must_use]
+    pub const fn weights(&self) -> CostWeights {
+        self.weights
+    }
+
+    /// Both weighted transition costs between two bytes, indexed by their
+    /// XOR: `[same-state, state-flip]`.
+    #[inline]
+    #[must_use]
+    pub const fn transitions(&self, xor: u8) -> [u32; 2] {
+        self.trans[xor as usize]
+    }
+
+    /// Both weighted zero costs of transmitting `byte`: `[plain, inverted]`.
+    #[inline]
+    #[must_use]
+    pub const fn zeros(&self, byte: u8) -> [u32; 2] {
+        self.zeros[byte as usize]
+    }
+
+    /// Weighted transition cost between two bytes transmitted in the *same*
+    /// state, indexed by their XOR.
+    #[inline]
+    #[must_use]
+    pub const fn transition_same(&self, xor: u8) -> u32 {
+        self.trans[xor as usize][0]
+    }
+
+    /// Weighted transition cost between two bytes transmitted in *different*
+    /// states, indexed by their XOR.
+    #[inline]
+    #[must_use]
+    pub const fn transition_cross(&self, xor: u8) -> u32 {
+        self.trans[xor as usize][1]
+    }
+
+    /// Weighted zero cost of transmitting `byte` plain.
+    #[inline]
+    #[must_use]
+    pub const fn zeros_plain(&self, byte: u8) -> u32 {
+        self.zeros[byte as usize][0]
+    }
+
+    /// Weighted zero cost of transmitting `byte` inverted.
+    #[inline]
+    #[must_use]
+    pub const fn zeros_inverted(&self, byte: u8) -> u32 {
+        self.zeros[byte as usize][1]
+    }
+
+    /// The weighted costs of entering the first byte of a burst from an
+    /// arbitrary 9-bit bus state: `(plain, inverted)`.
+    ///
+    /// The first trellis stage is the only one whose predecessor is not a
+    /// byte/state pair but the raw lane levels left by the previous burst,
+    /// so it is computed directly (still allocation-free) instead of being
+    /// tabulated per possible 9-bit state.
+    #[inline]
+    #[must_use]
+    pub fn first_step(&self, byte: u8, prev: LaneWord) -> (u64, u64) {
+        let plain = LaneWord::encode_byte(byte, false);
+        let inverted = LaneWord::encode_byte(byte, true);
+        (
+            self.weights.symbol_cost(plain, prev),
+            self.weights.symbol_cost(inverted, prev),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: edge cost via explicit lane words.
+    fn naive_edge(
+        weights: &CostWeights,
+        prev_byte: u8,
+        prev_inverted: bool,
+        cur_byte: u8,
+        cur_inverted: bool,
+    ) -> u64 {
+        let prev = LaneWord::encode_byte(prev_byte, prev_inverted);
+        let cur = LaneWord::encode_byte(cur_byte, cur_inverted);
+        weights.symbol_cost(cur, prev)
+    }
+
+    #[test]
+    fn tables_match_the_naive_lane_word_costs_exhaustively() {
+        for (alpha, beta) in [(1u32, 1u32), (0, 1), (1, 0), (3, 5), (7, 2)] {
+            let weights = CostWeights::new(alpha, beta).unwrap();
+            let lut = CostLut::new(weights);
+            for prev in 0..=255u8 {
+                for cur in (0..=255u8).step_by(7) {
+                    let xor = prev ^ cur;
+                    for (pi, ci, trans) in [
+                        (false, false, lut.transition_same(xor)),
+                        (true, true, lut.transition_same(xor)),
+                        (false, true, lut.transition_cross(xor)),
+                        (true, false, lut.transition_cross(xor)),
+                    ] {
+                        let zeros = if ci {
+                            lut.zeros_inverted(cur)
+                        } else {
+                            lut.zeros_plain(cur)
+                        };
+                        assert_eq!(
+                            u64::from(trans) + u64::from(zeros),
+                            naive_edge(&weights, prev, pi, cur, ci),
+                            "alpha={alpha} beta={beta} prev={prev:#04x}({pi}) cur={cur:#04x}({ci})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_step_matches_symbol_cost_for_arbitrary_states() {
+        let weights = CostWeights::new(2, 3).unwrap();
+        let lut = CostLut::new(weights);
+        for raw in (0u16..512).step_by(5) {
+            let prev = LaneWord::new(raw).unwrap();
+            for byte in [0x00u8, 0xFF, 0xA5, 0x1C] {
+                let (plain, inverted) = lut.first_step(byte, prev);
+                assert_eq!(
+                    plain,
+                    weights.symbol_cost(LaneWord::encode_byte(byte, false), prev)
+                );
+                assert_eq!(
+                    inverted,
+                    weights.symbol_cost(LaneWord::encode_byte(byte, true), prev)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn const_construction_is_usable_in_statics() {
+        static FIXED: CostLut = CostLut::new(CostWeights::FIXED);
+        assert_eq!(FIXED.weights(), CostWeights::FIXED);
+        assert_eq!(FIXED.transition_same(0), 0);
+        assert_eq!(FIXED.transition_cross(0), 9);
+    }
+}

@@ -66,7 +66,10 @@ impl ParetoFront {
     /// [`MAX_EXHAUSTIVE_LEN`], since the enumeration is exponential.
     pub fn of_burst(burst: &Burst, state: &BusState) -> Result<Self> {
         if burst.len() > MAX_EXHAUSTIVE_LEN {
-            return Err(DbiError::BurstTooLong { len: burst.len(), max: MAX_EXHAUSTIVE_LEN });
+            return Err(DbiError::BurstTooLong {
+                len: burst.len(),
+                max: MAX_EXHAUSTIVE_LEN,
+            });
         }
         let count = 1u64 << burst.len();
         let mut candidates: Vec<ParetoPoint> = Vec::with_capacity(count as usize);
@@ -74,12 +77,17 @@ impl ParetoFront {
             let mask = InversionMask::from_bits(bits as u32);
             let encoded = EncodedBurst::from_mask(burst, mask)
                 .expect("mask bits are bounded by the burst length");
-            candidates.push(ParetoPoint { breakdown: encoded.breakdown(state), mask });
+            candidates.push(ParetoPoint {
+                breakdown: encoded.breakdown(state),
+                mask,
+            });
         }
 
         let mut front: Vec<ParetoPoint> = Vec::new();
         for candidate in &candidates {
-            let dominated = candidates.iter().any(|other| other.breakdown.dominates(&candidate.breakdown));
+            let dominated = candidates
+                .iter()
+                .any(|other| other.breakdown.dominates(&candidate.breakdown));
             if !dominated {
                 front.push(*candidate);
             }
@@ -202,7 +210,11 @@ mod tests {
         let front = paper_front();
         let dc = DcEncoder::new().encode(&burst, &state).breakdown(&state);
         let ac = AcEncoder::new().encode(&burst, &state).breakdown(&state);
-        assert_eq!(front.points().first().unwrap().breakdown, dc, "DC is the min-zeros extreme");
+        assert_eq!(
+            front.points().first().unwrap().breakdown,
+            dc,
+            "DC is the min-zeros extreme"
+        );
         assert_eq!(
             front.points().last().unwrap().breakdown,
             ac,
@@ -219,10 +231,17 @@ mod tests {
             let weights = CostWeights::new(alpha, beta).unwrap();
             let encoded = OptEncoder::new(weights).encode(&burst, &state);
             let breakdown = encoded.breakdown(&state);
-            assert!(front.contains(breakdown), "OPT({alpha},{beta}) produced {breakdown} off the front");
+            assert!(
+                front.contains(breakdown),
+                "OPT({alpha},{beta}) produced {breakdown} off the front"
+            );
             // And it matches the front's own arg-min.
             assert_eq!(
-                front.best_for(&weights).unwrap().breakdown.weighted(&weights),
+                front
+                    .best_for(&weights)
+                    .unwrap()
+                    .breakdown
+                    .weighted(&weights),
                 breakdown.weighted(&weights)
             );
         }

@@ -1,7 +1,7 @@
 //! DBI AC: per-byte transition minimisation.
 
 use crate::burst::{Burst, BusState};
-use crate::encoding::EncodedBurst;
+use crate::encoding::{EncodedBurst, InversionMask};
 use crate::schemes::DbiEncoder;
 use crate::word::LaneWord;
 
@@ -54,15 +54,23 @@ impl DbiEncoder for AcEncoder {
     }
 
     fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst {
+        EncodedBurst::from_mask(burst, self.encode_mask(burst, state))
+            .expect("the AC rule produces one decision per byte of a mask-sized burst")
+    }
+
+    /// Allocation-free fast path: the per-byte comparison carries only the
+    /// previously transmitted lane word.
+    fn encode_mask(&self, burst: &Burst, state: &BusState) -> InversionMask {
         let mut prev = state.last();
-        let mut decisions = Vec::with_capacity(burst.len());
-        for byte in burst.iter() {
+        let mut mask = InversionMask::NONE;
+        for (i, byte) in burst.iter().enumerate() {
             let invert = AcEncoder::should_invert(byte, prev);
-            let word = LaneWord::encode_byte(byte, invert);
-            decisions.push(invert);
-            prev = word;
+            if invert {
+                mask = mask.with_inverted(i);
+            }
+            prev = LaneWord::encode_byte(byte, invert);
         }
-        EncodedBurst::from_decisions(burst, &decisions)
+        mask
     }
 }
 
@@ -131,7 +139,10 @@ mod tests {
         for burst in bursts {
             let ac_cost = ac.encode(&burst, &state).cost(&state, &weights);
             let opt_cost = oracle.encode(&burst, &state).cost(&state, &weights);
-            assert_eq!(ac_cost, opt_cost, "DBI AC must be optimal for alpha-only weights");
+            assert_eq!(
+                ac_cost, opt_cost,
+                "DBI AC must be optimal for alpha-only weights"
+            );
         }
     }
 
@@ -148,8 +159,7 @@ mod tests {
     fn encoding_depends_on_bus_state() {
         let burst = Burst::from_slice(&[0x0F]).unwrap();
         let from_ones = AcEncoder::new().encode(&burst, &BusState::idle());
-        let from_zeros =
-            AcEncoder::new().encode(&burst, &BusState::new(LaneWord::ALL_ZEROS));
+        let from_zeros = AcEncoder::new().encode(&burst, &BusState::new(LaneWord::ALL_ZEROS));
         assert_ne!(from_ones.mask(), from_zeros.mask());
     }
 

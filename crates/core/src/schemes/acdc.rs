@@ -1,7 +1,7 @@
 //! DBI ACDC: Hollis' combined mode-switching scheme.
 
 use crate::burst::{Burst, BusState};
-use crate::encoding::EncodedBurst;
+use crate::encoding::{EncodedBurst, InversionMask};
 use crate::schemes::{AcEncoder, DbiEncoder, DcEncoder};
 use crate::word::LaneWord;
 
@@ -36,18 +36,26 @@ impl DbiEncoder for AcDcEncoder {
     }
 
     fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst {
-        let mut decisions = Vec::with_capacity(burst.len());
+        EncodedBurst::from_mask(burst, self.encode_mask(burst, state))
+            .expect("the ACDC rule produces one decision per byte of a mask-sized burst")
+    }
+
+    /// Allocation-free fast path: DC rule for byte 0, AC rule after.
+    fn encode_mask(&self, burst: &Burst, state: &BusState) -> InversionMask {
         let mut prev = state.last();
+        let mut mask = InversionMask::NONE;
         for (i, byte) in burst.iter().enumerate() {
             let invert = if i == 0 {
                 DcEncoder::should_invert(byte)
             } else {
                 AcEncoder::should_invert(byte, prev)
             };
+            if invert {
+                mask = mask.with_inverted(i);
+            }
             prev = LaneWord::encode_byte(byte, invert);
-            decisions.push(invert);
         }
-        EncodedBurst::from_decisions(burst, &decisions)
+        mask
     }
 }
 
@@ -75,8 +83,14 @@ mod tests {
         let burst = Burst::from_slice(&[0xF0, 0x0F]).unwrap();
         let state = BusState::idle();
         let encoded = AcDcEncoder::new().encode(&burst, &state);
-        assert!(!encoded.mask().is_inverted(0), "0xF0 has four zeros, DC keeps it");
-        assert!(encoded.mask().is_inverted(1), "AC rule inverts 0x0F after 0xF0");
+        assert!(
+            !encoded.mask().is_inverted(0),
+            "0xF0 has four zeros, DC keeps it"
+        );
+        assert!(
+            encoded.mask().is_inverted(1),
+            "AC rule inverts 0x0F after 0xF0"
+        );
     }
 
     #[test]
@@ -92,7 +106,11 @@ mod tests {
         for burst in bursts {
             let acdc = AcDcEncoder::new().encode(&burst, &state);
             let ac = AcEncoder::new().encode(&burst, &state);
-            assert_eq!(acdc.mask(), ac.mask(), "ACDC must match AC from the idle state");
+            assert_eq!(
+                acdc.mask(),
+                ac.mask(),
+                "ACDC must match AC from the idle state"
+            );
         }
     }
 

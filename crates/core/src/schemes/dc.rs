@@ -1,7 +1,7 @@
 //! DBI DC: per-byte zero minimisation.
 
 use crate::burst::{Burst, BusState};
-use crate::encoding::EncodedBurst;
+use crate::encoding::{EncodedBurst, InversionMask};
 use crate::schemes::DbiEncoder;
 use crate::word::byte_zeros;
 
@@ -52,9 +52,20 @@ impl DbiEncoder for DcEncoder {
         "DBI DC"
     }
 
-    fn encode(&self, burst: &Burst, _state: &BusState) -> EncodedBurst {
-        let decisions: Vec<bool> = burst.iter().map(DcEncoder::should_invert).collect();
-        EncodedBurst::from_decisions(burst, &decisions)
+    fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst {
+        EncodedBurst::from_mask(burst, self.encode_mask(burst, state))
+            .expect("the DC rule produces one decision per byte of a mask-sized burst")
+    }
+
+    /// Allocation-free fast path: one popcount threshold per byte.
+    fn encode_mask(&self, burst: &Burst, _state: &BusState) -> InversionMask {
+        let mut mask = InversionMask::NONE;
+        for (i, byte) in burst.iter().enumerate() {
+            if DcEncoder::should_invert(byte) {
+                mask = mask.with_inverted(i);
+            }
+        }
+        mask
     }
 }
 
@@ -95,10 +106,7 @@ mod tests {
         let burst = Burst::from_array([0x12, 0x00, 0xFF, 0x55, 0xAA, 0x0F, 0xF0, 0x81]);
         let encoder = DcEncoder::new();
         let idle = encoder.encode(&burst, &BusState::idle());
-        let other = encoder.encode(
-            &burst,
-            &BusState::new(crate::word::LaneWord::ALL_ZEROS),
-        );
+        let other = encoder.encode(&burst, &BusState::new(crate::word::LaneWord::ALL_ZEROS));
         assert_eq!(idle.mask(), other.mask());
     }
 
@@ -118,7 +126,10 @@ mod tests {
         for burst in bursts {
             let dc_cost = dc.encode(&burst, &state).cost(&state, &weights);
             let opt_cost = oracle.encode(&burst, &state).cost(&state, &weights);
-            assert_eq!(dc_cost, opt_cost, "DBI DC must be optimal for beta-only weights");
+            assert_eq!(
+                dc_cost, opt_cost,
+                "DBI DC must be optimal for beta-only weights"
+            );
         }
     }
 

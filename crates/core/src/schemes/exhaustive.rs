@@ -72,12 +72,39 @@ impl DbiEncoder for ExhaustiveEncoder {
     ///
     /// Panics if the burst is longer than [`MAX_EXHAUSTIVE_LEN`] bytes.
     fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst {
-        let best = self
-            .enumerate_costs(burst, state)
-            .into_iter()
-            .min_by_key(|&(mask, cost)| (cost, mask.bits()))
-            .expect("a burst always has at least one encoding");
-        EncodedBurst::from_mask(burst, best.0).expect("mask came from enumeration")
+        EncodedBurst::from_mask(burst, self.encode_mask(burst, state))
+            .expect("the chosen mask only references bytes of the burst")
+    }
+
+    /// Allocation-free fast path: walks the 2ⁿ masks in ascending order and
+    /// keeps the first minimum, pricing each candidate directly from the
+    /// payload bytes ([`InversionMask::cost`]) instead of materialising an
+    /// [`EncodedBurst`] per candidate as [`ExhaustiveEncoder::enumerate_costs`]
+    /// does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the burst is longer than [`MAX_EXHAUSTIVE_LEN`] bytes.
+    fn encode_mask(&self, burst: &Burst, state: &BusState) -> InversionMask {
+        assert!(
+            burst.len() <= MAX_EXHAUSTIVE_LEN,
+            "exhaustive enumeration is limited to {MAX_EXHAUSTIVE_LEN} bytes, got {}",
+            burst.len()
+        );
+        let count = 1u64 << burst.len();
+        let mut best_mask = InversionMask::NONE;
+        let mut best_cost = u64::MAX;
+        for bits in 0..count {
+            let mask = InversionMask::from_bits(bits as u32);
+            let cost = mask.cost(burst, state, &self.weights);
+            // Strict `<` keeps the numerically smallest mask among ties,
+            // matching `enumerate_costs` + `min_by_key((cost, bits))`.
+            if cost < best_cost {
+                best_cost = cost;
+                best_mask = mask;
+            }
+        }
+        best_mask
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::burst::{Burst, BusState};
 use crate::cost::CostWeights;
-use crate::encoding::EncodedBurst;
+use crate::encoding::{EncodedBurst, InversionMask};
 use crate::schemes::DbiEncoder;
 use crate::word::LaneWord;
 
@@ -64,18 +64,27 @@ impl DbiEncoder for GreedyEncoder {
     }
 
     fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst {
+        EncodedBurst::from_mask(burst, self.encode_mask(burst, state))
+            .expect("the greedy rule produces one decision per byte of a mask-sized burst")
+    }
+
+    /// Allocation-free fast path: two candidate costs per byte, keep the
+    /// cheaper word as the next comparison point.
+    fn encode_mask(&self, burst: &Burst, state: &BusState) -> InversionMask {
         let mut prev = state.last();
-        let mut decisions = Vec::with_capacity(burst.len());
-        for byte in burst.iter() {
+        let mut mask = InversionMask::NONE;
+        for (i, byte) in burst.iter().enumerate() {
             let plain = LaneWord::encode_byte(byte, false);
             let inverted = LaneWord::encode_byte(byte, true);
             let plain_cost = self.weights.symbol_cost(plain, prev);
             let inverted_cost = self.weights.symbol_cost(inverted, prev);
             let invert = inverted_cost < plain_cost;
+            if invert {
+                mask = mask.with_inverted(i);
+            }
             prev = if invert { inverted } else { plain };
-            decisions.push(invert);
         }
-        EncodedBurst::from_decisions(burst, &decisions)
+        mask
     }
 }
 

@@ -14,6 +14,21 @@
 //! | DBI OPT | [`opt`] | burst-global minimum of α·transitions + β·zeros (shortest path) |
 //! | DBI OPT (Fixed) | [`opt`] | DBI OPT with α = β = 1 (the paper's hardware-friendly variant) |
 //! | Exhaustive | [`exhaustive`] | brute-force 2ⁿ search, used as a correctness oracle |
+//!
+//! ## Batch and streaming encoding
+//!
+//! Every scheme provides three encoding entry points:
+//!
+//! * [`DbiEncoder::encode_mask`] — the throughput path: returns only the
+//!   per-byte decisions as an [`InversionMask`]. Every scheme in this crate
+//!   overrides it with an implementation that performs **no heap
+//!   allocation**; combined with [`InversionMask::breakdown`] this is all a
+//!   streaming cost evaluation needs.
+//! * [`DbiEncoder::encode_into`] — materialises the lane words into a
+//!   caller-owned [`EncodedBurst`], reusing its storage across calls.
+//! * [`DbiEncoder::encode`] — the convenient form, returning a fresh
+//!   [`EncodedBurst`] (whose inline symbol buffer still keeps standard
+//!   BL8/BL16 bursts off the heap).
 
 mod ac;
 mod acdc;
@@ -33,22 +48,46 @@ pub use raw::RawEncoder;
 
 use crate::burst::{Burst, BusState};
 use crate::cost::CostWeights;
-use crate::encoding::EncodedBurst;
+use crate::encoding::{EncodedBurst, InversionMask};
 use core::fmt;
 
 /// A data bus inversion encoder.
 ///
 /// Implementations are pure functions of the burst payload and the previous
-/// bus state; they hold only configuration (such as cost coefficients) and
-/// are therefore `Send + Sync` and freely shareable.
+/// bus state; they hold only configuration (such as cost coefficients or
+/// precomputed cost tables) and are therefore `Send + Sync` and freely
+/// shareable.
 pub trait DbiEncoder {
     /// Short human-readable name used in reports and benchmarks
     /// (for example `"DBI DC"` or `"DBI OPT (Fixed)"`).
     fn name(&self) -> &str;
 
     /// Chooses the per-byte inversion decisions for `burst`, given that the
-    /// lanes currently carry `state`.
+    /// lanes currently carry `state`, and materialises the transmitted lane
+    /// words.
     fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst;
+
+    /// The decisions alone, without materialising lane words.
+    ///
+    /// The default delegates to [`DbiEncoder::encode`]; every scheme in
+    /// this crate overrides it with an allocation-free implementation, so
+    /// cost accounting over long streams (via
+    /// [`InversionMask::breakdown`]) never touches the heap.
+    fn encode_mask(&self, burst: &Burst, state: &BusState) -> InversionMask {
+        self.encode(burst, state).mask()
+    }
+
+    /// Encodes into a caller-owned buffer, reusing its symbol storage.
+    ///
+    /// The default composes [`DbiEncoder::encode_mask`] with
+    /// [`EncodedBurst::assign_from_mask`], which is allocation-free for
+    /// every burst the buffer has already grown to hold (and always for
+    /// inline-sized bursts).
+    fn encode_into(&self, burst: &Burst, state: &BusState, out: &mut EncodedBurst) {
+        let mask = self.encode_mask(burst, state);
+        out.assign_from_mask(burst, mask)
+            .expect("encoders produce masks that are valid for their burst");
+    }
 }
 
 impl<T: DbiEncoder + ?Sized> DbiEncoder for &T {
@@ -58,6 +97,14 @@ impl<T: DbiEncoder + ?Sized> DbiEncoder for &T {
 
     fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst {
         (**self).encode(burst, state)
+    }
+
+    fn encode_mask(&self, burst: &Burst, state: &BusState) -> InversionMask {
+        (**self).encode_mask(burst, state)
+    }
+
+    fn encode_into(&self, burst: &Burst, state: &BusState, out: &mut EncodedBurst) {
+        (**self).encode_into(burst, state, out);
     }
 }
 
@@ -69,7 +116,32 @@ impl<T: DbiEncoder + ?Sized> DbiEncoder for Box<T> {
     fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst {
         (**self).encode(burst, state)
     }
+
+    fn encode_mask(&self, burst: &Burst, state: &BusState) -> InversionMask {
+        (**self).encode_mask(burst, state)
+    }
+
+    fn encode_into(&self, burst: &Burst, state: &BusState, out: &mut EncodedBurst) {
+        (**self).encode_into(burst, state, out);
+    }
 }
+
+/// The shared fixed-coefficient optimal encoder, with its cost tables baked
+/// at compile time. [`Scheme`] dispatch reuses this static so sweeps over
+/// the scheme sets never rebuild the 4 KiB lookup tables per call.
+static OPT_FIXED: OptEncoder = OptEncoder::new(CostWeights::FIXED);
+
+/// The schemes compared in Figs. 3, 4, 7 and 8 of the paper, in plot order.
+const PAPER_SET: [Scheme; 5] = [
+    Scheme::Raw,
+    Scheme::Dc,
+    Scheme::Ac,
+    Scheme::Opt(CostWeights::FIXED),
+    Scheme::OptFixed,
+];
+
+/// The conventional schemes DBI OPT is compared against.
+const CONVENTIONAL_SET: [Scheme; 4] = [Scheme::Raw, Scheme::Dc, Scheme::Ac, Scheme::AcDc];
 
 /// Enumeration of every scheme evaluated in the paper, for convenient
 /// configuration-driven selection (figures sweep over this set).
@@ -105,27 +177,26 @@ pub enum Scheme {
 
 impl Scheme {
     /// The schemes compared in Figs. 3, 4, 7 and 8 of the paper, in plot
-    /// order: RAW, DC, AC, OPT(α=β=1), OPT(Fixed).
+    /// order: RAW, DC, AC, OPT(α=β=1), OPT(Fixed). Borrows a static slice;
+    /// call `.to_vec()` where owned storage is required.
     #[must_use]
-    pub fn paper_set() -> Vec<Scheme> {
-        vec![
-            Scheme::Raw,
-            Scheme::Dc,
-            Scheme::Ac,
-            Scheme::Opt(CostWeights::FIXED),
-            Scheme::OptFixed,
-        ]
+    pub const fn paper_set() -> &'static [Scheme] {
+        &PAPER_SET
     }
 
     /// The conventional schemes DBI OPT is compared against (RAW, DC, AC,
-    /// ACDC).
+    /// ACDC), as a static slice.
     #[must_use]
-    pub fn conventional_set() -> Vec<Scheme> {
-        vec![Scheme::Raw, Scheme::Dc, Scheme::Ac, Scheme::AcDc]
+    pub const fn conventional_set() -> &'static [Scheme] {
+        &CONVENTIONAL_SET
     }
 
     /// Builds a boxed encoder for dynamic dispatch over heterogeneous
     /// scheme collections.
+    ///
+    /// For sweeps that encode many bursts with one parametric scheme, this
+    /// is the preferred form: the encoder (and, for [`Scheme::Opt`], its
+    /// precomputed cost tables) is built once instead of per burst.
     #[must_use]
     pub fn boxed(&self) -> Box<dyn DbiEncoder + Send + Sync> {
         match *self {
@@ -136,6 +207,28 @@ impl Scheme {
             Scheme::Greedy(weights) => Box::new(GreedyEncoder::new(weights)),
             Scheme::Opt(weights) => Box::new(OptEncoder::new(weights)),
             Scheme::OptFixed => Box::new(OptFixedEncoder::new()),
+        }
+    }
+
+    /// Dispatches `op` to a ready-made encoder for this scheme.
+    ///
+    /// The stateless schemes cost nothing to construct; the fixed-weight
+    /// optimal variants (including `Opt(CostWeights::FIXED)`) reuse the
+    /// compile-time [`OPT_FIXED`] static, so per-call overhead is a single
+    /// match. Only `Opt` with bespoke weights builds its cost tables on the
+    /// fly — sweeps holding such weights should construct an
+    /// [`OptEncoder`] (or use [`Scheme::boxed`]) once instead.
+    #[inline]
+    fn with_encoder<R>(&self, op: impl FnOnce(&dyn DbiEncoder) -> R) -> R {
+        match *self {
+            Scheme::Raw => op(&RawEncoder),
+            Scheme::Dc => op(&DcEncoder),
+            Scheme::Ac => op(&AcEncoder),
+            Scheme::AcDc => op(&AcDcEncoder),
+            Scheme::Greedy(weights) => op(&GreedyEncoder::new(weights)),
+            Scheme::Opt(weights) if weights == CostWeights::FIXED => op(&OPT_FIXED),
+            Scheme::Opt(weights) => op(&OptEncoder::new(weights)),
+            Scheme::OptFixed => op(&OPT_FIXED),
         }
     }
 }
@@ -154,15 +247,15 @@ impl DbiEncoder for Scheme {
     }
 
     fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst {
-        match *self {
-            Scheme::Raw => RawEncoder::new().encode(burst, state),
-            Scheme::Dc => DcEncoder::new().encode(burst, state),
-            Scheme::Ac => AcEncoder::new().encode(burst, state),
-            Scheme::AcDc => AcDcEncoder::new().encode(burst, state),
-            Scheme::Greedy(weights) => GreedyEncoder::new(weights).encode(burst, state),
-            Scheme::Opt(weights) => OptEncoder::new(weights).encode(burst, state),
-            Scheme::OptFixed => OptFixedEncoder::new().encode(burst, state),
-        }
+        self.with_encoder(|encoder| encoder.encode(burst, state))
+    }
+
+    fn encode_mask(&self, burst: &Burst, state: &BusState) -> InversionMask {
+        self.with_encoder(|encoder| encoder.encode_mask(burst, state))
+    }
+
+    fn encode_into(&self, burst: &Burst, state: &BusState, out: &mut EncodedBurst) {
+        self.with_encoder(|encoder| encoder.encode_into(burst, state, out));
     }
 }
 
@@ -210,19 +303,23 @@ mod tests {
     }
 
     #[test]
-    fn paper_set_contains_the_plotted_schemes() {
+    fn scheme_sets_are_static_and_contain_the_plotted_schemes() {
         let set = Scheme::paper_set();
         assert_eq!(set.len(), 5);
         assert_eq!(set[0], Scheme::Raw);
         assert!(set.contains(&Scheme::OptFixed));
+        // Two calls alias the same static storage — no allocation per call.
+        assert!(core::ptr::eq(Scheme::paper_set(), Scheme::paper_set()));
+        assert_eq!(Scheme::conventional_set().len(), 4);
+        assert!(Scheme::conventional_set().contains(&Scheme::AcDc));
     }
 
     #[test]
     fn every_scheme_roundtrips_through_decode() {
         let burst = Burst::paper_example();
         let state = BusState::idle();
-        let mut all = Scheme::paper_set();
-        all.extend(Scheme::conventional_set());
+        let mut all: Vec<Scheme> = Scheme::paper_set().to_vec();
+        all.extend_from_slice(Scheme::conventional_set());
         all.push(Scheme::Greedy(CostWeights::new(2, 3).unwrap()));
         for scheme in all {
             let encoded = scheme.encode(&burst, &state);
@@ -242,6 +339,24 @@ mod tests {
             assert_eq!(direct, boxed);
             assert_eq!(direct, via_ref);
             assert_eq!(scheme.boxed().name(), scheme.name());
+        }
+    }
+
+    #[test]
+    fn all_encode_paths_agree_for_every_scheme() {
+        let burst = Burst::paper_example();
+        let state = BusState::idle();
+        let mut schemes: Vec<Scheme> = Scheme::paper_set().to_vec();
+        schemes.extend_from_slice(Scheme::conventional_set());
+        schemes.push(Scheme::Greedy(CostWeights::new(3, 1).unwrap()));
+        schemes.push(Scheme::Opt(CostWeights::new(1, 5).unwrap()));
+        let mut reused = EncodedBurst::empty();
+        for scheme in schemes {
+            let full = scheme.encode(&burst, &state);
+            let mask = scheme.encode_mask(&burst, &state);
+            scheme.encode_into(&burst, &state, &mut reused);
+            assert_eq!(full.mask(), mask, "{scheme}: encode vs encode_mask");
+            assert_eq!(full, reused, "{scheme}: encode vs encode_into");
         }
     }
 

@@ -2,9 +2,9 @@
 
 use crate::burst::{Burst, BusState};
 use crate::cost::CostWeights;
-use crate::encoding::EncodedBurst;
+use crate::encoding::{EncodedBurst, InversionMask};
+use crate::lut::CostLut;
 use crate::schemes::DbiEncoder;
-use crate::word::LaneWord;
 
 /// The optimal DC/AC DBI encoder of Section III of the paper.
 ///
@@ -16,13 +16,19 @@ use crate::word::LaneWord;
 /// same structure the paper's hardware pipeline in Fig. 5 implements with
 /// one processing block per byte.
 ///
-/// Edge weights are `alpha · transitions + beta · zeros`, where the
-/// transition count is taken against the actually transmitted previous
-/// word and the zero count includes the DBI lane.
+/// Edge weights are `alpha · transitions + beta · zeros`. They are not
+/// recomputed from lane words: the encoder carries a precomputed
+/// [`CostLut`] (built once in [`OptEncoder::new`], at compile time for the
+/// fixed-coefficient variant), so each trellis stage is a byte XOR, four
+/// table lookups and a pair of compare/adds.
 ///
-/// The encoder runs in `O(burst length)` time with no allocation beyond the
-/// decision vectors, so it is also the reference model the `dbi-hw` crate
-/// checks its cycle-accurate datapath against.
+/// The fast path, [`DbiEncoder::encode_mask`], runs the sweep with its
+/// per-stage predecessor choices packed into two `u32` bit sets and
+/// performs **no heap allocation at all**; [`DbiEncoder::encode`] merely
+/// applies the resulting mask to an [`EncodedBurst`] whose inline symbol
+/// buffer keeps standard bursts off the heap as well. This is the software
+/// counterpart of the paper's line-rate hardware claim, and the reference
+/// model the `dbi-hw` crate checks its cycle-accurate datapath against.
 ///
 /// ```
 /// # fn main() -> Result<(), dbi_core::DbiError> {
@@ -40,74 +46,103 @@ use crate::word::LaneWord;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OptEncoder {
-    weights: CostWeights,
+    lut: CostLut,
 }
 
 impl OptEncoder {
-    /// Creates an optimal encoder with the given coefficients.
+    /// Creates an optimal encoder with the given coefficients, precomputing
+    /// the edge-cost tables. `const`, so fixed-weight encoders can live in
+    /// `static`s with their tables baked at compile time.
     #[must_use]
     pub const fn new(weights: CostWeights) -> Self {
-        OptEncoder { weights }
+        OptEncoder {
+            lut: CostLut::new(weights),
+        }
     }
 
     /// The coefficients used by this encoder.
     #[must_use]
     pub const fn weights(&self) -> CostWeights {
-        self.weights
+        self.lut.weights()
+    }
+
+    /// The precomputed edge-cost tables used by this encoder.
+    #[must_use]
+    pub const fn lut(&self) -> &CostLut {
+        &self.lut
     }
 
     /// Runs the forward Viterbi sweep and returns, per byte, the cheaper
     /// predecessor decision for each of the two states, plus the final
     /// per-state path costs. Exposed for the hardware model, which mirrors
     /// exactly this structure.
+    ///
+    /// Unlike [`DbiEncoder::encode_mask`], this works for bursts of any
+    /// length (the returned vector grows with the burst).
     #[must_use]
-    pub fn forward_sweep(
-        &self,
-        burst: &Burst,
-        state: &BusState,
-    ) -> (Vec<[bool; 2]>, [u64; 2]) {
+    pub fn forward_sweep(&self, burst: &Burst, state: &BusState) -> (Vec<[bool; 2]>, [u64; 2]) {
         // cost[s] = minimum cost of transmitting bytes 0..=i with byte i in
         // state s (0 = not inverted, 1 = inverted).
-        let mut cost = [0u64, 0u64];
-        // prev_word[s] = the lane word transmitted for byte i in state s.
-        let mut prev_word = [state.last(), state.last()];
-        // choice[i][s] = the predecessor state (false = not inverted,
-        // true = inverted) that realises cost[s] at byte i.
         let mut choice: Vec<[bool; 2]> = Vec::with_capacity(burst.len());
-        let mut first = true;
+        let bytes = burst.bytes();
 
-        for byte in burst.iter() {
-            let words = [
-                LaneWord::encode_byte(byte, false),
-                LaneWord::encode_byte(byte, true),
-            ];
-            let mut next_cost = [0u64; 2];
-            let mut stage_choice = [false; 2];
-            for (s, &word) in words.iter().enumerate() {
-                if first {
-                    // Both virtual predecessors are the initial bus state.
-                    next_cost[s] = self.weights.symbol_cost(word, prev_word[0]);
-                    stage_choice[s] = false;
-                } else {
-                    let via_plain = cost[0] + self.weights.symbol_cost(word, prev_word[0]);
-                    let via_inverted = cost[1] + self.weights.symbol_cost(word, prev_word[1]);
-                    // Ties resolve towards the non-inverted predecessor,
-                    // mirroring the hardware comparator's default.
-                    if via_inverted < via_plain {
-                        next_cost[s] = via_inverted;
-                        stage_choice[s] = true;
-                    } else {
-                        next_cost[s] = via_plain;
-                        stage_choice[s] = false;
-                    }
-                }
-            }
+        let (plain, inverted) = self.lut.first_step(bytes[0], state.last());
+        let mut cost = [plain, inverted];
+        choice.push([false; 2]);
+        let mut prev_byte = bytes[0];
+
+        for &byte in &bytes[1..] {
+            let (next_cost, stage_choice) = self.step(cost, prev_byte, byte);
             cost = next_cost;
-            prev_word = words;
             choice.push(stage_choice);
-            first = false;
+            prev_byte = byte;
         }
         (choice, cost)
+    }
+
+    /// One trellis stage: given the path costs of the previous byte's two
+    /// states, returns the costs for the current byte and which predecessor
+    /// realised each (ties towards the non-inverted predecessor, mirroring
+    /// the hardware comparator's default).
+    ///
+    /// This is the single definition of the DP recurrence, generic over the
+    /// cost accumulator: [`OptEncoder::forward_sweep`] instantiates it with
+    /// `u64` (bursts of any length), [`DbiEncoder::encode_mask`] with `u32`
+    /// (mask-sized bursts stay far below `u32::MAX` because
+    /// [`crate::cost::MAX_WEIGHT`] caps the coefficients). Monomorphisation
+    /// plus `#[inline]` keeps the fast path as tight as a hand-inlined
+    /// copy.
+    #[inline]
+    fn step<T>(&self, cost: [T; 2], prev_byte: u8, byte: u8) -> ([T; 2], [bool; 2])
+    where
+        T: Copy + Ord + core::ops::Add<Output = T> + From<u32>,
+    {
+        let xor = prev_byte ^ byte;
+        let [same, cross] = self.lut.transitions(xor);
+        let (same, cross) = (T::from(same), T::from(cross));
+        let [zeros_plain, zeros_inv] = self.lut.zeros(byte);
+        let (zeros_plain, zeros_inv) = (T::from(zeros_plain), T::from(zeros_inv));
+
+        // Current byte transmitted plain: predecessors are plain (same
+        // state) or inverted (state change).
+        let via_plain = cost[0] + same;
+        let via_inverted = cost[1] + cross;
+        let (cost_plain, from_inv_plain) = if via_inverted < via_plain {
+            (via_inverted + zeros_plain, true)
+        } else {
+            (via_plain + zeros_plain, false)
+        };
+
+        // Current byte transmitted inverted: the roles swap.
+        let via_plain = cost[0] + cross;
+        let via_inverted = cost[1] + same;
+        let (cost_inv, from_inv_inv) = if via_inverted < via_plain {
+            (via_inverted + zeros_inv, true)
+        } else {
+            (via_plain + zeros_inv, false)
+        };
+
+        ([cost_plain, cost_inv], [from_inv_plain, from_inv_inv])
     }
 }
 
@@ -124,17 +159,62 @@ impl DbiEncoder for OptEncoder {
     }
 
     fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst {
-        let (choice, final_cost) = self.forward_sweep(burst, state);
+        EncodedBurst::from_mask(burst, self.encode_mask(burst, state))
+            .expect("the sweep produces one decision per byte of a mask-sized burst")
+    }
 
-        // Backtrack from the cheaper of the two end states (ties towards
-        // non-inverted, as in the hardware's final comparator).
-        let mut decisions = vec![false; burst.len()];
-        let mut current = final_cost[1] < final_cost[0];
-        for i in (0..burst.len()).rev() {
-            decisions[i] = current;
-            current = choice[i][usize::from(current)];
+    /// The allocation-free fast path: the full Viterbi sweep with the two
+    /// survivor paths carried as `u32` bit masks — pure table lookups, adds
+    /// and register-to-register selects; no backtrack pass is needed
+    /// because each state's optimal decision history rides along with its
+    /// cost.
+    ///
+    /// Path costs are accumulated in `u32`: a mask-sized burst has at most
+    /// 32 stages of at most `9 · MAX_WEIGHT` each, which stays far below
+    /// `u32::MAX` ([`crate::cost::MAX_WEIGHT`] is capped for exactly this
+    /// reason).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the burst is longer than 32 bytes (the mask width).
+    #[inline]
+    fn encode_mask(&self, burst: &Burst, state: &BusState) -> InversionMask {
+        let bytes = burst.bytes();
+        assert!(
+            bytes.len() <= 32,
+            "inversion masks cover at most 32 bytes, got {}",
+            bytes.len()
+        );
+
+        // mask_plain/mask_inv: the inversion decisions of the cheapest path
+        // that reaches the current byte in state plain/inverted — the
+        // survivor paths, updated in registers instead of backtracked.
+        let mut mask_plain = 0u32;
+        let mut mask_inv = 1u32;
+
+        let (plain, inverted) = self.lut.first_step(bytes[0], state.last());
+        let (mut cost_plain, mut cost_inv) = (plain as u32, inverted as u32);
+        let mut prev_byte = bytes[0];
+
+        for (i, &byte) in bytes.iter().enumerate().skip(1) {
+            let ([next_plain, next_inv], [from_inv_plain, from_inv_inv]) =
+                self.step([cost_plain, cost_inv], prev_byte, byte);
+            let next_plain_mask = if from_inv_plain { mask_inv } else { mask_plain };
+            let next_inv_mask = (if from_inv_inv { mask_inv } else { mask_plain }) | (1 << i);
+            cost_plain = next_plain;
+            cost_inv = next_inv;
+            mask_plain = next_plain_mask;
+            mask_inv = next_inv_mask;
+            prev_byte = byte;
         }
-        EncodedBurst::from_decisions(burst, &decisions)
+
+        // The cheaper end state wins (ties towards non-inverted, as in the
+        // hardware's final comparator).
+        InversionMask::from_bits(if cost_inv < cost_plain {
+            mask_inv
+        } else {
+            mask_plain
+        })
     }
 }
 
@@ -145,7 +225,8 @@ impl DbiEncoder for OptEncoder {
 /// datapath and shrinks its adders, which is what makes the encoder meet
 /// the 1.5 GHz timing required for a 12 Gbps GDDR5X interface (Table I)
 /// while giving up only a fraction of the achievable energy reduction
-/// (Fig. 4).
+/// (Fig. 4). In this software model the fixed variant's cost tables are
+/// computed at compile time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OptFixedEncoder {
     inner: OptEncoder,
@@ -155,7 +236,9 @@ impl OptFixedEncoder {
     /// Creates the fixed-coefficient optimal encoder.
     #[must_use]
     pub const fn new() -> Self {
-        OptFixedEncoder { inner: OptEncoder::new(CostWeights::FIXED) }
+        OptFixedEncoder {
+            inner: OptEncoder::new(CostWeights::FIXED),
+        }
     }
 
     /// The fixed coefficients (always α = β = 1).
@@ -173,6 +256,11 @@ impl DbiEncoder for OptFixedEncoder {
     fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst {
         self.inner.encode(burst, state)
     }
+
+    #[inline]
+    fn encode_mask(&self, burst: &Burst, state: &BusState) -> InversionMask {
+        self.inner.encode_mask(burst, state)
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +268,7 @@ mod tests {
     use super::*;
     use crate::cost::CostBreakdown;
     use crate::schemes::{AcEncoder, DcEncoder, ExhaustiveEncoder};
+    use crate::word::LaneWord;
 
     #[test]
     fn paper_example_optimal_cost_is_52() {
@@ -214,7 +303,10 @@ mod tests {
         for burst in bursts {
             let a = opt.encode(&burst, &state).cost(&state, &weights);
             let b = oracle.encode(&burst, &state).cost(&state, &weights);
-            assert_eq!(a, b, "DP optimum must equal brute-force optimum for {burst}");
+            assert_eq!(
+                a, b,
+                "DP optimum must equal brute-force optimum for {burst}"
+            );
         }
     }
 
@@ -224,7 +316,9 @@ mod tests {
         let burst = Burst::from_array([0x9E, 0x01, 0x7C, 0xE3, 0x55, 0x0A, 0xB0, 0x4F]);
         for (alpha, beta) in [(0u32, 1u32), (1, 0), (1, 7), (7, 1), (3, 5), (2, 2)] {
             let weights = CostWeights::new(alpha, beta).unwrap();
-            let a = OptEncoder::new(weights).encode(&burst, &state).cost(&state, &weights);
+            let a = OptEncoder::new(weights)
+                .encode(&burst, &state)
+                .cost(&state, &weights);
             let b = ExhaustiveEncoder::new(weights)
                 .encode(&burst, &state)
                 .cost(&state, &weights);
@@ -238,8 +332,12 @@ mod tests {
         let weights = CostWeights::DC_ONLY;
         let burst = Burst::paper_example();
         let state = BusState::idle();
-        let opt_cost = OptEncoder::new(weights).encode(&burst, &state).cost(&state, &weights);
-        let dc_cost = DcEncoder::new().encode(&burst, &state).cost(&state, &weights);
+        let opt_cost = OptEncoder::new(weights)
+            .encode(&burst, &state)
+            .cost(&state, &weights);
+        let dc_cost = DcEncoder::new()
+            .encode(&burst, &state)
+            .cost(&state, &weights);
         assert_eq!(opt_cost, dc_cost);
     }
 
@@ -248,8 +346,12 @@ mod tests {
         let weights = CostWeights::AC_ONLY;
         let burst = Burst::paper_example();
         let state = BusState::idle();
-        let opt_cost = OptEncoder::new(weights).encode(&burst, &state).cost(&state, &weights);
-        let ac_cost = AcEncoder::new().encode(&burst, &state).cost(&state, &weights);
+        let opt_cost = OptEncoder::new(weights)
+            .encode(&burst, &state)
+            .cost(&state, &weights);
+        let ac_cost = AcEncoder::new()
+            .encode(&burst, &state)
+            .cost(&state, &weights);
         assert_eq!(opt_cost, ac_cost);
     }
 
@@ -287,7 +389,11 @@ mod tests {
             let burst = Burst::new(bytes).unwrap();
             let opt = OptEncoder::new(weights).encode(&burst, &state);
             let oracle = ExhaustiveEncoder::new(weights).encode(&burst, &state);
-            assert_eq!(opt.cost(&state, &weights), oracle.cost(&state, &weights), "len {len}");
+            assert_eq!(
+                opt.cost(&state, &weights),
+                oracle.cost(&state, &weights),
+                "len {len}"
+            );
             assert_eq!(opt.decode(), burst);
         }
     }
@@ -321,6 +427,24 @@ mod tests {
     }
 
     #[test]
+    fn forward_sweep_agrees_with_encode_mask_backtrack() {
+        // The Vec-based sweep (any length) and the bit-packed sweep (mask
+        // lengths) are two implementations of the same recurrence; their
+        // final costs and backtracked decisions must agree.
+        let state = BusState::new(LaneWord::encode_byte(0x3C, true));
+        let encoder = OptEncoder::new(CostWeights::new(2, 3).unwrap());
+        let burst = Burst::from_array([0x12, 0xEF, 0x00, 0xFF, 0x55, 0xAA, 0x77, 0x88]);
+        let (choice, final_cost) = encoder.forward_sweep(&burst, &state);
+        let mask = encoder.encode_mask(&burst, &state);
+
+        let mut current = final_cost[1] < final_cost[0];
+        for i in (0..burst.len()).rev() {
+            assert_eq!(mask.is_inverted(i), current, "byte {i}");
+            current = choice[i][usize::from(current)];
+        }
+    }
+
+    #[test]
     fn fixed_variant_matches_opt_with_unit_weights() {
         let burst = Burst::paper_example();
         let state = BusState::idle();
@@ -330,5 +454,12 @@ mod tests {
         assert_eq!(OptFixedEncoder::new().weights(), CostWeights::FIXED);
         assert_eq!(OptFixedEncoder::new().name(), "DBI OPT (Fixed)");
         assert_eq!(OptEncoder::default().weights(), CostWeights::FIXED);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32 bytes")]
+    fn encode_mask_rejects_bursts_wider_than_the_mask() {
+        let burst = Burst::new(vec![0u8; 33]).unwrap();
+        let _ = OptEncoder::default().encode_mask(&burst, &BusState::idle());
     }
 }

@@ -39,6 +39,11 @@ impl DbiEncoder for RawEncoder {
         EncodedBurst::from_mask(burst, InversionMask::NONE)
             .expect("the empty mask is valid for every burst length the type allows")
     }
+
+    /// RAW never inverts, so the fast path is a constant.
+    fn encode_mask(&self, _burst: &Burst, _state: &BusState) -> InversionMask {
+        InversionMask::NONE
+    }
 }
 
 #[cfg(test)]

@@ -36,7 +36,11 @@ impl SchemeStats {
     /// Creates an empty accumulator labelled with the scheme name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        SchemeStats { name: name.into(), total: CostBreakdown::ZERO, bursts: 0 }
+        SchemeStats {
+            name: name.into(),
+            total: CostBreakdown::ZERO,
+            bursts: 0,
+        }
     }
 
     /// Adds the activity of one burst.
@@ -153,19 +157,24 @@ impl<E: DbiEncoder> SchemeComparison<E> {
             .into_iter()
             .map(|encoder| {
                 let stats = SchemeStats::new(encoder.name().to_owned());
-                ComparisonEntry { encoder, state, stats }
+                ComparisonEntry {
+                    encoder,
+                    state,
+                    stats,
+                }
             })
             .collect();
         SchemeComparison { entries }
     }
 
     /// Encodes `burst` with every scheme, records the activity and advances
-    /// each scheme's private bus state.
+    /// each scheme's private bus state. Runs entirely on the mask fast path
+    /// — no symbol buffers are materialised.
     pub fn record(&mut self, burst: &Burst) {
         for entry in &mut self.entries {
-            let encoded = entry.encoder.encode(burst, &entry.state);
-            entry.stats.record(&encoded.breakdown(&entry.state));
-            entry.state = encoded.final_state(&entry.state);
+            let mask = entry.encoder.encode_mask(burst, &entry.state);
+            entry.stats.record(&mask.breakdown(burst, &entry.state));
+            entry.state = mask.final_state(burst, &entry.state);
         }
     }
 
@@ -174,8 +183,8 @@ impl<E: DbiEncoder> SchemeComparison<E> {
     pub fn record_isolated(&mut self, burst: &Burst) {
         let idle = BusState::idle();
         for entry in &mut self.entries {
-            let encoded = entry.encoder.encode(burst, &idle);
-            entry.stats.record(&encoded.breakdown(&idle));
+            let mask = entry.encoder.encode_mask(burst, &idle);
+            entry.stats.record(&mask.breakdown(burst, &idle));
         }
     }
 
@@ -188,7 +197,10 @@ impl<E: DbiEncoder> SchemeComparison<E> {
     /// Statistics for the scheme with the given name, if present.
     #[must_use]
     pub fn stats_for(&self, name: &str) -> Option<&SchemeStats> {
-        self.entries.iter().map(|e| &e.stats).find(|s| s.name() == name)
+        self.entries
+            .iter()
+            .map(|e| &e.stats)
+            .find(|s| s.name() == name)
     }
 
     /// Number of schemes under comparison.
@@ -236,7 +248,7 @@ mod tests {
 
     #[test]
     fn comparison_tracks_per_scheme_state() {
-        let mut comparison = SchemeComparison::new(Scheme::paper_set());
+        let mut comparison = SchemeComparison::new(Scheme::paper_set().to_vec());
         comparison.record(&Burst::paper_example());
         comparison.record(&Burst::from_array([0x00; 8]));
         assert_eq!(comparison.len(), 5);
@@ -264,7 +276,7 @@ mod tests {
 
     #[test]
     fn opt_mean_cost_is_never_above_dc_or_ac() {
-        let mut comparison = SchemeComparison::new(Scheme::paper_set());
+        let mut comparison = SchemeComparison::new(Scheme::paper_set().to_vec());
         // A deterministic pseudo-random byte stream.
         let mut seed = 0x1234_5678u32;
         for _ in 0..200 {

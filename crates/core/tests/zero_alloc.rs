@@ -1,0 +1,122 @@
+//! Proof of the zero-allocation claim: the mask fast path, the reusable
+//! `encode_into` path and the inline-buffer `encode` path perform **no**
+//! heap allocation for standard 8-byte bursts, measured with a counting
+//! global allocator.
+//!
+//! Everything runs inside a single `#[test]` so no concurrent test can
+//! disturb the global counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dbi_core::schemes::{
+    AcDcEncoder, AcEncoder, DbiEncoder, DcEncoder, GreedyEncoder, OptEncoder, OptFixedEncoder,
+    RawEncoder,
+};
+use dbi_core::{Burst, BusState, CostBreakdown, CostWeights, EncodedBurst, Scheme};
+
+/// Wraps the system allocator and counts every allocation.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`, which upholds the `GlobalAlloc`
+// contract; the counter increment has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    drop(result);
+    after - before
+}
+
+#[test]
+fn bl8_fast_paths_never_touch_the_heap() {
+    let burst = Burst::paper_example();
+    let state = BusState::idle();
+    let weights = CostWeights::new(3, 2).unwrap();
+
+    // encode_mask: zero allocations for every scheme.
+    let encoders: [(&str, &dyn DbiEncoder); 7] = [
+        ("RAW", &RawEncoder),
+        ("DBI DC", &DcEncoder),
+        ("DBI AC", &AcEncoder),
+        ("DBI ACDC", &AcDcEncoder),
+        ("Greedy", &GreedyEncoder::new(weights)),
+        ("DBI OPT", &OptEncoder::new(weights)),
+        ("DBI OPT (Fixed)", &OptFixedEncoder::new()),
+    ];
+    for (name, encoder) in encoders {
+        let count = allocations_during(|| {
+            let mut masks = 0u32;
+            for _ in 0..100 {
+                masks ^= encoder.encode_mask(&burst, &state).bits();
+            }
+            masks
+        });
+        assert_eq!(count, 0, "{name}: encode_mask allocated {count} times");
+    }
+
+    // Mask-based accounting: still zero.
+    let opt = OptFixedEncoder::new();
+    let count = allocations_during(|| {
+        let mut total = CostBreakdown::ZERO;
+        let mut carried = state;
+        for _ in 0..100 {
+            let mask = opt.encode_mask(&burst, &carried);
+            total += mask.breakdown(&burst, &carried);
+            carried = mask.final_state(&burst, &carried);
+        }
+        total
+    });
+    assert_eq!(count, 0, "mask accounting loop allocated {count} times");
+
+    // encode() with the inline symbol buffer: zero for BL8.
+    let count = allocations_during(|| {
+        let mut zeros = 0u64;
+        for _ in 0..100 {
+            zeros += opt.encode(&burst, &state).breakdown(&state).zeros;
+        }
+        zeros
+    });
+    assert_eq!(count, 0, "encode() allocated {count} times for BL8");
+
+    // encode_into() reusing a caller buffer: zero after construction.
+    let mut out = EncodedBurst::empty();
+    let count = allocations_during(|| {
+        let mut transitions = 0u64;
+        for _ in 0..100 {
+            Scheme::OptFixed.encode_into(&burst, &state, &mut out);
+            transitions += out.breakdown(&state).transitions;
+        }
+        transitions
+    });
+    assert_eq!(count, 0, "encode_into allocated {count} times");
+
+    // Sanity check that the counter works at all.
+    let count = allocations_during(|| Vec::<u8>::with_capacity(64));
+    assert!(
+        count >= 1,
+        "the counting allocator must observe explicit allocations"
+    );
+}

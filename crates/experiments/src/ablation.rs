@@ -16,8 +16,8 @@
 use crate::report::Table;
 use dbi_core::{Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, Scheme};
 use dbi_phy::fig7_operating_point;
-use dbi_workloads::UniformRandomBursts;
 use dbi_workloads::BurstSource;
+use dbi_workloads::UniformRandomBursts;
 
 /// Result of the coefficient-resolution ablation.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,7 +33,11 @@ impl ResolutionStudy {
     pub fn to_table(&self) -> Table {
         let mut table = Table::new(
             "Ablation — energy loss vs. ideally tuned coefficients (1-20 Gbps, POD135, 3 pF)",
-            vec!["coefficients".into(), "mean loss".into(), "worst-case loss".into()],
+            vec![
+                "coefficients".into(),
+                "mean loss".into(),
+                "worst-case loss".into(),
+            ],
         );
         for (label, mean, worst) in &self.rows {
             table.push_row(vec![
@@ -57,16 +61,19 @@ pub fn coefficient_resolution_study(bursts: &[Burst]) -> ResolutionStudy {
     let rates: Vec<f64> = (1..=20).map(f64::from).collect();
 
     // Candidate coefficient policies: fixed 1/1 and 1..=6 bit quantisation.
-    let mut policies: Vec<(String, Option<u32>)> =
-        vec![("fixed alpha=beta=1".into(), None)];
+    let mut policies: Vec<(String, Option<u32>)> = vec![("fixed alpha=beta=1".into(), None)];
     for bits in 1..=6u32 {
         policies.push((format!("{bits}-bit quantised"), Some(bits)));
     }
 
+    // One encoder (and one cost-table build) per coefficient policy and
+    // rate point; every burst then goes through the mask fast path.
     let energy_of = |weights: CostWeights, e_zero: f64, e_transition: f64| -> f64 {
-        let scheme = Scheme::Opt(weights);
-        let activity: CostBreakdown =
-            bursts.iter().map(|b| scheme.encode(b, &state).breakdown(&state)).sum();
+        let encoder = dbi_core::schemes::OptEncoder::new(weights);
+        let activity: CostBreakdown = bursts
+            .iter()
+            .map(|b| encoder.encode_mask(b, &state).breakdown(b, &state))
+            .sum();
         activity.energy(e_zero, e_transition)
     };
 
@@ -81,7 +88,9 @@ pub fn coefficient_resolution_study(bursts: &[Burst]) -> ResolutionStudy {
             let ideal = energy_of(ideal_weights, e_zero, e_transition);
             let candidate_weights = match bits {
                 None => CostWeights::FIXED,
-                Some(bits) => model.quantised_weights(bits).expect("energies are positive"),
+                Some(bits) => model
+                    .quantised_weights(bits)
+                    .expect("energies are positive"),
             };
             let candidate = energy_of(candidate_weights, e_zero, e_transition);
             losses.push((candidate - ideal) / ideal);
@@ -119,7 +128,11 @@ impl BurstLengthStudy {
 /// length are encoded with DC, AC and OPT (α = β = 1) and the relative
 /// saving of OPT over the best conventional scheme is reported.
 #[must_use]
-pub fn burst_length_study(lengths: &[usize], bursts_per_length: usize, seed: u64) -> BurstLengthStudy {
+pub fn burst_length_study(
+    lengths: &[usize],
+    bursts_per_length: usize,
+    seed: u64,
+) -> BurstLengthStudy {
     let state = BusState::idle();
     let weights = CostWeights::FIXED;
     let rows = lengths
@@ -169,7 +182,11 @@ mod tests {
             assert!(*worst < 0.10, "{label}: worst loss {worst} too large");
         }
         // 6-bit quantisation is essentially ideal.
-        let six_bit = study.rows.iter().find(|(l, _, _)| l.starts_with("6-bit")).unwrap();
+        let six_bit = study
+            .rows
+            .iter()
+            .find(|(l, _, _)| l.starts_with("6-bit"))
+            .unwrap();
         assert!(six_bit.1 < 0.005);
         let table = study.to_table();
         assert_eq!(table.len(), 7);

@@ -41,7 +41,11 @@ fn parse_args() -> Result<Options, String> {
     if experiments.is_empty() {
         experiments = Experiment::all().to_vec();
     }
-    Ok(Options { csv, burst_count, experiments })
+    Ok(Options {
+        csv,
+        burst_count,
+        experiments,
+    })
 }
 
 fn print_table(table: &Table, csv: bool) {
@@ -80,7 +84,10 @@ fn main() {
             }
             Experiment::Fig3 => {
                 let result = fig3::run_fig3(&bursts, 20);
-                print_table(&result.to_table("Fig. 3 — energy per burst vs. AC cost"), options.csv);
+                print_table(
+                    &result.to_table("Fig. 3 — energy per burst vs. AC cost"),
+                    options.csv,
+                );
                 let (alpha, saving) = result.peak_opt_advantage();
                 println!(
                     "peak OPT advantage over best conventional scheme: {:.2}% at alpha = {:.2}; DC/AC crossover at alpha = {}\n",
@@ -159,7 +166,9 @@ fn main() {
             Experiment::Extensions => {
                 let study = extensions::workload_study(7, 12.0);
                 print_table(&study.to_table(), options.csv);
-                println!("Extension — GDDR5X channel energy writing a 16 KiB pseudo-random buffer:");
+                println!(
+                    "Extension — GDDR5X channel energy writing a 16 KiB pseudo-random buffer:"
+                );
                 for (scheme, nanojoules) in extensions::channel_study(16 * 1024) {
                     println!("  {scheme:<18} {nanojoules:9.3} nJ");
                 }

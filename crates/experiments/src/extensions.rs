@@ -28,7 +28,10 @@ impl WorkloadRow {
     /// Mean energy of the named scheme, if present.
     #[must_use]
     pub fn energy_of(&self, name: &str) -> Option<f64> {
-        self.energies_pj.iter().find(|(n, _)| n == name).map(|(_, e)| *e)
+        self.energies_pj
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| *e)
     }
 
     /// Relative saving of OPT(Fixed) versus the best of DC and AC.
@@ -69,7 +72,10 @@ impl WorkloadStudy {
         }
         headers.push("OPT(Fixed) saving vs best DC/AC".to_owned());
         let mut table = Table::new(
-            format!("Extension — workload sensitivity at {} Gbps, POD135, 3 pF", self.gbps),
+            format!(
+                "Extension — workload sensitivity at {} Gbps, POD135, 3 pF",
+                self.gbps
+            ),
             headers,
         );
         for row in &self.rows {
@@ -100,13 +106,18 @@ pub fn workload_study(seed: u64, gbps: f64) -> WorkloadStudy {
             let energies_pj = extension_schemes()
                 .into_iter()
                 .map(|scheme| {
-                    let activity: CostBreakdown =
-                        bursts.iter().map(|b: &Burst| scheme.encode(b, &state).breakdown(&state)).sum();
+                    let activity: CostBreakdown = bursts
+                        .iter()
+                        .map(|b: &Burst| scheme.encode(b, &state).breakdown(&state))
+                        .sum();
                     let mean_j = model.burst_energy_j(&activity) / bursts.len().max(1) as f64;
                     (scheme.name().to_owned(), mean_j * 1e12)
                 })
                 .collect();
-            WorkloadRow { workload, energies_pj }
+            WorkloadRow {
+                workload,
+                energies_pj,
+            }
         })
         .collect();
     WorkloadStudy { rows, gbps }
@@ -135,8 +146,13 @@ pub fn channel_study(buffer_bytes: usize) -> Vec<(String, f64)> {
             };
             let mut controller = MemoryController::new(ChannelConfig::gddr5x(), scheme)
                 .with_encoding_energy(encoder_j);
-            controller.write_buffer(0, &data).expect("the buffer is sized to the access granularity");
-            (scheme.name().to_owned(), controller.totals().total_energy_j() * 1e9)
+            controller
+                .write_buffer(0, &data)
+                .expect("the buffer is sized to the access granularity");
+            (
+                scheme.name().to_owned(),
+                controller.totals().total_energy_j() * 1e9,
+            )
         })
         .collect()
 }
@@ -189,7 +205,13 @@ mod tests {
     fn channel_study_orders_raw_worst() {
         let results = channel_study(32 * 64);
         assert_eq!(results.len(), 4);
-        let get = |name: &str| results.iter().find(|(n, _)| n == name).map(|(_, e)| *e).unwrap();
+        let get = |name: &str| {
+            results
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, e)| *e)
+                .unwrap()
+        };
         assert!(get("DBI OPT (Fixed)") < get("RAW"));
         assert!(get("DBI DC") < get("RAW"));
     }

@@ -36,7 +36,12 @@ impl Fig2Result {
     pub fn to_table(&self) -> Table {
         let mut table = Table::new(
             "Fig. 2 — optimal DBI encoding as a shortest-path problem (example burst)",
-            vec!["quantity".into(), "zeros (DC)".into(), "transitions (AC)".into(), "cost".into()],
+            vec![
+                "quantity".into(),
+                "zeros (DC)".into(),
+                "transitions (AC)".into(),
+                "cost".into(),
+            ],
         );
         let mut row = |name: &str, b: CostBreakdown| {
             table.push_row(vec![
@@ -75,10 +80,22 @@ pub fn run() -> Fig2Result {
 
     let trellis = Trellis::build(&burst, &state, weights);
     let start_edge_plain = trellis
-        .edge_weight(TrellisNode::Start, TrellisNode::Byte { index: 0, inverted: false })
+        .edge_weight(
+            TrellisNode::Start,
+            TrellisNode::Byte {
+                index: 0,
+                inverted: false,
+            },
+        )
         .expect("the start node always has an edge to byte 0");
     let start_edge_inverted = trellis
-        .edge_weight(TrellisNode::Start, TrellisNode::Byte { index: 0, inverted: true })
+        .edge_weight(
+            TrellisNode::Start,
+            TrellisNode::Byte {
+                index: 0,
+                inverted: true,
+            },
+        )
         .expect("the start node always has an edge to byte 0 (inverted)");
 
     let pareto = ParetoFront::of_burst(&burst, &state)
@@ -117,7 +134,11 @@ mod tests {
     fn pareto_front_contains_the_balanced_options() {
         let result = run();
         for pair in [(27, 28), (28, 24), (29, 23)] {
-            assert!(result.pareto.contains(&pair), "missing {pair:?} in {:?}", result.pareto);
+            assert!(
+                result.pareto.contains(&pair),
+                "missing {pair:?} in {:?}",
+                result.pareto
+            );
         }
         // The extremes found by DC and AC are on the front too.
         assert!(result.pareto.contains(&(26, 42)));

@@ -93,8 +93,12 @@ impl SweepResult {
 /// Runs the Fig. 3 sweep (RAW, DC, AC, OPT) over the provided bursts.
 #[must_use]
 pub fn run_fig3(bursts: &[Burst], steps: usize) -> SweepResult {
-    let schemes =
-        vec![Scheme::Raw, Scheme::Dc, Scheme::Ac, Scheme::Opt(CostWeights::FIXED)];
+    let schemes = vec![
+        Scheme::Raw,
+        Scheme::Dc,
+        Scheme::Ac,
+        Scheme::Opt(CostWeights::FIXED),
+    ];
     SweepResult {
         points: sweep_alpha(bursts, &schemes, steps, SWEEP_RESOLUTION),
         burst_count: bursts.len(),
@@ -142,7 +146,9 @@ mod tests {
 
         // At alpha = 0 the DC scheme equals OPT; at alpha = 1 the AC scheme does.
         let first = &result.points[0];
-        assert!((first.cost_of("DBI DC").unwrap() - first.cost_of("DBI OPT").unwrap()).abs() < 1e-9);
+        assert!(
+            (first.cost_of("DBI DC").unwrap() - first.cost_of("DBI OPT").unwrap()).abs() < 1e-9
+        );
         let last = result.points.last().unwrap();
         assert!((last.cost_of("DBI AC").unwrap() - last.cost_of("DBI OPT").unwrap()).abs() < 1e-9);
 
@@ -150,7 +156,11 @@ mod tests {
         // below OPT.
         for p in &result.points {
             let opt = p.cost_of("DBI OPT").unwrap();
-            assert!(opt <= p.best_conventional().unwrap() + 1e-9, "alpha {}", p.alpha);
+            assert!(
+                opt <= p.best_conventional().unwrap() + 1e-9,
+                "alpha {}",
+                p.alpha
+            );
             assert!(opt <= p.cost_of("RAW").unwrap() + 1e-9);
         }
 
@@ -191,7 +201,11 @@ mod tests {
         // up to the zero/transition balance of the data; for uniform random
         // bursts both averages are ~32, so the curve is nearly flat.
         let result = run_fig3(&small_bursts(), 5);
-        let raw: Vec<f64> = result.points.iter().map(|p| p.cost_of("RAW").unwrap()).collect();
+        let raw: Vec<f64> = result
+            .points
+            .iter()
+            .map(|p| p.cost_of("RAW").unwrap())
+            .collect();
         let min = raw.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = raw.iter().cloned().fold(0.0_f64, f64::max);
         assert!(max - min < 2.0, "RAW curve varies too much: {raw:?}");

@@ -72,7 +72,9 @@ impl LoadCurve {
     /// number means OPT(Fixed) is cheaper).
     #[must_use]
     pub fn peak_saving(&self) -> f64 {
-        self.best_point().map(|(_, normalized)| 1.0 - normalized).unwrap_or(0.0)
+        self.best_point()
+            .map(|(_, normalized)| 1.0 - normalized)
+            .unwrap_or(0.0)
     }
 }
 
@@ -100,7 +102,9 @@ impl Fig8Result {
             for (i, (gbps, _)) in first.points.iter().enumerate() {
                 let mut row = vec![fmt_f64(*gbps)];
                 for curve in &self.curves {
-                    row.push(fmt_f64(curve.points.get(i).map(|p| p.1).unwrap_or(f64::NAN)));
+                    row.push(fmt_f64(
+                        curve.points.get(i).map(|p| p.1).unwrap_or(f64::NAN),
+                    ));
                 }
                 table.push_row(row);
             }
@@ -127,7 +131,10 @@ pub fn run(
     let interface = PodInterface::pod135();
     let state = BusState::idle();
     let activity = |scheme: Scheme| -> CostBreakdown {
-        bursts.iter().map(|b| scheme.encode(b, &state).breakdown(&state)).sum()
+        bursts
+            .iter()
+            .map(|b| scheme.encode(b, &state).breakdown(&state))
+            .sum()
     };
     let dc_activity = activity(Scheme::Dc);
     let ac_activity = activity(Scheme::Ac);
@@ -161,7 +168,10 @@ pub fn run(
         })
         .collect();
 
-    Fig8Result { curves, encoder_energies }
+    Fig8Result {
+        curves,
+        encoder_energies,
+    }
 }
 
 /// Runs the experiment at paper scale: 10 000 random bursts, 1–20 Gbps, the
@@ -244,7 +254,10 @@ mod tests {
         let light = result.curves.iter().find(|c| c.cload_pf == 1.0).unwrap();
         let low_rate = light.points.first().unwrap().1;
         let best = light.best_point().unwrap().1;
-        assert!(low_rate > best, "the curve should improve away from the lowest rate");
+        assert!(
+            low_rate > best,
+            "the curve should improve away from the lowest rate"
+        );
     }
 
     #[test]

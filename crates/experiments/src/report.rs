@@ -17,7 +17,11 @@ impl Table {
     /// Creates an empty table.
     #[must_use]
     pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
-        Table { title: title.into(), headers, rows: Vec::new() }
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row. Rows shorter than the header are padded with empty
@@ -71,7 +75,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));

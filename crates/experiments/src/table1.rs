@@ -54,7 +54,9 @@ impl Table1Result {
 /// Runs the Table I experiment with the default synthesiser settings.
 #[must_use]
 pub fn run() -> Table1Result {
-    Table1Result { reports: Synthesizer::new().table1() }
+    Table1Result {
+        reports: Synthesizer::new().table1(),
+    }
 }
 
 #[cfg(test)]
@@ -77,8 +79,14 @@ mod tests {
             assert!(pair[0].area_um2 < pair[1].area_um2);
             assert!(pair[0].energy_per_burst_pj < pair[1].energy_per_burst_pj);
         }
-        assert!(rows[2].meets_gddr5x_timing(), "OPT(Fixed) must close 1.5 GHz");
-        assert!(!rows[3].meets_gddr5x_timing(), "OPT(3-bit) must miss 1.5 GHz");
+        assert!(
+            rows[2].meets_gddr5x_timing(),
+            "OPT(Fixed) must close 1.5 GHz"
+        );
+        assert!(
+            !rows[3].meets_gddr5x_timing(),
+            "OPT(3-bit) must miss 1.5 GHz"
+        );
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //! optimal encoding "can be done at the required data rates": the hardware
 //! structure computes exactly the same encodings as the algorithm.
 
+use core::fmt;
 use dbi_core::schemes::DbiEncoder;
 use dbi_core::{Burst, BusState, CostWeights, DbiBit, EncodedBurst};
-use core::fmt;
 
 /// Number of pipeline stages the paper adds to the design (one per burst
 /// byte; the synthesis tool retimes them into the block chain).
@@ -117,7 +117,10 @@ impl PipelineEncoder {
             alpha <= Self::MAX_COEFFICIENT && beta <= Self::MAX_COEFFICIENT,
             "coefficients are 3-bit fields (0..=7), got alpha={alpha} beta={beta}"
         );
-        assert!(alpha != 0 || beta != 0, "at least one coefficient must be non-zero");
+        assert!(
+            alpha != 0 || beta != 0,
+            "at least one coefficient must be non-zero"
+        );
         PipelineEncoder { alpha, beta }
     }
 
@@ -194,10 +197,17 @@ impl PipelineEncoder {
             let via_inv_to_inv = cost_inv.saturating_add(ac_cost0).saturating_add(dc_cost1);
 
             let select_for_plain = via_inv_to_plain < via_plain_to_plain;
-            let next_cost = if select_for_plain { via_inv_to_plain } else { via_plain_to_plain };
+            let next_cost = if select_for_plain {
+                via_inv_to_plain
+            } else {
+                via_plain_to_plain
+            };
             let select_for_inverted = via_inv_to_inv < via_plain_to_inv;
-            let next_cost_inv =
-                if select_for_inverted { via_inv_to_inv } else { via_plain_to_inv };
+            let next_cost_inv = if select_for_inverted {
+                via_inv_to_inv
+            } else {
+                via_plain_to_inv
+            };
 
             blocks.push(BlockTrace {
                 transition_popcount,
@@ -224,10 +234,19 @@ impl PipelineEncoder {
         let mut current = final_inverted;
         for (i, block) in blocks.iter().enumerate().rev() {
             decisions[i] = current;
-            current = if current { block.select_for_inverted } else { block.select_for_plain };
+            current = if current {
+                block.select_for_inverted
+            } else {
+                block.select_for_plain
+            };
         }
 
-        EncodeTrace { blocks, final_inverted, decisions, total_cost }
+        EncodeTrace {
+            blocks,
+            final_inverted,
+            decisions,
+            total_cost,
+        }
     }
 }
 
@@ -254,7 +273,11 @@ impl DbiEncoder for PipelineEncoder {
 
 impl fmt::Display for PipelineEncoder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pipeline encoder alpha={} beta={}", self.alpha, self.beta)
+        write!(
+            f,
+            "pipeline encoder alpha={} beta={}",
+            self.alpha, self.beta
+        )
     }
 }
 
@@ -337,7 +360,10 @@ mod tests {
         let hw = PipelineEncoder::with_coefficients(2, 3);
         let trace = hw.encode_trace(&burst, &state);
         let encoded = hw.encode(&burst, &state);
-        assert_eq!(u64::from(trace.total_cost), encoded.cost(&state, &hw.weights()));
+        assert_eq!(
+            u64::from(trace.total_cost),
+            encoded.cost(&state, &hw.weights())
+        );
     }
 
     #[test]

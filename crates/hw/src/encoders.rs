@@ -227,8 +227,16 @@ mod tests {
         let lib = lib();
         let dc = EncoderDesign::Dc.netlist(&lib).area_um2(&lib);
         let opt = EncoderDesign::OptFixed.netlist(&lib).area_um2(&lib);
-        assert!(opt / dc > 5.0, "OPT(Fixed)/DC area ratio {:.1} too small", opt / dc);
-        assert!(opt / dc < 40.0, "OPT(Fixed)/DC area ratio {:.1} implausibly large", opt / dc);
+        assert!(
+            opt / dc > 5.0,
+            "OPT(Fixed)/DC area ratio {:.1} too small",
+            opt / dc
+        );
+        assert!(
+            opt / dc < 40.0,
+            "OPT(Fixed)/DC area ratio {:.1} implausibly large",
+            opt / dc
+        );
     }
 
     #[test]
@@ -248,7 +256,11 @@ mod tests {
         // 1.5 GHz (12 Gbps), the 3-bit coefficient design does not.
         let lib = lib();
         let clock = |d: EncoderDesign| d.netlist(&lib).max_clock_ghz(&lib);
-        for design in [EncoderDesign::Dc, EncoderDesign::Ac, EncoderDesign::OptFixed] {
+        for design in [
+            EncoderDesign::Dc,
+            EncoderDesign::Ac,
+            EncoderDesign::OptFixed,
+        ] {
             assert!(
                 clock(design) >= 1.5,
                 "{design} should meet 1.5 GHz, got {:.2} GHz",

@@ -167,7 +167,12 @@ impl AddAssign for GateCount {
 
 impl fmt::Display for GateCount {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} cells, critical path {:.0} ps", self.total_cells(), self.critical_path_ps)
+        write!(
+            f,
+            "{} cells, critical path {:.0} ps",
+            self.total_cells(),
+            self.critical_path_ps
+        )
     }
 }
 
@@ -202,7 +207,9 @@ mod tests {
     #[test]
     fn parallel_merge_takes_the_max_path_series_merge_adds() {
         let a = sample(); // 120 ps
-        let b = GateCount::new().with(CellKind::Mux2, 2).with_critical_path_ps(80.0);
+        let b = GateCount::new()
+            .with(CellKind::Mux2, 2)
+            .with_critical_path_ps(80.0);
         let mut parallel = a.clone();
         parallel.merge_parallel(&b);
         assert_eq!(parallel.total_cells(), 17);

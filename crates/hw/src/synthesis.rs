@@ -54,7 +54,9 @@ impl SynthesisReport {
     /// burst rate (the paper notes the 3-bit design needs three units).
     #[must_use]
     pub fn units_for_target(&self) -> u32 {
-        (TARGET_BURST_RATE_GHZ / self.burst_rate_ghz).ceil().max(1.0) as u32
+        (TARGET_BURST_RATE_GHZ / self.burst_rate_ghz)
+            .ceil()
+            .max(1.0) as u32
     }
 
     /// Encoding energy per burst in joules (convenience for the Fig. 8
@@ -115,7 +117,10 @@ impl Synthesizer {
     /// Panics if the target is not positive and finite.
     #[must_use]
     pub fn with_target_ghz(mut self, target_ghz: f64) -> Self {
-        assert!(target_ghz.is_finite() && target_ghz > 0.0, "target clock must be positive");
+        assert!(
+            target_ghz.is_finite() && target_ghz > 0.0,
+            "target clock must be positive"
+        );
         self.target_ghz = target_ghz;
         self
     }
@@ -176,7 +181,10 @@ impl Synthesizer {
     /// All four rows of Table I, in the paper's order.
     #[must_use]
     pub fn table1(&self) -> Vec<SynthesisReport> {
-        EncoderDesign::table1_set().iter().map(|&d| self.report(d)).collect()
+        EncoderDesign::table1_set()
+            .iter()
+            .map(|&d| self.report(d))
+            .collect()
     }
 }
 
@@ -232,7 +240,11 @@ mod tests {
         let rows = Synthesizer::new().table1();
         let fixed = &rows[2];
         let configurable = &rows[3];
-        assert!(fixed.energy_per_burst_pj < 10.0, "{}", fixed.energy_per_burst_pj);
+        assert!(
+            fixed.energy_per_burst_pj < 10.0,
+            "{}",
+            fixed.energy_per_burst_pj
+        );
         assert!(
             configurable.energy_per_burst_pj > 3.0 * fixed.energy_per_burst_pj,
             "configurable {} vs fixed {}",
@@ -244,8 +256,12 @@ mod tests {
 
     #[test]
     fn dynamic_power_scales_with_activity() {
-        let quiet = Synthesizer::new().with_activity(0.05).report(EncoderDesign::OptFixed);
-        let busy = Synthesizer::new().with_activity(0.30).report(EncoderDesign::OptFixed);
+        let quiet = Synthesizer::new()
+            .with_activity(0.05)
+            .report(EncoderDesign::OptFixed);
+        let busy = Synthesizer::new()
+            .with_activity(0.30)
+            .report(EncoderDesign::OptFixed);
         assert!(busy.dynamic_power_uw > quiet.dynamic_power_uw * 3.0);
         // Static power does not change with activity.
         assert!((busy.static_power_uw - quiet.static_power_uw).abs() < 1e-9);
@@ -253,8 +269,12 @@ mod tests {
 
     #[test]
     fn lowering_the_target_clock_lowers_dynamic_power() {
-        let fast = Synthesizer::new().with_target_ghz(1.5).report(EncoderDesign::Dc);
-        let slow = Synthesizer::new().with_target_ghz(0.75).report(EncoderDesign::Dc);
+        let fast = Synthesizer::new()
+            .with_target_ghz(1.5)
+            .report(EncoderDesign::Dc);
+        let slow = Synthesizer::new()
+            .with_target_ghz(0.75)
+            .report(EncoderDesign::Dc);
         assert!(slow.dynamic_power_uw < fast.dynamic_power_uw);
         assert!((slow.burst_rate_ghz - 0.75).abs() < 1e-9);
     }

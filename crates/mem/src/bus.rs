@@ -131,8 +131,16 @@ mod tests {
 
         let burst = Burst::from_array([0x00; 8]);
         bus.drive(1, &burst, &Scheme::Dc);
-        assert_eq!(bus.group_state(0), Some(BusState::idle()), "group 0 untouched");
-        assert_ne!(bus.group_state(1), Some(BusState::idle()), "group 1 advanced");
+        assert_eq!(
+            bus.group_state(0),
+            Some(BusState::idle()),
+            "group 0 untouched"
+        );
+        assert_ne!(
+            bus.group_state(1),
+            Some(BusState::idle()),
+            "group 1 advanced"
+        );
     }
 
     #[test]

@@ -110,7 +110,14 @@ impl ChannelConfig {
         if burst_len == 0 {
             return Err(MemError::ZeroBurstLength);
         }
-        Ok(ChannelConfig { kind, bus_width_bits, burst_len, interface, load, data_rate })
+        Ok(ChannelConfig {
+            kind,
+            bus_width_bits,
+            burst_len,
+            interface,
+            load,
+            data_rate,
+        })
     }
 
     /// Returns a copy running at a different per-pin data rate.
@@ -119,13 +126,19 @@ impl ChannelConfig {
     ///
     /// Returns [`dbi_phy::PhyError::InvalidDataRate`] for non-positive rates.
     pub fn at_data_rate(&self, gbps: f64) -> dbi_phy::Result<Self> {
-        Ok(ChannelConfig { data_rate: DataRate::from_gbps(gbps)?, ..self.clone() })
+        Ok(ChannelConfig {
+            data_rate: DataRate::from_gbps(gbps)?,
+            ..self.clone()
+        })
     }
 
     /// Returns a copy with a different lumped per-lane load.
     #[must_use]
     pub fn with_load(&self, cload: Capacitance) -> Self {
-        ChannelConfig { load: LoadBudget::lumped(cload), ..self.clone() }
+        ChannelConfig {
+            load: LoadBudget::lumped(cload),
+            ..self.clone()
+        }
     }
 
     /// The memory technology.

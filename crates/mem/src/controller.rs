@@ -12,7 +12,7 @@ use crate::config::ChannelConfig;
 use crate::device::DramDevice;
 use crate::error::{MemError, Result};
 use core::fmt;
-use dbi_core::{Burst, CostBreakdown, Scheme};
+use dbi_core::{Burst, CostBreakdown, DbiEncoder, Scheme};
 use dbi_phy::InterfaceEnergyModel;
 
 /// Summary of one write access.
@@ -96,15 +96,28 @@ impl fmt::Display for EnergyTotals {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct MemoryController {
     config: ChannelConfig,
     scheme: Scheme,
+    /// Prebuilt from `scheme` so parametric encoders (and their cost
+    /// tables) are constructed once per controller, not once per burst.
+    encoder: Box<dyn DbiEncoder + Send + Sync>,
     energy_model: InterfaceEnergyModel,
     encoding_energy_per_burst_j: f64,
     bus: DqBus,
     device: DramDevice,
     totals: EnergyTotals,
+}
+
+impl fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("config", &self.config)
+            .field("scheme", &self.scheme)
+            .field("bus", &self.bus)
+            .field("totals", &self.totals)
+            .finish_non_exhaustive()
+    }
 }
 
 impl MemoryController {
@@ -118,6 +131,7 @@ impl MemoryController {
         MemoryController {
             config,
             scheme,
+            encoder: scheme.boxed(),
             energy_model,
             encoding_energy_per_burst_j: 0.0,
             bus,
@@ -178,7 +192,10 @@ impl MemoryController {
     pub fn write(&mut self, address: u64, data: &[u8]) -> Result<AccessReport> {
         let expected = self.config.access_bytes();
         if data.len() != expected {
-            return Err(MemError::BadAccessSize { got: data.len(), expected });
+            return Err(MemError::BadAccessSize {
+                got: data.len(),
+                expected,
+            });
         }
         let groups = self.config.lane_groups();
         let burst_len = self.config.burst_len();
@@ -189,14 +206,16 @@ impl MemoryController {
         let mut encoding_energy = 0.0;
         for group in 0..groups {
             // Gather this group's bytes: one byte per beat.
-            let bytes: Vec<u8> =
-                (0..burst_len).map(|beat| data[beat * groups + group]).collect();
+            let bytes: Vec<u8> = (0..burst_len)
+                .map(|beat| data[beat * groups + group])
+                .collect();
             let burst = Burst::new(bytes).expect("burst length is validated by the config");
-            let (encoded, breakdown) = self.bus.drive(group, &burst, &self.scheme);
+            let (encoded, breakdown) = self.bus.drive(group, &burst, &self.encoder);
             // Each group's burst occupies a contiguous slice of the array:
             // group g of the access at `address` lands at
             // `address + g·burst_len .. address + (g+1)·burst_len`.
-            self.device.receive_burst(address + (group * burst_len) as u64, &encoded);
+            self.device
+                .receive_burst(address + (group * burst_len) as u64, &encoded);
             activity += breakdown;
             encoding_energy += self.encoding_energy_per_burst_j;
         }
@@ -225,7 +244,10 @@ impl MemoryController {
     pub fn write_buffer(&mut self, address: u64, data: &[u8]) -> Result<Vec<AccessReport>> {
         let step = self.config.access_bytes();
         if data.is_empty() || !data.len().is_multiple_of(step) {
-            return Err(MemError::BadAccessSize { got: data.len(), expected: step });
+            return Err(MemError::BadAccessSize {
+                got: data.len(),
+                expected: step,
+            });
         }
         data.chunks_exact(step)
             .enumerate()
@@ -268,7 +290,10 @@ mod tests {
         let mut controller = MemoryController::new(ChannelConfig::gddr5x(), Scheme::Dc);
         assert!(matches!(
             controller.write(0, &[0u8; 31]),
-            Err(MemError::BadAccessSize { got: 31, expected: 32 })
+            Err(MemError::BadAccessSize {
+                got: 31,
+                expected: 32
+            })
         ));
         assert!(controller.write_buffer(0, &[0u8; 33]).is_err());
         assert!(controller.write_buffer(0, &[]).is_err());
@@ -297,8 +322,8 @@ mod tests {
         let controller = MemoryController::new(ChannelConfig::gddr5x(), Scheme::Dc)
             .with_encoding_energy(f64::NAN);
         assert_eq!(controller.encoding_energy_per_burst_j, 0.0);
-        let controller = MemoryController::new(ChannelConfig::gddr5x(), Scheme::Dc)
-            .with_encoding_energy(-1.0);
+        let controller =
+            MemoryController::new(ChannelConfig::gddr5x(), Scheme::Dc).with_encoding_energy(-1.0);
         assert_eq!(controller.encoding_energy_per_burst_j, 0.0);
     }
 
@@ -318,10 +343,13 @@ mod tests {
     #[test]
     fn every_scheme_is_lossless_end_to_end() {
         let data: Vec<u8> = (0..32u32).map(|i| (i * 73 + 5) as u8).collect();
-        for scheme in Scheme::paper_set() {
+        for scheme in Scheme::paper_set().iter().copied() {
             let mut controller = MemoryController::new(ChannelConfig::gddr5x(), scheme);
             controller.write(0x4000, &data).unwrap();
-            assert!(controller.verify(0x4000, &data), "scheme {scheme} corrupted data");
+            assert!(
+                controller.verify(0x4000, &data),
+                "scheme {scheme} corrupted data"
+            );
             assert!(!controller.verify(0x4000, &[0xEE; 32]));
             assert_eq!(controller.scheme(), scheme);
         }

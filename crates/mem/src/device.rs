@@ -44,7 +44,9 @@ impl DramDevice {
     /// Reads `len` bytes starting at `address`.
     #[must_use]
     pub fn read_range(&self, address: u64, len: usize) -> Vec<u8> {
-        (0..len as u64).map(|offset| self.read_byte(address + offset)).collect()
+        (0..len as u64)
+            .map(|offset| self.read_byte(address + offset))
+            .collect()
     }
 
     /// Number of bursts the device has committed.
@@ -62,7 +64,12 @@ impl DramDevice {
 
 impl fmt::Display for DramDevice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dram device: {} cells written, {} bursts", self.cells.len(), self.writes)
+        write!(
+            f,
+            "dram device: {} cells written, {} bursts",
+            self.cells.len(),
+            self.writes
+        )
     }
 }
 

@@ -28,7 +28,10 @@ impl fmt::Display for MemError {
                 write!(f, "access payload of {got} bytes does not match the channel granularity of {expected} bytes")
             }
             MemError::BadBusWidth(width) => {
-                write!(f, "bus width {width} is not a positive multiple of 8 data lanes")
+                write!(
+                    f,
+                    "bus width {width} is not a positive multiple of 8 data lanes"
+                )
             }
             MemError::ZeroBurstLength => write!(f, "burst length must be at least 1"),
         }
@@ -46,9 +49,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(MemError::BadAccessSize { got: 3, expected: 32 }.to_string().contains("32"));
+        assert!(MemError::BadAccessSize {
+            got: 3,
+            expected: 32
+        }
+        .to_string()
+        .contains("32"));
         assert!(MemError::BadBusWidth(12).to_string().contains("12"));
-        assert!(MemError::ZeroBurstLength.to_string().contains("burst length"));
+        assert!(MemError::ZeroBurstLength
+            .to_string()
+            .contains("burst length"));
     }
 
     #[test]

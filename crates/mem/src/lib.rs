@@ -13,7 +13,11 @@
 //! * [`DqBus`] — per-group lane state and activity accounting,
 //! * [`DramDevice`] — the DBI-decoding receiver with a sparse backing store,
 //! * [`MemoryController`] — the write path tying it all together with a
-//!   pluggable [`dbi_core::Scheme`] and full energy accounting.
+//!   pluggable [`dbi_core::Scheme`] and full energy accounting,
+//! * [`BusSession`] — the streaming encode hot path: whole write streams
+//!   in one call, per-group bus state carried across bursts, with the
+//!   independent DBI groups optionally encoded in parallel (one rayon
+//!   task per group, bit-identical to the serial result).
 //!
 //! ```
 //! # fn main() -> Result<(), dbi_mem::MemError> {
@@ -38,6 +42,7 @@ pub mod controller;
 pub mod device;
 pub mod error;
 pub mod read_path;
+pub mod session;
 
 pub use bus::DqBus;
 pub use config::{ChannelConfig, MemoryKind};
@@ -45,6 +50,7 @@ pub use controller::{AccessReport, EnergyTotals, MemoryController};
 pub use device::DramDevice;
 pub use error::{MemError, Result};
 pub use read_path::ReadPath;
+pub use session::{BusSession, ChannelActivity};
 
 #[cfg(test)]
 mod tests {

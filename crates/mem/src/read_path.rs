@@ -18,7 +18,7 @@ use crate::controller::EnergyTotals;
 use crate::device::DramDevice;
 use crate::error::{MemError, Result};
 use core::fmt;
-use dbi_core::{Burst, CostBreakdown, Scheme};
+use dbi_core::{Burst, CostBreakdown, DbiEncoder, Scheme};
 use dbi_phy::InterfaceEnergyModel;
 
 /// A read-direction channel: the DRAM encodes, the controller decodes.
@@ -44,14 +44,27 @@ use dbi_phy::InterfaceEnergyModel;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct ReadPath {
     config: ChannelConfig,
     scheme: Scheme,
+    /// Prebuilt from `scheme` so parametric encoders (and their cost
+    /// tables) are constructed once per path, not once per burst.
+    encoder: Box<dyn DbiEncoder + Send + Sync>,
     energy_model: InterfaceEnergyModel,
     encoding_energy_per_burst_j: f64,
     bus: DqBus,
     totals: EnergyTotals,
+}
+
+impl fmt::Debug for ReadPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReadPath")
+            .field("config", &self.config)
+            .field("scheme", &self.scheme)
+            .field("bus", &self.bus)
+            .field("totals", &self.totals)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ReadPath {
@@ -64,6 +77,7 @@ impl ReadPath {
         ReadPath {
             config,
             scheme,
+            encoder: scheme.boxed(),
             energy_model,
             encoding_energy_per_burst_j: 0.0,
             bus,
@@ -125,7 +139,7 @@ impl ReadPath {
             let stored = device.read_range(address + (group * burst_len) as u64, burst_len);
             let burst = Burst::new(stored).expect("burst length is validated by the config");
             // ...encodes it with the read-direction scheme and drives it.
-            let (encoded, breakdown) = self.bus.drive(group, &burst, &self.scheme);
+            let (encoded, breakdown) = self.bus.drive(group, &burst, &self.encoder);
             activity += breakdown;
             encoding_energy += self.encoding_energy_per_burst_j;
             // The controller decodes the lane words and undoes the
@@ -148,7 +162,11 @@ impl ReadPath {
 
 impl fmt::Display for ReadPath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "read path {} with {}: {}", self.config, self.scheme, self.totals)
+        write!(
+            f,
+            "read path {} with {}: {}",
+            self.config, self.scheme, self.totals
+        )
     }
 }
 
@@ -171,7 +189,7 @@ mod tests {
     fn reads_return_exactly_what_was_written() {
         let data = test_data(96);
         let controller = written_controller(Scheme::OptFixed, &data);
-        for read_scheme in Scheme::paper_set() {
+        for read_scheme in Scheme::paper_set().iter().copied() {
             let mut reads = ReadPath::new(ChannelConfig::gddr5x(), read_scheme);
             for access in 0..3 {
                 let restored = reads.read(controller.device(), access as u64 * 32).unwrap();
@@ -219,8 +237,8 @@ mod tests {
 
     #[test]
     fn invalid_encoding_energy_is_ignored() {
-        let reads =
-            ReadPath::new(ChannelConfig::gddr5x(), Scheme::Dc).with_encoding_energy(f64::NEG_INFINITY);
+        let reads = ReadPath::new(ChannelConfig::gddr5x(), Scheme::Dc)
+            .with_encoding_energy(f64::NEG_INFINITY);
         assert_eq!(reads.encoding_energy_per_burst_j, 0.0);
     }
 }

@@ -1,0 +1,413 @@
+//! Multi-group streaming encode sessions.
+//!
+//! A x32 channel is four independent 8-lane DBI groups, a x64 channel
+//! eight; each group carries its own lane state across bursts and takes its
+//! own inversion decisions ([`crate::bus`]). [`BusSession`] exploits that
+//! independence for throughput: it encodes a whole write stream in one
+//! call, with the per-group byte streams either walked sequentially
+//! ([`BusSession::encode_stream`]) or fanned out across threads via rayon
+//! ([`BusSession::encode_stream_parallel`]) — one task per group, each
+//! carrying its group's [`BusState`], which makes the parallel result
+//! bit-identical to the sequential one.
+//!
+//! Unlike [`crate::controller::MemoryController`], a session performs *no*
+//! storage and *no* energy bookkeeping: it is the pure encode hot path,
+//! reporting wire activity per group. Per-burst work is allocation-free:
+//! the gather buffer is moved into each [`Burst`] and recovered afterwards,
+//! so a stream call's allocation count is a small per-call constant (the
+//! result vector; plus one thread and gather buffer per group on the
+//! parallel path) regardless of how many bursts it encodes — asserted by a
+//! counting-allocator test in `tests/session_alloc.rs`.
+//!
+//! ```
+//! use dbi_core::Scheme;
+//! use dbi_mem::{BusSession, ChannelConfig};
+//!
+//! let config = ChannelConfig::gddr5x();
+//! let data = vec![0x5Au8; config.access_bytes() * 16];
+//! let mut session = BusSession::new(&config, Scheme::OptFixed);
+//! let serial = session.encode_stream(&data).unwrap();
+//! session.reset();
+//! let parallel = session.encode_stream_parallel(&data).unwrap();
+//! assert_eq!(serial, parallel);
+//! ```
+
+use crate::config::ChannelConfig;
+use crate::error::{MemError, Result};
+use core::fmt;
+use dbi_core::{Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, Scheme};
+
+/// Aggregate wire activity of one encoded stream, per lane group and in
+/// total.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChannelActivity {
+    /// Number of per-group bursts encoded.
+    pub bursts: u64,
+    /// Activity of each lane group, in group order.
+    pub per_group: Vec<CostBreakdown>,
+}
+
+impl ChannelActivity {
+    /// Total activity across all groups.
+    #[must_use]
+    pub fn total(&self) -> CostBreakdown {
+        self.per_group.iter().copied().sum()
+    }
+
+    /// Weighted integer cost of the whole stream.
+    #[must_use]
+    pub fn cost(&self, weights: &CostWeights) -> u64 {
+        self.total().weighted(weights)
+    }
+}
+
+impl fmt::Display for ChannelActivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} bursts over {} groups, {}",
+            self.bursts,
+            self.per_group.len(),
+            self.total()
+        )
+    }
+}
+
+/// A streaming encode session over the independent DBI groups of one
+/// channel.
+///
+/// The session owns one [`BusState`] per group (carried across calls, so a
+/// stream may be fed in arbitrary slices) and a shared boxed encoder built
+/// once from the [`Scheme`] — parametric schemes therefore pay their
+/// construction (e.g. the OPT cost tables) a single time per session, not
+/// per burst.
+pub struct BusSession {
+    scheme: Scheme,
+    encoder: Box<dyn DbiEncoder + Send + Sync>,
+    groups: Vec<BusState>,
+    burst_len: usize,
+    scratch: Vec<u8>,
+}
+
+impl fmt::Debug for BusSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BusSession")
+            .field("scheme", &self.scheme)
+            .field("groups", &self.groups)
+            .field("burst_len", &self.burst_len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BusSession {
+    /// Creates a session for the channel's geometry (lane groups × burst
+    /// length), all groups idle.
+    #[must_use]
+    pub fn new(config: &ChannelConfig, scheme: Scheme) -> Self {
+        Self::with_geometry(config.lane_groups(), config.burst_len(), scheme)
+    }
+
+    /// Creates a session with an explicit geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` or `burst_len` is zero, or if `burst_len` exceeds
+    /// the 32-byte inversion-mask limit.
+    #[must_use]
+    pub fn with_geometry(groups: usize, burst_len: usize, scheme: Scheme) -> Self {
+        assert!(groups > 0, "a session needs at least one lane group");
+        assert!(
+            (1..=32).contains(&burst_len),
+            "burst length must be within the inversion-mask limit of 32 bytes"
+        );
+        BusSession {
+            scheme,
+            encoder: scheme.boxed(),
+            groups: vec![BusState::idle(); groups],
+            burst_len,
+            scratch: Vec::with_capacity(burst_len),
+        }
+    }
+
+    /// The scheme this session encodes with.
+    #[must_use]
+    pub const fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Number of independent DBI groups.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Burst length in unit intervals.
+    #[must_use]
+    pub const fn burst_len(&self) -> usize {
+        self.burst_len
+    }
+
+    /// The carried lane state of one group.
+    #[must_use]
+    pub fn group_state(&self, group: usize) -> Option<BusState> {
+        self.groups.get(group).copied()
+    }
+
+    /// Returns every group to the idle (all lanes high) boundary condition.
+    pub fn reset(&mut self) {
+        for state in &mut self.groups {
+            *state = BusState::idle();
+        }
+    }
+
+    /// Bytes per full-bus access: groups × burst length.
+    #[must_use]
+    pub fn access_bytes(&self) -> usize {
+        self.groups.len() * self.burst_len
+    }
+
+    /// Encodes one burst on one group, carrying that group's state, and
+    /// returns the activity it added. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn drive_burst(&mut self, group: usize, burst: &Burst) -> CostBreakdown {
+        let state = self.groups[group];
+        let mask = self.encoder.encode_mask(burst, &state);
+        let breakdown = mask.breakdown(burst, &state);
+        self.groups[group] = mask.final_state(burst, &state);
+        breakdown
+    }
+
+    /// Encodes a whole beat-interleaved write stream sequentially: byte `k`
+    /// of each access travels on group `k mod groups` during beat
+    /// `k / groups`, exactly as [`crate::controller::MemoryController`]
+    /// splits its accesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadAccessSize`] when `data` is empty or not a
+    /// multiple of [`BusSession::access_bytes`].
+    pub fn encode_stream(&mut self, data: &[u8]) -> Result<ChannelActivity> {
+        self.check_stream(data)?;
+        let groups = self.groups.len();
+        let burst_len = self.burst_len;
+        let accesses = data.len() / self.access_bytes();
+
+        let mut per_group = vec![CostBreakdown::ZERO; groups];
+        let mut scratch = core::mem::take(&mut self.scratch);
+        for access in 0..accesses {
+            let base = access * groups * burst_len;
+            for (group, activity) in per_group.iter_mut().enumerate() {
+                scratch.clear();
+                scratch.extend((0..burst_len).map(|beat| data[base + beat * groups + group]));
+                // Move the gather buffer into the burst and recover it
+                // afterwards: no allocation per burst.
+                let burst = Burst::new(scratch).expect("burst length is positive");
+                *activity += self.drive_burst(group, &burst);
+                scratch = burst.into_bytes();
+            }
+        }
+        self.scratch = scratch;
+        Ok(ChannelActivity {
+            bursts: (accesses * groups) as u64,
+            per_group,
+        })
+    }
+
+    /// Encodes the same beat-interleaved stream with one rayon task per
+    /// lane group.
+    ///
+    /// Groups are independent by construction (separate wires, separate
+    /// DBI decisions), so each task carries its own group's [`BusState`]
+    /// through the whole stream and the result — including the carried
+    /// states — is bit-identical to [`BusSession::encode_stream`]. The
+    /// fan-out is per *group*, not per burst, so the sequential chain each
+    /// state depends on is never broken.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadAccessSize`] when `data` is empty or not a
+    /// multiple of [`BusSession::access_bytes`].
+    pub fn encode_stream_parallel(&mut self, data: &[u8]) -> Result<ChannelActivity> {
+        self.check_stream(data)?;
+        let groups = self.groups.len();
+        let burst_len = self.burst_len;
+        let accesses = data.len() / self.access_bytes();
+        let encoder: &(dyn DbiEncoder + Send + Sync) = self.encoder.as_ref();
+
+        let mut per_group = vec![CostBreakdown::ZERO; groups];
+        rayon::scope(|s| {
+            for ((group, state), activity) in
+                self.groups.iter_mut().enumerate().zip(per_group.iter_mut())
+            {
+                s.spawn(move || {
+                    let mut scratch = Vec::with_capacity(burst_len);
+                    let mut total = CostBreakdown::ZERO;
+                    for access in 0..accesses {
+                        let base = access * groups * burst_len;
+                        scratch.clear();
+                        scratch
+                            .extend((0..burst_len).map(|beat| data[base + beat * groups + group]));
+                        // Same move-in/move-out trick as the serial path:
+                        // one gather buffer per task, no per-burst allocation.
+                        let burst = Burst::new(scratch).expect("burst length is positive");
+                        let mask = encoder.encode_mask(&burst, state);
+                        total += mask.breakdown(&burst, state);
+                        *state = mask.final_state(&burst, state);
+                        scratch = burst.into_bytes();
+                    }
+                    *activity = total;
+                });
+            }
+        });
+        Ok(ChannelActivity {
+            bursts: (accesses * groups) as u64,
+            per_group,
+        })
+    }
+
+    fn check_stream(&self, data: &[u8]) -> Result<()> {
+        let step = self.access_bytes();
+        if data.is_empty() || !data.len().is_multiple_of(step) {
+            return Err(MemError::BadAccessSize {
+                got: data.len(),
+                expected: step,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbi_core::CostWeights;
+
+    fn test_stream(len: usize, seed: u64) -> Vec<u8> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_every_scheme() {
+        let config = ChannelConfig::gddr5x();
+        let data = test_stream(config.access_bytes() * 64, 0xBEEF);
+        for scheme in Scheme::paper_set().iter().copied() {
+            let mut serial = BusSession::new(&config, scheme);
+            let mut parallel = BusSession::new(&config, scheme);
+            let a = serial.encode_stream(&data).unwrap();
+            let b = parallel.encode_stream_parallel(&data).unwrap();
+            assert_eq!(a, b, "scheme {scheme}: parallel must be bit-identical");
+            for group in 0..serial.group_count() {
+                assert_eq!(
+                    serial.group_state(group),
+                    parallel.group_state(group),
+                    "scheme {scheme}: carried state of group {group}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_activity_matches_the_memory_controller() {
+        // The session is the controller's encode path without the storage:
+        // same interleaving, same carried state, same activity.
+        use crate::controller::MemoryController;
+        let config = ChannelConfig::ddr4_3200();
+        let data = test_stream(config.access_bytes() * 16, 0xCAFE);
+        let mut session = BusSession::new(&config, Scheme::OptFixed);
+        let activity = session.encode_stream(&data).unwrap();
+
+        let mut controller = MemoryController::new(config, Scheme::OptFixed);
+        controller.write_buffer(0, &data).unwrap();
+        assert_eq!(activity.total(), controller.totals().activity);
+        assert_eq!(activity.bursts, controller.totals().bursts);
+    }
+
+    #[test]
+    fn state_carries_across_stream_slices() {
+        let config = ChannelConfig::gddr5x();
+        let data = test_stream(config.access_bytes() * 8, 7);
+        let mut whole = BusSession::new(&config, Scheme::Ac);
+        let all = whole.encode_stream(&data).unwrap();
+
+        let mut sliced = BusSession::new(&config, Scheme::Ac);
+        let half = data.len() / 2;
+        let first = sliced.encode_stream(&data[..half]).unwrap();
+        let second = sliced.encode_stream(&data[half..]).unwrap();
+        let mut recombined = first.total();
+        recombined += second.total();
+        assert_eq!(all.total(), recombined);
+        assert_eq!(all.bursts, first.bursts + second.bursts);
+    }
+
+    #[test]
+    fn reset_and_accessors() {
+        let config = ChannelConfig::gddr5x();
+        let mut session = BusSession::new(&config, Scheme::Dc);
+        assert_eq!(session.group_count(), 4);
+        assert_eq!(session.burst_len(), 8);
+        assert_eq!(session.access_bytes(), 32);
+        assert_eq!(session.scheme(), Scheme::Dc);
+        assert_eq!(session.group_state(4), None);
+
+        let data = test_stream(session.access_bytes(), 3);
+        session.encode_stream(&data).unwrap();
+        assert_ne!(session.group_state(0), Some(BusState::idle()));
+        session.reset();
+        assert_eq!(session.group_state(0), Some(BusState::idle()));
+        assert!(format!("{session:?}").contains("BusSession"));
+    }
+
+    #[test]
+    fn bad_stream_sizes_are_rejected() {
+        let config = ChannelConfig::gddr5x();
+        let mut session = BusSession::new(&config, Scheme::Raw);
+        assert!(matches!(
+            session.encode_stream(&[0u8; 31]),
+            Err(MemError::BadAccessSize {
+                got: 31,
+                expected: 32
+            })
+        ));
+        assert!(session.encode_stream(&[]).is_err());
+        assert!(session.encode_stream_parallel(&[0u8; 33]).is_err());
+    }
+
+    #[test]
+    fn drive_burst_reports_weighted_activity() {
+        let mut session = BusSession::with_geometry(2, 8, Scheme::OptFixed);
+        let burst = Burst::paper_example();
+        let activity = session.drive_burst(0, &burst);
+        assert_eq!(activity.weighted(&CostWeights::FIXED), 52);
+        // Group 1 untouched.
+        assert_eq!(session.group_state(1), Some(BusState::idle()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane group")]
+    fn zero_groups_panics() {
+        let _ = BusSession::with_geometry(0, 8, Scheme::Raw);
+    }
+
+    #[test]
+    #[should_panic(expected = "inversion-mask limit")]
+    fn oversized_burst_len_panics() {
+        let _ = BusSession::with_geometry(4, 33, Scheme::Raw);
+    }
+
+    #[test]
+    fn channel_activity_display_and_cost() {
+        let activity = ChannelActivity {
+            bursts: 4,
+            per_group: vec![CostBreakdown::new(3, 1), CostBreakdown::new(2, 2)],
+        };
+        assert_eq!(activity.total(), CostBreakdown::new(5, 3));
+        assert_eq!(activity.cost(&CostWeights::FIXED), 8);
+        assert!(activity.to_string().contains("2 groups"));
+    }
+}

@@ -1,114 +1,130 @@
-//! Property tests for the memory-channel substrate: no DBI scheme ever
-//! corrupts data on the write path or the read path, and the energy
-//! accounting is consistent.
+//! Property tests for the memory-channel substrate, driven by a seeded
+//! deterministic RNG: no DBI scheme ever corrupts data on the write path or
+//! the read path, and the energy accounting is consistent.
 
 use dbi_core::{CostWeights, Scheme};
 use dbi_mem::{ChannelConfig, MemoryController, ReadPath};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn scheme_strategy() -> impl Strategy<Value = Scheme> {
-    prop_oneof![
-        Just(Scheme::Raw),
-        Just(Scheme::Dc),
-        Just(Scheme::Ac),
-        Just(Scheme::AcDc),
-        Just(Scheme::OptFixed),
-        (1u32..=7, 1u32..=7)
-            .prop_map(|(a, b)| Scheme::Opt(CostWeights::new(a, b).expect("non-zero"))),
-    ]
+struct Cases {
+    rng: StdRng,
 }
 
-fn config_strategy() -> impl Strategy<Value = ChannelConfig> {
-    prop_oneof![
-        Just(ChannelConfig::gddr5()),
-        Just(ChannelConfig::gddr5x()),
-        Just(ChannelConfig::ddr4_3200()),
-    ]
+impl Cases {
+    fn new(seed: u64) -> Self {
+        Cases {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    fn scheme(&mut self) -> Scheme {
+        match self.next_u64() % 6 {
+            0 => Scheme::Raw,
+            1 => Scheme::Dc,
+            2 => Scheme::Ac,
+            3 => Scheme::AcDc,
+            4 => Scheme::OptFixed,
+            _ => {
+                let alpha = 1 + (self.next_u64() % 7) as u32;
+                let beta = 1 + (self.next_u64() % 7) as u32;
+                Scheme::Opt(CostWeights::new(alpha, beta).expect("non-zero"))
+            }
+        }
+    }
+
+    fn config(&mut self) -> ChannelConfig {
+        match self.next_u64() % 3 {
+            0 => ChannelConfig::gddr5(),
+            1 => ChannelConfig::gddr5x(),
+            _ => ChannelConfig::ddr4_3200(),
+        }
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| (self.next_u64() >> 56) as u8).collect()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn write_path_is_lossless_for_every_scheme(
-        scheme in scheme_strategy(),
-        config in config_strategy(),
-        accesses in 1usize..4,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn write_path_is_lossless_for_every_scheme() {
+    let mut cases = Cases::new(0x0DB1_3001);
+    for _ in 0..CASES {
+        let scheme = cases.scheme();
+        let config = cases.config();
+        let accesses = 1 + (cases.next_u64() % 3) as usize;
         let access_bytes = config.access_bytes();
-        let mut state = seed;
-        let data: Vec<u8> = (0..access_bytes * accesses)
-            .map(|_| {
-                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
-                (state >> 56) as u8
-            })
-            .collect();
+        let data = cases.bytes(access_bytes * accesses);
         let lane_groups = config.lane_groups();
         let mut controller = MemoryController::new(config, scheme);
-        controller.write_buffer(0, &data).expect("buffer is access-aligned");
+        controller
+            .write_buffer(0, &data)
+            .expect("buffer is access-aligned");
         for access in 0..accesses {
-            prop_assert!(controller.verify(
+            assert!(controller.verify(
                 (access * access_bytes) as u64,
                 &data[access * access_bytes..(access + 1) * access_bytes],
             ));
         }
         // Energy accounting invariants.
         let totals = controller.totals();
-        prop_assert_eq!(totals.accesses, accesses as u64);
-        prop_assert_eq!(totals.bursts, (accesses * lane_groups) as u64);
-        prop_assert!(totals.interface_energy_j >= 0.0);
+        assert_eq!(totals.accesses, accesses as u64);
+        assert_eq!(totals.bursts, (accesses * lane_groups) as u64);
+        assert!(totals.interface_energy_j >= 0.0);
     }
+}
 
-    #[test]
-    fn read_path_returns_what_the_write_path_stored(
-        write_scheme in scheme_strategy(),
-        read_scheme in scheme_strategy(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn read_path_returns_what_the_write_path_stored() {
+    let mut cases = Cases::new(0x0DB1_3002);
+    for _ in 0..CASES {
+        let write_scheme = cases.scheme();
+        let read_scheme = cases.scheme();
         let config = ChannelConfig::gddr5x();
         let access_bytes = config.access_bytes();
-        let mut state = seed;
-        let data: Vec<u8> = (0..access_bytes * 2)
-            .map(|_| {
-                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
-                (state >> 56) as u8
-            })
-            .collect();
+        let data = cases.bytes(access_bytes * 2);
         let mut controller = MemoryController::new(config.clone(), write_scheme);
-        controller.write_buffer(0, &data).expect("buffer is access-aligned");
+        controller
+            .write_buffer(0, &data)
+            .expect("buffer is access-aligned");
 
         let mut reads = ReadPath::new(config, read_scheme);
         for access in 0..2usize {
             let restored = reads
                 .read(controller.device(), (access * access_bytes) as u64)
                 .expect("access size is valid");
-            prop_assert_eq!(&restored, &data[access * access_bytes..(access + 1) * access_bytes]);
+            assert_eq!(
+                &restored,
+                &data[access * access_bytes..(access + 1) * access_bytes]
+            );
         }
     }
+}
 
-    #[test]
-    fn optimal_scheme_never_costs_more_interface_energy(
-        config in config_strategy(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn optimal_scheme_never_costs_more_interface_energy() {
+    let mut cases = Cases::new(0x0DB1_3003);
+    for _ in 0..CASES {
+        let config = cases.config();
         let access_bytes = config.access_bytes();
-        let mut state = seed;
-        let data: Vec<u8> = (0..access_bytes * 4)
-            .map(|_| {
-                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
-                (state >> 56) as u8
-            })
-            .collect();
+        let data = cases.bytes(access_bytes * 4);
         let energy = |scheme: Scheme| {
             let mut controller = MemoryController::new(config.clone(), scheme);
-            controller.write_buffer(0, &data).expect("buffer is access-aligned");
+            controller
+                .write_buffer(0, &data)
+                .expect("buffer is access-aligned");
             controller.totals().interface_energy_j
         };
         // With the balanced alpha = beta weighting implied by OptFixed, the
         // optimal scheme cannot lose to RAW; against DC and AC it can only
         // lose when the physical energy ratio at this operating point is far
         // from 1:1, so compare in activity-weighted terms instead.
-        prop_assert!(energy(Scheme::OptFixed) <= energy(Scheme::Raw) + 1e-18);
+        assert!(energy(Scheme::OptFixed) <= energy(Scheme::Raw) + 1e-18);
     }
 }

@@ -1,0 +1,70 @@
+//! Counting-allocator proof of the `BusSession` claim: the allocation
+//! count of a sequential `encode_stream` call is a small per-call constant,
+//! independent of how many bursts the stream contains.
+//!
+//! Single `#[test]` so no concurrent test disturbs the global counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dbi_core::Scheme;
+use dbi_mem::{BusSession, ChannelConfig};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`, which upholds the `GlobalAlloc`
+// contract; the counter increment has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    drop(result);
+    after - before
+}
+
+#[test]
+fn stream_allocation_count_is_independent_of_stream_length() {
+    let config = ChannelConfig::gddr5x();
+    let mut session = BusSession::new(&config, Scheme::OptFixed);
+    let small = vec![0x5Au8; config.access_bytes() * 4];
+    let large = vec![0xA5u8; config.access_bytes() * 256];
+
+    // Warm up the scratch buffer once.
+    session.encode_stream(&small).unwrap();
+
+    let small_allocs = allocations_during(|| session.encode_stream(&small).unwrap());
+    let large_allocs = allocations_during(|| session.encode_stream(&large).unwrap());
+
+    // 4 accesses vs 256 accesses (16 vs 1024 bursts): if anything allocated
+    // per burst, the large stream would show ~64x more allocations. Both
+    // calls may allocate the per-call result vector, nothing that scales.
+    assert_eq!(
+        small_allocs, large_allocs,
+        "allocation count must not scale with the number of encoded bursts"
+    );
+    assert!(
+        large_allocs <= 4,
+        "a stream call should only allocate its result, observed {large_allocs}"
+    );
+}

@@ -71,7 +71,9 @@ impl Add for Capacitance {
     type Output = Capacitance;
 
     fn add(self, rhs: Capacitance) -> Capacitance {
-        Capacitance { farads: self.farads + rhs.farads }
+        Capacitance {
+            farads: self.farads + rhs.farads,
+        }
     }
 }
 
@@ -281,8 +283,9 @@ mod tests {
 
     #[test]
     fn capacitance_arithmetic() {
-        let total: Capacitance =
-            [Capacitance::from_pf(1.0), Capacitance::from_pf(2.0)].into_iter().sum();
+        let total: Capacitance = [Capacitance::from_pf(1.0), Capacitance::from_pf(2.0)]
+            .into_iter()
+            .sum();
         assert!((total.picofarads() - 3.0).abs() < 1e-12);
         assert_eq!(Capacitance::from_pf(1.0).to_string(), "1.00 pF");
     }
@@ -313,7 +316,10 @@ mod tests {
         // The paper sweeps 1 pF to 8 pF; the presets must land inside that.
         for budget in [LoadBudget::gddr5_point_to_point(), LoadBudget::ddr4_dimm()] {
             let pf = budget.total().picofarads();
-            assert!((1.0..=8.0).contains(&pf), "preset total {pf} pF out of range");
+            assert!(
+                (1.0..=8.0).contains(&pf),
+                "preset total {pf} pF out of range"
+            );
         }
         // Fig. 7 uses 3 pF; the GDDR5 preset is the closest physical story.
         assert!((LoadBudget::gddr5_point_to_point().total().picofarads() - 3.0).abs() < 0.11);

@@ -53,7 +53,11 @@ impl InterfaceEnergyModel {
     /// per-pin data rate.
     #[must_use]
     pub const fn new(interface: PodInterface, cload: Capacitance, data_rate: DataRate) -> Self {
-        InterfaceEnergyModel { interface, cload, data_rate }
+        InterfaceEnergyModel {
+            interface,
+            cload,
+            data_rate,
+        }
     }
 
     /// The electrical interface.
@@ -92,7 +96,11 @@ impl InterfaceEnergyModel {
     /// by the Fig. 8 sweep).
     #[must_use]
     pub fn with_cload(&self, cload: Capacitance) -> Self {
-        InterfaceEnergyModel { interface: self.interface, cload, data_rate: self.data_rate }
+        InterfaceEnergyModel {
+            interface: self.interface,
+            cload,
+            data_rate: self.data_rate,
+        }
     }
 
     /// Eq. 1: energy of transmitting a single zero for one unit interval,
@@ -210,8 +218,7 @@ mod tests {
         let a = CostBreakdown::new(10, 5);
         let b = CostBreakdown::new(20, 10);
         assert!((2.0 * m.burst_energy_j(&a) - m.burst_energy_j(&b)).abs() < 1e-18);
-        let manual =
-            10.0 * m.energy_per_zero_j() + 5.0 * m.energy_per_transition_j();
+        let manual = 10.0 * m.energy_per_zero_j() + 5.0 * m.energy_per_transition_j();
         assert!((m.burst_energy_j(&a) - manual).abs() < 1e-20);
     }
 
@@ -222,9 +229,15 @@ mod tests {
             .map(|&g| model(g, 3.0).ac_cost_share())
             .collect();
         for pair in shares.windows(2) {
-            assert!(pair[0] < pair[1], "AC share must grow with data rate: {shares:?}");
+            assert!(
+                pair[0] < pair[1],
+                "AC share must grow with data rate: {shares:?}"
+            );
         }
-        assert!(shares[0] < 0.2, "at 1 Gbps the termination energy dominates");
+        assert!(
+            shares[0] < 0.2,
+            "at 1 Gbps the termination energy dominates"
+        );
         assert!(shares[5] > 0.5, "at 20 Gbps the switching energy dominates");
     }
 

@@ -25,7 +25,10 @@ impl fmt::Display for PhyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PhyError::InvalidParameter { name, value } => {
-                write!(f, "parameter {name} must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "parameter {name} must be positive and finite, got {value}"
+                )
             }
             PhyError::InvalidDataRate(rate) => {
                 write!(f, "data rate must be positive and finite, got {rate} Gbps")
@@ -60,13 +63,19 @@ mod tests {
     #[test]
     fn check_positive_rejects_bad_values() {
         for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
-            assert!(check_positive("x", bad).is_err(), "{bad} should be rejected");
+            assert!(
+                check_positive("x", bad).is_err(),
+                "{bad} should be rejected"
+            );
         }
     }
 
     #[test]
     fn display_messages() {
-        let err = PhyError::InvalidParameter { name: "vddq", value: -1.0 };
+        let err = PhyError::InvalidParameter {
+            name: "vddq",
+            value: -1.0,
+        };
         assert!(err.to_string().contains("vddq"));
         let err = PhyError::InvalidDataRate(0.0);
         assert!(err.to_string().contains("data rate"));

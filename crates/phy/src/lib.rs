@@ -61,9 +61,8 @@ mod tests {
         let model = fig7_operating_point(14.0).unwrap();
         let burst = Burst::paper_example();
         let state = BusState::idle();
-        let energy = |scheme: Scheme| {
-            model.burst_energy_j(&scheme.encode(&burst, &state).breakdown(&state))
-        };
+        let energy =
+            |scheme: Scheme| model.burst_energy_j(&scheme.encode(&burst, &state).breakdown(&state));
         let raw = energy(Scheme::Raw);
         let dc = energy(Scheme::Dc);
         let ac = energy(Scheme::Ac);

@@ -23,7 +23,11 @@ impl SstlInterface {
     /// SSTL-15 (DDR3, VDDQ = 1.5 V) with typical 60 Ω ODT and 40 Ω driver.
     #[must_use]
     pub fn sstl15() -> Self {
-        SstlInterface { vddq_v: 1.5, r_termination_ohm: 60.0, r_driver_ohm: 40.0 }
+        SstlInterface {
+            vddq_v: 1.5,
+            r_termination_ohm: 60.0,
+            r_driver_ohm: 40.0,
+        }
     }
 
     /// Creates an SSTL interface from explicit parameters.

@@ -47,7 +47,10 @@ where
 {
     /// Wraps an iterator as a burst source.
     pub fn new(name: impl Into<String>, iter: I) -> Self {
-        IterSource { name: name.into(), iter }
+        IterSource {
+            name: name.into(),
+            iter,
+        }
     }
 }
 
@@ -64,7 +67,9 @@ where
     /// Panics if the underlying iterator is exhausted; wrap finite iterators
     /// with [`Iterator::cycle`] when an endless stream is required.
     fn next_burst(&mut self) -> Burst {
-        self.iter.next().expect("the wrapped iterator must not be exhausted")
+        self.iter
+            .next()
+            .expect("the wrapped iterator must not be exhausted")
     }
 }
 

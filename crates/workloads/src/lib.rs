@@ -9,7 +9,9 @@
 //! ([`patterns::PatternBursts`]) and structured synthetic data
 //! ([`synthetic`]) that stand in for proprietary application traces, plus a
 //! plain-text [`Trace`] format so burst streams can be captured and
-//! replayed.
+//! replayed, and a streaming [`TraceEncoder`] that encodes whole traces in
+//! one call with the bus state carried across bursts and no per-burst
+//! allocation.
 //!
 //! ```
 //! use dbi_workloads::{BurstSource, UniformRandomBursts};
@@ -28,15 +30,16 @@ pub mod patterns;
 pub mod random;
 pub mod synthetic;
 pub mod trace;
+pub mod trace_encoder;
 
 pub use generator::{BurstSource, IterSource};
 pub use patterns::{Pattern, PatternBursts};
 pub use random::UniformRandomBursts;
 pub use synthetic::{
-    standard_suite, FloatArrayBursts, FramebufferBursts, MarkovBursts, TextBursts,
-    ZeroHeavyBursts,
+    standard_suite, FloatArrayBursts, FramebufferBursts, MarkovBursts, TextBursts, ZeroHeavyBursts,
 };
 pub use trace::{ParseTraceError, Trace};
+pub use trace_encoder::{TraceEncoder, TraceSummary};
 
 #[cfg(test)]
 mod tests {
@@ -55,7 +58,12 @@ mod tests {
         ];
         for source in &mut sources {
             let burst = source.next_burst();
-            assert_eq!(burst.len(), dbi_core::STANDARD_BURST_LEN, "{}", source.name());
+            assert_eq!(
+                burst.len(),
+                dbi_core::STANDARD_BURST_LEN,
+                "{}",
+                source.name()
+            );
         }
     }
 }

@@ -6,8 +6,8 @@
 //! cases) and make handy fixtures for unit tests and benchmarks.
 
 use crate::generator::BurstSource;
-use dbi_core::{Burst, STANDARD_BURST_LEN};
 use core::fmt;
+use dbi_core::{Burst, STANDARD_BURST_LEN};
 
 /// The deterministic pattern families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,7 +115,12 @@ impl PatternBursts {
     #[must_use]
     pub fn with_len(pattern: Pattern, burst_len: usize) -> Self {
         assert!(burst_len > 0, "burst length must be positive");
-        PatternBursts { pattern, position: 0, burst_len, name: pattern.to_string() }
+        PatternBursts {
+            pattern,
+            position: 0,
+            burst_len,
+            name: pattern.to_string(),
+        }
     }
 
     /// The pattern family of this stream.

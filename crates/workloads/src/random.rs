@@ -14,7 +14,7 @@ pub const PAPER_BURST_COUNT: usize = 10_000;
 
 /// Seed used by the experiment harness so every run of the figures sees the
 /// same burst stream.
-pub const DEFAULT_SEED: u64 = 0x0D_B1_C0DE;
+pub const DEFAULT_SEED: u64 = 0x0DB1_C0DE;
 
 /// A stream of uniformly random bursts.
 ///
@@ -43,7 +43,10 @@ impl UniformRandomBursts {
     /// Creates a generator with an explicit seed.
     #[must_use]
     pub fn with_seed(seed: u64) -> Self {
-        UniformRandomBursts { rng: StdRng::seed_from_u64(seed), burst_len: STANDARD_BURST_LEN }
+        UniformRandomBursts {
+            rng: StdRng::seed_from_u64(seed),
+            burst_len: STANDARD_BURST_LEN,
+        }
     }
 
     /// Creates a generator producing bursts of a non-standard length.
@@ -54,7 +57,10 @@ impl UniformRandomBursts {
     #[must_use]
     pub fn with_seed_and_len(seed: u64, burst_len: usize) -> Self {
         assert!(burst_len > 0, "burst length must be positive");
-        UniformRandomBursts { rng: StdRng::seed_from_u64(seed), burst_len }
+        UniformRandomBursts {
+            rng: StdRng::seed_from_u64(seed),
+            burst_len,
+        }
     }
 
     /// The burst length produced by this generator.

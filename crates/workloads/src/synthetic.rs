@@ -72,7 +72,9 @@ impl FloatArrayBursts {
     /// Creates a float-array stream.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        FloatArrayBursts { rng: StdRng::seed_from_u64(seed) }
+        FloatArrayBursts {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     fn next_f32(&mut self) -> f32 {
@@ -110,7 +112,9 @@ impl TextBursts {
     /// Creates a text stream.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        TextBursts { rng: StdRng::seed_from_u64(seed) }
+        TextBursts {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     fn next_char(&mut self) -> u8 {
@@ -164,9 +168,15 @@ impl FramebufferBursts {
         self.x = self.x.wrapping_add(1);
         let noise = |rng: &mut StdRng| rng.gen_range(0..4u8);
         [
-            self.base[0].wrapping_add(gradient).wrapping_add(noise(&mut self.rng)),
-            self.base[1].wrapping_add(gradient / 2).wrapping_add(noise(&mut self.rng)),
-            self.base[2].wrapping_add(gradient / 4).wrapping_add(noise(&mut self.rng)),
+            self.base[0]
+                .wrapping_add(gradient)
+                .wrapping_add(noise(&mut self.rng)),
+            self.base[1]
+                .wrapping_add(gradient / 2)
+                .wrapping_add(noise(&mut self.rng)),
+            self.base[2]
+                .wrapping_add(gradient / 4)
+                .wrapping_add(noise(&mut self.rng)),
             0xFF,
         ]
     }
@@ -205,7 +215,11 @@ impl MarkovBursts {
     pub fn new(seed: u64, correlation: f64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let previous = rng.gen();
-        MarkovBursts { rng, correlation: correlation.clamp(0.0, 1.0), previous }
+        MarkovBursts {
+            rng,
+            correlation: correlation.clamp(0.0, 1.0),
+            previous,
+        }
     }
 
     fn next_byte(&mut self) -> u8 {
@@ -247,7 +261,9 @@ pub fn standard_suite(seed: u64) -> Vec<(String, Vec<Burst>)> {
         let bursts: Vec<Burst> = (0..count).map(|_| source.next_burst()).collect();
         suite.push((name, bursts));
     };
-    push(Box::new(crate::random::UniformRandomBursts::with_seed(seed)));
+    push(Box::new(crate::random::UniformRandomBursts::with_seed(
+        seed,
+    )));
     push(Box::new(ZeroHeavyBursts::new(seed ^ 1, 0.6)));
     push(Box::new(FloatArrayBursts::new(seed ^ 2)));
     push(Box::new(TextBursts::new(seed ^ 3)));
@@ -302,7 +318,10 @@ mod tests {
     fn text_is_printable_ascii() {
         let bursts = TextBursts::new(4).take_bursts(200);
         for byte in bursts.iter().flat_map(|b| b.iter()) {
-            assert!((0x20..0x7F).contains(&byte), "byte {byte:#x} is not printable ASCII");
+            assert!(
+                (0x20..0x7F).contains(&byte),
+                "byte {byte:#x} is not printable ASCII"
+            );
         }
     }
 
@@ -337,11 +356,17 @@ mod tests {
         let state = BusState::idle();
         let heavy = ZeroHeavyBursts::new(2, 0.7).take_bursts(300);
         let zeros = |bursts: &[Burst], scheme: Scheme| -> u64 {
-            bursts.iter().map(|b| scheme.encode(b, &state).breakdown(&state).zeros).sum()
+            bursts
+                .iter()
+                .map(|b| scheme.encode(b, &state).breakdown(&state).zeros)
+                .sum()
         };
         let raw = zeros(&heavy, Scheme::Raw);
         let dc = zeros(&heavy, Scheme::Dc);
-        assert!(dc * 2 < raw, "DC should halve the zero count on zero-heavy data");
+        assert!(
+            dc * 2 < raw,
+            "DC should halve the zero count on zero-heavy data"
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! without re-running a generator.
 
 use crate::generator::BurstSource;
-use dbi_core::Burst;
 use core::fmt;
+use dbi_core::Burst;
 use std::str::FromStr;
 
 /// An ordered sequence of bursts with a human-readable label.
@@ -46,7 +46,10 @@ impl Trace {
     /// Creates a trace from existing bursts.
     #[must_use]
     pub fn new(label: impl Into<String>, bursts: Vec<Burst>) -> Self {
-        Trace { label: label.into(), bursts }
+        Trace {
+            label: label.into(),
+            bursts,
+        }
     }
 
     /// Records `count` bursts from a generator into a trace labelled with

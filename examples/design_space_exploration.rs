@@ -11,8 +11,8 @@
 
 use dbi::workloads::{BurstSource, UniformRandomBursts};
 use dbi::{
-    BusState, Capacitance, CostBreakdown, DataRate, DbiEncoder, InterfaceEnergyModel,
-    PodInterface, Scheme,
+    BusState, Capacitance, CostBreakdown, DataRate, DbiEncoder, InterfaceEnergyModel, PodInterface,
+    Scheme,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,14 +22,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Per-scheme activity is independent of the electrical operating point,
     // so compute it once.
     let activity = |scheme: Scheme| -> CostBreakdown {
-        bursts.iter().map(|b| scheme.encode(b, &state).breakdown(&state)).sum()
+        bursts
+            .iter()
+            .map(|b| scheme.encode(b, &state).breakdown(&state))
+            .sum()
     };
     let raw = activity(Scheme::Raw);
     let dc = activity(Scheme::Dc);
     let ac = activity(Scheme::Ac);
     let opt = activity(Scheme::OptFixed);
 
-    println!("uniform random write data, POD135, {} bursts\n", bursts.len());
+    println!(
+        "uniform random write data, POD135, {} bursts\n",
+        bursts.len()
+    );
     println!(
         "{:>6} {:>6} | {:>10} {:>10} {:>10} {:>10} | {:>10} {:>8}",
         "Gbps", "pF", "RAW", "DBI DC", "DBI AC", "OPT-Fixed", "winner", "saving"

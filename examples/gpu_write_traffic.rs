@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // End-to-end correctness: the DRAM holds exactly what we sent.
             assert!(controller.verify(0, &data[..32]));
 
-            row.push_str(&format!("{:>12.3}", controller.totals().total_energy_j() * 1e9));
+            row.push_str(&format!(
+                "{:>12.3}",
+                controller.totals().total_energy_j() * 1e9
+            ));
         }
         println!("{row}");
     }

@@ -16,12 +16,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hardware = PipelineEncoder::fixed();
 
     println!("burst: {burst}");
-    println!("encoder: {hardware} ({} pipeline stages)\n", hardware.latency_cycles());
+    println!(
+        "encoder: {hardware} ({} pipeline stages)\n",
+        hardware.latency_cycles()
+    );
 
     let trace = hardware.encode_trace(&burst, &state);
     println!(
         "{:>4} {:>5} {:>5} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9} {:>9}",
-        "byte", "x", "y", "ac_cost0", "ac_cost1", "dc_cost0", "dc_cost1", "cost", "cost_inv", "decision"
+        "byte",
+        "x",
+        "y",
+        "ac_cost0",
+        "ac_cost1",
+        "dc_cost0",
+        "dc_cost1",
+        "cost",
+        "cost_inv",
+        "decision"
     );
     for (i, block) in trace.blocks.iter().enumerate() {
         println!(
@@ -38,14 +50,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if trace.decisions[i] { "invert" } else { "keep" }
         );
     }
-    println!("\nshortest-path cost found by the datapath: {}", trace.total_cost);
+    println!(
+        "\nshortest-path cost found by the datapath: {}",
+        trace.total_cost
+    );
 
     // The datapath must agree with the software shortest-path encoder.
     let hw_encoded = hardware.encode(&burst, &state);
     let sw_encoded = Scheme::OptFixed.encode(&burst, &state);
     assert_eq!(hw_encoded, sw_encoded);
     assert_eq!(hw_encoded.decode(), burst);
-    println!("datapath output matches the software reference encoder: mask {:08b}\n", hw_encoded.mask().bits());
+    println!(
+        "datapath output matches the software reference encoder: mask {:08b}\n",
+        hw_encoded.mask().bits()
+    );
 
     // Table I: what the four designs cost in a generic 32 nm process.
     println!("{}", dbi::experiments::table1::run().to_table());

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let weights = CostWeights::new(1, 1)?;
 
     println!("burst: {burst}\n");
-    println!("{:<18} {:>6} {:>12} {:>6}", "scheme", "zeros", "transitions", "cost");
+    println!(
+        "{:<18} {:>6} {:>12} {:>6}",
+        "scheme", "zeros", "transitions", "cost"
+    );
     for scheme in Scheme::paper_set() {
         let encoded = scheme.encode(&burst, &state);
         let activity = encoded.breakdown(&state);
@@ -41,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let front = ParetoFront::of_burst(&burst, &state)?;
     println!("\nPareto-optimal encodings of this burst:");
     for point in front.points() {
-        println!("  {} zeros / {} transitions", point.zeros(), point.transitions());
+        println!(
+            "  {} zeros / {} transitions",
+            point.zeros(),
+            point.transitions()
+        );
     }
 
     println!(

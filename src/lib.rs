@@ -35,8 +35,8 @@ pub use dbi_phy as phy;
 pub use dbi_workloads as workloads;
 
 pub use dbi_core::{
-    Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, DbiError, EncodedBurst,
-    InversionMask, LaneWord, ParetoFront, Scheme, SchemeComparison, SchemeStats,
+    Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, DbiError, EncodedBurst, InversionMask,
+    LaneWord, ParetoFront, Scheme, SchemeComparison, SchemeStats,
 };
 pub use dbi_hw::{EncoderDesign, PipelineEncoder, SynthesisReport, Synthesizer};
 pub use dbi_mem::{ChannelConfig, MemoryController};

@@ -18,7 +18,12 @@ fn fig2_example_end_to_end() {
 
     assert_eq!(Scheme::Dc.encode(&burst, &state).cost(&state, &weights), 68);
     assert_eq!(Scheme::Ac.encode(&burst, &state).cost(&state, &weights), 65);
-    assert_eq!(Scheme::OptFixed.encode(&burst, &state).cost(&state, &weights), 52);
+    assert_eq!(
+        Scheme::OptFixed
+            .encode(&burst, &state)
+            .cost(&state, &weights),
+        52
+    );
     assert_eq!(
         PipelineEncoder::fixed().encode(&burst, &state),
         Scheme::OptFixed.encode(&burst, &state)
@@ -33,7 +38,7 @@ fn fig2_example_end_to_end() {
 #[test]
 fn optimal_scheme_wins_on_random_streams() {
     let bursts = UniformRandomBursts::with_seed(11).take_bursts(2_000);
-    let mut comparison = SchemeComparison::new(Scheme::paper_set());
+    let mut comparison = SchemeComparison::new(Scheme::paper_set().to_vec());
     for burst in &bursts {
         comparison.record_isolated(burst);
     }
@@ -66,20 +71,29 @@ fn system_level_savings_at_gddr5x_operating_point() {
     }
 
     let total = |scheme: Scheme, encoder_j: f64| {
-        let mut controller = MemoryController::new(ChannelConfig::gddr5x(), scheme)
-            .with_encoding_energy(encoder_j);
+        let mut controller =
+            MemoryController::new(ChannelConfig::gddr5x(), scheme).with_encoding_energy(encoder_j);
         controller.write_buffer(0, &data).unwrap();
-        assert!(controller.verify(0, &data[..32]), "scheme {scheme} corrupted data");
+        assert!(
+            controller.verify(0, &data[..32]),
+            "scheme {scheme} corrupted data"
+        );
         controller.totals().total_energy_j()
     };
 
     let dc = total(Scheme::Dc, encoder_energy(dbi::EncoderDesign::Dc));
     let ac = total(Scheme::Ac, encoder_energy(dbi::EncoderDesign::Ac));
-    let opt = total(Scheme::OptFixed, encoder_energy(dbi::EncoderDesign::OptFixed));
+    let opt = total(
+        Scheme::OptFixed,
+        encoder_energy(dbi::EncoderDesign::OptFixed),
+    );
     let raw = total(Scheme::Raw, 0.0);
 
     assert!(opt < raw, "OPT(Fixed) must beat unencoded transmission");
-    assert!(opt < dc.min(ac), "OPT(Fixed) must beat the best conventional scheme at 12 Gbps");
+    assert!(
+        opt < dc.min(ac),
+        "OPT(Fixed) must beat the best conventional scheme at 12 Gbps"
+    );
 }
 
 /// The quantised coefficients derived from the physical energy model steer

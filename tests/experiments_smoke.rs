@@ -1,8 +1,8 @@
 //! Smoke tests for the experiment harness at reduced scale: every figure
 //! and table module runs and reproduces the paper's qualitative claims.
 
-use dbi::workloads::{BurstSource, UniformRandomBursts};
 use dbi::experiments::{extensions, fig2, fig3, fig7, fig8, table1, Experiment};
+use dbi::workloads::{BurstSource, UniformRandomBursts};
 
 #[test]
 fn fig2_reproduces_the_published_example() {
@@ -42,9 +42,15 @@ fn fig7_and_fig8_reproduce_the_operating_point_story() {
     let bursts = UniformRandomBursts::with_seed(321).take_bursts(1_000);
     let fig7_result = fig7::run(&bursts, &fig7::paper_rates(), 3.0);
     let crossover = fig7_result.opt_fixed_beats_dc_from().unwrap();
-    assert!((2.0..8.0).contains(&crossover), "crossover {crossover} Gbps");
+    assert!(
+        (2.0..8.0).contains(&crossover),
+        "crossover {crossover} Gbps"
+    );
     let (best_gbps, _) = fig7_result.best_operating_point().unwrap();
-    assert!((8.0..18.0).contains(&best_gbps), "best operating point {best_gbps} Gbps");
+    assert!(
+        (8.0..18.0).contains(&best_gbps),
+        "best operating point {best_gbps} Gbps"
+    );
 
     let fig8_result = fig8::run(
         &bursts,

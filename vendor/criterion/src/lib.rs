@@ -1,0 +1,232 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the API subset the workspace's benchmarks use — benchmark
+//! groups, [`Bencher::iter`], throughput annotation and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — on top of a plain
+//! wall-clock harness: a short warm-up, then timed batches until a sampling
+//! budget is spent, reporting the best (least-noisy) batch in ns/iter.
+//! It produces no HTML reports and performs no statistical analysis.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration work annotation used to derive throughput rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter rendering.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// The timing context handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Best observed time per iteration, filled in by [`Bencher::iter`].
+    best_ns_per_iter: f64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times the closure: warm-up, then repeated timed batches; the fastest
+    /// batch wins (minimum is the standard low-noise point estimator).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and batch-size calibration: grow the batch until one batch
+        // takes at least ~1 ms so timer resolution is negligible.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let mut best = f64::INFINITY;
+        let deadline = Instant::now() + self.budget;
+        let mut samples = 0u32;
+        while samples < 10 || (Instant::now() < deadline && samples < 200) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+            samples += 1;
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Compatibility shim: the real crate tunes its sample count with this;
+    /// here it only scales the per-benchmark time budget.
+    pub fn sample_size(&mut self, samples: usize) {
+        let ms = (samples as u64).clamp(10, 100) * 10;
+        self.budget = Duration::from_millis(ms);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            best_ns_per_iter: f64::NAN,
+            budget: self.budget,
+        };
+        f(&mut bencher);
+        self.report(id, bencher.best_ns_per_iter);
+    }
+
+    /// Runs one benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher {
+            best_ns_per_iter: f64::NAN,
+            budget: self.budget,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), bencher.best_ns_per_iter);
+    }
+
+    /// Ends the group (line of output for symmetry with the real crate).
+    pub fn finish(self) {
+        println!();
+    }
+
+    fn report(&self, id: &str, ns_per_iter: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / (ns_per_iter * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>12.0} MiB/s",
+                    n as f64 / (ns_per_iter * 1e-9) / (1024.0 * 1024.0)
+                )
+            }
+            None => String::new(),
+        };
+        println!("{}/{id:<40} {ns_per_iter:>14.1} ns/iter{rate}", self.name);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            budget: Duration::from_millis(300),
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(1));
+        let mut captured = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                captured = captured.wrapping_add(1);
+                captured
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(captured > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("write", "DBI DC").to_string(),
+            "write/DBI DC"
+        );
+    }
+}

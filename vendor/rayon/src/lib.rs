@@ -1,0 +1,100 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the fork-join subset the workspace uses — [`join`], [`scope`]
+//! and [`current_num_threads`] — implemented directly on
+//! [`std::thread::scope`]. Every spawn is a real OS thread (no work-stealing
+//! pool), which is the right trade-off for this workspace's usage: a handful
+//! of long-running per-lane-group encoding tasks per call, not thousands of
+//! micro-tasks.
+//!
+//! One deliberate API divergence: [`Scope::spawn`] takes a plain
+//! `FnOnce()` instead of rayon's `FnOnce(&Scope)`, since nested spawning is
+//! not needed here.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let b_handle = s.spawn(b);
+        let ra = a();
+        let rb = b_handle.join().expect("joined closure panicked");
+        (ra, rb)
+    })
+}
+
+/// A scope in which borrowed-data tasks can be spawned; all tasks complete
+/// before [`scope`] returns.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope. Panics in the
+    /// task are propagated when the scope joins it.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(f);
+    }
+}
+
+/// Creates a scope, runs `op` inside it and joins every spawned task before
+/// returning `op`'s result.
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| op(&Scope { inner: s }))
+}
+
+/// Degree of hardware parallelism available to [`scope`] (1 when unknown).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_joins_all_tasks_and_allows_borrows() {
+        let counter = AtomicU64::new(0);
+        let mut per_task = [0u64; 8];
+        scope(|s| {
+            for (i, slot) in per_task.iter_mut().enumerate() {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    *slot = i as u64 + 1;
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        assert_eq!(per_task, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
