@@ -1,0 +1,282 @@
+//! Service load generator: throughput and latency of the sharded encode
+//! service under concurrent multi-client traffic.
+//!
+//! Spins the whole service up **in-process** and drives it with the
+//! `dbi_workloads` traffic mixes ([`LoadProfile`]) at varying client
+//! counts, over both transports:
+//!
+//! * `local` — each client thread owns a [`LocalClient`] (the
+//!   allocation-free in-process path; measures engine + sharding),
+//! * `tcp` — each client thread owns a [`TcpClient`] over loopback
+//!   (adds the wire protocol and socket round trip).
+//!
+//! Every request carries one batch of beat-interleaved accesses drawn
+//! from the client's profile; per-request latency is recorded and the
+//! run's requests/s, bursts/s and p50/p99 latency land in
+//! `BENCH_service.json` at the repository root, next to
+//! `BENCH_encode.json`.
+//!
+//! Environment knobs: `DBI_SERVICE_SCHEME` (any name `Scheme::from_str`
+//! accepts, e.g. `opt-fixed`, `dc`, `opt:2,3`; default `opt-fixed`) and
+//! `DBI_SERVICE_BENCH_REQUESTS` (requests per client per run).
+
+use dbi_core::Scheme;
+use dbi_service::{EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient, TcpServer};
+use dbi_workloads::LoadProfile;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+const GROUPS: u16 = 4;
+const BURST_LEN: u8 = 8;
+const ACCESSES_PER_REQUEST: usize = 16;
+const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
+const BENCH_SEED: u64 = 0x5E41_11CE;
+
+/// One measured configuration.
+struct Row {
+    transport: &'static str,
+    profile: String,
+    clients: usize,
+    requests: u64,
+    elapsed_s: f64,
+    bursts: u64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[rank] as f64 / 1_000.0
+}
+
+/// What one client thread reports back: per-request latencies and the
+/// bursts it encoded.
+struct ClientReport {
+    latencies_ns: Vec<u64>,
+    bursts: u64,
+}
+
+/// Drives `requests` encode calls through `call`, drawing each payload
+/// from the client's own seeded profile instance.
+fn drive_client(
+    mut profile: LoadProfile,
+    session_id: u64,
+    scheme: Scheme,
+    requests: usize,
+    mut call: impl FnMut(&EncodeRequest<'_>, &mut EncodeReply) -> bool,
+) -> ClientReport {
+    let mut payload = Vec::new();
+    let mut reply = EncodeReply::new();
+    let mut report = ClientReport {
+        latencies_ns: Vec::with_capacity(requests),
+        bursts: 0,
+    };
+    for _ in 0..requests {
+        payload.clear();
+        for _ in 0..ACCESSES_PER_REQUEST {
+            profile.fill_access(usize::from(GROUPS), usize::from(BURST_LEN), &mut payload);
+        }
+        let request = EncodeRequest {
+            session_id,
+            scheme,
+            groups: GROUPS,
+            burst_len: BURST_LEN,
+            want_masks: false,
+            payload: &payload,
+        };
+        let start = Instant::now();
+        // Overload responses are explicit backpressure: retry until
+        // admitted, counting the whole wait as request latency.
+        while !call(&request, &mut reply) {
+            std::thread::yield_now();
+        }
+        report.latencies_ns.push(start.elapsed().as_nanos() as u64);
+        report.bursts += reply.bursts;
+    }
+    report
+}
+
+fn profile_by_name(name: &str, seed: u64) -> LoadProfile {
+    match name {
+        "uniform" => LoadProfile::uniform(seed),
+        "gpu" => LoadProfile::gpu(seed),
+        "server" => LoadProfile::server(seed),
+        "stress" => LoadProfile::stress(seed),
+        other => panic!("unknown profile {other}"),
+    }
+}
+
+fn run_config(
+    engine: &Engine,
+    tcp_addr: SocketAddr,
+    transport: &'static str,
+    profile_name: &str,
+    scheme: Scheme,
+    clients: usize,
+    requests_per_client: usize,
+) -> Row {
+    let start = Instant::now();
+    let reports: Vec<ClientReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let profile = profile_by_name(profile_name, BENCH_SEED ^ (client as u64) << 8);
+                let session_id = 0xB00 + client as u64;
+                s.spawn(move || match transport {
+                    "local" => {
+                        let mut local = engine.local_client();
+                        drive_client(
+                            profile,
+                            session_id,
+                            scheme,
+                            requests_per_client,
+                            |req, reply| match local.encode(req, reply) {
+                                Ok(()) => true,
+                                Err(dbi_service::ServiceError::Overloaded { .. }) => false,
+                                Err(err) => panic!("local client failed: {err}"),
+                            },
+                        )
+                    }
+                    _ => {
+                        let mut tcp =
+                            TcpClient::connect(tcp_addr).expect("connect to the bench server");
+                        drive_client(
+                            profile,
+                            session_id,
+                            scheme,
+                            requests_per_client,
+                            |req, reply| match tcp.encode(req, reply) {
+                                Ok(()) => true,
+                                Err(dbi_service::ClientError::Remote {
+                                    code: dbi_service::wire::ErrorCode::Overloaded,
+                                    ..
+                                }) => false,
+                                Err(err) => panic!("tcp client failed: {err}"),
+                            },
+                        )
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.latencies_ns.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    Row {
+        transport,
+        profile: profile_name.to_owned(),
+        clients,
+        requests: latencies.len() as u64,
+        elapsed_s,
+        bursts: reports.iter().map(|r| r.bursts).sum(),
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    // `cargo bench` passes harness flags; this custom harness ignores
+    // everything except `--bench`-style invocations.
+    let scheme: Scheme = std::env::var("DBI_SERVICE_SCHEME")
+        .unwrap_or_else(|_| "opt-fixed".to_owned())
+        .parse()
+        .expect("DBI_SERVICE_SCHEME must be a valid scheme name");
+    let requests_per_client: usize = std::env::var("DBI_SERVICE_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+
+    let engine = Engine::start(ServiceConfig {
+        shards: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+        queue_capacity: 256,
+        max_payload: 1 << 20,
+        ..ServiceConfig::default()
+    });
+    let server = TcpServer::bind(&engine, "127.0.0.1:0").expect("bind the bench server");
+    let addr = server.addr();
+
+    let profiles = ["uniform", "gpu", "server", "stress"];
+    let mut rows = Vec::new();
+    for transport in ["local", "tcp"] {
+        for profile in profiles {
+            for clients in CLIENT_COUNTS {
+                let row = run_config(
+                    &engine,
+                    addr,
+                    transport,
+                    profile,
+                    scheme,
+                    clients,
+                    requests_per_client,
+                );
+                println!(
+                    "{:<5} {:<8} {:>2} clients: {:>9.0} req/s {:>12.0} bursts/s  p50 {:>7.1} us  p99 {:>7.1} us",
+                    row.transport,
+                    row.profile,
+                    row.clients,
+                    row.requests as f64 / row.elapsed_s,
+                    row.bursts as f64 / row.elapsed_s,
+                    row.p50_us,
+                    row.p99_us,
+                );
+                rows.push(row);
+            }
+        }
+    }
+
+    let json = render_json(scheme, requests_per_client, &rows);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+
+    let totals = engine.metrics().totals();
+    println!(
+        "service totals: {} requests, {} bursts, {} transitions saved, {} rejects",
+        totals.requests, totals.bursts, totals.transitions_saved, totals.rejected
+    );
+    server.shutdown();
+    engine.shutdown();
+}
+
+fn render_json(scheme: Scheme, requests_per_client: usize, rows: &[Row]) -> String {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"dbi-service load generator, {GROUPS} groups x BL{BURST_LEN}, {ACCESSES_PER_REQUEST} accesses/request\","
+    );
+    let _ = writeln!(json, "  \"scheme\": \"{scheme}\",");
+    let _ = writeln!(json, "  \"requests_per_client\": {requests_per_client},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (index, row) in rows.iter().enumerate() {
+        let comma = if index + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"transport\": \"{}\", \"profile\": \"{}\", \"clients\": {}, \
+             \"requests\": {}, \"requests_per_s\": {:.0}, \"bursts_per_s\": {:.0}, \
+             \"p50_us\": {:.2}, \"p99_us\": {:.2}}}{comma}",
+            row.transport,
+            row.profile,
+            row.clients,
+            row.requests,
+            row.requests as f64 / row.elapsed_s,
+            row.bursts as f64 / row.elapsed_s,
+            row.p50_us,
+            row.p99_us,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push('}');
+    json.push('\n');
+    json
+}

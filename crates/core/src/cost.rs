@@ -140,6 +140,35 @@ impl CostWeights {
     pub fn weighted(&self, breakdown: CostBreakdown) -> u64 {
         u64::from(self.alpha) * breakdown.transitions + u64::from(self.beta) * breakdown.zeros
     }
+
+    /// Size of the little-endian wire encoding produced by
+    /// [`CostWeights::to_le_bytes`]: α then β, 4 bytes each.
+    pub const WIRE_BYTES: usize = 8;
+
+    /// The coefficients as fixed-width little-endian bytes (α first), for
+    /// binary wire protocols.
+    #[must_use]
+    pub fn to_le_bytes(self) -> [u8; Self::WIRE_BYTES] {
+        let mut bytes = [0u8; Self::WIRE_BYTES];
+        bytes[..4].copy_from_slice(&self.alpha.to_le_bytes());
+        bytes[4..].copy_from_slice(&self.beta.to_le_bytes());
+        bytes
+    }
+
+    /// Reconstructs coefficients from their [`CostWeights::to_le_bytes`]
+    /// form, re-applying the [`CostWeights::new`] validity checks.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CostWeights::new`]: both coefficients zero, or
+    /// either above [`MAX_WEIGHT`].
+    pub fn from_le_bytes(bytes: [u8; Self::WIRE_BYTES]) -> Result<Self> {
+        let mut alpha = [0u8; 4];
+        let mut beta = [0u8; 4];
+        alpha.copy_from_slice(&bytes[..4]);
+        beta.copy_from_slice(&bytes[4..]);
+        CostWeights::new(u32::from_le_bytes(alpha), u32::from_le_bytes(beta))
+    }
 }
 
 impl Default for CostWeights {
@@ -223,6 +252,34 @@ impl CostBreakdown {
     pub fn dominates(&self, other: &CostBreakdown) -> bool {
         (self.zeros <= other.zeros && self.transitions <= other.transitions)
             && (self.zeros < other.zeros || self.transitions < other.transitions)
+    }
+
+    /// Size of the little-endian wire encoding produced by
+    /// [`CostBreakdown::to_le_bytes`]: zeros then transitions, 8 bytes each.
+    pub const WIRE_BYTES: usize = 16;
+
+    /// The breakdown as fixed-width little-endian bytes (zeros first,
+    /// transitions second), for binary wire protocols.
+    #[must_use]
+    pub fn to_le_bytes(self) -> [u8; Self::WIRE_BYTES] {
+        let mut bytes = [0u8; Self::WIRE_BYTES];
+        bytes[..8].copy_from_slice(&self.zeros.to_le_bytes());
+        bytes[8..].copy_from_slice(&self.transitions.to_le_bytes());
+        bytes
+    }
+
+    /// Reconstructs a breakdown from its [`CostBreakdown::to_le_bytes`]
+    /// form. Every byte pattern is a valid breakdown.
+    #[must_use]
+    pub fn from_le_bytes(bytes: [u8; Self::WIRE_BYTES]) -> Self {
+        let mut zeros = [0u8; 8];
+        let mut transitions = [0u8; 8];
+        zeros.copy_from_slice(&bytes[..8]);
+        transitions.copy_from_slice(&bytes[8..]);
+        CostBreakdown {
+            zeros: u64::from_le_bytes(zeros),
+            transitions: u64::from_le_bytes(transitions),
+        }
     }
 }
 
@@ -371,5 +428,38 @@ mod tests {
             CostBreakdown::new(1, 2).to_string(),
             "zeros=1 transitions=2"
         );
+    }
+
+    #[test]
+    fn wire_bytes_roundtrip() {
+        for breakdown in [
+            CostBreakdown::ZERO,
+            CostBreakdown::new(1, u64::MAX),
+            CostBreakdown::new(0xDEAD_BEEF, 42),
+        ] {
+            assert_eq!(
+                CostBreakdown::from_le_bytes(breakdown.to_le_bytes()),
+                breakdown
+            );
+        }
+        for weights in [
+            CostWeights::FIXED,
+            CostWeights::DC_ONLY,
+            CostWeights::new(7, MAX_WEIGHT).unwrap(),
+        ] {
+            assert_eq!(
+                CostWeights::from_le_bytes(weights.to_le_bytes()),
+                Ok(weights)
+            );
+        }
+        // Deserialisation re-validates: an all-zero pair is rejected.
+        assert_eq!(
+            CostWeights::from_le_bytes([0u8; CostWeights::WIRE_BYTES]),
+            Err(DbiError::ZeroWeights)
+        );
+        // The layout is little-endian, zeros before transitions.
+        let bytes = CostBreakdown::new(1, 2).to_le_bytes();
+        assert_eq!(bytes[0], 1);
+        assert_eq!(bytes[8], 2);
     }
 }

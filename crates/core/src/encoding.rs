@@ -67,6 +67,26 @@ impl InversionMask {
         self.0
     }
 
+    /// Size of the little-endian wire encoding produced by
+    /// [`InversionMask::to_le_bytes`].
+    pub const WIRE_BYTES: usize = 4;
+
+    /// The mask as fixed-width little-endian bytes, for binary wire
+    /// protocols and on-disk formats.
+    #[must_use]
+    pub const fn to_le_bytes(self) -> [u8; Self::WIRE_BYTES] {
+        self.0.to_le_bytes()
+    }
+
+    /// Reconstructs a mask from its [`InversionMask::to_le_bytes`] form.
+    /// Every bit pattern is a structurally valid mask; width checks against
+    /// a specific burst remain the caller's job
+    /// ([`InversionMask::validate_for_len`]).
+    #[must_use]
+    pub const fn from_le_bytes(bytes: [u8; Self::WIRE_BYTES]) -> Self {
+        InversionMask(u32::from_le_bytes(bytes))
+    }
+
     /// `true` when byte `index` is transmitted inverted.
     #[must_use]
     pub const fn is_inverted(self, index: usize) -> bool {
@@ -461,6 +481,15 @@ mod tests {
             })
         );
         assert!(InversionMask::NONE.validate_for_len(0).is_ok());
+    }
+
+    #[test]
+    fn mask_wire_bytes_roundtrip() {
+        for bits in [0u32, 1, 0xFFFF_FFFF, 0b1010_1010] {
+            let mask = InversionMask::from_bits(bits);
+            assert_eq!(InversionMask::from_le_bytes(mask.to_le_bytes()), mask);
+        }
+        assert_eq!(InversionMask::from_bits(0x0102_0304).to_le_bytes()[0], 4);
     }
 
     #[test]

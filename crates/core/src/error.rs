@@ -41,6 +41,9 @@ pub enum DbiError {
         /// The maximum supported value.
         max: u64,
     },
+    /// A scheme name could not be parsed by
+    /// [`Scheme::from_str`](crate::Scheme).
+    UnknownScheme(String),
 }
 
 impl fmt::Display for DbiError {
@@ -71,6 +74,9 @@ impl fmt::Display for DbiError {
                     f,
                     "cost coefficient {value} exceeds the supported maximum of {max}"
                 )
+            }
+            DbiError::UnknownScheme(name) => {
+                write!(f, "unknown DBI scheme name {name:?}")
             }
         }
     }
@@ -106,6 +112,7 @@ mod tests {
                 },
                 "exceeds",
             ),
+            (DbiError::UnknownScheme("dbi-zzz".to_owned()), "dbi-zzz"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -265,6 +265,67 @@ impl fmt::Display for Scheme {
     }
 }
 
+impl core::str::FromStr for Scheme {
+    type Err = crate::error::DbiError;
+
+    /// Parses a scheme name — the inverse of [`Scheme`]'s `Display`.
+    ///
+    /// Accepted spellings, all case-insensitive:
+    ///
+    /// * the canonical display names: `"RAW"`, `"DBI DC"`, `"DBI AC"`,
+    ///   `"DBI ACDC"`, `"Greedy"`, `"DBI OPT"`, `"DBI OPT (Fixed)"`;
+    /// * short aliases: `"dc"`, `"ac"`, `"acdc"`, `"greedy"`, `"opt"`,
+    ///   `"opt-fixed"` (also `opt_fixed` / `optfixed`);
+    /// * explicit coefficients for the parametric schemes:
+    ///   `"opt:ALPHA,BETA"` and `"greedy:ALPHA,BETA"`, e.g. `"opt:2,3"`.
+    ///
+    /// The bare names `"greedy"` and `"opt"` (and the display names
+    /// `"Greedy"` / `"DBI OPT"`, which do not spell out their weights)
+    /// parse to the fixed coefficients α = β = 1, so
+    /// `s.to_string().parse()` round-trips for every scheme in
+    /// [`Scheme::paper_set`] and [`Scheme::conventional_set`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::UnknownScheme`](crate::DbiError::UnknownScheme)
+    /// for unrecognised names, and the underlying coefficient error for
+    /// out-of-range `ALPHA,BETA` suffixes.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        let lower = trimmed.to_ascii_lowercase();
+
+        // Parametric forms carry their coefficients after a colon.
+        if let Some((head, tail)) = lower.split_once(':') {
+            let weights = parse_weights(trimmed, tail)?;
+            return match head.trim() {
+                "opt" | "dbi opt" => Ok(Scheme::Opt(weights)),
+                "greedy" => Ok(Scheme::Greedy(weights)),
+                _ => Err(crate::error::DbiError::UnknownScheme(trimmed.to_owned())),
+            };
+        }
+
+        match lower.as_str() {
+            "raw" | "none" => Ok(Scheme::Raw),
+            "dc" | "dbi dc" | "dbi-dc" => Ok(Scheme::Dc),
+            "ac" | "dbi ac" | "dbi-ac" => Ok(Scheme::Ac),
+            "acdc" | "dbi acdc" | "dbi-acdc" => Ok(Scheme::AcDc),
+            "greedy" => Ok(Scheme::Greedy(CostWeights::FIXED)),
+            "opt" | "dbi opt" | "dbi-opt" => Ok(Scheme::Opt(CostWeights::FIXED)),
+            "opt-fixed" | "opt_fixed" | "optfixed" | "dbi opt (fixed)" => Ok(Scheme::OptFixed),
+            _ => Err(crate::error::DbiError::UnknownScheme(trimmed.to_owned())),
+        }
+    }
+}
+
+/// Parses the `ALPHA,BETA` suffix of a parametric scheme name.
+fn parse_weights(original: &str, tail: &str) -> Result<CostWeights, crate::error::DbiError> {
+    let unknown = || crate::error::DbiError::UnknownScheme(original.to_owned());
+    let (alpha, beta) = tail.split_once(',').ok_or_else(unknown)?;
+    let alpha: u32 = alpha.trim().parse().map_err(|_| unknown())?;
+    let beta: u32 = beta.trim().parse().map_err(|_| unknown())?;
+    CostWeights::new(alpha, beta)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,5 +425,63 @@ mod tests {
     fn display_matches_name() {
         assert_eq!(Scheme::OptFixed.to_string(), "DBI OPT (Fixed)");
         assert_eq!(Scheme::Raw.to_string(), "RAW");
+    }
+
+    #[test]
+    fn from_str_roundtrips_the_display_names() {
+        let mut all: Vec<Scheme> = Scheme::paper_set().to_vec();
+        all.extend_from_slice(Scheme::conventional_set());
+        all.push(Scheme::Greedy(CostWeights::FIXED));
+        for scheme in all {
+            let parsed: Scheme = scheme.to_string().parse().unwrap();
+            assert_eq!(parsed, scheme, "display name {scheme} must parse back");
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_short_aliases_case_insensitively() {
+        let cases: [(&str, Scheme); 8] = [
+            ("raw", Scheme::Raw),
+            ("DC", Scheme::Dc),
+            ("ac", Scheme::Ac),
+            ("AcDc", Scheme::AcDc),
+            ("greedy", Scheme::Greedy(CostWeights::FIXED)),
+            ("opt", Scheme::Opt(CostWeights::FIXED)),
+            ("OPT-FIXED", Scheme::OptFixed),
+            (" opt_fixed ", Scheme::OptFixed),
+        ];
+        for (name, expected) in cases {
+            assert_eq!(name.parse::<Scheme>().unwrap(), expected, "alias {name:?}");
+        }
+    }
+
+    #[test]
+    fn from_str_parses_explicit_coefficients() {
+        assert_eq!(
+            "opt:2,3".parse::<Scheme>().unwrap(),
+            Scheme::Opt(CostWeights::new(2, 3).unwrap())
+        );
+        assert_eq!(
+            "Greedy: 4 , 1 ".parse::<Scheme>().unwrap(),
+            Scheme::Greedy(CostWeights::new(4, 1).unwrap())
+        );
+        // Coefficient errors surface as the underlying weight error.
+        assert_eq!(
+            "opt:0,0".parse::<Scheme>(),
+            Err(crate::error::DbiError::ZeroWeights)
+        );
+    }
+
+    #[test]
+    fn from_str_rejects_unknown_names_with_a_typed_error() {
+        for bad in ["", "dbi", "opt:1", "opt:a,b", "raw:1,2", "zzz"] {
+            assert!(
+                matches!(
+                    bad.parse::<Scheme>(),
+                    Err(crate::error::DbiError::UnknownScheme(_))
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 }

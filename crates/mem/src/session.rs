@@ -35,7 +35,7 @@
 use crate::config::ChannelConfig;
 use crate::error::{MemError, Result};
 use core::fmt;
-use dbi_core::{Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, Scheme};
+use dbi_core::{Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, InversionMask, Scheme};
 
 /// Aggregate wire activity of one encoded stream, per lane group and in
 /// total.
@@ -190,12 +190,42 @@ impl BusSession {
     /// Returns [`MemError::BadAccessSize`] when `data` is empty or not a
     /// multiple of [`BusSession::access_bytes`].
     pub fn encode_stream(&mut self, data: &[u8]) -> Result<ChannelActivity> {
+        let mut per_group = Vec::new();
+        let bursts = self.encode_stream_into(data, &mut per_group, None)?;
+        Ok(ChannelActivity { bursts, per_group })
+    }
+
+    /// [`BusSession::encode_stream`] into caller-owned storage: the
+    /// steady-state form for services that must not allocate per request.
+    ///
+    /// `per_group` is cleared and refilled with one [`CostBreakdown`] per
+    /// lane group; when `masks` is supplied it is cleared and receives the
+    /// per-burst inversion decisions in transmission order (group-major
+    /// within each access: access 0 group 0, access 0 group 1, ...). Both
+    /// buffers reuse their existing capacity, so a warmed-up caller pays no
+    /// heap allocation at all. Returns the number of bursts encoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadAccessSize`] when `data` is empty or not a
+    /// multiple of [`BusSession::access_bytes`]; the output buffers are
+    /// left cleared but otherwise untouched.
+    pub fn encode_stream_into(
+        &mut self,
+        data: &[u8],
+        per_group: &mut Vec<CostBreakdown>,
+        mut masks: Option<&mut Vec<InversionMask>>,
+    ) -> Result<u64> {
+        per_group.clear();
+        if let Some(masks) = masks.as_deref_mut() {
+            masks.clear();
+        }
         self.check_stream(data)?;
         let groups = self.groups.len();
         let burst_len = self.burst_len;
         let accesses = data.len() / self.access_bytes();
+        per_group.resize(groups, CostBreakdown::ZERO);
 
-        let mut per_group = vec![CostBreakdown::ZERO; groups];
         let mut scratch = core::mem::take(&mut self.scratch);
         for access in 0..accesses {
             let base = access * groups * burst_len;
@@ -205,15 +235,18 @@ impl BusSession {
                 // Move the gather buffer into the burst and recover it
                 // afterwards: no allocation per burst.
                 let burst = Burst::new(scratch).expect("burst length is positive");
-                *activity += self.drive_burst(group, &burst);
+                let state = self.groups[group];
+                let mask = self.encoder.encode_mask(&burst, &state);
+                *activity += mask.breakdown(&burst, &state);
+                self.groups[group] = mask.final_state(&burst, &state);
+                if let Some(masks) = masks.as_deref_mut() {
+                    masks.push(mask);
+                }
                 scratch = burst.into_bytes();
             }
         }
         self.scratch = scratch;
-        Ok(ChannelActivity {
-            bursts: (accesses * groups) as u64,
-            per_group,
-        })
+        Ok((accesses * groups) as u64)
     }
 
     /// Encodes the same beat-interleaved stream with one rayon task per
@@ -290,6 +323,80 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         (0..len).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        // The service layer moves sessions into shard worker threads; keep
+        // that property guarded at compile time.
+        fn assert_send<T: Send>() {}
+        assert_send::<BusSession>();
+        assert_send::<ChannelActivity>();
+    }
+
+    #[test]
+    fn encode_stream_into_matches_encode_stream_and_collects_masks() {
+        let config = ChannelConfig::gddr5x();
+        let data = test_stream(config.access_bytes() * 32, 0x1234);
+        for scheme in Scheme::paper_set().iter().copied() {
+            let mut plain = BusSession::new(&config, scheme);
+            let expected = plain.encode_stream(&data).unwrap();
+
+            let mut into = BusSession::new(&config, scheme);
+            let mut per_group = Vec::new();
+            let mut masks = Vec::new();
+            let bursts = into
+                .encode_stream_into(&data, &mut per_group, Some(&mut masks))
+                .unwrap();
+            assert_eq!(bursts, expected.bursts, "{scheme}");
+            assert_eq!(per_group, expected.per_group, "{scheme}");
+            assert_eq!(masks.len(), bursts as usize, "{scheme}");
+            for group in 0..plain.group_count() {
+                assert_eq!(plain.group_state(group), into.group_state(group));
+            }
+
+            // The collected masks are exactly the per-burst decisions a
+            // drive_burst walk would make, in transmission order.
+            let mut reference = BusSession::new(&config, scheme);
+            let groups = reference.group_count();
+            let burst_len = reference.burst_len();
+            let mut index = 0;
+            for access in 0..data.len() / reference.access_bytes() {
+                let base = access * groups * burst_len;
+                for group in 0..groups {
+                    let bytes: Vec<u8> = (0..burst_len)
+                        .map(|beat| data[base + beat * groups + group])
+                        .collect();
+                    let burst = Burst::new(bytes).unwrap();
+                    let state = reference.group_state(group).unwrap();
+                    let mask = scheme.encode_mask(&burst, &state);
+                    reference.drive_burst(group, &burst);
+                    assert_eq!(masks[index], mask, "{scheme}: burst {index}");
+                    index += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_stream_into_reuses_buffers_and_clears_on_error() {
+        let config = ChannelConfig::gddr5x();
+        let mut session = BusSession::new(&config, Scheme::Ac);
+        let data = test_stream(config.access_bytes() * 2, 9);
+        let mut per_group = vec![CostBreakdown::new(9, 9); 7];
+        let mut masks = vec![InversionMask::from_bits(1); 3];
+        let bursts = session
+            .encode_stream_into(&data, &mut per_group, Some(&mut masks))
+            .unwrap();
+        assert_eq!(per_group.len(), session.group_count());
+        assert_eq!(masks.len(), bursts as usize);
+
+        // Errors leave both buffers cleared, never stale.
+        assert!(session
+            .encode_stream_into(&[0u8; 3], &mut per_group, Some(&mut masks))
+            .is_err());
+        assert!(per_group.is_empty());
+        assert!(masks.is_empty());
     }
 
     #[test]

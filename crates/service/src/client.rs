@@ -1,0 +1,198 @@
+//! The TCP client.
+//!
+//! [`TcpClient`] speaks the [`wire`] protocol over one
+//! [`std::net::TcpStream`], request–response style, and exposes the same
+//! [`EncodeRequest`]/[`EncodeReply`] types as the in-process
+//! [`LocalClient`](crate::LocalClient) — code written against one client
+//! works against the other. The frame buffers are owned by the client and
+//! reused, so a steady request loop settles into zero buffer reallocation
+//! (the socket itself, of course, still costs syscalls).
+
+use crate::engine::{EncodeReply, EncodeRequest};
+use crate::error::ClientError;
+use crate::wire::{self, Frame, HEADER_LEN};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Reads exactly one frame into `buf` (header + body, replacing previous
+/// contents). Returns `Ok(false)` on a clean end-of-stream at a frame
+/// boundary, `Ok(true)` when `buf` holds a complete frame.
+///
+/// The header is validated *before* the body is read, so a corrupt or
+/// hostile length field ([`wire::MAX_BODY_LEN`] bound, bad magic, wrong
+/// version) is rejected without reading — let alone allocating — the body.
+pub(crate) fn read_frame(reader: &mut impl Read, buf: &mut Vec<u8>) -> Result<bool, ClientError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = reader.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(wire::WireError::Truncated {
+                needed: HEADER_LEN,
+                got: filled,
+            }
+            .into());
+        }
+        filled += n;
+    }
+    let parsed = wire::parse_header(&header)?;
+    buf.clear();
+    buf.extend_from_slice(&header);
+    buf.resize(HEADER_LEN + parsed.body_len, 0);
+    reader.read_exact(&mut buf[HEADER_LEN..])?;
+    Ok(true)
+}
+
+/// A blocking request–response client over TCP.
+#[derive(Debug)]
+pub struct TcpClient {
+    stream: TcpStream,
+    in_buf: Vec<u8>,
+    out_buf: Vec<u8>,
+}
+
+impl TcpClient {
+    /// Connects to a service and disables Nagle batching (the protocol is
+    /// strict request–response, so delaying small frames only adds
+    /// latency).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from establishing the connection.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(TcpClient {
+            stream,
+            in_buf: Vec::new(),
+            out_buf: Vec::new(),
+        })
+    }
+
+    /// Executes one encode request over the socket. Results are written
+    /// into `reply`, whose buffers are cleared and refilled.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClientError::Io`] — the transport failed mid-exchange;
+    /// * [`ClientError::Wire`] — the service sent a malformed frame;
+    /// * [`ClientError::Remote`] — the service answered with an error
+    ///   frame (overload, bad payload, session mismatch, ...);
+    /// * [`ClientError::UnexpectedResponse`] — the service answered with
+    ///   a frame that is not a response to this request.
+    pub fn encode(
+        &mut self,
+        request: &EncodeRequest<'_>,
+        reply: &mut EncodeReply,
+    ) -> Result<(), ClientError> {
+        self.out_buf.clear();
+        request.encode_into(&mut self.out_buf);
+        self.stream.write_all(&self.out_buf)?;
+        if !read_frame(&mut self.stream, &mut self.in_buf)? {
+            return Err(closed_early().into());
+        }
+        match wire::decode_frame(&self.in_buf)?.0 {
+            Frame::EncodeResponse(view) => {
+                if view.session_id != request.session_id {
+                    return Err(ClientError::UnexpectedResponse);
+                }
+                reply.bursts = view.bursts;
+                reply.per_group.clear();
+                reply.per_group.extend(view.per_group());
+                reply.masks.clear();
+                reply.masks.extend(view.masks());
+                Ok(())
+            }
+            Frame::Error(view) => Err(ClientError::Remote {
+                code: view.code,
+                message: view.message.to_owned(),
+            }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Fetches the service's metrics snapshot as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`TcpClient::encode`].
+    pub fn metrics_json(&mut self) -> Result<String, ClientError> {
+        self.out_buf.clear();
+        wire::encode_metrics_request(&mut self.out_buf);
+        self.stream.write_all(&self.out_buf)?;
+        if !read_frame(&mut self.stream, &mut self.in_buf)? {
+            return Err(closed_early().into());
+        }
+        match wire::decode_frame(&self.in_buf)?.0 {
+            Frame::MetricsResponse(json) => Ok(json.to_owned()),
+            Frame::Error(view) => Err(ClientError::Remote {
+                code: view.code,
+                message: view.message.to_owned(),
+            }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+}
+
+fn closed_early() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        "the service closed the connection before answering",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireError;
+
+    #[test]
+    fn read_frame_distinguishes_clean_eof_from_truncation() {
+        let mut buf = Vec::new();
+        let mut empty: &[u8] = &[];
+        assert!(!read_frame(&mut empty, &mut buf).unwrap());
+
+        let mut whole = Vec::new();
+        wire::encode_metrics_request(&mut whole);
+        let mut cursor: &[u8] = &whole;
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, whole);
+
+        // A stream that dies inside the header is a wire error, not EOF.
+        let mut partial: &[u8] = &whole[..3];
+        assert!(matches!(
+            read_frame(&mut partial, &mut buf),
+            Err(ClientError::Wire(WireError::Truncated {
+                needed: 8,
+                got: 3
+            }))
+        ));
+
+        // A stream that dies inside the body is a transport error.
+        let mut long = Vec::new();
+        wire::encode_metrics_response(&mut long, "{\"x\":1}");
+        let mut partial: &[u8] = &long[..long.len() - 2];
+        assert!(matches!(
+            read_frame(&mut partial, &mut buf),
+            Err(ClientError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_the_body_is_read() {
+        let mut frame = Vec::new();
+        wire::encode_metrics_request(&mut frame);
+        frame[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor: &[u8] = &frame;
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut cursor, &mut buf),
+            Err(ClientError::Wire(WireError::Oversized { .. }))
+        ));
+        // The rejected body was never buffered.
+        assert!(buf.capacity() < 1024);
+    }
+}

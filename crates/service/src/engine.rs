@@ -1,0 +1,1006 @@
+//! The sharded encode engine.
+//!
+//! [`Engine::start`] spawns N worker threads. Each worker owns a **shard**:
+//! a bounded job queue and a private map of encode sessions
+//! ([`dbi_mem::BusSession`]) keyed by client session id. Requests are
+//! routed by `shard_of(session_id)`, so a given session always lands on
+//! the same worker — *sticky sharding* — which is what lets the carried
+//! bus state of every session evolve exactly as it would in a
+//! single-threaded run. No session is ever shared between threads, so the
+//! workers need no locks around the encode hot path.
+//!
+//! Queues are bounded: when a shard's queue is full, submission fails
+//! *immediately* with [`ServiceError::Overloaded`] — explicit backpressure
+//! instead of unbounded memory growth. Rejections, queue depth and
+//! per-request work are all counted in the per-shard
+//! [`metrics`](crate::metrics).
+//!
+//! ## The allocation-free request path
+//!
+//! A [`LocalClient`] owns one reusable **request slot**: a mutex-protected
+//! scratch area holding the request payload and the response buffers. A
+//! call copies the payload into the slot, enqueues a reference-counted
+//! pointer to it, and blocks on the slot's condvar; the worker encodes
+//! straight into the slot's buffers (via
+//! [`BusSession::encode_stream_into`]) and signals completion. Every
+//! buffer in this round trip — payload, per-group activity, mask stream,
+//! queue storage — reuses capacity from previous requests, so a warmed-up
+//! client performs **zero heap allocations per request** (asserted by the
+//! counting-allocator test in `tests/local_alloc.rs`).
+
+use crate::error::ServiceError;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::wire::EncodeRequestFrame;
+use dbi_core::{BusState, CostBreakdown, InversionMask, LaneWord, Scheme};
+use dbi_mem::{BusSession, ChannelActivity};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The request type accepted by both the in-process [`LocalClient`] and the
+/// TCP [`TcpClient`](crate::TcpClient) — identical to the wire frame, so a
+/// request can be sent either way without translation.
+pub type EncodeRequest<'a> = EncodeRequestFrame<'a>;
+
+/// Largest accepted lane-group count. A x64 channel is 8 groups; 64 leaves
+/// generous headroom for exotic geometries without letting a hostile frame
+/// demand gigabytes of per-session state.
+pub const MAX_GROUPS: u16 = 64;
+
+/// Largest accepted burst length — the [`dbi_core::InversionMask`] limit.
+pub const MAX_BURST_LEN: u8 = 32;
+
+/// Build-time configuration of an [`Engine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads, each owning one shard of sessions. At least 1.
+    pub shards: usize,
+    /// Jobs a shard queue holds before submissions are rejected with
+    /// [`ServiceError::Overloaded`]. At least 1.
+    pub queue_capacity: usize,
+    /// Largest accepted request payload in bytes.
+    pub max_payload: usize,
+    /// Sessions one shard will hold before new session ids are rejected
+    /// with [`ServiceError::SessionLimit`] — the bound that keeps a peer
+    /// cycling through fresh ids from growing worker memory without limit.
+    pub max_sessions_per_shard: usize,
+}
+
+impl Default for ServiceConfig {
+    /// Shards default to the machine's parallelism capped at 4; queues
+    /// hold 64 requests; payloads up to 1 MiB; 4096 sessions per shard.
+    fn default() -> Self {
+        ServiceConfig {
+            shards: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
+            queue_capacity: 64,
+            max_payload: 1 << 20,
+            max_sessions_per_shard: 4096,
+        }
+    }
+}
+
+/// Where a request slot currently is in its life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Owned by the client, not visible to any worker.
+    Idle,
+    /// Enqueued on a shard; a worker will fill in the response.
+    Queued,
+    /// The worker finished; the response fields are valid.
+    Done,
+}
+
+/// The scratch area one client call round-trips through. All buffers are
+/// reused across calls.
+#[derive(Debug)]
+struct SlotState {
+    // Request (written by the client, read by the worker).
+    session_id: u64,
+    scheme: Scheme,
+    groups: u16,
+    burst_len: u8,
+    want_masks: bool,
+    payload: Vec<u8>,
+    // Response (written by the worker, read by the client).
+    phase: Phase,
+    result: Result<u64, ServiceError>,
+    per_group: Vec<CostBreakdown>,
+    masks: Vec<InversionMask>,
+}
+
+#[derive(Debug)]
+struct RequestSlot {
+    state: Mutex<SlotState>,
+    done: Condvar,
+}
+
+impl RequestSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(RequestSlot {
+            state: Mutex::new(SlotState {
+                session_id: 0,
+                scheme: Scheme::Raw,
+                groups: 0,
+                burst_len: 0,
+                want_masks: false,
+                payload: Vec::new(),
+                phase: Phase::Idle,
+                result: Err(ServiceError::Internal("request never executed")),
+                per_group: Vec::new(),
+                masks: Vec::new(),
+            }),
+            done: Condvar::new(),
+        })
+    }
+}
+
+/// A bounded multi-producer queue feeding one shard worker.
+#[derive(Debug)]
+struct ShardQueue {
+    inner: Mutex<QueueState>,
+    not_empty: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    jobs: VecDeque<Arc<RequestSlot>>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl ShardQueue {
+    fn new(capacity: usize) -> Self {
+        ShardQueue {
+            inner: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                capacity,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking enqueue: a full queue is an immediate, explicit
+    /// overload signal, never a stall.
+    fn try_push(&self, shard: usize, job: Arc<RequestSlot>) -> Result<(), ServiceError> {
+        let mut state = self.inner.lock().expect("queue mutex poisoned");
+        if state.closed {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if state.jobs.len() >= state.capacity {
+            return Err(ServiceError::Overloaded { shard });
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking dequeue; `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<Arc<RequestSlot>> {
+        let mut state = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue mutex poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("queue mutex poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// One shard worker's per-session state: the encode session plus, for the
+/// transitions-saved metric, the carried last raw word of each group.
+struct SessionEntry {
+    scheme: Scheme,
+    session: BusSession,
+    /// What the wires would have last carried had the stream been sent
+    /// uninverted, one word per group; `None` for RAW sessions (nothing
+    /// to save against). Lets the savings metric be a single cheap walk
+    /// over the payload instead of a second full encode.
+    raw_prev: Option<Vec<LaneWord>>,
+}
+
+impl SessionEntry {
+    fn new(scheme: Scheme, groups: u16, burst_len: u8) -> Self {
+        let raw_prev =
+            (scheme != Scheme::Raw).then(|| vec![BusState::idle().last(); usize::from(groups)]);
+        SessionEntry {
+            scheme,
+            session: BusSession::with_geometry(usize::from(groups), usize::from(burst_len), scheme),
+            raw_prev,
+        }
+    }
+
+    fn matches(&self, scheme: Scheme, groups: u16, burst_len: u8) -> bool {
+        self.scheme == scheme
+            && self.session.group_count() == usize::from(groups)
+            && self.session.burst_len() == usize::from(burst_len)
+    }
+}
+
+#[derive(Debug)]
+struct EngineInner {
+    config: ServiceConfig,
+    queues: Vec<Arc<ShardQueue>>,
+    metrics: Arc<MetricsRegistry>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    stopped: AtomicBool,
+}
+
+/// A running sharded encode engine. Cheap to clone (`Arc` inside); the
+/// worker threads stop when [`Engine::shutdown`] is called or the last
+/// clone is dropped.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.inner.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Starts the shard workers and returns a handle to the running
+    /// engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` or `config.queue_capacity` is zero.
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> Engine {
+        assert!(config.shards > 0, "an engine needs at least one shard");
+        assert!(
+            config.queue_capacity > 0,
+            "a shard queue needs room for at least one request"
+        );
+        assert!(
+            config.max_sessions_per_shard > 0,
+            "a shard needs room for at least one session"
+        );
+        let queues: Vec<Arc<ShardQueue>> = (0..config.shards)
+            .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
+            .collect();
+        let metrics = Arc::new(MetricsRegistry::new(config.shards));
+        let workers = queues
+            .iter()
+            .enumerate()
+            .map(|(shard, queue)| {
+                let queue = Arc::clone(queue);
+                let metrics = Arc::clone(&metrics);
+                let max_sessions = config.max_sessions_per_shard;
+                std::thread::Builder::new()
+                    .name(format!("dbi-shard-{shard}"))
+                    .spawn(move || worker_loop(shard, &queue, &metrics, max_sessions))
+                    .expect("spawning a shard worker failed")
+            })
+            .collect();
+        Engine {
+            inner: Arc::new(EngineInner {
+                config,
+                queues,
+                metrics,
+                workers: Mutex::new(workers),
+                stopped: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Creates an in-process client with its own reusable request slot.
+    /// Clients are independent; create one per thread.
+    #[must_use]
+    pub fn local_client(&self) -> LocalClient {
+        LocalClient {
+            engine: Arc::clone(&self.inner),
+            slot: RequestSlot::new(),
+        }
+    }
+
+    /// Number of shards (worker threads).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.inner.config.shards
+    }
+
+    /// The shard a session id is sticky to.
+    #[must_use]
+    pub fn shard_of(&self, session_id: u64) -> usize {
+        self.inner.shard_of(session_id)
+    }
+
+    /// A point-in-time snapshot of every shard's counters.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// The metrics snapshot in its wire JSON form.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
+    }
+
+    /// Stops admitting requests, drains the queues and joins the workers.
+    /// Idempotent; also runs when the last engine handle is dropped.
+    pub fn shutdown(&self) {
+        self.inner.shutdown();
+    }
+}
+
+impl EngineInner {
+    /// Fibonacci-hash the session id onto a shard: sticky and well spread
+    /// even for sequential ids.
+    fn shard_of(&self, session_id: u64) -> usize {
+        let mixed = session_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((mixed >> 32) as usize) % self.config.shards
+    }
+
+    fn validate(&self, request: &EncodeRequest<'_>) -> Result<(), ServiceError> {
+        if request.groups == 0
+            || request.groups > MAX_GROUPS
+            || request.burst_len == 0
+            || request.burst_len > MAX_BURST_LEN
+        {
+            return Err(ServiceError::BadGeometry {
+                groups: request.groups,
+                burst_len: request.burst_len,
+            });
+        }
+        if request.payload.len() > self.config.max_payload {
+            return Err(ServiceError::PayloadTooLarge {
+                got: request.payload.len(),
+                max: self.config.max_payload,
+            });
+        }
+        let access = usize::from(request.groups) * usize::from(request.burst_len);
+        if request.payload.is_empty() || !request.payload.len().is_multiple_of(access) {
+            return Err(ServiceError::BadPayload {
+                got: request.payload.len(),
+                expected_multiple: access,
+            });
+        }
+        // Wire parity: whatever the engine admits must be expressible as
+        // frames in *both* directions, whatever `max_payload` is set to —
+        // otherwise a LocalClient could execute requests a TcpClient can
+        // never send, or the server could compute a response it cannot
+        // frame (one mask per burst makes responses up to 4x the payload).
+        let request_body = crate::wire::REQUEST_HEAD_LEN + request.payload.len();
+        let mask_bytes = if request.want_masks {
+            (request.payload.len() / usize::from(request.burst_len)) * InversionMask::WIRE_BYTES
+        } else {
+            0
+        };
+        let response_body = crate::wire::RESPONSE_HEAD_LEN
+            + usize::from(request.groups) * CostBreakdown::WIRE_BYTES
+            + mask_bytes;
+        if request_body.max(response_body) > crate::wire::MAX_BODY_LEN {
+            return Err(ServiceError::PayloadTooLarge {
+                got: request.payload.len(),
+                max: crate::wire::MAX_BODY_LEN,
+            });
+        }
+        Ok(())
+    }
+
+    fn shutdown(&self) {
+        if self.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for queue in &self.queues {
+            queue.close();
+        }
+        let workers = core::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for EngineInner {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// An in-process client: the same request/response semantics as the TCP
+/// path, minus the socket — deterministic and allocation-free in steady
+/// state.
+#[derive(Debug)]
+pub struct LocalClient {
+    engine: Arc<EngineInner>,
+    slot: Arc<RequestSlot>,
+}
+
+impl LocalClient {
+    /// Executes one encode request, blocking until the shard worker has
+    /// encoded the payload. Results are written into `reply`, whose
+    /// buffers are cleared and refilled (reusing capacity).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServiceError::BadGeometry`] / [`ServiceError::BadPayload`] /
+    ///   [`ServiceError::PayloadTooLarge`] — the request never reached a
+    ///   shard;
+    /// * [`ServiceError::Overloaded`] — the shard queue was full
+    ///   (backpressure; retry later);
+    /// * [`ServiceError::ShuttingDown`] — the engine no longer admits work;
+    /// * [`ServiceError::SessionMismatch`] — the session id exists with a
+    ///   different scheme or geometry;
+    /// * [`ServiceError::SessionLimit`] — the target shard already holds
+    ///   its configured maximum number of sessions.
+    pub fn encode(
+        &mut self,
+        request: &EncodeRequest<'_>,
+        reply: &mut EncodeReply,
+    ) -> Result<(), ServiceError> {
+        let shard = self.engine.shard_of(request.session_id);
+        let shard_metrics = self.engine.metrics.shard(shard);
+        if let Err(err) = self.engine.validate(request) {
+            shard_metrics.record_reject();
+            return Err(err);
+        }
+
+        {
+            let mut state = self.slot.state.lock().expect("slot mutex poisoned");
+            debug_assert_eq!(state.phase, Phase::Idle, "slot reused while in flight");
+            state.session_id = request.session_id;
+            state.scheme = request.scheme;
+            state.groups = request.groups;
+            state.burst_len = request.burst_len;
+            state.want_masks = request.want_masks;
+            state.payload.clear();
+            state.payload.extend_from_slice(request.payload);
+            state.phase = Phase::Queued;
+        }
+
+        // Count the enqueue *before* the job becomes visible: a fast
+        // worker may pop and `dequeue()` immediately, and the depth
+        // counter must never transiently underflow.
+        shard_metrics.enqueue();
+        if let Err(err) = self.engine.queues[shard].try_push(shard, Arc::clone(&self.slot)) {
+            shard_metrics.dequeue();
+            self.slot.state.lock().expect("slot mutex poisoned").phase = Phase::Idle;
+            shard_metrics.record_reject();
+            return Err(err);
+        }
+
+        let mut state = self.slot.state.lock().expect("slot mutex poisoned");
+        while state.phase != Phase::Done {
+            state = self.slot.done.wait(state).expect("slot mutex poisoned");
+        }
+        state.phase = Phase::Idle;
+        match state.result {
+            Ok(bursts) => {
+                reply.bursts = bursts;
+                reply.per_group.clear();
+                reply.per_group.extend_from_slice(&state.per_group);
+                reply.masks.clear();
+                reply.masks.extend_from_slice(&state.masks);
+                Ok(())
+            }
+            Err(ref err) => Err(err.clone()),
+        }
+    }
+}
+
+/// An owned encode response. Reuse one across calls: the vectors are
+/// cleared and refilled, so a warmed-up reply never reallocates.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EncodeReply {
+    /// Per-group bursts encoded by the request.
+    pub bursts: u64,
+    /// Activity added by the request, one record per lane group.
+    pub per_group: Vec<CostBreakdown>,
+    /// Per-burst inversion decisions in transmission order; empty unless
+    /// the request asked for masks.
+    pub masks: Vec<InversionMask>,
+}
+
+impl EncodeReply {
+    /// An empty reply, ready to be filled by a client call.
+    #[must_use]
+    pub fn new() -> Self {
+        EncodeReply::default()
+    }
+
+    /// Total activity across all groups.
+    #[must_use]
+    pub fn total(&self) -> CostBreakdown {
+        self.per_group.iter().copied().sum()
+    }
+
+    /// The reply as a [`ChannelActivity`], for comparison against
+    /// [`BusSession`] results.
+    #[must_use]
+    pub fn activity(&self) -> ChannelActivity {
+        ChannelActivity {
+            bursts: self.bursts,
+            per_group: self.per_group.clone(),
+        }
+    }
+}
+
+fn worker_loop(shard: usize, queue: &ShardQueue, metrics: &MetricsRegistry, max_sessions: usize) {
+    let shard_metrics = metrics.shard(shard);
+    let mut sessions: HashMap<u64, SessionEntry> = HashMap::new();
+    while let Some(slot) = queue.pop() {
+        shard_metrics.dequeue();
+        let mut state = slot.state.lock().expect("slot mutex poisoned");
+        state.result = execute(
+            shard,
+            &mut sessions,
+            &mut state,
+            shard_metrics,
+            max_sessions,
+        );
+        state.phase = Phase::Done;
+        drop(state);
+        slot.done.notify_all();
+    }
+}
+
+/// Runs one validated request against the shard's session map, encoding
+/// straight into the slot's response buffers.
+fn execute(
+    shard: usize,
+    sessions: &mut HashMap<u64, SessionEntry>,
+    state: &mut SlotState,
+    metrics: &crate::metrics::ShardMetrics,
+    max_sessions: usize,
+) -> Result<u64, ServiceError> {
+    if sessions.len() >= max_sessions && !sessions.contains_key(&state.session_id) {
+        metrics.record_reject();
+        return Err(ServiceError::SessionLimit { shard });
+    }
+    let entry = match sessions.entry(state.session_id) {
+        Entry::Occupied(occupied) => {
+            let entry = occupied.into_mut();
+            if !entry.matches(state.scheme, state.groups, state.burst_len) {
+                metrics.record_reject();
+                return Err(ServiceError::SessionMismatch {
+                    session_id: state.session_id,
+                });
+            }
+            entry
+        }
+        Entry::Vacant(vacant) => {
+            metrics.session_created();
+            vacant.insert(SessionEntry::new(
+                state.scheme,
+                state.groups,
+                state.burst_len,
+            ))
+        }
+    };
+
+    // Disjoint borrows of the slot: payload in, activity and masks out.
+    let SlotState {
+        payload,
+        per_group,
+        masks,
+        want_masks,
+        ..
+    } = state;
+    let mask_sink = if *want_masks {
+        Some(&mut *masks)
+    } else {
+        masks.clear();
+        None
+    };
+    let bursts = entry
+        .session
+        .encode_stream_into(payload, per_group, mask_sink)
+        .map_err(|_| ServiceError::Internal("validated payload rejected by the session"))?;
+
+    // Transitions-saved metric: what the same stream would have cost the
+    // wires uninverted, minus what it actually cost. A single carried
+    // walk over the payload — no second encode. Skipped for RAW sessions.
+    let saved = match entry.raw_prev.as_deref_mut() {
+        Some(raw_prev) => {
+            let raw = raw_transitions(payload, raw_prev);
+            let encoded: u64 = per_group.iter().map(|b| b.transitions).sum();
+            raw.saturating_sub(encoded)
+        }
+        None => 0,
+    };
+    metrics.record_request(payload.len() as u64, bursts, saved);
+    Ok(bursts)
+}
+
+/// Lane transitions the beat-interleaved `payload` would cause sent raw
+/// (uninverted, DBI lanes quiet), continuing from `prev` — the carried
+/// last word of each group, updated in place. Equivalent to encoding the
+/// stream with [`Scheme::Raw`] and summing the per-group transitions.
+fn raw_transitions(payload: &[u8], prev: &mut [LaneWord]) -> u64 {
+    let groups = prev.len();
+    let mut total = 0u64;
+    for beat in payload.chunks_exact(groups) {
+        for (byte, prev_word) in beat.iter().zip(prev.iter_mut()) {
+            let word = LaneWord::encode_byte(*byte, false);
+            total += u64::from(word.transitions_from(*prev_word));
+            *prev_word = word;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbi_core::CostWeights;
+    use dbi_mem::ChannelConfig;
+
+    fn pseudo_random(len: usize, mut seed: u32) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (seed >> 24) as u8
+            })
+            .collect()
+    }
+
+    fn small_engine() -> Engine {
+        Engine::start(ServiceConfig {
+            shards: 2,
+            queue_capacity: 8,
+            max_payload: 1 << 16,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn engine_matches_a_serial_bus_session() {
+        let engine = small_engine();
+        let mut client = engine.local_client();
+        let config = ChannelConfig::gddr5x();
+        let data = pseudo_random(config.access_bytes() * 16, 0xF00D);
+
+        let mut reply = EncodeReply::new();
+        for (index, scheme) in Scheme::paper_set().iter().copied().enumerate() {
+            let session_id = 0x100 + index as u64;
+            // Feed the stream in two halves: carried state must persist.
+            let half = data.len() / 2;
+            let request = EncodeRequest {
+                session_id,
+                scheme,
+                groups: 4,
+                burst_len: 8,
+                want_masks: true,
+                payload: &data[..half],
+            };
+            client.encode(&request, &mut reply).unwrap();
+            let mut first = reply.activity();
+            let first_masks = reply.masks.clone();
+            client
+                .encode(
+                    &EncodeRequest {
+                        payload: &data[half..],
+                        ..request
+                    },
+                    &mut reply,
+                )
+                .unwrap();
+
+            let mut reference = BusSession::new(&config, scheme);
+            let expected = reference.encode_stream(&data).unwrap();
+            let mut combined_masks = first_masks;
+            combined_masks.extend_from_slice(&reply.masks);
+            first.bursts += reply.bursts;
+            for (a, b) in first.per_group.iter_mut().zip(&reply.per_group) {
+                *a += *b;
+            }
+            assert_eq!(first, expected, "{scheme}");
+
+            let mut mask_reference = BusSession::new(&config, scheme);
+            let mut expected_masks = Vec::new();
+            let mut scratch = Vec::new();
+            mask_reference
+                .encode_stream_into(&data, &mut scratch, Some(&mut expected_masks))
+                .unwrap();
+            assert_eq!(combined_masks, expected_masks, "{scheme}");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn sticky_sharding_is_deterministic_and_spread() {
+        let engine = small_engine();
+        for session_id in 0..64u64 {
+            assert_eq!(engine.shard_of(session_id), engine.shard_of(session_id));
+            assert!(engine.shard_of(session_id) < engine.shard_count());
+        }
+        let on_zero = (0..64u64).filter(|&id| engine.shard_of(id) == 0).count();
+        assert!((8..=56).contains(&on_zero), "lopsided spread: {on_zero}/64");
+    }
+
+    #[test]
+    fn validation_rejects_before_reaching_a_shard() {
+        let engine = small_engine();
+        let mut client = engine.local_client();
+        let mut reply = EncodeReply::new();
+        let ok_payload = [0u8; 32];
+
+        let base = EncodeRequest {
+            session_id: 1,
+            scheme: Scheme::OptFixed,
+            groups: 4,
+            burst_len: 8,
+            want_masks: false,
+            payload: &ok_payload,
+        };
+        let cases: [(EncodeRequest<'_>, ServiceError); 4] = [
+            (
+                EncodeRequest { groups: 0, ..base },
+                ServiceError::BadGeometry {
+                    groups: 0,
+                    burst_len: 8,
+                },
+            ),
+            (
+                EncodeRequest {
+                    burst_len: 33,
+                    ..base
+                },
+                ServiceError::BadGeometry {
+                    groups: 4,
+                    burst_len: 33,
+                },
+            ),
+            (
+                EncodeRequest {
+                    payload: &ok_payload[..31],
+                    ..base
+                },
+                ServiceError::BadPayload {
+                    got: 31,
+                    expected_multiple: 32,
+                },
+            ),
+            (
+                EncodeRequest {
+                    payload: &[],
+                    ..base
+                },
+                ServiceError::BadPayload {
+                    got: 0,
+                    expected_multiple: 32,
+                },
+            ),
+        ];
+        for (request, expected) in cases {
+            assert_eq!(client.encode(&request, &mut reply), Err(expected));
+        }
+
+        let big = vec![0u8; (1 << 16) + 32];
+        let oversized = EncodeRequest {
+            payload: &big,
+            ..base
+        };
+        assert!(matches!(
+            client.encode(&oversized, &mut reply),
+            Err(ServiceError::PayloadTooLarge { .. })
+        ));
+        assert_eq!(engine.metrics().totals().rejected, 5);
+    }
+
+    #[test]
+    fn session_reuse_with_a_different_config_is_a_mismatch() {
+        let engine = small_engine();
+        let mut client = engine.local_client();
+        let mut reply = EncodeReply::new();
+        let payload = pseudo_random(64, 3);
+        let request = EncodeRequest {
+            session_id: 9,
+            scheme: Scheme::Dc,
+            groups: 4,
+            burst_len: 8,
+            want_masks: false,
+            payload: &payload,
+        };
+        client.encode(&request, &mut reply).unwrap();
+        assert_eq!(
+            client.encode(
+                &EncodeRequest {
+                    scheme: Scheme::Ac,
+                    ..request
+                },
+                &mut reply
+            ),
+            Err(ServiceError::SessionMismatch { session_id: 9 })
+        );
+        // Same scheme but different geometry is also a mismatch.
+        assert_eq!(
+            client.encode(
+                &EncodeRequest {
+                    groups: 8,
+                    burst_len: 8,
+                    ..request
+                },
+                &mut reply
+            ),
+            Err(ServiceError::SessionMismatch { session_id: 9 })
+        );
+    }
+
+    #[test]
+    fn requests_that_cannot_be_framed_are_rejected_even_locally() {
+        // A permissive payload cap must not let the engine admit work
+        // whose request or response could never travel as a wire frame.
+        let engine = Engine::start(ServiceConfig {
+            shards: 1,
+            queue_capacity: 4,
+            max_payload: 32 << 20,
+            ..ServiceConfig::default()
+        });
+        let mut client = engine.local_client();
+        let mut reply = EncodeReply::new();
+        // 3 MiB fits a request frame, but with burst_len 1 and masks on
+        // the response would carry 3M masks = 12 MiB > MAX_BODY_LEN.
+        let payload = vec![0u8; 3 << 20];
+        let request = EncodeRequest {
+            session_id: 5,
+            scheme: Scheme::OptFixed,
+            groups: 1,
+            burst_len: 1,
+            want_masks: true,
+            payload: &payload,
+        };
+        assert_eq!(
+            client.encode(&request, &mut reply),
+            Err(ServiceError::PayloadTooLarge {
+                got: payload.len(),
+                max: crate::wire::MAX_BODY_LEN,
+            })
+        );
+        // Masks off, the same payload frames fine in both directions.
+        client
+            .encode(
+                &EncodeRequest {
+                    want_masks: false,
+                    ..request
+                },
+                &mut reply,
+            )
+            .unwrap();
+        // A payload too large for even the request frame is rejected
+        // regardless of masks.
+        let oversized = vec![0u8; (crate::wire::MAX_BODY_LEN / 32 + 1) * 32];
+        assert!(matches!(
+            client.encode(
+                &EncodeRequest {
+                    groups: 4,
+                    burst_len: 8,
+                    want_masks: false,
+                    payload: &oversized,
+                    ..request
+                },
+                &mut reply
+            ),
+            Err(ServiceError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn session_limit_rejects_fresh_ids_but_serves_existing_sessions() {
+        let engine = Engine::start(ServiceConfig {
+            shards: 1,
+            queue_capacity: 8,
+            max_sessions_per_shard: 2,
+            ..ServiceConfig::default()
+        });
+        let mut client = engine.local_client();
+        let mut reply = EncodeReply::new();
+        let payload = pseudo_random(32, 1);
+        let request = |session_id| EncodeRequest {
+            session_id,
+            scheme: Scheme::OptFixed,
+            groups: 4,
+            burst_len: 8,
+            want_masks: false,
+            payload: &payload,
+        };
+        client.encode(&request(1), &mut reply).unwrap();
+        client.encode(&request(2), &mut reply).unwrap();
+        // The shard is full: a third id bounces, existing ids still work.
+        assert_eq!(
+            client.encode(&request(3), &mut reply),
+            Err(ServiceError::SessionLimit { shard: 0 })
+        );
+        client.encode(&request(1), &mut reply).unwrap();
+        let totals = engine.metrics().totals();
+        assert_eq!(totals.sessions, 2);
+        assert_eq!(totals.rejected, 1);
+    }
+
+    #[test]
+    fn metrics_count_requests_sessions_and_savings() {
+        let engine = small_engine();
+        let mut client = engine.local_client();
+        let mut reply = EncodeReply::new();
+        // Alternate 0x55/0xAA per *beat* (the payload is beat-interleaved
+        // over 4 groups), so every group's wires toggle each beat and OPT
+        // has a measurable amount of transitions to save.
+        let payload: Vec<u8> = (0..128)
+            .map(|i| if (i / 4) % 2 == 0 { 0x55 } else { 0xAA })
+            .collect();
+        let request = EncodeRequest {
+            session_id: 77,
+            scheme: Scheme::Opt(CostWeights::FIXED),
+            groups: 4,
+            burst_len: 8,
+            want_masks: false,
+            payload: &payload,
+        };
+        client.encode(&request, &mut reply).unwrap();
+        client.encode(&request, &mut reply).unwrap();
+
+        let totals = engine.metrics().totals();
+        assert_eq!(totals.requests, 2);
+        assert_eq!(totals.bytes, 256);
+        assert_eq!(totals.bursts, 2 * reply.bursts);
+        assert_eq!(totals.sessions, 1);
+        assert_eq!(totals.queue_depth, 0);
+        assert!(
+            totals.transitions_saved > 0,
+            "OPT must beat RAW on a checkerboard"
+        );
+        let json = engine.metrics_json();
+        assert!(json.contains("\"requests\":2"));
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_is_idempotent() {
+        let engine = small_engine();
+        let mut client = engine.local_client();
+        engine.shutdown();
+        engine.shutdown();
+        let payload = [0u8; 32];
+        let mut reply = EncodeReply::new();
+        let request = EncodeRequest {
+            session_id: 1,
+            scheme: Scheme::Raw,
+            groups: 4,
+            burst_len: 8,
+            want_masks: false,
+            payload: &payload,
+        };
+        assert_eq!(
+            client.encode(&request, &mut reply),
+            Err(ServiceError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn raw_sessions_report_zero_savings() {
+        let engine = small_engine();
+        let mut client = engine.local_client();
+        let mut reply = EncodeReply::new();
+        let payload = pseudo_random(96, 5);
+        let request = EncodeRequest {
+            session_id: 2,
+            scheme: Scheme::Raw,
+            groups: 4,
+            burst_len: 8,
+            want_masks: true,
+            payload: &payload,
+        };
+        client.encode(&request, &mut reply).unwrap();
+        assert_eq!(engine.metrics().totals().transitions_saved, 0);
+        assert!(reply.masks.iter().all(|mask| *mask == InversionMask::NONE));
+        assert_eq!(reply.bursts, 12);
+        assert_eq!(reply.activity().total(), reply.total());
+    }
+}

@@ -1,0 +1,159 @@
+//! # dbi-service
+//!
+//! A multi-threaded DBI encoding **service** over the zero-allocation
+//! engine of `dbi-core`/`dbi-mem`: the deployment shape the paper's
+//! encoder targets, where a DBI encoder sits in the memory-controller
+//! datapath and handles sustained write traffic from many concurrent
+//! producers. Built entirely on `std` — no async runtime, no network or
+//! serialisation crates.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                       ┌────────────────────────── Engine ───────────────┐
+//!  TcpClient ──TCP──▶ TcpServer ──▶ LocalClient ──▶ │ shard 0: queue ─ worker ─ {sessions} │
+//!                       │  (one per connection)     │ shard 1: queue ─ worker ─ {sessions} │
+//!  LocalClient ────────────in-process──────────────▶│   ...       bounded     BusSession   │
+//!                       └──────────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`wire`] — the versioned, length-prefixed binary frame format with a
+//!   zero-copy, `unsafe`-free decoder.
+//! * [`Engine`] — N shard workers, each owning a private map of
+//!   [`dbi_mem::BusSession`]s keyed by session id. Routing is *sticky*
+//!   (same session id → same shard), so each session's carried bus state
+//!   evolves exactly as in a serial run; results are bit-identical to
+//!   single-threaded encoding. Queues are bounded and overflow is an
+//!   explicit [`ServiceError::Overloaded`] response, never silent growth.
+//! * [`LocalClient`] — the in-process front door: deterministic,
+//!   socket-free, and **zero heap allocations per request** once warm.
+//! * [`TcpServer`] / [`TcpClient`] — the socket front end; each
+//!   connection is served through its own `LocalClient`, so both paths
+//!   return identical bytes.
+//! * [`metrics`] — per-shard atomic counters (requests, rejects, bytes,
+//!   bursts, transitions saved, queue depth, sessions) snapshotted as
+//!   JSON on request.
+//!
+//! ## Example
+//!
+//! ```
+//! use dbi_core::Scheme;
+//! use dbi_service::{EncodeReply, EncodeRequest, Engine, ServiceConfig};
+//!
+//! let engine = Engine::start(ServiceConfig::default());
+//! let mut client = engine.local_client();
+//! let mut reply = EncodeReply::new();
+//! // One x32 BL8 access (4 lane groups × 8 beats), beat-interleaved.
+//! let payload = [0x5Au8; 32];
+//! client
+//!     .encode(
+//!         &EncodeRequest {
+//!             session_id: 1,
+//!             scheme: Scheme::OptFixed,
+//!             groups: 4,
+//!             burst_len: 8,
+//!             want_masks: true,
+//!             payload: &payload,
+//!         },
+//!         &mut reply,
+//!     )
+//!     .unwrap();
+//! assert_eq!(reply.bursts, 4);
+//! engine.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::TcpClient;
+pub use engine::{
+    EncodeReply, EncodeRequest, Engine, LocalClient, ServiceConfig, MAX_BURST_LEN, MAX_GROUPS,
+};
+pub use error::{ClientError, ServiceError};
+pub use metrics::{MetricsSnapshot, ShardSnapshot};
+pub use server::TcpServer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbi_core::Scheme;
+
+    #[test]
+    fn local_and_tcp_paths_return_identical_results() {
+        let engine = Engine::start(ServiceConfig::default());
+        let server = TcpServer::bind(&engine, "127.0.0.1:0").unwrap();
+
+        let payload: Vec<u8> = (0..64u8).collect();
+        let request = EncodeRequest {
+            session_id: 42,
+            scheme: Scheme::OptFixed,
+            groups: 4,
+            burst_len: 8,
+            want_masks: true,
+            payload: &payload,
+        };
+        // Distinct session ids so each path owns fresh carried state.
+        let mut local_reply = EncodeReply::new();
+        engine
+            .local_client()
+            .encode(&request, &mut local_reply)
+            .unwrap();
+
+        let mut tcp = TcpClient::connect(server.addr()).unwrap();
+        let mut tcp_reply = EncodeReply::new();
+        tcp.encode(
+            &EncodeRequest {
+                session_id: 43,
+                ..request
+            },
+            &mut tcp_reply,
+        )
+        .unwrap();
+
+        assert_eq!(local_reply, tcp_reply);
+        let json = tcp.metrics_json().unwrap();
+        assert!(json.contains("\"requests\":2"), "{json}");
+        drop(tcp);
+        server.shutdown();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn remote_errors_carry_the_service_taxonomy() {
+        let engine = Engine::start(ServiceConfig::default());
+        let server = TcpServer::bind(&engine, "127.0.0.1:0").unwrap();
+        let mut tcp = TcpClient::connect(server.addr()).unwrap();
+        let mut reply = EncodeReply::new();
+        let err = tcp
+            .encode(
+                &EncodeRequest {
+                    session_id: 1,
+                    scheme: Scheme::Dc,
+                    groups: 4,
+                    burst_len: 8,
+                    want_masks: false,
+                    payload: &[0u8; 31],
+                },
+                &mut reply,
+            )
+            .unwrap_err();
+        match err {
+            ClientError::Remote { code, message } => {
+                assert_eq!(code, wire::ErrorCode::BadPayload);
+                assert!(message.contains("31"), "{message}");
+            }
+            other => panic!("expected a remote error, got {other}"),
+        }
+        drop(tcp);
+        server.shutdown();
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-shard service metrics.
+//!
+//! Each shard owns one [`ShardMetrics`] of plain atomic counters — workers
+//! and clients bump them lock-free and allocation-free on the hot path —
+//! and [`MetricsRegistry::snapshot`] turns the whole registry into an
+//! owned, serialisable [`MetricsSnapshot`]. The snapshot's
+//! [`to_json`](MetricsSnapshot::to_json) form is what the service answers
+//! metrics requests with; it is handwritten JSON (no serialisation crate
+//! exists offline) with a fixed key order, so it is easy to assert on in
+//! tests and to scrape.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters of one shard. All increments use relaxed ordering:
+/// the counters are statistics, not synchronisation.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    bytes: AtomicU64,
+    bursts: AtomicU64,
+    transitions_saved: AtomicU64,
+    queue_depth: AtomicU64,
+    sessions: AtomicU64,
+}
+
+impl ShardMetrics {
+    /// Records one successfully executed request.
+    pub fn record_request(&self, payload_bytes: u64, bursts: u64, transitions_saved: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(payload_bytes, Ordering::Relaxed);
+        self.bursts.fetch_add(bursts, Ordering::Relaxed);
+        self.transitions_saved
+            .fetch_add(transitions_saved, Ordering::Relaxed);
+    }
+
+    /// Records one rejected request (validation failure or backpressure).
+    pub fn record_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request entering the shard queue.
+    pub fn enqueue(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request leaving the shard queue.
+    pub fn dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a newly created encode session.
+    pub fn session_created(&self) {
+        self.sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads the counters into an owned snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            bursts: self.bursts.load(Ordering::Relaxed),
+            transitions_saved: self.transitions_saved.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            sessions: self.sessions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one shard's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardSnapshot {
+    /// Requests executed.
+    pub requests: u64,
+    /// Requests rejected (bad geometry/payload, backpressure, shutdown).
+    pub rejected: u64,
+    /// Payload bytes encoded.
+    pub bytes: u64,
+    /// Per-group bursts encoded.
+    pub bursts: u64,
+    /// Lane transitions avoided relative to sending the same stream raw.
+    pub transitions_saved: u64,
+    /// Requests currently sitting in the shard queue.
+    pub queue_depth: u64,
+    /// Encode sessions resident on the shard.
+    pub sessions: u64,
+}
+
+impl ShardSnapshot {
+    fn add(&mut self, other: &ShardSnapshot) {
+        self.requests += other.requests;
+        self.rejected += other.rejected;
+        self.bytes += other.bytes;
+        self.bursts += other.bursts;
+        self.transitions_saved += other.transitions_saved;
+        self.queue_depth += other.queue_depth;
+        self.sessions += other.sessions;
+    }
+
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        write!(
+            out,
+            "{{\"requests\":{},\"rejected\":{},\"bytes\":{},\"bursts\":{},\
+             \"transitions_saved\":{},\"queue_depth\":{},\"sessions\":{}}}",
+            self.requests,
+            self.rejected,
+            self.bytes,
+            self.bursts,
+            self.transitions_saved,
+            self.queue_depth,
+            self.sessions
+        )
+        .expect("writing to a String cannot fail");
+    }
+}
+
+/// The counters of every shard of one engine.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: Vec<ShardMetrics>,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry with `shards` zeroed counter sets.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        MetricsRegistry {
+            shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
+        }
+    }
+
+    /// The counters of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard(&self, shard: usize) -> &ShardMetrics {
+        &self.shards[shard]
+    }
+
+    /// Number of shards in the registry.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Copies every shard's counters into an owned snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            per_shard: self.shards.iter().map(ShardMetrics::snapshot).collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// One snapshot per shard, in shard order.
+    pub per_shard: Vec<ShardSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counters summed across all shards.
+    #[must_use]
+    pub fn totals(&self) -> ShardSnapshot {
+        let mut total = ShardSnapshot::default();
+        for shard in &self.per_shard {
+            total.add(shard);
+        }
+        total
+    }
+
+    /// Serialises the snapshot as a single-line JSON object:
+    /// `{"shards":[{...},...],"totals":{...}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 * (self.per_shard.len() + 1));
+        out.push_str("{\"shards\":[");
+        for (index, shard) in self.per_shard.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            shard.write_json(&mut out);
+        }
+        out.push_str("],\"totals\":");
+        self.totals().write_json(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_total() {
+        let registry = MetricsRegistry::new(2);
+        registry.shard(0).record_request(32, 4, 10);
+        registry.shard(0).record_request(32, 4, 6);
+        registry.shard(1).record_reject();
+        registry.shard(1).session_created();
+        registry.shard(1).enqueue();
+
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.per_shard[0].requests, 2);
+        assert_eq!(snapshot.per_shard[0].bytes, 64);
+        assert_eq!(snapshot.per_shard[0].transitions_saved, 16);
+        assert_eq!(snapshot.per_shard[1].rejected, 1);
+        assert_eq!(snapshot.per_shard[1].queue_depth, 1);
+        registry.shard(1).dequeue();
+        assert_eq!(registry.snapshot().per_shard[1].queue_depth, 0);
+
+        let totals = snapshot.totals();
+        assert_eq!(totals.requests, 2);
+        assert_eq!(totals.rejected, 1);
+        assert_eq!(totals.sessions, 1);
+    }
+
+    #[test]
+    fn json_snapshot_has_the_documented_shape() {
+        let registry = MetricsRegistry::new(1);
+        registry.shard(0).record_request(8, 1, 2);
+        let json = registry.snapshot().to_json();
+        assert!(json.starts_with("{\"shards\":[{"));
+        assert!(json.contains("\"requests\":1"));
+        assert!(json.contains("\"transitions_saved\":2"));
+        assert!(json.ends_with('}'));
+        assert!(json.contains("\"totals\":{"));
+        // Exactly one shard object plus the totals object.
+        assert_eq!(json.matches("\"requests\":").count(), 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! The TCP front end.
+//!
+//! [`TcpServer::bind`] accepts connections on a [`std::net::TcpListener`]
+//! and serves each one from its own thread with a dedicated
+//! [`LocalClient`](crate::LocalClient) — so the socket layer is a thin
+//! framing shim over exactly the path in-process callers use, and a TCP
+//! client observes byte-identical results to a local one. One frame in,
+//! one frame out: encode requests are answered with an encode response or
+//! an error frame, metrics requests with the JSON snapshot.
+//!
+//! Protocol violations at the *framing* level (bad magic, wrong version,
+//! oversized or truncated header) are answered with a
+//! [`BadRequest`](crate::wire::ErrorCode::BadRequest) error frame, then
+//! the connection is closed: a peer that cannot frame correctly cannot be
+//! resynchronised. A well-framed body that fails to decode (unknown
+//! scheme tag, inconsistent lengths, bad UTF-8) also gets `BadRequest`,
+//! but the connection stays open — the frame boundary is intact, so the
+//! next frame can still be served.
+
+use crate::client::read_frame;
+use crate::engine::{EncodeReply, EncodeRequest, Engine};
+use crate::error::ClientError;
+use crate::wire::{self, EncodeResponseFrame, ErrorCode, ErrorFrame, Frame};
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type ConnectionList = Arc<Mutex<Vec<(JoinHandle<()>, Option<TcpStream>)>>>;
+
+/// A running TCP front end over an [`Engine`].
+///
+/// Dropping the server (or calling [`TcpServer::shutdown`]) stops the
+/// accept loop, severs every open connection and joins all threads. The
+/// engine itself keeps running — it is shared, and may be fronted by
+/// several servers or used in-process at the same time.
+#[derive(Debug)]
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    connections: ConnectionList,
+}
+
+impl TcpServer {
+    /// Binds a listener (use port 0 for an OS-assigned port, retrievable
+    /// via [`TcpServer::addr`]) and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from binding the listener.
+    pub fn bind(engine: &Engine, addr: impl ToSocketAddrs) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections: ConnectionList = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let engine = engine.clone();
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name("dbi-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &engine, &stop, &connections))?
+        };
+        Ok(TcpServer {
+            addr: local,
+            stop,
+            accept: Some(accept),
+            connections,
+        })
+    }
+
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, severs open connections and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+
+    fn stop_now(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway loopback connection
+        // (reaching the listener even when it is bound to 0.0.0.0). If
+        // even that fails, leak the accept thread rather than deadlock
+        // the caller in join().
+        let woke = TcpStream::connect(("127.0.0.1", self.addr.port())).is_ok();
+        if let Some(accept) = self.accept.take() {
+            if woke {
+                let _ = accept.join();
+            }
+        }
+        let connections =
+            core::mem::take(&mut *self.connections.lock().expect("connection list poisoned"));
+        for (handle, stream) in connections {
+            match stream {
+                Some(stream) => {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    let _ = handle.join();
+                }
+                // No severable handle (try_clone failed at accept time):
+                // a blocked reader cannot be woken, so leak the thread
+                // rather than deadlock shutdown on its join.
+                None => drop(handle),
+            }
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    engine: &Engine,
+    stop: &Arc<AtomicBool>,
+    connections: &ConnectionList,
+) {
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = incoming else { continue };
+        let _ = stream.set_nodelay(true);
+        // Keep a second handle so shutdown can sever a blocked reader.
+        let severable = stream.try_clone().ok();
+        let engine = engine.clone();
+        let handle = std::thread::Builder::new()
+            .name("dbi-conn".to_owned())
+            .spawn(move || handle_connection(&engine, stream));
+        if let Ok(handle) = handle {
+            let mut list = connections.lock().expect("connection list poisoned");
+            // Reap finished connections so a long-lived server with many
+            // short-lived clients does not accumulate dead handles and
+            // their duplicated socket fds.
+            let mut index = 0;
+            while index < list.len() {
+                if list[index].0.is_finished() {
+                    let (done, stream) = list.swap_remove(index);
+                    drop(stream);
+                    let _ = done.join();
+                } else {
+                    index += 1;
+                }
+            }
+            list.push((handle, severable));
+        }
+    }
+}
+
+/// Serves one connection until the peer hangs up, the transport fails, or
+/// the peer violates the protocol.
+fn handle_connection(engine: &Engine, mut stream: TcpStream) {
+    let mut local = engine.local_client();
+    let mut in_buf = Vec::new();
+    let mut out_buf = Vec::new();
+    let mut reply = EncodeReply::new();
+
+    loop {
+        match read_frame(&mut stream, &mut in_buf) {
+            Ok(true) => {}
+            // Clean EOF: the peer is done.
+            Ok(false) => return,
+            Err(ClientError::Wire(err)) => {
+                out_buf.clear();
+                ErrorFrame {
+                    code: ErrorCode::BadRequest,
+                    message: &err.to_string(),
+                }
+                .encode_into(&mut out_buf);
+                let _ = stream.write_all(&out_buf);
+                return;
+            }
+            Err(_) => return,
+        }
+
+        out_buf.clear();
+        match wire::decode_frame(&in_buf) {
+            Ok((Frame::EncodeRequest(view), _)) => {
+                let request = EncodeRequest {
+                    session_id: view.session_id,
+                    scheme: view.scheme,
+                    groups: view.groups,
+                    burst_len: view.burst_len,
+                    want_masks: view.want_masks,
+                    payload: view.payload,
+                };
+                match local.encode(&request, &mut reply) {
+                    Ok(()) => EncodeResponseFrame {
+                        session_id: view.session_id,
+                        bursts: reply.bursts,
+                        per_group: &reply.per_group,
+                        masks: &reply.masks,
+                    }
+                    .encode_into(&mut out_buf),
+                    Err(err) => ErrorFrame {
+                        code: err.code(),
+                        message: &err.to_string(),
+                    }
+                    .encode_into(&mut out_buf),
+                }
+            }
+            Ok((Frame::MetricsRequest, _)) => {
+                wire::encode_metrics_response(&mut out_buf, &engine.metrics_json());
+            }
+            Ok(_) => {
+                ErrorFrame {
+                    code: ErrorCode::BadRequest,
+                    message: "only encode and metrics requests are accepted",
+                }
+                .encode_into(&mut out_buf);
+            }
+            Err(err) => {
+                ErrorFrame {
+                    code: ErrorCode::BadRequest,
+                    message: &err.to_string(),
+                }
+                .encode_into(&mut out_buf);
+            }
+        }
+        if stream.write_all(&out_buf).is_err() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,730 @@
+//! The binary wire protocol of the encode service.
+//!
+//! Every message is one length-prefixed **frame**:
+//!
+//! ```text
+//!  0      2      3      4            8
+//! +------+------+------+------------+----------------- - - -
+//! | "DB" | ver  | type | body_len   | body (body_len bytes)
+//! | u16  | u8   | u8   | u32 LE     |
+//! +------+------+------+------------+----------------- - - -
+//! ```
+//!
+//! The 8-byte header carries a magic (`0x4244`, ASCII `"DB"` little-endian),
+//! the protocol [`VERSION`], the frame type tag and the body length; frames
+//! whose body would exceed [`MAX_BODY_LEN`] are rejected before any body
+//! byte is read. All multi-byte integers are little-endian.
+//!
+//! Frame types:
+//!
+//! | tag | frame | direction |
+//! |-----|-------|-----------|
+//! | 1 | [`EncodeRequestFrame`] → [`EncodeRequestView`] | client → service |
+//! | 2 | [`EncodeResponseFrame`] → [`EncodeResponseView`] | service → client |
+//! | 3 | [`ErrorFrame`] → [`ErrorView`] | service → client |
+//! | 4 | metrics request (empty body) | client → service |
+//! | 5 | metrics response (UTF-8 JSON body) | service → client |
+//!
+//! Encoding appends to a caller-owned `Vec<u8>` (reused buffers never
+//! reallocate in steady state); decoding is **zero-copy and `unsafe`-free**:
+//! [`decode_frame`] hands back views that borrow the receive buffer —
+//! payload bytes, per-group cost records and mask streams are exposed as
+//! slices/iterators over the original bytes, never copied into new
+//! allocations. Malformed input of any shape yields a typed [`WireError`],
+//! never a panic.
+
+use core::fmt;
+use dbi_core::{CostBreakdown, CostWeights, InversionMask, Scheme};
+
+/// The two magic bytes opening every frame: ASCII `"DB"`.
+pub const MAGIC: [u8; 2] = *b"DB";
+
+/// Protocol version spoken by this build. Peers with a different version
+/// are rejected with [`WireError::UnsupportedVersion`].
+pub const VERSION: u8 = 1;
+
+/// Bytes in the fixed frame header.
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on a frame body. Larger frames are rejected at the header,
+/// so a malicious or corrupt length field can never trigger a huge read.
+pub const MAX_BODY_LEN: usize = 8 << 20;
+
+/// Fixed-size prefix of an encode-request body, before the payload bytes.
+/// Public so the engine can verify an admitted request also fits a frame.
+pub const REQUEST_HEAD_LEN: usize = 8 + 1 + CostWeights::WIRE_BYTES + 2 + 1 + 1 + 4;
+
+/// Fixed-size prefix of an encode-response body, before the records.
+/// Public so the engine can verify an admitted request's response fits a
+/// frame.
+pub const RESPONSE_HEAD_LEN: usize = 8 + 8 + 2 + 4;
+
+/// Frame type tags.
+mod tag {
+    pub const ENCODE_REQUEST: u8 = 1;
+    pub const ENCODE_RESPONSE: u8 = 2;
+    pub const ERROR: u8 = 3;
+    pub const METRICS_REQUEST: u8 = 4;
+    pub const METRICS_RESPONSE: u8 = 5;
+}
+
+/// A malformed or unsupported frame. Decoding never panics; every failure
+/// mode is one of these variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The buffer ends before the frame does.
+    Truncated {
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The frame does not start with [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// The peer speaks a different protocol version.
+    UnsupportedVersion(u8),
+    /// The frame type tag is not one this version defines.
+    UnknownFrameType(u8),
+    /// The header announces a body larger than [`MAX_BODY_LEN`].
+    Oversized {
+        /// Announced body length.
+        got: usize,
+        /// The enforced limit.
+        max: usize,
+    },
+    /// The body's internal length fields disagree with the body length.
+    BodyMismatch,
+    /// The scheme tag is not one this version defines.
+    UnknownSchemeTag(u8),
+    /// A parametric scheme carried invalid cost coefficients.
+    BadWeights,
+    /// The error code byte is not one this version defines.
+    UnknownErrorCode(u8),
+    /// A text field is not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: need {needed} bytes, have {got}")
+            }
+            WireError::BadMagic(bytes) => write!(f, "bad frame magic {bytes:02X?}"),
+            WireError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this build speaks {VERSION})"
+                )
+            }
+            WireError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
+            WireError::Oversized { got, max } => {
+                write!(f, "frame body of {got} bytes exceeds the {max}-byte limit")
+            }
+            WireError::BodyMismatch => {
+                write!(
+                    f,
+                    "frame body length disagrees with its internal length fields"
+                )
+            }
+            WireError::UnknownSchemeTag(t) => write!(f, "unknown scheme tag {t}"),
+            WireError::BadWeights => write!(f, "parametric scheme carries invalid cost weights"),
+            WireError::UnknownErrorCode(c) => write!(f, "unknown error code {c}"),
+            WireError::BadUtf8 => write!(f, "text field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Typed error codes carried by [`ErrorFrame`]s — the wire image of
+/// [`ServiceError`](crate::ServiceError).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The target shard's queue was full; retry later.
+    Overloaded = 1,
+    /// The service is shutting down.
+    ShuttingDown = 2,
+    /// The requested channel geometry is unsupported.
+    BadGeometry = 3,
+    /// The payload is empty, misaligned or too large.
+    BadPayload = 4,
+    /// A session id was reused with a different configuration.
+    SessionMismatch = 5,
+    /// The request frame itself was malformed.
+    BadRequest = 6,
+    /// The service hit an internal invariant violation.
+    Internal = 7,
+}
+
+impl ErrorCode {
+    fn from_u8(byte: u8) -> Result<Self, WireError> {
+        match byte {
+            1 => Ok(ErrorCode::Overloaded),
+            2 => Ok(ErrorCode::ShuttingDown),
+            3 => Ok(ErrorCode::BadGeometry),
+            4 => Ok(ErrorCode::BadPayload),
+            5 => Ok(ErrorCode::SessionMismatch),
+            6 => Ok(ErrorCode::BadRequest),
+            7 => Ok(ErrorCode::Internal),
+            other => Err(WireError::UnknownErrorCode(other)),
+        }
+    }
+}
+
+/// Maps a [`Scheme`] to its wire tag and the weights field it travels with.
+fn scheme_to_wire(scheme: Scheme) -> (u8, CostWeights) {
+    match scheme {
+        Scheme::Raw => (0, CostWeights::FIXED),
+        Scheme::Dc => (1, CostWeights::FIXED),
+        Scheme::Ac => (2, CostWeights::FIXED),
+        Scheme::AcDc => (3, CostWeights::FIXED),
+        Scheme::Greedy(w) => (4, w),
+        Scheme::Opt(w) => (5, w),
+        Scheme::OptFixed => (6, CostWeights::FIXED),
+        // `Scheme` is non-exhaustive: a new variant needs a new tag (and a
+        // protocol version bump), which this panic makes impossible to miss.
+        other => unimplemented!("scheme {other} has no wire tag in protocol version {VERSION}"),
+    }
+}
+
+/// Inverse of [`scheme_to_wire`]: the weights field is only interpreted for
+/// the parametric schemes.
+fn scheme_from_wire(tag: u8, weights: [u8; CostWeights::WIRE_BYTES]) -> Result<Scheme, WireError> {
+    let parse = || CostWeights::from_le_bytes(weights).map_err(|_| WireError::BadWeights);
+    match tag {
+        0 => Ok(Scheme::Raw),
+        1 => Ok(Scheme::Dc),
+        2 => Ok(Scheme::Ac),
+        3 => Ok(Scheme::AcDc),
+        4 => Ok(Scheme::Greedy(parse()?)),
+        5 => Ok(Scheme::Opt(parse()?)),
+        6 => Ok(Scheme::OptFixed),
+        other => Err(WireError::UnknownSchemeTag(other)),
+    }
+}
+
+/// A parsed frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// The frame type tag (validated later, by [`decode_frame`]).
+    pub frame_type: u8,
+    /// Announced body length in bytes.
+    pub body_len: usize,
+}
+
+/// Parses and validates the fixed 8-byte header: magic, version and the
+/// [`MAX_BODY_LEN`] bound.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`], [`WireError::BadMagic`],
+/// [`WireError::UnsupportedVersion`] or [`WireError::Oversized`].
+pub fn parse_header(bytes: &[u8]) -> Result<Header, WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            got: bytes.len(),
+        });
+    }
+    if bytes[..2] != MAGIC {
+        return Err(WireError::BadMagic([bytes[0], bytes[1]]));
+    }
+    if bytes[2] != VERSION {
+        return Err(WireError::UnsupportedVersion(bytes[2]));
+    }
+    let body_len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+    if body_len > MAX_BODY_LEN {
+        return Err(WireError::Oversized {
+            got: body_len,
+            max: MAX_BODY_LEN,
+        });
+    }
+    Ok(Header {
+        frame_type: bytes[3],
+        body_len,
+    })
+}
+
+fn push_header(out: &mut Vec<u8>, frame_type: u8, body_len: usize) {
+    debug_assert!(body_len <= MAX_BODY_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame_type);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+}
+
+/// An encode request, in its borrowed write-side form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeRequestFrame<'a> {
+    /// Client-chosen session id; requests with the same id share carried
+    /// bus state and are routed to the same shard.
+    pub session_id: u64,
+    /// The DBI scheme to encode with.
+    pub scheme: Scheme,
+    /// Lane groups of the channel.
+    pub groups: u16,
+    /// Burst length in beats.
+    pub burst_len: u8,
+    /// When set, the response carries the per-burst inversion masks.
+    pub want_masks: bool,
+    /// Beat-interleaved payload bytes (byte `k` of an access travels on
+    /// group `k mod groups`).
+    pub payload: &'a [u8],
+}
+
+impl EncodeRequestFrame<'_> {
+    /// Appends the full frame (header + body) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let (tag, weights) = scheme_to_wire(self.scheme);
+        push_header(
+            out,
+            tag::ENCODE_REQUEST,
+            REQUEST_HEAD_LEN + self.payload.len(),
+        );
+        out.extend_from_slice(&self.session_id.to_le_bytes());
+        out.push(tag);
+        out.extend_from_slice(&weights.to_le_bytes());
+        out.extend_from_slice(&self.groups.to_le_bytes());
+        out.push(self.burst_len);
+        out.push(u8::from(self.want_masks));
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.payload);
+    }
+}
+
+/// A decoded encode request, borrowing the receive buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeRequestView<'a> {
+    /// See [`EncodeRequestFrame::session_id`].
+    pub session_id: u64,
+    /// See [`EncodeRequestFrame::scheme`].
+    pub scheme: Scheme,
+    /// See [`EncodeRequestFrame::groups`].
+    pub groups: u16,
+    /// See [`EncodeRequestFrame::burst_len`].
+    pub burst_len: u8,
+    /// See [`EncodeRequestFrame::want_masks`].
+    pub want_masks: bool,
+    /// The payload bytes, borrowed straight from the frame buffer.
+    pub payload: &'a [u8],
+}
+
+fn decode_request(body: &[u8]) -> Result<EncodeRequestView<'_>, WireError> {
+    if body.len() < REQUEST_HEAD_LEN {
+        return Err(WireError::Truncated {
+            needed: REQUEST_HEAD_LEN,
+            got: body.len(),
+        });
+    }
+    let session_id = u64::from_le_bytes(body[..8].try_into().expect("checked length"));
+    let scheme_tag = body[8];
+    let mut weights = [0u8; CostWeights::WIRE_BYTES];
+    weights.copy_from_slice(&body[9..9 + CostWeights::WIRE_BYTES]);
+    let rest = &body[9 + CostWeights::WIRE_BYTES..];
+    let groups = u16::from_le_bytes([rest[0], rest[1]]);
+    let burst_len = rest[2];
+    let want_masks = rest[3] != 0;
+    let payload_len = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]) as usize;
+    let payload = &body[REQUEST_HEAD_LEN..];
+    if payload.len() != payload_len {
+        return Err(WireError::BodyMismatch);
+    }
+    Ok(EncodeRequestView {
+        session_id,
+        scheme: scheme_from_wire(scheme_tag, weights)?,
+        groups,
+        burst_len,
+        want_masks,
+        payload,
+    })
+}
+
+/// An encode response, in its borrowed write-side form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeResponseFrame<'a> {
+    /// Echo of the request's session id.
+    pub session_id: u64,
+    /// Per-group bursts encoded by this request.
+    pub bursts: u64,
+    /// Activity added by this request, one record per lane group.
+    pub per_group: &'a [CostBreakdown],
+    /// Per-burst inversion decisions in transmission order; empty unless
+    /// the request set [`EncodeRequestFrame::want_masks`].
+    pub masks: &'a [InversionMask],
+}
+
+impl EncodeResponseFrame<'_> {
+    /// Appends the full frame (header + body) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let body_len = RESPONSE_HEAD_LEN
+            + self.per_group.len() * CostBreakdown::WIRE_BYTES
+            + self.masks.len() * InversionMask::WIRE_BYTES;
+        push_header(out, tag::ENCODE_RESPONSE, body_len);
+        out.extend_from_slice(&self.session_id.to_le_bytes());
+        out.extend_from_slice(&self.bursts.to_le_bytes());
+        out.extend_from_slice(&(self.per_group.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.masks.len() as u32).to_le_bytes());
+        for record in self.per_group {
+            out.extend_from_slice(&record.to_le_bytes());
+        }
+        for mask in self.masks {
+            out.extend_from_slice(&mask.to_le_bytes());
+        }
+    }
+}
+
+/// A decoded encode response. The record streams stay in the receive
+/// buffer; [`EncodeResponseView::per_group`] and
+/// [`EncodeResponseView::masks`] decode them on the fly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeResponseView<'a> {
+    /// Echo of the request's session id.
+    pub session_id: u64,
+    /// Per-group bursts encoded by this request.
+    pub bursts: u64,
+    per_group_bytes: &'a [u8],
+    mask_bytes: &'a [u8],
+}
+
+impl<'a> EncodeResponseView<'a> {
+    /// Number of lane-group records.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.per_group_bytes.len() / CostBreakdown::WIRE_BYTES
+    }
+
+    /// Number of inversion masks.
+    #[must_use]
+    pub fn mask_count(&self) -> usize {
+        self.mask_bytes.len() / InversionMask::WIRE_BYTES
+    }
+
+    /// The per-group activity records, decoded from the borrowed bytes.
+    pub fn per_group(&self) -> impl Iterator<Item = CostBreakdown> + 'a {
+        self.per_group_bytes
+            .chunks_exact(CostBreakdown::WIRE_BYTES)
+            .map(|chunk| CostBreakdown::from_le_bytes(chunk.try_into().expect("exact chunks")))
+    }
+
+    /// The per-burst inversion masks, decoded from the borrowed bytes.
+    pub fn masks(&self) -> impl Iterator<Item = InversionMask> + 'a {
+        self.mask_bytes
+            .chunks_exact(InversionMask::WIRE_BYTES)
+            .map(|chunk| InversionMask::from_le_bytes(chunk.try_into().expect("exact chunks")))
+    }
+}
+
+fn decode_response(body: &[u8]) -> Result<EncodeResponseView<'_>, WireError> {
+    if body.len() < RESPONSE_HEAD_LEN {
+        return Err(WireError::Truncated {
+            needed: RESPONSE_HEAD_LEN,
+            got: body.len(),
+        });
+    }
+    let session_id = u64::from_le_bytes(body[..8].try_into().expect("checked length"));
+    let bursts = u64::from_le_bytes(body[8..16].try_into().expect("checked length"));
+    let group_count = u16::from_le_bytes([body[16], body[17]]) as usize;
+    let mask_count = u32::from_le_bytes([body[18], body[19], body[20], body[21]]) as usize;
+    let records = &body[RESPONSE_HEAD_LEN..];
+    let group_bytes = group_count
+        .checked_mul(CostBreakdown::WIRE_BYTES)
+        .ok_or(WireError::BodyMismatch)?;
+    let mask_bytes = mask_count
+        .checked_mul(InversionMask::WIRE_BYTES)
+        .ok_or(WireError::BodyMismatch)?;
+    if records.len()
+        != group_bytes
+            .checked_add(mask_bytes)
+            .ok_or(WireError::BodyMismatch)?
+    {
+        return Err(WireError::BodyMismatch);
+    }
+    Ok(EncodeResponseView {
+        session_id,
+        bursts,
+        per_group_bytes: &records[..group_bytes],
+        mask_bytes: &records[group_bytes..],
+    })
+}
+
+/// An error response, in its borrowed write-side form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorFrame<'a> {
+    /// The typed error code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: &'a str,
+}
+
+impl ErrorFrame<'_> {
+    /// Appends the full frame (header + body) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        push_header(out, tag::ERROR, 1 + self.message.len());
+        out.push(self.code as u8);
+        out.extend_from_slice(self.message.as_bytes());
+    }
+}
+
+/// A decoded error response, borrowing the receive buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorView<'a> {
+    /// The typed error code.
+    pub code: ErrorCode,
+    /// Human-readable detail, borrowed from the frame buffer.
+    pub message: &'a str,
+}
+
+fn decode_error(body: &[u8]) -> Result<ErrorView<'_>, WireError> {
+    let (&code, message) = body
+        .split_first()
+        .ok_or(WireError::Truncated { needed: 1, got: 0 })?;
+    Ok(ErrorView {
+        code: ErrorCode::from_u8(code)?,
+        message: core::str::from_utf8(message).map_err(|_| WireError::BadUtf8)?,
+    })
+}
+
+/// Appends a metrics-request frame (empty body) to `out`.
+pub fn encode_metrics_request(out: &mut Vec<u8>) {
+    push_header(out, tag::METRICS_REQUEST, 0);
+}
+
+/// Appends a metrics-response frame carrying a JSON snapshot to `out`.
+pub fn encode_metrics_response(out: &mut Vec<u8>, json: &str) {
+    push_header(out, tag::METRICS_RESPONSE, json.len());
+    out.extend_from_slice(json.as_bytes());
+}
+
+/// One decoded frame, borrowing the buffer it was decoded from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Frame<'a> {
+    /// A client encode request.
+    EncodeRequest(EncodeRequestView<'a>),
+    /// A service encode response.
+    EncodeResponse(EncodeResponseView<'a>),
+    /// A service error response.
+    Error(ErrorView<'a>),
+    /// A client metrics request.
+    MetricsRequest,
+    /// A service metrics response: the JSON snapshot text.
+    MetricsResponse(&'a str),
+}
+
+/// Decodes the frame starting at `bytes[0]` and returns it together with
+/// its total encoded length (header + body), so a buffer holding several
+/// back-to-back frames can be walked.
+///
+/// # Errors
+///
+/// Any [`WireError`]; in particular [`WireError::Truncated`] when `bytes`
+/// ends mid-frame (the `needed` field tells the transport how many bytes
+/// the whole frame requires).
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame<'_>, usize), WireError> {
+    let header = parse_header(bytes)?;
+    let total = HEADER_LEN + header.body_len;
+    if bytes.len() < total {
+        return Err(WireError::Truncated {
+            needed: total,
+            got: bytes.len(),
+        });
+    }
+    let body = &bytes[HEADER_LEN..total];
+    let frame = match header.frame_type {
+        tag::ENCODE_REQUEST => Frame::EncodeRequest(decode_request(body)?),
+        tag::ENCODE_RESPONSE => Frame::EncodeResponse(decode_response(body)?),
+        tag::ERROR => Frame::Error(decode_error(body)?),
+        tag::METRICS_REQUEST => {
+            if !body.is_empty() {
+                return Err(WireError::BodyMismatch);
+            }
+            Frame::MetricsRequest
+        }
+        tag::METRICS_RESPONSE => {
+            Frame::MetricsResponse(core::str::from_utf8(body).map_err(|_| WireError::BadUtf8)?)
+        }
+        other => return Err(WireError::UnknownFrameType(other)),
+    };
+    Ok((frame, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_borrows_the_payload() {
+        let payload = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        let frame = EncodeRequestFrame {
+            session_id: 0xAB,
+            scheme: Scheme::Opt(CostWeights::new(2, 3).unwrap()),
+            groups: 4,
+            burst_len: 8,
+            want_masks: true,
+            payload: &payload,
+        };
+        let mut buf = Vec::new();
+        frame.encode_into(&mut buf);
+        let (decoded, consumed) = decode_frame(&buf).unwrap();
+        assert_eq!(consumed, buf.len());
+        let Frame::EncodeRequest(view) = decoded else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(view.session_id, 0xAB);
+        assert_eq!(view.scheme, frame.scheme);
+        assert_eq!((view.groups, view.burst_len, view.want_masks), (4, 8, true));
+        assert_eq!(view.payload, &payload);
+        // Zero-copy: the payload view points into the frame buffer.
+        assert!(core::ptr::eq(
+            view.payload.as_ptr(),
+            &buf[HEADER_LEN + REQUEST_HEAD_LEN]
+        ));
+    }
+
+    #[test]
+    fn response_roundtrip_decodes_records_lazily() {
+        let per_group = [CostBreakdown::new(1, 2), CostBreakdown::new(3, 4)];
+        let masks = [InversionMask::from_bits(0b1010), InversionMask::NONE];
+        let frame = EncodeResponseFrame {
+            session_id: 7,
+            bursts: 16,
+            per_group: &per_group,
+            masks: &masks,
+        };
+        let mut buf = Vec::new();
+        frame.encode_into(&mut buf);
+        let (Frame::EncodeResponse(view), _) = decode_frame(&buf).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert_eq!((view.session_id, view.bursts), (7, 16));
+        assert_eq!(view.group_count(), 2);
+        assert_eq!(view.mask_count(), 2);
+        assert_eq!(view.per_group().collect::<Vec<_>>(), per_group);
+        assert_eq!(view.masks().collect::<Vec<_>>(), masks);
+    }
+
+    #[test]
+    fn error_and_metrics_frames_roundtrip() {
+        let mut buf = Vec::new();
+        ErrorFrame {
+            code: ErrorCode::Overloaded,
+            message: "shard 3 is full",
+        }
+        .encode_into(&mut buf);
+        encode_metrics_request(&mut buf);
+        encode_metrics_response(&mut buf, "{\"requests\":1}");
+
+        let (Frame::Error(err), n1) = decode_frame(&buf).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(err.code, ErrorCode::Overloaded);
+        assert_eq!(err.message, "shard 3 is full");
+        let (frame, n2) = decode_frame(&buf[n1..]).unwrap();
+        assert_eq!(frame, Frame::MetricsRequest);
+        let (Frame::MetricsResponse(json), n3) = decode_frame(&buf[n1 + n2..]).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(json, "{\"requests\":1}");
+        assert_eq!(n1 + n2 + n3, buf.len());
+    }
+
+    #[test]
+    fn every_scheme_survives_the_wire() {
+        let mut all: Vec<Scheme> = Scheme::paper_set().to_vec();
+        all.extend_from_slice(Scheme::conventional_set());
+        all.push(Scheme::Greedy(CostWeights::new(3, 5).unwrap()));
+        for scheme in all {
+            let (tag, weights) = scheme_to_wire(scheme);
+            assert_eq!(scheme_from_wire(tag, weights.to_le_bytes()), Ok(scheme));
+        }
+        assert_eq!(
+            scheme_from_wire(99, CostWeights::FIXED.to_le_bytes()),
+            Err(WireError::UnknownSchemeTag(99))
+        );
+        assert_eq!(
+            scheme_from_wire(5, [0u8; CostWeights::WIRE_BYTES]),
+            Err(WireError::BadWeights)
+        );
+    }
+
+    #[test]
+    fn header_violations_are_typed() {
+        let mut buf = Vec::new();
+        encode_metrics_request(&mut buf);
+
+        assert_eq!(
+            parse_header(&buf[..3]),
+            Err(WireError::Truncated { needed: 8, got: 3 })
+        );
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert_eq!(parse_header(&bad), Err(WireError::BadMagic([b'X', b'B'])));
+        let mut bad = buf.clone();
+        bad[2] = 9;
+        assert_eq!(parse_header(&bad), Err(WireError::UnsupportedVersion(9)));
+        let mut bad = buf.clone();
+        bad[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            parse_header(&bad),
+            Err(WireError::Oversized {
+                got: u32::MAX as usize,
+                max: MAX_BODY_LEN
+            })
+        );
+        let mut bad = buf;
+        bad[3] = 42;
+        assert_eq!(decode_frame(&bad), Err(WireError::UnknownFrameType(42)));
+    }
+
+    #[test]
+    fn internal_length_fields_are_cross_checked() {
+        let mut buf = Vec::new();
+        EncodeRequestFrame {
+            session_id: 1,
+            scheme: Scheme::Raw,
+            groups: 1,
+            burst_len: 8,
+            want_masks: false,
+            payload: &[0u8; 8],
+        }
+        .encode_into(&mut buf);
+        // Corrupt the inner payload_len field.
+        let payload_len_at = HEADER_LEN + REQUEST_HEAD_LEN - 4;
+        buf[payload_len_at] ^= 1;
+        assert_eq!(decode_frame(&buf), Err(WireError::BodyMismatch));
+
+        let mut buf = Vec::new();
+        EncodeResponseFrame {
+            session_id: 1,
+            bursts: 2,
+            per_group: &[CostBreakdown::ZERO],
+            masks: &[],
+        }
+        .encode_into(&mut buf);
+        // Claim one more mask than the body holds.
+        buf[HEADER_LEN + 18] = 1;
+        assert_eq!(decode_frame(&buf), Err(WireError::BodyMismatch));
+    }
+
+    #[test]
+    fn error_display_covers_every_variant() {
+        let variants = [
+            WireError::Truncated { needed: 8, got: 3 },
+            WireError::BadMagic([0, 1]),
+            WireError::UnsupportedVersion(2),
+            WireError::UnknownFrameType(3),
+            WireError::Oversized { got: 4, max: 5 },
+            WireError::BodyMismatch,
+            WireError::UnknownSchemeTag(6),
+            WireError::BadWeights,
+            WireError::UnknownErrorCode(7),
+            WireError::BadUtf8,
+        ];
+        for err in variants {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Counting-allocator proof of the service claim: once warm, the
+//! `LocalClient` request loop performs **zero heap allocations per
+//! request** — across the queue hop, the shard worker, the encode itself
+//! and the metrics updates.
+//!
+//! Extends the PR 1 zero-alloc pattern (`dbi-mem/tests/session_alloc.rs`):
+//! the allocator is global, so the measured window covers the worker
+//! thread too. Single `#[test]` so no concurrent test disturbs the
+//! counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dbi_core::Scheme;
+use dbi_service::{EncodeReply, EncodeRequest, Engine, ServiceConfig};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`, which upholds the `GlobalAlloc`
+// contract; the counter increment has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    drop(result);
+    after - before
+}
+
+#[test]
+fn steady_state_requests_are_allocation_free() {
+    let engine = Engine::start(ServiceConfig {
+        shards: 2,
+        queue_capacity: 8,
+        max_payload: 1 << 16,
+        ..ServiceConfig::default()
+    });
+    let mut client = engine.local_client();
+    let mut reply = EncodeReply::new();
+    let payload: Vec<u8> = (0..256u32).map(|i| (i * 37) as u8).collect();
+    let request = EncodeRequest {
+        session_id: 0xA110C,
+        scheme: Scheme::OptFixed,
+        groups: 4,
+        burst_len: 8,
+        want_masks: true,
+        payload: &payload,
+    };
+
+    // Warm-up: creates the shard's session entry and sizes every reusable
+    // buffer (slot payload, per-group records, mask stream, reply).
+    for _ in 0..8 {
+        client.encode(&request, &mut reply).unwrap();
+    }
+
+    let one = allocations_during(|| client.encode(&request, &mut reply).unwrap());
+    let many = allocations_during(|| {
+        for _ in 0..256 {
+            client.encode(&request, &mut reply).unwrap();
+        }
+    });
+
+    assert_eq!(
+        one, 0,
+        "a warmed-up LocalClient request must not allocate (observed {one})"
+    );
+    assert_eq!(
+        many, 0,
+        "256 steady-state requests must not allocate (observed {many})"
+    );
+
+    // Sanity: the requests really executed and were really counted.
+    assert_eq!(reply.bursts, 32);
+    assert_eq!(reply.masks.len(), 32);
+    assert!(engine.metrics().totals().requests >= 265);
+    engine.shutdown();
+}

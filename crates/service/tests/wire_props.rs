@@ -1,0 +1,275 @@
+//! Property tests of the wire codec.
+//!
+//! Seeded, deterministic (the vendored `rand` is a fixed xoshiro256**
+//! stream): arbitrary frames must round-trip bit-exactly through
+//! encode → decode, and mangled input — truncated at *every* possible
+//! boundary, oversized, wrong version, random corruption — must come back
+//! as a typed [`WireError`], never a panic.
+
+use dbi_core::{CostBreakdown, CostWeights, InversionMask, Scheme};
+use dbi_service::wire::{
+    decode_frame, encode_metrics_request, encode_metrics_response, EncodeRequestFrame,
+    EncodeResponseFrame, ErrorCode, ErrorFrame, Frame, WireError, VERSION,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROUNDS: usize = 200;
+
+fn arbitrary_scheme(rng: &mut StdRng) -> Scheme {
+    let alpha = rng.gen_range(1u32..6);
+    let beta = rng.gen_range(1u32..6);
+    let parametric = CostWeights::new(alpha, beta).expect("nonzero weights");
+    match rng.gen_range(0u8..7) {
+        0 => Scheme::Raw,
+        1 => Scheme::Dc,
+        2 => Scheme::Ac,
+        3 => Scheme::AcDc,
+        4 => Scheme::Greedy(parametric),
+        5 => Scheme::Opt(parametric),
+        _ => Scheme::OptFixed,
+    }
+}
+
+fn arbitrary_request(rng: &mut StdRng, payload: &mut Vec<u8>) -> (u64, Scheme, u16, u8, bool) {
+    payload.clear();
+    let len = rng.gen_range(0usize..256);
+    payload.extend((0..len).map(|_| rng.gen::<u8>()));
+    (
+        rng.gen::<u64>(),
+        arbitrary_scheme(rng),
+        rng.gen::<u16>(),
+        rng.gen::<u8>(),
+        rng.gen::<bool>(),
+    )
+}
+
+#[test]
+fn arbitrary_requests_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    let mut payload = Vec::new();
+    let mut buf = Vec::new();
+    for _ in 0..ROUNDS {
+        let (session_id, scheme, groups, burst_len, want_masks) =
+            arbitrary_request(&mut rng, &mut payload);
+        let frame = EncodeRequestFrame {
+            session_id,
+            scheme,
+            groups,
+            burst_len,
+            want_masks,
+            payload: &payload,
+        };
+        buf.clear();
+        frame.encode_into(&mut buf);
+        let (decoded, consumed) = decode_frame(&buf).expect("a well-formed frame must decode");
+        assert_eq!(consumed, buf.len());
+        let Frame::EncodeRequest(view) = decoded else {
+            panic!("round trip changed the frame type");
+        };
+        assert_eq!(view.session_id, session_id);
+        assert_eq!(view.scheme, scheme);
+        assert_eq!(view.groups, groups);
+        assert_eq!(view.burst_len, burst_len);
+        assert_eq!(view.want_masks, want_masks);
+        assert_eq!(view.payload, payload.as_slice());
+    }
+}
+
+#[test]
+fn arbitrary_responses_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    let mut buf = Vec::new();
+    for _ in 0..ROUNDS {
+        let groups = rng.gen_range(0usize..16);
+        let masks = rng.gen_range(0usize..64);
+        let per_group: Vec<CostBreakdown> = (0..groups)
+            .map(|_| CostBreakdown::new(rng.gen::<u64>(), rng.gen::<u64>()))
+            .collect();
+        let mask_list: Vec<InversionMask> = (0..masks)
+            .map(|_| InversionMask::from_bits(rng.gen::<u32>()))
+            .collect();
+        let frame = EncodeResponseFrame {
+            session_id: rng.gen::<u64>(),
+            bursts: rng.gen::<u64>(),
+            per_group: &per_group,
+            masks: &mask_list,
+        };
+        buf.clear();
+        frame.encode_into(&mut buf);
+        let (Frame::EncodeResponse(view), consumed) = decode_frame(&buf).unwrap() else {
+            panic!("round trip changed the frame type");
+        };
+        assert_eq!(consumed, buf.len());
+        assert_eq!(view.session_id, frame.session_id);
+        assert_eq!(view.bursts, frame.bursts);
+        assert_eq!(view.per_group().collect::<Vec<_>>(), per_group);
+        assert_eq!(view.masks().collect::<Vec<_>>(), mask_list);
+    }
+}
+
+#[test]
+fn arbitrary_error_and_metrics_frames_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let codes = [
+        ErrorCode::Overloaded,
+        ErrorCode::ShuttingDown,
+        ErrorCode::BadGeometry,
+        ErrorCode::BadPayload,
+        ErrorCode::SessionMismatch,
+        ErrorCode::BadRequest,
+        ErrorCode::Internal,
+    ];
+    let mut buf = Vec::new();
+    for _ in 0..ROUNDS {
+        let code = codes[rng.gen_range(0usize..codes.len())];
+        let message: String = (0..rng.gen_range(0usize..64))
+            .map(|_| char::from(rng.gen_range(b' '..b'~')))
+            .collect();
+        buf.clear();
+        ErrorFrame {
+            code,
+            message: &message,
+        }
+        .encode_into(&mut buf);
+        let (Frame::Error(view), _) = decode_frame(&buf).unwrap() else {
+            panic!("round trip changed the frame type");
+        };
+        assert_eq!(view.code, code);
+        assert_eq!(view.message, message);
+
+        buf.clear();
+        encode_metrics_response(&mut buf, &message);
+        let (Frame::MetricsResponse(json), _) = decode_frame(&buf).unwrap() else {
+            panic!("round trip changed the frame type");
+        };
+        assert_eq!(json, message);
+    }
+}
+
+/// Every strict prefix of a valid frame must decode to `Truncated` — and
+/// the reported `needed` must point at (or beyond) the missing bytes.
+#[test]
+fn every_truncation_is_rejected_without_panicking() {
+    let mut rng = StdRng::seed_from_u64(0xD00D);
+    let mut payload = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
+    for _ in 0..16 {
+        let (session_id, scheme, groups, burst_len, want_masks) =
+            arbitrary_request(&mut rng, &mut payload);
+        buf.clear();
+        EncodeRequestFrame {
+            session_id,
+            scheme,
+            groups,
+            burst_len,
+            want_masks,
+            payload: &payload,
+        }
+        .encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            match decode_frame(&buf[..cut]) {
+                Err(WireError::Truncated { needed, got }) => {
+                    assert_eq!(got, cut);
+                    assert!(
+                        needed > cut,
+                        "cut at {cut}: needed {needed} must exceed the cut"
+                    );
+                }
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupt_headers_are_typed_errors_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let mut buf = Vec::new();
+    encode_metrics_request(&mut buf);
+    let reference = buf.clone();
+
+    // Wrong version.
+    buf[2] = VERSION.wrapping_add(1);
+    assert_eq!(
+        decode_frame(&buf),
+        Err(WireError::UnsupportedVersion(VERSION.wrapping_add(1)))
+    );
+    buf.copy_from_slice(&reference);
+
+    // Oversized body announcement.
+    buf[4..8].copy_from_slice(&(u32::MAX / 2).to_le_bytes());
+    assert!(matches!(
+        decode_frame(&buf),
+        Err(WireError::Oversized { .. })
+    ));
+    buf.copy_from_slice(&reference);
+
+    // Random single-byte corruption of a real request frame: decoding may
+    // succeed (payload bytes are arbitrary) but must never panic, and a
+    // corrupted *header* must never be accepted as a different length.
+    let mut payload = Vec::new();
+    let mut frame = Vec::new();
+    for round in 0..64 {
+        let (session_id, scheme, groups, burst_len, want_masks) =
+            arbitrary_request(&mut rng, &mut payload);
+        frame.clear();
+        EncodeRequestFrame {
+            session_id,
+            scheme,
+            groups,
+            burst_len,
+            want_masks,
+            payload: &payload,
+        }
+        .encode_into(&mut frame);
+        let index = rng.gen_range(0usize..frame.len());
+        frame[index] ^= 1 << rng.gen_range(0u8..8);
+        let _ = decode_frame(&frame); // must not panic
+        let _ = round;
+    }
+
+    // Random garbage buffers of every small length: same bar.
+    for len in 0..64usize {
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        let _ = decode_frame(&garbage);
+    }
+}
+
+/// Frames concatenated back-to-back decode independently, each reporting
+/// its own length — the invariant the TCP framing layer relies on.
+#[test]
+fn concatenated_frames_are_walkable() {
+    let mut rng = StdRng::seed_from_u64(0xCA7);
+    let mut payload = Vec::new();
+    let mut buf = Vec::new();
+    let mut expected = Vec::new();
+    for _ in 0..20 {
+        let (session_id, scheme, groups, burst_len, want_masks) =
+            arbitrary_request(&mut rng, &mut payload);
+        EncodeRequestFrame {
+            session_id,
+            scheme,
+            groups,
+            burst_len,
+            want_masks,
+            payload: &payload,
+        }
+        .encode_into(&mut buf);
+        expected.push((session_id, payload.clone()));
+    }
+    let mut offset = 0;
+    let mut seen = 0;
+    while offset < buf.len() {
+        let (frame, consumed) = decode_frame(&buf[offset..]).unwrap();
+        let Frame::EncodeRequest(view) = frame else {
+            panic!("unexpected frame type");
+        };
+        assert_eq!(view.session_id, expected[seen].0);
+        assert_eq!(view.payload, expected[seen].1.as_slice());
+        offset += consumed;
+        seen += 1;
+    }
+    assert_eq!(seen, expected.len());
+    assert_eq!(offset, buf.len());
+}

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod generator;
+pub mod load;
 pub mod patterns;
 pub mod random;
 pub mod synthetic;
@@ -33,6 +34,7 @@ pub mod trace;
 pub mod trace_encoder;
 
 pub use generator::{BurstSource, IterSource};
+pub use load::LoadProfile;
 pub use patterns::{Pattern, PatternBursts};
 pub use random::UniformRandomBursts;
 pub use synthetic::{

@@ -1,0 +1,83 @@
+//! Service quickstart: start the sharded encode service, push a write
+//! stream through it in-process and over TCP, and read the metrics.
+//!
+//! Run with `cargo run --example service_quickstart`.
+//!
+//! The service wraps the zero-allocation encode engine behind a
+//! request/response surface: sticky-sharded sessions keep per-client bus
+//! state coherent, bounded queues turn overload into an explicit
+//! response, and per-shard counters expose what the fleet is doing.
+
+use dbi::service::{EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient, TcpServer};
+use dbi::Scheme;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Engine: 2 shard workers, queues of 32 requests, 1 MiB payload cap.
+    let engine = Engine::start(ServiceConfig {
+        shards: 2,
+        queue_capacity: 32,
+        max_payload: 1 << 20,
+        ..ServiceConfig::default()
+    });
+
+    // One x32 BL8 channel access = 4 lane groups x 8 beats, interleaved.
+    // A checkerboard stream (wires toggling every beat) shows DBI at its
+    // most useful.
+    let payload: Vec<u8> = (0..256)
+        .map(|i| if (i / 4) % 2 == 0 { 0x55 } else { 0xAA })
+        .collect();
+
+    // --- In-process path: no socket, allocation-free once warm. ---------
+    let mut local = engine.local_client();
+    let mut reply = EncodeReply::new();
+    local.encode(
+        &EncodeRequest {
+            session_id: 1,
+            scheme: Scheme::OptFixed,
+            groups: 4,
+            burst_len: 8,
+            want_masks: true,
+            payload: &payload,
+        },
+        &mut reply,
+    )?;
+    let total = reply.total();
+    println!("local:  {} bursts encoded", reply.bursts);
+    println!(
+        "        {} zeros, {} transitions on the wire",
+        total.zeros, total.transitions
+    );
+    println!(
+        "        first masks: {:?}",
+        &reply.masks[..4.min(reply.masks.len())]
+    );
+
+    // --- TCP path: same engine, same results, over the wire protocol. ---
+    let server = TcpServer::bind(&engine, "127.0.0.1:0")?;
+    let mut tcp = TcpClient::connect(server.addr())?;
+    let mut tcp_reply = EncodeReply::new();
+    tcp.encode(
+        &EncodeRequest {
+            session_id: 2, // a fresh session: its own carried bus state
+            scheme: Scheme::OptFixed,
+            groups: 4,
+            burst_len: 8,
+            want_masks: true,
+            payload: &payload,
+        },
+        &mut tcp_reply,
+    )?;
+    assert_eq!(reply, tcp_reply, "TCP and local paths are bit-identical");
+    println!(
+        "tcp:    {} bursts encoded (bit-identical to local)",
+        tcp_reply.bursts
+    );
+
+    // --- Metrics snapshot, as any client would scrape it. ---------------
+    println!("\nmetrics: {}", tcp.metrics_json()?);
+
+    drop(tcp);
+    server.shutdown();
+    engine.shutdown();
+    Ok(())
+}

@@ -11,8 +11,9 @@
 //! | [`phy`] | `dbi-phy` | POD/SSTL interfaces and the CACTI-IO derived energy model |
 //! | [`hw`] | `dbi-hw` | 32 nm cell-library model, Table I synthesis reports, Fig. 5 datapath simulation |
 //! | [`mem`] | `dbi-mem` | GDDR5/GDDR5X/DDR4 write-channel substrate |
-//! | [`workloads`] | `dbi-workloads` | burst/trace generators |
+//! | [`workloads`] | `dbi-workloads` | burst/trace generators and load profiles |
 //! | [`experiments`] | `dbi-experiments` | per-figure/table experiment harness |
+//! | [`service`] | `dbi-service` | sharded encode service: wire protocol, TCP + in-process clients, metrics |
 //!
 //! The most common types are also re-exported at the crate root.
 //!
@@ -32,6 +33,7 @@ pub use dbi_experiments as experiments;
 pub use dbi_hw as hw;
 pub use dbi_mem as mem;
 pub use dbi_phy as phy;
+pub use dbi_service as service;
 pub use dbi_workloads as workloads;
 
 pub use dbi_core::{
