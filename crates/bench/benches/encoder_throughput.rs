@@ -23,7 +23,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dbi_bench::{random_buffer, random_bursts};
 use dbi_core::schemes::OptFixedEncoder;
-use dbi_core::{Burst, BusState, CostWeights, DbiEncoder, EncodedBurst, LaneWord, Scheme};
+use dbi_core::{
+    Burst, BusState, CostWeights, DbiEncoder, EncodePlan, EncodedBurst, LaneWord, PlanCache, Scheme,
+};
 use dbi_hw::PipelineEncoder;
 use dbi_mem::{BusSession, ChannelConfig};
 use dbi_workloads::{Trace, TraceEncoder};
@@ -186,6 +188,62 @@ fn encoder_throughput(c: &mut Criterion) {
     });
     group.finish();
 
+    // The runtime cost-model plane: encoding through a plan fetched from
+    // a PlanCache per burst (the service steady state), versus building
+    // the plan cold per burst (a worst-case swap storm), versus the
+    // compile-time fixed baseline the plans must keep up with.
+    let mut group = c.benchmark_group("plan_swap");
+    group.throughput(Throughput::Elements(bursts.len() as u64));
+    let bespoke = Scheme::Opt(CostWeights::new(3, 2).unwrap());
+    group.bench_function("fixed_baseline", |b| {
+        let fixed = OptFixedEncoder::new();
+        b.iter(|| {
+            let mut acc = 0u32;
+            for burst in &bursts {
+                acc ^= fixed.encode_mask(black_box(burst), &state).bits();
+            }
+            acc
+        });
+    });
+    group.bench_function("cached_plan", |b| {
+        // The service steady state: the session holds the cached plan's
+        // Arc and encodes burst after burst through it.
+        let cache = PlanCache::new(8);
+        let plan = cache.get(bespoke);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for burst in &bursts {
+                acc ^= plan.encode_mask(black_box(burst), &state).bits();
+            }
+            acc
+        });
+    });
+    group.bench_function("cached_plan_refetch", |b| {
+        // Pathological re-fetch: one cache lookup per burst (a mutex hop
+        // plus an Arc clone). Real sessions amortise this per request.
+        let cache = PlanCache::new(8);
+        let _ = cache.get(bespoke); // warm
+        b.iter(|| {
+            let mut acc = 0u32;
+            for burst in &bursts {
+                let plan = cache.get(bespoke);
+                acc ^= plan.encode_mask(black_box(burst), &state).bits();
+            }
+            acc
+        });
+    });
+    group.bench_function("cold_plan_build", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for burst in &bursts {
+                let plan = EncodePlan::new(black_box(bespoke));
+                acc ^= plan.encode_mask(black_box(burst), &state).bits();
+            }
+            acc
+        });
+    });
+    group.finish();
+
     // Trace-level encoding: carried bus state, one call per trace.
     let trace = Trace::new("bench", bursts.clone());
     let mut group = c.benchmark_group("trace_encode");
@@ -241,7 +299,8 @@ fn best_ns_per_burst(bursts: &[Burst], mut f: impl FnMut(&Burst)) -> f64 {
 /// Re-times the headline comparison and records it in `BENCH_encode.json`
 /// at the repository root: the allocating seed baseline vs. the LUT mask
 /// path vs. the materialising encode, all on 8-byte bursts, plus the
-/// trace-level rate.
+/// trace-level rate and the runtime-plan plane (cached-plan hit path and
+/// cold plan construction).
 fn write_bench_json(bursts: &[Burst], state: &BusState) {
     let weights = CostWeights::FIXED;
     let opt = OptFixedEncoder::new();
@@ -254,6 +313,25 @@ fn write_bench_json(bursts: &[Burst], state: &BusState) {
     });
     let encode_ns = best_ns_per_burst(bursts, |burst| {
         black_box(opt.encode(black_box(burst), state));
+    });
+
+    // Runtime cost-model plane: bespoke weights through a held cached
+    // plan (the service steady state — sessions keep the Arc and encode
+    // burst after burst), through a per-burst cache re-fetch, and through
+    // a cold per-burst plan build (worst-case swap storm).
+    let bespoke = Scheme::Opt(CostWeights::new(3, 2).unwrap());
+    let cache = PlanCache::new(8);
+    let held = cache.get(bespoke);
+    let plan_cached_ns = best_ns_per_burst(bursts, |burst| {
+        black_box(held.encode_mask(black_box(burst), state));
+    });
+    let plan_refetch_ns = best_ns_per_burst(bursts, |burst| {
+        let plan = cache.get(bespoke);
+        black_box(plan.encode_mask(black_box(burst), state));
+    });
+    let plan_cold_ns = best_ns_per_burst(bursts, |burst| {
+        let plan = EncodePlan::new(black_box(bespoke));
+        black_box(plan.encode_mask(black_box(burst), state));
     });
 
     let trace = Trace::new("bench", bursts.to_vec());
@@ -269,12 +347,17 @@ fn write_bench_json(bursts: &[Burst], state: &BusState) {
     }
 
     let speedup = baseline_ns / mask_ns;
+    let plan_overhead = plan_cached_ns / mask_ns;
     let json = format!(
         "{{\n  \"benchmark\": \"OptFixed encode, 8-byte bursts, {} bursts\",\n  \
          \"seed_baseline_ns_per_burst\": {baseline_ns:.1},\n  \
          \"encode_mask_ns_per_burst\": {mask_ns:.1},\n  \
          \"encode_ns_per_burst\": {encode_ns:.1},\n  \
          \"trace_encode_ns_per_burst\": {trace_best:.1},\n  \
+         \"plan_cached_ns_per_burst\": {plan_cached_ns:.1},\n  \
+         \"plan_refetch_ns_per_burst\": {plan_refetch_ns:.1},\n  \
+         \"plan_cold_build_ns_per_burst\": {plan_cold_ns:.1},\n  \
+         \"plan_cached_over_fixed\": {plan_overhead:.2},\n  \
          \"mask_speedup_over_seed_baseline\": {speedup:.2}\n}}\n",
         bursts.len()
     );
@@ -289,6 +372,17 @@ fn write_bench_json(bursts: &[Burst], state: &BusState) {
     if speedup < 5.0 {
         let message = format!(
             "mask-only encode should be at least 5x the allocating baseline, measured {speedup:.2}x"
+        );
+        if std::env::var_os("DBI_ENFORCE_SPEEDUP").is_some() {
+            panic!("{message}");
+        }
+        eprintln!("WARNING: {message} (set DBI_ENFORCE_SPEEDUP=1 to make this fatal)");
+    }
+    // Same policy for the plan-plane gate: a cached plan must stay within
+    // 1.2x of the compile-time fixed path.
+    if plan_overhead > 1.2 {
+        let message = format!(
+            "cached-plan encode should stay within 1.2x of the fixed path, measured {plan_overhead:.2}x"
         );
         if std::env::var_os("DBI_ENFORCE_SPEEDUP").is_some() {
             panic!("{message}");

@@ -21,7 +21,9 @@
 //! `DBI_SERVICE_BENCH_REQUESTS` (requests per client per run).
 
 use dbi_core::Scheme;
-use dbi_service::{EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient, TcpServer};
+use dbi_service::{
+    CostModel, EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient, TcpServer,
+};
 use dbi_workloads::LoadProfile;
 use std::fmt::Write as _;
 use std::net::SocketAddr;
@@ -83,6 +85,7 @@ fn drive_client(
         let request = EncodeRequest {
             session_id,
             scheme,
+            cost_model: CostModel::Inline,
             groups: GROUPS,
             burst_len: BURST_LEN,
             want_masks: false,

@@ -65,6 +65,7 @@
 //! | [`burst`] | burst payloads and bus state |
 //! | [`cost`] | α/β cost weights and activity breakdowns |
 //! | [`lut`] | precomputed trellis edge-cost tables (the encode hot path) |
+//! | [`plan`] | runtime encode plans ([`EncodePlan`]) and the bounded [`PlanCache`] |
 //! | [`encoding`] | inversion masks, encoded bursts (inline small-buffer storage), decoding |
 //! | [`schemes`] | RAW, DC, AC, ACDC, greedy, OPT, OPT(Fixed), exhaustive oracle |
 //! | [`graph`] | explicit trellis + Dijkstra (Fig. 2 cross-check) |
@@ -84,6 +85,7 @@ pub mod error;
 pub mod graph;
 pub mod lut;
 pub mod pareto;
+pub mod plan;
 pub mod schemes;
 pub mod stats;
 pub mod word;
@@ -94,6 +96,7 @@ pub use encoding::{decode_symbols, EncodedBurst, InversionMask, INLINE_SYMBOLS};
 pub use error::{DbiError, Result};
 pub use lut::CostLut;
 pub use pareto::{ParetoFront, ParetoPoint};
+pub use plan::{EncodePlan, PlanCache, PlanCacheStats};
 pub use schemes::{DbiEncoder, Scheme};
 pub use stats::{SchemeComparison, SchemeStats};
 pub use word::{DbiBit, LaneWord};

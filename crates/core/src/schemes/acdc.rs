@@ -5,7 +5,7 @@ use crate::encoding::{EncodedBurst, InversionMask};
 use crate::schemes::{AcEncoder, DbiEncoder, DcEncoder};
 use crate::word::LaneWord;
 
-/// The DBI ACDC scheme proposed by Hollis (related work, reference [8] of
+/// The DBI ACDC scheme proposed by Hollis (related work, reference \[8\] of
 /// the paper).
 ///
 /// The first byte of a burst is encoded with the DC rule (bounding the

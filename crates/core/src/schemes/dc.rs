@@ -40,7 +40,7 @@ impl DcEncoder {
     }
 
     /// The DC inversion decision for a single byte: `true` when the byte
-    /// contains [`DC_INVERSION_THRESHOLD`] or more zeros.
+    /// contains `DC_INVERSION_THRESHOLD` (five) or more zeros.
     #[must_use]
     pub const fn should_invert(byte: u8) -> bool {
         byte_zeros(byte) >= DC_INVERSION_THRESHOLD

@@ -4,16 +4,16 @@
 //! of a burst and the lane levels left on the bus by the previous transfer,
 //! they decide per byte whether to transmit it inverted.
 //!
-//! | Scheme | Module | Objective |
-//! |--------|--------|-----------|
-//! | RAW | [`raw`] | no encoding (baseline) |
-//! | DBI DC | [`dc`] | at most four zeros per byte (per-byte zero minimisation) |
-//! | DBI AC | [`ac`] | per-byte transition minimisation vs. the previous word |
-//! | DBI ACDC | [`acdc`] | Hollis' mode switch: first byte DC, remaining bytes AC |
-//! | Greedy | [`greedy`] | per-byte weighted (α, β) minimisation, no look-ahead |
-//! | DBI OPT | [`opt`] | burst-global minimum of α·transitions + β·zeros (shortest path) |
-//! | DBI OPT (Fixed) | [`opt`] | DBI OPT with α = β = 1 (the paper's hardware-friendly variant) |
-//! | Exhaustive | [`exhaustive`] | brute-force 2ⁿ search, used as a correctness oracle |
+//! | Scheme | Encoder | Objective |
+//! |--------|---------|-----------|
+//! | RAW | [`RawEncoder`] | no encoding (baseline) |
+//! | DBI DC | [`DcEncoder`] | at most four zeros per byte (per-byte zero minimisation) |
+//! | DBI AC | [`AcEncoder`] | per-byte transition minimisation vs. the previous word |
+//! | DBI ACDC | [`AcDcEncoder`] | Hollis' mode switch: first byte DC, remaining bytes AC |
+//! | Greedy | [`GreedyEncoder`] | per-byte weighted (α, β) minimisation, no look-ahead |
+//! | DBI OPT | [`OptEncoder`] | burst-global minimum of α·transitions + β·zeros (shortest path) |
+//! | DBI OPT (Fixed) | [`OptFixedEncoder`] | DBI OPT with α = β = 1 (the paper's hardware-friendly variant) |
+//! | Exhaustive | [`ExhaustiveEncoder`] | brute-force 2ⁿ search, used as a correctness oracle |
 //!
 //! ## Batch and streaming encoding
 //!
@@ -49,7 +49,9 @@ pub use raw::RawEncoder;
 use crate::burst::{Burst, BusState};
 use crate::cost::CostWeights;
 use crate::encoding::{EncodedBurst, InversionMask};
+use crate::plan::{EncodePlan, PlanCache};
 use core::fmt;
+use std::sync::Arc;
 
 /// A data bus inversion encoder.
 ///
@@ -126,10 +128,23 @@ impl<T: DbiEncoder + ?Sized> DbiEncoder for Box<T> {
     }
 }
 
-/// The shared fixed-coefficient optimal encoder, with its cost tables baked
-/// at compile time. [`Scheme`] dispatch reuses this static so sweeps over
-/// the scheme sets never rebuild the 4 KiB lookup tables per call.
-static OPT_FIXED: OptEncoder = OptEncoder::new(CostWeights::FIXED);
+impl<T: DbiEncoder + ?Sized> DbiEncoder for Arc<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn encode(&self, burst: &Burst, state: &BusState) -> EncodedBurst {
+        (**self).encode(burst, state)
+    }
+
+    fn encode_mask(&self, burst: &Burst, state: &BusState) -> InversionMask {
+        (**self).encode_mask(burst, state)
+    }
+
+    fn encode_into(&self, burst: &Burst, state: &BusState, out: &mut EncodedBurst) {
+        (**self).encode_into(burst, state, out);
+    }
+}
 
 /// The schemes compared in Figs. 3, 4, 7 and 8 of the paper, in plot order.
 const PAPER_SET: [Scheme; 5] = [
@@ -210,14 +225,36 @@ impl Scheme {
         }
     }
 
+    /// The [`EncodePlan`] for this scheme, fetched from (and, on first
+    /// touch, built into) the process-wide [`PlanCache::global`] cache.
+    ///
+    /// This is the preferred way to turn runtime configuration into an
+    /// encoder: the plan bundles the scheme with its weights and — for the
+    /// optimal variants — the precomputed cost tables, and repeated calls
+    /// with the same scheme share one `Arc`. The returned plan reports
+    /// *this* scheme from [`EncodePlan::scheme`].
+    #[must_use]
+    pub fn plan(&self) -> Arc<EncodePlan> {
+        match *self {
+            Scheme::OptFixed => EncodePlan::default_fixed(),
+            // `Opt(FIXED)` deliberately gets its own cache entry rather
+            // than the default plan: the tables are identical, but the
+            // plan must keep reporting the scheme it was requested as,
+            // so bookkeeping keyed on scheme identity (sessions, tests)
+            // survives the trip through a plan.
+            scheme => PlanCache::global().get(scheme),
+        }
+    }
+
     /// Dispatches `op` to a ready-made encoder for this scheme.
     ///
     /// The stateless schemes cost nothing to construct; the fixed-weight
     /// optimal variants (including `Opt(CostWeights::FIXED)`) reuse the
-    /// compile-time [`OPT_FIXED`] static, so per-call overhead is a single
-    /// match. Only `Opt` with bespoke weights builds its cost tables on the
-    /// fly — sweeps holding such weights should construct an
-    /// [`OptEncoder`] (or use [`Scheme::boxed`]) once instead.
+    /// compile-time default [`EncodePlan`], so per-call overhead is a
+    /// single match. `Opt` with bespoke weights is served through the
+    /// process-wide [`PlanCache::global`] cache: the first touch of a
+    /// weight pair builds its cost tables, every later call is a cache
+    /// hit — runtime weights encode at fixed-path speed after first touch.
     #[inline]
     fn with_encoder<R>(&self, op: impl FnOnce(&dyn DbiEncoder) -> R) -> R {
         match *self {
@@ -226,9 +263,11 @@ impl Scheme {
             Scheme::Ac => op(&AcEncoder),
             Scheme::AcDc => op(&AcDcEncoder),
             Scheme::Greedy(weights) => op(&GreedyEncoder::new(weights)),
-            Scheme::Opt(weights) if weights == CostWeights::FIXED => op(&OPT_FIXED),
-            Scheme::Opt(weights) => op(&OptEncoder::new(weights)),
-            Scheme::OptFixed => op(&OPT_FIXED),
+            Scheme::Opt(weights) if weights == CostWeights::FIXED => {
+                op(EncodePlan::default_fixed_ref())
+            }
+            Scheme::Opt(_) => op(&*PlanCache::global().get(*self)),
+            Scheme::OptFixed => op(EncodePlan::default_fixed_ref()),
         }
     }
 }
@@ -419,6 +458,21 @@ mod tests {
             assert_eq!(full.mask(), mask, "{scheme}: encode vs encode_mask");
             assert_eq!(full, reused, "{scheme}: encode vs encode_into");
         }
+    }
+
+    #[test]
+    fn plans_report_the_scheme_they_were_requested_as() {
+        let mut all: Vec<Scheme> = Scheme::paper_set().to_vec();
+        all.extend_from_slice(Scheme::conventional_set());
+        all.push(Scheme::Opt(CostWeights::new(9, 4).unwrap()));
+        for scheme in all {
+            assert_eq!(scheme.plan().scheme(), scheme, "{scheme:?}");
+        }
+        // In particular the fixed-weight Opt is not folded into OptFixed.
+        assert_eq!(
+            Scheme::Opt(CostWeights::FIXED).plan().scheme(),
+            Scheme::Opt(CostWeights::FIXED)
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@ use dbi_core::schemes::{
     AcDcEncoder, AcEncoder, DbiEncoder, DcEncoder, GreedyEncoder, OptEncoder, OptFixedEncoder,
     RawEncoder,
 };
-use dbi_core::{Burst, BusState, CostBreakdown, CostWeights, EncodedBurst, Scheme};
+use dbi_core::{
+    Burst, BusState, CostBreakdown, CostWeights, EncodePlan, EncodedBurst, PlanCache, Scheme,
+};
 
 /// Wraps the system allocator and counts every allocation.
 struct CountingAllocator;
@@ -112,6 +114,52 @@ fn bl8_fast_paths_never_touch_the_heap() {
         transitions
     });
     assert_eq!(count, 0, "encode_into allocated {count} times");
+
+    // A resident EncodePlan is as allocation-free as the raw encoder.
+    let plan = EncodePlan::new(Scheme::Opt(weights));
+    let count = allocations_during(|| {
+        let mut masks = 0u32;
+        for _ in 0..100 {
+            masks ^= plan.encode_mask(&burst, &state).bits();
+        }
+        masks
+    });
+    assert_eq!(count, 0, "EncodePlan::encode_mask allocated {count} times");
+
+    // The cached-plan hot path: once a weight pair is resident, fetching
+    // its plan and encoding through it never touches the heap — runtime
+    // weights cost the same as the compile-time fixed path.
+    let cache = PlanCache::new(8);
+    let bespoke = Scheme::Opt(CostWeights::new(5, 2).unwrap());
+    let warm = cache.get(bespoke); // first touch builds the tables
+    drop(warm);
+    let count = allocations_during(|| {
+        let mut masks = 0u32;
+        for _ in 0..100 {
+            let plan = cache.get(bespoke);
+            masks ^= plan.encode_mask(&burst, &state).bits();
+        }
+        masks
+    });
+    assert_eq!(count, 0, "cached-plan hot path allocated {count} times");
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 100);
+    assert_eq!(stats.misses, 1);
+
+    // Scheme dispatch with bespoke weights rides the global plan cache:
+    // after first touch it is allocation-free too.
+    let _ = bespoke.encode_mask(&burst, &state); // first touch
+    let count = allocations_during(|| {
+        let mut masks = 0u32;
+        for _ in 0..100 {
+            masks ^= bespoke.encode_mask(&burst, &state).bits();
+        }
+        masks
+    });
+    assert_eq!(
+        count, 0,
+        "plan-backed Scheme dispatch allocated {count} times after first touch"
+    );
 
     // Sanity check that the counter works at all.
     let count = allocations_during(|| Vec::<u8>::with_capacity(64));

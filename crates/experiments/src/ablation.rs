@@ -68,13 +68,13 @@ pub fn coefficient_resolution_study(bursts: &[Burst]) -> ResolutionStudy {
 
     // One encoder (and one cost-table build) per coefficient policy and
     // rate point; every burst then goes through the mask fast path.
-    let energy_of = |weights: CostWeights, e_zero: f64, e_transition: f64| -> f64 {
+    let energy_of = |weights: CostWeights, model: &dbi_phy::InterfaceEnergyModel| -> f64 {
         let encoder = dbi_core::schemes::OptEncoder::new(weights);
         let activity: CostBreakdown = bursts
             .iter()
             .map(|b| encoder.encode_mask(b, &state).breakdown(b, &state))
             .sum();
-        activity.energy(e_zero, e_transition)
+        model.burst_energy_j(&activity)
     };
 
     let mut rows = Vec::new();
@@ -82,17 +82,15 @@ pub fn coefficient_resolution_study(bursts: &[Burst]) -> ResolutionStudy {
         let mut losses = Vec::new();
         for &gbps in &rates {
             let model = fig7_operating_point(gbps).expect("rates are positive");
-            let e_zero = model.energy_per_zero_j();
-            let e_transition = model.energy_per_transition_j();
             let ideal_weights = model.quantised_weights(16).expect("energies are positive");
-            let ideal = energy_of(ideal_weights, e_zero, e_transition);
+            let ideal = energy_of(ideal_weights, &model);
             let candidate_weights = match bits {
                 None => CostWeights::FIXED,
                 Some(bits) => model
                     .quantised_weights(bits)
                     .expect("energies are positive"),
             };
-            let candidate = energy_of(candidate_weights, e_zero, e_transition);
+            let candidate = energy_of(candidate_weights, &model);
             losses.push((candidate - ideal) / ideal);
         }
         let mean = losses.iter().sum::<f64>() / losses.len() as f64;

@@ -141,15 +141,13 @@ pub fn run(bursts: &[Burst], rates_gbps: &[f64], cload_pf: f64) -> Fig7Result {
                 cload,
                 DataRate::from_gbps(gbps).expect("non-positive rates are filtered out"),
             );
-            let e_zero = model.energy_per_zero_j();
-            let e_transition = model.energy_per_transition_j();
-            let raw_energy = raw_activity.energy(e_zero, e_transition);
+            let raw_energy = model.burst_energy_j(&raw_activity);
 
             let mut normalized: Vec<(String, f64)> = Vec::new();
             for (scheme, activity) in &fixed_activities {
                 normalized.push((
                     scheme.name().to_owned(),
-                    activity.energy(e_zero, e_transition) / raw_energy,
+                    model.burst_energy_j(activity) / raw_energy,
                 ));
             }
             // The tunable optimal scheme, re-weighted for this operating
@@ -167,7 +165,7 @@ pub fn run(bursts: &[Burst], rates_gbps: &[f64], cload_pf: f64) -> Fig7Result {
                 2,
                 (
                     "DBI OPT".to_owned(),
-                    tuned_activity.energy(e_zero, e_transition) / raw_energy,
+                    model.burst_energy_j(&tuned_activity) / raw_energy,
                 ),
             );
             RatePoint { gbps, normalized }

@@ -153,10 +153,8 @@ pub fn run(
                         Capacitance::from_pf(cload_pf),
                         DataRate::from_gbps(gbps).expect("non-positive rates are filtered out"),
                     );
-                    let e_zero = model.energy_per_zero_j();
-                    let e_transition = model.energy_per_transition_j();
                     let per_burst = |activity: &CostBreakdown, encoder_j: f64| {
-                        activity.energy(e_zero, e_transition) / count + encoder_j
+                        model.burst_energy_j(activity) / count + encoder_j
                     };
                     let dc = per_burst(&dc_activity, encoder_energies.dc_j);
                     let ac = per_burst(&ac_activity, encoder_energies.ac_j);

@@ -199,9 +199,6 @@ impl MemoryController {
         }
         let groups = self.config.lane_groups();
         let burst_len = self.config.burst_len();
-        let e_zero = self.energy_model.energy_per_zero_j();
-        let e_transition = self.energy_model.energy_per_transition_j();
-
         let mut activity = CostBreakdown::ZERO;
         let mut encoding_energy = 0.0;
         for group in 0..groups {
@@ -220,7 +217,7 @@ impl MemoryController {
             encoding_energy += self.encoding_energy_per_burst_j;
         }
 
-        let interface_energy = activity.energy(e_zero, e_transition);
+        let interface_energy = self.energy_model.burst_energy_j(&activity);
         let report = AccessReport {
             activity,
             interface_energy_j: interface_energy,

@@ -128,9 +128,6 @@ impl ReadPath {
         if expected == 0 {
             return Err(MemError::BadAccessSize { got: 0, expected });
         }
-        let e_zero = self.energy_model.energy_per_zero_j();
-        let e_transition = self.energy_model.energy_per_transition_j();
-
         let mut activity = CostBreakdown::ZERO;
         let mut encoding_energy = 0.0;
         let mut data = vec![0u8; expected];
@@ -150,7 +147,7 @@ impl ReadPath {
             }
         }
 
-        let interface_energy = activity.energy(e_zero, e_transition);
+        let interface_energy = self.energy_model.burst_energy_j(&activity);
         self.totals.accesses += 1;
         self.totals.bursts += groups as u64;
         self.totals.activity += activity;

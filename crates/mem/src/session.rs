@@ -35,7 +35,10 @@
 use crate::config::ChannelConfig;
 use crate::error::{MemError, Result};
 use core::fmt;
-use dbi_core::{Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, InversionMask, Scheme};
+use dbi_core::{
+    Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, EncodePlan, InversionMask, Scheme,
+};
+use std::sync::Arc;
 
 /// Aggregate wire activity of one encoded stream, per lane group and in
 /// total.
@@ -77,13 +80,15 @@ impl fmt::Display for ChannelActivity {
 /// channel.
 ///
 /// The session owns one [`BusState`] per group (carried across calls, so a
-/// stream may be fed in arbitrary slices) and a shared boxed encoder built
-/// once from the [`Scheme`] — parametric schemes therefore pay their
-/// construction (e.g. the OPT cost tables) a single time per session, not
-/// per burst.
+/// stream may be fed in arbitrary slices) and a shared [`EncodePlan`] —
+/// parametric schemes therefore pay their construction (e.g. the OPT cost
+/// tables) at most once per process (plans come from the plan cache), not
+/// per burst or per session. The plan can be replaced at any burst
+/// boundary with [`BusSession::swap_plan`]; the carried lane states are
+/// preserved, so a session can follow an operating-point change
+/// mid-stream exactly as reconfigurable DBI hardware would.
 pub struct BusSession {
-    scheme: Scheme,
-    encoder: Box<dyn DbiEncoder + Send + Sync>,
+    plan: Arc<EncodePlan>,
     groups: Vec<BusState>,
     burst_len: usize,
     scratch: Vec<u8>,
@@ -92,7 +97,7 @@ pub struct BusSession {
 impl fmt::Debug for BusSession {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BusSession")
-            .field("scheme", &self.scheme)
+            .field("scheme", &self.scheme())
             .field("groups", &self.groups)
             .field("burst_len", &self.burst_len)
             .finish_non_exhaustive()
@@ -115,14 +120,33 @@ impl BusSession {
     /// the 32-byte inversion-mask limit.
     #[must_use]
     pub fn with_geometry(groups: usize, burst_len: usize, scheme: Scheme) -> Self {
+        Self::with_plan_geometry(groups, burst_len, scheme.plan())
+    }
+
+    /// Creates a session for the channel's geometry around an existing
+    /// plan (e.g. one produced by a phy energy model or a shared
+    /// [`dbi_core::PlanCache`]).
+    #[must_use]
+    pub fn with_plan(config: &ChannelConfig, plan: Arc<EncodePlan>) -> Self {
+        Self::with_plan_geometry(config.lane_groups(), config.burst_len(), plan)
+    }
+
+    /// Creates a session with an explicit geometry around an existing
+    /// plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` or `burst_len` is zero, or if `burst_len` exceeds
+    /// the 32-byte inversion-mask limit.
+    #[must_use]
+    pub fn with_plan_geometry(groups: usize, burst_len: usize, plan: Arc<EncodePlan>) -> Self {
         assert!(groups > 0, "a session needs at least one lane group");
         assert!(
             (1..=32).contains(&burst_len),
             "burst length must be within the inversion-mask limit of 32 bytes"
         );
         BusSession {
-            scheme,
-            encoder: scheme.boxed(),
+            plan,
             groups: vec![BusState::idle(); groups],
             burst_len,
             scratch: Vec::with_capacity(burst_len),
@@ -131,8 +155,24 @@ impl BusSession {
 
     /// The scheme this session encodes with.
     #[must_use]
-    pub const fn scheme(&self) -> Scheme {
-        self.scheme
+    pub fn scheme(&self) -> Scheme {
+        self.plan.scheme()
+    }
+
+    /// The plan this session encodes with.
+    #[must_use]
+    pub const fn plan(&self) -> &Arc<EncodePlan> {
+        &self.plan
+    }
+
+    /// Replaces the encode plan at a burst boundary, returning the
+    /// previous one. The carried [`BusState`] of every group is
+    /// **preserved**: the wires do not care which coefficients chose the
+    /// last inversion, so the next burst continues from the true lane
+    /// levels under the new plan — exactly the mid-session
+    /// operating-point change the service layer exposes.
+    pub fn swap_plan(&mut self, plan: Arc<EncodePlan>) -> Arc<EncodePlan> {
+        core::mem::replace(&mut self.plan, plan)
     }
 
     /// Number of independent DBI groups.
@@ -174,7 +214,7 @@ impl BusSession {
     /// Panics if `group` is out of range.
     pub fn drive_burst(&mut self, group: usize, burst: &Burst) -> CostBreakdown {
         let state = self.groups[group];
-        let mask = self.encoder.encode_mask(burst, &state);
+        let mask = self.plan.encode_mask(burst, &state);
         let breakdown = mask.breakdown(burst, &state);
         self.groups[group] = mask.final_state(burst, &state);
         breakdown
@@ -236,7 +276,7 @@ impl BusSession {
                 // afterwards: no allocation per burst.
                 let burst = Burst::new(scratch).expect("burst length is positive");
                 let state = self.groups[group];
-                let mask = self.encoder.encode_mask(&burst, &state);
+                let mask = self.plan.encode_mask(&burst, &state);
                 *activity += mask.breakdown(&burst, &state);
                 self.groups[group] = mask.final_state(&burst, &state);
                 if let Some(masks) = masks.as_deref_mut() {
@@ -268,7 +308,7 @@ impl BusSession {
         let groups = self.groups.len();
         let burst_len = self.burst_len;
         let accesses = data.len() / self.access_bytes();
-        let encoder: &(dyn DbiEncoder + Send + Sync) = self.encoder.as_ref();
+        let encoder: &EncodePlan = &self.plan;
 
         let mut per_group = vec![CostBreakdown::ZERO; groups];
         rayon::scope(|s| {
@@ -468,6 +508,64 @@ mod tests {
         session.reset();
         assert_eq!(session.group_state(0), Some(BusState::idle()));
         assert!(format!("{session:?}").contains("BusSession"));
+    }
+
+    #[test]
+    fn with_plan_encodes_like_the_scheme_it_wraps() {
+        let config = ChannelConfig::gddr5x();
+        let data = test_stream(config.access_bytes() * 8, 0x71A2);
+        let scheme = Scheme::Opt(CostWeights::new(2, 5).unwrap());
+        let mut by_scheme = BusSession::new(&config, scheme);
+        let mut by_plan = BusSession::with_plan(&config, scheme.plan());
+        assert_eq!(by_plan.scheme(), scheme);
+        assert_eq!(by_plan.plan().scheme(), scheme);
+        assert_eq!(
+            by_scheme.encode_stream(&data).unwrap(),
+            by_plan.encode_stream(&data).unwrap()
+        );
+        for group in 0..by_scheme.group_count() {
+            assert_eq!(by_scheme.group_state(group), by_plan.group_state(group));
+        }
+    }
+
+    #[test]
+    fn swap_plan_preserves_carried_state_at_the_boundary() {
+        let config = ChannelConfig::gddr5x();
+        let data = test_stream(config.access_bytes() * 16, 0x5A5A);
+        let half = data.len() / 2;
+        let first_scheme = Scheme::Dc;
+        let second_scheme = Scheme::Opt(CostWeights::new(4, 1).unwrap());
+
+        // Swapped session: DC for the first half, OPT for the second.
+        let mut swapped = BusSession::new(&config, first_scheme);
+        let first_half = swapped.encode_stream(&data[..half]).unwrap();
+        let old = swapped.swap_plan(second_scheme.plan());
+        assert_eq!(old.scheme(), first_scheme);
+        assert_eq!(swapped.scheme(), second_scheme);
+        let second_half = swapped.encode_stream(&data[half..]).unwrap();
+
+        // Reference: encode the first half with DC, then hand the *lane
+        // states* to a fresh OPT session for the second half.
+        let mut reference = BusSession::new(&config, first_scheme);
+        let expected_first = reference.encode_stream(&data[..half]).unwrap();
+        let mut continued = BusSession::with_plan(&config, second_scheme.plan());
+        for group in 0..reference.group_count() {
+            continued.groups[group] = reference.group_state(group).unwrap();
+        }
+        let expected_second = continued.encode_stream(&data[half..]).unwrap();
+
+        assert_eq!(first_half, expected_first);
+        assert_eq!(second_half, expected_second);
+        for group in 0..swapped.group_count() {
+            assert_eq!(swapped.group_state(group), continued.group_state(group));
+        }
+
+        // And the swap really changed behaviour: an unswapped DC session
+        // makes different decisions on the second half.
+        let mut unswapped = BusSession::new(&config, first_scheme);
+        let _ = unswapped.encode_stream(&data[..half]).unwrap();
+        let dc_second = unswapped.encode_stream(&data[half..]).unwrap();
+        assert_ne!(second_half, dc_second, "swap must change the decisions");
     }
 
     #[test]

@@ -118,6 +118,12 @@ impl InterfaceEnergyModel {
 
     /// Eq. 4: total interface energy of a burst with the given activity
     /// counts, in joules.
+    ///
+    /// This is the **single entry point** for pricing activity in joules:
+    /// the controller, read path and every experiment route their energy
+    /// accounting through it (the low-level
+    /// [`CostBreakdown::energy`] helper it evaluates is an implementation
+    /// detail, cross-checked against this method in this module's tests).
     #[must_use]
     pub fn burst_energy_j(&self, activity: &CostBreakdown) -> f64 {
         activity.energy(self.energy_per_zero_j(), self.energy_per_transition_j())
@@ -146,6 +152,35 @@ impl InterfaceEnergyModel {
             self.energy_per_zero_j(),
             resolution_bits,
         )
+    }
+
+    /// The optimal-encoder scheme programmed for this operating point:
+    /// `Scheme::Opt` with the energy ratio quantised to `resolution_bits`
+    /// (3 in the paper's configurable hardware variant).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InterfaceEnergyModel::quantised_weights`],
+    /// which cannot occur for a validated model.
+    pub fn encode_scheme(&self, resolution_bits: u32) -> dbi_core::Result<dbi_core::Scheme> {
+        Ok(dbi_core::Scheme::Opt(
+            self.quantised_weights(resolution_bits)?,
+        ))
+    }
+
+    /// The ready-to-encode [`EncodePlan`](dbi_core::EncodePlan) for this
+    /// operating point, served from the process-wide plan cache — the
+    /// one-call route from "SSTL/POD at this data rate" to an encoder the
+    /// session layer can hold and swap.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InterfaceEnergyModel::quantised_weights`].
+    pub fn encode_plan(
+        &self,
+        resolution_bits: u32,
+    ) -> dbi_core::Result<std::sync::Arc<dbi_core::EncodePlan>> {
+        Ok(self.encode_scheme(resolution_bits)?.plan())
     }
 
     /// The data rate at which one zero and one transition cost the same
@@ -220,6 +255,48 @@ mod tests {
         assert!((2.0 * m.burst_energy_j(&a) - m.burst_energy_j(&b)).abs() < 1e-18);
         let manual = 10.0 * m.energy_per_zero_j() + 5.0 * m.energy_per_transition_j();
         assert!((m.burst_energy_j(&a) - manual).abs() < 1e-20);
+    }
+
+    #[test]
+    fn burst_energy_is_the_single_source_of_truth_for_eq4() {
+        // The core `CostBreakdown::energy` helper and this model must
+        // agree exactly for any activity — callers are routed through
+        // `burst_energy_j`, and this pins the two formulations together.
+        let mut seed = 0x5EEDu64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seed >> 40
+        };
+        for gbps in [0.5, 1.0, 6.4, 12.0, 20.0] {
+            for pf in [1.0, 3.0, 8.0] {
+                let m = model(gbps, pf);
+                for _ in 0..32 {
+                    let activity = CostBreakdown::new(next(), next());
+                    let direct = activity.zeros as f64 * m.energy_per_zero_j()
+                        + activity.transitions as f64 * m.energy_per_transition_j();
+                    let via_model = m.burst_energy_j(&activity);
+                    let via_helper =
+                        activity.energy(m.energy_per_zero_j(), m.energy_per_transition_j());
+                    assert_eq!(via_model, via_helper);
+                    assert!((via_model - direct).abs() <= direct.abs() * 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_plan_carries_the_quantised_weights() {
+        let m = model(12.0, 3.0);
+        let scheme = m.encode_scheme(3).unwrap();
+        assert_eq!(
+            scheme,
+            dbi_core::Scheme::Opt(m.quantised_weights(3).unwrap())
+        );
+        let plan = m.encode_plan(3).unwrap();
+        assert_eq!(plan.scheme(), scheme);
+        assert_eq!(plan.weights(), m.quantised_weights(3).unwrap());
+        // Repeated calls share the cached plan.
+        assert!(std::sync::Arc::ptr_eq(&plan, &m.encode_plan(3).unwrap()));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod capacitance;
 pub mod datarate;
 pub mod energy;
 pub mod error;
+pub mod operating_point;
 pub mod pod;
 pub mod sstl;
 
@@ -46,6 +47,7 @@ pub use capacitance::{Capacitance, LoadBudget, LoadBudgetBuilder};
 pub use datarate::DataRate;
 pub use energy::{fig7_operating_point, InterfaceEnergyModel};
 pub use error::{PhyError, Result};
+pub use operating_point::{NamedInterface, OperatingPoint};
 pub use pod::PodInterface;
 pub use sstl::SstlInterface;
 

@@ -1,0 +1,358 @@
+//! Named I/O operating points: an interface class at a data rate, parsed
+//! from strings like `sstl15@6.4` or `pod12@3.2`.
+//!
+//! The paper's break-even analysis (Fig. 7) only makes sense when the
+//! (α, β) cost coefficients come from a physical model of the interface at
+//! its actual operating point. [`OperatingPoint`] names such a point —
+//! [`NamedInterface`] `@` rate in Gbps — and turns it into the encoder
+//! configuration directly: [`OperatingPoint::quantised_weights`] quantises
+//! the per-event energy ratio into integer coefficients, and
+//! [`OperatingPoint::plan`] produces the ready-to-encode
+//! [`dbi_core::EncodePlan`]. The `dbi-service` wire protocol carries
+//! operating points verbatim (see [`NamedInterface::wire_tag`]), so a
+//! client can open a session "for POD-1.2 at 3.2 Gbps" without knowing any
+//! coefficient arithmetic.
+//!
+//! The SSTL point is the interesting degenerate case: a mid-rail
+//! terminated line draws the *same* DC current for both logic levels
+//! ([`crate::SstlInterface`]), so minimising transmitted zeros saves
+//! nothing and the physically justified weighting is pure AC
+//! ([`dbi_core::CostWeights::AC_ONLY`]) — the optimal encoder degenerates
+//! to DBI AC, exactly as the paper's introduction argues it should.
+//!
+//! ```
+//! use dbi_phy::OperatingPoint;
+//!
+//! let point: OperatingPoint = "pod12@3.2".parse().unwrap();
+//! assert_eq!(point.to_string(), "pod12@3.2");
+//! // At 3.2 Gbps the termination (DC) energy dominates: β > α.
+//! let weights = point.quantised_weights().unwrap();
+//! assert!(weights.beta() > weights.alpha());
+//!
+//! let sstl: OperatingPoint = "sstl15@6.4".parse().unwrap();
+//! assert_eq!(sstl.quantised_weights().unwrap(), dbi_core::CostWeights::AC_ONLY);
+//! ```
+
+use crate::capacitance::Capacitance;
+use crate::datarate::DataRate;
+use crate::energy::InterfaceEnergyModel;
+use crate::error::{PhyError, Result};
+use crate::pod::PodInterface;
+use core::fmt;
+use dbi_core::{CostWeights, EncodePlan, Scheme};
+use std::sync::Arc;
+
+/// The interface classes an [`OperatingPoint`] can name.
+///
+/// These are the JEDEC signalling classes the paper discusses: the two POD
+/// variants its figures are computed for, plus mid-rail terminated SSTL as
+/// the contrast case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum NamedInterface {
+    /// SSTL-15 (DDR3, 1.5 V, mid-rail terminated).
+    Sstl15,
+    /// POD-1.2 (DDR4).
+    Pod12,
+    /// POD-1.35 (GDDR5/GDDR5X).
+    Pod135,
+}
+
+impl NamedInterface {
+    /// Every named interface, in wire-tag order.
+    pub const ALL: [NamedInterface; 3] = [
+        NamedInterface::Sstl15,
+        NamedInterface::Pod12,
+        NamedInterface::Pod135,
+    ];
+
+    /// The canonical lower-case name used by the string and wire forms.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            NamedInterface::Sstl15 => "sstl15",
+            NamedInterface::Pod12 => "pod12",
+            NamedInterface::Pod135 => "pod135",
+        }
+    }
+
+    /// The single-byte tag this interface travels as in the service wire
+    /// protocol (version 2). Tag 0 is reserved (no interface).
+    #[must_use]
+    pub const fn wire_tag(self) -> u8 {
+        match self {
+            NamedInterface::Sstl15 => 1,
+            NamedInterface::Pod12 => 2,
+            NamedInterface::Pod135 => 3,
+        }
+    }
+
+    /// Inverse of [`NamedInterface::wire_tag`].
+    #[must_use]
+    pub const fn from_wire_tag(tag: u8) -> Option<NamedInterface> {
+        match tag {
+            1 => Some(NamedInterface::Sstl15),
+            2 => Some(NamedInterface::Pod12),
+            3 => Some(NamedInterface::Pod135),
+            _ => None,
+        }
+    }
+
+    fn from_name(name: &str) -> Option<NamedInterface> {
+        Self::ALL.into_iter().find(|i| i.name() == name)
+    }
+}
+
+impl fmt::Display for NamedInterface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named interface at a per-pin data rate — the paper's notion of an
+/// operating point, as a parseable, wire-transportable value.
+///
+/// The rate is stored in whole megabits per second so the string form
+/// (`pod12@3.2`), the wire form and the parsed value are all exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperatingPoint {
+    interface: NamedInterface,
+    rate_mbps: u32,
+}
+
+impl OperatingPoint {
+    /// Load capacitance assumed for named operating points: the 3 pF the
+    /// paper's Fig. 7 sweep uses.
+    pub const DEFAULT_CLOAD_PF: f64 = 3.0;
+
+    /// Coefficient resolution used when quantising a named point's energy
+    /// ratio: the 3-bit coefficients of the paper's configurable hardware
+    /// variant (Table I).
+    pub const DEFAULT_RESOLUTION_BITS: u32 = 3;
+
+    /// Creates an operating point from an interface and a rate in whole
+    /// megabits per second.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::InvalidDataRate`] when `rate_mbps` is zero.
+    pub fn new(interface: NamedInterface, rate_mbps: u32) -> Result<OperatingPoint> {
+        if rate_mbps == 0 {
+            return Err(PhyError::InvalidDataRate(0.0));
+        }
+        Ok(OperatingPoint {
+            interface,
+            rate_mbps,
+        })
+    }
+
+    /// The interface class.
+    #[must_use]
+    pub const fn interface(&self) -> NamedInterface {
+        self.interface
+    }
+
+    /// The per-pin data rate in megabits per second (exact).
+    #[must_use]
+    pub const fn rate_mbps(&self) -> u32 {
+        self.rate_mbps
+    }
+
+    /// The per-pin data rate in gigabits per second.
+    #[must_use]
+    pub fn gbps(&self) -> f64 {
+        f64::from(self.rate_mbps) / 1000.0
+    }
+
+    /// The CACTI-IO energy model at this point, for the POD interfaces
+    /// (with the default 3 pF load). `None` for SSTL: a mid-rail
+    /// terminated line has no zero/one DC asymmetry for the model's Eq. 1
+    /// to price.
+    #[must_use]
+    pub fn energy_model(&self) -> Option<InterfaceEnergyModel> {
+        let pod = match self.interface {
+            NamedInterface::Sstl15 => return None,
+            NamedInterface::Pod12 => PodInterface::pod12(),
+            NamedInterface::Pod135 => PodInterface::pod135(),
+        };
+        Some(InterfaceEnergyModel::new(
+            pod,
+            Capacitance::from_pf(Self::DEFAULT_CLOAD_PF),
+            DataRate::from_gbps(self.gbps()).expect("rate_mbps is validated non-zero"),
+        ))
+    }
+
+    /// The integer cost coefficients this point programs into the encoder:
+    /// for POD, the physical energy ratio quantised to
+    /// [`OperatingPoint::DEFAULT_RESOLUTION_BITS`]; for SSTL, pure AC
+    /// weighting (zeros carry no reducible DC cost on a mid-rail
+    /// terminated line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`dbi_core::DbiError`] from the quantisation, which
+    /// cannot fail for a validated model.
+    pub fn quantised_weights(&self) -> dbi_core::Result<CostWeights> {
+        match self.energy_model() {
+            Some(model) => model.quantised_weights(Self::DEFAULT_RESOLUTION_BITS),
+            None => Ok(CostWeights::AC_ONLY),
+        }
+    }
+
+    /// The optimal-encoder scheme programmed for this point.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`OperatingPoint::quantised_weights`].
+    pub fn scheme(&self) -> dbi_core::Result<Scheme> {
+        Ok(Scheme::Opt(self.quantised_weights()?))
+    }
+
+    /// The ready-to-encode plan for this point, served from the
+    /// process-wide plan cache.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`OperatingPoint::quantised_weights`].
+    pub fn plan(&self) -> dbi_core::Result<Arc<EncodePlan>> {
+        Ok(self.scheme()?.plan())
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    /// The canonical `interface@gbps` form, e.g. `pod12@3.2`. Whole-Gbps
+    /// rates print without a fractional part (`pod135@12`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let whole = self.rate_mbps / 1000;
+        let frac = self.rate_mbps % 1000;
+        if frac == 0 {
+            write!(f, "{}@{whole}", self.interface)
+        } else {
+            // The fraction is a fixed three decimal places; strip only
+            // *trailing* zeros so leading ones survive (1023 Mbps must
+            // print as `1.023`, not `1.23`).
+            let mut frac = frac;
+            let mut places = 3usize;
+            while frac.is_multiple_of(10) {
+                frac /= 10;
+                places -= 1;
+            }
+            write!(f, "{}@{whole}.{frac:0places$}", self.interface)
+        }
+    }
+}
+
+impl core::str::FromStr for OperatingPoint {
+    type Err = PhyError;
+
+    /// Parses the `interface@gbps` form, case-insensitively:
+    /// `sstl15@6.4`, `pod12@3.2`, `POD135@12`. The rate must be positive
+    /// and is kept to megabit precision.
+    fn from_str(s: &str) -> Result<OperatingPoint> {
+        let trimmed = s.trim();
+        let invalid = || PhyError::InvalidParameter {
+            name: "operating_point",
+            value: f64::NAN,
+        };
+        let (interface, rate) = trimmed.split_once('@').ok_or_else(invalid)?;
+        let interface = NamedInterface::from_name(&interface.trim().to_ascii_lowercase())
+            .ok_or_else(invalid)?;
+        let gbps: f64 = rate.trim().parse().map_err(|_| invalid())?;
+        if !gbps.is_finite() || gbps <= 0.0 || gbps > 4_000_000.0 {
+            return Err(PhyError::InvalidDataRate(gbps));
+        }
+        let rate_mbps = (gbps * 1000.0).round() as u32;
+        OperatingPoint::new(interface, rate_mbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for text in [
+            "sstl15@6.4",
+            "pod12@3.2",
+            "pod135@12",
+            "pod135@0.75",
+            "pod12@1.023",
+            "pod12@1.005",
+            "pod12@0.005",
+        ] {
+            let point: OperatingPoint = text.parse().unwrap();
+            assert_eq!(point.to_string(), text, "{text}");
+            let again: OperatingPoint = point.to_string().parse().unwrap();
+            assert_eq!(again, point);
+        }
+        // Display→parse is exact for *every* representable rate in the
+        // low range, including ones with leading zeros in the fraction.
+        for rate_mbps in 1..2050u32 {
+            let point = OperatingPoint::new(NamedInterface::Pod12, rate_mbps).unwrap();
+            let again: OperatingPoint = point.to_string().parse().unwrap();
+            assert_eq!(again, point, "rate {rate_mbps} Mbps: {point}");
+        }
+        let upper: OperatingPoint = " POD12@3.2 ".parse().unwrap();
+        assert_eq!(upper.interface(), NamedInterface::Pod12);
+        assert_eq!(upper.rate_mbps(), 3200);
+        assert!((upper.gbps() - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_spellings_are_rejected() {
+        for bad in [
+            "", "pod12", "pod12@", "pod12@x", "lvds@3.2", "pod12@0", "pod12@-1",
+        ] {
+            assert!(bad.parse::<OperatingPoint>().is_err(), "{bad:?}");
+        }
+        assert!(OperatingPoint::new(NamedInterface::Pod12, 0).is_err());
+    }
+
+    #[test]
+    fn wire_tags_roundtrip() {
+        for interface in NamedInterface::ALL {
+            assert_eq!(
+                NamedInterface::from_wire_tag(interface.wire_tag()),
+                Some(interface)
+            );
+        }
+        assert_eq!(NamedInterface::from_wire_tag(0), None);
+        assert_eq!(NamedInterface::from_wire_tag(200), None);
+    }
+
+    #[test]
+    fn pod_points_quantise_from_the_energy_model() {
+        let slow: OperatingPoint = "pod135@3.2".parse().unwrap();
+        let fast: OperatingPoint = "pod135@20".parse().unwrap();
+        let model = slow.energy_model().unwrap();
+        assert_eq!(
+            slow.quantised_weights().unwrap(),
+            model
+                .quantised_weights(OperatingPoint::DEFAULT_RESOLUTION_BITS)
+                .unwrap()
+        );
+        // Slow: DC dominates (β > α); fast: AC dominates (α > β).
+        let sw = slow.quantised_weights().unwrap();
+        let fw = fast.quantised_weights().unwrap();
+        assert!(sw.beta() > sw.alpha(), "{sw}");
+        assert!(fw.alpha() > fw.beta(), "{fw}");
+    }
+
+    #[test]
+    fn sstl_degenerates_to_pure_ac() {
+        let point: OperatingPoint = "sstl15@6.4".parse().unwrap();
+        assert!(point.energy_model().is_none());
+        assert_eq!(point.quantised_weights().unwrap(), CostWeights::AC_ONLY);
+        assert_eq!(point.scheme().unwrap(), Scheme::Opt(CostWeights::AC_ONLY));
+    }
+
+    #[test]
+    fn plans_are_cached_per_point() {
+        let point: OperatingPoint = "pod12@3.2".parse().unwrap();
+        let a = point.plan().unwrap();
+        let b = point.plan().unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.scheme(), point.scheme().unwrap());
+    }
+}

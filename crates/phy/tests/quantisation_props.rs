@@ -1,0 +1,155 @@
+//! Property tests of the weight-quantisation path.
+//!
+//! `CostWeights::from_energy_ratio` scales a physical energy pair
+//! `(E_transition, E_zero)` so the larger coefficient saturates at
+//! `2^bits − 1 = M` and the smaller is rounded (clamped to ≥ 1). The
+//! rounding perturbs the smaller coefficient by at most 1 (½ from
+//! round-to-nearest, up to 1 when the clamp engages), which bounds how far
+//! the quantised ordering of two activities can diverge from the true
+//! energy ordering:
+//!
+//! With true energies `(e_t, e_z)` and quantised `(α, β)`, the quantised
+//! cost is a positive rescaling of the true cost plus an error of at most
+//! `max(e_t, e_z) / M` per activity-count unit. Two activities whose true
+//! energy difference exceeds
+//!
+//! ```text
+//! tolerance = max(e_t, e_z) / M · (|Δzeros| + |Δtransitions|)
+//! ```
+//!
+//! must therefore keep their order under the quantised integer weights.
+//! These tests check that bound over seeded random ratios, resolutions and
+//! activity pairs — both for raw `from_energy_ratio` calls and for
+//! `InterfaceEnergyModel::quantised_weights` over random operating points.
+
+use dbi_core::{CostBreakdown, CostWeights};
+use dbi_phy::{Capacitance, DataRate, InterfaceEnergyModel, PodInterface};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Signed true-energy cost of an activity.
+fn true_cost(activity: CostBreakdown, e_transition: f64, e_zero: f64) -> f64 {
+    activity.energy(e_zero, e_transition)
+}
+
+/// Asserts the ordering property for one `(e_t, e_z, bits)` triple over
+/// random activity pairs.
+fn check_ordering(rng: &mut StdRng, e_transition: f64, e_zero: f64, bits: u32, context: &str) {
+    let weights = CostWeights::from_energy_ratio(e_transition, e_zero, bits)
+        .expect("positive energies always quantise");
+    let max_coeff = ((1u64 << bits.clamp(1, 20)) - 1) as f64;
+    // Worst-case quantisation error per unit of activity count.
+    let per_count = e_transition.max(e_zero) / max_coeff;
+
+    for _ in 0..64 {
+        let a = CostBreakdown::new(
+            u64::from(rng.gen::<u16>() % 512),
+            u64::from(rng.gen::<u16>() % 512),
+        );
+        let b = CostBreakdown::new(
+            u64::from(rng.gen::<u16>() % 512),
+            u64::from(rng.gen::<u16>() % 512),
+        );
+        let gap = true_cost(a, e_transition, e_zero) - true_cost(b, e_transition, e_zero);
+        let counts = a.zeros.abs_diff(b.zeros) + a.transitions.abs_diff(b.transitions);
+        let tolerance = per_count * counts as f64;
+        if gap.abs() <= tolerance {
+            continue; // inside the guaranteed resolution bound: no promise
+        }
+        let qa = a.weighted(&weights);
+        let qb = b.weighted(&weights);
+        if gap < 0.0 {
+            assert!(
+                qa <= qb,
+                "{context}: true order violated: {a} vs {b}, gap {gap:.3e}, \
+                 tolerance {tolerance:.3e}, quantised {qa} vs {qb} under {weights}"
+            );
+        } else {
+            assert!(
+                qa >= qb,
+                "{context}: true order violated: {a} vs {b}, gap {gap:.3e}, \
+                 tolerance {tolerance:.3e}, quantised {qa} vs {qb} under {weights}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantised_weights_preserve_cost_ordering_within_the_resolution_bound() {
+    let mut rng = StdRng::seed_from_u64(0x0DDB175);
+    for round in 0..200 {
+        // Energies log-uniform over several decades (femto- to picojoule),
+        // including heavily skewed ratios that exercise the ≥ 1 clamp.
+        let exp_t = -15.0 + 4.0 * rng.gen::<f64>();
+        let exp_z = -15.0 + 4.0 * rng.gen::<f64>();
+        let e_transition = 10f64.powf(exp_t);
+        let e_zero = 10f64.powf(exp_z);
+        let bits = 1 + rng.gen::<u32>() % 8;
+        check_ordering(
+            &mut rng,
+            e_transition,
+            e_zero,
+            bits,
+            &format!("round {round} (et {e_transition:.2e}, ez {e_zero:.2e}, {bits} bits)"),
+        );
+    }
+}
+
+#[test]
+fn model_quantised_weights_preserve_ordering_over_random_operating_points() {
+    let mut rng = StdRng::seed_from_u64(0xCAC711);
+    for round in 0..100 {
+        let gbps = 0.5 + 24.0 * rng.gen::<f64>();
+        let pf = 0.5 + 9.5 * rng.gen::<f64>();
+        let interface = if rng.gen::<bool>() {
+            PodInterface::pod135()
+        } else {
+            PodInterface::pod12()
+        };
+        let model = InterfaceEnergyModel::new(
+            interface,
+            Capacitance::from_pf(pf),
+            DataRate::from_gbps(gbps).unwrap(),
+        );
+        let bits = 2 + rng.gen::<u32>() % 7;
+        // The model's quantisation is exactly from_energy_ratio on its two
+        // per-event energies; assert that identity, then the bound.
+        assert_eq!(
+            model.quantised_weights(bits),
+            CostWeights::from_energy_ratio(
+                model.energy_per_transition_j(),
+                model.energy_per_zero_j(),
+                bits
+            )
+        );
+        check_ordering(
+            &mut rng,
+            model.energy_per_transition_j(),
+            model.energy_per_zero_j(),
+            bits,
+            &format!("round {round} ({model}, {bits} bits)"),
+        );
+    }
+}
+
+#[test]
+fn finer_resolution_tracks_the_true_ratio_more_closely() {
+    // Monotone refinement: the quantised β/α ratio at high resolution is
+    // at least as close to the true energy ratio as at low resolution.
+    let mut rng = StdRng::seed_from_u64(0xF19E);
+    for _ in 0..100 {
+        let e_transition = 10f64.powf(-14.0 + 3.0 * rng.gen::<f64>());
+        let e_zero = 10f64.powf(-14.0 + 3.0 * rng.gen::<f64>());
+        let truth = e_zero / e_transition;
+        let ratio_of = |bits: u32| {
+            let w = CostWeights::from_energy_ratio(e_transition, e_zero, bits).unwrap();
+            f64::from(w.beta()) / f64::from(w.alpha())
+        };
+        let coarse = (ratio_of(2) - truth).abs();
+        let fine = (ratio_of(12) - truth).abs();
+        assert!(
+            fine <= coarse + 1e-12,
+            "12-bit error {fine:.3e} exceeds 2-bit error {coarse:.3e} for ratio {truth:.3e}"
+        );
+    }
+}

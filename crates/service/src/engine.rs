@@ -30,8 +30,10 @@
 
 use crate::error::ServiceError;
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
-use crate::wire::EncodeRequestFrame;
-use dbi_core::{BusState, CostBreakdown, InversionMask, LaneWord, Scheme};
+use crate::wire::{CostModel, EncodeRequestFrame};
+use dbi_core::{
+    BusState, CostBreakdown, InversionMask, LaneWord, PlanCache, PlanCacheStats, Scheme,
+};
 use dbi_mem::{BusSession, ChannelActivity};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -66,17 +68,24 @@ pub struct ServiceConfig {
     /// with [`ServiceError::SessionLimit`] — the bound that keeps a peer
     /// cycling through fresh ids from growing worker memory without limit.
     pub max_sessions_per_shard: usize,
+    /// Distinct (scheme × weights) plans the engine's process-wide
+    /// [`PlanCache`] holds; the cache is shared by every shard, so a
+    /// weight pair's cost tables are built at most once per engine no
+    /// matter which shard first sees it. At least 1.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
     /// Shards default to the machine's parallelism capped at 4; queues
-    /// hold 64 requests; payloads up to 1 MiB; 4096 sessions per shard.
+    /// hold 64 requests; payloads up to 1 MiB; 4096 sessions per shard;
+    /// 64 cached plans.
     fn default() -> Self {
         ServiceConfig {
             shards: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
             queue_capacity: 64,
             max_payload: 1 << 20,
             max_sessions_per_shard: 4096,
+            plan_cache_capacity: 64,
         }
     }
 }
@@ -96,7 +105,9 @@ enum Phase {
 /// reused across calls.
 #[derive(Debug)]
 struct SlotState {
-    // Request (written by the client, read by the worker).
+    // Request (written by the client, read by the worker). The scheme is
+    // already *resolved*: the client applies the request's cost model
+    // before enqueueing, so workers only ever see concrete weights.
     session_id: u64,
     scheme: Scheme,
     groups: u16,
@@ -211,12 +222,16 @@ struct SessionEntry {
 }
 
 impl SessionEntry {
-    fn new(scheme: Scheme, groups: u16, burst_len: u8) -> Self {
+    fn new(scheme: Scheme, groups: u16, burst_len: u8, plans: &PlanCache) -> Self {
         let raw_prev =
             (scheme != Scheme::Raw).then(|| vec![BusState::idle().last(); usize::from(groups)]);
         SessionEntry {
             scheme,
-            session: BusSession::with_geometry(usize::from(groups), usize::from(burst_len), scheme),
+            session: BusSession::with_plan_geometry(
+                usize::from(groups),
+                usize::from(burst_len),
+                plans.get(scheme),
+            ),
             raw_prev,
         }
     }
@@ -233,6 +248,7 @@ struct EngineInner {
     config: ServiceConfig,
     queues: Vec<Arc<ShardQueue>>,
     metrics: Arc<MetricsRegistry>,
+    plans: Arc<PlanCache>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     stopped: AtomicBool,
 }
@@ -275,16 +291,18 @@ impl Engine {
             .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
             .collect();
         let metrics = Arc::new(MetricsRegistry::new(config.shards));
+        let plans = Arc::new(PlanCache::new(config.plan_cache_capacity));
         let workers = queues
             .iter()
             .enumerate()
             .map(|(shard, queue)| {
                 let queue = Arc::clone(queue);
                 let metrics = Arc::clone(&metrics);
+                let plans = Arc::clone(&plans);
                 let max_sessions = config.max_sessions_per_shard;
                 std::thread::Builder::new()
                     .name(format!("dbi-shard-{shard}"))
-                    .spawn(move || worker_loop(shard, &queue, &metrics, max_sessions))
+                    .spawn(move || worker_loop(shard, &queue, &metrics, &plans, max_sessions))
                     .expect("spawning a shard worker failed")
             })
             .collect();
@@ -293,6 +311,7 @@ impl Engine {
                 config,
                 queues,
                 metrics,
+                plans,
                 workers: Mutex::new(workers),
                 stopped: AtomicBool::new(false),
             }),
@@ -321,10 +340,19 @@ impl Engine {
         self.inner.shard_of(session_id)
     }
 
-    /// A point-in-time snapshot of every shard's counters.
+    /// A point-in-time snapshot of every shard's counters, including the
+    /// shared plan-cache counters.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.inner.metrics.snapshot()
+        let mut snapshot = self.inner.metrics.snapshot();
+        snapshot.plan_cache = self.inner.plans.stats();
+        snapshot
+    }
+
+    /// The counters of the engine's shared [`PlanCache`].
+    #[must_use]
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.inner.plans.stats()
     }
 
     /// The metrics snapshot in its wire JSON form.
@@ -337,6 +365,30 @@ impl Engine {
     /// Idempotent; also runs when the last engine handle is dropped.
     pub fn shutdown(&self) {
         self.inner.shutdown();
+    }
+}
+
+/// Applies a request's cost model to its scheme, yielding the concrete
+/// scheme the session will encode with.
+///
+/// A non-inline model replaces the weights of the parametric schemes
+/// (`Opt`, `OptFixed` and `Greedy` — `OptFixed` becomes `Opt` at the new
+/// weights); the remaining schemes take no coefficients, so pairing them
+/// with an explicit model is rejected rather than silently ignored.
+fn resolve_scheme(scheme: Scheme, cost_model: CostModel) -> Result<Scheme, ServiceError> {
+    let weights = match cost_model {
+        CostModel::Inline => return Ok(scheme),
+        CostModel::Weights(weights) => weights,
+        CostModel::Named(point) => point
+            .quantised_weights()
+            .map_err(|_| ServiceError::Internal("operating point failed to quantise"))?,
+    };
+    match scheme {
+        Scheme::Opt(_) | Scheme::OptFixed => Ok(Scheme::Opt(weights)),
+        Scheme::Greedy(_) => Ok(Scheme::Greedy(weights)),
+        other => Err(ServiceError::BadCostModel {
+            scheme: other.to_string(),
+        }),
     }
 }
 
@@ -452,12 +504,22 @@ impl LocalClient {
             shard_metrics.record_reject();
             return Err(err);
         }
+        // Resolve the cost model up front: workers (and the session map)
+        // only ever see concrete weights, so two sessions whose models
+        // resolve differently can never collide silently.
+        let scheme = match resolve_scheme(request.scheme, request.cost_model) {
+            Ok(scheme) => scheme,
+            Err(err) => {
+                shard_metrics.record_reject();
+                return Err(err);
+            }
+        };
 
         {
             let mut state = self.slot.state.lock().expect("slot mutex poisoned");
             debug_assert_eq!(state.phase, Phase::Idle, "slot reused while in flight");
             state.session_id = request.session_id;
-            state.scheme = request.scheme;
+            state.scheme = scheme;
             state.groups = request.groups;
             state.burst_len = request.burst_len;
             state.want_masks = request.want_masks;
@@ -533,7 +595,13 @@ impl EncodeReply {
     }
 }
 
-fn worker_loop(shard: usize, queue: &ShardQueue, metrics: &MetricsRegistry, max_sessions: usize) {
+fn worker_loop(
+    shard: usize,
+    queue: &ShardQueue,
+    metrics: &MetricsRegistry,
+    plans: &PlanCache,
+    max_sessions: usize,
+) {
     let shard_metrics = metrics.shard(shard);
     let mut sessions: HashMap<u64, SessionEntry> = HashMap::new();
     while let Some(slot) = queue.pop() {
@@ -544,6 +612,7 @@ fn worker_loop(shard: usize, queue: &ShardQueue, metrics: &MetricsRegistry, max_
             &mut sessions,
             &mut state,
             shard_metrics,
+            plans,
             max_sessions,
         );
         state.phase = Phase::Done;
@@ -559,6 +628,7 @@ fn execute(
     sessions: &mut HashMap<u64, SessionEntry>,
     state: &mut SlotState,
     metrics: &crate::metrics::ShardMetrics,
+    plans: &PlanCache,
     max_sessions: usize,
 ) -> Result<u64, ServiceError> {
     if sessions.len() >= max_sessions && !sessions.contains_key(&state.session_id) {
@@ -582,6 +652,7 @@ fn execute(
                 state.scheme,
                 state.groups,
                 state.burst_len,
+                plans,
             ))
         }
     };
@@ -676,6 +747,7 @@ mod tests {
             let request = EncodeRequest {
                 session_id,
                 scheme,
+                cost_model: CostModel::Inline,
                 groups: 4,
                 burst_len: 8,
                 want_masks: true,
@@ -736,6 +808,7 @@ mod tests {
         let base = EncodeRequest {
             session_id: 1,
             scheme: Scheme::OptFixed,
+            cost_model: CostModel::Inline,
             groups: 4,
             burst_len: 8,
             want_masks: false,
@@ -805,6 +878,7 @@ mod tests {
         let request = EncodeRequest {
             session_id: 9,
             scheme: Scheme::Dc,
+            cost_model: CostModel::Inline,
             groups: 4,
             burst_len: 8,
             want_masks: false,
@@ -853,6 +927,7 @@ mod tests {
         let request = EncodeRequest {
             session_id: 5,
             scheme: Scheme::OptFixed,
+            cost_model: CostModel::Inline,
             groups: 1,
             burst_len: 1,
             want_masks: true,
@@ -907,6 +982,7 @@ mod tests {
         let request = |session_id| EncodeRequest {
             session_id,
             scheme: Scheme::OptFixed,
+            cost_model: CostModel::Inline,
             groups: 4,
             burst_len: 8,
             want_masks: false,
@@ -939,6 +1015,7 @@ mod tests {
         let request = EncodeRequest {
             session_id: 77,
             scheme: Scheme::Opt(CostWeights::FIXED),
+            cost_model: CostModel::Inline,
             groups: 4,
             burst_len: 8,
             want_masks: false,
@@ -972,6 +1049,7 @@ mod tests {
         let request = EncodeRequest {
             session_id: 1,
             scheme: Scheme::Raw,
+            cost_model: CostModel::Inline,
             groups: 4,
             burst_len: 8,
             want_masks: false,
@@ -992,6 +1070,7 @@ mod tests {
         let request = EncodeRequest {
             session_id: 2,
             scheme: Scheme::Raw,
+            cost_model: CostModel::Inline,
             groups: 4,
             burst_len: 8,
             want_masks: true,

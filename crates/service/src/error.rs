@@ -4,7 +4,7 @@
 //!
 //! * [`ServiceError`] — the engine refused or failed a request
 //!   (overload, bad geometry, session mismatch, ...). These map one-to-one
-//!   onto wire [`ErrorCode`](crate::wire::ErrorCode)s so a TCP client sees
+//!   onto wire [`ErrorCode`]s so a TCP client sees
 //!   the same taxonomy an in-process caller does.
 //! * [`ClientError`] — everything that can go wrong *talking to* the
 //!   service over a socket: transport failures, malformed frames, or a
@@ -49,6 +49,12 @@ pub enum ServiceError {
         /// Configured maximum.
         max: usize,
     },
+    /// An explicit cost model was supplied for a scheme that takes no
+    /// cost coefficients (only `Opt`, `OptFixed` and `Greedy` do).
+    BadCostModel {
+        /// Display name of the scheme that cannot be re-weighted.
+        scheme: String,
+    },
     /// A session id was reused with a different scheme or geometry than
     /// the one that created it. Reset the session first.
     SessionMismatch {
@@ -77,6 +83,7 @@ impl ServiceError {
             ServiceError::BadPayload { .. } | ServiceError::PayloadTooLarge { .. } => {
                 ErrorCode::BadPayload
             }
+            ServiceError::BadCostModel { .. } => ErrorCode::BadCostModel,
             ServiceError::SessionMismatch { .. } => ErrorCode::SessionMismatch,
             // Resource exhaustion travels as Overloaded: the client's
             // remedy (back off, spread over fewer sessions) is the same.
@@ -107,6 +114,11 @@ impl fmt::Display for ServiceError {
             ServiceError::PayloadTooLarge { got, max } => {
                 write!(f, "payload of {got} bytes exceeds the {max}-byte limit")
             }
+            ServiceError::BadCostModel { scheme } => write!(
+                f,
+                "scheme {scheme} takes no cost coefficients; use an Opt or Greedy scheme \
+                 with an explicit cost model"
+            ),
             ServiceError::SessionMismatch { session_id } => write!(
                 f,
                 "session {session_id} already exists with a different scheme or geometry"
@@ -204,6 +216,12 @@ mod tests {
             (
                 ServiceError::PayloadTooLarge { got: 9, max: 4 },
                 ErrorCode::BadPayload,
+            ),
+            (
+                ServiceError::BadCostModel {
+                    scheme: "RAW".to_owned(),
+                },
+                ErrorCode::BadCostModel,
             ),
             (
                 ServiceError::SessionMismatch { session_id: 1 },

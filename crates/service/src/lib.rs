@@ -18,27 +18,35 @@
 //! ```
 //!
 //! * [`wire`] — the versioned, length-prefixed binary frame format with a
-//!   zero-copy, `unsafe`-free decoder.
+//!   zero-copy, `unsafe`-free decoder. Protocol version 2 carries a
+//!   [`CostModel`] on session setup: inline weights, raw runtime
+//!   `alpha,beta`, or a named phy operating point (`sstl15@6.4`,
+//!   `pod12@3.2`); version-1 frames are still decoded.
 //! * [`Engine`] — N shard workers, each owning a private map of
 //!   [`dbi_mem::BusSession`]s keyed by session id. Routing is *sticky*
 //!   (same session id → same shard), so each session's carried bus state
 //!   evolves exactly as in a serial run; results are bit-identical to
 //!   single-threaded encoding. Queues are bounded and overflow is an
 //!   explicit [`ServiceError::Overloaded`] response, never silent growth.
+//!   Cost models resolve to [`dbi_core::EncodePlan`]s served from one
+//!   process-wide [`dbi_core::PlanCache`] shared by every shard, so a
+//!   weight pair's cost tables are built at most once per engine.
 //! * [`LocalClient`] — the in-process front door: deterministic,
-//!   socket-free, and **zero heap allocations per request** once warm.
+//!   socket-free, and **zero heap allocations per request** once warm
+//!   (including requests carrying explicit cost models).
 //! * [`TcpServer`] / [`TcpClient`] — the socket front end; each
 //!   connection is served through its own `LocalClient`, so both paths
 //!   return identical bytes.
 //! * [`metrics`] — per-shard atomic counters (requests, rejects, bytes,
-//!   bursts, transitions saved, queue depth, sessions) snapshotted as
-//!   JSON on request.
+//!   bursts, transitions saved, queue depth, sessions) plus the shared
+//!   plan-cache counters (hits, misses, evictions, resident plans),
+//!   snapshotted as JSON on request.
 //!
 //! ## Example
 //!
 //! ```
 //! use dbi_core::Scheme;
-//! use dbi_service::{EncodeReply, EncodeRequest, Engine, ServiceConfig};
+//! use dbi_service::{CostModel, EncodeReply, EncodeRequest, Engine, ServiceConfig};
 //!
 //! let engine = Engine::start(ServiceConfig::default());
 //! let mut client = engine.local_client();
@@ -50,6 +58,7 @@
 //!         &EncodeRequest {
 //!             session_id: 1,
 //!             scheme: Scheme::OptFixed,
+//!             cost_model: CostModel::Inline,
 //!             groups: 4,
 //!             burst_len: 8,
 //!             want_masks: true,
@@ -80,6 +89,7 @@ pub use engine::{
 pub use error::{ClientError, ServiceError};
 pub use metrics::{MetricsSnapshot, ShardSnapshot};
 pub use server::TcpServer;
+pub use wire::CostModel;
 
 #[cfg(test)]
 mod tests {
@@ -95,6 +105,7 @@ mod tests {
         let request = EncodeRequest {
             session_id: 42,
             scheme: Scheme::OptFixed,
+            cost_model: CostModel::Inline,
             groups: 4,
             burst_len: 8,
             want_masks: true,
@@ -137,6 +148,7 @@ mod tests {
                 &EncodeRequest {
                     session_id: 1,
                     scheme: Scheme::Dc,
+                    cost_model: CostModel::Inline,
                     groups: 4,
                     burst_len: 8,
                     want_masks: false,

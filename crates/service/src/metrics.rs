@@ -3,12 +3,15 @@
 //! Each shard owns one [`ShardMetrics`] of plain atomic counters — workers
 //! and clients bump them lock-free and allocation-free on the hot path —
 //! and [`MetricsRegistry::snapshot`] turns the whole registry into an
-//! owned, serialisable [`MetricsSnapshot`]. The snapshot's
+//! owned, serialisable [`MetricsSnapshot`]. The engine stamps the shared
+//! plan-cache counters ([`dbi_core::PlanCacheStats`]: hits, misses,
+//! evictions, resident plans) into the snapshot as well. The snapshot's
 //! [`to_json`](MetricsSnapshot::to_json) form is what the service answers
 //! metrics requests with; it is handwritten JSON (no serialisation crate
 //! exists offline) with a fixed key order, so it is easy to assert on in
 //! tests and to scrape.
 
+use dbi_core::PlanCacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Lock-free counters of one shard. All increments use relaxed ordering:
@@ -148,11 +151,14 @@ impl MetricsRegistry {
         self.shards.len()
     }
 
-    /// Copies every shard's counters into an owned snapshot.
+    /// Copies every shard's counters into an owned snapshot. The
+    /// plan-cache block starts zeroed; the engine overwrites it with the
+    /// live [`PlanCacheStats`] when it snapshots.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             per_shard: self.shards.iter().map(ShardMetrics::snapshot).collect(),
+            plan_cache: PlanCacheStats::default(),
         }
     }
 }
@@ -162,6 +168,8 @@ impl MetricsRegistry {
 pub struct MetricsSnapshot {
     /// One snapshot per shard, in shard order.
     pub per_shard: Vec<ShardSnapshot>,
+    /// Counters of the engine's shared plan cache.
+    pub plan_cache: PlanCacheStats,
 }
 
 impl MetricsSnapshot {
@@ -176,10 +184,11 @@ impl MetricsSnapshot {
     }
 
     /// Serialises the snapshot as a single-line JSON object:
-    /// `{"shards":[{...},...],"totals":{...}}`.
+    /// `{"shards":[{...},...],"totals":{...},"plan_cache":{...}}`.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(128 * (self.per_shard.len() + 1));
+        use std::fmt::Write;
+        let mut out = String::with_capacity(128 * (self.per_shard.len() + 2));
         out.push_str("{\"shards\":[");
         for (index, shard) in self.per_shard.iter().enumerate() {
             if index > 0 {
@@ -189,6 +198,15 @@ impl MetricsSnapshot {
         }
         out.push_str("],\"totals\":");
         self.totals().write_json(&mut out);
+        write!(
+            out,
+            ",\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{}}}",
+            self.plan_cache.hits,
+            self.plan_cache.misses,
+            self.plan_cache.evictions,
+            self.plan_cache.entries
+        )
+        .expect("writing to a String cannot fail");
         out.push('}');
         out
     }
@@ -226,12 +244,22 @@ mod tests {
     fn json_snapshot_has_the_documented_shape() {
         let registry = MetricsRegistry::new(1);
         registry.shard(0).record_request(8, 1, 2);
-        let json = registry.snapshot().to_json();
+        let mut snapshot = registry.snapshot();
+        snapshot.plan_cache = PlanCacheStats {
+            hits: 5,
+            misses: 2,
+            evictions: 1,
+            entries: 2,
+        };
+        let json = snapshot.to_json();
         assert!(json.starts_with("{\"shards\":[{"));
         assert!(json.contains("\"requests\":1"));
         assert!(json.contains("\"transitions_saved\":2"));
         assert!(json.ends_with('}'));
         assert!(json.contains("\"totals\":{"));
+        assert!(
+            json.contains("\"plan_cache\":{\"hits\":5,\"misses\":2,\"evictions\":1,\"entries\":2}")
+        );
         // Exactly one shard object plus the totals object.
         assert_eq!(json.matches("\"requests\":").count(), 2);
     }

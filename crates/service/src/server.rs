@@ -189,6 +189,7 @@ fn handle_connection(engine: &Engine, mut stream: TcpStream) {
                 let request = EncodeRequest {
                     session_id: view.session_id,
                     scheme: view.scheme,
+                    cost_model: view.cost_model,
                     groups: view.groups,
                     burst_len: view.burst_len,
                     want_masks: view.want_masks,

@@ -11,7 +11,7 @@
 //! ```
 //!
 //! The 8-byte header carries a magic (`0x4244`, ASCII `"DB"` little-endian),
-//! the protocol [`VERSION`], the frame type tag and the body length; frames
+//! the protocol version, the frame type tag and the body length; frames
 //! whose body would exceed [`MAX_BODY_LEN`] are rejected before any body
 //! byte is read. All multi-byte integers are little-endian.
 //!
@@ -25,6 +25,30 @@
 //! | 4 | metrics request (empty body) | client → service |
 //! | 5 | metrics response (UTF-8 JSON body) | service → client |
 //!
+//! ## Versioning
+//!
+//! This build speaks protocol [`VERSION`] 2, which added the fixed-width
+//! **cost-model field** to encode requests: [`CostModel`] selects the
+//! (α, β) source for a session — the weights embedded in the scheme
+//! (v1 semantics), raw runtime coefficients, or a named phy operating
+//! point such as `sstl15@6.4` / `pod12@3.2`.
+//!
+//! Version 1 frames are **still decoded**: the encoder always writes
+//! version 2, but [`decode_frame`] accepts [`LEGACY_VERSION`] headers —
+//! a v1 encode request (which has no cost-model field) decodes with
+//! [`CostModel::Inline`], and the v1 response/error/metrics bodies are
+//! byte-identical to v2. Versions other than 1 and 2 are rejected with
+//! [`WireError::UnsupportedVersion`].
+//!
+//! The compatibility is deliberately **receive-side only**: this build
+//! answers every peer with version-2 headers, so a strict v1 peer (whose
+//! decoder rejects any other version byte) can be *decoded by* this
+//! service but cannot parse its replies. That keeps the frame writers
+//! version-free and is sufficient for the supported migration order —
+//! upgrade servers first, then clients; a v1 *frame stream* (captures,
+//! queued frames, old client builds being migrated) stays readable
+//! throughout.
+//!
 //! Encoding appends to a caller-owned `Vec<u8>` (reused buffers never
 //! reallocate in steady state); decoding is **zero-copy and `unsafe`-free**:
 //! [`decode_frame`] hands back views that borrow the receive buffer —
@@ -35,13 +59,19 @@
 
 use core::fmt;
 use dbi_core::{CostBreakdown, CostWeights, InversionMask, Scheme};
+use dbi_phy::{NamedInterface, OperatingPoint};
 
 /// The two magic bytes opening every frame: ASCII `"DB"`.
 pub const MAGIC: [u8; 2] = *b"DB";
 
-/// Protocol version spoken by this build. Peers with a different version
-/// are rejected with [`WireError::UnsupportedVersion`].
-pub const VERSION: u8 = 1;
+/// Protocol version written by this build. Peers announcing a version
+/// other than this or [`LEGACY_VERSION`] are rejected with
+/// [`WireError::UnsupportedVersion`].
+pub const VERSION: u8 = 2;
+
+/// The previous protocol version, still accepted on decode (see the
+/// [module documentation](self) for the compatibility rules).
+pub const LEGACY_VERSION: u8 = 1;
 
 /// Bytes in the fixed frame header.
 pub const HEADER_LEN: usize = 8;
@@ -50,9 +80,19 @@ pub const HEADER_LEN: usize = 8;
 /// so a malicious or corrupt length field can never trigger a huge read.
 pub const MAX_BODY_LEN: usize = 8 << 20;
 
-/// Fixed-size prefix of an encode-request body, before the payload bytes.
-/// Public so the engine can verify an admitted request also fits a frame.
-pub const REQUEST_HEAD_LEN: usize = 8 + 1 + CostWeights::WIRE_BYTES + 2 + 1 + 1 + 4;
+/// Size of the fixed-width wire encoding of a [`CostModel`]: a tag byte
+/// plus a 12-byte payload (padded so every variant is the same width).
+pub const COST_MODEL_WIRE_BYTES: usize = 13;
+
+/// Fixed-size prefix of a version-2 encode-request body, before the
+/// payload bytes. Public so the engine can verify an admitted request
+/// also fits a frame.
+pub const REQUEST_HEAD_LEN: usize =
+    8 + 1 + CostWeights::WIRE_BYTES + COST_MODEL_WIRE_BYTES + 2 + 1 + 1 + 4;
+
+/// Fixed-size prefix of a version-1 encode-request body (no cost-model
+/// field).
+pub const V1_REQUEST_HEAD_LEN: usize = 8 + 1 + CostWeights::WIRE_BYTES + 2 + 1 + 1 + 4;
 
 /// Fixed-size prefix of an encode-response body, before the records.
 /// Public so the engine can verify an admitted request's response fits a
@@ -103,6 +143,13 @@ pub enum WireError {
     UnknownErrorCode(u8),
     /// A text field is not valid UTF-8.
     BadUtf8,
+    /// The cost-model tag is not one this version defines.
+    UnknownCostModelTag(u8),
+    /// A named cost model carried an interface tag this version does not
+    /// define.
+    UnknownInterfaceTag(u8),
+    /// A named cost model carried a zero data rate.
+    BadDataRate,
 }
 
 impl fmt::Display for WireError {
@@ -115,7 +162,8 @@ impl fmt::Display for WireError {
             WireError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported protocol version {v} (this build speaks {VERSION})"
+                    "unsupported protocol version {v} (this build speaks {VERSION} \
+                     and still decodes {LEGACY_VERSION})"
                 )
             }
             WireError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
@@ -132,6 +180,13 @@ impl fmt::Display for WireError {
             WireError::BadWeights => write!(f, "parametric scheme carries invalid cost weights"),
             WireError::UnknownErrorCode(c) => write!(f, "unknown error code {c}"),
             WireError::BadUtf8 => write!(f, "text field is not valid UTF-8"),
+            WireError::UnknownCostModelTag(t) => write!(f, "unknown cost-model tag {t}"),
+            WireError::UnknownInterfaceTag(t) => {
+                write!(f, "unknown operating-point interface tag {t}")
+            }
+            WireError::BadDataRate => {
+                write!(f, "named cost model carries a zero data rate")
+            }
         }
     }
 }
@@ -157,6 +212,9 @@ pub enum ErrorCode {
     BadRequest = 6,
     /// The service hit an internal invariant violation.
     Internal = 7,
+    /// The request's cost model does not apply to its scheme (protocol
+    /// version 2).
+    BadCostModel = 8,
 }
 
 impl ErrorCode {
@@ -169,8 +227,136 @@ impl ErrorCode {
             5 => Ok(ErrorCode::SessionMismatch),
             6 => Ok(ErrorCode::BadRequest),
             7 => Ok(ErrorCode::Internal),
+            8 => Ok(ErrorCode::BadCostModel),
             other => Err(WireError::UnknownErrorCode(other)),
         }
+    }
+}
+
+/// Where a session's cost coefficients come from — the protocol-2
+/// **cost-model field** of an encode request.
+///
+/// The model composes with the request's [`Scheme`]: for the parametric
+/// schemes (`Opt`, `OptFixed`, `Greedy`) a non-inline model *replaces*
+/// the embedded weights; the engine rejects non-inline models on schemes
+/// that take no coefficients (with [`ErrorCode::BadCostModel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum CostModel {
+    /// Use the weights embedded in the scheme field — exactly the
+    /// version-1 semantics. This is what v1 frames decode to.
+    #[default]
+    Inline,
+    /// Explicit runtime coefficients (raw `alpha,beta`).
+    Weights(CostWeights),
+    /// A named phy operating point (e.g. `sstl15@6.4`, `pod12@3.2`); the
+    /// engine quantises the point's energy ratio into coefficients.
+    Named(OperatingPoint),
+}
+
+/// Cost-model wire tags.
+mod cost_model_tag {
+    pub const INLINE: u8 = 0;
+    pub const WEIGHTS: u8 = 1;
+    pub const NAMED: u8 = 2;
+}
+
+impl CostModel {
+    /// Appends the fixed-width ([`COST_MODEL_WIRE_BYTES`]) wire form:
+    /// a tag byte, then a 12-byte payload (zero-padded).
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut payload = [0u8; COST_MODEL_WIRE_BYTES - 1];
+        let tag = match *self {
+            CostModel::Inline => cost_model_tag::INLINE,
+            CostModel::Weights(weights) => {
+                payload[..CostWeights::WIRE_BYTES].copy_from_slice(&weights.to_le_bytes());
+                cost_model_tag::WEIGHTS
+            }
+            CostModel::Named(point) => {
+                payload[0] = point.interface().wire_tag();
+                payload[4..8].copy_from_slice(&point.rate_mbps().to_le_bytes());
+                cost_model_tag::NAMED
+            }
+        };
+        out.push(tag);
+        out.extend_from_slice(&payload);
+    }
+
+    /// Inverse of [`CostModel::encode_into`]. Padding bytes are ignored.
+    fn decode(bytes: &[u8; COST_MODEL_WIRE_BYTES]) -> Result<CostModel, WireError> {
+        let payload = &bytes[1..];
+        match bytes[0] {
+            cost_model_tag::INLINE => Ok(CostModel::Inline),
+            cost_model_tag::WEIGHTS => {
+                let mut weights = [0u8; CostWeights::WIRE_BYTES];
+                weights.copy_from_slice(&payload[..CostWeights::WIRE_BYTES]);
+                Ok(CostModel::Weights(
+                    CostWeights::from_le_bytes(weights).map_err(|_| WireError::BadWeights)?,
+                ))
+            }
+            cost_model_tag::NAMED => {
+                let interface = NamedInterface::from_wire_tag(payload[0])
+                    .ok_or(WireError::UnknownInterfaceTag(payload[0]))?;
+                let rate_mbps =
+                    u32::from_le_bytes([payload[4], payload[5], payload[6], payload[7]]);
+                let point = OperatingPoint::new(interface, rate_mbps)
+                    .map_err(|_| WireError::BadDataRate)?;
+                Ok(CostModel::Named(point))
+            }
+            other => Err(WireError::UnknownCostModelTag(other)),
+        }
+    }
+}
+
+impl fmt::Display for CostModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostModel::Inline => f.write_str("inline"),
+            CostModel::Weights(weights) => write!(f, "{},{}", weights.alpha(), weights.beta()),
+            CostModel::Named(point) => write!(f, "{point}"),
+        }
+    }
+}
+
+/// Failure to parse a [`CostModel`] from its string form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCostModelError(String);
+
+impl fmt::Display for ParseCostModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot parse {:?} as a cost model (expected \"inline\", \"ALPHA,BETA\" \
+             or \"interface@gbps\")",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseCostModelError {}
+
+impl core::str::FromStr for CostModel {
+    type Err = ParseCostModelError;
+
+    /// Parses the human-facing cost-model forms: `inline` (or an empty
+    /// string), raw `ALPHA,BETA` coefficients (`3,1`), or a named
+    /// operating point (`sstl15@6.4`, `pod12@3.2`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        let invalid = || ParseCostModelError(trimmed.to_owned());
+        if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("inline") {
+            return Ok(CostModel::Inline);
+        }
+        if trimmed.contains('@') {
+            let point: OperatingPoint = trimmed.parse().map_err(|_| invalid())?;
+            return Ok(CostModel::Named(point));
+        }
+        let (alpha, beta) = trimmed.split_once(',').ok_or_else(invalid)?;
+        let alpha: u32 = alpha.trim().parse().map_err(|_| invalid())?;
+        let beta: u32 = beta.trim().parse().map_err(|_| invalid())?;
+        CostWeights::new(alpha, beta)
+            .map(CostModel::Weights)
+            .map_err(|_| invalid())
     }
 }
 
@@ -209,6 +395,9 @@ fn scheme_from_wire(tag: u8, weights: [u8; CostWeights::WIRE_BYTES]) -> Result<S
 /// A parsed frame header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Header {
+    /// The protocol version the frame was written with ([`VERSION`] or
+    /// [`LEGACY_VERSION`]).
+    pub version: u8,
     /// The frame type tag (validated later, by [`decode_frame`]).
     pub frame_type: u8,
     /// Announced body length in bytes.
@@ -216,7 +405,9 @@ pub struct Header {
 }
 
 /// Parses and validates the fixed 8-byte header: magic, version and the
-/// [`MAX_BODY_LEN`] bound.
+/// [`MAX_BODY_LEN`] bound. Both [`VERSION`] and [`LEGACY_VERSION`]
+/// headers are accepted; the version is reported in the returned
+/// [`Header`] so body decoding can pick the right layout.
 ///
 /// # Errors
 ///
@@ -232,7 +423,7 @@ pub fn parse_header(bytes: &[u8]) -> Result<Header, WireError> {
     if bytes[..2] != MAGIC {
         return Err(WireError::BadMagic([bytes[0], bytes[1]]));
     }
-    if bytes[2] != VERSION {
+    if bytes[2] != VERSION && bytes[2] != LEGACY_VERSION {
         return Err(WireError::UnsupportedVersion(bytes[2]));
     }
     let body_len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
@@ -243,6 +434,7 @@ pub fn parse_header(bytes: &[u8]) -> Result<Header, WireError> {
         });
     }
     Ok(Header {
+        version: bytes[2],
         frame_type: bytes[3],
         body_len,
     })
@@ -264,6 +456,9 @@ pub struct EncodeRequestFrame<'a> {
     pub session_id: u64,
     /// The DBI scheme to encode with.
     pub scheme: Scheme,
+    /// Where the session's cost coefficients come from (protocol 2); see
+    /// [`CostModel`]. [`CostModel::Inline`] reproduces v1 semantics.
+    pub cost_model: CostModel,
     /// Lane groups of the channel.
     pub groups: u16,
     /// Burst length in beats.
@@ -276,7 +471,8 @@ pub struct EncodeRequestFrame<'a> {
 }
 
 impl EncodeRequestFrame<'_> {
-    /// Appends the full frame (header + body) to `out`.
+    /// Appends the full frame (header + body) to `out`, in the
+    /// [`VERSION`]-2 layout.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         let (tag, weights) = scheme_to_wire(self.scheme);
         push_header(
@@ -287,6 +483,7 @@ impl EncodeRequestFrame<'_> {
         out.extend_from_slice(&self.session_id.to_le_bytes());
         out.push(tag);
         out.extend_from_slice(&weights.to_le_bytes());
+        self.cost_model.encode_into(out);
         out.extend_from_slice(&self.groups.to_le_bytes());
         out.push(self.burst_len);
         out.push(u8::from(self.want_masks));
@@ -302,6 +499,9 @@ pub struct EncodeRequestView<'a> {
     pub session_id: u64,
     /// See [`EncodeRequestFrame::scheme`].
     pub scheme: Scheme,
+    /// See [`EncodeRequestFrame::cost_model`]. Always
+    /// [`CostModel::Inline`] for version-1 frames.
+    pub cost_model: CostModel,
     /// See [`EncodeRequestFrame::groups`].
     pub groups: u16,
     /// See [`EncodeRequestFrame::burst_len`].
@@ -312,10 +512,15 @@ pub struct EncodeRequestView<'a> {
     pub payload: &'a [u8],
 }
 
-fn decode_request(body: &[u8]) -> Result<EncodeRequestView<'_>, WireError> {
-    if body.len() < REQUEST_HEAD_LEN {
+fn decode_request(body: &[u8], version: u8) -> Result<EncodeRequestView<'_>, WireError> {
+    let head_len = if version == LEGACY_VERSION {
+        V1_REQUEST_HEAD_LEN
+    } else {
+        REQUEST_HEAD_LEN
+    };
+    if body.len() < head_len {
         return Err(WireError::Truncated {
-            needed: REQUEST_HEAD_LEN,
+            needed: head_len,
             got: body.len(),
         });
     }
@@ -323,18 +528,27 @@ fn decode_request(body: &[u8]) -> Result<EncodeRequestView<'_>, WireError> {
     let scheme_tag = body[8];
     let mut weights = [0u8; CostWeights::WIRE_BYTES];
     weights.copy_from_slice(&body[9..9 + CostWeights::WIRE_BYTES]);
-    let rest = &body[9 + CostWeights::WIRE_BYTES..];
+    let mut rest = &body[9 + CostWeights::WIRE_BYTES..];
+    let cost_model = if version == LEGACY_VERSION {
+        CostModel::Inline
+    } else {
+        let mut field = [0u8; COST_MODEL_WIRE_BYTES];
+        field.copy_from_slice(&rest[..COST_MODEL_WIRE_BYTES]);
+        rest = &rest[COST_MODEL_WIRE_BYTES..];
+        CostModel::decode(&field)?
+    };
     let groups = u16::from_le_bytes([rest[0], rest[1]]);
     let burst_len = rest[2];
     let want_masks = rest[3] != 0;
     let payload_len = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]) as usize;
-    let payload = &body[REQUEST_HEAD_LEN..];
+    let payload = &body[head_len..];
     if payload.len() != payload_len {
         return Err(WireError::BodyMismatch);
     }
     Ok(EncodeRequestView {
         session_id,
         scheme: scheme_from_wire(scheme_tag, weights)?,
+        cost_model,
         groups,
         burst_len,
         want_masks,
@@ -534,7 +748,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame<'_>, usize), WireError> {
     }
     let body = &bytes[HEADER_LEN..total];
     let frame = match header.frame_type {
-        tag::ENCODE_REQUEST => Frame::EncodeRequest(decode_request(body)?),
+        tag::ENCODE_REQUEST => Frame::EncodeRequest(decode_request(body, header.version)?),
         tag::ENCODE_RESPONSE => Frame::EncodeResponse(decode_response(body)?),
         tag::ERROR => Frame::Error(decode_error(body)?),
         tag::METRICS_REQUEST => {
@@ -561,6 +775,7 @@ mod tests {
         let frame = EncodeRequestFrame {
             session_id: 0xAB,
             scheme: Scheme::Opt(CostWeights::new(2, 3).unwrap()),
+            cost_model: CostModel::Inline,
             groups: 4,
             burst_len: 8,
             want_masks: true,
@@ -685,6 +900,7 @@ mod tests {
         EncodeRequestFrame {
             session_id: 1,
             scheme: Scheme::Raw,
+            cost_model: CostModel::Inline,
             groups: 1,
             burst_len: 8,
             want_masks: false,
@@ -722,9 +938,168 @@ mod tests {
             WireError::BadWeights,
             WireError::UnknownErrorCode(7),
             WireError::BadUtf8,
+            WireError::UnknownCostModelTag(8),
+            WireError::UnknownInterfaceTag(9),
+            WireError::BadDataRate,
         ];
         for err in variants {
             assert!(!err.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn cost_models_roundtrip_and_parse() {
+        let named: OperatingPoint = "pod12@3.2".parse().unwrap();
+        let models = [
+            CostModel::Inline,
+            CostModel::Weights(CostWeights::new(3, 1).unwrap()),
+            CostModel::Named(named),
+        ];
+        let payload = [0u8; 8];
+        for model in models {
+            let mut buf = Vec::new();
+            EncodeRequestFrame {
+                session_id: 7,
+                scheme: Scheme::OptFixed,
+                cost_model: model,
+                groups: 1,
+                burst_len: 8,
+                want_masks: false,
+                payload: &payload,
+            }
+            .encode_into(&mut buf);
+            let (Frame::EncodeRequest(view), _) = decode_frame(&buf).unwrap() else {
+                panic!("wrong frame type");
+            };
+            assert_eq!(view.cost_model, model);
+            // The string form round-trips through FromStr as well.
+            assert_eq!(model.to_string().parse::<CostModel>().unwrap(), model);
+        }
+        assert_eq!("inline".parse::<CostModel>().unwrap(), CostModel::Inline);
+        assert_eq!(
+            "sstl15@6.4".parse::<CostModel>().unwrap(),
+            CostModel::Named("sstl15@6.4".parse().unwrap())
+        );
+        for bad in ["nope", "3", "0,0", "lvds@1", "pod12@0"] {
+            assert!(bad.parse::<CostModel>().is_err(), "{bad:?}");
+            assert!(!ParseCostModelError(bad.to_owned()).to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn malformed_cost_model_fields_are_typed_errors() {
+        let payload = [0u8; 8];
+        let mut buf = Vec::new();
+        EncodeRequestFrame {
+            session_id: 7,
+            scheme: Scheme::OptFixed,
+            cost_model: CostModel::Weights(CostWeights::FIXED),
+            groups: 1,
+            burst_len: 8,
+            want_masks: false,
+            payload: &payload,
+        }
+        .encode_into(&mut buf);
+        let field_at = HEADER_LEN + 8 + 1 + CostWeights::WIRE_BYTES;
+
+        // Unknown cost-model tag.
+        let mut bad = buf.clone();
+        bad[field_at] = 9;
+        assert_eq!(decode_frame(&bad), Err(WireError::UnknownCostModelTag(9)));
+
+        // Weights model carrying an all-zero (invalid) pair.
+        let mut bad = buf.clone();
+        bad[field_at + 1..field_at + 1 + CostWeights::WIRE_BYTES].fill(0);
+        assert_eq!(decode_frame(&bad), Err(WireError::BadWeights));
+
+        // Named model with an unknown interface, then a zero rate.
+        let mut bad = buf.clone();
+        bad[field_at] = 2;
+        bad[field_at + 1] = 77;
+        assert_eq!(decode_frame(&bad), Err(WireError::UnknownInterfaceTag(77)));
+        let mut bad = buf;
+        bad[field_at] = 2;
+        bad[field_at + 1] = NamedInterface::Pod12.wire_tag();
+        bad[field_at + 5..field_at + 9].fill(0);
+        assert_eq!(decode_frame(&bad), Err(WireError::BadDataRate));
+    }
+
+    /// Hand-assembles a version-1 encode-request frame (the layout this
+    /// protocol shipped with before the cost-model field existed).
+    fn encode_v1_request(
+        session_id: u64,
+        scheme: Scheme,
+        groups: u16,
+        burst_len: u8,
+        want_masks: bool,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let (scheme_tag, weights) = scheme_to_wire(scheme);
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.push(LEGACY_VERSION);
+        out.push(tag::ENCODE_REQUEST);
+        out.extend_from_slice(&((V1_REQUEST_HEAD_LEN + payload.len()) as u32).to_le_bytes());
+        out.extend_from_slice(&session_id.to_le_bytes());
+        out.push(scheme_tag);
+        out.extend_from_slice(&weights.to_le_bytes());
+        out.extend_from_slice(&groups.to_le_bytes());
+        out.push(burst_len);
+        out.push(u8::from(want_masks));
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn v1_frames_are_still_decoded() {
+        // A v1 request decodes to the same view a v2 Inline request does.
+        let payload = [9u8, 8, 7, 6, 5, 4, 3, 2];
+        let scheme = Scheme::Opt(CostWeights::new(2, 5).unwrap());
+        let v1 = encode_v1_request(0xC0DE, scheme, 4, 8, true, &payload);
+        let (Frame::EncodeRequest(view), consumed) = decode_frame(&v1).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(consumed, v1.len());
+        assert_eq!(view.session_id, 0xC0DE);
+        assert_eq!(view.scheme, scheme);
+        assert_eq!(view.cost_model, CostModel::Inline);
+        assert_eq!(view.payload, &payload);
+
+        // v1 response/error/metrics bodies are byte-identical to v2:
+        // re-stamping a v2 frame's version byte must decode unchanged.
+        let mut buf = Vec::new();
+        EncodeResponseFrame {
+            session_id: 3,
+            bursts: 4,
+            per_group: &[CostBreakdown::new(1, 2)],
+            masks: &[InversionMask::from_bits(5)],
+        }
+        .encode_into(&mut buf);
+        encode_metrics_request(&mut buf);
+        encode_metrics_response(&mut buf, "{}");
+        ErrorFrame {
+            code: ErrorCode::Overloaded,
+            message: "busy",
+        }
+        .encode_into(&mut buf);
+        let mut offset = 0;
+        while offset < buf.len() {
+            let (v2_frame, len) = decode_frame(&buf[offset..]).unwrap();
+            let mut v1_bytes = buf[offset..offset + len].to_vec();
+            v1_bytes[2] = LEGACY_VERSION;
+            let (v1_frame, v1_len) = decode_frame(&v1_bytes).unwrap();
+            assert_eq!(v1_len, len);
+            assert_eq!(v1_frame, v2_frame);
+            offset += len;
+        }
+
+        // Anything beyond the two known versions stays rejected.
+        let mut future = encode_v1_request(1, Scheme::Raw, 1, 8, false, &[0u8; 8]);
+        future[2] = VERSION + 1;
+        assert_eq!(
+            decode_frame(&future),
+            Err(WireError::UnsupportedVersion(VERSION + 1))
+        );
     }
 }

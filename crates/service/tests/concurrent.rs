@@ -9,7 +9,9 @@
 
 use dbi_core::{CostBreakdown, InversionMask, Scheme};
 use dbi_mem::BusSession;
-use dbi_service::{EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient, TcpServer};
+use dbi_service::{
+    CostModel, EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient, TcpServer,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,6 +61,7 @@ fn concurrent_tcp_clients_match_serial_sessions_bit_for_bit() {
                         let request = EncodeRequest {
                             session_id: 0xC11E + client as u64,
                             scheme,
+                            cost_model: CostModel::Inline,
                             groups: GROUPS,
                             burst_len: BURST_LEN,
                             want_masks: true,
@@ -161,6 +164,7 @@ fn shared_session_id_stays_coherent_across_connections() {
                         &EncodeRequest {
                             session_id: 7,
                             scheme: Scheme::OptFixed,
+                            cost_model: CostModel::Inline,
                             groups: 4,
                             burst_len: 8,
                             want_masks: false,
@@ -197,6 +201,7 @@ fn shared_session_id_stays_coherent_across_connections() {
             &EncodeRequest {
                 session_id: 7,
                 scheme: Scheme::OptFixed,
+                cost_model: CostModel::Inline,
                 groups: 4,
                 burst_len: 8,
                 want_masks: false,

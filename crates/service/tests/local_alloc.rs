@@ -12,7 +12,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use dbi_core::Scheme;
-use dbi_service::{EncodeReply, EncodeRequest, Engine, ServiceConfig};
+use dbi_service::{CostModel, EncodeReply, EncodeRequest, Engine, ServiceConfig};
 
 struct CountingAllocator;
 
@@ -61,6 +61,7 @@ fn steady_state_requests_are_allocation_free() {
     let request = EncodeRequest {
         session_id: 0xA110C,
         scheme: Scheme::OptFixed,
+        cost_model: CostModel::Inline,
         groups: 4,
         burst_len: 8,
         want_masks: true,
@@ -93,5 +94,27 @@ fn steady_state_requests_are_allocation_free() {
     assert_eq!(reply.bursts, 32);
     assert_eq!(reply.masks.len(), 32);
     assert!(engine.metrics().totals().requests >= 265);
+
+    // A session whose plan comes from an explicit cost model rides the
+    // same zero-allocation path once its plan is cached: resolving the
+    // model and encoding through the shared plan touch no heap.
+    let costed = EncodeRequest {
+        session_id: 0xC057,
+        scheme: Scheme::OptFixed,
+        cost_model: CostModel::Weights(dbi_core::CostWeights::new(5, 2).unwrap()),
+        ..request
+    };
+    for _ in 0..8 {
+        client.encode(&costed, &mut reply).unwrap();
+    }
+    let costed_steady = allocations_during(|| {
+        for _ in 0..256 {
+            client.encode(&costed, &mut reply).unwrap();
+        }
+    });
+    assert_eq!(
+        costed_steady, 0,
+        "cost-model requests must not allocate once warm (observed {costed_steady})"
+    );
     engine.shutdown();
 }

@@ -7,9 +7,10 @@
 //! as a typed [`WireError`], never a panic.
 
 use dbi_core::{CostBreakdown, CostWeights, InversionMask, Scheme};
+use dbi_phy::{NamedInterface, OperatingPoint};
 use dbi_service::wire::{
-    decode_frame, encode_metrics_request, encode_metrics_response, EncodeRequestFrame,
-    EncodeResponseFrame, ErrorCode, ErrorFrame, Frame, WireError, VERSION,
+    decode_frame, encode_metrics_request, encode_metrics_response, CostModel, EncodeRequestFrame,
+    EncodeResponseFrame, ErrorCode, ErrorFrame, Frame, WireError, LEGACY_VERSION, VERSION,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -31,13 +32,31 @@ fn arbitrary_scheme(rng: &mut StdRng) -> Scheme {
     }
 }
 
-fn arbitrary_request(rng: &mut StdRng, payload: &mut Vec<u8>) -> (u64, Scheme, u16, u8, bool) {
+fn arbitrary_cost_model(rng: &mut StdRng) -> CostModel {
+    match rng.gen_range(0u8..3) {
+        0 => CostModel::Inline,
+        1 => CostModel::Weights(
+            CostWeights::new(rng.gen_range(0u32..9), rng.gen_range(1u32..9))
+                .expect("beta is nonzero"),
+        ),
+        _ => {
+            let interface = NamedInterface::ALL[rng.gen_range(0usize..NamedInterface::ALL.len())];
+            let rate_mbps = rng.gen_range(1u32..64_000);
+            CostModel::Named(OperatingPoint::new(interface, rate_mbps).expect("nonzero rate"))
+        }
+    }
+}
+
+type ArbitraryRequest = (u64, Scheme, CostModel, u16, u8, bool);
+
+fn arbitrary_request(rng: &mut StdRng, payload: &mut Vec<u8>) -> ArbitraryRequest {
     payload.clear();
     let len = rng.gen_range(0usize..256);
     payload.extend((0..len).map(|_| rng.gen::<u8>()));
     (
         rng.gen::<u64>(),
         arbitrary_scheme(rng),
+        arbitrary_cost_model(rng),
         rng.gen::<u16>(),
         rng.gen::<u8>(),
         rng.gen::<bool>(),
@@ -50,11 +69,12 @@ fn arbitrary_requests_roundtrip() {
     let mut payload = Vec::new();
     let mut buf = Vec::new();
     for _ in 0..ROUNDS {
-        let (session_id, scheme, groups, burst_len, want_masks) =
+        let (session_id, scheme, cost_model, groups, burst_len, want_masks) =
             arbitrary_request(&mut rng, &mut payload);
         let frame = EncodeRequestFrame {
             session_id,
             scheme,
+            cost_model,
             groups,
             burst_len,
             want_masks,
@@ -69,6 +89,7 @@ fn arbitrary_requests_roundtrip() {
         };
         assert_eq!(view.session_id, session_id);
         assert_eq!(view.scheme, scheme);
+        assert_eq!(view.cost_model, cost_model);
         assert_eq!(view.groups, groups);
         assert_eq!(view.burst_len, burst_len);
         assert_eq!(view.want_masks, want_masks);
@@ -119,6 +140,7 @@ fn arbitrary_error_and_metrics_frames_roundtrip() {
         ErrorCode::SessionMismatch,
         ErrorCode::BadRequest,
         ErrorCode::Internal,
+        ErrorCode::BadCostModel,
     ];
     let mut buf = Vec::new();
     for _ in 0..ROUNDS {
@@ -155,12 +177,13 @@ fn every_truncation_is_rejected_without_panicking() {
     let mut payload = Vec::new();
     let mut buf: Vec<u8> = Vec::new();
     for _ in 0..16 {
-        let (session_id, scheme, groups, burst_len, want_masks) =
+        let (session_id, scheme, cost_model, groups, burst_len, want_masks) =
             arbitrary_request(&mut rng, &mut payload);
         buf.clear();
         EncodeRequestFrame {
             session_id,
             scheme,
+            cost_model,
             groups,
             burst_len,
             want_masks,
@@ -211,12 +234,13 @@ fn corrupt_headers_are_typed_errors_never_panics() {
     let mut payload = Vec::new();
     let mut frame = Vec::new();
     for round in 0..64 {
-        let (session_id, scheme, groups, burst_len, want_masks) =
+        let (session_id, scheme, cost_model, groups, burst_len, want_masks) =
             arbitrary_request(&mut rng, &mut payload);
         frame.clear();
         EncodeRequestFrame {
             session_id,
             scheme,
+            cost_model,
             groups,
             burst_len,
             want_masks,
@@ -236,6 +260,127 @@ fn corrupt_headers_are_typed_errors_never_panics() {
     }
 }
 
+/// Every byte of the cost-model field corrupted to every value: decoding
+/// either succeeds (the mutation landed on a don't-care pad byte or
+/// produced another valid model) or yields a typed cost-model error —
+/// never a panic, and never a frame that silently misreports its model.
+#[test]
+fn cost_model_field_corruption_is_exhaustively_typed() {
+    use dbi_service::wire::{COST_MODEL_WIRE_BYTES, HEADER_LEN};
+    let mut rng = StdRng::seed_from_u64(0xC057);
+    let mut payload = Vec::new();
+    let mut pristine = Vec::new();
+    // The cost-model field sits after session_id (8), scheme tag (1) and
+    // the scheme weights (8).
+    let field_at = HEADER_LEN + 8 + 1 + 8;
+    for _ in 0..8 {
+        let (session_id, scheme, cost_model, groups, burst_len, want_masks) =
+            arbitrary_request(&mut rng, &mut payload);
+        pristine.clear();
+        EncodeRequestFrame {
+            session_id,
+            scheme,
+            cost_model,
+            groups,
+            burst_len,
+            want_masks,
+            payload: &payload,
+        }
+        .encode_into(&mut pristine);
+        for offset in 0..COST_MODEL_WIRE_BYTES {
+            for value in 0..=255u8 {
+                let mut frame = pristine.clone();
+                frame[field_at + offset] = value;
+                match decode_frame(&frame) {
+                    Ok((Frame::EncodeRequest(view), consumed)) => {
+                        assert_eq!(consumed, frame.len());
+                        // Whatever decoded must re-encode to the same
+                        // model when written back out.
+                        let mut reencoded = Vec::new();
+                        EncodeRequestFrame {
+                            session_id: view.session_id,
+                            scheme: view.scheme,
+                            cost_model: view.cost_model,
+                            groups: view.groups,
+                            burst_len: view.burst_len,
+                            want_masks: view.want_masks,
+                            payload: view.payload,
+                        }
+                        .encode_into(&mut reencoded);
+                        let (Frame::EncodeRequest(again), _) = decode_frame(&reencoded).unwrap()
+                        else {
+                            panic!("re-encode changed the frame type");
+                        };
+                        assert_eq!(again.cost_model, view.cost_model);
+                    }
+                    Ok(_) => panic!("corruption changed the frame type"),
+                    Err(
+                        WireError::UnknownCostModelTag(_)
+                        | WireError::UnknownInterfaceTag(_)
+                        | WireError::BadDataRate
+                        | WireError::BadWeights,
+                    ) => {}
+                    Err(other) => {
+                        panic!("offset {offset} value {value}: unexpected error {other:?}")
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Arbitrary v1 request frames (hand-assembled in the legacy layout)
+/// still decode, with the cost model defaulting to `Inline` — the
+/// documented compatibility contract of the version-2 protocol.
+#[test]
+fn legacy_v1_requests_decode_with_an_inline_cost_model() {
+    use dbi_service::wire::V1_REQUEST_HEAD_LEN;
+    let mut rng = StdRng::seed_from_u64(0x1E9AC);
+    let mut payload = Vec::new();
+    for _ in 0..ROUNDS {
+        let (session_id, scheme, _, groups, burst_len, want_masks) =
+            arbitrary_request(&mut rng, &mut payload);
+        // v2 encode, then surgically rewrite into the v1 layout: drop the
+        // 13-byte cost-model field and fix up the lengths.
+        let mut v2 = Vec::new();
+        EncodeRequestFrame {
+            session_id,
+            scheme,
+            cost_model: CostModel::Inline,
+            groups,
+            burst_len,
+            want_masks,
+            payload: &payload,
+        }
+        .encode_into(&mut v2);
+        let mut v1 = v2.clone();
+        v1[2] = LEGACY_VERSION;
+        let field_at = 8 + 8 + 1 + 8;
+        v1.drain(field_at..field_at + 13);
+        let body_len = (V1_REQUEST_HEAD_LEN + payload.len()) as u32;
+        v1[4..8].copy_from_slice(&body_len.to_le_bytes());
+
+        let (Frame::EncodeRequest(view), consumed) =
+            decode_frame(&v1).expect("v1 frames must decode")
+        else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(consumed, v1.len());
+        assert_eq!(view.session_id, session_id);
+        assert_eq!(view.scheme, scheme);
+        assert_eq!(view.cost_model, CostModel::Inline);
+        assert_eq!(view.payload, payload.as_slice());
+
+        // And every truncation of the v1 frame is still a typed error.
+        for cut in 0..v1.len() {
+            assert!(
+                matches!(decode_frame(&v1[..cut]), Err(WireError::Truncated { .. })),
+                "v1 cut at {cut} must be Truncated"
+            );
+        }
+    }
+}
+
 /// Frames concatenated back-to-back decode independently, each reporting
 /// its own length — the invariant the TCP framing layer relies on.
 #[test]
@@ -245,11 +390,12 @@ fn concatenated_frames_are_walkable() {
     let mut buf = Vec::new();
     let mut expected = Vec::new();
     for _ in 0..20 {
-        let (session_id, scheme, groups, burst_len, want_masks) =
+        let (session_id, scheme, cost_model, groups, burst_len, want_masks) =
             arbitrary_request(&mut rng, &mut payload);
         EncodeRequestFrame {
             session_id,
             scheme,
+            cost_model,
             groups,
             burst_len,
             want_masks,

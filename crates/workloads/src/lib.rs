@@ -41,7 +41,7 @@ pub use synthetic::{
     standard_suite, FloatArrayBursts, FramebufferBursts, MarkovBursts, TextBursts, ZeroHeavyBursts,
 };
 pub use trace::{ParseTraceError, Trace};
-pub use trace_encoder::{TraceEncoder, TraceSummary};
+pub use trace_encoder::{PlanTraceEncoder, TraceEncoder, TraceSummary};
 
 #[cfg(test)]
 mod tests {

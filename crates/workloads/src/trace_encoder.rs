@@ -23,7 +23,10 @@
 
 use crate::trace::Trace;
 use core::fmt;
-use dbi_core::{Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, InversionMask};
+use dbi_core::{
+    Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, EncodePlan, InversionMask, Scheme,
+};
+use std::sync::Arc;
 
 /// Aggregate result of encoding a burst stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,6 +94,15 @@ impl<E: DbiEncoder> TraceEncoder<E> {
         &self.encoder
     }
 
+    /// Replaces the encoder at a burst boundary, returning the previous
+    /// one. The carried [`BusState`] is **preserved**: the lane levels on
+    /// the wires are a physical fact independent of which encoder chose
+    /// them, so the next burst continues from the true state under the
+    /// new encoder.
+    pub fn swap_encoder(&mut self, encoder: E) -> E {
+        core::mem::replace(&mut self.encoder, encoder)
+    }
+
     /// The lane levels currently on the bus.
     #[must_use]
     pub const fn state(&self) -> BusState {
@@ -147,6 +159,39 @@ impl<E: DbiEncoder> TraceEncoder<E> {
             summary.activity += breakdown;
         }
         summary
+    }
+}
+
+/// A trace encoder driven by a shared runtime [`EncodePlan`] — the form
+/// the streaming layers hold when the operating point is chosen (and
+/// re-chosen) at runtime.
+pub type PlanTraceEncoder = TraceEncoder<Arc<EncodePlan>>;
+
+impl PlanTraceEncoder {
+    /// Creates a plan-driven trace encoder starting from the idle bus.
+    #[must_use]
+    pub fn with_plan(plan: Arc<EncodePlan>) -> PlanTraceEncoder {
+        TraceEncoder::new(plan)
+    }
+
+    /// Creates a plan-driven trace encoder for a scheme, with the plan
+    /// served from the process-wide plan cache.
+    #[must_use]
+    pub fn for_scheme(scheme: Scheme) -> PlanTraceEncoder {
+        TraceEncoder::new(scheme.plan())
+    }
+
+    /// The current plan.
+    #[must_use]
+    pub fn plan(&self) -> &Arc<EncodePlan> {
+        self.encoder()
+    }
+
+    /// Replaces the plan at a burst boundary, preserving the carried bus
+    /// state (see [`TraceEncoder::swap_encoder`]). Returns the previous
+    /// plan.
+    pub fn swap_plan(&mut self, plan: Arc<EncodePlan>) -> Arc<EncodePlan> {
+        self.swap_encoder(plan)
     }
 }
 
@@ -223,6 +268,46 @@ mod tests {
         assert!((a.mean_cost(&CostWeights::FIXED) - 25.0 / 3.0).abs() < 1e-12);
         assert_eq!(TraceSummary::default().mean_cost(&CostWeights::FIXED), 0.0);
         assert!(a.to_string().contains("3 bursts"));
+    }
+
+    #[test]
+    fn plan_trace_encoder_matches_scheme_dispatch_and_swaps_mid_stream() {
+        let trace = Trace::record(&mut UniformRandomBursts::with_seed(33), 48);
+        let first = Scheme::Dc;
+        let second = Scheme::Opt(dbi_core::CostWeights::new(3, 1).unwrap());
+
+        // Plan-driven encoding equals scheme dispatch burst for burst.
+        let mut by_plan = PlanTraceEncoder::for_scheme(first);
+        let mut by_scheme = TraceEncoder::new(first);
+        assert_eq!(by_plan.plan().scheme(), first);
+        assert_eq!(by_plan.encode_trace(&trace), by_scheme.encode_trace(&trace));
+        assert_eq!(by_plan.state(), by_scheme.state());
+
+        // Swap at a burst boundary: the carried state survives, and the
+        // tail is what a second-scheme encoder seeded with that state
+        // would produce.
+        by_plan.reset();
+        let (head, tail) = trace.bursts().split_at(trace.len() / 2);
+        let head_summary = by_plan.encode_bursts(head);
+        let old = by_plan.swap_plan(second.plan());
+        assert_eq!(old.scheme(), first);
+        let tail_summary = by_plan.encode_bursts(tail);
+
+        let mut reference = TraceEncoder::new(first);
+        let expected_head = reference.encode_bursts(head);
+        let mut continued = TraceEncoder::with_state(second.plan(), reference.state());
+        let expected_tail = continued.encode_bursts(tail);
+        assert_eq!(head_summary, expected_head);
+        assert_eq!(tail_summary, expected_tail);
+        assert_eq!(by_plan.state(), continued.state());
+    }
+
+    #[test]
+    fn swap_encoder_returns_the_previous_encoder() {
+        let mut encoder = TraceEncoder::new(Scheme::Ac);
+        let old = encoder.swap_encoder(Scheme::Dc);
+        assert_eq!(old, Scheme::Ac);
+        assert_eq!(encoder.encoder().name(), "DBI DC");
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! state coherent, bounded queues turn overload into an explicit
 //! response, and per-shard counters expose what the fleet is doing.
 
-use dbi::service::{EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient, TcpServer};
+use dbi::service::{
+    CostModel, EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient, TcpServer,
+};
 use dbi::Scheme;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &EncodeRequest {
             session_id: 1,
             scheme: Scheme::OptFixed,
+            cost_model: CostModel::Inline,
             groups: 4,
             burst_len: 8,
             want_masks: true,
@@ -60,6 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &EncodeRequest {
             session_id: 2, // a fresh session: its own carried bus state
             scheme: Scheme::OptFixed,
+            cost_model: CostModel::Inline,
             groups: 4,
             burst_len: 8,
             want_masks: true,
@@ -71,6 +75,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "tcp:    {} bursts encoded (bit-identical to local)",
         tcp_reply.bursts
+    );
+
+    // --- A session programmed by a named phy operating point. -----------
+    // "pod12@3.2" is DDR4's POD-1.2 interface at 3.2 Gbps: the engine
+    // quantises its energy ratio into (alpha, beta) and serves the plan
+    // from the shard-shared plan cache.
+    tcp.encode(
+        &EncodeRequest {
+            session_id: 3,
+            scheme: Scheme::OptFixed,
+            cost_model: "pod12@3.2".parse::<CostModel>()?,
+            groups: 4,
+            burst_len: 8,
+            want_masks: false,
+            payload: &payload,
+        },
+        &mut tcp_reply,
+    )?;
+    let pod = tcp_reply.total();
+    println!(
+        "pod12@3.2: {} zeros, {} transitions (DC-leaning weighting)",
+        pod.zeros, pod.transitions
     );
 
     // --- Metrics snapshot, as any client would scrape it. ---------------
