@@ -14,7 +14,10 @@
 //!   the sweep), kept as the before/after yardstick,
 //! * `trace` — whole-trace encoding with carried bus state
 //!   ([`TraceEncoder`]) and the multi-group [`BusSession`], serial and
-//!   rayon-parallel.
+//!   rayon-parallel,
+//! * `slab` — whole batches through [`DbiEncoder::encode_slab_into`]:
+//!   the OPT carried-state kernel (priced and masks-only) against the
+//!   serial per-burst chain and the default heuristic loop.
 //!
 //! After the criterion groups it re-times the key comparison directly and
 //! writes `BENCH_encode.json` at the repository root, so the perf
@@ -24,7 +27,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use dbi_bench::{random_buffer, random_bursts};
 use dbi_core::schemes::OptFixedEncoder;
 use dbi_core::{
-    Burst, BusState, CostWeights, DbiEncoder, EncodePlan, EncodedBurst, LaneWord, PlanCache, Scheme,
+    Burst, BurstSlab, BusState, CostWeights, DbiEncoder, EncodePlan, EncodedBurst, LaneWord,
+    PlanCache, Scheme,
 };
 use dbi_hw::PipelineEncoder;
 use dbi_mem::{BusSession, ChannelConfig};
@@ -256,6 +260,48 @@ fn encoder_throughput(c: &mut Criterion) {
     });
     group.finish();
 
+    // The batched slab plane: the whole burst set in one encode_slab_into
+    // call — the OPT kernel over contiguous storage vs. the default
+    // per-burst loop the heuristics ride, vs. the serial mask chain.
+    let mut slab = BurstSlab::with_capacity(8, bursts.len());
+    slab.extend_from_bursts(&bursts).expect("uniform bursts");
+    let mut group = c.benchmark_group("slab_encode");
+    group.throughput(Throughput::Elements(bursts.len() as u64));
+    group.bench_function("opt_fixed_kernel", |b| {
+        let opt = OptFixedEncoder::new();
+        b.iter(|| {
+            let mut carried = state;
+            opt.encode_slab_into(black_box(&mut slab), &mut carried);
+            black_box(slab.total())
+        });
+    });
+    group.bench_function("opt_fixed_kernel_masks_only", |b| {
+        let opt = OptFixedEncoder::new();
+        slab.set_pricing(false);
+        b.iter(|| {
+            let mut carried = state;
+            opt.encode_slab_into(black_box(&mut slab), &mut carried);
+            black_box(carried)
+        });
+        slab.set_pricing(true);
+    });
+    group.bench_function("opt_fixed_serial_chain", |b| {
+        let opt = OptFixedEncoder::new();
+        b.iter(|| {
+            let mut carried = state;
+            dbi_core::slab::encode_slab_serial(&opt, black_box(&mut slab), &mut carried);
+            black_box(slab.total())
+        });
+    });
+    group.bench_function("dc_default_loop", |b| {
+        b.iter(|| {
+            let mut carried = state;
+            Scheme::Dc.encode_slab_into(black_box(&mut slab), &mut carried);
+            black_box(slab.total())
+        });
+    });
+    group.finish();
+
     // Multi-group channel streams, serial vs rayon-parallel.
     let config = ChannelConfig::gddr5x();
     let data = random_buffer(256 * 1024);
@@ -315,6 +361,32 @@ fn write_bench_json(bursts: &[Burst], state: &BusState) {
         black_box(opt.encode(black_box(burst), state));
     });
 
+    // The slab kernel over the same burst set: whole-batch encode, one
+    // call — the headline of the batched data plane. Two numbers:
+    // masks-only (the exact work `encode_mask` does per burst, so the
+    // like-for-like amortisation comparison) and the priced pass that
+    // also fills the per-burst cost rows (what the service workers run).
+    let time_slab = |slab: &mut BurstSlab| {
+        let mut best = f64::INFINITY;
+        for _ in 0..30 {
+            let mut carried = *state;
+            let start = Instant::now();
+            opt.encode_slab_into(slab, &mut carried);
+            black_box(carried);
+            let ns = start.elapsed().as_secs_f64() * 1e9 / bursts.len() as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        best
+    };
+    let mut slab = BurstSlab::with_capacity(8, bursts.len());
+    slab.extend_from_bursts(bursts).expect("uniform bursts");
+    slab.set_pricing(false);
+    let slab_ns = time_slab(&mut slab);
+    slab.set_pricing(true);
+    let slab_priced_ns = time_slab(&mut slab);
+
     // Runtime cost-model plane: bespoke weights through a held cached
     // plan (the service steady state — sessions keep the Arc and encode
     // burst after burst), through a per-burst cache re-fetch, and through
@@ -348,16 +420,20 @@ fn write_bench_json(bursts: &[Burst], state: &BusState) {
 
     let speedup = baseline_ns / mask_ns;
     let plan_overhead = plan_cached_ns / mask_ns;
+    let slab_over_mask = slab_ns / mask_ns;
     let json = format!(
         "{{\n  \"benchmark\": \"OptFixed encode, 8-byte bursts, {} bursts\",\n  \
          \"seed_baseline_ns_per_burst\": {baseline_ns:.1},\n  \
          \"encode_mask_ns_per_burst\": {mask_ns:.1},\n  \
+         \"slab_ns_per_burst\": {slab_ns:.1},\n  \
+         \"slab_priced_ns_per_burst\": {slab_priced_ns:.1},\n  \
          \"encode_ns_per_burst\": {encode_ns:.1},\n  \
          \"trace_encode_ns_per_burst\": {trace_best:.1},\n  \
          \"plan_cached_ns_per_burst\": {plan_cached_ns:.1},\n  \
          \"plan_refetch_ns_per_burst\": {plan_refetch_ns:.1},\n  \
          \"plan_cold_build_ns_per_burst\": {plan_cold_ns:.1},\n  \
          \"plan_cached_over_fixed\": {plan_overhead:.2},\n  \
+         \"slab_over_mask\": {slab_over_mask:.2},\n  \
          \"mask_speedup_over_seed_baseline\": {speedup:.2}\n}}\n",
         bursts.len()
     );
@@ -372,6 +448,19 @@ fn write_bench_json(bursts: &[Burst], state: &BusState) {
     if speedup < 5.0 {
         let message = format!(
             "mask-only encode should be at least 5x the allocating baseline, measured {speedup:.2}x"
+        );
+        if std::env::var_os("DBI_ENFORCE_SPEEDUP").is_some() {
+            panic!("{message}");
+        }
+        eprintln!("WARNING: {message} (set DBI_ENFORCE_SPEEDUP=1 to make this fatal)");
+    }
+    // The slab kernel must not be slower than the per-burst mask path —
+    // the whole point of the batched plane is amortising per-burst
+    // overhead away (small tolerance for timer noise, same warn/enforce
+    // policy as the other gates).
+    if slab_over_mask > 1.02 {
+        let message = format!(
+            "slab encode should be at most the per-burst mask cost, measured {slab_over_mask:.2}x"
         );
         if std::env::var_os("DBI_ENFORCE_SPEEDUP").is_some() {
             panic!("{message}");

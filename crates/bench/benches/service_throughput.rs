@@ -3,26 +3,32 @@
 //!
 //! Spins the whole service up **in-process** and drives it with the
 //! `dbi_workloads` traffic mixes ([`LoadProfile`]) at varying client
-//! counts, over both transports:
+//! counts, over four transports:
 //!
 //! * `local` — each client thread owns a [`LocalClient`] (the
 //!   allocation-free in-process path; measures engine + sharding),
 //! * `tcp` — each client thread owns a [`TcpClient`] over loopback
-//!   (adds the wire protocol and socket round trip).
+//!   (adds the wire protocol and socket round trip),
+//! * `local-batch` / `tcp-batch` — the protocol-3 **batched data
+//!   plane**: each request is one `EncodeBatch` submission carrying
+//!   [`BATCH_ACCESSES`] accesses (one header + contiguous payload per
+//!   whole batch), the throughput headline of the slab refactor.
 //!
-//! Every request carries one batch of beat-interleaved accesses drawn
-//! from the client's profile; per-request latency is recorded and the
-//! run's requests/s, bursts/s and p50/p99 latency land in
-//! `BENCH_service.json` at the repository root, next to
-//! `BENCH_encode.json`.
+//! Per-request latency is recorded and the run's requests/s, bursts/s
+//! and p50/p99 latency land in `BENCH_service.json` at the repository
+//! root, next to `BENCH_encode.json`.
 //!
 //! Environment knobs: `DBI_SERVICE_SCHEME` (any name `Scheme::from_str`
-//! accepts, e.g. `opt-fixed`, `dc`, `opt:2,3`; default `opt-fixed`) and
-//! `DBI_SERVICE_BENCH_REQUESTS` (requests per client per run).
+//! accepts, e.g. `opt-fixed`, `dc`, `opt:2,3`; default `opt-fixed`),
+//! `DBI_SERVICE_BENCH_REQUESTS` (requests per client per run) and
+//! `DBI_SERVICE_BENCH_SMOKE` (when set: 1 client, a small bounded
+//! request count, no timing gate and no JSON rewrite — the CI mode that
+//! fails the workflow on batch-path regressions without timing noise).
 
 use dbi_core::Scheme;
 use dbi_service::{
-    CostModel, EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient, TcpServer,
+    CostModel, EncodeBatchRequest, EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient,
+    TcpServer,
 };
 use dbi_workloads::LoadProfile;
 use std::fmt::Write as _;
@@ -32,6 +38,10 @@ use std::time::Instant;
 const GROUPS: u16 = 4;
 const BURST_LEN: u8 = 8;
 const ACCESSES_PER_REQUEST: usize = 16;
+/// Accesses per `EncodeBatch` submission on the batch transports: 256
+/// accesses = 1024 bursts = 8 KiB per frame, amortising the header, the
+/// queue hop and the syscall across a whole slab.
+const BATCH_ACCESSES: usize = 256;
 const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
 const BENCH_SEED: u64 = 0x5E41_11CE;
 
@@ -55,33 +65,46 @@ fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[rank] as f64 / 1_000.0
 }
 
-/// What one client thread reports back: per-request latencies and the
-/// bursts it encoded.
+/// What one client thread reports back: per-request latencies, the
+/// bursts it encoded, and how long its (pre-generated) request loop ran.
 struct ClientReport {
     latencies_ns: Vec<u64>,
     bursts: u64,
+    elapsed_s: f64,
 }
 
-/// Drives `requests` encode calls through `call`, drawing each payload
-/// from the client's own seeded profile instance.
+/// Payloads each client pre-generates and cycles through, so the timed
+/// loop measures the service rather than the traffic generator (the
+/// text-heavy `server` profile costs more to *generate* than to encode).
+const PAYLOAD_POOL: usize = 32;
+
+/// Drives `requests` encode calls through `call`, cycling payloads drawn
+/// up front from the client's own seeded profile instance.
 fn drive_client(
     mut profile: LoadProfile,
     session_id: u64,
     scheme: Scheme,
     requests: usize,
+    accesses_per_request: usize,
     mut call: impl FnMut(&EncodeRequest<'_>, &mut EncodeReply) -> bool,
 ) -> ClientReport {
-    let mut payload = Vec::new();
+    let pool: Vec<Vec<u8>> = (0..PAYLOAD_POOL.min(requests.max(1)))
+        .map(|_| {
+            let mut payload = Vec::new();
+            for _ in 0..accesses_per_request {
+                profile.fill_access(usize::from(GROUPS), usize::from(BURST_LEN), &mut payload);
+            }
+            payload
+        })
+        .collect();
     let mut reply = EncodeReply::new();
     let mut report = ClientReport {
         latencies_ns: Vec::with_capacity(requests),
         bursts: 0,
+        elapsed_s: 0.0,
     };
-    for _ in 0..requests {
-        payload.clear();
-        for _ in 0..ACCESSES_PER_REQUEST {
-            profile.fill_access(usize::from(GROUPS), usize::from(BURST_LEN), &mut payload);
-        }
+    let run_start = Instant::now();
+    for index in 0..requests {
         let request = EncodeRequest {
             session_id,
             scheme,
@@ -89,7 +112,7 @@ fn drive_client(
             groups: GROUPS,
             burst_len: BURST_LEN,
             want_masks: false,
-            payload: &payload,
+            payload: &pool[index % pool.len()],
         };
         let start = Instant::now();
         // Overload responses are explicit backpressure: retry until
@@ -100,6 +123,7 @@ fn drive_client(
         report.latencies_ns.push(start.elapsed().as_nanos() as u64);
         report.bursts += reply.bursts;
     }
+    report.elapsed_s = run_start.elapsed().as_secs_f64();
     report
 }
 
@@ -113,6 +137,11 @@ fn profile_by_name(name: &str, seed: u64) -> LoadProfile {
     }
 }
 
+/// Converts a per-burst request into its protocol-3 batch form.
+fn to_batch<'a>(request: &EncodeRequest<'a>) -> EncodeBatchRequest<'a> {
+    EncodeBatchRequest::from_request(request).expect("bench payloads divide into whole bursts")
+}
+
 fn run_config(
     engine: &Engine,
     tcp_addr: SocketAddr,
@@ -122,7 +151,11 @@ fn run_config(
     clients: usize,
     requests_per_client: usize,
 ) -> Row {
-    let start = Instant::now();
+    let accesses_per_request = if transport.ends_with("batch") {
+        BATCH_ACCESSES
+    } else {
+        ACCESSES_PER_REQUEST
+    };
     let reports: Vec<ClientReport> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|client| {
@@ -136,10 +169,45 @@ fn run_config(
                             session_id,
                             scheme,
                             requests_per_client,
+                            accesses_per_request,
                             |req, reply| match local.encode(req, reply) {
                                 Ok(()) => true,
                                 Err(dbi_service::ServiceError::Overloaded { .. }) => false,
                                 Err(err) => panic!("local client failed: {err}"),
+                            },
+                        )
+                    }
+                    "local-batch" => {
+                        let mut local = engine.local_client();
+                        drive_client(
+                            profile,
+                            session_id,
+                            scheme,
+                            requests_per_client,
+                            accesses_per_request,
+                            |req, reply| match local.encode_batch(&to_batch(req), reply) {
+                                Ok(()) => true,
+                                Err(dbi_service::ServiceError::Overloaded { .. }) => false,
+                                Err(err) => panic!("local batch client failed: {err}"),
+                            },
+                        )
+                    }
+                    "tcp-batch" => {
+                        let mut tcp =
+                            TcpClient::connect(tcp_addr).expect("connect to the bench server");
+                        drive_client(
+                            profile,
+                            session_id,
+                            scheme,
+                            requests_per_client,
+                            accesses_per_request,
+                            |req, reply| match tcp.encode_batch(&to_batch(req), reply) {
+                                Ok(()) => true,
+                                Err(dbi_service::ClientError::Remote {
+                                    code: dbi_service::wire::ErrorCode::Overloaded,
+                                    ..
+                                }) => false,
+                                Err(err) => panic!("tcp batch client failed: {err}"),
                             },
                         )
                     }
@@ -151,6 +219,7 @@ fn run_config(
                             session_id,
                             scheme,
                             requests_per_client,
+                            accesses_per_request,
                             |req, reply| match tcp.encode(req, reply) {
                                 Ok(()) => true,
                                 Err(dbi_service::ClientError::Remote {
@@ -166,7 +235,14 @@ fn run_config(
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    let elapsed_s = start.elapsed().as_secs_f64();
+    // The clients run concurrently; the slowest request loop bounds the
+    // measurement window (pool generation happens before each client's
+    // clock starts).
+    let elapsed_s = reports
+        .iter()
+        .map(|r| r.elapsed_s)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
 
     let mut latencies: Vec<u64> = reports
         .iter()
@@ -192,10 +268,16 @@ fn main() {
         .unwrap_or_else(|_| "opt-fixed".to_owned())
         .parse()
         .expect("DBI_SERVICE_SCHEME must be a valid scheme name");
+    // Smoke mode (CI): 1 client, a small bounded request count, all four
+    // transports exercised end to end — a functional regression in the
+    // batch path fails the workflow — but no timing gate and no JSON
+    // rewrite, so a noisy runner cannot corrupt the recorded numbers.
+    let smoke = std::env::var_os("DBI_SERVICE_BENCH_SMOKE").is_some();
     let requests_per_client: usize = std::env::var("DBI_SERVICE_BENCH_REQUESTS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(2_000);
+        .unwrap_or(if smoke { 64 } else { 2_000 });
+    let client_counts: &[usize] = if smoke { &[1] } else { &CLIENT_COUNTS };
 
     let engine = Engine::start(ServiceConfig {
         shards: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
@@ -208,20 +290,20 @@ fn main() {
 
     let profiles = ["uniform", "gpu", "server", "stress"];
     let mut rows = Vec::new();
-    for transport in ["local", "tcp"] {
+    for transport in ["local", "tcp", "local-batch", "tcp-batch"] {
         for profile in profiles {
-            for clients in CLIENT_COUNTS {
-                let row = run_config(
-                    &engine,
-                    addr,
-                    transport,
-                    profile,
-                    scheme,
-                    clients,
-                    requests_per_client,
-                );
+            for &clients in client_counts {
+                // A batch submission carries 16x the accesses of a
+                // per-burst request; fewer submissions measure the same
+                // traffic volume.
+                let requests = if transport.ends_with("batch") {
+                    (requests_per_client / 8).max(8)
+                } else {
+                    requests_per_client
+                };
+                let row = run_config(&engine, addr, transport, profile, scheme, clients, requests);
                 println!(
-                    "{:<5} {:<8} {:>2} clients: {:>9.0} req/s {:>12.0} bursts/s  p50 {:>7.1} us  p99 {:>7.1} us",
+                    "{:<11} {:<8} {:>2} clients: {:>9.0} req/s {:>12.0} bursts/s  p50 {:>7.1} us  p99 {:>7.1} us",
                     row.transport,
                     row.profile,
                     row.clients,
@@ -235,17 +317,27 @@ fn main() {
         }
     }
 
-    let json = render_json(scheme, requests_per_client, &rows);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(err) => eprintln!("could not write {path}: {err}"),
+    if smoke {
+        println!("smoke mode: skipping the BENCH_service.json rewrite");
+    } else {
+        let json = render_json(scheme, requests_per_client, &rows);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(err) => eprintln!("could not write {path}: {err}"),
+        }
     }
 
     let totals = engine.metrics().totals();
     println!(
-        "service totals: {} requests, {} bursts, {} transitions saved, {} rejects",
-        totals.requests, totals.bursts, totals.transitions_saved, totals.rejected
+        "service totals: {} requests, {} bursts, {} transitions saved, {} rejects, \
+         {} passes ({} coalesced)",
+        totals.requests,
+        totals.bursts,
+        totals.transitions_saved,
+        totals.rejected,
+        totals.passes,
+        totals.coalesced
     );
     server.shutdown();
     engine.shutdown();
@@ -256,7 +348,8 @@ fn render_json(scheme: Scheme, requests_per_client: usize, rows: &[Row]) -> Stri
     let _ = writeln!(json, "{{");
     let _ = writeln!(
         json,
-        "  \"benchmark\": \"dbi-service load generator, {GROUPS} groups x BL{BURST_LEN}, {ACCESSES_PER_REQUEST} accesses/request\","
+        "  \"benchmark\": \"dbi-service load generator, {GROUPS} groups x BL{BURST_LEN}, \
+         {ACCESSES_PER_REQUEST} accesses/request ({BATCH_ACCESSES} on the -batch transports)\","
     );
     let _ = writeln!(json, "  \"scheme\": \"{scheme}\",");
     let _ = writeln!(json, "  \"requests_per_client\": {requests_per_client},");

@@ -67,6 +67,7 @@
 //! | [`lut`] | precomputed trellis edge-cost tables (the encode hot path) |
 //! | [`plan`] | runtime encode plans ([`EncodePlan`]) and the bounded [`PlanCache`] |
 //! | [`encoding`] | inversion masks, encoded bursts (inline small-buffer storage), decoding |
+//! | [`slab`] | batched burst slabs ([`BurstSlab`]) and whole-slab encoding |
 //! | [`schemes`] | RAW, DC, AC, ACDC, greedy, OPT, OPT(Fixed), exhaustive oracle |
 //! | [`graph`] | explicit trellis + Dijkstra (Fig. 2 cross-check) |
 //! | [`pareto`] | Pareto front of the zero/transition trade-off |
@@ -87,6 +88,7 @@ pub mod lut;
 pub mod pareto;
 pub mod plan;
 pub mod schemes;
+pub mod slab;
 pub mod stats;
 pub mod word;
 
@@ -98,6 +100,7 @@ pub use lut::CostLut;
 pub use pareto::{ParetoFront, ParetoPoint};
 pub use plan::{EncodePlan, PlanCache, PlanCacheStats};
 pub use schemes::{DbiEncoder, Scheme};
+pub use slab::BurstSlab;
 pub use stats::{SchemeComparison, SchemeStats};
 pub use word::{DbiBit, LaneWord};
 

@@ -56,6 +56,7 @@ use crate::lut::CostLut;
 use crate::schemes::{
     AcDcEncoder, AcEncoder, DbiEncoder, DcEncoder, GreedyEncoder, OptEncoder, RawEncoder, Scheme,
 };
+use crate::slab::BurstSlab;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -230,6 +231,19 @@ impl DbiEncoder for EncodePlan {
             PlanEncoder::AcDc(e) => e.encode_into(burst, state, out),
             PlanEncoder::Greedy(e) => e.encode_into(burst, state, out),
             PlanEncoder::Opt(e) => e.encode_into(burst, state, out),
+        }
+    }
+
+    /// One static match for the whole slab; the optimal variants reach
+    /// their carried-state LUT kernel through this dispatch.
+    fn encode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) {
+        match &self.encoder {
+            PlanEncoder::Raw(e) => e.encode_slab_into(slab, state),
+            PlanEncoder::Dc(e) => e.encode_slab_into(slab, state),
+            PlanEncoder::Ac(e) => e.encode_slab_into(slab, state),
+            PlanEncoder::AcDc(e) => e.encode_slab_into(slab, state),
+            PlanEncoder::Greedy(e) => e.encode_slab_into(slab, state),
+            PlanEncoder::Opt(e) => e.encode_slab_into(slab, state),
         }
     }
 }

@@ -50,6 +50,7 @@ use crate::burst::{Burst, BusState};
 use crate::cost::CostWeights;
 use crate::encoding::{EncodedBurst, InversionMask};
 use crate::plan::{EncodePlan, PlanCache};
+use crate::slab::BurstSlab;
 use core::fmt;
 use std::sync::Arc;
 
@@ -90,6 +91,22 @@ pub trait DbiEncoder {
         out.assign_from_mask(burst, mask)
             .expect("encoders produce masks that are valid for their burst");
     }
+
+    /// Encodes every burst of a [`BurstSlab`] in one call, carrying
+    /// `state` across bursts exactly as a serial [`DbiEncoder::encode_mask`]
+    /// chain would, and filling the slab's per-burst mask and cost rows.
+    /// On return `state` holds the lane levels after the slab's last
+    /// burst.
+    ///
+    /// The default loops the per-burst fast path through the slab's
+    /// reusable scratch buffer (allocation-free once the slab is warm);
+    /// the optimal trellis encoders override it with a carried-state LUT
+    /// kernel that walks the contiguous payload directly, amortising
+    /// dispatch and bounds checks across the whole slab. Every override is
+    /// **bit-identical** to this default (`tests/slab_differential.rs`).
+    fn encode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) {
+        slab.encode_with(state, |burst, state| self.encode_mask(burst, state));
+    }
 }
 
 impl<T: DbiEncoder + ?Sized> DbiEncoder for &T {
@@ -107,6 +124,10 @@ impl<T: DbiEncoder + ?Sized> DbiEncoder for &T {
 
     fn encode_into(&self, burst: &Burst, state: &BusState, out: &mut EncodedBurst) {
         (**self).encode_into(burst, state, out);
+    }
+
+    fn encode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) {
+        (**self).encode_slab_into(slab, state);
     }
 }
 
@@ -126,6 +147,10 @@ impl<T: DbiEncoder + ?Sized> DbiEncoder for Box<T> {
     fn encode_into(&self, burst: &Burst, state: &BusState, out: &mut EncodedBurst) {
         (**self).encode_into(burst, state, out);
     }
+
+    fn encode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) {
+        (**self).encode_slab_into(slab, state);
+    }
 }
 
 impl<T: DbiEncoder + ?Sized> DbiEncoder for Arc<T> {
@@ -143,6 +168,10 @@ impl<T: DbiEncoder + ?Sized> DbiEncoder for Arc<T> {
 
     fn encode_into(&self, burst: &Burst, state: &BusState, out: &mut EncodedBurst) {
         (**self).encode_into(burst, state, out);
+    }
+
+    fn encode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) {
+        (**self).encode_slab_into(slab, state);
     }
 }
 
@@ -295,6 +324,12 @@ impl DbiEncoder for Scheme {
 
     fn encode_into(&self, burst: &Burst, state: &BusState, out: &mut EncodedBurst) {
         self.with_encoder(|encoder| encoder.encode_into(burst, state, out));
+    }
+
+    /// One dispatch for the whole slab — `Scheme`'s per-burst calls pay a
+    /// `with_encoder` match each; the slab path resolves the encoder once.
+    fn encode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) {
+        self.with_encoder(|encoder| encoder.encode_slab_into(slab, state));
     }
 }
 

@@ -1,10 +1,12 @@
 //! DBI OPT: the optimal shortest-path encoder (the paper's contribution).
 
 use crate::burst::{Burst, BusState};
-use crate::cost::CostWeights;
+use crate::cost::{CostBreakdown, CostWeights};
 use crate::encoding::{EncodedBurst, InversionMask};
 use crate::lut::CostLut;
 use crate::schemes::DbiEncoder;
+use crate::slab::BurstSlab;
+use crate::word::LaneWord;
 
 /// The optimal DC/AC DBI encoder of Section III of the paper.
 ///
@@ -144,6 +146,216 @@ impl OptEncoder {
 
         ([cost_plain, cost_inv], [from_inv_plain, from_inv_inv])
     }
+
+    /// The weighted costs of the first trellis stage, entered from the
+    /// previous burst's *decoded data byte* and DBI lane level instead of
+    /// a materialised [`LaneWord`]. Algebraically identical to
+    /// [`CostLut::first_step`] by the lane identities of [`crate::lut`]
+    /// plus one complement symmetry: with `x = last_data ^ first`,
+    /// `transition_same(!x) = transition_cross(x) − α` and
+    /// `transition_cross(!x) = transition_same(x) + α`, so folding in the
+    /// DBI-lane toggle (`± α·prev_low`) collapses both possible previous
+    /// lane states onto the *same two table loads* with their roles
+    /// swapped. The entire inter-burst dependency of a slab chain is
+    /// therefore the one `prev_low` bit steering two conditional moves —
+    /// every load and popcount is indexed by pure input data, which is
+    /// what lets consecutive bursts' sweeps overlap in the pipeline.
+    #[inline]
+    fn entry_costs(&self, first: u8, last_data: u8, prev_low: bool) -> (u32, u32) {
+        let x = last_data ^ first;
+        let same = self.lut.transition_same(x);
+        let cross = self.lut.transition_cross(x);
+        // Branchless conditional swap: `prev_low` is a data-dependent
+        // coin flip in a stream, so a branch here would mispredict every
+        // other burst.
+        let swap = (same ^ cross) & u32::from(prev_low).wrapping_neg();
+        (
+            (same ^ swap) + self.lut.zeros_plain(first),
+            (cross ^ swap) + self.lut.zeros_inverted(first),
+        )
+    }
+
+    /// The bit-packed survivor-mask Viterbi sweep over raw payload bytes:
+    /// the body of [`DbiEncoder::encode_mask`], factored onto `&[u8]` +
+    /// the previous decoded byte/DBI level so the slab kernels can run
+    /// it straight over a [`BurstSlab`]'s contiguous storage without
+    /// building [`Burst`]s or [`LaneWord`]s.
+    ///
+    /// `bytes` must be non-empty and at most 32 bytes (the mask width);
+    /// both invariants are upheld by every caller's geometry checks.
+    #[inline]
+    fn mask_kernel_chained(&self, bytes: &[u8], last_data: u8, prev_low: bool) -> InversionMask {
+        // mask_plain/mask_inv: the inversion decisions of the cheapest path
+        // that reaches the current byte in state plain/inverted — the
+        // survivor paths, updated in registers instead of backtracked.
+        let mut mask_plain = 0u32;
+        let mut mask_inv = 1u32;
+
+        let (mut cost_plain, mut cost_inv) = self.entry_costs(bytes[0], last_data, prev_low);
+        let mut prev_byte = bytes[0];
+
+        for (i, &byte) in bytes.iter().enumerate().skip(1) {
+            let ([next_plain, next_inv], [from_inv_plain, from_inv_inv]) =
+                self.step([cost_plain, cost_inv], prev_byte, byte);
+            let next_plain_mask = if from_inv_plain { mask_inv } else { mask_plain };
+            let next_inv_mask = (if from_inv_inv { mask_inv } else { mask_plain }) | (1 << i);
+            cost_plain = next_plain;
+            cost_inv = next_inv;
+            mask_plain = next_plain_mask;
+            mask_inv = next_inv_mask;
+            prev_byte = byte;
+        }
+
+        // The cheaper end state wins (ties towards non-inverted, as in the
+        // hardware's final comparator).
+        InversionMask::from_bits(if cost_inv < cost_plain {
+            mask_inv
+        } else {
+            mask_plain
+        })
+    }
+
+    /// [`OptEncoder::mask_kernel_chained`] entered from an arbitrary
+    /// 9-bit lane state: any [`LaneWord`] is its decoded byte plus its
+    /// DBI level, which is exactly the chained entry form.
+    #[inline]
+    fn mask_kernel(&self, bytes: &[u8], prev: LaneWord) -> InversionMask {
+        self.mask_kernel_chained(bytes, prev.decode(), prev.dbi().is_inverted())
+    }
+
+    /// One fused trellis sweep over a single burst's raw bytes: the
+    /// survivor-mask Viterbi of [`OptEncoder::mask_kernel`] with each
+    /// survivor path's **raw** zero and transition counts carried along
+    /// through the same predecessor selects. The accumulators hang off
+    /// the decision flags but never feed the cost-compare chain, so on a
+    /// superscalar core they ride in otherwise-idle ports — pricing the
+    /// winning path costs almost nothing over the sweep itself, where a
+    /// separate [`InversionMask::breakdown`] walk would rebuild a
+    /// [`LaneWord`] per byte.
+    ///
+    /// Raw increments use the identities of [`crate::lut`] (exhaustively
+    /// proven against the lane-word arithmetic there): a byte of
+    /// popcount *p* transmits `8 − p` zeros plain and `p + 1` inverted,
+    /// and a step of XOR-popcount *d* toggles `d` lanes when the state
+    /// holds and `9 − d` when it flips. Returns the winning mask and its
+    /// breakdown; like [`OptEncoder::mask_kernel_chained`] it enters
+    /// from the previous driven payload byte and DBI level, so slab
+    /// chains never materialise a [`LaneWord`].
+    #[inline]
+    fn slab_burst_kernel(
+        &self,
+        bytes: &[u8],
+        last_data: u8,
+        prev_low: bool,
+    ) -> (InversionMask, CostBreakdown) {
+        let mut mask_plain = 0u32;
+        let mut mask_inv = 1u32;
+
+        let first = bytes[0];
+        let (mut cost_plain, mut cost_inv) = self.entry_costs(first, last_data, prev_low);
+        let first_ones = first.count_ones();
+        let mut zeros_plain = 8 - first_ones;
+        let mut zeros_inv = first_ones + 1;
+        // Raw entry transitions, by the same complement symmetry as
+        // `entry_costs`: with p = popcount(last_data ^ first), the plain
+        // word toggles p lanes after a high DBI (9 − p after a low one)
+        // and the inverted word the complement — one popcount on pure
+        // input data plus a conditional swap.
+        let p = (last_data ^ first).count_ones();
+        let anti = 9 - p;
+        let swap = (p ^ anti) & u32::from(prev_low).wrapping_neg();
+        let mut trans_plain = p ^ swap;
+        let mut trans_inv = anti ^ swap;
+        let mut prev_byte = first;
+
+        for (i, &byte) in bytes.iter().enumerate().skip(1) {
+            let ([next_plain, next_inv], [from_inv_plain, from_inv_inv]) =
+                self.step([cost_plain, cost_inv], prev_byte, byte);
+            let same = (prev_byte ^ byte).count_ones();
+            let cross = 9 - same;
+            let ones = byte.count_ones();
+
+            // Branchless predecessor selects: the flags are data-dependent
+            // coin flips, so a compare-and-branch would mispredict every
+            // other byte; all-ones masks keep the updates in straight-line
+            // ALU code off the cost chain's critical path.
+            let sel_plain = (from_inv_plain as u32).wrapping_neg();
+            let sel_inv = (from_inv_inv as u32).wrapping_neg();
+
+            // Current byte plain: an inverted predecessor flips the state.
+            let next_mask_plain = (mask_inv & sel_plain) | (mask_plain & !sel_plain);
+            let next_zeros_plain =
+                ((zeros_inv & sel_plain) | (zeros_plain & !sel_plain)) + (8 - ones);
+            let next_trans_plain = ((trans_inv & sel_plain) | (trans_plain & !sel_plain))
+                + ((cross & sel_plain) | (same & !sel_plain));
+
+            // Current byte inverted: an inverted predecessor keeps it.
+            let next_mask_inv = ((mask_inv & sel_inv) | (mask_plain & !sel_inv)) | (1 << i);
+            let next_zeros_inv = ((zeros_inv & sel_inv) | (zeros_plain & !sel_inv)) + (ones + 1);
+            let next_trans_inv = ((trans_inv & sel_inv) | (trans_plain & !sel_inv))
+                + ((same & sel_inv) | (cross & !sel_inv));
+
+            cost_plain = next_plain;
+            cost_inv = next_inv;
+            mask_plain = next_mask_plain;
+            mask_inv = next_mask_inv;
+            zeros_plain = next_zeros_plain;
+            zeros_inv = next_zeros_inv;
+            trans_plain = next_trans_plain;
+            trans_inv = next_trans_inv;
+            prev_byte = byte;
+        }
+
+        // The cheaper end state wins (ties towards non-inverted, as in
+        // the hardware's final comparator and in `encode_mask`).
+        let (mask, zeros, transitions) = if cost_inv < cost_plain {
+            (mask_inv, zeros_inv, trans_inv)
+        } else {
+            (mask_plain, zeros_plain, trans_plain)
+        };
+        (
+            InversionMask::from_bits(mask),
+            CostBreakdown::new(u64::from(zeros), u64::from(transitions)),
+        )
+    }
+
+    /// The slab burst loops, shared between the priced and masks-only
+    /// modes. Always inlined so the standard-length call sites in
+    /// [`DbiEncoder::encode_slab_into`] propagate their literal
+    /// `burst_len` into the chunking and the kernels' sweeps.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn slab_runs(
+        &self,
+        burst_len: usize,
+        bytes: &[u8],
+        masks: &mut [InversionMask],
+        costs: &mut [CostBreakdown],
+        pricing: bool,
+        last_data: &mut u8,
+        prev_low: &mut bool,
+    ) {
+        if pricing {
+            for ((chunk, mask_slot), cost_slot) in bytes
+                .chunks_exact(burst_len)
+                .zip(masks.iter_mut())
+                .zip(costs.iter_mut())
+            {
+                let (mask, breakdown) = self.slab_burst_kernel(chunk, *last_data, *prev_low);
+                *mask_slot = mask;
+                *cost_slot = breakdown;
+                *last_data = chunk[burst_len - 1];
+                *prev_low = mask.is_inverted(burst_len - 1);
+            }
+        } else {
+            for (chunk, mask_slot) in bytes.chunks_exact(burst_len).zip(masks.iter_mut()) {
+                let mask = self.mask_kernel_chained(chunk, *last_data, *prev_low);
+                *mask_slot = mask;
+                *last_data = chunk[burst_len - 1];
+                *prev_low = mask.is_inverted(burst_len - 1);
+            }
+        }
+    }
 }
 
 impl Default for OptEncoder {
@@ -185,36 +397,69 @@ impl DbiEncoder for OptEncoder {
             "inversion masks cover at most 32 bytes, got {}",
             bytes.len()
         );
+        self.mask_kernel(bytes, state.last())
+    }
 
-        // mask_plain/mask_inv: the inversion decisions of the cheapest path
-        // that reaches the current byte in state plain/inverted — the
-        // survivor paths, updated in registers instead of backtracked.
-        let mut mask_plain = 0u32;
-        let mut mask_inv = 1u32;
-
-        let (plain, inverted) = self.lut.first_step(bytes[0], state.last());
-        let (mut cost_plain, mut cost_inv) = (plain as u32, inverted as u32);
-        let mut prev_byte = bytes[0];
-
-        for (i, &byte) in bytes.iter().enumerate().skip(1) {
-            let ([next_plain, next_inv], [from_inv_plain, from_inv_inv]) =
-                self.step([cost_plain, cost_inv], prev_byte, byte);
-            let next_plain_mask = if from_inv_plain { mask_inv } else { mask_plain };
-            let next_inv_mask = (if from_inv_inv { mask_inv } else { mask_plain }) | (1 << i);
-            cost_plain = next_plain;
-            cost_inv = next_inv;
-            mask_plain = next_plain_mask;
-            mask_inv = next_inv_mask;
-            prev_byte = byte;
+    /// The carried-state slab kernel: one fused pass per burst over the
+    /// slab's contiguous payload — no [`Burst`] construction, no
+    /// per-burst dispatch, no separate pricing walk, and `chunks_exact`
+    /// hoists the bounds checks out of the burst loop. With
+    /// [`BurstSlab::set_pricing`] off the pass drops the cost
+    /// accumulators entirely and runs the bare `encode_mask` sweep over
+    /// the contiguous bytes. Bit-identical to the default per-burst
+    /// chain either way: the sweep is the `encode_mask` recurrence and
+    /// the fused accumulators reproduce [`InversionMask::breakdown`]
+    /// exactly (`tests/slab_differential.rs`).
+    fn encode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) {
+        let burst_len = slab.burst_len();
+        let pricing = slab.pricing();
+        let (bytes, masks, costs) = slab.encode_parts_mut();
+        if bytes.is_empty() {
+            return;
         }
-
-        // The cheaper end state wins (ties towards non-inverted, as in the
-        // hardware's final comparator).
-        InversionMask::from_bits(if cost_inv < cost_plain {
-            mask_inv
-        } else {
-            mask_plain
-        })
+        // The inter-burst chain is two scalars: the data byte the wires
+        // last carried and the DBI lane level — and of the two, only the
+        // one-bit level is a *computed* value (the byte comes straight
+        // from the input), so consecutive bursts' sweeps overlap in the
+        // pipeline. A LaneWord is rebuilt exactly once, at the end, for
+        // the reported state.
+        let entry = state.last();
+        let mut last_data = entry.decode();
+        let mut prev_low = entry.dbi().is_inverted();
+        // Dispatching on the standard burst lengths hands `slab_runs` a
+        // literal trip count: the always-inlined copies get their sweeps
+        // fully unrolled — the geometry of a slab is fixed, which is an
+        // edge the per-burst entry points can never exploit.
+        match burst_len {
+            8 => self.slab_runs(
+                8,
+                bytes,
+                masks,
+                costs,
+                pricing,
+                &mut last_data,
+                &mut prev_low,
+            ),
+            16 => self.slab_runs(
+                16,
+                bytes,
+                masks,
+                costs,
+                pricing,
+                &mut last_data,
+                &mut prev_low,
+            ),
+            _ => self.slab_runs(
+                burst_len,
+                bytes,
+                masks,
+                costs,
+                pricing,
+                &mut last_data,
+                &mut prev_low,
+            ),
+        }
+        *state = BusState::new(LaneWord::encode_byte(last_data, prev_low));
     }
 }
 
@@ -260,6 +505,10 @@ impl DbiEncoder for OptFixedEncoder {
     #[inline]
     fn encode_mask(&self, burst: &Burst, state: &BusState) -> InversionMask {
         self.inner.encode_mask(burst, state)
+    }
+
+    fn encode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) {
+        self.inner.encode_slab_into(slab, state);
     }
 }
 

@@ -1,0 +1,406 @@
+//! Batched burst slabs: structure-of-arrays storage for whole encode
+//! batches.
+//!
+//! The per-burst API ([`DbiEncoder::encode_mask`]) is allocation-free but
+//! still pays per call: a [`Burst`] to construct, a dispatch to resolve,
+//! bounds checks to re-establish. Real DDR4/GDDR traffic arrives as long
+//! write streams, so the batched layers of this workspace move **slabs**
+//! instead: a [`BurstSlab`] holds many fixed-length bursts in one
+//! contiguous, caller-owned buffer, laid out structure-of-arrays —
+//! payload bytes burst-major in one `Vec<u8>`, one [`InversionMask`] word
+//! per burst, one [`CostBreakdown`] row per burst.
+//!
+//! [`DbiEncoder::encode_slab_into`] encodes a whole slab in one call,
+//! carrying a [`BusState`] across the bursts exactly as a serial
+//! `encode_mask` chain would. The default implementation loops the
+//! per-burst path through the slab's reusable scratch buffer; the optimal
+//! trellis encoders override it with a carried-state LUT kernel that walks
+//! the contiguous payload directly — no `Burst` values, one dispatch per
+//! slab, bounds checks amortised by `chunks_exact`. Both paths are
+//! **bit-identical** to the serial per-burst chain (differential-tested in
+//! `tests/slab_differential.rs`) and perform no heap allocation once the
+//! slab's buffers are warm.
+//!
+//! ```
+//! use dbi_core::{BurstSlab, BusState, DbiEncoder, Scheme};
+//!
+//! let mut slab = BurstSlab::new(8);
+//! slab.extend_from_bytes(&[0x5A; 32]).unwrap(); // four BL8 bursts
+//! let mut state = BusState::idle();
+//! Scheme::OptFixed.encode_slab_into(&mut slab, &mut state);
+//! assert_eq!(slab.masks().len(), 4);
+//! assert_eq!(slab.total(), slab.costs().iter().copied().sum());
+//! ```
+
+use crate::burst::{Burst, BusState};
+use crate::cost::CostBreakdown;
+use crate::encoding::InversionMask;
+use crate::error::{DbiError, Result};
+use crate::schemes::DbiEncoder;
+use core::fmt;
+
+/// A caller-owned batch of fixed-length bursts plus their per-burst encode
+/// results, stored structure-of-arrays.
+///
+/// * `bytes` — the payload bytes of every burst, contiguous and
+///   burst-major (burst *i* occupies `bytes[i·len .. (i+1)·len]`),
+/// * `masks` — one inversion-decision word per burst,
+/// * `costs` — one zero/transition cost row per burst.
+///
+/// The result arrays are filled by [`DbiEncoder::encode_slab_into`]; until
+/// a slab has been encoded they read as [`InversionMask::NONE`] /
+/// [`CostBreakdown::ZERO`]. All buffers retain their capacity across
+/// [`BurstSlab::clear`] / [`BurstSlab::reset`], so a slab reused across
+/// batches allocates nothing in steady state.
+#[derive(Clone)]
+pub struct BurstSlab {
+    burst_len: usize,
+    bytes: Vec<u8>,
+    masks: Vec<InversionMask>,
+    costs: Vec<CostBreakdown>,
+    /// Whether encoding fills the per-burst cost rows (see
+    /// [`BurstSlab::set_pricing`]).
+    pricing: bool,
+    /// Gather buffer for the default (per-burst) encode path; moved into a
+    /// [`Burst`] and recovered so no per-burst allocation occurs.
+    scratch: Vec<u8>,
+}
+
+impl Default for BurstSlab {
+    fn default() -> Self {
+        BurstSlab {
+            burst_len: 0,
+            bytes: Vec::new(),
+            masks: Vec::new(),
+            costs: Vec::new(),
+            pricing: true,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Debug for BurstSlab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BurstSlab")
+            .field("burst_len", &self.burst_len)
+            .field("bursts", &self.burst_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BurstSlab {
+    /// Creates an empty slab for bursts of `burst_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_len` is zero or exceeds the 32-byte
+    /// [`InversionMask`] limit.
+    #[must_use]
+    pub fn new(burst_len: usize) -> Self {
+        let mut slab = BurstSlab::default();
+        slab.reset(burst_len);
+        slab
+    }
+
+    /// Creates an empty slab with room for `bursts` bursts preallocated.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`BurstSlab::new`].
+    #[must_use]
+    pub fn with_capacity(burst_len: usize, bursts: usize) -> Self {
+        let mut slab = BurstSlab::new(burst_len);
+        slab.bytes.reserve(bursts * burst_len);
+        slab.masks.reserve(bursts);
+        slab.costs.reserve(bursts);
+        slab
+    }
+
+    /// Clears the slab and re-targets it at a (possibly different) burst
+    /// length, keeping every buffer's capacity. The way one scratch slab
+    /// serves sessions of mixed geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_len` is zero or exceeds the 32-byte
+    /// [`InversionMask`] limit.
+    pub fn reset(&mut self, burst_len: usize) {
+        assert!(
+            (1..=32).contains(&burst_len),
+            "slab burst length must be within the inversion-mask limit of 32 bytes"
+        );
+        self.burst_len = burst_len;
+        self.clear();
+    }
+
+    /// Removes every burst (and its results), keeping capacity and the
+    /// configured burst length.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.masks.clear();
+        self.costs.clear();
+    }
+
+    /// Chooses whether encodes fill the per-burst cost rows (the
+    /// default) or compute **masks only**. Consumers that do their own
+    /// accounting — or need none — can switch pricing off and get the
+    /// slab encode at the raw sweep cost, exactly the work
+    /// [`DbiEncoder::encode_mask`] does per burst; with pricing off,
+    /// [`BurstSlab::costs`] stays empty and [`BurstSlab::total`] reports
+    /// zero. The inversion decisions and the carried state are identical
+    /// either way.
+    pub fn set_pricing(&mut self, pricing: bool) {
+        self.pricing = pricing;
+    }
+
+    /// Whether encodes fill the per-burst cost rows.
+    #[must_use]
+    pub const fn pricing(&self) -> bool {
+        self.pricing
+    }
+
+    /// Burst length in bytes; every burst in the slab has exactly this
+    /// length.
+    #[must_use]
+    pub const fn burst_len(&self) -> usize {
+        self.burst_len
+    }
+
+    /// Number of bursts currently in the slab.
+    #[must_use]
+    pub fn burst_count(&self) -> usize {
+        self.bytes.len().checked_div(self.burst_len).unwrap_or(0)
+    }
+
+    /// `true` when the slab holds no bursts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Appends one burst.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::BurstTooLong`] when `bytes` is not exactly
+    /// [`BurstSlab::burst_len`] bytes (reported against the slab's
+    /// configured length).
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        if bytes.len() != self.burst_len {
+            return Err(DbiError::BurstTooLong {
+                len: bytes.len(),
+                max: self.burst_len,
+            });
+        }
+        self.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Appends one burst whose bytes are produced in place by `fill` —
+    /// the gather-free way to load strided or generated data (the
+    /// beat-de-interleave in `dbi-mem` and the traffic generators in
+    /// `dbi-workloads` use this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` does not append exactly [`BurstSlab::burst_len`]
+    /// bytes.
+    pub fn push_with(&mut self, fill: impl FnOnce(&mut Vec<u8>)) {
+        let before = self.bytes.len();
+        fill(&mut self.bytes);
+        assert_eq!(
+            self.bytes.len() - before,
+            self.burst_len,
+            "a slab fill must append exactly one burst"
+        );
+    }
+
+    /// Appends a contiguous run of bursts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::BurstTooLong`] when `bytes` is empty or not a
+    /// whole number of bursts.
+    pub fn extend_from_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        if bytes.is_empty() || !bytes.len().is_multiple_of(self.burst_len) {
+            return Err(DbiError::BurstTooLong {
+                len: bytes.len(),
+                max: self.burst_len,
+            });
+        }
+        self.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Appends every burst of a slice of [`Burst`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::BurstTooLong`] on the first burst whose length
+    /// differs from the slab's.
+    pub fn extend_from_bursts(&mut self, bursts: &[Burst]) -> Result<()> {
+        for burst in bursts {
+            self.push_bytes(burst.bytes())?;
+        }
+        Ok(())
+    }
+
+    /// The payload bytes of burst `index`, if it exists.
+    #[must_use]
+    pub fn burst_bytes(&self, index: usize) -> Option<&[u8]> {
+        let start = index.checked_mul(self.burst_len)?;
+        self.bytes.get(start..start + self.burst_len)
+    }
+
+    /// All payload bytes, burst-major.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The per-burst inversion decisions of the last encode (empty or
+    /// shorter than [`BurstSlab::burst_count`] before the first encode).
+    #[must_use]
+    pub fn masks(&self) -> &[InversionMask] {
+        &self.masks
+    }
+
+    /// The per-burst activity rows of the last encode.
+    #[must_use]
+    pub fn costs(&self) -> &[CostBreakdown] {
+        &self.costs
+    }
+
+    /// Total activity across every burst of the last encode.
+    #[must_use]
+    pub fn total(&self) -> CostBreakdown {
+        self.costs.iter().copied().sum()
+    }
+
+    /// Sizes the result arrays to the burst count (zeroing them) and hands
+    /// out the three column views an encoder kernel writes through:
+    /// `(payload bytes, masks, cost rows)`. For [`DbiEncoder`]
+    /// implementations that override [`DbiEncoder::encode_slab_into`] with
+    /// a direct kernel. The cost column is empty when
+    /// [`BurstSlab::pricing`] is off — kernels must skip their pricing
+    /// work in that case.
+    pub fn encode_parts_mut(&mut self) -> (&[u8], &mut [InversionMask], &mut [CostBreakdown]) {
+        self.prepare_results();
+        (&self.bytes, &mut self.masks, &mut self.costs)
+    }
+
+    fn prepare_results(&mut self) {
+        let count = self.burst_count();
+        self.masks.clear();
+        self.masks.resize(count, InversionMask::NONE);
+        self.costs.clear();
+        if self.pricing {
+            self.costs.resize(count, CostBreakdown::ZERO);
+        }
+    }
+
+    /// Runs the per-burst closure over every burst in order, carrying
+    /// `state` across bursts and recording each burst's mask and activity
+    /// — the backing of the default [`DbiEncoder::encode_slab_into`].
+    /// Reuses the slab's internal gather buffer, so a warm slab performs
+    /// no heap allocation.
+    pub fn encode_with(
+        &mut self,
+        state: &mut BusState,
+        mut encode: impl FnMut(&Burst, &BusState) -> InversionMask,
+    ) {
+        self.prepare_results();
+        let burst_len = self.burst_len;
+        let pricing = self.pricing;
+        let mut scratch = core::mem::take(&mut self.scratch);
+        for index in 0..self.burst_count() {
+            let start = index * burst_len;
+            scratch.clear();
+            scratch.extend_from_slice(&self.bytes[start..start + burst_len]);
+            // Move the gather buffer into the burst and recover it after:
+            // no allocation per burst.
+            let burst = Burst::new(scratch).expect("slab bursts are never empty");
+            let mask = encode(&burst, state);
+            if pricing {
+                self.costs[index] = mask.breakdown(&burst, state);
+            }
+            *state = mask.final_state(&burst, state);
+            self.masks[index] = mask;
+            scratch = burst.into_bytes();
+        }
+        self.scratch = scratch;
+    }
+}
+
+/// Encodes every burst of a slab through an encoder's per-burst fast path,
+/// carrying the bus state — the reference the overridden kernels must stay
+/// bit-identical to. Free function so tests and default implementations
+/// share one definition.
+pub fn encode_slab_serial<E: DbiEncoder + ?Sized>(
+    encoder: &E,
+    slab: &mut BurstSlab,
+    state: &mut BusState,
+) {
+    slab.encode_with(state, |burst, state| encoder.encode_mask(burst, state));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Scheme;
+
+    #[test]
+    fn geometry_and_push_rules() {
+        let mut slab = BurstSlab::with_capacity(4, 8);
+        assert_eq!(slab.burst_len(), 4);
+        assert!(slab.is_empty());
+        slab.push_bytes(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(slab.burst_count(), 1);
+        assert_eq!(slab.burst_bytes(0), Some(&[1u8, 2, 3, 4][..]));
+        assert_eq!(slab.burst_bytes(1), None);
+        assert!(matches!(
+            slab.push_bytes(&[1, 2, 3]),
+            Err(DbiError::BurstTooLong { len: 3, max: 4 })
+        ));
+        assert!(slab.extend_from_bytes(&[0; 6]).is_err());
+        assert!(slab.extend_from_bytes(&[]).is_err());
+        slab.extend_from_bytes(&[0; 8]).unwrap();
+        assert_eq!(slab.burst_count(), 3);
+        slab.push_with(|out| out.extend_from_slice(&[9, 9, 9, 9]));
+        assert_eq!(slab.burst_count(), 4);
+
+        slab.reset(8);
+        assert!(slab.is_empty());
+        assert_eq!(slab.burst_len(), 8);
+        slab.extend_from_bursts(&[Burst::paper_example()]).unwrap();
+        assert_eq!(slab.burst_count(), 1);
+        assert!(slab
+            .extend_from_bursts(&[Burst::from_slice(&[1, 2]).unwrap()])
+            .is_err());
+        assert!(format!("{slab:?}").contains("BurstSlab"));
+    }
+
+    #[test]
+    #[should_panic(expected = "inversion-mask limit")]
+    fn zero_burst_len_panics() {
+        let _ = BurstSlab::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one burst")]
+    fn short_fill_panics() {
+        let mut slab = BurstSlab::new(8);
+        slab.push_with(|out| out.push(1));
+    }
+
+    #[test]
+    fn empty_slab_encodes_to_nothing_and_keeps_state() {
+        let mut slab = BurstSlab::new(8);
+        let mut state = BusState::new(crate::word::LaneWord::ALL_ZEROS);
+        let before = state;
+        Scheme::OptFixed.encode_slab_into(&mut slab, &mut state);
+        assert_eq!(state, before);
+        assert!(slab.masks().is_empty());
+        assert_eq!(slab.total(), CostBreakdown::ZERO);
+    }
+}

@@ -1,0 +1,187 @@
+//! Differential proof of the slab contract: for **every** scheme,
+//! [`DbiEncoder::encode_slab_into`] — including the optimal encoders'
+//! overridden carried-state LUT kernel — is bit-identical to the serial
+//! per-burst `encode_mask` chain: same masks, same per-burst cost rows,
+//! same carried final state.
+
+use dbi_core::slab::encode_slab_serial;
+use dbi_core::{Burst, BurstSlab, BusState, CostWeights, DbiEncoder, EncodePlan, LaneWord, Scheme};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn all_schemes() -> Vec<Scheme> {
+    let mut schemes: Vec<Scheme> = Scheme::paper_set().to_vec();
+    schemes.extend_from_slice(Scheme::conventional_set());
+    schemes.push(Scheme::Greedy(CostWeights::new(3, 1).unwrap()));
+    schemes.push(Scheme::Opt(CostWeights::new(1, 5).unwrap()));
+    schemes.push(Scheme::Opt(CostWeights::new(7, 2).unwrap()));
+    schemes.dedup();
+    schemes
+}
+
+fn random_slab(rng: &mut StdRng, burst_len: usize, bursts: usize) -> BurstSlab {
+    let mut slab = BurstSlab::with_capacity(burst_len, bursts);
+    for _ in 0..bursts {
+        slab.push_with(|out| out.extend((0..burst_len).map(|_| rng.gen::<u8>())));
+    }
+    slab
+}
+
+/// The reference chain, spelled out independently of `encode_slab_serial`:
+/// per-burst `encode_mask` through fresh `Burst` values.
+fn reference_chain(
+    scheme: Scheme,
+    slab: &BurstSlab,
+    mut state: BusState,
+) -> (
+    Vec<dbi_core::InversionMask>,
+    Vec<dbi_core::CostBreakdown>,
+    BusState,
+) {
+    let mut masks = Vec::new();
+    let mut costs = Vec::new();
+    for index in 0..slab.burst_count() {
+        let burst = Burst::from_slice(slab.burst_bytes(index).unwrap()).unwrap();
+        let mask = scheme.encode_mask(&burst, &state);
+        costs.push(mask.breakdown(&burst, &state));
+        state = mask.final_state(&burst, &state);
+        masks.push(mask);
+    }
+    (masks, costs, state)
+}
+
+#[test]
+fn slab_encode_is_bit_identical_to_the_per_burst_chain() {
+    let mut rng = StdRng::seed_from_u64(0x51AB);
+    for scheme in all_schemes() {
+        for burst_len in [1usize, 3, 8, 16, 32] {
+            for bursts in [1usize, 2, 17, 64] {
+                let mut slab = random_slab(&mut rng, burst_len, bursts);
+                let initial = BusState::new(LaneWord::encode_byte(rng.gen(), rng.gen()));
+
+                let (expected_masks, expected_costs, expected_state) =
+                    reference_chain(scheme, &slab, initial);
+
+                let mut state = initial;
+                scheme.encode_slab_into(&mut slab, &mut state);
+                let label = format!("{scheme} len={burst_len} bursts={bursts}");
+                assert_eq!(slab.masks(), expected_masks.as_slice(), "{label}: masks");
+                assert_eq!(slab.costs(), expected_costs.as_slice(), "{label}: costs");
+                assert_eq!(state, expected_state, "{label}: final state");
+                assert_eq!(
+                    slab.total(),
+                    expected_costs.iter().copied().sum(),
+                    "{label}: total"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_slab_encode_matches_scheme_slab_encode() {
+    let mut rng = StdRng::seed_from_u64(0x9A17);
+    for scheme in all_schemes() {
+        let mut by_scheme = random_slab(&mut rng, 8, 48);
+        let mut by_plan = by_scheme.clone();
+        let initial = BusState::idle();
+
+        let mut scheme_state = initial;
+        scheme.encode_slab_into(&mut by_scheme, &mut scheme_state);
+
+        let plan = EncodePlan::new(scheme);
+        let mut plan_state = initial;
+        plan.encode_slab_into(&mut by_plan, &mut plan_state);
+
+        assert_eq!(by_scheme.masks(), by_plan.masks(), "{scheme}");
+        assert_eq!(by_scheme.costs(), by_plan.costs(), "{scheme}");
+        assert_eq!(scheme_state, plan_state, "{scheme}");
+    }
+}
+
+#[test]
+fn serial_helper_matches_the_override_for_opt() {
+    // `encode_slab_serial` bypasses every override; the optimal encoders'
+    // kernel must agree with it on the same slab.
+    let mut rng = StdRng::seed_from_u64(0x0457);
+    let encoder = dbi_core::schemes::OptEncoder::new(CostWeights::new(2, 3).unwrap());
+    let mut serial = random_slab(&mut rng, 8, 96);
+    let mut kernel = serial.clone();
+
+    let mut serial_state = BusState::idle();
+    encode_slab_serial(&encoder, &mut serial, &mut serial_state);
+    let mut kernel_state = BusState::idle();
+    encoder.encode_slab_into(&mut kernel, &mut kernel_state);
+
+    assert_eq!(serial.masks(), kernel.masks());
+    assert_eq!(serial.costs(), kernel.costs());
+    assert_eq!(serial_state, kernel_state);
+}
+
+#[test]
+fn slab_state_carries_across_successive_slabs() {
+    // Feeding one stream as two slabs must equal feeding it as one —
+    // the property session layers rely on.
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let whole = random_slab(&mut rng, 8, 32);
+
+    let mut one = whole.clone();
+    let mut one_state = BusState::idle();
+    Scheme::OptFixed.encode_slab_into(&mut one, &mut one_state);
+
+    let mut head = BurstSlab::new(8);
+    head.extend_from_bytes(&whole.bytes()[..16 * 8]).unwrap();
+    let mut tail = BurstSlab::new(8);
+    tail.extend_from_bytes(&whole.bytes()[16 * 8..]).unwrap();
+    let mut split_state = BusState::idle();
+    Scheme::OptFixed.encode_slab_into(&mut head, &mut split_state);
+    Scheme::OptFixed.encode_slab_into(&mut tail, &mut split_state);
+
+    assert_eq!(one.masks()[..16], *head.masks());
+    assert_eq!(one.masks()[16..], *tail.masks());
+    assert_eq!(one.costs()[..16], *head.costs());
+    assert_eq!(one.costs()[16..], *tail.costs());
+    assert_eq!(one_state, split_state);
+}
+
+#[test]
+fn masks_only_mode_yields_identical_decisions_and_state() {
+    let mut rng = StdRng::seed_from_u64(0x3A5C);
+    for scheme in all_schemes() {
+        let mut priced = random_slab(&mut rng, 8, 40);
+        let mut unpriced = priced.clone();
+        unpriced.set_pricing(false);
+        assert!(!unpriced.pricing());
+
+        let mut priced_state = BusState::idle();
+        scheme.encode_slab_into(&mut priced, &mut priced_state);
+        let mut unpriced_state = BusState::idle();
+        scheme.encode_slab_into(&mut unpriced, &mut unpriced_state);
+
+        assert_eq!(priced.masks(), unpriced.masks(), "{scheme}: masks");
+        assert_eq!(priced_state, unpriced_state, "{scheme}: final state");
+        assert!(unpriced.costs().is_empty(), "{scheme}: no cost rows");
+        assert_eq!(unpriced.total(), dbi_core::CostBreakdown::ZERO);
+        assert_eq!(priced.costs().len(), 40);
+
+        // Switching pricing back on restores the rows on the next encode.
+        unpriced.set_pricing(true);
+        let mut state = BusState::idle();
+        scheme.encode_slab_into(&mut unpriced, &mut state);
+        assert_eq!(unpriced.costs(), priced.costs(), "{scheme}: rows return");
+    }
+}
+
+#[test]
+fn re_encoding_a_slab_with_another_scheme_overwrites_results() {
+    let mut rng = StdRng::seed_from_u64(0x0DD);
+    let mut slab = random_slab(&mut rng, 8, 8);
+    let mut state = BusState::idle();
+    Scheme::Dc.encode_slab_into(&mut slab, &mut state);
+    let dc_masks = slab.masks().to_vec();
+
+    let mut state = BusState::idle();
+    Scheme::Ac.encode_slab_into(&mut slab, &mut state);
+    assert_ne!(slab.masks(), dc_masks.as_slice());
+    assert_eq!(slab.masks().len(), 8);
+}

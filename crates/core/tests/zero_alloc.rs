@@ -161,6 +161,25 @@ fn bl8_fast_paths_never_touch_the_heap() {
         "plan-backed Scheme dispatch allocated {count} times after first touch"
     );
 
+    // A warm BurstSlab re-encodes allocation-free, on both the default
+    // per-burst loop (via a heuristic scheme) and the OPT kernel override.
+    let mut slab = dbi_core::BurstSlab::with_capacity(8, 64);
+    for _ in 0..64 {
+        slab.push_bytes(burst.bytes()).unwrap();
+    }
+    let mut carried = state;
+    Scheme::Dc.encode_slab_into(&mut slab, &mut carried); // warm the scratch
+    let count = allocations_during(|| {
+        let mut carried = state;
+        for _ in 0..10 {
+            Scheme::Dc.encode_slab_into(&mut slab, &mut carried);
+            opt.encode_slab_into(&mut slab, &mut carried);
+            plan.encode_slab_into(&mut slab, &mut carried);
+        }
+        carried
+    });
+    assert_eq!(count, 0, "warm slab encode allocated {count} times");
+
     // Sanity check that the counter works at all.
     let count = allocations_during(|| Vec::<u8>::with_capacity(64));
     assert!(

@@ -36,7 +36,8 @@ use crate::config::ChannelConfig;
 use crate::error::{MemError, Result};
 use core::fmt;
 use dbi_core::{
-    Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, EncodePlan, InversionMask, Scheme,
+    Burst, BurstSlab, BusState, CostBreakdown, CostWeights, DbiEncoder, EncodePlan, InversionMask,
+    Scheme,
 };
 use std::sync::Arc;
 
@@ -289,6 +290,84 @@ impl BusSession {
         Ok((accesses * groups) as u64)
     }
 
+    /// The batched (slab) form of [`BusSession::encode_stream`]: the
+    /// stream is de-interleaved group by group into an internal
+    /// [`BurstSlab`] and each group's whole burst chain is encoded in
+    /// **one** [`DbiEncoder::encode_slab_into`] call — one dispatch per
+    /// group instead of one per burst, with the optimal schemes running
+    /// their carried-state LUT kernel over the contiguous slab.
+    /// Bit-identical to [`BusSession::encode_stream`] (differential-tested
+    /// below and in the service layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadAccessSize`] when `data` is empty or not a
+    /// multiple of [`BusSession::access_bytes`].
+    pub fn encode_stream_slab(&mut self, data: &[u8]) -> Result<ChannelActivity> {
+        let mut slab = BurstSlab::new(self.burst_len);
+        let mut per_group = Vec::new();
+        let bursts = self.encode_stream_slab_into(data, &mut per_group, None, &mut slab)?;
+        Ok(ChannelActivity { bursts, per_group })
+    }
+
+    /// [`BusSession::encode_stream_slab`] into caller-owned storage — the
+    /// steady-state form the service workers use. Semantics of
+    /// `per_group` and `masks` match [`BusSession::encode_stream_into`]
+    /// exactly (masks in transmission order, group-major within each
+    /// access); `slab` is the reusable workspace, reset to this session's
+    /// burst length and refilled per group, so a warmed-up caller pays no
+    /// heap allocation at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadAccessSize`] when `data` is empty or not a
+    /// multiple of [`BusSession::access_bytes`]; the output buffers are
+    /// left cleared but otherwise untouched.
+    pub fn encode_stream_slab_into(
+        &mut self,
+        data: &[u8],
+        per_group: &mut Vec<CostBreakdown>,
+        mut masks: Option<&mut Vec<InversionMask>>,
+        slab: &mut BurstSlab,
+    ) -> Result<u64> {
+        per_group.clear();
+        if let Some(masks) = masks.as_deref_mut() {
+            masks.clear();
+        }
+        self.check_stream(data)?;
+        let groups = self.groups.len();
+        let burst_len = self.burst_len;
+        let accesses = data.len() / self.access_bytes();
+        per_group.resize(groups, CostBreakdown::ZERO);
+        if let Some(masks) = masks.as_deref_mut() {
+            masks.resize(accesses * groups, InversionMask::NONE);
+        }
+
+        // The session's contract includes per-group activity, so the slab
+        // must price whatever the caller last used it for.
+        slab.set_pricing(true);
+        for group in 0..groups {
+            slab.reset(burst_len);
+            for access in 0..accesses {
+                let base = access * groups * burst_len;
+                slab.push_with(|out| {
+                    out.extend((0..burst_len).map(|beat| data[base + beat * groups + group]));
+                });
+            }
+            let mut state = self.groups[group];
+            self.plan.encode_slab_into(slab, &mut state);
+            self.groups[group] = state;
+            per_group[group] = slab.total();
+            if let Some(masks) = masks.as_deref_mut() {
+                // Scatter this group's column back into transmission order.
+                for (access, &mask) in slab.masks().iter().enumerate() {
+                    masks[access * groups + group] = mask;
+                }
+            }
+        }
+        Ok((accesses * groups) as u64)
+    }
+
     /// Encodes the same beat-interleaved stream with one rayon task per
     /// lane group.
     ///
@@ -437,6 +516,69 @@ mod tests {
             .is_err());
         assert!(per_group.is_empty());
         assert!(masks.is_empty());
+    }
+
+    #[test]
+    fn slab_stream_is_bit_identical_to_the_per_burst_stream() {
+        let config = ChannelConfig::gddr5x();
+        let data = test_stream(config.access_bytes() * 48, 0x51AB);
+        for scheme in Scheme::paper_set().iter().copied() {
+            let mut serial = BusSession::new(&config, scheme);
+            let mut serial_groups = Vec::new();
+            let mut serial_masks = Vec::new();
+            let serial_bursts = serial
+                .encode_stream_into(&data, &mut serial_groups, Some(&mut serial_masks))
+                .unwrap();
+
+            let mut slabbed = BusSession::new(&config, scheme);
+            let mut slab_groups = Vec::new();
+            let mut slab_masks = Vec::new();
+            let mut slab = dbi_core::BurstSlab::new(1); // wrong length on purpose: reset must fix it
+            let slab_bursts = slabbed
+                .encode_stream_slab_into(&data, &mut slab_groups, Some(&mut slab_masks), &mut slab)
+                .unwrap();
+
+            assert_eq!(slab_bursts, serial_bursts, "{scheme}");
+            assert_eq!(slab_groups, serial_groups, "{scheme}");
+            assert_eq!(slab_masks, serial_masks, "{scheme}");
+            for group in 0..serial.group_count() {
+                assert_eq!(
+                    serial.group_state(group),
+                    slabbed.group_state(group),
+                    "{scheme}: carried state of group {group}"
+                );
+            }
+
+            // The convenience wrapper agrees as well, fed in two halves to
+            // prove the state carries across slab calls.
+            let mut halved = BusSession::new(&config, scheme);
+            let half = data.len() / 2;
+            let first = halved.encode_stream_slab(&data[..half]).unwrap();
+            let second = halved.encode_stream_slab(&data[half..]).unwrap();
+            assert_eq!(first.bursts + second.bursts, serial_bursts, "{scheme}");
+            let mut recombined = first.total();
+            recombined += second.total();
+            assert_eq!(
+                recombined,
+                serial_groups.iter().copied().sum(),
+                "{scheme}: halves must add up"
+            );
+        }
+    }
+
+    #[test]
+    fn slab_stream_rejects_bad_sizes_and_clears_buffers() {
+        let config = ChannelConfig::gddr5x();
+        let mut session = BusSession::new(&config, Scheme::Ac);
+        let mut per_group = vec![CostBreakdown::new(1, 1)];
+        let mut masks = vec![InversionMask::from_bits(1)];
+        let mut slab = dbi_core::BurstSlab::new(8);
+        assert!(session
+            .encode_stream_slab_into(&[0u8; 3], &mut per_group, Some(&mut masks), &mut slab)
+            .is_err());
+        assert!(per_group.is_empty());
+        assert!(masks.is_empty());
+        assert!(session.encode_stream_slab(&[]).is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! reused, so a steady request loop settles into zero buffer reallocation
 //! (the socket itself, of course, still costs syscalls).
 
-use crate::engine::{EncodeReply, EncodeRequest};
+use crate::engine::{EncodeBatchRequest, EncodeReply, EncodeRequest};
 use crate::error::ClientError;
 use crate::wire::{self, Frame, HEADER_LEN};
 use std::io::{self, Read, Write};
@@ -72,6 +72,17 @@ impl TcpClient {
         })
     }
 
+    /// Writes the frame staged in `out_buf` and reads exactly one
+    /// response frame into `in_buf` — the shared exchange of every
+    /// request method.
+    fn round_trip(&mut self) -> Result<(), ClientError> {
+        self.stream.write_all(&self.out_buf)?;
+        if !read_frame(&mut self.stream, &mut self.in_buf)? {
+            return Err(closed_early().into());
+        }
+        Ok(())
+    }
+
     /// Executes one encode request over the socket. Results are written
     /// into `reply`, whose buffers are cleared and refilled.
     ///
@@ -90,26 +101,49 @@ impl TcpClient {
     ) -> Result<(), ClientError> {
         self.out_buf.clear();
         request.encode_into(&mut self.out_buf);
-        self.stream.write_all(&self.out_buf)?;
-        if !read_frame(&mut self.stream, &mut self.in_buf)? {
-            return Err(closed_early().into());
-        }
+        self.round_trip()?;
         match wire::decode_frame(&self.in_buf)?.0 {
             Frame::EncodeResponse(view) => {
                 if view.session_id != request.session_id {
                     return Err(ClientError::UnexpectedResponse);
                 }
-                reply.bursts = view.bursts;
-                reply.per_group.clear();
-                reply.per_group.extend(view.per_group());
-                reply.masks.clear();
-                reply.masks.extend(view.masks());
+                fill_reply(reply, view.bursts, view.per_group(), view.masks());
                 Ok(())
             }
-            Frame::Error(view) => Err(ClientError::Remote {
-                code: view.code,
-                message: view.message.to_owned(),
-            }),
+            Frame::Error(view) => Err(remote_error(&view)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Executes one **batched** encode request over the socket: a whole
+    /// batch of bursts travels as a single protocol-3 `EncodeBatch` frame
+    /// (one header + contiguous payload) where a per-burst loop would
+    /// have framed and round-tripped N times. Results land in `reply`
+    /// exactly as with [`TcpClient::encode`]; the reused frame buffers
+    /// keep the steady-state zero-reallocation guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`TcpClient::encode`]; a malformed count
+    /// field comes back as a remote
+    /// [`BadRequest`](crate::wire::ErrorCode::BadRequest).
+    pub fn encode_batch(
+        &mut self,
+        request: &EncodeBatchRequest<'_>,
+        reply: &mut EncodeReply,
+    ) -> Result<(), ClientError> {
+        self.out_buf.clear();
+        request.encode_into(&mut self.out_buf);
+        self.round_trip()?;
+        match wire::decode_frame(&self.in_buf)?.0 {
+            Frame::EncodeBatchResponse(view) => {
+                if view.session_id != request.session_id || view.count != request.count {
+                    return Err(ClientError::UnexpectedResponse);
+                }
+                fill_reply(reply, view.bursts, view.per_group(), view.masks());
+                Ok(())
+            }
+            Frame::Error(view) => Err(remote_error(&view)),
             _ => Err(ClientError::UnexpectedResponse),
         }
     }
@@ -122,18 +156,35 @@ impl TcpClient {
     pub fn metrics_json(&mut self) -> Result<String, ClientError> {
         self.out_buf.clear();
         wire::encode_metrics_request(&mut self.out_buf);
-        self.stream.write_all(&self.out_buf)?;
-        if !read_frame(&mut self.stream, &mut self.in_buf)? {
-            return Err(closed_early().into());
-        }
+        self.round_trip()?;
         match wire::decode_frame(&self.in_buf)?.0 {
             Frame::MetricsResponse(json) => Ok(json.to_owned()),
-            Frame::Error(view) => Err(ClientError::Remote {
-                code: view.code,
-                message: view.message.to_owned(),
-            }),
+            Frame::Error(view) => Err(remote_error(&view)),
             _ => Err(ClientError::UnexpectedResponse),
         }
+    }
+}
+
+/// Refills a caller-owned reply from a decoded response's record streams,
+/// reusing its capacity.
+fn fill_reply(
+    reply: &mut EncodeReply,
+    bursts: u64,
+    per_group: impl Iterator<Item = dbi_core::CostBreakdown>,
+    masks: impl Iterator<Item = dbi_core::InversionMask>,
+) {
+    reply.bursts = bursts;
+    reply.per_group.clear();
+    reply.per_group.extend(per_group);
+    reply.masks.clear();
+    reply.masks.extend(masks);
+}
+
+/// Lifts a decoded error frame into the owned client error.
+fn remote_error(view: &wire::ErrorView<'_>) -> ClientError {
+    ClientError::Remote {
+        code: view.code,
+        message: view.message.to_owned(),
     }
 }
 

@@ -15,6 +15,22 @@
 //! per-request work are all counted in the per-shard
 //! [`metrics`](crate::metrics).
 //!
+//! ## The batched data plane
+//!
+//! Workers encode through the slab path: each worker owns one reusable
+//! [`dbi_core::BurstSlab`] and runs every request through
+//! [`BusSession::encode_stream_slab_into`], so a whole request is one
+//! `encode_slab_into` kernel call per lane group instead of one dispatch
+//! per burst. When a worker pops a request it also **coalesces**: queued
+//! requests for the *same session and configuration* (matched by the
+//! routing key stamped on every queue entry) are drained — up to a bounded
+//! batch — and executed in the same worker pass, against one session-map
+//! lookup and one warm slab. Each coalesced request still gets its own
+//! response; because the drained requests are executed in their queue
+//! order against the same carried state, results are bit-identical to the
+//! uncoalesced schedule. Pass sizes and coalesced counts land in the
+//! `batch` block of the metrics.
+//!
 //! ## The allocation-free request path
 //!
 //! A [`LocalClient`] owns one reusable **request slot**: a mutex-protected
@@ -30,9 +46,9 @@
 
 use crate::error::ServiceError;
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
-use crate::wire::{CostModel, EncodeRequestFrame};
+use crate::wire::{CostModel, EncodeBatchRequestFrame, EncodeRequestFrame};
 use dbi_core::{
-    BusState, CostBreakdown, InversionMask, LaneWord, PlanCache, PlanCacheStats, Scheme,
+    BurstSlab, BusState, CostBreakdown, InversionMask, LaneWord, PlanCache, PlanCacheStats, Scheme,
 };
 use dbi_mem::{BusSession, ChannelActivity};
 use std::collections::hash_map::Entry;
@@ -45,6 +61,16 @@ use std::thread::JoinHandle;
 /// TCP [`TcpClient`](crate::TcpClient) — identical to the wire frame, so a
 /// request can be sent either way without translation.
 pub type EncodeRequest<'a> = EncodeRequestFrame<'a>;
+
+/// The batched request type (protocol 3): a whole batch of bursts for one
+/// session under a single header. Identical to the wire frame, like
+/// [`EncodeRequest`].
+pub type EncodeBatchRequest<'a> = EncodeBatchRequestFrame<'a>;
+
+/// Upper bound on how many queued same-session requests one worker pass
+/// coalesces behind the request it popped. Bounds the latency a burst of
+/// sibling requests can add to unrelated sessions waiting in the queue.
+const COALESCE_LIMIT: usize = 16;
 
 /// Largest accepted lane-group count. A x64 channel is 8 groups; 64 leaves
 /// generous headroom for exotic geometries without letting a hostile frame
@@ -147,6 +173,18 @@ impl RequestSlot {
     }
 }
 
+/// The session-and-configuration identity a request executes against,
+/// stamped on every queue entry by the submitting client (with the cost
+/// model already resolved into `scheme`). Workers coalesce queued entries
+/// whose keys are equal into one pass without touching the slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RouteKey {
+    session_id: u64,
+    scheme: Scheme,
+    groups: u16,
+    burst_len: u8,
+}
+
 /// A bounded multi-producer queue feeding one shard worker.
 #[derive(Debug)]
 struct ShardQueue {
@@ -156,7 +194,7 @@ struct ShardQueue {
 
 #[derive(Debug)]
 struct QueueState {
-    jobs: VecDeque<Arc<RequestSlot>>,
+    jobs: VecDeque<(RouteKey, Arc<RequestSlot>)>,
     capacity: usize,
     closed: bool,
 }
@@ -175,7 +213,12 @@ impl ShardQueue {
 
     /// Non-blocking enqueue: a full queue is an immediate, explicit
     /// overload signal, never a stall.
-    fn try_push(&self, shard: usize, job: Arc<RequestSlot>) -> Result<(), ServiceError> {
+    fn try_push(
+        &self,
+        shard: usize,
+        key: RouteKey,
+        job: Arc<RequestSlot>,
+    ) -> Result<(), ServiceError> {
         let mut state = self.inner.lock().expect("queue mutex poisoned");
         if state.closed {
             return Err(ServiceError::ShuttingDown);
@@ -183,14 +226,14 @@ impl ShardQueue {
         if state.jobs.len() >= state.capacity {
             return Err(ServiceError::Overloaded { shard });
         }
-        state.jobs.push_back(job);
+        state.jobs.push_back((key, job));
         drop(state);
         self.not_empty.notify_one();
         Ok(())
     }
 
     /// Blocking dequeue; `None` once the queue is closed and drained.
-    fn pop(&self) -> Option<Arc<RequestSlot>> {
+    fn pop(&self) -> Option<(RouteKey, Arc<RequestSlot>)> {
         let mut state = self.inner.lock().expect("queue mutex poisoned");
         loop {
             if let Some(job) = state.jobs.pop_front() {
@@ -200,6 +243,28 @@ impl ShardQueue {
                 return None;
             }
             state = self.not_empty.wait(state).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Removes every queued job whose key equals `key` — up to `limit` of
+    /// them, preserving their relative order — into `out`. Jobs for other
+    /// sessions keep their positions, so coalescing never reorders work
+    /// *within* any session.
+    fn drain_matching(&self, key: &RouteKey, out: &mut Vec<Arc<RequestSlot>>, limit: usize) {
+        if limit == 0 {
+            return;
+        }
+        let mut state = self.inner.lock().expect("queue mutex poisoned");
+        let mut index = 0;
+        let mut taken = 0;
+        while index < state.jobs.len() && taken < limit {
+            if state.jobs[index].0 == *key {
+                let (_, slot) = state.jobs.remove(index).expect("index is in bounds");
+                out.push(slot);
+                taken += 1;
+            } else {
+                index += 1;
+            }
         }
     }
 
@@ -514,17 +579,93 @@ impl LocalClient {
                 return Err(err);
             }
         };
+        let key = RouteKey {
+            session_id: request.session_id,
+            scheme,
+            groups: request.groups,
+            burst_len: request.burst_len,
+        };
+        self.submit(shard, key, request.want_masks, request.payload, reply)
+    }
 
+    /// Executes one **batched** encode request — a whole batch of bursts
+    /// under one submission, protocol 3's `EncodeBatch` frame. Semantics
+    /// and failure modes match [`LocalClient::encode`] over the same
+    /// payload, plus:
+    ///
+    /// * [`ServiceError::BadBatchCount`] — the request's burst-count
+    ///   field is zero or disagrees with the payload length.
+    ///
+    /// The request rides the same reusable slot, so the batch path keeps
+    /// the zero-allocation-when-warm guarantee.
+    pub fn encode_batch(
+        &mut self,
+        request: &EncodeBatchRequest<'_>,
+        reply: &mut EncodeReply,
+    ) -> Result<(), ServiceError> {
+        let shard = self.engine.shard_of(request.session_id);
+        let shard_metrics = self.engine.metrics.shard(shard);
+        let plain = EncodeRequest {
+            session_id: request.session_id,
+            scheme: request.scheme,
+            cost_model: request.cost_model,
+            groups: request.groups,
+            burst_len: request.burst_len,
+            want_masks: request.want_masks,
+            payload: request.payload,
+        };
+        if let Err(err) = self.engine.validate(&plain) {
+            shard_metrics.record_reject();
+            return Err(err);
+        }
+        // Geometry is valid, so burst_len is nonzero and the division is
+        // exact; the count field must agree with it.
+        let bursts_in_payload = (request.payload.len() / usize::from(request.burst_len)) as u64;
+        if request.count == 0 || u64::from(request.count) != bursts_in_payload {
+            shard_metrics.record_reject();
+            return Err(ServiceError::BadBatchCount {
+                count: request.count,
+                got: bursts_in_payload,
+            });
+        }
+        let scheme = match resolve_scheme(request.scheme, request.cost_model) {
+            Ok(scheme) => scheme,
+            Err(err) => {
+                shard_metrics.record_reject();
+                return Err(err);
+            }
+        };
+        let key = RouteKey {
+            session_id: request.session_id,
+            scheme,
+            groups: request.groups,
+            burst_len: request.burst_len,
+        };
+        self.submit(shard, key, request.want_masks, request.payload, reply)
+    }
+
+    /// The shared tail of [`LocalClient::encode`] and
+    /// [`LocalClient::encode_batch`]: round-trips the validated, resolved
+    /// request through the reusable slot.
+    fn submit(
+        &mut self,
+        shard: usize,
+        key: RouteKey,
+        want_masks: bool,
+        payload: &[u8],
+        reply: &mut EncodeReply,
+    ) -> Result<(), ServiceError> {
+        let shard_metrics = self.engine.metrics.shard(shard);
         {
             let mut state = self.slot.state.lock().expect("slot mutex poisoned");
             debug_assert_eq!(state.phase, Phase::Idle, "slot reused while in flight");
-            state.session_id = request.session_id;
-            state.scheme = scheme;
-            state.groups = request.groups;
-            state.burst_len = request.burst_len;
-            state.want_masks = request.want_masks;
+            state.session_id = key.session_id;
+            state.scheme = key.scheme;
+            state.groups = key.groups;
+            state.burst_len = key.burst_len;
+            state.want_masks = want_masks;
             state.payload.clear();
-            state.payload.extend_from_slice(request.payload);
+            state.payload.extend_from_slice(payload);
             state.phase = Phase::Queued;
         }
 
@@ -532,7 +673,7 @@ impl LocalClient {
         // worker may pop and `dequeue()` immediately, and the depth
         // counter must never transiently underflow.
         shard_metrics.enqueue();
-        if let Err(err) = self.engine.queues[shard].try_push(shard, Arc::clone(&self.slot)) {
+        if let Err(err) = self.engine.queues[shard].try_push(shard, key, Arc::clone(&self.slot)) {
             shard_metrics.dequeue();
             self.slot.state.lock().expect("slot mutex poisoned").phase = Phase::Idle;
             shard_metrics.record_reject();
@@ -604,59 +745,109 @@ fn worker_loop(
 ) {
     let shard_metrics = metrics.shard(shard);
     let mut sessions: HashMap<u64, SessionEntry> = HashMap::new();
-    while let Some(slot) = queue.pop() {
+    // One reusable slab per worker: every request on this shard encodes
+    // through it, whatever the session geometry (the session resets it).
+    let mut slab = BurstSlab::new(dbi_core::STANDARD_BURST_LEN);
+    let mut pass: Vec<Arc<RequestSlot>> = Vec::with_capacity(COALESCE_LIMIT + 1);
+    while let Some((key, slot)) = queue.pop() {
         shard_metrics.dequeue();
-        let mut state = slot.state.lock().expect("slot mutex poisoned");
-        state.result = execute(
+        pass.clear();
+        pass.push(slot);
+        // Coalesce queued siblings of the same session/config into this
+        // pass — their relative order is preserved, so the carried state
+        // evolves exactly as it would have uncoalesced.
+        queue.drain_matching(&key, &mut pass, COALESCE_LIMIT);
+        for _ in 1..pass.len() {
+            shard_metrics.dequeue();
+        }
+        let coalesced = (pass.len() - 1) as u64;
+
+        // One session-map resolution serves the whole pass.
+        match claim_entry(
             shard,
             &mut sessions,
-            &mut state,
+            &key,
             shard_metrics,
             plans,
             max_sessions,
-        );
-        state.phase = Phase::Done;
-        drop(state);
-        slot.done.notify_all();
+        ) {
+            Ok(entry) => {
+                let mut pass_bursts = 0u64;
+                for slot in &pass {
+                    let mut state = slot.state.lock().expect("slot mutex poisoned");
+                    let result = run_request(entry, &mut state, shard_metrics, &mut slab);
+                    if let Ok(bursts) = &result {
+                        pass_bursts += *bursts;
+                    }
+                    state.result = result;
+                    state.phase = Phase::Done;
+                    drop(state);
+                    slot.done.notify_all();
+                }
+                shard_metrics.record_pass(pass_bursts, coalesced);
+            }
+            Err(err) => {
+                // The whole pass shares the session identity, so every
+                // member fails the same way.
+                for slot in &pass {
+                    shard_metrics.record_reject();
+                    let mut state = slot.state.lock().expect("slot mutex poisoned");
+                    state.result = Err(err.clone());
+                    state.phase = Phase::Done;
+                    drop(state);
+                    slot.done.notify_all();
+                }
+            }
+        }
     }
 }
 
-/// Runs one validated request against the shard's session map, encoding
-/// straight into the slot's response buffers.
-fn execute(
+/// Resolves the session entry a pass executes against: enforces the
+/// per-shard session bound, detects configuration mismatches and creates
+/// the session on first touch. Rejection metrics are the caller's job
+/// (one per affected request).
+fn claim_entry<'a>(
     shard: usize,
-    sessions: &mut HashMap<u64, SessionEntry>,
-    state: &mut SlotState,
+    sessions: &'a mut HashMap<u64, SessionEntry>,
+    key: &RouteKey,
     metrics: &crate::metrics::ShardMetrics,
     plans: &PlanCache,
     max_sessions: usize,
-) -> Result<u64, ServiceError> {
-    if sessions.len() >= max_sessions && !sessions.contains_key(&state.session_id) {
-        metrics.record_reject();
+) -> Result<&'a mut SessionEntry, ServiceError> {
+    if sessions.len() >= max_sessions && !sessions.contains_key(&key.session_id) {
         return Err(ServiceError::SessionLimit { shard });
     }
-    let entry = match sessions.entry(state.session_id) {
+    match sessions.entry(key.session_id) {
         Entry::Occupied(occupied) => {
             let entry = occupied.into_mut();
-            if !entry.matches(state.scheme, state.groups, state.burst_len) {
-                metrics.record_reject();
+            if !entry.matches(key.scheme, key.groups, key.burst_len) {
                 return Err(ServiceError::SessionMismatch {
-                    session_id: state.session_id,
+                    session_id: key.session_id,
                 });
             }
-            entry
+            Ok(entry)
         }
         Entry::Vacant(vacant) => {
             metrics.session_created();
-            vacant.insert(SessionEntry::new(
-                state.scheme,
-                state.groups,
-                state.burst_len,
+            Ok(vacant.insert(SessionEntry::new(
+                key.scheme,
+                key.groups,
+                key.burst_len,
                 plans,
-            ))
+            )))
         }
-    };
+    }
+}
 
+/// Runs one validated request against its resolved session entry,
+/// encoding through the worker's slab straight into the slot's response
+/// buffers.
+fn run_request(
+    entry: &mut SessionEntry,
+    state: &mut SlotState,
+    metrics: &crate::metrics::ShardMetrics,
+    slab: &mut BurstSlab,
+) -> Result<u64, ServiceError> {
     // Disjoint borrows of the slot: payload in, activity and masks out.
     let SlotState {
         payload,
@@ -673,7 +864,7 @@ fn execute(
     };
     let bursts = entry
         .session
-        .encode_stream_into(payload, per_group, mask_sink)
+        .encode_stream_slab_into(payload, per_group, mask_sink, slab)
         .map_err(|_| ServiceError::Internal("validated payload rejected by the session"))?;
 
     // Transitions-saved metric: what the same stream would have cost the

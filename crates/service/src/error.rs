@@ -55,6 +55,14 @@ pub enum ServiceError {
         /// Display name of the scheme that cannot be re-weighted.
         scheme: String,
     },
+    /// A batch request's burst-count field is zero or disagrees with its
+    /// payload (protocol 3 `EncodeBatch`).
+    BadBatchCount {
+        /// The count field supplied by the caller.
+        count: u16,
+        /// Bursts the payload actually holds.
+        got: u64,
+    },
     /// A session id was reused with a different scheme or geometry than
     /// the one that created it. Reset the session first.
     SessionMismatch {
@@ -84,6 +92,7 @@ impl ServiceError {
                 ErrorCode::BadPayload
             }
             ServiceError::BadCostModel { .. } => ErrorCode::BadCostModel,
+            ServiceError::BadBatchCount { .. } => ErrorCode::BadRequest,
             ServiceError::SessionMismatch { .. } => ErrorCode::SessionMismatch,
             // Resource exhaustion travels as Overloaded: the client's
             // remedy (back off, spread over fewer sessions) is the same.
@@ -118,6 +127,10 @@ impl fmt::Display for ServiceError {
                 f,
                 "scheme {scheme} takes no cost coefficients; use an Opt or Greedy scheme \
                  with an explicit cost model"
+            ),
+            ServiceError::BadBatchCount { count, got } => write!(
+                f,
+                "batch count field of {count} disagrees with the {got} bursts in the payload"
             ),
             ServiceError::SessionMismatch { session_id } => write!(
                 f,
@@ -222,6 +235,10 @@ mod tests {
                     scheme: "RAW".to_owned(),
                 },
                 ErrorCode::BadCostModel,
+            ),
+            (
+                ServiceError::BadBatchCount { count: 3, got: 4 },
+                ErrorCode::BadRequest,
             ),
             (
                 ServiceError::SessionMismatch { session_id: 1 },

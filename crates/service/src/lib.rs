@@ -21,26 +21,35 @@
 //!   zero-copy, `unsafe`-free decoder. Protocol version 2 carries a
 //!   [`CostModel`] on session setup: inline weights, raw runtime
 //!   `alpha,beta`, or a named phy operating point (`sstl15@6.4`,
-//!   `pod12@3.2`); version-1 frames are still decoded.
+//!   `pod12@3.2`). Protocol version 3 adds the **`EncodeBatch`** frames:
+//!   a whole batch of bursts for one session under a single header (u16
+//!   burst count + contiguous payload) instead of N per-request frames.
+//!   Version 1 and 2 frames are still decoded.
 //! * [`Engine`] — N shard workers, each owning a private map of
 //!   [`dbi_mem::BusSession`]s keyed by session id. Routing is *sticky*
 //!   (same session id → same shard), so each session's carried bus state
 //!   evolves exactly as in a serial run; results are bit-identical to
-//!   single-threaded encoding. Queues are bounded and overflow is an
-//!   explicit [`ServiceError::Overloaded`] response, never silent growth.
-//!   Cost models resolve to [`dbi_core::EncodePlan`]s served from one
+//!   single-threaded encoding. Workers encode through the slab path
+//!   ([`dbi_core::BurstSlab`] + `encode_stream_slab_into`) and
+//!   **coalesce** queued same-session requests into one worker pass.
+//!   Queues are bounded and overflow is an explicit
+//!   [`ServiceError::Overloaded`] response, never silent growth. Cost
+//!   models resolve to [`dbi_core::EncodePlan`]s served from one
 //!   process-wide [`dbi_core::PlanCache`] shared by every shard, so a
 //!   weight pair's cost tables are built at most once per engine.
 //! * [`LocalClient`] — the in-process front door: deterministic,
 //!   socket-free, and **zero heap allocations per request** once warm
-//!   (including requests carrying explicit cost models).
+//!   (including requests carrying explicit cost models, and the
+//!   [`LocalClient::encode_batch`] batch path).
 //! * [`TcpServer`] / [`TcpClient`] — the socket front end; each
 //!   connection is served through its own `LocalClient`, so both paths
-//!   return identical bytes.
+//!   return identical bytes. [`TcpClient::encode_batch`] ships a whole
+//!   batch per round trip.
 //! * [`metrics`] — per-shard atomic counters (requests, rejects, bytes,
-//!   bursts, transitions saved, queue depth, sessions) plus the shared
-//!   plan-cache counters (hits, misses, evictions, resident plans),
-//!   snapshotted as JSON on request.
+//!   bursts, transitions saved, queue depth, sessions) plus a `batch`
+//!   block (worker passes, coalesced requests, pass-size p50/p99,
+//!   bursts/request) and the shared plan-cache counters (hits, misses,
+//!   evictions, resident plans), snapshotted as JSON on request.
 //!
 //! ## Example
 //!
@@ -84,7 +93,8 @@ pub mod wire;
 
 pub use client::TcpClient;
 pub use engine::{
-    EncodeReply, EncodeRequest, Engine, LocalClient, ServiceConfig, MAX_BURST_LEN, MAX_GROUPS,
+    EncodeBatchRequest, EncodeReply, EncodeRequest, Engine, LocalClient, ServiceConfig,
+    MAX_BURST_LEN, MAX_GROUPS,
 };
 pub use error::{ClientError, ServiceError};
 pub use metrics::{MetricsSnapshot, ShardSnapshot};

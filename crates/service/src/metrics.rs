@@ -3,7 +3,10 @@
 //! Each shard owns one [`ShardMetrics`] of plain atomic counters — workers
 //! and clients bump them lock-free and allocation-free on the hot path —
 //! and [`MetricsRegistry::snapshot`] turns the whole registry into an
-//! owned, serialisable [`MetricsSnapshot`]. The engine stamps the shared
+//! owned, serialisable [`MetricsSnapshot`]. The batched data plane adds a
+//! `batch` block per shard: worker-pass count, coalesced-request count
+//! and a power-of-two pass-size histogram from which the JSON reports the
+//! p50/p99 pass size plus the mean bursts per request. The engine stamps the shared
 //! plan-cache counters ([`dbi_core::PlanCacheStats`]: hits, misses,
 //! evictions, resident plans) into the snapshot as well. The snapshot's
 //! [`to_json`](MetricsSnapshot::to_json) form is what the service answers
@@ -13,6 +16,11 @@
 
 use dbi_core::PlanCacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two histogram buckets tracking worker-pass sizes:
+/// bucket *i* counts passes of `[2^i, 2^(i+1))` bursts, the last bucket
+/// absorbing everything beyond.
+pub const BATCH_BUCKETS: usize = 17;
 
 /// Lock-free counters of one shard. All increments use relaxed ordering:
 /// the counters are statistics, not synchronisation.
@@ -25,6 +33,14 @@ pub struct ShardMetrics {
     transitions_saved: AtomicU64,
     queue_depth: AtomicU64,
     sessions: AtomicU64,
+    passes: AtomicU64,
+    coalesced: AtomicU64,
+    batch_hist: [AtomicU64; BATCH_BUCKETS],
+}
+
+/// The histogram bucket a pass of `bursts` bursts lands in.
+fn batch_bucket(bursts: u64) -> usize {
+    (bursts.max(1).ilog2() as usize).min(BATCH_BUCKETS - 1)
 }
 
 impl ShardMetrics {
@@ -35,6 +51,14 @@ impl ShardMetrics {
         self.bursts.fetch_add(bursts, Ordering::Relaxed);
         self.transitions_saved
             .fetch_add(transitions_saved, Ordering::Relaxed);
+    }
+
+    /// Records one worker pass of `bursts` total bursts, `coalesced` of
+    /// whose requests were drained from the queue behind the pass opener.
+    pub fn record_pass(&self, bursts: u64, coalesced: u64) {
+        self.passes.fetch_add(1, Ordering::Relaxed);
+        self.coalesced.fetch_add(coalesced, Ordering::Relaxed);
+        self.batch_hist[batch_bucket(bursts)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one rejected request (validation failure or backpressure).
@@ -60,6 +84,10 @@ impl ShardMetrics {
     /// Reads the counters into an owned snapshot.
     #[must_use]
     pub fn snapshot(&self) -> ShardSnapshot {
+        let mut batch_hist = [0u64; BATCH_BUCKETS];
+        for (slot, counter) in batch_hist.iter_mut().zip(&self.batch_hist) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
         ShardSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -68,6 +96,9 @@ impl ShardMetrics {
             transitions_saved: self.transitions_saved.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             sessions: self.sessions.load(Ordering::Relaxed),
+            passes: self.passes.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            batch_hist,
         }
     }
 }
@@ -89,6 +120,15 @@ pub struct ShardSnapshot {
     pub queue_depth: u64,
     /// Encode sessions resident on the shard.
     pub sessions: u64,
+    /// Worker passes executed (each pass serves one or more coalesced
+    /// requests of one session).
+    pub passes: u64,
+    /// Requests that were coalesced into another request's pass instead
+    /// of opening their own.
+    pub coalesced: u64,
+    /// Power-of-two histogram of pass sizes in bursts: bucket *i* counts
+    /// passes of `[2^i, 2^(i+1))` bursts.
+    pub batch_hist: [u64; BATCH_BUCKETS],
 }
 
 impl ShardSnapshot {
@@ -100,6 +140,41 @@ impl ShardSnapshot {
         self.transitions_saved += other.transitions_saved;
         self.queue_depth += other.queue_depth;
         self.sessions += other.sessions;
+        self.passes += other.passes;
+        self.coalesced += other.coalesced;
+        for (mine, theirs) in self.batch_hist.iter_mut().zip(&other.batch_hist) {
+            *mine += theirs;
+        }
+    }
+
+    /// The histogram percentile of the pass-size distribution, reported
+    /// as the lower bound of the bucket the percentile falls in (0 when
+    /// no pass has been recorded).
+    #[must_use]
+    pub fn batch_size_percentile(&self, percentile: f64) -> u64 {
+        let total: u64 = self.batch_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = (percentile * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &count) in self.batch_hist.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return 1u64 << bucket;
+            }
+        }
+        1u64 << (BATCH_BUCKETS - 1)
+    }
+
+    /// Mean bursts per executed request (0 when no request has run).
+    #[must_use]
+    pub fn bursts_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.bursts as f64 / self.requests as f64
+        }
     }
 
     fn write_json(&self, out: &mut String) {
@@ -107,14 +182,21 @@ impl ShardSnapshot {
         write!(
             out,
             "{{\"requests\":{},\"rejected\":{},\"bytes\":{},\"bursts\":{},\
-             \"transitions_saved\":{},\"queue_depth\":{},\"sessions\":{}}}",
+             \"transitions_saved\":{},\"queue_depth\":{},\"sessions\":{},\
+             \"batch\":{{\"passes\":{},\"coalesced\":{},\"size_p50\":{},\
+             \"size_p99\":{},\"bursts_per_request\":{:.1}}}}}",
             self.requests,
             self.rejected,
             self.bytes,
             self.bursts,
             self.transitions_saved,
             self.queue_depth,
-            self.sessions
+            self.sessions,
+            self.passes,
+            self.coalesced,
+            self.batch_size_percentile(0.50),
+            self.batch_size_percentile(0.99),
+            self.bursts_per_request(),
         )
         .expect("writing to a String cannot fail");
     }
@@ -241,6 +323,39 @@ mod tests {
     }
 
     #[test]
+    fn batch_counters_histogram_and_percentiles() {
+        let metrics = ShardMetrics::default();
+        metrics.record_pass(0, 0); // all-error pass lands in bucket 0
+        for _ in 0..98 {
+            metrics.record_pass(64, 1); // bucket 6
+        }
+        metrics.record_pass(70_000, 3); // beyond the last bucket boundary
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.passes, 100);
+        assert_eq!(snapshot.coalesced, 101);
+        assert_eq!(snapshot.batch_hist[0], 1);
+        assert_eq!(snapshot.batch_hist[6], 98);
+        assert_eq!(snapshot.batch_hist[BATCH_BUCKETS - 1], 1);
+        assert_eq!(snapshot.batch_size_percentile(0.50), 64);
+        assert_eq!(snapshot.batch_size_percentile(0.99), 64);
+        assert_eq!(
+            snapshot.batch_size_percentile(1.0),
+            1 << (BATCH_BUCKETS - 1)
+        );
+        assert_eq!(ShardSnapshot::default().batch_size_percentile(0.5), 0);
+        assert_eq!(ShardSnapshot::default().bursts_per_request(), 0.0);
+
+        // Totals fold the histograms elementwise.
+        let registry = MetricsRegistry::new(2);
+        registry.shard(0).record_pass(8, 0);
+        registry.shard(1).record_pass(8, 2);
+        let totals = registry.snapshot().totals();
+        assert_eq!(totals.passes, 2);
+        assert_eq!(totals.coalesced, 2);
+        assert_eq!(totals.batch_hist[3], 2);
+    }
+
+    #[test]
     fn json_snapshot_has_the_documented_shape() {
         let registry = MetricsRegistry::new(1);
         registry.shard(0).record_request(8, 1, 2);
@@ -255,6 +370,8 @@ mod tests {
         assert!(json.starts_with("{\"shards\":[{"));
         assert!(json.contains("\"requests\":1"));
         assert!(json.contains("\"transitions_saved\":2"));
+        assert!(json.contains("\"batch\":{\"passes\":0,\"coalesced\":0"));
+        assert!(json.contains("\"bursts_per_request\":1.0"));
         assert!(json.ends_with('}'));
         assert!(json.contains("\"totals\":{"));
         assert!(

@@ -18,9 +18,11 @@
 //! next frame can still be served.
 
 use crate::client::read_frame;
-use crate::engine::{EncodeReply, EncodeRequest, Engine};
+use crate::engine::{EncodeBatchRequest, EncodeReply, EncodeRequest, Engine};
 use crate::error::ClientError;
-use crate::wire::{self, EncodeResponseFrame, ErrorCode, ErrorFrame, Frame};
+use crate::wire::{
+    self, EncodeBatchResponseFrame, EncodeResponseFrame, ErrorCode, ErrorFrame, Frame,
+};
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -199,6 +201,33 @@ fn handle_connection(engine: &Engine, mut stream: TcpStream) {
                     Ok(()) => EncodeResponseFrame {
                         session_id: view.session_id,
                         bursts: reply.bursts,
+                        per_group: &reply.per_group,
+                        masks: &reply.masks,
+                    }
+                    .encode_into(&mut out_buf),
+                    Err(err) => ErrorFrame {
+                        code: err.code(),
+                        message: &err.to_string(),
+                    }
+                    .encode_into(&mut out_buf),
+                }
+            }
+            Ok((Frame::EncodeBatchRequest(view), _)) => {
+                let request = EncodeBatchRequest {
+                    session_id: view.session_id,
+                    scheme: view.scheme,
+                    cost_model: view.cost_model,
+                    groups: view.groups,
+                    burst_len: view.burst_len,
+                    want_masks: view.want_masks,
+                    count: view.count,
+                    payload: view.payload,
+                };
+                match local.encode_batch(&request, &mut reply) {
+                    Ok(()) => EncodeBatchResponseFrame {
+                        session_id: view.session_id,
+                        bursts: reply.bursts,
+                        count: view.count,
                         per_group: &reply.per_group,
                         masks: &reply.masks,
                     }

@@ -17,37 +17,72 @@
 //!
 //! Frame types:
 //!
-//! | tag | frame | direction |
-//! |-----|-------|-----------|
-//! | 1 | [`EncodeRequestFrame`] → [`EncodeRequestView`] | client → service |
-//! | 2 | [`EncodeResponseFrame`] → [`EncodeResponseView`] | service → client |
-//! | 3 | [`ErrorFrame`] → [`ErrorView`] | service → client |
-//! | 4 | metrics request (empty body) | client → service |
-//! | 5 | metrics response (UTF-8 JSON body) | service → client |
+//! | tag | frame | direction | since |
+//! |-----|-------|-----------|-------|
+//! | 1 | [`EncodeRequestFrame`] → [`EncodeRequestView`] | client → service | v1 |
+//! | 2 | [`EncodeResponseFrame`] → [`EncodeResponseView`] | service → client | v1 |
+//! | 3 | [`ErrorFrame`] → [`ErrorView`] | service → client | v1 |
+//! | 4 | metrics request (empty body) | client → service | v1 |
+//! | 5 | metrics response (UTF-8 JSON body) | service → client | v1 |
+//! | 6 | [`EncodeBatchRequestFrame`] → [`EncodeBatchRequestView`] | client → service | v3 |
+//! | 7 | [`EncodeBatchResponseFrame`] → [`EncodeBatchResponseView`] | service → client | v3 |
+//!
+//! ## The v3 batch frames
+//!
+//! Protocol 3 adds the **batched data plane**: an `EncodeBatch` request
+//! carries a whole batch of bursts for one session under a single
+//! header — a `u16` burst-count field plus one contiguous payload —
+//! where a per-burst client would have sent N separate frames. The
+//! batch request body is the v2 encode-request body with the count field
+//! inserted before the payload length:
+//!
+//! ```text
+//! session_id u64 | scheme u8 | weights 8 | cost_model 13 | groups u16 |
+//! burst_len u8 | want_masks u8 | count u16 | payload_len u32 | payload
+//! ```
+//!
+//! `count` is the total number of per-group bursts in the payload and
+//! must satisfy `count > 0` and `count · burst_len == payload_len`
+//! (violations decode to [`WireError::BadBatchCount`]). The batch
+//! response is the v1 encode-response body with the request's count
+//! echoed after the burst total:
+//!
+//! ```text
+//! session_id u64 | bursts u64 | count u16 | group_count u16 |
+//! mask_count u32 | per-group records | masks
+//! ```
 //!
 //! ## Versioning
 //!
-//! This build speaks protocol [`VERSION`] 2, which added the fixed-width
-//! **cost-model field** to encode requests: [`CostModel`] selects the
-//! (α, β) source for a session — the weights embedded in the scheme
-//! (v1 semantics), raw runtime coefficients, or a named phy operating
-//! point such as `sstl15@6.4` / `pod12@3.2`.
+//! This build speaks protocol [`VERSION`] 3. Version 2 added the
+//! fixed-width **cost-model field** to encode requests: [`CostModel`]
+//! selects the (α, β) source for a session — the weights embedded in the
+//! scheme (v1 semantics), raw runtime coefficients, or a named phy
+//! operating point such as `sstl15@6.4` / `pod12@3.2`. Version 3 added
+//! the batch frames; every v1/v2 body layout is unchanged.
 //!
-//! Version 1 frames are **still decoded**: the encoder always writes
-//! version 2, but [`decode_frame`] accepts [`LEGACY_VERSION`] headers —
-//! a v1 encode request (which has no cost-model field) decodes with
-//! [`CostModel::Inline`], and the v1 response/error/metrics bodies are
-//! byte-identical to v2. Versions other than 1 and 2 are rejected with
-//! [`WireError::UnsupportedVersion`].
+//! Version negotiation rules, receive side:
+//!
+//! * headers announcing versions 1 through [`VERSION`] are accepted;
+//!   anything else is [`WireError::UnsupportedVersion`];
+//! * a v1 encode request (no cost-model field) decodes with
+//!   [`CostModel::Inline`]; v2/v3 encode requests are byte-identical;
+//! * the batch tags (6, 7) exist only from v3 on — under a v1/v2 header
+//!   they are [`WireError::UnknownFrameType`], exactly as a genuine v1/v2
+//!   peer would treat them;
+//! * response/error/metrics bodies are byte-identical across all three
+//!   versions.
 //!
 //! The compatibility is deliberately **receive-side only**: this build
-//! answers every peer with version-2 headers, so a strict v1 peer (whose
-//! decoder rejects any other version byte) can be *decoded by* this
-//! service but cannot parse its replies. That keeps the frame writers
-//! version-free and is sufficient for the supported migration order —
-//! upgrade servers first, then clients; a v1 *frame stream* (captures,
-//! queued frames, old client builds being migrated) stays readable
-//! throughout.
+//! answers every peer with version-3 headers, so a strict v1/v2 peer
+//! (whose decoder rejects any newer version byte) can be *decoded by*
+//! this service but cannot parse its replies. That keeps the frame
+//! writers version-free and is sufficient for the supported migration
+//! order — upgrade servers first, then clients; an old *frame stream*
+//! (captures, queued frames, old client builds being migrated) stays
+//! readable throughout. A client that must stay compatible with a v2
+//! server simply never sends batch frames; every non-batch frame it
+//! receives decodes under both versions' rules.
 //!
 //! Encoding appends to a caller-owned `Vec<u8>` (reused buffers never
 //! reallocate in steady state); decoding is **zero-copy and `unsafe`-free**:
@@ -65,12 +100,23 @@ use dbi_phy::{NamedInterface, OperatingPoint};
 pub const MAGIC: [u8; 2] = *b"DB";
 
 /// Protocol version written by this build. Peers announcing a version
-/// other than this or [`LEGACY_VERSION`] are rejected with
+/// outside [`LEGACY_VERSION`]`..=`[`VERSION`] are rejected with
 /// [`WireError::UnsupportedVersion`].
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 
-/// The previous protocol version, still accepted on decode (see the
-/// [module documentation](self) for the compatibility rules).
+/// The previous protocol version (cost-model field, no batch frames),
+/// still accepted on decode (see the [module documentation](self) for the
+/// compatibility rules).
+pub const V2_VERSION: u8 = 2;
+
+/// The protocol version that introduced the `EncodeBatch` frames. Batch
+/// tags under an older header are [`WireError::UnknownFrameType`] —
+/// pinned here, not to [`VERSION`], so future version bumps keep
+/// decoding version-3 batch streams.
+pub const BATCH_MIN_VERSION: u8 = 3;
+
+/// The oldest protocol version still accepted on decode (no cost-model
+/// field, no batch frames).
 pub const LEGACY_VERSION: u8 = 1;
 
 /// Bytes in the fixed frame header.
@@ -99,6 +145,14 @@ pub const V1_REQUEST_HEAD_LEN: usize = 8 + 1 + CostWeights::WIRE_BYTES + 2 + 1 +
 /// frame.
 pub const RESPONSE_HEAD_LEN: usize = 8 + 8 + 2 + 4;
 
+/// Fixed-size prefix of a version-3 batch encode-request body, before the
+/// payload: the v2 request head plus the `u16` burst-count field.
+pub const BATCH_REQUEST_HEAD_LEN: usize = REQUEST_HEAD_LEN + 2;
+
+/// Fixed-size prefix of a version-3 batch encode-response body, before
+/// the records: the response head plus the echoed `u16` burst count.
+pub const BATCH_RESPONSE_HEAD_LEN: usize = 8 + 8 + 2 + 2 + 4;
+
 /// Frame type tags.
 mod tag {
     pub const ENCODE_REQUEST: u8 = 1;
@@ -106,6 +160,8 @@ mod tag {
     pub const ERROR: u8 = 3;
     pub const METRICS_REQUEST: u8 = 4;
     pub const METRICS_RESPONSE: u8 = 5;
+    pub const ENCODE_BATCH_REQUEST: u8 = 6;
+    pub const ENCODE_BATCH_RESPONSE: u8 = 7;
 }
 
 /// A malformed or unsupported frame. Decoding never panics; every failure
@@ -150,6 +206,15 @@ pub enum WireError {
     UnknownInterfaceTag(u8),
     /// A named cost model carried a zero data rate.
     BadDataRate,
+    /// A batch frame's burst-count field is zero or disagrees with the
+    /// payload length (protocol version 3).
+    BadBatchCount {
+        /// The count field carried by the frame.
+        count: u16,
+        /// Bursts the payload actually holds at the announced burst
+        /// length.
+        got: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -163,7 +228,7 @@ impl fmt::Display for WireError {
                 write!(
                     f,
                     "unsupported protocol version {v} (this build speaks {VERSION} \
-                     and still decodes {LEGACY_VERSION})"
+                     and still decodes {LEGACY_VERSION} through {V2_VERSION})"
                 )
             }
             WireError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
@@ -186,6 +251,12 @@ impl fmt::Display for WireError {
             }
             WireError::BadDataRate => {
                 write!(f, "named cost model carries a zero data rate")
+            }
+            WireError::BadBatchCount { count, got } => {
+                write!(
+                    f,
+                    "batch count field of {count} disagrees with the {got} bursts in the payload"
+                )
             }
         }
     }
@@ -405,8 +476,8 @@ pub struct Header {
 }
 
 /// Parses and validates the fixed 8-byte header: magic, version and the
-/// [`MAX_BODY_LEN`] bound. Both [`VERSION`] and [`LEGACY_VERSION`]
-/// headers are accepted; the version is reported in the returned
+/// [`MAX_BODY_LEN`] bound. Every version from [`LEGACY_VERSION`] through
+/// [`VERSION`] is accepted; the version is reported in the returned
 /// [`Header`] so body decoding can pick the right layout.
 ///
 /// # Errors
@@ -423,7 +494,7 @@ pub fn parse_header(bytes: &[u8]) -> Result<Header, WireError> {
     if bytes[..2] != MAGIC {
         return Err(WireError::BadMagic([bytes[0], bytes[1]]));
     }
-    if bytes[2] != VERSION && bytes[2] != LEGACY_VERSION {
+    if !(LEGACY_VERSION..=VERSION).contains(&bytes[2]) {
         return Err(WireError::UnsupportedVersion(bytes[2]));
     }
     let body_len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
@@ -556,6 +627,151 @@ fn decode_request(body: &[u8], version: u8) -> Result<EncodeRequestView<'_>, Wir
     })
 }
 
+/// A batched encode request (protocol version 3): one header, one
+/// contiguous payload carrying a whole batch of bursts for a session —
+/// where a per-burst client would have sent N separate
+/// [`EncodeRequestFrame`]s. See the [module documentation](self) for the
+/// body layout and the count-field invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeBatchRequestFrame<'a> {
+    /// See [`EncodeRequestFrame::session_id`].
+    pub session_id: u64,
+    /// See [`EncodeRequestFrame::scheme`].
+    pub scheme: Scheme,
+    /// See [`EncodeRequestFrame::cost_model`].
+    pub cost_model: CostModel,
+    /// See [`EncodeRequestFrame::groups`].
+    pub groups: u16,
+    /// See [`EncodeRequestFrame::burst_len`].
+    pub burst_len: u8,
+    /// See [`EncodeRequestFrame::want_masks`].
+    pub want_masks: bool,
+    /// Total per-group bursts in the payload; must equal
+    /// `payload.len() / burst_len`.
+    pub count: u16,
+    /// Beat-interleaved payload bytes, exactly as in
+    /// [`EncodeRequestFrame::payload`].
+    pub payload: &'a [u8],
+}
+
+impl<'a> EncodeBatchRequestFrame<'a> {
+    /// Builds the batch form of a plain encode request, computing the
+    /// burst-count field from the payload. Returns `None` when the
+    /// payload does not divide into `burst_len`-byte bursts or the count
+    /// overflows the `u16` field.
+    #[must_use]
+    pub fn from_request(request: &EncodeRequestFrame<'a>) -> Option<Self> {
+        let burst_len = usize::from(request.burst_len);
+        if burst_len == 0 || !request.payload.len().is_multiple_of(burst_len) {
+            return None;
+        }
+        let count = u16::try_from(request.payload.len() / burst_len).ok()?;
+        Some(EncodeBatchRequestFrame {
+            session_id: request.session_id,
+            scheme: request.scheme,
+            cost_model: request.cost_model,
+            groups: request.groups,
+            burst_len: request.burst_len,
+            want_masks: request.want_masks,
+            count,
+            payload: request.payload,
+        })
+    }
+
+    /// Appends the full frame (header + body) to `out`, in the
+    /// [`VERSION`]-3 layout.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let (tag, weights) = scheme_to_wire(self.scheme);
+        push_header(
+            out,
+            tag::ENCODE_BATCH_REQUEST,
+            BATCH_REQUEST_HEAD_LEN + self.payload.len(),
+        );
+        out.extend_from_slice(&self.session_id.to_le_bytes());
+        out.push(tag);
+        out.extend_from_slice(&weights.to_le_bytes());
+        self.cost_model.encode_into(out);
+        out.extend_from_slice(&self.groups.to_le_bytes());
+        out.push(self.burst_len);
+        out.push(u8::from(self.want_masks));
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.payload);
+    }
+}
+
+/// A decoded batch encode request, borrowing the receive buffer. The
+/// count-field invariants (`count > 0`, `count · burst_len ==
+/// payload.len()`) have already been enforced by the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeBatchRequestView<'a> {
+    /// See [`EncodeBatchRequestFrame::session_id`].
+    pub session_id: u64,
+    /// See [`EncodeBatchRequestFrame::scheme`].
+    pub scheme: Scheme,
+    /// See [`EncodeBatchRequestFrame::cost_model`].
+    pub cost_model: CostModel,
+    /// See [`EncodeBatchRequestFrame::groups`].
+    pub groups: u16,
+    /// See [`EncodeBatchRequestFrame::burst_len`].
+    pub burst_len: u8,
+    /// See [`EncodeBatchRequestFrame::want_masks`].
+    pub want_masks: bool,
+    /// See [`EncodeBatchRequestFrame::count`].
+    pub count: u16,
+    /// The payload bytes, borrowed straight from the frame buffer.
+    pub payload: &'a [u8],
+}
+
+fn decode_batch_request(body: &[u8]) -> Result<EncodeBatchRequestView<'_>, WireError> {
+    if body.len() < BATCH_REQUEST_HEAD_LEN {
+        return Err(WireError::Truncated {
+            needed: BATCH_REQUEST_HEAD_LEN,
+            got: body.len(),
+        });
+    }
+    let session_id = u64::from_le_bytes(body[..8].try_into().expect("checked length"));
+    let scheme_tag = body[8];
+    let mut weights = [0u8; CostWeights::WIRE_BYTES];
+    weights.copy_from_slice(&body[9..9 + CostWeights::WIRE_BYTES]);
+    let mut field = [0u8; COST_MODEL_WIRE_BYTES];
+    field.copy_from_slice(
+        &body[9 + CostWeights::WIRE_BYTES..9 + CostWeights::WIRE_BYTES + COST_MODEL_WIRE_BYTES],
+    );
+    let cost_model = CostModel::decode(&field)?;
+    let rest = &body[9 + CostWeights::WIRE_BYTES + COST_MODEL_WIRE_BYTES..];
+    let groups = u16::from_le_bytes([rest[0], rest[1]]);
+    let burst_len = rest[2];
+    let want_masks = rest[3] != 0;
+    let count = u16::from_le_bytes([rest[4], rest[5]]);
+    let payload_len = u32::from_le_bytes([rest[6], rest[7], rest[8], rest[9]]) as usize;
+    let payload = &body[BATCH_REQUEST_HEAD_LEN..];
+    if payload.len() != payload_len {
+        return Err(WireError::BodyMismatch);
+    }
+    let bursts_in_payload = if burst_len == 0 {
+        0
+    } else {
+        payload.len() / usize::from(burst_len)
+    };
+    if count == 0 || usize::from(count) * usize::from(burst_len) != payload.len() {
+        return Err(WireError::BadBatchCount {
+            count,
+            got: bursts_in_payload,
+        });
+    }
+    Ok(EncodeBatchRequestView {
+        session_id,
+        scheme: scheme_from_wire(scheme_tag, weights)?,
+        cost_model,
+        groups,
+        burst_len,
+        want_masks,
+        count,
+        payload,
+    })
+}
+
 /// An encode response, in its borrowed write-side form.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EncodeResponseFrame<'a> {
@@ -664,6 +880,122 @@ fn decode_response(body: &[u8]) -> Result<EncodeResponseView<'_>, WireError> {
     })
 }
 
+/// A batched encode response (protocol version 3): the encode response
+/// with the request's burst count echoed, answering an
+/// [`EncodeBatchRequestFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeBatchResponseFrame<'a> {
+    /// Echo of the request's session id.
+    pub session_id: u64,
+    /// Per-group bursts encoded by this batch.
+    pub bursts: u64,
+    /// Echo of the request's burst-count field.
+    pub count: u16,
+    /// Activity added by this batch, one record per lane group.
+    pub per_group: &'a [CostBreakdown],
+    /// Per-burst inversion decisions in transmission order; empty unless
+    /// the request set `want_masks`.
+    pub masks: &'a [InversionMask],
+}
+
+impl EncodeBatchResponseFrame<'_> {
+    /// Appends the full frame (header + body) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let body_len = BATCH_RESPONSE_HEAD_LEN
+            + self.per_group.len() * CostBreakdown::WIRE_BYTES
+            + self.masks.len() * InversionMask::WIRE_BYTES;
+        push_header(out, tag::ENCODE_BATCH_RESPONSE, body_len);
+        out.extend_from_slice(&self.session_id.to_le_bytes());
+        out.extend_from_slice(&self.bursts.to_le_bytes());
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&(self.per_group.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.masks.len() as u32).to_le_bytes());
+        for record in self.per_group {
+            out.extend_from_slice(&record.to_le_bytes());
+        }
+        for mask in self.masks {
+            out.extend_from_slice(&mask.to_le_bytes());
+        }
+    }
+}
+
+/// A decoded batch encode response. Like [`EncodeResponseView`], the
+/// record streams stay in the receive buffer and decode lazily.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeBatchResponseView<'a> {
+    /// Echo of the request's session id.
+    pub session_id: u64,
+    /// Per-group bursts encoded by this batch.
+    pub bursts: u64,
+    /// Echo of the request's burst-count field.
+    pub count: u16,
+    per_group_bytes: &'a [u8],
+    mask_bytes: &'a [u8],
+}
+
+impl<'a> EncodeBatchResponseView<'a> {
+    /// Number of lane-group records.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.per_group_bytes.len() / CostBreakdown::WIRE_BYTES
+    }
+
+    /// Number of inversion masks.
+    #[must_use]
+    pub fn mask_count(&self) -> usize {
+        self.mask_bytes.len() / InversionMask::WIRE_BYTES
+    }
+
+    /// The per-group activity records, decoded from the borrowed bytes.
+    pub fn per_group(&self) -> impl Iterator<Item = CostBreakdown> + 'a {
+        self.per_group_bytes
+            .chunks_exact(CostBreakdown::WIRE_BYTES)
+            .map(|chunk| CostBreakdown::from_le_bytes(chunk.try_into().expect("exact chunks")))
+    }
+
+    /// The per-burst inversion masks, decoded from the borrowed bytes.
+    pub fn masks(&self) -> impl Iterator<Item = InversionMask> + 'a {
+        self.mask_bytes
+            .chunks_exact(InversionMask::WIRE_BYTES)
+            .map(|chunk| InversionMask::from_le_bytes(chunk.try_into().expect("exact chunks")))
+    }
+}
+
+fn decode_batch_response(body: &[u8]) -> Result<EncodeBatchResponseView<'_>, WireError> {
+    if body.len() < BATCH_RESPONSE_HEAD_LEN {
+        return Err(WireError::Truncated {
+            needed: BATCH_RESPONSE_HEAD_LEN,
+            got: body.len(),
+        });
+    }
+    let session_id = u64::from_le_bytes(body[..8].try_into().expect("checked length"));
+    let bursts = u64::from_le_bytes(body[8..16].try_into().expect("checked length"));
+    let count = u16::from_le_bytes([body[16], body[17]]);
+    let group_count = u16::from_le_bytes([body[18], body[19]]) as usize;
+    let mask_count = u32::from_le_bytes([body[20], body[21], body[22], body[23]]) as usize;
+    let records = &body[BATCH_RESPONSE_HEAD_LEN..];
+    let group_bytes = group_count
+        .checked_mul(CostBreakdown::WIRE_BYTES)
+        .ok_or(WireError::BodyMismatch)?;
+    let mask_bytes = mask_count
+        .checked_mul(InversionMask::WIRE_BYTES)
+        .ok_or(WireError::BodyMismatch)?;
+    if records.len()
+        != group_bytes
+            .checked_add(mask_bytes)
+            .ok_or(WireError::BodyMismatch)?
+    {
+        return Err(WireError::BodyMismatch);
+    }
+    Ok(EncodeBatchResponseView {
+        session_id,
+        bursts,
+        count,
+        per_group_bytes: &records[..group_bytes],
+        mask_bytes: &records[group_bytes..],
+    })
+}
+
 /// An error response, in its borrowed write-side form.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ErrorFrame<'a> {
@@ -726,6 +1058,10 @@ pub enum Frame<'a> {
     MetricsRequest,
     /// A service metrics response: the JSON snapshot text.
     MetricsResponse(&'a str),
+    /// A client batch encode request (protocol 3).
+    EncodeBatchRequest(EncodeBatchRequestView<'a>),
+    /// A service batch encode response (protocol 3).
+    EncodeBatchResponse(EncodeBatchResponseView<'a>),
 }
 
 /// Decodes the frame starting at `bytes[0]` and returns it together with
@@ -759,6 +1095,15 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame<'_>, usize), WireError> {
         }
         tag::METRICS_RESPONSE => {
             Frame::MetricsResponse(core::str::from_utf8(body).map_err(|_| WireError::BadUtf8)?)
+        }
+        // The batch tags exist only from protocol 3 on; under an older
+        // version header they are exactly as unknown as they would be to
+        // a genuine v1/v2 peer.
+        tag::ENCODE_BATCH_REQUEST if header.version >= BATCH_MIN_VERSION => {
+            Frame::EncodeBatchRequest(decode_batch_request(body)?)
+        }
+        tag::ENCODE_BATCH_RESPONSE if header.version >= BATCH_MIN_VERSION => {
+            Frame::EncodeBatchResponse(decode_batch_response(body)?)
         }
         other => return Err(WireError::UnknownFrameType(other)),
     };
@@ -941,10 +1286,109 @@ mod tests {
             WireError::UnknownCostModelTag(8),
             WireError::UnknownInterfaceTag(9),
             WireError::BadDataRate,
+            WireError::BadBatchCount { count: 4, got: 3 },
         ];
         for err in variants {
             assert!(!err.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn batch_frames_roundtrip_and_enforce_the_count_invariants() {
+        let payload = [7u8; 64]; // 8 bursts of 8 bytes
+        let request = EncodeRequestFrame {
+            session_id: 0xBA7C,
+            scheme: Scheme::Opt(CostWeights::new(2, 3).unwrap()),
+            cost_model: CostModel::Weights(CostWeights::new(4, 1).unwrap()),
+            groups: 4,
+            burst_len: 8,
+            want_masks: true,
+            payload: &payload,
+        };
+        let batch = EncodeBatchRequestFrame::from_request(&request).unwrap();
+        assert_eq!(batch.count, 8);
+        let mut buf = Vec::new();
+        batch.encode_into(&mut buf);
+        let (Frame::EncodeBatchRequest(view), consumed) = decode_frame(&buf).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(consumed, buf.len());
+        assert_eq!(view.session_id, batch.session_id);
+        assert_eq!(view.scheme, batch.scheme);
+        assert_eq!(view.cost_model, batch.cost_model);
+        assert_eq!((view.groups, view.burst_len, view.count), (4, 8, 8));
+        assert!(view.want_masks);
+        assert_eq!(view.payload, &payload);
+
+        // Count-field corruption is a typed error.
+        let count_at = HEADER_LEN + BATCH_REQUEST_HEAD_LEN - 6;
+        let mut bad = buf.clone();
+        bad[count_at] = 9;
+        assert_eq!(
+            decode_frame(&bad),
+            Err(WireError::BadBatchCount { count: 9, got: 8 })
+        );
+        let mut bad = buf.clone();
+        bad[count_at] = 0;
+        assert_eq!(
+            decode_frame(&bad),
+            Err(WireError::BadBatchCount { count: 0, got: 8 })
+        );
+
+        // Batch tags do not exist below protocol 3.
+        let mut old = buf.clone();
+        old[2] = V2_VERSION;
+        assert_eq!(
+            decode_frame(&old),
+            Err(WireError::UnknownFrameType(6)),
+            "a v2 header must treat the batch tag as unknown"
+        );
+
+        // The response echoes the count and decodes lazily.
+        let per_group = [CostBreakdown::new(5, 6); 4];
+        let masks = [InversionMask::from_bits(0b11); 8];
+        let mut buf = Vec::new();
+        EncodeBatchResponseFrame {
+            session_id: 0xBA7C,
+            bursts: 8,
+            count: 8,
+            per_group: &per_group,
+            masks: &masks,
+        }
+        .encode_into(&mut buf);
+        let (Frame::EncodeBatchResponse(view), consumed) = decode_frame(&buf).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(consumed, buf.len());
+        assert_eq!((view.session_id, view.bursts, view.count), (0xBA7C, 8, 8));
+        assert_eq!(view.group_count(), 4);
+        assert_eq!(view.mask_count(), 8);
+        assert_eq!(view.per_group().collect::<Vec<_>>(), per_group);
+        assert_eq!(view.masks().collect::<Vec<_>>(), masks);
+
+        // Record-count corruption is still cross-checked.
+        buf[HEADER_LEN + 20] ^= 1;
+        assert_eq!(decode_frame(&buf), Err(WireError::BodyMismatch));
+    }
+
+    #[test]
+    fn from_request_rejects_undividable_payloads() {
+        let payload = [0u8; 12];
+        let request = EncodeRequestFrame {
+            session_id: 1,
+            scheme: Scheme::Raw,
+            cost_model: CostModel::Inline,
+            groups: 1,
+            burst_len: 8,
+            want_masks: false,
+            payload: &payload,
+        };
+        assert!(EncodeBatchRequestFrame::from_request(&request).is_none());
+        let ok = EncodeRequestFrame {
+            payload: &payload[..8],
+            ..request
+        };
+        assert_eq!(EncodeBatchRequestFrame::from_request(&ok).unwrap().count, 1);
     }
 
     #[test]

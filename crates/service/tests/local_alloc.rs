@@ -12,7 +12,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use dbi_core::Scheme;
-use dbi_service::{CostModel, EncodeReply, EncodeRequest, Engine, ServiceConfig};
+use dbi_service::{
+    CostModel, EncodeBatchRequest, EncodeReply, EncodeRequest, Engine, ServiceConfig,
+};
 
 struct CountingAllocator;
 
@@ -116,5 +118,32 @@ fn steady_state_requests_are_allocation_free() {
         costed_steady, 0,
         "cost-model requests must not allocate once warm (observed {costed_steady})"
     );
+
+    // The protocol-3 batch path rides the same slot and the same worker
+    // slab, so it keeps the guarantee: a warmed-up encode_batch loop is
+    // allocation-free end to end.
+    let batch = EncodeBatchRequest {
+        session_id: 0xBA7C,
+        scheme: Scheme::OptFixed,
+        cost_model: CostModel::Inline,
+        groups: 4,
+        burst_len: 8,
+        want_masks: true,
+        count: (payload.len() / 8) as u16,
+        payload: &payload,
+    };
+    for _ in 0..8 {
+        client.encode_batch(&batch, &mut reply).unwrap();
+    }
+    let batch_steady = allocations_during(|| {
+        for _ in 0..256 {
+            client.encode_batch(&batch, &mut reply).unwrap();
+        }
+    });
+    assert_eq!(
+        batch_steady, 0,
+        "batch requests must not allocate once warm (observed {batch_steady})"
+    );
+    assert_eq!(reply.bursts, u64::from(batch.count));
     engine.shutdown();
 }

@@ -9,8 +9,10 @@
 use dbi_core::{CostBreakdown, CostWeights, InversionMask, Scheme};
 use dbi_phy::{NamedInterface, OperatingPoint};
 use dbi_service::wire::{
-    decode_frame, encode_metrics_request, encode_metrics_response, CostModel, EncodeRequestFrame,
-    EncodeResponseFrame, ErrorCode, ErrorFrame, Frame, WireError, LEGACY_VERSION, VERSION,
+    decode_frame, encode_metrics_request, encode_metrics_response, CostModel,
+    EncodeBatchRequestFrame, EncodeBatchResponseFrame, EncodeRequestFrame, EncodeResponseFrame,
+    ErrorCode, ErrorFrame, Frame, WireError, BATCH_REQUEST_HEAD_LEN, HEADER_LEN, LEGACY_VERSION,
+    V2_VERSION, VERSION,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -379,6 +381,293 @@ fn legacy_v1_requests_decode_with_an_inline_cost_model() {
             );
         }
     }
+}
+
+/// A well-formed arbitrary batch: coherent burst_len / count / payload.
+fn arbitrary_batch<'a>(rng: &mut StdRng, payload: &'a mut Vec<u8>) -> EncodeBatchRequestFrame<'a> {
+    let burst_len = rng.gen_range(1u8..33);
+    let count = rng.gen_range(1u16..64);
+    payload.clear();
+    payload.extend((0..usize::from(count) * usize::from(burst_len)).map(|_| rng.gen::<u8>()));
+    EncodeBatchRequestFrame {
+        session_id: rng.gen::<u64>(),
+        scheme: arbitrary_scheme(rng),
+        cost_model: arbitrary_cost_model(rng),
+        groups: rng.gen::<u16>(),
+        burst_len,
+        want_masks: rng.gen::<bool>(),
+        count,
+        payload: &payload[..],
+    }
+}
+
+#[test]
+fn arbitrary_batch_requests_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    let mut payload = Vec::new();
+    let mut buf = Vec::new();
+    for _ in 0..ROUNDS {
+        let frame = arbitrary_batch(&mut rng, &mut payload);
+        buf.clear();
+        frame.encode_into(&mut buf);
+        let (decoded, consumed) = decode_frame(&buf).expect("a well-formed batch must decode");
+        assert_eq!(consumed, buf.len());
+        let Frame::EncodeBatchRequest(view) = decoded else {
+            panic!("round trip changed the frame type");
+        };
+        assert_eq!(view.session_id, frame.session_id);
+        assert_eq!(view.scheme, frame.scheme);
+        assert_eq!(view.cost_model, frame.cost_model);
+        assert_eq!(view.groups, frame.groups);
+        assert_eq!(view.burst_len, frame.burst_len);
+        assert_eq!(view.want_masks, frame.want_masks);
+        assert_eq!(view.count, frame.count);
+        assert_eq!(view.payload, frame.payload);
+        // Zero-copy: the payload view points into the frame buffer.
+        assert!(core::ptr::eq(
+            view.payload.as_ptr(),
+            &buf[HEADER_LEN + BATCH_REQUEST_HEAD_LEN]
+        ));
+    }
+}
+
+#[test]
+fn arbitrary_batch_responses_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C5);
+    let mut buf = Vec::new();
+    for _ in 0..ROUNDS {
+        let groups = rng.gen_range(0usize..16);
+        let masks = rng.gen_range(0usize..64);
+        let per_group: Vec<CostBreakdown> = (0..groups)
+            .map(|_| CostBreakdown::new(rng.gen::<u64>(), rng.gen::<u64>()))
+            .collect();
+        let mask_list: Vec<InversionMask> = (0..masks)
+            .map(|_| InversionMask::from_bits(rng.gen::<u32>()))
+            .collect();
+        let frame = EncodeBatchResponseFrame {
+            session_id: rng.gen::<u64>(),
+            bursts: rng.gen::<u64>(),
+            count: rng.gen::<u16>(),
+            per_group: &per_group,
+            masks: &mask_list,
+        };
+        buf.clear();
+        frame.encode_into(&mut buf);
+        let (Frame::EncodeBatchResponse(view), consumed) = decode_frame(&buf).unwrap() else {
+            panic!("round trip changed the frame type");
+        };
+        assert_eq!(consumed, buf.len());
+        assert_eq!(view.session_id, frame.session_id);
+        assert_eq!(view.bursts, frame.bursts);
+        assert_eq!(view.count, frame.count);
+        assert_eq!(view.per_group().collect::<Vec<_>>(), per_group);
+        assert_eq!(view.masks().collect::<Vec<_>>(), mask_list);
+    }
+}
+
+/// Every strict prefix of a valid batch frame is `Truncated` — the same
+/// bar the per-burst request frames are held to.
+#[test]
+fn every_batch_truncation_is_rejected_without_panicking() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C6);
+    let mut payload = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
+    for _ in 0..16 {
+        let frame = arbitrary_batch(&mut rng, &mut payload);
+        buf.clear();
+        frame.encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            match decode_frame(&buf[..cut]) {
+                Err(WireError::Truncated { needed, got }) => {
+                    assert_eq!(got, cut);
+                    assert!(
+                        needed > cut,
+                        "cut at {cut}: needed {needed} must exceed the cut"
+                    );
+                }
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// The count field corrupted to every value: either the mutation happens
+/// to keep `count · burst_len == payload_len` (only possible for the
+/// original value, since burst_len ≥ 1) or decoding yields the typed
+/// `BadBatchCount` — never a panic, never a silently wrong batch.
+#[test]
+fn batch_count_corruption_is_exhaustively_typed() {
+    let mut rng = StdRng::seed_from_u64(0xC0417);
+    let mut payload = Vec::new();
+    let count_at = HEADER_LEN + BATCH_REQUEST_HEAD_LEN - 6;
+    for _ in 0..8 {
+        let frame = arbitrary_batch(&mut rng, &mut payload);
+        let mut pristine = Vec::new();
+        frame.encode_into(&mut pristine);
+        for low in 0..=255u8 {
+            for high in [0u8, 1, 0x80, 0xFF] {
+                let mut corrupt = pristine.clone();
+                corrupt[count_at] = low;
+                corrupt[count_at + 1] = high;
+                let forged = u16::from_le_bytes([low, high]);
+                match decode_frame(&corrupt) {
+                    Ok((Frame::EncodeBatchRequest(view), _)) => {
+                        assert_eq!(forged, frame.count, "only the true count may decode");
+                        assert_eq!(view.count, frame.count);
+                    }
+                    Ok(_) => panic!("corruption changed the frame type"),
+                    Err(WireError::BadBatchCount { count, got }) => {
+                        assert_eq!(count, forged);
+                        assert_eq!(got, frame.payload.len() / usize::from(frame.burst_len));
+                    }
+                    Err(other) => panic!("count {forged}: unexpected error {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// Empty and oversized batches never decode as valid frames.
+#[test]
+fn empty_and_oversized_batches_are_rejected() {
+    // count = 0 with an empty payload: structurally consistent lengths,
+    // still rejected — a batch must carry at least one burst.
+    let empty = EncodeBatchRequestFrame {
+        session_id: 1,
+        scheme: Scheme::OptFixed,
+        cost_model: CostModel::Inline,
+        groups: 1,
+        burst_len: 8,
+        want_masks: false,
+        count: 0,
+        payload: &[],
+    };
+    let mut buf = Vec::new();
+    empty.encode_into(&mut buf);
+    assert_eq!(
+        decode_frame(&buf),
+        Err(WireError::BadBatchCount { count: 0, got: 0 })
+    );
+
+    // A count field that exceeds the payload is typed, whatever the size.
+    let payload = vec![0u8; 8 * 100];
+    let mut buf = Vec::new();
+    EncodeBatchRequestFrame {
+        count: u16::MAX,
+        payload: &payload,
+        ..empty
+    }
+    .encode_into(&mut buf);
+    assert_eq!(
+        decode_frame(&buf),
+        Err(WireError::BadBatchCount {
+            count: u16::MAX,
+            got: 100
+        })
+    );
+
+    // A header announcing a body beyond MAX_BODY_LEN is rejected before
+    // any batch field is read.
+    let mut buf = Vec::new();
+    EncodeBatchRequestFrame {
+        count: 100,
+        payload: &payload,
+        ..empty
+    }
+    .encode_into(&mut buf);
+    buf[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        decode_frame(&buf),
+        Err(WireError::Oversized { .. })
+    ));
+}
+
+/// v1 and v2 headers predate the batch tags: under them, tag 6/7 frames
+/// are `UnknownFrameType` — exactly what a genuine old peer would say —
+/// while every non-batch frame still decodes under all three versions.
+#[test]
+fn batch_frames_do_not_exist_below_v3_and_old_frames_still_decode() {
+    let mut rng = StdRng::seed_from_u64(0x01D_51AB);
+    let mut payload = Vec::new();
+    let frame = arbitrary_batch(&mut rng, &mut payload);
+    let mut buf = Vec::new();
+    frame.encode_into(&mut buf);
+    for old in [LEGACY_VERSION, V2_VERSION] {
+        let mut stamped = buf.clone();
+        stamped[2] = old;
+        assert_eq!(
+            decode_frame(&stamped),
+            Err(WireError::UnknownFrameType(6)),
+            "version {old} must not know the batch request tag"
+        );
+    }
+    let mut response = Vec::new();
+    EncodeBatchResponseFrame {
+        session_id: 1,
+        bursts: 2,
+        count: 2,
+        per_group: &[],
+        masks: &[],
+    }
+    .encode_into(&mut response);
+    for old in [LEGACY_VERSION, V2_VERSION] {
+        let mut stamped = response.clone();
+        stamped[2] = old;
+        assert_eq!(
+            decode_frame(&stamped),
+            Err(WireError::UnknownFrameType(7)),
+            "version {old} must not know the batch response tag"
+        );
+    }
+
+    // Response, error and metrics bodies are byte-identical across v1/v2/
+    // v3: re-stamping the version must decode to the same frame.
+    let mut stream = Vec::new();
+    EncodeResponseFrame {
+        session_id: 3,
+        bursts: 4,
+        per_group: &[CostBreakdown::new(1, 2)],
+        masks: &[InversionMask::from_bits(5)],
+    }
+    .encode_into(&mut stream);
+    encode_metrics_request(&mut stream);
+    encode_metrics_response(&mut stream, "{}");
+    ErrorFrame {
+        code: ErrorCode::Overloaded,
+        message: "busy",
+    }
+    .encode_into(&mut stream);
+    let mut offset = 0;
+    while offset < stream.len() {
+        let (v3_frame, len) = decode_frame(&stream[offset..]).unwrap();
+        for old in [LEGACY_VERSION, V2_VERSION] {
+            let mut stamped = stream[offset..offset + len].to_vec();
+            stamped[2] = old;
+            let (old_frame, old_len) = decode_frame(&stamped).unwrap();
+            assert_eq!(old_len, len);
+            assert_eq!(old_frame, v3_frame, "version {old} body must be identical");
+        }
+        offset += len;
+    }
+
+    // A v2 encode request (with its cost-model field) decodes identically
+    // under a v3 header — the layouts are shared.
+    let mut request = Vec::new();
+    EncodeRequestFrame {
+        session_id: 9,
+        scheme: Scheme::Opt(CostWeights::new(2, 5).unwrap()),
+        cost_model: CostModel::Weights(CostWeights::new(3, 4).unwrap()),
+        groups: 4,
+        burst_len: 8,
+        want_masks: true,
+        payload: &[0u8; 32],
+    }
+    .encode_into(&mut request);
+    let (v3_frame, _) = decode_frame(&request).unwrap();
+    let mut v2 = request.clone();
+    v2[2] = V2_VERSION;
+    let (v2_frame, _) = decode_frame(&v2).unwrap();
+    assert_eq!(v2_frame, v3_frame);
 }
 
 /// Frames concatenated back-to-back decode independently, each reporting

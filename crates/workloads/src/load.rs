@@ -32,7 +32,7 @@ use crate::synthetic::{
     FloatArrayBursts, FramebufferBursts, MarkovBursts, TextBursts, ZeroHeavyBursts,
 };
 use core::fmt;
-use dbi_core::Burst;
+use dbi_core::{Burst, BurstSlab};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -150,6 +150,27 @@ impl LoadProfile {
         }
     }
 
+    /// Appends `count` bursts drawn from the mix straight into `slab` —
+    /// the batched counterpart of [`LoadProfile::fill_access`]: traffic
+    /// lands in slab layout directly, with no per-burst payload
+    /// interleaving and no intermediate access buffer, ready for
+    /// [`dbi_core::DbiEncoder::encode_slab_into`] or a service
+    /// `EncodeBatch` frame. Bursts longer than the generators' standard
+    /// length wrap around their 8 source bytes, exactly as
+    /// [`LoadProfile::fill_access`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has no positively weighted source.
+    pub fn fill_slab(&mut self, count: usize, slab: &mut BurstSlab) {
+        let burst_len = slab.burst_len();
+        for _ in 0..count {
+            let burst = self.next_burst();
+            let bytes = burst.bytes();
+            slab.push_with(|out| out.extend((0..burst_len).map(|beat| bytes[beat % bytes.len()])));
+        }
+    }
+
     /// Picks the source for the next burst by weighted selection.
     fn pick(&mut self) -> &mut (dyn BurstSource + Send) {
         assert!(
@@ -229,6 +250,27 @@ mod tests {
         // fill_access appends rather than overwriting.
         profile.fill_access(groups, burst_len, &mut payload);
         assert_eq!(payload.len(), 2 * groups * burst_len);
+    }
+
+    #[test]
+    fn fill_slab_draws_the_same_bursts_as_the_mix() {
+        let mut profile = LoadProfile::gpu(11);
+        let mut reference = LoadProfile::gpu(11);
+        let mut slab = BurstSlab::new(8);
+        profile.fill_slab(6, &mut slab);
+        assert_eq!(slab.burst_count(), 6);
+        for index in 0..6 {
+            let expected = reference.next_burst();
+            assert_eq!(slab.burst_bytes(index).unwrap(), expected.bytes());
+        }
+
+        // Longer slab bursts wrap the 8 source bytes, like fill_access.
+        let mut wide = BurstSlab::new(16);
+        profile.fill_slab(1, &mut wide);
+        let expected = reference.next_burst();
+        let got = wide.burst_bytes(0).unwrap();
+        assert_eq!(&got[..8], expected.bytes());
+        assert_eq!(&got[8..], expected.bytes());
     }
 
     #[test]

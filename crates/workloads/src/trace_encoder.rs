@@ -24,7 +24,8 @@
 use crate::trace::Trace;
 use core::fmt;
 use dbi_core::{
-    Burst, BusState, CostBreakdown, CostWeights, DbiEncoder, EncodePlan, InversionMask, Scheme,
+    Burst, BurstSlab, BusState, CostBreakdown, CostWeights, DbiEncoder, EncodePlan, InversionMask,
+    Scheme,
 };
 use std::sync::Arc;
 
@@ -139,6 +140,45 @@ impl<E: DbiEncoder> TraceEncoder<E> {
             summary.activity += breakdown;
         }
         summary
+    }
+
+    /// Encodes every burst currently loaded in `slab` in **one** call
+    /// through [`DbiEncoder::encode_slab_into`], carrying the bus state
+    /// exactly as the per-burst loops do, and returns the aggregate
+    /// activity. The slab's mask and cost rows are left filled, so callers
+    /// get the per-burst decisions for free. Bit-identical to
+    /// [`TraceEncoder::encode_bursts`] over the same bursts; the summary
+    /// includes real activity, so pricing is (re-)enabled on the slab
+    /// whatever the caller last used it for.
+    pub fn encode_slab(&mut self, slab: &mut BurstSlab) -> TraceSummary {
+        slab.set_pricing(true);
+        let mut state = self.state;
+        self.encoder.encode_slab_into(slab, &mut state);
+        self.state = state;
+        TraceSummary {
+            bursts: slab.burst_count() as u64,
+            activity: slab.total(),
+        }
+    }
+
+    /// Loads `bursts` into `slab` (reset to the first burst's length) and
+    /// encodes them in one slab pass — the batched counterpart of
+    /// [`TraceEncoder::encode_bursts`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dbi_core::DbiError::BurstTooLong`] when the bursts do not
+    /// all share one length, or [`dbi_core::DbiError::EmptyBurst`] when
+    /// `bursts` is empty; the carried state is untouched on error.
+    pub fn encode_bursts_slab(
+        &mut self,
+        bursts: &[Burst],
+        slab: &mut BurstSlab,
+    ) -> dbi_core::Result<TraceSummary> {
+        let first = bursts.first().ok_or(dbi_core::DbiError::EmptyBurst)?;
+        slab.reset(first.len());
+        slab.extend_from_bursts(bursts)?;
+        Ok(self.encode_slab(slab))
     }
 
     /// Encodes `trace` and appends each burst's mask to `masks` (cleared
@@ -300,6 +340,52 @@ mod tests {
         assert_eq!(head_summary, expected_head);
         assert_eq!(tail_summary, expected_tail);
         assert_eq!(by_plan.state(), continued.state());
+    }
+
+    #[test]
+    fn slab_encoding_matches_the_per_burst_loop() {
+        let trace = Trace::record(&mut UniformRandomBursts::with_seed(61), 80);
+        for scheme in Scheme::paper_set().iter().copied() {
+            let mut per_burst = TraceEncoder::new(scheme);
+            let expected = per_burst.encode_trace(&trace);
+
+            let mut slabbed = TraceEncoder::new(scheme);
+            let mut slab = BurstSlab::new(8);
+            let summary = slabbed
+                .encode_bursts_slab(trace.bursts(), &mut slab)
+                .unwrap();
+            assert_eq!(summary, expected, "{scheme}");
+            assert_eq!(slabbed.state(), per_burst.state(), "{scheme}");
+            assert_eq!(slab.masks().len(), trace.len());
+
+            // The slab rows are exactly the per-burst decisions.
+            let mut reference = TraceEncoder::new(scheme);
+            let mut masks = Vec::new();
+            reference.encode_trace_masks(&trace, &mut masks);
+            assert_eq!(slab.masks(), masks.as_slice(), "{scheme}");
+        }
+
+        // A slab left in masks-only mode by an earlier caller still yields
+        // a real summary: encode_slab re-enables pricing.
+        let mut stale = TraceEncoder::new(Scheme::OptFixed);
+        let mut reference = TraceEncoder::new(Scheme::OptFixed);
+        let mut slab = BurstSlab::new(8);
+        slab.extend_from_bursts(trace.bursts()).unwrap();
+        slab.set_pricing(false);
+        let summary = stale.encode_slab(&mut slab);
+        assert_eq!(summary, reference.encode_trace(&trace));
+        assert!(slab.pricing());
+
+        // Errors: empty input, mixed lengths; state untouched.
+        let mut encoder = TraceEncoder::new(Scheme::Dc);
+        let mut slab = BurstSlab::new(8);
+        assert!(encoder.encode_bursts_slab(&[], &mut slab).is_err());
+        let mixed = [
+            Burst::paper_example(),
+            Burst::from_slice(&[1, 2, 3]).unwrap(),
+        ];
+        assert!(encoder.encode_bursts_slab(&mixed, &mut slab).is_err());
+        assert_eq!(encoder.state(), BusState::idle());
     }
 
     #[test]
