@@ -27,8 +27,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use dbi_bench::{random_buffer, random_bursts};
 use dbi_core::schemes::OptFixedEncoder;
 use dbi_core::{
-    Burst, BurstSlab, BusState, CostWeights, DbiEncoder, EncodePlan, EncodedBurst, LaneWord,
-    PlanCache, Scheme,
+    Burst, BurstSlab, BusState, CostWeights, DbiDecoder, DbiEncoder, EncodePlan, EncodedBurst,
+    InversionMask, LaneWord, PlanCache, Scheme,
 };
 use dbi_hw::PipelineEncoder;
 use dbi_mem::{BusSession, ChannelConfig};
@@ -302,6 +302,43 @@ fn encoder_throughput(c: &mut Criterion) {
     });
     group.finish();
 
+    // The decode plane: the receiver paths over the pre-driven wire image
+    // of the same burst set. Baseline only — decoding is a masked
+    // complement plus the activity walk, so it bounds how cheap the
+    // service's verify mode can be.
+    let (wires, wire_masks) = drive_wire_image(&bursts, &state);
+    let mut group = c.benchmark_group("decode");
+    group.throughput(Throughput::Elements(bursts.len() as u64));
+    group.bench_function("decode_mask_opt_fixed_stream", |b| {
+        let opt = OptFixedEncoder::new();
+        let mut out = Vec::with_capacity(8);
+        b.iter(|| {
+            for (wire, mask) in wires.iter().zip(&wire_masks) {
+                opt.decode_mask(black_box(wire), *mask, &mut out)
+                    .expect("bench masks are valid");
+                black_box(&out);
+            }
+        });
+    });
+    group.bench_function("decode_slab", |b| {
+        let opt = OptFixedEncoder::new();
+        let mut rx_slab = BurstSlab::with_capacity(8, bursts.len());
+        for wire in &wires {
+            rx_slab.push_bytes(wire).expect("uniform wire bursts");
+        }
+        rx_slab.load_masks(&wire_masks).expect("one mask per burst");
+        // Masked complementation is an involution, so repeated in-place
+        // decodes alternate wire/payload images — identical work per
+        // iteration either way.
+        b.iter(|| {
+            let mut carried = state;
+            opt.decode_slab_into(black_box(&mut rx_slab), &mut carried)
+                .expect("masks stay loaded");
+            black_box(carried)
+        });
+    });
+    group.finish();
+
     // Multi-group channel streams, serial vs rayon-parallel.
     let config = ChannelConfig::gddr5x();
     let data = random_buffer(256 * 1024);
@@ -323,6 +360,24 @@ fn encoder_throughput(c: &mut Criterion) {
     group.finish();
 
     write_bench_json(&bursts, &state);
+}
+
+/// Drives the wire image of a burst set under a carried OptFixed chain:
+/// the DQ lane bytes and DBI-lane masks a receiver would see.
+fn drive_wire_image(bursts: &[Burst], state: &BusState) -> (Vec<Vec<u8>>, Vec<InversionMask>) {
+    let opt = OptFixedEncoder::new();
+    let mut carried = *state;
+    let mut wires = Vec::with_capacity(bursts.len());
+    let mut masks = Vec::with_capacity(bursts.len());
+    for burst in bursts {
+        let mask = opt.encode_mask(burst, &carried);
+        let mut wire = burst.bytes().to_vec();
+        mask.apply_in_place(&mut wire);
+        carried = mask.final_state(burst, &carried);
+        wires.push(wire);
+        masks.push(mask);
+    }
+    (wires, masks)
 }
 
 /// Times `f` over the burst set and returns the best ns/burst of several
@@ -406,6 +461,42 @@ fn write_bench_json(bursts: &[Burst], state: &BusState) {
         black_box(plan.encode_mask(black_box(burst), state));
     });
 
+    // Decode-plane baselines (recorded, no gate yet): the per-burst
+    // receiver path and the slab decode kernel over the pre-driven wire
+    // image of the same burst set.
+    let (wires, wire_masks) = drive_wire_image(bursts, state);
+    let mut out = Vec::with_capacity(8);
+    let mut decode_mask_ns = f64::INFINITY;
+    for _ in 0..30 {
+        let start = Instant::now();
+        for (wire, mask) in wires.iter().zip(&wire_masks) {
+            opt.decode_mask(black_box(wire), *mask, &mut out)
+                .expect("bench masks are valid");
+            black_box(&out);
+        }
+        let ns = start.elapsed().as_secs_f64() * 1e9 / bursts.len() as f64;
+        if ns < decode_mask_ns {
+            decode_mask_ns = ns;
+        }
+    }
+    let mut rx_slab = BurstSlab::with_capacity(8, bursts.len());
+    for wire in &wires {
+        rx_slab.push_bytes(wire).expect("uniform wire bursts");
+    }
+    rx_slab.load_masks(&wire_masks).expect("one mask per burst");
+    let mut decode_slab_ns = f64::INFINITY;
+    for _ in 0..30 {
+        let mut carried = *state;
+        let start = Instant::now();
+        opt.decode_slab_into(&mut rx_slab, &mut carried)
+            .expect("masks stay loaded");
+        black_box(carried);
+        let ns = start.elapsed().as_secs_f64() * 1e9 / bursts.len() as f64;
+        if ns < decode_slab_ns {
+            decode_slab_ns = ns;
+        }
+    }
+
     let trace = Trace::new("bench", bursts.to_vec());
     let mut encoder = TraceEncoder::new(OptFixedEncoder::new());
     let mut trace_best = f64::INFINITY;
@@ -428,6 +519,8 @@ fn write_bench_json(bursts: &[Burst], state: &BusState) {
          \"slab_ns_per_burst\": {slab_ns:.1},\n  \
          \"slab_priced_ns_per_burst\": {slab_priced_ns:.1},\n  \
          \"encode_ns_per_burst\": {encode_ns:.1},\n  \
+         \"decode_mask_ns_per_burst\": {decode_mask_ns:.1},\n  \
+         \"decode_slab_ns_per_burst\": {decode_slab_ns:.1},\n  \
          \"trace_encode_ns_per_burst\": {trace_best:.1},\n  \
          \"plan_cached_ns_per_burst\": {plan_cached_ns:.1},\n  \
          \"plan_refetch_ns_per_burst\": {plan_refetch_ns:.1},\n  \

@@ -28,7 +28,7 @@
 use dbi_core::Scheme;
 use dbi_service::{
     CostModel, EncodeBatchRequest, EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient,
-    TcpServer,
+    TcpServer, VerifyMode,
 };
 use dbi_workloads::LoadProfile;
 use std::fmt::Write as _;
@@ -112,6 +112,7 @@ fn drive_client(
             groups: GROUPS,
             burst_len: BURST_LEN,
             want_masks: false,
+            verify: VerifyMode::Off,
             payload: &pool[index % pool.len()],
         };
         let start = Instant::now();

@@ -1,0 +1,63 @@
+//! Standalone conformance run: replays the checked-in golden corpus
+//! through all four production levels, then runs the seeded fuzz smoke.
+//!
+//! ```text
+//! cargo run --release -p dbi-conformance --bin conformance
+//! DBI_FUZZ_CASES=100000 cargo run --release -p dbi-conformance --bin conformance
+//! ```
+//!
+//! Exits non-zero on the first divergence.
+
+use dbi_conformance::{fuzz, replay, Corpus, FuzzConfig};
+
+fn main() {
+    let corpus = Corpus::checked_in();
+    println!(
+        "golden corpus: {} vectors (seed {:#x})",
+        corpus.vectors.len(),
+        corpus.seed
+    );
+    match replay::check_all(&corpus) {
+        Ok([mask, slab, session, tcp]) => {
+            println!(
+                "  mask level:    {} vectors, {} bursts",
+                mask.vectors, mask.bursts
+            );
+            println!(
+                "  slab level:    {} vectors, {} bursts",
+                slab.vectors, slab.bursts
+            );
+            println!(
+                "  session level: {} groups, {} bursts",
+                session.vectors, session.bursts
+            );
+            println!(
+                "  tcp level:     {} requests, {} bursts (verify on)",
+                tcp.vectors, tcp.bursts
+            );
+        }
+        Err(err) => {
+            eprintln!("golden replay FAILED: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    let cases = std::env::var("DBI_FUZZ_CASES")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(FuzzConfig::default().cases);
+    let config = FuzzConfig {
+        cases,
+        ..FuzzConfig::default()
+    };
+    match fuzz::run(&config) {
+        Ok(report) => println!(
+            "fuzz: {} cases, {} bursts, {} plan swaps, {} exhaustive certifications — clean",
+            report.cases, report.bursts, report.swaps, report.exhaustive
+        ),
+        Err(err) => {
+            eprintln!("fuzz FAILED: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates the checked-in golden corpus from the reference
+//! implementation.
+//!
+//! ```text
+//! cargo run -p dbi-conformance --bin gen_golden
+//! ```
+//!
+//! Generation is deterministic in [`dbi_conformance::GOLDEN_SEED`], so an
+//! unchanged generator reproduces `vectors/golden.json` byte for byte;
+//! a diff under version control therefore always means the reference
+//! implementation (or the corpus shape) deliberately changed.
+
+use dbi_conformance::{Corpus, GOLDEN_SEED};
+
+fn main() {
+    let corpus = Corpus::generate(GOLDEN_SEED);
+    let json = corpus.to_json();
+    // Self-check before touching the file: the document must round-trip.
+    let parsed = Corpus::from_json(&json).expect("generated corpus must parse");
+    assert_eq!(parsed, corpus, "generated corpus must round-trip");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/vectors/golden.json");
+    std::fs::write(path, &json).expect("writing the corpus file");
+    println!(
+        "wrote {} vectors ({} bytes) to {path}",
+        corpus.vectors.len(),
+        json.len()
+    );
+}

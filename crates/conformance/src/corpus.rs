@@ -1,0 +1,465 @@
+//! The golden-vector corpus: checked-in, externally checkable encode
+//! expectations.
+//!
+//! Each vector is one **carried-state chain**: a sequence of bursts for a
+//! single DBI group under one scheme, starting from the idle bus, with
+//! the reference implementation's per-burst inversion masks, zero and
+//! transition counts, and post-burst lane words recorded. The corpus is
+//! generated **once** by [`Corpus::generate`] from the
+//! [`reference`](mod@crate::reference) encoders (plain lane-word arithmetic,
+//! not the production LUT kernel), written to
+//! `crates/conformance/vectors/golden.json`, and checked in; the
+//! conformance tests replay it through every layer of the production
+//! stack. Regenerate with `cargo run -p dbi-conformance --bin
+//! gen_golden` (the output is deterministic, so an unchanged generator
+//! reproduces the file byte for byte).
+
+use crate::json::{self, Value};
+use crate::reference::{self, RefScheme};
+use dbi_core::Scheme;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// The seed the checked-in corpus was generated with.
+pub const GOLDEN_SEED: u64 = 0xDB1_C0DE;
+
+/// Bursts per golden chain: enough to exercise carried state through
+/// several inversion decisions without bloating the corpus.
+pub const CHAIN_LEN: usize = 6;
+
+/// The checked-in corpus document.
+pub const CHECKED_IN: &str = include_str!("../vectors/golden.json");
+
+/// The corpus format this build reads and writes.
+pub const FORMAT: u64 = 1;
+
+/// One golden chain: `bursts[i]` is encoded after `bursts[..i]` with the
+/// carried lane state, and `masks`/`zeros`/`transitions`/`final_words`
+/// record the reference implementation's expectations per burst.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenVector {
+    /// The scheme, in its `Scheme::from_str` spelling (e.g. `"opt:2,3"`).
+    pub scheme: String,
+    /// Burst length in bytes, 1..=32.
+    pub burst_len: usize,
+    /// The payload bytes of each burst in the chain.
+    pub bursts: Vec<Vec<u8>>,
+    /// Expected inversion decisions per burst (bit *i* = byte *i*).
+    pub masks: Vec<u32>,
+    /// Expected zeros transmitted per burst.
+    pub zeros: Vec<u64>,
+    /// Expected lane transitions per burst (from the carried state).
+    pub transitions: Vec<u64>,
+    /// Expected 9-bit lane word after each burst.
+    pub final_words: Vec<u16>,
+}
+
+impl GoldenVector {
+    /// The parsed [`Scheme`] this vector exercises.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the recorded spelling does not parse — a corrupt
+    /// corpus, which the conformance run must fail loudly on.
+    #[must_use]
+    pub fn parsed_scheme(&self) -> Scheme {
+        self.scheme
+            .parse()
+            .unwrap_or_else(|err| panic!("golden scheme {:?}: {err}", self.scheme))
+    }
+}
+
+/// A whole corpus: format tag, generation seed and the vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Corpus {
+    /// Format version of the document ([`FORMAT`]).
+    pub format: u64,
+    /// The seed the random chains were drawn with.
+    pub seed: u64,
+    /// The golden chains.
+    pub vectors: Vec<GoldenVector>,
+}
+
+/// Maps a parsed [`Scheme`] onto its reference counterpart.
+///
+/// # Panics
+///
+/// Panics on a scheme variant the reference does not implement (none
+/// exist today; the panic future-proofs the oracle).
+#[must_use]
+pub fn ref_scheme(scheme: Scheme) -> RefScheme {
+    match scheme {
+        Scheme::Raw => RefScheme::Raw,
+        Scheme::Dc => RefScheme::Dc,
+        Scheme::Ac => RefScheme::Ac,
+        Scheme::AcDc => RefScheme::AcDc,
+        Scheme::Greedy(w) => RefScheme::Greedy(u64::from(w.alpha()), u64::from(w.beta())),
+        Scheme::Opt(w) => RefScheme::Opt(u64::from(w.alpha()), u64::from(w.beta())),
+        Scheme::OptFixed => RefScheme::Opt(1, 1),
+        other => panic!("scheme {other} has no reference implementation"),
+    }
+}
+
+/// The scheme spellings the corpus covers: every non-parametric scheme
+/// plus a spread of greedy/optimal operating points (all parse through
+/// `Scheme::from_str`, so the corpus also pins the spelling contract).
+pub const GOLDEN_SCHEMES: &[&str] = &[
+    "raw",
+    "dc",
+    "ac",
+    "acdc",
+    "greedy",
+    "greedy:3,1",
+    "opt",
+    "opt-fixed",
+    "opt:2,3",
+    "opt:1,4",
+    "opt:7,2",
+];
+
+/// The burst lengths the corpus covers: the degenerate single-beat case,
+/// odd lengths, the standard BL8/BL16 and the 32-byte mask limit.
+pub const GOLDEN_BURST_LENS: &[usize] = &[1, 2, 3, 5, 8, 16, 32];
+
+/// Structured payload families every (scheme × length) pair is exercised
+/// with, besides a seeded random chain: the adversarial patterns DBI
+/// exists for.
+fn structured_chain(burst_len: usize) -> Vec<Vec<u8>> {
+    let patterns: [fn(usize, usize) -> u8; CHAIN_LEN] = [
+        |_, _| 0x00,                                       // worst-case termination
+        |_, _| 0xFF,                                       // best-case termination
+        |_, beat| if beat % 2 == 0 { 0x55 } else { 0xAA }, // checkerboard
+        |_, beat| 1u8 << (beat % 8),                       // walking one
+        |_, beat| !(1u8 << (beat % 8)),                    // walking zero
+        |burst, beat| (burst * 31 + beat * 7) as u8,       // mild structure
+    ];
+    (0..CHAIN_LEN)
+        .map(|burst| {
+            (0..burst_len)
+                .map(|beat| patterns[burst](burst, beat))
+                .collect()
+        })
+        .collect()
+}
+
+impl Corpus {
+    /// Generates the corpus from the reference implementation. Fully
+    /// deterministic in `seed`.
+    ///
+    /// Generation cross-checks itself: for short bursts the optimal
+    /// schemes' chain costs are certified against the exhaustive 2ⁿ
+    /// oracle, and every optimal mask is checked to cost no more than
+    /// every other scheme's mask for the same burst and entry state —
+    /// the paper's defining property.
+    #[must_use]
+    pub fn generate(seed: u64) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vectors = Vec::new();
+        for &scheme_name in GOLDEN_SCHEMES {
+            let scheme: Scheme = scheme_name.parse().expect("golden spellings parse");
+            for &burst_len in GOLDEN_BURST_LENS {
+                let random_chain: Vec<Vec<u8>> = (0..CHAIN_LEN)
+                    .map(|_| (0..burst_len).map(|_| rng.gen::<u8>()).collect())
+                    .collect();
+                for chain in [random_chain, structured_chain(burst_len)] {
+                    vectors.push(golden_chain(scheme_name, scheme, burst_len, chain));
+                }
+            }
+        }
+        Corpus {
+            format: FORMAT,
+            seed,
+            vectors,
+        }
+    }
+
+    /// Parses the checked-in corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checked-in document is malformed — the corpus is a
+    /// build artefact under version control, so that is a repository
+    /// defect, not an input error.
+    #[must_use]
+    pub fn checked_in() -> Corpus {
+        Corpus::from_json(CHECKED_IN).expect("checked-in golden corpus must parse")
+    }
+
+    /// Serialises the corpus; [`Corpus::from_json`] round-trips it.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"format\": {},", self.format);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"vectors\": [");
+        for (index, vector) in self.vectors.iter().enumerate() {
+            let comma = if index + 1 == self.vectors.len() {
+                ""
+            } else {
+                ","
+            };
+            let bursts: Vec<String> = vector
+                .bursts
+                .iter()
+                .map(|bytes| {
+                    let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+                    format!("\"{hex}\"")
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "    {{\"scheme\": \"{}\", \"burst_len\": {}, \"bursts\": [{}], \
+                 \"masks\": {:?}, \"zeros\": {:?}, \"transitions\": {:?}, \
+                 \"final_words\": {:?}}}{comma}",
+                json::escape(&vector.scheme),
+                vector.burst_len,
+                bursts.join(", "),
+                vector.masks,
+                vector.zeros,
+                vector.transitions,
+                vector.final_words,
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        out.push('\n');
+        out
+    }
+
+    /// Parses a corpus document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first structural
+    /// violation (bad JSON, wrong format tag, missing or mistyped
+    /// fields, inconsistent chain lengths).
+    pub fn from_json(text: &str) -> Result<Corpus, String> {
+        let doc = json::parse(text).map_err(|err| err.to_string())?;
+        let format = field_u64(&doc, "format")?;
+        if format != FORMAT {
+            return Err(format!("unsupported corpus format {format}"));
+        }
+        let seed = field_u64(&doc, "seed")?;
+        let vectors_json = doc
+            .get("vectors")
+            .and_then(Value::as_array)
+            .ok_or("missing \"vectors\" array")?;
+        let mut vectors = Vec::with_capacity(vectors_json.len());
+        for (index, entry) in vectors_json.iter().enumerate() {
+            vectors.push(parse_vector(entry).map_err(|err| format!("vector {index}: {err}"))?);
+        }
+        Ok(Corpus {
+            format,
+            seed,
+            vectors,
+        })
+    }
+}
+
+/// Encodes one chain with the reference implementation and certifies it.
+fn golden_chain(
+    scheme_name: &str,
+    scheme: Scheme,
+    burst_len: usize,
+    chain: Vec<Vec<u8>>,
+) -> GoldenVector {
+    let reference = ref_scheme(scheme);
+    let mut prev = reference::IDLE;
+    let mut masks = Vec::new();
+    let mut zeros = Vec::new();
+    let mut transitions = Vec::new();
+    let mut final_words = Vec::new();
+    for bytes in &chain {
+        let burst = reference::encode(reference, bytes, prev);
+
+        // Certify optimality where the paper claims it: the optimal mask
+        // costs no more than any other scheme's for this burst and entry
+        // state, and — for short bursts — exactly matches the 2ⁿ oracle.
+        if let RefScheme::Opt(alpha, beta) = reference {
+            let opt_cost = alpha * burst.transitions + beta * burst.zeros;
+            for other in [
+                RefScheme::Raw,
+                RefScheme::Dc,
+                RefScheme::Ac,
+                RefScheme::AcDc,
+                RefScheme::Greedy(alpha, beta),
+            ] {
+                let rival = reference::encode(other, bytes, prev);
+                assert!(
+                    opt_cost <= alpha * rival.transitions + beta * rival.zeros,
+                    "OPT must not lose to {other:?} on {bytes:02x?}"
+                );
+            }
+            if bytes.len() <= 12 {
+                assert_eq!(
+                    opt_cost,
+                    reference::exhaustive_min_cost(bytes, prev, alpha, beta),
+                    "OPT DP must match the exhaustive oracle on {bytes:02x?}"
+                );
+            }
+        }
+
+        masks.push(burst.mask);
+        zeros.push(burst.zeros);
+        transitions.push(burst.transitions);
+        final_words.push(burst.final_word);
+        prev = burst.final_word;
+    }
+    GoldenVector {
+        scheme: scheme_name.to_owned(),
+        burst_len,
+        bursts: chain,
+        masks,
+        zeros,
+        transitions,
+        final_words,
+    }
+}
+
+fn field_u64(value: &Value, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or mistyped \"{key}\""))
+}
+
+fn field_u64_array(value: &Value, key: &str) -> Result<Vec<u64>, String> {
+    value
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("missing \"{key}\" array"))?
+        .iter()
+        .map(|item| {
+            item.as_u64()
+                .ok_or_else(|| format!("non-integer entry in \"{key}\""))
+        })
+        .collect()
+}
+
+fn parse_vector(entry: &Value) -> Result<GoldenVector, String> {
+    let scheme = entry
+        .get("scheme")
+        .and_then(Value::as_str)
+        .ok_or("missing \"scheme\"")?
+        .to_owned();
+    let burst_len = field_u64(entry, "burst_len")? as usize;
+    if !(1..=32).contains(&burst_len) {
+        return Err(format!("burst_len {burst_len} out of range"));
+    }
+    let bursts: Vec<Vec<u8>> = entry
+        .get("bursts")
+        .and_then(Value::as_array)
+        .ok_or("missing \"bursts\" array")?
+        .iter()
+        .map(|item| {
+            let hex = item.as_str().ok_or("non-string burst")?;
+            parse_hex(hex)
+        })
+        .collect::<Result<_, String>>()?;
+    let masks: Vec<u32> = field_u64_array(entry, "masks")?
+        .into_iter()
+        .map(|m| u32::try_from(m).map_err(|_| "mask exceeds 32 bits".to_owned()))
+        .collect::<Result<_, String>>()?;
+    let zeros = field_u64_array(entry, "zeros")?;
+    let transitions = field_u64_array(entry, "transitions")?;
+    let final_words: Vec<u16> = field_u64_array(entry, "final_words")?
+        .into_iter()
+        .map(|w| {
+            u16::try_from(w)
+                .ok()
+                .filter(|w| *w <= 0x1FF)
+                .ok_or_else(|| "final word exceeds 9 bits".to_owned())
+        })
+        .collect::<Result<_, String>>()?;
+    let count = bursts.len();
+    if count == 0 {
+        return Err("empty chain".to_owned());
+    }
+    if bursts.iter().any(|b| b.len() != burst_len) {
+        return Err("burst length disagrees with burst_len".to_owned());
+    }
+    if [
+        masks.len(),
+        zeros.len(),
+        transitions.len(),
+        final_words.len(),
+    ] != [count; 4]
+    {
+        return Err("expectation arrays disagree with the chain length".to_owned());
+    }
+    Ok(GoldenVector {
+        scheme,
+        burst_len,
+        bursts,
+        masks,
+        zeros,
+        transitions,
+        final_words,
+    })
+}
+
+fn parse_hex(hex: &str) -> Result<Vec<u8>, String> {
+    if hex.is_empty() || !hex.len().is_multiple_of(2) {
+        return Err(format!("hex burst {hex:?} has odd or zero length"));
+    }
+    (0..hex.len())
+        .step_by(2)
+        .map(|at| {
+            u8::from_str_radix(&hex[at..at + 2], 16)
+                .map_err(|_| format!("invalid hex byte in {hex:?}"))
+        })
+        .collect()
+}
+
+/// The corpus double-checked against the production [`CostWeights`]
+/// limits: golden weights must be constructible, or the replay layers
+/// could not even build their encoders.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbi_core::CostWeights;
+
+    #[test]
+    fn generation_is_deterministic_and_round_trips_through_json() {
+        let a = Corpus::generate(GOLDEN_SEED);
+        let b = Corpus::generate(GOLDEN_SEED);
+        assert_eq!(a, b);
+        let parsed = Corpus::from_json(&a.to_json()).unwrap();
+        assert_eq!(parsed, a);
+        assert_eq!(
+            a.vectors.len(),
+            GOLDEN_SCHEMES.len() * GOLDEN_BURST_LENS.len() * 2
+        );
+    }
+
+    #[test]
+    fn every_golden_scheme_spelling_parses_and_maps() {
+        for name in GOLDEN_SCHEMES {
+            let scheme: Scheme = name.parse().unwrap();
+            let _ = ref_scheme(scheme);
+            if let Scheme::Opt(w) | Scheme::Greedy(w) = scheme {
+                let _ = CostWeights::new(w.alpha(), w.beta()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_structural_violations() {
+        let good = Corpus::generate(1).to_json();
+        assert!(Corpus::from_json(&good).is_ok());
+        for (mutation, needle) in [
+            (good.replace("\"format\": 1", "\"format\": 9"), "format 9"),
+            (good.replace("\"seed\"", "\"seed_\""), "seed"),
+            (
+                good.replacen("\"burst_len\": 1,", "\"burst_len\": 0,", 1),
+                "vector 0",
+            ),
+        ] {
+            let err = Corpus::from_json(&mutation).unwrap_err();
+            assert!(err.contains(needle), "{err} should mention {needle:?}");
+        }
+        assert!(Corpus::from_json("{").is_err());
+    }
+}

@@ -1,0 +1,342 @@
+//! A minimal JSON subset reader for the golden corpus.
+//!
+//! The build environment has no serialisation crates, so — like the
+//! service's handwritten metrics JSON on the write side — the corpus is
+//! parsed by a small recursive-descent reader covering exactly the subset
+//! the corpus uses: objects, arrays, strings (with `\"`, `\\`, `\/`,
+//! `\n`, `\t`, `\r` and `\uXXXX` escapes), unsigned integers, booleans
+//! and `null`. Anything else is a typed parse error with a byte offset,
+//! never a panic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the only number form the corpus uses).
+    Number(u64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; key order is not preserved (keys are unique).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value as an unsigned integer, if it is one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A member of an object, if the value is an object holding the key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON parse failure: what went wrong and the byte offset it was
+/// detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the violation.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected {text:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
+            return Err(self.error("only unsigned integers are supported"));
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse()
+            .map(Value::Number)
+            .map_err(|_| self.error("integer out of range"))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("dangling escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.error("truncated \\u escape"));
+                            }
+                            let hex = core::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.error("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| self.error("\\u escape is not a scalar value"))?;
+                            out.push(ch);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("unsupported escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = core::str::from_utf8(&self.bytes[self.pos..])
+                        .expect("input was a valid &str");
+                    let ch = rest.chars().next().expect("peeked a byte");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut members = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            if members.insert(key, value).is_some() {
+                return Err(self.error("duplicate object key"));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Escapes a string for embedding in JSON output.
+#[must_use]
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_corpus_subset() {
+        let doc = r#"{"format": 1, "name": "x\ny", "items": [1, 2, 3], "flag": true, "none": null, "empty": [], "nested": {"a": 0}}"#;
+        let value = parse(doc).unwrap();
+        assert_eq!(value.get("format").unwrap().as_u64(), Some(1));
+        assert_eq!(value.get("name").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(value.get("items").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(value.get("flag"), Some(&Value::Bool(true)));
+        assert_eq!(value.get("none"), Some(&Value::Null));
+        assert_eq!(value.get("empty").unwrap().as_array(), Some(&[][..]));
+        assert_eq!(
+            value.get("nested").unwrap().get("a").unwrap().as_u64(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let text = "tab\t quote\" slash\\ newline\n unicode \u{1F600}";
+        let doc = format!("{{\"s\": \"{}\"}}", escape(text));
+        let value = parse(&doc).unwrap();
+        assert_eq!(value.get("s").unwrap().as_str(), Some(text));
+    }
+
+    #[test]
+    fn rejects_malformed_documents_typed() {
+        for (doc, needle) in [
+            ("", "expected a value"),
+            ("{", "expected '\"'"),
+            ("[1,]", "expected a value"),
+            ("{\"a\":1,\"a\":2}", "duplicate"),
+            ("1.5", "unsigned"),
+            ("-3", "expected a value"),
+            ("\"abc", "unterminated"),
+            ("[1] junk", "trailing"),
+            ("{\"a\" 1}", "expected ':'"),
+            ("\"\\q\"", "unsupported escape"),
+            ("18446744073709551616", "out of range"),
+        ] {
+            let err = parse(doc).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{doc:?}: {err} should mention {needle:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The CI fuzz smoke: a fixed-seed, 10 000-case structure-aware run that
+//! must find zero encode→decode mismatches, zero reference divergences
+//! and zero cost-invariant violations. `DBI_FUZZ_CASES` scales the run
+//! up for deeper local soaks without touching the code.
+
+use dbi_conformance::{fuzz, FuzzConfig};
+
+#[test]
+fn seeded_fuzz_smoke_finds_no_mismatches() {
+    let cases = std::env::var("DBI_FUZZ_CASES")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(FuzzConfig::default().cases);
+    let report = fuzz::run(&FuzzConfig {
+        cases,
+        ..FuzzConfig::default()
+    })
+    .unwrap();
+    assert_eq!(report.cases, cases);
+    assert!(
+        report.bursts >= cases,
+        "every case checks at least one burst: {report:?}"
+    );
+    assert!(report.swaps > 0, "plan swaps must be exercised: {report:?}");
+    assert!(
+        report.exhaustive > 0,
+        "exhaustive certifications must run: {report:?}"
+    );
+}

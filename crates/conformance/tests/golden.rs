@@ -1,0 +1,42 @@
+//! The golden conformance run: the checked-in corpus must replay clean
+//! through every production level, and must match what the reference
+//! implementation generates today (so neither the corpus file nor the
+//! reference can drift silently).
+
+use dbi_conformance::{replay, Corpus, GOLDEN_SEED};
+
+#[test]
+fn checked_in_corpus_matches_a_fresh_generation() {
+    let checked_in = Corpus::checked_in();
+    let fresh = Corpus::generate(GOLDEN_SEED);
+    assert_eq!(
+        checked_in, fresh,
+        "vectors/golden.json has drifted from the reference implementation; \
+         regenerate with `cargo run -p dbi-conformance --bin gen_golden` \
+         and review the diff"
+    );
+}
+
+#[test]
+fn golden_vectors_pass_the_mask_level() {
+    let stats = replay::check_mask_level(&Corpus::checked_in()).unwrap();
+    assert!(stats.vectors > 100, "corpus unexpectedly small: {stats:?}");
+}
+
+#[test]
+fn golden_vectors_pass_the_slab_level() {
+    let stats = replay::check_slab_level(&Corpus::checked_in()).unwrap();
+    assert!(stats.bursts > 500, "corpus unexpectedly small: {stats:?}");
+}
+
+#[test]
+fn golden_vectors_pass_the_session_level() {
+    let stats = replay::check_session_level(&Corpus::checked_in()).unwrap();
+    assert!(stats.vectors > 0);
+}
+
+#[test]
+fn golden_vectors_pass_the_tcp_level() {
+    let stats = replay::check_tcp_level(&Corpus::checked_in()).unwrap();
+    assert!(stats.vectors > 0);
+}

@@ -1,0 +1,308 @@
+//! The decode plane: receiver-side recovery of DBI-encoded bursts.
+//!
+//! Everything else in this crate is the **transmitter**: given payload
+//! bytes, choose inversion decisions. This module is the matching
+//! **receiver**, the piece of the coding chain the paper's implementation
+//! work (Valentini & Chiani) stresses as the actual deliverable — an
+//! encoder is only correct relative to the decoder that inverts it
+//! exactly.
+//!
+//! What arrives at a DBI receiver is, per beat, the nine lane levels: the
+//! eight DQ lanes carrying the possibly-complemented payload (the *wire
+//! byte*) and the DBI lane carrying the inversion decision. Decoding is
+//! therefore scheme-independent — the receiver never needs to know *why*
+//! a byte was inverted, only *that* it was — which is what lets one
+//! hardware receiver serve every encoding scheme. [`DbiDecoder`] mirrors
+//! that: it is a trait with complete default implementations, blanket-
+//! implemented for every [`DbiEncoder`], so all eight schemes, every
+//! [`EncodePlan`](crate::plan::EncodePlan), [`Scheme`](crate::Scheme)
+//! dispatch and the `&`/`Box`/`Arc` forwarding impls gain the decode
+//! surface for free — call `scheme.decode_mask(..)` exactly as you call
+//! `scheme.encode_mask(..)`.
+//!
+//! The API levels mirror the encode side one-for-one:
+//!
+//! | encode | decode | granularity |
+//! |--------|--------|-------------|
+//! | [`DbiEncoder::encode_mask`] | [`DbiDecoder::decode_mask`] | one burst, caller-owned buffer |
+//! | [`DbiEncoder::encode_into`] | [`DbiDecoder::decode_into`] | one materialised [`EncodedBurst`] |
+//! | [`DbiEncoder::encode`] | [`DbiDecoder::decode`] | one burst, fresh [`Burst`] |
+//! | [`DbiEncoder::encode_slab_into`] | [`DbiDecoder::decode_slab_into`] | a whole [`BurstSlab`], carried state |
+//!
+//! All buffer-reusing forms are allocation-free once their buffers are
+//! warm. The slab form also carries the **receiver's** [`BusState`]
+//! across bursts and, with pricing on, re-prices the wire activity from
+//! the received lane levels ([`crate::word::LaneWord::from_wire`]) — an
+//! independent
+//! path from the encode-side accounting, so the two sides cross-check
+//! each other (the service's verify mode and the conformance suite build
+//! on exactly this).
+//!
+//! ```
+//! # fn main() -> Result<(), dbi_core::DbiError> {
+//! use dbi_core::decode::DbiDecoder;
+//! use dbi_core::{Burst, BusState, DbiEncoder, Scheme};
+//!
+//! let payload = Burst::paper_example();
+//! let state = BusState::idle();
+//! let mask = Scheme::OptFixed.encode_mask(&payload, &state);
+//!
+//! // The transmitter drives the wire bytes (masked complement)...
+//! let mut wire = payload.bytes().to_vec();
+//! mask.apply_in_place(&mut wire);
+//!
+//! // ...and the receiver recovers the payload from wire bytes + DBI lane.
+//! let mut recovered = Vec::new();
+//! Scheme::OptFixed.decode_mask(&wire, mask, &mut recovered)?;
+//! assert_eq!(recovered, payload.bytes());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::burst::{Burst, BusState};
+use crate::encoding::{EncodedBurst, InversionMask};
+use crate::error::{DbiError, Result};
+use crate::schemes::DbiEncoder;
+use crate::slab::BurstSlab;
+
+/// A data bus inversion decoder: the receiver side of [`DbiEncoder`].
+///
+/// Decoding is the same operation for every scheme (undo whatever the DBI
+/// lane signals), so every method has a complete default implementation
+/// and the trait is blanket-implemented for all encoders — the value of
+/// having it on the encoder types is symmetry: the object that chose the
+/// masks can also be asked to invert them, which keeps round-trip tests,
+/// the verify path and the conformance harness scheme-generic.
+pub trait DbiDecoder {
+    /// Recovers one burst's payload bytes from its wire bytes (the DQ
+    /// lane levels as received) and the mask signalled on the DBI lane,
+    /// into a caller-owned buffer that is cleared and refilled —
+    /// allocation-free once `out` has the capacity. The receiver-side
+    /// mirror of [`DbiEncoder::encode_mask`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::EmptyBurst`] for an empty wire slice,
+    /// [`DbiError::BurstTooLong`] beyond the 32-byte mask limit, or
+    /// [`DbiError::MaskTooWide`] when the mask references beats the burst
+    /// does not have. `out` is cleared but otherwise untouched on error.
+    fn decode_mask(&self, wire: &[u8], mask: InversionMask, out: &mut Vec<u8>) -> Result<()> {
+        out.clear();
+        if wire.is_empty() {
+            return Err(DbiError::EmptyBurst);
+        }
+        if wire.len() > 32 {
+            return Err(DbiError::BurstTooLong {
+                len: wire.len(),
+                max: 32,
+            });
+        }
+        mask.validate_for_len(wire.len())?;
+        out.extend_from_slice(wire);
+        mask.apply_in_place(out);
+        Ok(())
+    }
+
+    /// Recovers the payload of a materialised [`EncodedBurst`] into a
+    /// caller-owned buffer (cleared and refilled; an unassigned empty
+    /// burst yields an empty buffer). The receiver-side mirror of
+    /// [`DbiEncoder::encode_into`].
+    fn decode_into(&self, encoded: &EncodedBurst, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend(encoded.symbols().iter().map(|word| word.decode()));
+    }
+
+    /// Recovers one burst's payload as a fresh [`Burst`] — the convenient
+    /// form, mirroring [`DbiEncoder::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DbiDecoder::decode_mask`].
+    fn decode(&self, wire: &Burst, mask: InversionMask) -> Result<Burst> {
+        let mut bytes = Vec::with_capacity(wire.len());
+        self.decode_mask(wire.bytes(), mask, &mut bytes)?;
+        Burst::new(bytes)
+    }
+
+    /// Decodes every burst of a [`BurstSlab`] in place, carrying the
+    /// **receiver's** `state` across bursts — the mirror of
+    /// [`DbiEncoder::encode_slab_into`]. On entry the slab's payload area
+    /// holds wire bytes and its mask column the DBI-lane decisions
+    /// ([`BurstSlab::load_masks`]); on return the payload area holds the
+    /// recovered bytes, `state` the post-slab receiver lane state, and —
+    /// with pricing on — the cost rows the wire activity as re-priced
+    /// from the received lane levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::MaskCountMismatch`] when the mask column does
+    /// not cover every burst; the slab is unchanged.
+    fn decode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) -> Result<()> {
+        slab.decode_in_place(state)
+    }
+}
+
+impl<T: DbiEncoder + ?Sized> DbiDecoder for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostWeights;
+    use crate::schemes::{DbiEncoder, ExhaustiveEncoder, Scheme};
+
+    fn all_schemes() -> Vec<Scheme> {
+        let mut all: Vec<Scheme> = Scheme::paper_set().to_vec();
+        all.extend_from_slice(Scheme::conventional_set());
+        all.push(Scheme::Greedy(CostWeights::new(2, 3).unwrap()));
+        all.push(Scheme::Opt(CostWeights::new(3, 1).unwrap()));
+        all
+    }
+
+    #[test]
+    fn decode_mask_undoes_every_scheme() {
+        let payload = Burst::paper_example();
+        let state = BusState::idle();
+        let mut recovered = Vec::new();
+        for scheme in all_schemes() {
+            let mask = scheme.encode_mask(&payload, &state);
+            let mut wire = payload.bytes().to_vec();
+            mask.apply_in_place(&mut wire);
+            scheme.decode_mask(&wire, mask, &mut recovered).unwrap();
+            assert_eq!(recovered, payload.bytes(), "{scheme}");
+            // The Burst-level convenience agrees.
+            let wire_burst = Burst::new(wire).unwrap();
+            assert_eq!(scheme.decode(&wire_burst, mask).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn decode_works_through_plans_boxes_and_the_oracle() {
+        let payload = Burst::paper_example();
+        let state = BusState::idle();
+        let plan = Scheme::Opt(CostWeights::new(2, 5).unwrap()).plan();
+        let boxed = Scheme::Ac.boxed();
+        let oracle = ExhaustiveEncoder::new(CostWeights::FIXED);
+        let mut out = Vec::new();
+        for (name, mask) in [
+            ("plan", plan.encode_mask(&payload, &state)),
+            ("boxed", boxed.encode_mask(&payload, &state)),
+            ("oracle", oracle.encode_mask(&payload, &state)),
+        ] {
+            let mut wire = payload.bytes().to_vec();
+            mask.apply_in_place(&mut wire);
+            plan.decode_mask(&wire, mask, &mut out).unwrap();
+            assert_eq!(out, payload.bytes(), "{name} via plan");
+            boxed.decode_mask(&wire, mask, &mut out).unwrap();
+            assert_eq!(out, payload.bytes(), "{name} via boxed dyn encoder");
+            oracle.decode_mask(&wire, mask, &mut out).unwrap();
+            assert_eq!(out, payload.bytes(), "{name} via oracle");
+        }
+    }
+
+    #[test]
+    fn decode_into_mirrors_encoded_burst_decode() {
+        let payload = Burst::from_slice(&[0x00, 0xFF, 0xA5, 0x5A]).unwrap();
+        let encoded = Scheme::Dc.encode(&payload, &BusState::idle());
+        let mut out = vec![9u8; 64];
+        Scheme::Dc.decode_into(&encoded, &mut out);
+        assert_eq!(out, payload.bytes());
+        assert_eq!(encoded.decode(), payload);
+        // An unassigned buffer decodes to nothing.
+        Scheme::Dc.decode_into(&EncodedBurst::empty(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn decode_mask_rejects_malformed_input_and_clears_out() {
+        let mut out = vec![1u8, 2, 3];
+        assert_eq!(
+            Scheme::Raw.decode_mask(&[], InversionMask::NONE, &mut out),
+            Err(DbiError::EmptyBurst)
+        );
+        assert!(out.is_empty());
+        out.push(7);
+        assert!(matches!(
+            Scheme::Raw.decode_mask(&[0u8; 33], InversionMask::NONE, &mut out),
+            Err(DbiError::BurstTooLong { len: 33, max: 32 })
+        ));
+        assert!(out.is_empty());
+        assert!(matches!(
+            Scheme::Raw.decode_mask(&[0u8; 2], InversionMask::from_bits(0b100), &mut out),
+            Err(DbiError::MaskTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn slab_decode_round_trips_with_carried_state_and_reprices_the_wire() {
+        let burst_len = 8;
+        let payloads: Vec<u8> = (0..8 * burst_len)
+            .map(|i| (i as u8).wrapping_mul(73).wrapping_add(11))
+            .collect();
+        for scheme in all_schemes() {
+            // Transmit: encode the payload slab, then drive the wire image.
+            let mut tx_slab = BurstSlab::new(burst_len);
+            tx_slab.extend_from_bytes(&payloads).unwrap();
+            let mut tx_state = BusState::idle();
+            scheme.encode_slab_into(&mut tx_slab, &mut tx_state);
+
+            let mut wire = payloads.clone();
+            for (index, mask) in tx_slab.masks().iter().enumerate() {
+                mask.apply_in_place(&mut wire[index * burst_len..(index + 1) * burst_len]);
+            }
+
+            // Receive: prime a slab with wire bytes + masks and decode.
+            let mut rx_slab = BurstSlab::new(burst_len);
+            rx_slab.extend_from_bytes(&wire).unwrap();
+            rx_slab.load_masks(tx_slab.masks()).unwrap();
+            let mut rx_state = BusState::idle();
+            scheme
+                .decode_slab_into(&mut rx_slab, &mut rx_state)
+                .unwrap();
+
+            assert_eq!(rx_slab.bytes(), &payloads[..], "{scheme}: payload");
+            assert_eq!(rx_state, tx_state, "{scheme}: carried receiver state");
+            // The receiver's independent wire pricing agrees with the
+            // transmitter's.
+            assert_eq!(rx_slab.costs(), tx_slab.costs(), "{scheme}: activity");
+            assert_eq!(rx_slab.total(), tx_slab.total(), "{scheme}: totals");
+        }
+    }
+
+    #[test]
+    fn slab_decode_respects_masks_only_mode() {
+        let mut slab = BurstSlab::new(4);
+        slab.extend_from_bytes(&[0x0Fu8; 8]).unwrap();
+        slab.load_masks(&[InversionMask::from_bits(0b1010); 2])
+            .unwrap();
+        slab.set_pricing(false);
+        let mut state = BusState::idle();
+        Scheme::Raw.decode_slab_into(&mut slab, &mut state).unwrap();
+        assert!(slab.costs().is_empty());
+        assert_ne!(state, BusState::idle());
+    }
+
+    #[test]
+    fn slab_decode_requires_one_mask_per_burst() {
+        let mut slab = BurstSlab::new(4);
+        slab.extend_from_bytes(&[0u8; 12]).unwrap();
+        assert_eq!(
+            slab.load_masks(&[InversionMask::NONE; 2]),
+            Err(DbiError::MaskCountMismatch {
+                got: 2,
+                expected: 3
+            })
+        );
+        assert!(matches!(
+            slab.load_masks(&[InversionMask::from_bits(1 << 5); 3]),
+            Err(DbiError::MaskTooWide { .. })
+        ));
+        let before = slab.bytes().to_vec();
+        let mut state = BusState::idle();
+        assert!(matches!(
+            Scheme::Raw.decode_slab_into(&mut slab, &mut state),
+            Err(DbiError::MaskCountMismatch { .. })
+        ));
+        assert_eq!(slab.bytes(), &before[..], "slab unchanged on error");
+        assert_eq!(state, BusState::idle());
+    }
+}

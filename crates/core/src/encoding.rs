@@ -164,6 +164,27 @@ impl InversionMask {
         self.breakdown(burst, state).weighted(weights)
     }
 
+    /// Complements every byte this mask marks as inverted, in place.
+    ///
+    /// This single operation is both halves of the DBI data path, because
+    /// masked complementation is an **involution**: applied to payload
+    /// bytes it produces the DQ lane levels a transmitter drives (the
+    /// *wire bytes*), and applied to wire bytes it recovers the payload —
+    /// exactly what the receiver in the DRAM (for writes) or the memory
+    /// controller (for reads) does with the DBI lane. The decode plane
+    /// ([`crate::decode`]) builds on this.
+    ///
+    /// Mask bits at or beyond `bytes.len()` are ignored; callers that
+    /// need strict width checking validate first with
+    /// [`InversionMask::validate_for_len`].
+    pub fn apply_in_place(self, bytes: &mut [u8]) {
+        for (i, byte) in bytes.iter_mut().enumerate() {
+            if self.is_inverted(i) {
+                *byte = !*byte;
+            }
+        }
+    }
+
     /// The bus state after `burst` has been driven under this mask —
     /// derived from the last byte alone, allocation-free.
     #[must_use]
@@ -519,6 +540,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn apply_in_place_is_an_involution_matching_the_lane_words() {
+        let burst = Burst::from_slice(&[0x10, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4]).unwrap();
+        for bits in [0u32, 0b1, 0b1010_1010, 0xFF, 0b0110_0101] {
+            let mask = InversionMask::from_bits(bits);
+            let mut wire = burst.bytes().to_vec();
+            mask.apply_in_place(&mut wire);
+            // Driving: the wire bytes are exactly the DQ levels of the
+            // encoded lane words.
+            let encoded = EncodedBurst::from_mask(&burst, mask).unwrap();
+            let dq: Vec<u8> = encoded.symbols().iter().map(|w| w.dq_levels()).collect();
+            assert_eq!(wire, dq);
+            // Receiving: a second application recovers the payload.
+            mask.apply_in_place(&mut wire);
+            assert_eq!(wire, burst.bytes());
+        }
+        // Out-of-range bits are ignored.
+        let mut short = [0xABu8];
+        InversionMask::from_bits(0b10).apply_in_place(&mut short);
+        assert_eq!(short, [0xAB]);
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub enum DbiError {
     /// A scheme name could not be parsed by
     /// [`Scheme::from_str`](crate::Scheme).
     UnknownScheme(String),
+    /// A decode operation was handed a different number of inversion masks
+    /// than the bursts it has to undo (see
+    /// [`BurstSlab::load_masks`](crate::BurstSlab::load_masks)).
+    MaskCountMismatch {
+        /// Masks supplied by the caller.
+        got: usize,
+        /// Bursts that need one mask each.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for DbiError {
@@ -76,7 +85,18 @@ impl fmt::Display for DbiError {
                 )
             }
             DbiError::UnknownScheme(name) => {
-                write!(f, "unknown DBI scheme name {name:?}")
+                write!(
+                    f,
+                    "unknown DBI scheme name {name:?} (valid names: {})",
+                    crate::schemes::Scheme::ALIASES.join(", ")
+                )
+            }
+            DbiError::MaskCountMismatch { got, expected } => {
+                write!(
+                    f,
+                    "mask count {got} does not match the {expected} bursts to decode \
+                     (one mask per burst)"
+                )
             }
         }
     }
@@ -113,6 +133,13 @@ mod tests {
                 "exceeds",
             ),
             (DbiError::UnknownScheme("dbi-zzz".to_owned()), "dbi-zzz"),
+            (
+                DbiError::MaskCountMismatch {
+                    got: 3,
+                    expected: 4,
+                },
+                "mask count 3",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -67,6 +67,7 @@
 //! | [`lut`] | precomputed trellis edge-cost tables (the encode hot path) |
 //! | [`plan`] | runtime encode plans ([`EncodePlan`]) and the bounded [`PlanCache`] |
 //! | [`encoding`] | inversion masks, encoded bursts (inline small-buffer storage), decoding |
+//! | [`decode`] | the receiver: [`DbiDecoder`], mask/burst/slab decode with carried state |
 //! | [`slab`] | batched burst slabs ([`BurstSlab`]) and whole-slab encoding |
 //! | [`schemes`] | RAW, DC, AC, ACDC, greedy, OPT, OPT(Fixed), exhaustive oracle |
 //! | [`graph`] | explicit trellis + Dijkstra (Fig. 2 cross-check) |
@@ -81,6 +82,7 @@
 pub mod analysis;
 pub mod burst;
 pub mod cost;
+pub mod decode;
 pub mod encoding;
 pub mod error;
 pub mod graph;
@@ -94,6 +96,7 @@ pub mod word;
 
 pub use burst::{Burst, BusState, MAX_EXHAUSTIVE_LEN, STANDARD_BURST_LEN};
 pub use cost::{CostBreakdown, CostWeights};
+pub use decode::DbiDecoder;
 pub use encoding::{decode_symbols, EncodedBurst, InversionMask, INLINE_SYMBOLS};
 pub use error::{DbiError, Result};
 pub use lut::CostLut;

@@ -220,6 +220,24 @@ pub enum Scheme {
 }
 
 impl Scheme {
+    /// The canonical parse spellings accepted by `Scheme::from_str`, one
+    /// per scheme plus the two parametric forms. Listed in the
+    /// [`DbiError::UnknownScheme`](crate::DbiError::UnknownScheme) message
+    /// so a typo'd configuration tells the operator what *would* have
+    /// parsed; every concrete entry round-trips through `from_str`
+    /// (tested below).
+    pub const ALIASES: &'static [&'static str] = &[
+        "raw",
+        "dc",
+        "ac",
+        "acdc",
+        "greedy",
+        "opt",
+        "opt-fixed",
+        "opt:ALPHA,BETA",
+        "greedy:ALPHA,BETA",
+    ];
+
     /// The schemes compared in Figs. 3, 4, 7 and 8 of the paper, in plot
     /// order: RAW, DC, AC, OPT(α=β=1), OPT(Fixed). Borrows a static slice;
     /// call `.to_vec()` where owned storage is required.
@@ -570,6 +588,27 @@ mod tests {
                     Err(crate::error::DbiError::UnknownScheme(_))
                 ),
                 "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_scheme_error_lists_aliases_that_all_parse_back() {
+        // The error message advertises every alias...
+        let message = "nope".parse::<Scheme>().unwrap_err().to_string();
+        for alias in Scheme::ALIASES {
+            assert!(
+                message.contains(alias),
+                "error message {message:?} must list {alias:?}"
+            );
+        }
+        // ...and each advertised spelling round-trips through from_str
+        // (the parametric placeholders with example coefficients filled in).
+        for alias in Scheme::ALIASES {
+            let concrete = alias.replace("ALPHA,BETA", "2,3");
+            assert!(
+                concrete.parse::<Scheme>().is_ok(),
+                "advertised alias {concrete:?} must parse"
             );
         }
     }

@@ -299,6 +299,128 @@ impl BurstSlab {
         }
     }
 
+    /// Loads a caller-supplied mask column, one mask per burst — how a
+    /// **receiver** primes a slab whose payload area holds *wire* bytes
+    /// before [`BurstSlab::decode_in_place`]. Any cost rows from a
+    /// previous encode are cleared (they priced different bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::MaskCountMismatch`] when `masks` does not hold
+    /// exactly one mask per burst, or [`DbiError::MaskTooWide`] when any
+    /// mask references beats beyond the slab's burst length. The slab is
+    /// unchanged on error.
+    pub fn load_masks(&mut self, masks: &[InversionMask]) -> Result<()> {
+        if masks.len() != self.burst_count() {
+            return Err(DbiError::MaskCountMismatch {
+                got: masks.len(),
+                expected: self.burst_count(),
+            });
+        }
+        for mask in masks {
+            mask.validate_for_len(self.burst_len)?;
+        }
+        self.masks.clear();
+        self.masks.extend_from_slice(masks);
+        self.costs.clear();
+        Ok(())
+    }
+
+    /// [`BurstSlab::load_masks`] from an iterator — the gather-free way to
+    /// load a strided mask column (the per-group scatter in
+    /// `dbi-mem`'s stream decode uses this).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BurstSlab::load_masks`]; because the iterator
+    /// can only be walked once, a width error discovered mid-load leaves
+    /// the mask column **cleared** (never partially stale), so a
+    /// subsequent decode fails with [`DbiError::MaskCountMismatch`] rather
+    /// than decoding with the wrong masks.
+    pub fn load_masks_from<I>(&mut self, masks: I) -> Result<()>
+    where
+        I: IntoIterator<Item = InversionMask>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let iter = masks.into_iter();
+        if iter.len() != self.burst_count() {
+            return Err(DbiError::MaskCountMismatch {
+                got: iter.len(),
+                expected: self.burst_count(),
+            });
+        }
+        self.masks.clear();
+        self.costs.clear();
+        for mask in iter {
+            if let Err(err) = mask.validate_for_len(self.burst_len) {
+                self.masks.clear();
+                return Err(err);
+            }
+            self.masks.push(mask);
+        }
+        Ok(())
+    }
+
+    /// Decodes the slab **in place**: the payload area, currently holding
+    /// the DQ lane levels as received off the wire, is rewritten to the
+    /// original payload bytes by undoing the per-beat inversions recorded
+    /// in the mask column (loaded via [`BurstSlab::load_masks`] or left
+    /// over from an encode of the same wire image). `state` carries the
+    /// **receiver's** lane state across bursts exactly as the encode side
+    /// carries the transmitter's, and holds the post-slab state on return.
+    ///
+    /// With [`BurstSlab::pricing`] on, the per-burst cost rows are filled
+    /// with the wire activity *as observed by the receiver* — reassembled
+    /// from the wire bytes and the DBI lane via
+    /// [`LaneWord::from_wire`](crate::word::LaneWord::from_wire), a
+    /// deliberately independent path from the encode-side pricing, so a
+    /// transmitter and a receiver that disagree about activity expose an
+    /// encode/decode asymmetry instead of hiding it.
+    ///
+    /// This is the engine of
+    /// [`DbiDecoder::decode_slab_into`](crate::decode::DbiDecoder); it
+    /// performs no heap allocation once the slab's buffers are warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::MaskCountMismatch`] when the mask column does
+    /// not cover every burst. The slab is unchanged on error.
+    pub fn decode_in_place(&mut self, state: &mut BusState) -> Result<()> {
+        use crate::word::LaneWord;
+        let count = self.burst_count();
+        if self.masks.len() != count {
+            return Err(DbiError::MaskCountMismatch {
+                got: self.masks.len(),
+                expected: count,
+            });
+        }
+        self.costs.clear();
+        if self.is_empty() {
+            return Ok(());
+        }
+        if self.pricing {
+            self.costs.resize(count, CostBreakdown::ZERO);
+        }
+        let mut prev = state.last();
+        for (index, chunk) in self.bytes.chunks_exact_mut(self.burst_len).enumerate() {
+            let mask = self.masks[index];
+            let mut zeros = 0u64;
+            let mut transitions = 0u64;
+            for (beat, byte) in chunk.iter_mut().enumerate() {
+                let word = LaneWord::from_wire(*byte, mask.is_inverted(beat));
+                zeros += u64::from(word.zeros());
+                transitions += u64::from(word.transitions_from(prev));
+                prev = word;
+                *byte = word.decode();
+            }
+            if self.pricing {
+                self.costs[index] = CostBreakdown::new(zeros, transitions);
+            }
+        }
+        *state = BusState::new(prev);
+        Ok(())
+    }
+
     /// Runs the per-burst closure over every burst in order, carrying
     /// `state` across bursts and recording each burst's mask and activity
     /// — the backing of the default [`DbiEncoder::encode_slab_into`].

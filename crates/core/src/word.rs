@@ -144,6 +144,20 @@ impl LaneWord {
         Self::from_byte_and_dbi(byte, DbiBit::from_invert(invert))
     }
 
+    /// Lane word as reassembled by a **receiver**: `dq` is the byte
+    /// observed on the DQ lanes (the possibly-inverted payload, *not* the
+    /// original data) and `inverted` is the decision signalled on the DBI
+    /// lane. This is the decode-plane counterpart of
+    /// [`LaneWord::encode_byte`]: for every byte `b`,
+    /// `LaneWord::from_wire(LaneWord::encode_byte(b, i).dq_levels(), i)`
+    /// reconstructs the identical word, and
+    /// [`LaneWord::decode`](LaneWord::decode) then recovers `b`.
+    #[must_use]
+    pub const fn from_wire(dq: u8, inverted: bool) -> Self {
+        let dbi = DbiBit::from_invert(inverted);
+        LaneWord((dq as u16) | (dbi.line_level() << DBI_BIT))
+    }
+
     /// Raw 9-bit lane levels (bit 8 = DBI lane).
     #[must_use]
     pub const fn bits(self) -> u16 {
@@ -348,6 +362,18 @@ mod tests {
         let b = LaneWord::encode_byte(0xC3, true);
         assert_eq!(a.transitions_from(b), b.transitions_from(a));
         assert_eq!(a.transitions_from(a), 0);
+    }
+
+    #[test]
+    fn from_wire_reassembles_the_transmitted_word() {
+        for byte in [0x00u8, 0xFF, 0xA5, 0x5A, 0x8E, 0x01] {
+            for inverted in [false, true] {
+                let driven = LaneWord::encode_byte(byte, inverted);
+                let received = LaneWord::from_wire(driven.dq_levels(), inverted);
+                assert_eq!(received, driven);
+                assert_eq!(received.decode(), byte);
+            }
+        }
     }
 
     #[test]

@@ -145,6 +145,100 @@ fn slab_state_carries_across_successive_slabs() {
 }
 
 #[test]
+fn masks_only_mode_matches_priced_mode_across_geometries() {
+    // The geometry sweep of the priced differential, replayed with
+    // pricing off: decisions and carried state must be bit-identical to
+    // the priced encode whatever the slab shape, for every scheme
+    // (including the optimal kernels, whose masks-only sweep skips the
+    // fused pricing accumulators entirely).
+    let mut rng = StdRng::seed_from_u64(0x90FF);
+    for scheme in all_schemes() {
+        for burst_len in [1usize, 3, 8, 16, 32] {
+            for bursts in [1usize, 2, 17] {
+                let mut priced = random_slab(&mut rng, burst_len, bursts);
+                let mut unpriced = priced.clone();
+                unpriced.set_pricing(false);
+                let initial = BusState::new(LaneWord::encode_byte(rng.gen(), rng.gen()));
+
+                let mut priced_state = initial;
+                scheme.encode_slab_into(&mut priced, &mut priced_state);
+                let mut unpriced_state = initial;
+                scheme.encode_slab_into(&mut unpriced, &mut unpriced_state);
+
+                assert_eq!(
+                    priced.masks(),
+                    unpriced.masks(),
+                    "{scheme} len {burst_len} x {bursts}: masks"
+                );
+                assert_eq!(
+                    priced_state, unpriced_state,
+                    "{scheme} len {burst_len} x {bursts}: state"
+                );
+                assert!(unpriced.costs().is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn slab_decode_is_bit_identical_to_the_per_burst_decode_chain() {
+    use dbi_core::DbiDecoder;
+    let mut rng = StdRng::seed_from_u64(0xDEC0);
+    for scheme in all_schemes() {
+        for burst_len in [1usize, 8, 32] {
+            for pricing in [true, false] {
+                let mut slab = random_slab(&mut rng, burst_len, 24);
+                let payload = slab.bytes().to_vec();
+                let initial = BusState::new(LaneWord::encode_byte(rng.gen(), rng.gen()));
+                let mut tx_state = initial;
+                scheme.encode_slab_into(&mut slab, &mut tx_state);
+                let masks = slab.masks().to_vec();
+                let tx_costs = slab.costs().to_vec();
+
+                // Drive the wire image burst by burst.
+                let mut wire = payload.clone();
+                for (index, mask) in masks.iter().enumerate() {
+                    mask.apply_in_place(&mut wire[index * burst_len..(index + 1) * burst_len]);
+                }
+
+                // Slab decode...
+                let mut rx_slab = BurstSlab::new(burst_len);
+                rx_slab.set_pricing(pricing);
+                rx_slab.extend_from_bytes(&wire).unwrap();
+                rx_slab.load_masks(&masks).unwrap();
+                let mut rx_state = initial;
+                scheme
+                    .decode_slab_into(&mut rx_slab, &mut rx_state)
+                    .unwrap();
+
+                // ...against the per-burst decode chain.
+                let mut out = Vec::new();
+                let mut decoded = Vec::new();
+                for (index, mask) in masks.iter().enumerate() {
+                    scheme
+                        .decode_mask(
+                            &wire[index * burst_len..(index + 1) * burst_len],
+                            *mask,
+                            &mut out,
+                        )
+                        .unwrap();
+                    decoded.extend_from_slice(&out);
+                }
+
+                assert_eq!(rx_slab.bytes(), &decoded[..], "{scheme}: per-burst chain");
+                assert_eq!(rx_slab.bytes(), &payload[..], "{scheme}: round trip");
+                assert_eq!(rx_state, tx_state, "{scheme}: receiver state");
+                if pricing {
+                    assert_eq!(rx_slab.costs(), &tx_costs[..], "{scheme}: wire pricing");
+                } else {
+                    assert!(rx_slab.costs().is_empty());
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn masks_only_mode_yields_identical_decisions_and_state() {
     let mut rng = StdRng::seed_from_u64(0x3A5C);
     for scheme in all_schemes() {

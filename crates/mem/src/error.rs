@@ -19,6 +19,22 @@ pub enum MemError {
     BadBusWidth(u32),
     /// A channel was configured with a zero burst length.
     ZeroBurstLength,
+    /// A decode (or transmit) stream call was handed a different number of
+    /// inversion masks than the stream holds bursts.
+    BadMaskCount {
+        /// Masks supplied by the caller.
+        got: usize,
+        /// Bursts in the stream (accesses × lane groups).
+        expected: usize,
+    },
+    /// An inversion mask in a decode (or transmit) stream references beats
+    /// beyond the session's burst length.
+    BadMask {
+        /// Position of the offending mask in transmission order.
+        index: usize,
+        /// The session's burst length in beats.
+        burst_len: usize,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -34,6 +50,19 @@ impl fmt::Display for MemError {
                 )
             }
             MemError::ZeroBurstLength => write!(f, "burst length must be at least 1"),
+            MemError::BadMaskCount { got, expected } => {
+                write!(
+                    f,
+                    "mask count {got} does not match the {expected} bursts in the stream \
+                     (one mask per burst in transmission order)"
+                )
+            }
+            MemError::BadMask { index, burst_len } => {
+                write!(
+                    f,
+                    "inversion mask {index} references beats beyond the {burst_len}-beat burst"
+                )
+            }
         }
     }
 }
@@ -59,6 +88,18 @@ mod tests {
         assert!(MemError::ZeroBurstLength
             .to_string()
             .contains("burst length"));
+        assert!(MemError::BadMaskCount {
+            got: 3,
+            expected: 8
+        }
+        .to_string()
+        .contains("3"));
+        assert!(MemError::BadMask {
+            index: 2,
+            burst_len: 8
+        }
+        .to_string()
+        .contains("mask 2"));
     }
 
     #[test]

@@ -36,8 +36,8 @@ use crate::config::ChannelConfig;
 use crate::error::{MemError, Result};
 use core::fmt;
 use dbi_core::{
-    Burst, BurstSlab, BusState, CostBreakdown, CostWeights, DbiEncoder, EncodePlan, InversionMask,
-    Scheme,
+    Burst, BurstSlab, BusState, CostBreakdown, CostWeights, DbiDecoder, DbiEncoder, EncodePlan,
+    InversionMask, LaneWord, Scheme,
 };
 use std::sync::Arc;
 
@@ -192,6 +192,18 @@ impl BusSession {
     #[must_use]
     pub fn group_state(&self, group: usize) -> Option<BusState> {
         self.groups.get(group).copied()
+    }
+
+    /// Overwrites the carried lane state of one group — how a **receiver**
+    /// session is synchronised to the transmitter's known state before
+    /// replaying a stream slice (the service's verify mode does exactly
+    /// this before decoding each request's output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn set_group_state(&mut self, group: usize, state: BusState) {
+        self.groups[group] = state;
     }
 
     /// Returns every group to the idle (all lanes high) boundary condition.
@@ -366,6 +378,228 @@ impl BusSession {
             }
         }
         Ok((accesses * groups) as u64)
+    }
+
+    /// Produces the **wire image** of an encoded stream: the payload bytes
+    /// with each burst's inversion decisions applied — exactly the DQ lane
+    /// levels a transmitter drives, in the same beat-interleaved layout as
+    /// the payload. `masks` is the mask stream in transmission order
+    /// (group-major within each access), as produced by
+    /// [`BusSession::encode_stream_into`]. Pure: carried state is neither
+    /// read nor advanced (the wires' *levels* are fully determined by
+    /// payload + masks). `wire` is cleared and refilled, reusing capacity.
+    ///
+    /// Feeding the result to [`BusSession::decode_stream_into`] recovers
+    /// `payload` bit-identically — masked complementation is an
+    /// involution (see
+    /// [`InversionMask::apply_in_place`](dbi_core::InversionMask::apply_in_place)).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::BadAccessSize`] for a misaligned payload,
+    /// [`MemError::BadMaskCount`] when `masks` does not hold one mask per
+    /// burst, or [`MemError::BadMask`] when a mask references beats beyond
+    /// the burst length. `wire` is left cleared on error.
+    pub fn transmit_stream_into(
+        &self,
+        payload: &[u8],
+        masks: &[InversionMask],
+        wire: &mut Vec<u8>,
+    ) -> Result<()> {
+        wire.clear();
+        self.check_decode_stream(payload, masks)?;
+        let groups = self.groups.len();
+        let burst_len = self.burst_len;
+        wire.extend_from_slice(payload);
+        for access in 0..payload.len() / self.access_bytes() {
+            let base = access * groups * burst_len;
+            for group in 0..groups {
+                let mask = masks[access * groups + group];
+                for beat in 0..burst_len {
+                    if mask.is_inverted(beat) {
+                        wire[base + beat * groups + group] ^= 0xFF;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a beat-interleaved **wire** stream back into the original
+    /// payload — the receiver half of [`BusSession::encode_stream_into`].
+    ///
+    /// `wire` holds the DQ lane levels in the interleaved layout the
+    /// channel drives, and `masks` the DBI-lane decisions in transmission
+    /// order. `out` is cleared and refilled with the recovered payload
+    /// bytes (same layout as the wire), and `per_group` with one
+    /// [`CostBreakdown`] per lane group holding the wire activity **as
+    /// observed by the receiver** — re-priced from the received lane
+    /// levels, an independent path from the encode-side accounting, so
+    /// transmitter and receiver cross-check each other.
+    ///
+    /// The session's carried [`BusState`]s advance as the *receiver's*
+    /// lane states: after decoding the stream a transmitter produced, a
+    /// receiver session started from the same states holds bit-identical
+    /// ones (tested below; the service's verify mode asserts it per
+    /// request). All buffers reuse capacity; a warmed-up caller performs
+    /// no heap allocation. Returns the number of bursts decoded.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::BadAccessSize`], [`MemError::BadMaskCount`] or
+    /// [`MemError::BadMask`], as for
+    /// [`BusSession::transmit_stream_into`]; carried states are untouched
+    /// and the output buffers left cleared on error.
+    pub fn decode_stream_into(
+        &mut self,
+        wire: &[u8],
+        masks: &[InversionMask],
+        per_group: &mut Vec<CostBreakdown>,
+        out: &mut Vec<u8>,
+    ) -> Result<u64> {
+        per_group.clear();
+        out.clear();
+        self.check_decode_stream(wire, masks)?;
+        let groups = self.groups.len();
+        let burst_len = self.burst_len;
+        let accesses = wire.len() / self.access_bytes();
+        per_group.resize(groups, CostBreakdown::ZERO);
+        out.resize(wire.len(), 0);
+
+        for (group, activity) in per_group.iter_mut().enumerate() {
+            let mut prev = self.groups[group].last();
+            let mut zeros = 0u64;
+            let mut transitions = 0u64;
+            for access in 0..accesses {
+                let base = access * groups * burst_len;
+                let mask = masks[access * groups + group];
+                for beat in 0..burst_len {
+                    let index = base + beat * groups + group;
+                    let word = LaneWord::from_wire(wire[index], mask.is_inverted(beat));
+                    zeros += u64::from(word.zeros());
+                    transitions += u64::from(word.transitions_from(prev));
+                    prev = word;
+                    out[index] = word.decode();
+                }
+            }
+            *activity = CostBreakdown::new(zeros, transitions);
+            self.groups[group] = BusState::new(prev);
+        }
+        Ok((accesses * groups) as u64)
+    }
+
+    /// The convenient form of [`BusSession::decode_stream_into`]: returns
+    /// the recovered payload and the receiver-side activity.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BusSession::decode_stream_into`].
+    pub fn decode_stream(
+        &mut self,
+        wire: &[u8],
+        masks: &[InversionMask],
+    ) -> Result<(ChannelActivity, Vec<u8>)> {
+        let mut per_group = Vec::new();
+        let mut out = Vec::new();
+        let bursts = self.decode_stream_into(wire, masks, &mut per_group, &mut out)?;
+        Ok((ChannelActivity { bursts, per_group }, out))
+    }
+
+    /// The batched (slab) form of [`BusSession::decode_stream_into`]: each
+    /// group's whole burst chain is de-interleaved into `slab` and decoded
+    /// in **one** [`DbiDecoder::decode_slab_into`] call — one kernel pass
+    /// per group instead of one mask application per burst. Bit-identical
+    /// to [`BusSession::decode_stream_into`] (differential-tested below),
+    /// including the carried receiver states and the wire-side pricing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BusSession::decode_stream_into`].
+    pub fn decode_stream_slab_into(
+        &mut self,
+        wire: &[u8],
+        masks: &[InversionMask],
+        per_group: &mut Vec<CostBreakdown>,
+        out: &mut Vec<u8>,
+        slab: &mut BurstSlab,
+    ) -> Result<u64> {
+        per_group.clear();
+        out.clear();
+        self.check_decode_stream(wire, masks)?;
+        let groups = self.groups.len();
+        let burst_len = self.burst_len;
+        let accesses = wire.len() / self.access_bytes();
+        per_group.resize(groups, CostBreakdown::ZERO);
+        out.resize(wire.len(), 0);
+
+        slab.set_pricing(true);
+        for (group, activity) in per_group.iter_mut().enumerate() {
+            slab.reset(burst_len);
+            for access in 0..accesses {
+                let base = access * groups * burst_len;
+                slab.push_with(|bytes| {
+                    bytes.extend((0..burst_len).map(|beat| wire[base + beat * groups + group]));
+                });
+            }
+            slab.load_masks_from(masks.iter().copied().skip(group).step_by(groups))
+                .expect("mask stream was validated against the stream geometry");
+            let mut state = self.groups[group];
+            self.plan
+                .decode_slab_into(slab, &mut state)
+                .expect("the loaded mask column covers every burst");
+            self.groups[group] = state;
+            *activity = slab.total();
+            // Scatter the group's decoded bursts back into beat order.
+            for access in 0..accesses {
+                let base = access * groups * burst_len;
+                let bytes = slab.burst_bytes(access).expect("burst was pushed above");
+                for (beat, &byte) in bytes.iter().enumerate() {
+                    out[base + beat * groups + group] = byte;
+                }
+            }
+        }
+        Ok((accesses * groups) as u64)
+    }
+
+    /// The convenient form of [`BusSession::decode_stream_slab_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BusSession::decode_stream_into`].
+    pub fn decode_stream_slab(
+        &mut self,
+        wire: &[u8],
+        masks: &[InversionMask],
+    ) -> Result<(ChannelActivity, Vec<u8>)> {
+        let mut per_group = Vec::new();
+        let mut out = Vec::new();
+        let mut slab = BurstSlab::new(self.burst_len);
+        let bursts =
+            self.decode_stream_slab_into(wire, masks, &mut per_group, &mut out, &mut slab)?;
+        Ok((ChannelActivity { bursts, per_group }, out))
+    }
+
+    /// Shared validation of the decode/transmit stream inputs: the wire
+    /// (or payload) must be whole accesses and `masks` must hold exactly
+    /// one in-range mask per burst.
+    fn check_decode_stream(&self, data: &[u8], masks: &[InversionMask]) -> Result<()> {
+        self.check_stream(data)?;
+        let bursts = (data.len() / self.access_bytes()) * self.groups.len();
+        if masks.len() != bursts {
+            return Err(MemError::BadMaskCount {
+                got: masks.len(),
+                expected: bursts,
+            });
+        }
+        for (index, mask) in masks.iter().enumerate() {
+            if mask.validate_for_len(self.burst_len).is_err() {
+                return Err(MemError::BadMask {
+                    index,
+                    burst_len: self.burst_len,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Encodes the same beat-interleaved stream with one rayon task per
@@ -579,6 +813,272 @@ mod tests {
         assert!(per_group.is_empty());
         assert!(masks.is_empty());
         assert!(session.encode_stream_slab(&[]).is_err());
+    }
+
+    #[test]
+    fn decode_stream_round_trips_every_scheme_with_carried_state() {
+        let config = ChannelConfig::gddr5x();
+        let data = test_stream(config.access_bytes() * 24, 0xDEC0DE);
+        for scheme in Scheme::paper_set().iter().copied() {
+            let mut tx = BusSession::new(&config, scheme);
+            let mut tx_groups = Vec::new();
+            let mut masks = Vec::new();
+            let bursts = tx
+                .encode_stream_into(&data, &mut tx_groups, Some(&mut masks))
+                .unwrap();
+
+            let mut wire = Vec::new();
+            tx.transmit_stream_into(&data, &masks, &mut wire).unwrap();
+            if scheme != Scheme::Raw {
+                assert_ne!(wire, data, "{scheme}: some byte must have been inverted");
+            }
+
+            // Per-burst receiver.
+            let mut rx = BusSession::new(&config, scheme);
+            let (activity, decoded) = rx.decode_stream(&wire, &masks).unwrap();
+            assert_eq!(decoded, data, "{scheme}: payload recovery");
+            assert_eq!(activity.bursts, bursts, "{scheme}");
+            assert_eq!(activity.per_group, tx_groups, "{scheme}: wire pricing");
+            for group in 0..tx.group_count() {
+                assert_eq!(
+                    rx.group_state(group),
+                    tx.group_state(group),
+                    "{scheme}: receiver state of group {group}"
+                );
+            }
+
+            // Slab receiver, bit-identical to the per-burst one — fed in
+            // two halves to prove the receiver state carries across calls.
+            let mut rx_slab = BusSession::new(&config, scheme);
+            let mut slab_groups = Vec::new();
+            let mut slab_out = Vec::new();
+            let mut slab = BurstSlab::new(1); // wrong length on purpose
+            let half = wire.len() / 2;
+            let half_masks = masks.len() / 2;
+            let first = rx_slab
+                .decode_stream_slab_into(
+                    &wire[..half],
+                    &masks[..half_masks],
+                    &mut slab_groups,
+                    &mut slab_out,
+                    &mut slab,
+                )
+                .unwrap();
+            let mut combined = slab_out.clone();
+            let mut first_groups = slab_groups.clone();
+            let second = rx_slab
+                .decode_stream_slab_into(
+                    &wire[half..],
+                    &masks[half_masks..],
+                    &mut slab_groups,
+                    &mut slab_out,
+                    &mut slab,
+                )
+                .unwrap();
+            combined.extend_from_slice(&slab_out);
+            assert_eq!(first + second, bursts, "{scheme}");
+            assert_eq!(combined, data, "{scheme}: slab payload recovery");
+            for (a, b) in first_groups.iter_mut().zip(&slab_groups) {
+                *a += *b;
+            }
+            assert_eq!(first_groups, tx_groups, "{scheme}: slab wire pricing");
+            for group in 0..tx.group_count() {
+                assert_eq!(
+                    rx_slab.group_state(group),
+                    tx.group_state(group),
+                    "{scheme}: slab receiver state of group {group}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_group_state_resynchronises_a_receiver_mid_stream() {
+        // Decode only the second half of a stream by syncing the receiver
+        // to the transmitter's mid-stream states first.
+        let config = ChannelConfig::gddr5x();
+        let data = test_stream(config.access_bytes() * 8, 0x517E);
+        let half = data.len() / 2;
+        let scheme = Scheme::OptFixed;
+
+        let mut tx = BusSession::new(&config, scheme);
+        let mut tx_groups = Vec::new();
+        let mut masks = Vec::new();
+        tx.encode_stream_into(&data[..half], &mut tx_groups, Some(&mut masks))
+            .unwrap();
+        let mid_states: Vec<BusState> = (0..tx.group_count())
+            .map(|g| tx.group_state(g).unwrap())
+            .collect();
+        let mut tail_masks = Vec::new();
+        tx.encode_stream_into(&data[half..], &mut tx_groups, Some(&mut tail_masks))
+            .unwrap();
+        let mut wire = Vec::new();
+        tx.transmit_stream_into(&data[half..], &tail_masks, &mut wire)
+            .unwrap();
+
+        let mut rx = BusSession::new(&config, scheme);
+        for (group, state) in mid_states.iter().enumerate() {
+            rx.set_group_state(group, *state);
+        }
+        let (activity, decoded) = rx.decode_stream(&wire, &tail_masks).unwrap();
+        assert_eq!(decoded, &data[half..]);
+        assert_eq!(activity.per_group, tx_groups);
+        for group in 0..tx.group_count() {
+            assert_eq!(rx.group_state(group), tx.group_state(group));
+        }
+    }
+
+    #[test]
+    fn decode_stream_rejects_malformed_inputs_typed() {
+        let config = ChannelConfig::gddr5x();
+        let mut session = BusSession::new(&config, Scheme::Ac);
+        let wire = test_stream(config.access_bytes() * 2, 1);
+        let masks = vec![InversionMask::NONE; 8];
+        let mut per_group = vec![CostBreakdown::new(1, 1)];
+        let mut out = vec![7u8];
+
+        // Misaligned wire.
+        assert!(matches!(
+            session.decode_stream_into(&wire[..31], &masks, &mut per_group, &mut out),
+            Err(MemError::BadAccessSize { .. })
+        ));
+        assert!(per_group.is_empty() && out.is_empty());
+
+        // Wrong mask count.
+        assert_eq!(
+            session.decode_stream(&wire, &masks[..7]).unwrap_err(),
+            MemError::BadMaskCount {
+                got: 7,
+                expected: 8
+            }
+        );
+
+        // A mask wider than the burst.
+        let mut bad = masks.clone();
+        bad[3] = InversionMask::from_bits(1 << 8);
+        assert_eq!(
+            session.decode_stream(&wire, &bad).unwrap_err(),
+            MemError::BadMask {
+                index: 3,
+                burst_len: 8
+            }
+        );
+        let mut slab = BurstSlab::new(8);
+        assert_eq!(
+            session
+                .decode_stream_slab_into(&wire, &bad, &mut per_group, &mut out, &mut slab)
+                .unwrap_err(),
+            MemError::BadMask {
+                index: 3,
+                burst_len: 8
+            }
+        );
+        // Carried state untouched by any of the failures.
+        assert_eq!(session.group_state(0), Some(BusState::idle()));
+
+        // Transmit shares the same validation.
+        let mut wire_out = vec![1u8];
+        assert!(matches!(
+            session.transmit_stream_into(&wire, &masks[..7], &mut wire_out),
+            Err(MemError::BadMaskCount { .. })
+        ));
+        assert!(wire_out.is_empty());
+    }
+
+    #[test]
+    fn swap_plan_mid_stream_is_bit_identical_under_the_slab_path() {
+        // PR 3 proved the per-burst path across a mid-session plan swap;
+        // the slab kernels must carry the exact same states through the
+        // boundary, encode *and* decode.
+        let config = ChannelConfig::gddr5x();
+        let data = test_stream(config.access_bytes() * 16, 0x5B5B);
+        let half = data.len() / 2;
+        let first_scheme = Scheme::Dc;
+        let second_scheme = Scheme::Opt(CostWeights::new(4, 1).unwrap());
+
+        // Reference: the per-burst path with the same swap.
+        let mut reference = BusSession::new(&config, first_scheme);
+        let mut ref_groups = Vec::new();
+        let mut ref_masks_a = Vec::new();
+        reference
+            .encode_stream_into(&data[..half], &mut ref_groups, Some(&mut ref_masks_a))
+            .unwrap();
+        let ref_first = ref_groups.clone();
+        reference.swap_plan(second_scheme.plan());
+        let mut ref_masks_b = Vec::new();
+        reference
+            .encode_stream_into(&data[half..], &mut ref_groups, Some(&mut ref_masks_b))
+            .unwrap();
+
+        // Slab path with the same swap.
+        let mut slabbed = BusSession::new(&config, first_scheme);
+        let mut slab_groups = Vec::new();
+        let mut slab_masks_a = Vec::new();
+        let mut slab = BurstSlab::new(8);
+        slabbed
+            .encode_stream_slab_into(
+                &data[..half],
+                &mut slab_groups,
+                Some(&mut slab_masks_a),
+                &mut slab,
+            )
+            .unwrap();
+        assert_eq!(slab_groups, ref_first, "first half activity");
+        assert_eq!(slab_masks_a, ref_masks_a, "first half masks");
+        slabbed.swap_plan(second_scheme.plan());
+        let mut slab_masks_b = Vec::new();
+        slabbed
+            .encode_stream_slab_into(
+                &data[half..],
+                &mut slab_groups,
+                Some(&mut slab_masks_b),
+                &mut slab,
+            )
+            .unwrap();
+        assert_eq!(slab_groups, ref_groups, "second half activity");
+        assert_eq!(slab_masks_b, ref_masks_b, "second half masks");
+        for group in 0..reference.group_count() {
+            assert_eq!(
+                slabbed.group_state(group),
+                reference.group_state(group),
+                "carried state of group {group} across the swap"
+            );
+        }
+
+        // And the receiver round-trips the swapped stream through the
+        // slab decode path with the same carried states.
+        let mut wire_a = Vec::new();
+        let mut wire_b = Vec::new();
+        slabbed
+            .transmit_stream_into(&data[..half], &slab_masks_a, &mut wire_a)
+            .unwrap();
+        slabbed
+            .transmit_stream_into(&data[half..], &slab_masks_b, &mut wire_b)
+            .unwrap();
+        let mut rx = BusSession::new(&config, first_scheme);
+        let mut rx_groups = Vec::new();
+        let mut decoded = Vec::new();
+        rx.decode_stream_slab_into(
+            &wire_a,
+            &slab_masks_a,
+            &mut rx_groups,
+            &mut decoded,
+            &mut slab,
+        )
+        .unwrap();
+        assert_eq!(decoded, &data[..half]);
+        rx.decode_stream_slab_into(
+            &wire_b,
+            &slab_masks_b,
+            &mut rx_groups,
+            &mut decoded,
+            &mut slab,
+        )
+        .unwrap();
+        assert_eq!(decoded, &data[half..]);
+        for group in 0..reference.group_count() {
+            assert_eq!(rx.group_state(group), reference.group_state(group));
+        }
     }
 
     #[test]

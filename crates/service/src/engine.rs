@@ -46,7 +46,7 @@
 
 use crate::error::ServiceError;
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
-use crate::wire::{CostModel, EncodeBatchRequestFrame, EncodeRequestFrame};
+use crate::wire::{CostModel, EncodeBatchRequestFrame, EncodeRequestFrame, VerifyMode};
 use dbi_core::{
     BurstSlab, BusState, CostBreakdown, InversionMask, LaneWord, PlanCache, PlanCacheStats, Scheme,
 };
@@ -139,6 +139,7 @@ struct SlotState {
     groups: u16,
     burst_len: u8,
     want_masks: bool,
+    verify: bool,
     payload: Vec<u8>,
     // Response (written by the worker, read by the client).
     phase: Phase,
@@ -162,6 +163,7 @@ impl RequestSlot {
                 groups: 0,
                 burst_len: 0,
                 want_masks: false,
+                verify: false,
                 payload: Vec::new(),
                 phase: Phase::Idle,
                 result: Err(ServiceError::Internal("request never executed")),
@@ -275,10 +277,18 @@ impl ShardQueue {
 }
 
 /// One shard worker's per-session state: the encode session plus, for the
-/// transitions-saved metric, the carried last raw word of each group.
+/// transitions-saved metric, the carried last raw word of each group, and
+/// the **receiver** session verify-mode requests replay through.
 struct SessionEntry {
     scheme: Scheme,
     session: BusSession,
+    /// The receiver half of the session, used only by verify-mode
+    /// requests: before each verified request its group states are
+    /// synchronised to the transmitter's, so a session may alternate
+    /// verify on and off without the receiver drifting. Shares the
+    /// transmitter's plan `Arc` (decode is scheme-independent; the plan
+    /// only sizes the slab geometry).
+    receiver: BusSession,
     /// What the wires would have last carried had the stream been sent
     /// uninverted, one word per group; `None` for RAW sessions (nothing
     /// to save against). Lets the savings metric be a single cheap walk
@@ -290,12 +300,18 @@ impl SessionEntry {
     fn new(scheme: Scheme, groups: u16, burst_len: u8, plans: &PlanCache) -> Self {
         let raw_prev =
             (scheme != Scheme::Raw).then(|| vec![BusState::idle().last(); usize::from(groups)]);
+        let plan = plans.get(scheme);
         SessionEntry {
             scheme,
             session: BusSession::with_plan_geometry(
                 usize::from(groups),
                 usize::from(burst_len),
-                plans.get(scheme),
+                Arc::clone(&plan),
+            ),
+            receiver: BusSession::with_plan_geometry(
+                usize::from(groups),
+                usize::from(burst_len),
+                plan,
             ),
             raw_prev,
         }
@@ -316,6 +332,11 @@ struct EngineInner {
     plans: Arc<PlanCache>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     stopped: AtomicBool,
+    /// Test-only fault injection: when set, workers corrupt one byte of
+    /// every verify-mode round trip's decoded output, so the
+    /// `VerifyMismatch` path can be exercised end to end (the decode
+    /// plane being correct, nothing else can make it fire).
+    corrupt_verify: Arc<AtomicBool>,
 }
 
 /// A running sharded encode engine. Cheap to clone (`Arc` inside); the
@@ -357,6 +378,7 @@ impl Engine {
             .collect();
         let metrics = Arc::new(MetricsRegistry::new(config.shards));
         let plans = Arc::new(PlanCache::new(config.plan_cache_capacity));
+        let corrupt_verify = Arc::new(AtomicBool::new(false));
         let workers = queues
             .iter()
             .enumerate()
@@ -364,10 +386,13 @@ impl Engine {
                 let queue = Arc::clone(queue);
                 let metrics = Arc::clone(&metrics);
                 let plans = Arc::clone(&plans);
+                let corrupt = Arc::clone(&corrupt_verify);
                 let max_sessions = config.max_sessions_per_shard;
                 std::thread::Builder::new()
                     .name(format!("dbi-shard-{shard}"))
-                    .spawn(move || worker_loop(shard, &queue, &metrics, &plans, max_sessions))
+                    .spawn(move || {
+                        worker_loop(shard, &queue, &metrics, &plans, max_sessions, &corrupt)
+                    })
                     .expect("spawning a shard worker failed")
             })
             .collect();
@@ -379,8 +404,19 @@ impl Engine {
                 plans,
                 workers: Mutex::new(workers),
                 stopped: AtomicBool::new(false),
+                corrupt_verify,
             }),
         }
+    }
+
+    /// Fault injection for tests: when enabled, every verify-mode round
+    /// trip has one byte of its decoded output flipped before comparison,
+    /// forcing [`ServiceError::VerifyMismatch`]. The decode plane being
+    /// correct by construction, this is the only way to exercise the
+    /// mismatch path end to end.
+    #[doc(hidden)]
+    pub fn corrupt_verify_for_tests(&self, enabled: bool) {
+        self.inner.corrupt_verify.store(enabled, Ordering::SeqCst);
     }
 
     /// Creates an in-process client with its own reusable request slot.
@@ -585,7 +621,14 @@ impl LocalClient {
             groups: request.groups,
             burst_len: request.burst_len,
         };
-        self.submit(shard, key, request.want_masks, request.payload, reply)
+        self.submit(
+            shard,
+            key,
+            request.want_masks,
+            request.verify,
+            request.payload,
+            reply,
+        )
     }
 
     /// Executes one **batched** encode request — a whole batch of bursts
@@ -612,6 +655,7 @@ impl LocalClient {
             groups: request.groups,
             burst_len: request.burst_len,
             want_masks: request.want_masks,
+            verify: request.verify,
             payload: request.payload,
         };
         if let Err(err) = self.engine.validate(&plain) {
@@ -641,7 +685,14 @@ impl LocalClient {
             groups: request.groups,
             burst_len: request.burst_len,
         };
-        self.submit(shard, key, request.want_masks, request.payload, reply)
+        self.submit(
+            shard,
+            key,
+            request.want_masks,
+            request.verify,
+            request.payload,
+            reply,
+        )
     }
 
     /// The shared tail of [`LocalClient::encode`] and
@@ -652,6 +703,7 @@ impl LocalClient {
         shard: usize,
         key: RouteKey,
         want_masks: bool,
+        verify: VerifyMode,
         payload: &[u8],
         reply: &mut EncodeReply,
     ) -> Result<(), ServiceError> {
@@ -664,6 +716,7 @@ impl LocalClient {
             state.groups = key.groups;
             state.burst_len = key.burst_len;
             state.want_masks = want_masks;
+            state.verify = verify.is_on();
             state.payload.clear();
             state.payload.extend_from_slice(payload);
             state.phase = Phase::Queued;
@@ -736,18 +789,32 @@ impl EncodeReply {
     }
 }
 
+/// Reusable per-worker buffers for verify-mode round trips: the wire
+/// image, the decoded payload, the receiver-side activity and — for
+/// requests that did not ask for masks — the mask stream. All reuse
+/// capacity, so verified requests stay allocation-free once warm.
+#[derive(Default)]
+struct VerifyScratch {
+    wire: Vec<u8>,
+    decoded: Vec<u8>,
+    rx_groups: Vec<CostBreakdown>,
+    masks: Vec<InversionMask>,
+}
+
 fn worker_loop(
     shard: usize,
     queue: &ShardQueue,
     metrics: &MetricsRegistry,
     plans: &PlanCache,
     max_sessions: usize,
+    corrupt_verify: &AtomicBool,
 ) {
     let shard_metrics = metrics.shard(shard);
     let mut sessions: HashMap<u64, SessionEntry> = HashMap::new();
     // One reusable slab per worker: every request on this shard encodes
     // through it, whatever the session geometry (the session resets it).
     let mut slab = BurstSlab::new(dbi_core::STANDARD_BURST_LEN);
+    let mut verify_scratch = VerifyScratch::default();
     let mut pass: Vec<Arc<RequestSlot>> = Vec::with_capacity(COALESCE_LIMIT + 1);
     while let Some((key, slot)) = queue.pop() {
         shard_metrics.dequeue();
@@ -775,7 +842,14 @@ fn worker_loop(
                 let mut pass_bursts = 0u64;
                 for slot in &pass {
                     let mut state = slot.state.lock().expect("slot mutex poisoned");
-                    let result = run_request(entry, &mut state, shard_metrics, &mut slab);
+                    let result = run_request(
+                        entry,
+                        &mut state,
+                        shard_metrics,
+                        &mut slab,
+                        &mut verify_scratch,
+                        corrupt_verify.load(Ordering::Relaxed),
+                    );
                     if let Ok(bursts) = &result {
                         pass_bursts += *bursts;
                     }
@@ -841,27 +915,51 @@ fn claim_entry<'a>(
 
 /// Runs one validated request against its resolved session entry,
 /// encoding through the worker's slab straight into the slot's response
-/// buffers.
+/// buffers; for verify-mode requests, additionally replays the output
+/// through the entry's receiver session and fails on any asymmetry.
 fn run_request(
     entry: &mut SessionEntry,
     state: &mut SlotState,
     metrics: &crate::metrics::ShardMetrics,
     slab: &mut BurstSlab,
+    verify_scratch: &mut VerifyScratch,
+    corrupt_verify: bool,
 ) -> Result<u64, ServiceError> {
     // Disjoint borrows of the slot: payload in, activity and masks out.
     let SlotState {
+        session_id,
         payload,
         per_group,
         masks,
         want_masks,
+        verify,
         ..
     } = state;
+    let verify = *verify;
+    // Verification needs the mask stream even when the client did not ask
+    // for it: route the masks into the slot (they go back to the client)
+    // or into the worker's scratch.
     let mask_sink = if *want_masks {
         Some(&mut *masks)
     } else {
         masks.clear();
-        None
+        if verify {
+            Some(&mut verify_scratch.masks)
+        } else {
+            None
+        }
     };
+    if verify {
+        // Synchronise the receiver to the transmitter's pre-request lane
+        // states: a session may alternate verify on and off, so the
+        // receiver replays exactly this request's slice of the stream.
+        for group in 0..entry.session.group_count() {
+            entry.receiver.set_group_state(
+                group,
+                entry.session.group_state(group).expect("group is in range"),
+            );
+        }
+    }
     let bursts = entry
         .session
         .encode_stream_slab_into(payload, per_group, mask_sink, slab)
@@ -878,8 +976,85 @@ fn run_request(
         }
         None => 0,
     };
+
+    if verify {
+        let used_masks: &[InversionMask] = if *want_masks {
+            masks
+        } else {
+            &verify_scratch.masks
+        };
+        let outcome = verify_round_trip(
+            &mut entry.receiver,
+            &entry.session,
+            payload,
+            used_masks,
+            per_group,
+            &mut verify_scratch.wire,
+            &mut verify_scratch.decoded,
+            &mut verify_scratch.rx_groups,
+            corrupt_verify,
+        );
+        metrics.record_verify(outcome.is_ok());
+        if let Err(byte_offset) = outcome {
+            // Count the failure like every other failed request, so
+            // requests + rejected keeps accounting for submitted traffic
+            // (the work was executed, but the caller got an error).
+            metrics.record_reject();
+            return Err(ServiceError::VerifyMismatch {
+                session_id: *session_id,
+                byte_offset,
+            });
+        }
+    }
     metrics.record_request(payload.len() as u64, bursts, saved);
     Ok(bursts)
+}
+
+/// The verify-mode round trip: reconstruct the wire image the encode
+/// decisions would drive, decode it through the receiver session (whose
+/// states were synchronised to the transmitter's pre-request states), and
+/// compare payload bytes, receiver-side wire activity and carried lane
+/// states against the transmitter. `Err` carries the first mismatching
+/// payload byte offset, or `None` when the payload matched but activity
+/// or carried state diverged.
+#[allow(clippy::too_many_arguments)]
+fn verify_round_trip(
+    receiver: &mut BusSession,
+    transmitter: &BusSession,
+    payload: &[u8],
+    masks: &[InversionMask],
+    tx_groups: &[CostBreakdown],
+    wire: &mut Vec<u8>,
+    decoded: &mut Vec<u8>,
+    rx_groups: &mut Vec<CostBreakdown>,
+    corrupt: bool,
+) -> Result<(), Option<u64>> {
+    receiver
+        .transmit_stream_into(payload, masks, wire)
+        .map_err(|_| None)?;
+    receiver
+        .decode_stream_into(wire, masks, rx_groups, decoded)
+        .map_err(|_| None)?;
+    if corrupt {
+        if let Some(byte) = decoded.first_mut() {
+            *byte ^= 0x01;
+        }
+    }
+    if decoded.len() != payload.len() {
+        return Err(None);
+    }
+    if let Some(offset) = decoded.iter().zip(payload.iter()).position(|(a, b)| a != b) {
+        return Err(Some(offset as u64));
+    }
+    if rx_groups.as_slice() != tx_groups {
+        return Err(None);
+    }
+    for group in 0..transmitter.group_count() {
+        if receiver.group_state(group) != transmitter.group_state(group) {
+            return Err(None);
+        }
+    }
+    Ok(())
 }
 
 /// Lane transitions the beat-interleaved `payload` would cause sent raw
@@ -942,6 +1117,7 @@ mod tests {
                 groups: 4,
                 burst_len: 8,
                 want_masks: true,
+                verify: VerifyMode::Off,
                 payload: &data[..half],
             };
             client.encode(&request, &mut reply).unwrap();
@@ -1003,6 +1179,7 @@ mod tests {
             groups: 4,
             burst_len: 8,
             want_masks: false,
+            verify: VerifyMode::Off,
             payload: &ok_payload,
         };
         let cases: [(EncodeRequest<'_>, ServiceError); 4] = [
@@ -1073,6 +1250,7 @@ mod tests {
             groups: 4,
             burst_len: 8,
             want_masks: false,
+            verify: VerifyMode::Off,
             payload: &payload,
         };
         client.encode(&request, &mut reply).unwrap();
@@ -1122,6 +1300,7 @@ mod tests {
             groups: 1,
             burst_len: 1,
             want_masks: true,
+            verify: VerifyMode::Off,
             payload: &payload,
         };
         assert_eq!(
@@ -1136,6 +1315,7 @@ mod tests {
             .encode(
                 &EncodeRequest {
                     want_masks: false,
+                    verify: VerifyMode::Off,
                     ..request
                 },
                 &mut reply,
@@ -1150,6 +1330,7 @@ mod tests {
                     groups: 4,
                     burst_len: 8,
                     want_masks: false,
+                    verify: VerifyMode::Off,
                     payload: &oversized,
                     ..request
                 },
@@ -1177,6 +1358,7 @@ mod tests {
             groups: 4,
             burst_len: 8,
             want_masks: false,
+            verify: VerifyMode::Off,
             payload: &payload,
         };
         client.encode(&request(1), &mut reply).unwrap();
@@ -1210,6 +1392,7 @@ mod tests {
             groups: 4,
             burst_len: 8,
             want_masks: false,
+            verify: VerifyMode::Off,
             payload: &payload,
         };
         client.encode(&request, &mut reply).unwrap();
@@ -1244,6 +1427,7 @@ mod tests {
             groups: 4,
             burst_len: 8,
             want_masks: false,
+            verify: VerifyMode::Off,
             payload: &payload,
         };
         assert_eq!(
@@ -1265,6 +1449,7 @@ mod tests {
             groups: 4,
             burst_len: 8,
             want_masks: true,
+            verify: VerifyMode::Off,
             payload: &payload,
         };
         client.encode(&request, &mut reply).unwrap();

@@ -63,6 +63,18 @@ pub enum ServiceError {
         /// Bursts the payload actually holds.
         got: u64,
     },
+    /// A verify-mode request's output failed to decode back to its input:
+    /// the engine found an encode/decode asymmetry instead of silently
+    /// returning the result. The session's carried state includes the
+    /// failed request's bursts (the wires were, notionally, driven).
+    VerifyMismatch {
+        /// The session whose round trip failed.
+        session_id: u64,
+        /// First payload byte offset that decoded differently, or `None`
+        /// when the payload matched but the receiver-side wire activity
+        /// or a carried lane state diverged.
+        byte_offset: Option<u64>,
+    },
     /// A session id was reused with a different scheme or geometry than
     /// the one that created it. Reset the session first.
     SessionMismatch {
@@ -93,6 +105,7 @@ impl ServiceError {
             }
             ServiceError::BadCostModel { .. } => ErrorCode::BadCostModel,
             ServiceError::BadBatchCount { .. } => ErrorCode::BadRequest,
+            ServiceError::VerifyMismatch { .. } => ErrorCode::VerifyMismatch,
             ServiceError::SessionMismatch { .. } => ErrorCode::SessionMismatch,
             // Resource exhaustion travels as Overloaded: the client's
             // remedy (back off, spread over fewer sessions) is the same.
@@ -132,6 +145,21 @@ impl fmt::Display for ServiceError {
                 f,
                 "batch count field of {count} disagrees with the {got} bursts in the payload"
             ),
+            ServiceError::VerifyMismatch {
+                session_id,
+                byte_offset,
+            } => match byte_offset {
+                Some(offset) => write!(
+                    f,
+                    "verify failed for session {session_id}: decoded output first \
+                     diverges from the payload at byte {offset}"
+                ),
+                None => write!(
+                    f,
+                    "verify failed for session {session_id}: receiver-side activity \
+                     or carried lane state diverged from the transmitter's"
+                ),
+            },
             ServiceError::SessionMismatch { session_id } => write!(
                 f,
                 "session {session_id} already exists with a different scheme or geometry"
@@ -239,6 +267,20 @@ mod tests {
             (
                 ServiceError::BadBatchCount { count: 3, got: 4 },
                 ErrorCode::BadRequest,
+            ),
+            (
+                ServiceError::VerifyMismatch {
+                    session_id: 4,
+                    byte_offset: Some(17),
+                },
+                ErrorCode::VerifyMismatch,
+            ),
+            (
+                ServiceError::VerifyMismatch {
+                    session_id: 4,
+                    byte_offset: None,
+                },
+                ErrorCode::VerifyMismatch,
             ),
             (
                 ServiceError::SessionMismatch { session_id: 1 },

@@ -21,10 +21,15 @@
 //!   zero-copy, `unsafe`-free decoder. Protocol version 2 carries a
 //!   [`CostModel`] on session setup: inline weights, raw runtime
 //!   `alpha,beta`, or a named phy operating point (`sstl15@6.4`,
-//!   `pod12@3.2`). Protocol version 3 adds the **`EncodeBatch`** frames:
+//!   `pod12@3.2`). Protocol version 3 adds the **`EncodeBatch`** frames —
 //!   a whole batch of bursts for one session under a single header (u16
-//!   burst count + contiguous payload) instead of N per-request frames.
-//!   Version 1 and 2 frames are still decoded.
+//!   burst count + contiguous payload) instead of N per-request frames —
+//!   and the request **verify bit** ([`VerifyMode`]): the engine decodes
+//!   its own output through the receiver path
+//!   ([`dbi_mem::BusSession::decode_stream_into`]) and answers
+//!   [`wire::ErrorCode::VerifyMismatch`] on any encode/decode asymmetry.
+//!   Version 1 and 2 frames are still decoded (verify bits below v3 are
+//!   rejected typed).
 //! * [`Engine`] — N shard workers, each owning a private map of
 //!   [`dbi_mem::BusSession`]s keyed by session id. Routing is *sticky*
 //!   (same session id → same shard), so each session's carried bus state
@@ -48,14 +53,15 @@
 //! * [`metrics`] — per-shard atomic counters (requests, rejects, bytes,
 //!   bursts, transitions saved, queue depth, sessions) plus a `batch`
 //!   block (worker passes, coalesced requests, pass-size p50/p99,
-//!   bursts/request) and the shared plan-cache counters (hits, misses,
+//!   bursts/request), a `verify` block (round trips run, mismatches
+//!   found) and the shared plan-cache counters (hits, misses,
 //!   evictions, resident plans), snapshotted as JSON on request.
 //!
 //! ## Example
 //!
 //! ```
 //! use dbi_core::Scheme;
-//! use dbi_service::{CostModel, EncodeReply, EncodeRequest, Engine, ServiceConfig};
+//! use dbi_service::{CostModel, EncodeReply, EncodeRequest, Engine, ServiceConfig, VerifyMode};
 //!
 //! let engine = Engine::start(ServiceConfig::default());
 //! let mut client = engine.local_client();
@@ -71,6 +77,7 @@
 //!             groups: 4,
 //!             burst_len: 8,
 //!             want_masks: true,
+//!             verify: VerifyMode::Off,
 //!             payload: &payload,
 //!         },
 //!         &mut reply,
@@ -99,7 +106,7 @@ pub use engine::{
 pub use error::{ClientError, ServiceError};
 pub use metrics::{MetricsSnapshot, ShardSnapshot};
 pub use server::TcpServer;
-pub use wire::CostModel;
+pub use wire::{CostModel, VerifyMode};
 
 #[cfg(test)]
 mod tests {
@@ -119,6 +126,7 @@ mod tests {
             groups: 4,
             burst_len: 8,
             want_masks: true,
+            verify: VerifyMode::Off,
             payload: &payload,
         };
         // Distinct session ids so each path owns fresh carried state.
@@ -162,6 +170,7 @@ mod tests {
                     groups: 4,
                     burst_len: 8,
                     want_masks: false,
+                    verify: VerifyMode::Off,
                     payload: &[0u8; 31],
                 },
                 &mut reply,

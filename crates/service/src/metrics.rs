@@ -36,6 +36,8 @@ pub struct ShardMetrics {
     passes: AtomicU64,
     coalesced: AtomicU64,
     batch_hist: [AtomicU64; BATCH_BUCKETS],
+    verified: AtomicU64,
+    verify_failures: AtomicU64,
 }
 
 /// The histogram bucket a pass of `bursts` bursts lands in.
@@ -64,6 +66,17 @@ impl ShardMetrics {
     /// Records one rejected request (validation failure or backpressure).
     pub fn record_reject(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one verify-mode round trip: the worker decoded its own
+    /// output and compared it against the request. `ok` is `false` when
+    /// the comparison found an encode/decode asymmetry (the request then
+    /// fails with `VerifyMismatch`).
+    pub fn record_verify(&self, ok: bool) {
+        self.verified.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.verify_failures.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records a request entering the shard queue.
@@ -99,6 +112,8 @@ impl ShardMetrics {
             passes: self.passes.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             batch_hist,
+            verified: self.verified.load(Ordering::Relaxed),
+            verify_failures: self.verify_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -129,6 +144,11 @@ pub struct ShardSnapshot {
     /// Power-of-two histogram of pass sizes in bursts: bucket *i* counts
     /// passes of `[2^i, 2^(i+1))` bursts.
     pub batch_hist: [u64; BATCH_BUCKETS],
+    /// Verify-mode requests whose output was decoded and compared.
+    pub verified: u64,
+    /// Verify-mode requests whose round trip exposed an encode/decode
+    /// asymmetry (answered with `VerifyMismatch`).
+    pub verify_failures: u64,
 }
 
 impl ShardSnapshot {
@@ -145,6 +165,8 @@ impl ShardSnapshot {
         for (mine, theirs) in self.batch_hist.iter_mut().zip(&other.batch_hist) {
             *mine += theirs;
         }
+        self.verified += other.verified;
+        self.verify_failures += other.verify_failures;
     }
 
     /// The histogram percentile of the pass-size distribution, reported
@@ -184,7 +206,8 @@ impl ShardSnapshot {
             "{{\"requests\":{},\"rejected\":{},\"bytes\":{},\"bursts\":{},\
              \"transitions_saved\":{},\"queue_depth\":{},\"sessions\":{},\
              \"batch\":{{\"passes\":{},\"coalesced\":{},\"size_p50\":{},\
-             \"size_p99\":{},\"bursts_per_request\":{:.1}}}}}",
+             \"size_p99\":{},\"bursts_per_request\":{:.1}}},\
+             \"verify\":{{\"requests\":{},\"failures\":{}}}}}",
             self.requests,
             self.rejected,
             self.bytes,
@@ -197,6 +220,8 @@ impl ShardSnapshot {
             self.batch_size_percentile(0.50),
             self.batch_size_percentile(0.99),
             self.bursts_per_request(),
+            self.verified,
+            self.verify_failures,
         )
         .expect("writing to a String cannot fail");
     }
@@ -356,6 +381,24 @@ mod tests {
     }
 
     #[test]
+    fn verify_counters_accumulate_and_serialise() {
+        let registry = MetricsRegistry::new(2);
+        registry.shard(0).record_verify(true);
+        registry.shard(0).record_verify(true);
+        registry.shard(1).record_verify(false);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.per_shard[0].verified, 2);
+        assert_eq!(snapshot.per_shard[0].verify_failures, 0);
+        assert_eq!(snapshot.per_shard[1].verified, 1);
+        assert_eq!(snapshot.per_shard[1].verify_failures, 1);
+        let totals = snapshot.totals();
+        assert_eq!((totals.verified, totals.verify_failures), (3, 1));
+        assert!(snapshot
+            .to_json()
+            .contains("\"verify\":{\"requests\":1,\"failures\":1}"));
+    }
+
+    #[test]
     fn json_snapshot_has_the_documented_shape() {
         let registry = MetricsRegistry::new(1);
         registry.shard(0).record_request(8, 1, 2);
@@ -372,12 +415,15 @@ mod tests {
         assert!(json.contains("\"transitions_saved\":2"));
         assert!(json.contains("\"batch\":{\"passes\":0,\"coalesced\":0"));
         assert!(json.contains("\"bursts_per_request\":1.0"));
+        assert!(json.contains("\"verify\":{\"requests\":0,\"failures\":0}"));
         assert!(json.ends_with('}'));
         assert!(json.contains("\"totals\":{"));
         assert!(
             json.contains("\"plan_cache\":{\"hits\":5,\"misses\":2,\"evictions\":1,\"entries\":2}")
         );
-        // Exactly one shard object plus the totals object.
-        assert_eq!(json.matches("\"requests\":").count(), 2);
+        // Exactly one shard object plus the totals object, each with a
+        // top-level and a verify-block "requests" key.
+        assert_eq!(json.matches("\"requests\":").count(), 4);
+        assert_eq!(json.matches("\"verify\":").count(), 2);
     }
 }

@@ -195,6 +195,7 @@ fn handle_connection(engine: &Engine, mut stream: TcpStream) {
                     groups: view.groups,
                     burst_len: view.burst_len,
                     want_masks: view.want_masks,
+                    verify: view.verify,
                     payload: view.payload,
                 };
                 match local.encode(&request, &mut reply) {
@@ -220,6 +221,7 @@ fn handle_connection(engine: &Engine, mut stream: TcpStream) {
                     groups: view.groups,
                     burst_len: view.burst_len,
                     want_masks: view.want_masks,
+                    verify: view.verify,
                     count: view.count,
                     payload: view.payload,
                 };

@@ -59,7 +59,12 @@
 //! selects the (α, β) source for a session — the weights embedded in the
 //! scheme (v1 semantics), raw runtime coefficients, or a named phy
 //! operating point such as `sstl15@6.4` / `pod12@3.2`. Version 3 added
-//! the batch frames; every v1/v2 body layout is unchanged.
+//! the batch frames and redefined the request's `want_masks` byte as a
+//! **flags** byte: bit 0 keeps its v1 `want_masks` meaning and bit 1 is
+//! the [`VerifyMode`] **verify bit** — the engine must decode its own
+//! output through the receiver path and prove the round trip before
+//! replying (failures are [`ErrorCode::VerifyMismatch`]). Every v1/v2
+//! body layout is unchanged.
 //!
 //! Version negotiation rules, receive side:
 //!
@@ -70,6 +75,11 @@
 //! * the batch tags (6, 7) exist only from v3 on — under a v1/v2 header
 //!   they are [`WireError::UnknownFrameType`], exactly as a genuine v1/v2
 //!   peer would treat them;
+//! * the verify bit exists only from v3 on — under a v1/v2 header it is
+//!   [`WireError::VerifyUnsupported`] (those versions defined the byte
+//!   as a bare boolean, so a set bit 1 there is a corrupt or lying
+//!   frame, not a request); flag bits above bit 1 are
+//!   [`WireError::UnknownFlags`] under every version;
 //! * response/error/metrics bodies are byte-identical across all three
 //!   versions.
 //!
@@ -114,6 +124,14 @@ pub const V2_VERSION: u8 = 2;
 /// pinned here, not to [`VERSION`], so future version bumps keep
 /// decoding version-3 batch streams.
 pub const BATCH_MIN_VERSION: u8 = 3;
+
+/// The protocol version that turned the encode-request `want_masks` byte
+/// into a **flags** byte and defined its verify bit ([`VerifyMode`]).
+/// Frames older than this carrying the verify bit — or any other bit
+/// beyond `want_masks` — are rejected with
+/// [`WireError::VerifyUnsupported`], exactly as a genuine v1/v2 peer
+/// (which defined no such bit) must not be assumed to have meant it.
+pub const VERIFY_MIN_VERSION: u8 = 3;
 
 /// The oldest protocol version still accepted on decode (no cost-model
 /// field, no batch frames).
@@ -215,6 +233,15 @@ pub enum WireError {
         /// length.
         got: usize,
     },
+    /// An encode request under a pre-[`VERIFY_MIN_VERSION`] header carries
+    /// the verify-mode bit, which those versions do not define.
+    VerifyUnsupported {
+        /// The version the frame was stamped with.
+        version: u8,
+    },
+    /// The request's flags byte carries bits this version does not define
+    /// (beyond `want_masks` and, from v3, verify).
+    UnknownFlags(u8),
 }
 
 impl fmt::Display for WireError {
@@ -258,6 +285,16 @@ impl fmt::Display for WireError {
                     "batch count field of {count} disagrees with the {got} bursts in the payload"
                 )
             }
+            WireError::VerifyUnsupported { version } => {
+                write!(
+                    f,
+                    "verify mode requires protocol version {VERIFY_MIN_VERSION}, \
+                     but the frame is stamped version {version}"
+                )
+            }
+            WireError::UnknownFlags(flags) => {
+                write!(f, "request flags {flags:#04x} carry undefined bits")
+            }
         }
     }
 }
@@ -286,6 +323,10 @@ pub enum ErrorCode {
     /// The request's cost model does not apply to its scheme (protocol
     /// version 2).
     BadCostModel = 8,
+    /// A verify-mode request's output failed to decode back to its input
+    /// — the engine detected an encode/decode asymmetry (protocol
+    /// version 3).
+    VerifyMismatch = 9,
 }
 
 impl ErrorCode {
@@ -299,9 +340,88 @@ impl ErrorCode {
             6 => Ok(ErrorCode::BadRequest),
             7 => Ok(ErrorCode::Internal),
             8 => Ok(ErrorCode::BadCostModel),
+            9 => Ok(ErrorCode::VerifyMismatch),
             other => Err(WireError::UnknownErrorCode(other)),
         }
     }
+}
+
+/// Whether the engine must **decode its own output** and prove it equal to
+/// the request's payload before replying — the protocol-3 verify bit of
+/// the request flags byte.
+///
+/// Verification replays the full receiver path: the worker reconstructs
+/// the wire image from payload + masks, decodes it through the carried
+/// receiver state ([`dbi_mem::BusSession::decode_stream_into`]), and
+/// compares payload bytes, per-group wire activity and carried lane
+/// states. Any asymmetry fails the request with
+/// [`ErrorCode::VerifyMismatch`] instead of returning silently wrong
+/// results. Costs one extra decode pass over the payload; off by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VerifyMode {
+    /// Encode only (the v1/v2 behaviour); no receiver replay.
+    #[default]
+    Off,
+    /// Decode the encoded output back through the receiver path and
+    /// fail the request on any mismatch.
+    RoundTrip,
+}
+
+impl VerifyMode {
+    /// `true` when verification is requested.
+    #[must_use]
+    pub const fn is_on(self) -> bool {
+        matches!(self, VerifyMode::RoundTrip)
+    }
+}
+
+impl fmt::Display for VerifyMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyMode::Off => f.write_str("off"),
+            VerifyMode::RoundTrip => f.write_str("round-trip"),
+        }
+    }
+}
+
+/// Bits of the encode-request flags byte (the former `want_masks` byte;
+/// bit 0 keeps its v1 meaning, so every frame an actual v1/v2 writer
+/// produced decodes unchanged).
+mod request_flags {
+    pub const WANT_MASKS: u8 = 1 << 0;
+    pub const VERIFY: u8 = 1 << 1;
+    pub const KNOWN: u8 = WANT_MASKS | VERIFY;
+}
+
+/// Encodes the flags byte of an encode/batch request.
+fn encode_request_flags(want_masks: bool, verify: VerifyMode) -> u8 {
+    let mut flags = 0;
+    if want_masks {
+        flags |= request_flags::WANT_MASKS;
+    }
+    if verify.is_on() {
+        flags |= request_flags::VERIFY;
+    }
+    flags
+}
+
+/// Decodes and validates the flags byte of an encode/batch request under
+/// the frame's announced version: undefined bits are
+/// [`WireError::UnknownFlags`] everywhere, and the verify bit is
+/// [`WireError::VerifyUnsupported`] below [`VERIFY_MIN_VERSION`].
+fn decode_request_flags(byte: u8, version: u8) -> Result<(bool, VerifyMode), WireError> {
+    if byte & !request_flags::KNOWN != 0 {
+        return Err(WireError::UnknownFlags(byte));
+    }
+    let verify = if byte & request_flags::VERIFY != 0 {
+        if version < VERIFY_MIN_VERSION {
+            return Err(WireError::VerifyUnsupported { version });
+        }
+        VerifyMode::RoundTrip
+    } else {
+        VerifyMode::Off
+    };
+    Ok((byte & request_flags::WANT_MASKS != 0, verify))
 }
 
 /// Where a session's cost coefficients come from — the protocol-2
@@ -536,6 +656,9 @@ pub struct EncodeRequestFrame<'a> {
     pub burst_len: u8,
     /// When set, the response carries the per-burst inversion masks.
     pub want_masks: bool,
+    /// Whether the engine must decode its own output and prove the round
+    /// trip before replying (protocol 3); see [`VerifyMode`].
+    pub verify: VerifyMode,
     /// Beat-interleaved payload bytes (byte `k` of an access travels on
     /// group `k mod groups`).
     pub payload: &'a [u8],
@@ -543,7 +666,7 @@ pub struct EncodeRequestFrame<'a> {
 
 impl EncodeRequestFrame<'_> {
     /// Appends the full frame (header + body) to `out`, in the
-    /// [`VERSION`]-2 layout.
+    /// [`VERSION`]-3 layout.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         let (tag, weights) = scheme_to_wire(self.scheme);
         push_header(
@@ -557,7 +680,7 @@ impl EncodeRequestFrame<'_> {
         self.cost_model.encode_into(out);
         out.extend_from_slice(&self.groups.to_le_bytes());
         out.push(self.burst_len);
-        out.push(u8::from(self.want_masks));
+        out.push(encode_request_flags(self.want_masks, self.verify));
         out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
         out.extend_from_slice(self.payload);
     }
@@ -579,6 +702,9 @@ pub struct EncodeRequestView<'a> {
     pub burst_len: u8,
     /// See [`EncodeRequestFrame::want_masks`].
     pub want_masks: bool,
+    /// See [`EncodeRequestFrame::verify`]. Always [`VerifyMode::Off`] for
+    /// v1/v2 frames, whose flags byte may only carry the mask bit.
+    pub verify: VerifyMode,
     /// The payload bytes, borrowed straight from the frame buffer.
     pub payload: &'a [u8],
 }
@@ -610,7 +736,7 @@ fn decode_request(body: &[u8], version: u8) -> Result<EncodeRequestView<'_>, Wir
     };
     let groups = u16::from_le_bytes([rest[0], rest[1]]);
     let burst_len = rest[2];
-    let want_masks = rest[3] != 0;
+    let (want_masks, verify) = decode_request_flags(rest[3], version)?;
     let payload_len = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]) as usize;
     let payload = &body[head_len..];
     if payload.len() != payload_len {
@@ -623,6 +749,7 @@ fn decode_request(body: &[u8], version: u8) -> Result<EncodeRequestView<'_>, Wir
         groups,
         burst_len,
         want_masks,
+        verify,
         payload,
     })
 }
@@ -646,6 +773,8 @@ pub struct EncodeBatchRequestFrame<'a> {
     pub burst_len: u8,
     /// See [`EncodeRequestFrame::want_masks`].
     pub want_masks: bool,
+    /// See [`EncodeRequestFrame::verify`].
+    pub verify: VerifyMode,
     /// Total per-group bursts in the payload; must equal
     /// `payload.len() / burst_len`.
     pub count: u16,
@@ -673,6 +802,7 @@ impl<'a> EncodeBatchRequestFrame<'a> {
             groups: request.groups,
             burst_len: request.burst_len,
             want_masks: request.want_masks,
+            verify: request.verify,
             count,
             payload: request.payload,
         })
@@ -693,7 +823,7 @@ impl<'a> EncodeBatchRequestFrame<'a> {
         self.cost_model.encode_into(out);
         out.extend_from_slice(&self.groups.to_le_bytes());
         out.push(self.burst_len);
-        out.push(u8::from(self.want_masks));
+        out.push(encode_request_flags(self.want_masks, self.verify));
         out.extend_from_slice(&self.count.to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
         out.extend_from_slice(self.payload);
@@ -717,13 +847,15 @@ pub struct EncodeBatchRequestView<'a> {
     pub burst_len: u8,
     /// See [`EncodeBatchRequestFrame::want_masks`].
     pub want_masks: bool,
+    /// See [`EncodeBatchRequestFrame::verify`].
+    pub verify: VerifyMode,
     /// See [`EncodeBatchRequestFrame::count`].
     pub count: u16,
     /// The payload bytes, borrowed straight from the frame buffer.
     pub payload: &'a [u8],
 }
 
-fn decode_batch_request(body: &[u8]) -> Result<EncodeBatchRequestView<'_>, WireError> {
+fn decode_batch_request(body: &[u8], version: u8) -> Result<EncodeBatchRequestView<'_>, WireError> {
     if body.len() < BATCH_REQUEST_HEAD_LEN {
         return Err(WireError::Truncated {
             needed: BATCH_REQUEST_HEAD_LEN,
@@ -742,7 +874,7 @@ fn decode_batch_request(body: &[u8]) -> Result<EncodeBatchRequestView<'_>, WireE
     let rest = &body[9 + CostWeights::WIRE_BYTES + COST_MODEL_WIRE_BYTES..];
     let groups = u16::from_le_bytes([rest[0], rest[1]]);
     let burst_len = rest[2];
-    let want_masks = rest[3] != 0;
+    let (want_masks, verify) = decode_request_flags(rest[3], version)?;
     let count = u16::from_le_bytes([rest[4], rest[5]]);
     let payload_len = u32::from_le_bytes([rest[6], rest[7], rest[8], rest[9]]) as usize;
     let payload = &body[BATCH_REQUEST_HEAD_LEN..];
@@ -767,6 +899,7 @@ fn decode_batch_request(body: &[u8]) -> Result<EncodeBatchRequestView<'_>, WireE
         groups,
         burst_len,
         want_masks,
+        verify,
         count,
         payload,
     })
@@ -1100,7 +1233,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame<'_>, usize), WireError> {
         // version header they are exactly as unknown as they would be to
         // a genuine v1/v2 peer.
         tag::ENCODE_BATCH_REQUEST if header.version >= BATCH_MIN_VERSION => {
-            Frame::EncodeBatchRequest(decode_batch_request(body)?)
+            Frame::EncodeBatchRequest(decode_batch_request(body, header.version)?)
         }
         tag::ENCODE_BATCH_RESPONSE if header.version >= BATCH_MIN_VERSION => {
             Frame::EncodeBatchResponse(decode_batch_response(body)?)
@@ -1124,6 +1257,7 @@ mod tests {
             groups: 4,
             burst_len: 8,
             want_masks: true,
+            verify: VerifyMode::Off,
             payload: &payload,
         };
         let mut buf = Vec::new();
@@ -1249,6 +1383,7 @@ mod tests {
             groups: 1,
             burst_len: 8,
             want_masks: false,
+            verify: VerifyMode::Off,
             payload: &[0u8; 8],
         }
         .encode_into(&mut buf);
@@ -1287,10 +1422,119 @@ mod tests {
             WireError::UnknownInterfaceTag(9),
             WireError::BadDataRate,
             WireError::BadBatchCount { count: 4, got: 3 },
+            WireError::VerifyUnsupported { version: 2 },
+            WireError::UnknownFlags(0x80),
         ];
         for err in variants {
             assert!(!err.to_string().is_empty());
         }
+    }
+
+    /// Offset of the flags byte inside an encode-request frame (v2/v3
+    /// layout).
+    const FLAGS_AT: usize =
+        HEADER_LEN + 8 + 1 + CostWeights::WIRE_BYTES + COST_MODEL_WIRE_BYTES + 3;
+
+    #[test]
+    fn verify_bit_roundtrips_on_v3_requests_and_batches() {
+        let payload = [0u8; 16];
+        let frame = EncodeRequestFrame {
+            session_id: 5,
+            scheme: Scheme::OptFixed,
+            cost_model: CostModel::Inline,
+            groups: 2,
+            burst_len: 8,
+            want_masks: false,
+            verify: VerifyMode::RoundTrip,
+            payload: &payload,
+        };
+        let mut buf = Vec::new();
+        frame.encode_into(&mut buf);
+        assert_eq!(buf[FLAGS_AT], 0b10, "verify alone sets only bit 1");
+        let (Frame::EncodeRequest(view), _) = decode_frame(&buf).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(view.verify, VerifyMode::RoundTrip);
+        assert!(!view.want_masks);
+
+        // Both bits together.
+        let mut buf = Vec::new();
+        EncodeRequestFrame {
+            want_masks: true,
+            ..frame
+        }
+        .encode_into(&mut buf);
+        assert_eq!(buf[FLAGS_AT], 0b11);
+        let (Frame::EncodeRequest(view), _) = decode_frame(&buf).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert!(view.want_masks && view.verify.is_on());
+
+        // The batch frame carries the same flags byte.
+        let batch = EncodeBatchRequestFrame::from_request(&frame).unwrap();
+        assert_eq!(batch.verify, VerifyMode::RoundTrip);
+        let mut buf = Vec::new();
+        batch.encode_into(&mut buf);
+        let (Frame::EncodeBatchRequest(view), _) = decode_frame(&buf).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(view.verify, VerifyMode::RoundTrip);
+    }
+
+    #[test]
+    fn verify_bits_below_v3_are_rejected_typed() {
+        // A v3 verify-mode request re-stamped as v1 or v2 must not decode
+        // — those versions defined the byte as a bare boolean, so the set
+        // bit is a corrupt or lying frame.
+        let payload = [0u8; 8];
+        let mut buf = Vec::new();
+        EncodeRequestFrame {
+            session_id: 1,
+            scheme: Scheme::Raw,
+            cost_model: CostModel::Inline,
+            groups: 1,
+            burst_len: 8,
+            want_masks: true,
+            verify: VerifyMode::RoundTrip,
+            payload: &payload,
+        }
+        .encode_into(&mut buf);
+        for version in [LEGACY_VERSION, V2_VERSION] {
+            let mut old = buf.clone();
+            old[2] = version;
+            // The v1 body has no cost-model field; only test the verify
+            // gate under v2 (same body layout as v3). For v1, assemble
+            // the legacy layout below.
+            if version == V2_VERSION {
+                assert_eq!(
+                    decode_frame(&old),
+                    Err(WireError::VerifyUnsupported { version }),
+                    "v{version} header must reject the verify bit"
+                );
+            }
+        }
+        // Hand-assembled v1 frame with the verify bit in its flags byte.
+        let mut v1 = encode_v1_request(1, Scheme::Raw, 1, 8, false, &payload);
+        let v1_flags_at = HEADER_LEN + 8 + 1 + CostWeights::WIRE_BYTES + 3;
+        v1[v1_flags_at] = 0b10;
+        assert_eq!(
+            decode_frame(&v1),
+            Err(WireError::VerifyUnsupported { version: 1 })
+        );
+        // A v1 want_masks byte of exactly 1 still decodes (bit 0 keeps
+        // its meaning)...
+        let mut v1 = encode_v1_request(1, Scheme::Raw, 1, 8, true, &payload);
+        let (Frame::EncodeRequest(view), _) = decode_frame(&v1).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert!(view.want_masks);
+        assert_eq!(view.verify, VerifyMode::Off);
+        // ...but undefined high bits never do, under any version.
+        v1[v1_flags_at] = 0x81;
+        assert_eq!(decode_frame(&v1), Err(WireError::UnknownFlags(0x81)));
+        let mut v3 = buf;
+        v3[FLAGS_AT] = 0b101;
+        assert_eq!(decode_frame(&v3), Err(WireError::UnknownFlags(0b101)));
     }
 
     #[test]
@@ -1303,6 +1547,7 @@ mod tests {
             groups: 4,
             burst_len: 8,
             want_masks: true,
+            verify: VerifyMode::Off,
             payload: &payload,
         };
         let batch = EncodeBatchRequestFrame::from_request(&request).unwrap();
@@ -1381,6 +1626,7 @@ mod tests {
             groups: 1,
             burst_len: 8,
             want_masks: false,
+            verify: VerifyMode::Off,
             payload: &payload,
         };
         assert!(EncodeBatchRequestFrame::from_request(&request).is_none());
@@ -1409,6 +1655,7 @@ mod tests {
                 groups: 1,
                 burst_len: 8,
                 want_masks: false,
+                verify: VerifyMode::Off,
                 payload: &payload,
             }
             .encode_into(&mut buf);
@@ -1441,6 +1688,7 @@ mod tests {
             groups: 1,
             burst_len: 8,
             want_masks: false,
+            verify: VerifyMode::Off,
             payload: &payload,
         }
         .encode_into(&mut buf);

@@ -16,7 +16,7 @@ use dbi_core::{CostBreakdown, Scheme};
 use dbi_mem::{BusSession, ChannelConfig};
 use dbi_service::{
     CostModel, EncodeBatchRequest, EncodeReply, EncodeRequest, Engine, ServiceConfig, ServiceError,
-    TcpClient, TcpServer,
+    TcpClient, TcpServer, VerifyMode,
 };
 
 fn pseudo_random(len: usize, mut seed: u32) -> Vec<u8> {
@@ -53,6 +53,7 @@ fn tcp_batches_are_bit_identical_to_serial_sessions() {
             groups: 4,
             burst_len: 8,
             want_masks: true,
+            verify: VerifyMode::Off,
             count: (payload.len() / 8) as u16,
             payload: &[],
         };
@@ -98,6 +99,7 @@ fn tcp_batches_are_bit_identical_to_serial_sessions() {
         groups: 4,
         burst_len: 8,
         want_masks: true,
+        verify: VerifyMode::Off,
         payload: &payload,
     };
     let mut plain_reply = EncodeReply::new();
@@ -109,6 +111,7 @@ fn tcp_batches_are_bit_identical_to_serial_sessions() {
         groups: plain.groups,
         burst_len: plain.burst_len,
         want_masks: true,
+        verify: VerifyMode::Off,
         count: (payload.len() / 8) as u16,
         payload: &payload,
     };
@@ -137,6 +140,7 @@ fn malformed_batch_counts_are_rejected_locally_and_remotely() {
         groups: 4,
         burst_len: 8,
         want_masks: false,
+        verify: VerifyMode::Off,
         count: 3, // payload holds 4 bursts
         payload: &payload,
     };
@@ -192,6 +196,7 @@ fn every_request_is_a_pass_opener_or_coalesced() {
                     groups: 4,
                     burst_len: 8,
                     want_masks: false,
+                    verify: VerifyMode::Off,
                     payload,
                 };
                 for _ in 0..PER_THREAD {
@@ -229,6 +234,7 @@ fn every_request_is_a_pass_opener_or_coalesced() {
                 groups: 4,
                 burst_len: 8,
                 want_masks: false,
+                verify: VerifyMode::Off,
                 payload: &payload,
             },
             &mut reply,

@@ -10,7 +10,7 @@
 use dbi_core::{CostBreakdown, InversionMask, Scheme};
 use dbi_mem::BusSession;
 use dbi_service::{
-    CostModel, EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient, TcpServer,
+    CostModel, EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient, TcpServer, VerifyMode,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,6 +65,7 @@ fn concurrent_tcp_clients_match_serial_sessions_bit_for_bit() {
                             groups: GROUPS,
                             burst_len: BURST_LEN,
                             want_masks: true,
+                            verify: VerifyMode::Off,
                             payload: piece,
                         };
                         // Overload is explicit backpressure: retry.
@@ -168,6 +169,7 @@ fn shared_session_id_stays_coherent_across_connections() {
                             groups: 4,
                             burst_len: 8,
                             want_masks: false,
+                            verify: VerifyMode::Off,
                             payload: &chunk,
                         },
                         &mut reply,
@@ -205,6 +207,7 @@ fn shared_session_id_stays_coherent_across_connections() {
                 groups: 4,
                 burst_len: 8,
                 want_masks: false,
+                verify: VerifyMode::Off,
                 payload: &chunk,
             },
             &mut reply,

@@ -10,7 +10,7 @@ use dbi_mem::BusSession;
 use dbi_phy::OperatingPoint;
 use dbi_service::{
     CostModel, EncodeReply, EncodeRequest, Engine, ServiceConfig, ServiceError, TcpClient,
-    TcpServer,
+    TcpServer, VerifyMode,
 };
 
 const GROUPS: u16 = 4;
@@ -70,6 +70,7 @@ fn two_sessions_with_different_cost_models_carry_independent_streams() {
         groups: GROUPS,
         burst_len: BURST_LEN,
         want_masks: true,
+        verify: VerifyMode::Off,
         payload,
     };
 
@@ -151,6 +152,7 @@ fn sessions_resolving_to_the_same_plan_share_one_cache_entry() {
                     groups: GROUPS,
                     burst_len: BURST_LEN,
                     want_masks: false,
+                    verify: VerifyMode::Off,
                     payload: &payload,
                 },
                 &mut reply,
@@ -183,6 +185,7 @@ fn cost_models_on_weightless_schemes_are_rejected() {
                     groups: GROUPS,
                     burst_len: BURST_LEN,
                     want_masks: false,
+                    verify: VerifyMode::Off,
                     payload: &payload,
                 },
                 &mut reply,
@@ -203,6 +206,7 @@ fn cost_models_on_weightless_schemes_are_rejected() {
                 groups: GROUPS,
                 burst_len: BURST_LEN,
                 want_masks: false,
+                verify: VerifyMode::Off,
                 payload: &payload,
             },
             &mut reply,
@@ -229,6 +233,7 @@ fn one_session_id_with_diverging_cost_models_is_a_mismatch() {
         groups: GROUPS,
         burst_len: BURST_LEN,
         want_masks: false,
+        verify: VerifyMode::Off,
         payload: &payload,
     };
     client

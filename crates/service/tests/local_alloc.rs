@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use dbi_core::Scheme;
 use dbi_service::{
-    CostModel, EncodeBatchRequest, EncodeReply, EncodeRequest, Engine, ServiceConfig,
+    CostModel, EncodeBatchRequest, EncodeReply, EncodeRequest, Engine, ServiceConfig, VerifyMode,
 };
 
 struct CountingAllocator;
@@ -67,6 +67,7 @@ fn steady_state_requests_are_allocation_free() {
         groups: 4,
         burst_len: 8,
         want_masks: true,
+        verify: VerifyMode::Off,
         payload: &payload,
     };
 
@@ -129,6 +130,7 @@ fn steady_state_requests_are_allocation_free() {
         groups: 4,
         burst_len: 8,
         want_masks: true,
+        verify: VerifyMode::Off,
         count: (payload.len() / 8) as u16,
         payload: &payload,
     };

@@ -11,8 +11,8 @@ use dbi_phy::{NamedInterface, OperatingPoint};
 use dbi_service::wire::{
     decode_frame, encode_metrics_request, encode_metrics_response, CostModel,
     EncodeBatchRequestFrame, EncodeBatchResponseFrame, EncodeRequestFrame, EncodeResponseFrame,
-    ErrorCode, ErrorFrame, Frame, WireError, BATCH_REQUEST_HEAD_LEN, HEADER_LEN, LEGACY_VERSION,
-    V2_VERSION, VERSION,
+    ErrorCode, ErrorFrame, Frame, VerifyMode, WireError, BATCH_REQUEST_HEAD_LEN, HEADER_LEN,
+    LEGACY_VERSION, V2_VERSION, VERSION,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -80,6 +80,7 @@ fn arbitrary_requests_roundtrip() {
             groups,
             burst_len,
             want_masks,
+            verify: VerifyMode::Off,
             payload: &payload,
         };
         buf.clear();
@@ -189,6 +190,7 @@ fn every_truncation_is_rejected_without_panicking() {
             groups,
             burst_len,
             want_masks,
+            verify: VerifyMode::Off,
             payload: &payload,
         }
         .encode_into(&mut buf);
@@ -246,6 +248,7 @@ fn corrupt_headers_are_typed_errors_never_panics() {
             groups,
             burst_len,
             want_masks,
+            verify: VerifyMode::Off,
             payload: &payload,
         }
         .encode_into(&mut frame);
@@ -286,6 +289,7 @@ fn cost_model_field_corruption_is_exhaustively_typed() {
             groups,
             burst_len,
             want_masks,
+            verify: VerifyMode::Off,
             payload: &payload,
         }
         .encode_into(&mut pristine);
@@ -306,6 +310,7 @@ fn cost_model_field_corruption_is_exhaustively_typed() {
                             groups: view.groups,
                             burst_len: view.burst_len,
                             want_masks: view.want_masks,
+                            verify: VerifyMode::Off,
                             payload: view.payload,
                         }
                         .encode_into(&mut reencoded);
@@ -352,6 +357,7 @@ fn legacy_v1_requests_decode_with_an_inline_cost_model() {
             groups,
             burst_len,
             want_masks,
+            verify: VerifyMode::Off,
             payload: &payload,
         }
         .encode_into(&mut v2);
@@ -396,6 +402,7 @@ fn arbitrary_batch<'a>(rng: &mut StdRng, payload: &'a mut Vec<u8>) -> EncodeBatc
         groups: rng.gen::<u16>(),
         burst_len,
         want_masks: rng.gen::<bool>(),
+        verify: VerifyMode::Off,
         count,
         payload: &payload[..],
     }
@@ -539,6 +546,7 @@ fn empty_and_oversized_batches_are_rejected() {
         groups: 1,
         burst_len: 8,
         want_masks: false,
+        verify: VerifyMode::Off,
         count: 0,
         payload: &[],
     };
@@ -660,6 +668,7 @@ fn batch_frames_do_not_exist_below_v3_and_old_frames_still_decode() {
         groups: 4,
         burst_len: 8,
         want_masks: true,
+        verify: VerifyMode::Off,
         payload: &[0u8; 32],
     }
     .encode_into(&mut request);
@@ -688,6 +697,7 @@ fn concatenated_frames_are_walkable() {
             groups,
             burst_len,
             want_masks,
+            verify: VerifyMode::Off,
             payload: &payload,
         }
         .encode_into(&mut buf);

@@ -150,6 +150,23 @@ impl LoadProfile {
         }
     }
 
+    /// Appends one `burst_len`-byte burst drawn from the mix to `out` —
+    /// the single-burst form of [`LoadProfile::fill_access`], for harnesses
+    /// (such as the conformance fuzzer) that drive per-burst chains rather
+    /// than whole channel accesses. Bursts longer than the generators'
+    /// standard length wrap around their 8 source bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_len` is zero or the profile has no positively
+    /// weighted source.
+    pub fn fill_burst(&mut self, burst_len: usize, out: &mut Vec<u8>) {
+        assert!(burst_len > 0, "a burst spans at least one beat");
+        let burst = self.next_burst();
+        let bytes = burst.bytes();
+        out.extend((0..burst_len).map(|beat| bytes[beat % bytes.len()]));
+    }
+
     /// Appends `count` bursts drawn from the mix straight into `slab` —
     /// the batched counterpart of [`LoadProfile::fill_access`]: traffic
     /// lands in slab layout directly, with no per-burst payload

@@ -9,7 +9,7 @@
 //! response, and per-shard counters expose what the fleet is doing.
 
 use dbi::service::{
-    CostModel, EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient, TcpServer,
+    CostModel, EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient, TcpServer, VerifyMode,
 };
 use dbi::Scheme;
 
@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             groups: 4,
             burst_len: 8,
             want_masks: true,
+            verify: VerifyMode::Off,
             payload: &payload,
         },
         &mut reply,
@@ -67,6 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             groups: 4,
             burst_len: 8,
             want_masks: true,
+            verify: VerifyMode::Off,
             payload: &payload,
         },
         &mut tcp_reply,
@@ -89,6 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             groups: 4,
             burst_len: 8,
             want_masks: false,
+            verify: VerifyMode::Off,
             payload: &payload,
         },
         &mut tcp_reply,
