@@ -17,11 +17,20 @@
 //!   rayon-parallel,
 //! * `slab` — whole batches through [`DbiEncoder::encode_slab_into`]:
 //!   the OPT carried-state kernel (priced and masks-only) against the
-//!   serial per-burst chain and the default heuristic loop.
+//!   serial per-burst chain and the default heuristic loop,
+//! * `slab_lanes` — the vectorised multi-chain plane
+//!   ([`DbiEncoder::encode_lanes_into`]): the same burst set as eight
+//!   independent lane-group chains, run as parallel lanes of one
+//!   recurrence by whichever SIMD kernel tier dispatch selected
+//!   ([`dbi_core::simd::selected_kernel`]; `DBI_FORCE_SCALAR=1` pins the
+//!   scalar tier, and the JSON records which kernel produced the numbers).
 //!
 //! After the criterion groups it re-times the key comparison directly and
 //! writes `BENCH_encode.json` at the repository root, so the perf
 //! trajectory of the encode hot path is tracked from this change on.
+//! The headline `slab_ns_per_burst` row is the lanes masks-only encode
+//! (gated below 5 ns/burst), and `decode_over_encode` gates the lanes
+//! decode at 1.2x the priced lanes encode.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dbi_bench::{random_buffer, random_bursts};
@@ -302,6 +311,33 @@ fn encoder_throughput(c: &mut Criterion) {
     });
     group.finish();
 
+    // The vectorised lanes plane: the same 1024 bursts as eight
+    // independent lane-group chains of 128 bursts each — the geometry the
+    // SIMD kernels run as parallel lanes of one recurrence. Which kernel
+    // tier runs is decided by dispatch (AVX2 here unless DBI_FORCE_SCALAR
+    // pins the scalar oracle).
+    let mut group = c.benchmark_group("slab_lanes");
+    group.throughput(Throughput::Elements(bursts.len() as u64));
+    group.bench_function("opt_fixed_8_chains_masks_only", |b| {
+        let opt = OptFixedEncoder::new();
+        slab.set_pricing(false);
+        b.iter(|| {
+            let mut states = [state; 8];
+            opt.encode_lanes_into(black_box(&mut slab), &mut states);
+            black_box(states)
+        });
+        slab.set_pricing(true);
+    });
+    group.bench_function("opt_fixed_8_chains_priced", |b| {
+        let opt = OptFixedEncoder::new();
+        b.iter(|| {
+            let mut states = [state; 8];
+            opt.encode_lanes_into(black_box(&mut slab), &mut states);
+            black_box(slab.total())
+        });
+    });
+    group.finish();
+
     // The decode plane: the receiver paths over the pre-driven wire image
     // of the same burst set. Baseline only — decoding is a masked
     // complement plus the activity walk, so it bounds how cheap the
@@ -335,6 +371,29 @@ fn encoder_throughput(c: &mut Criterion) {
             opt.decode_slab_into(black_box(&mut rx_slab), &mut carried)
                 .expect("masks stay loaded");
             black_box(carried)
+        });
+    });
+    group.bench_function("decode_lanes_8_chains", |b| {
+        // The receiver mirror of the lanes plane: the wire image of the
+        // 8-chain encode, decoded and re-priced whole-slab by the SWAR
+        // kernel in one decode_lanes_into call.
+        let opt = OptFixedEncoder::new();
+        let mut tx = BurstSlab::with_capacity(8, bursts.len());
+        tx.extend_from_bursts(&bursts).expect("uniform bursts");
+        let mut tx_states = [state; 8];
+        opt.encode_lanes_into(&mut tx, &mut tx_states);
+        let mut rx_lanes = BurstSlab::with_capacity(8, bursts.len());
+        for (index, mask) in tx.masks().iter().enumerate() {
+            let mut wire = tx.burst_bytes(index).expect("burst exists").to_vec();
+            mask.apply_in_place(&mut wire);
+            rx_lanes.push_bytes(&wire).expect("uniform wire bursts");
+        }
+        rx_lanes.load_masks(tx.masks()).expect("one mask per burst");
+        b.iter(|| {
+            let mut states = [state; 8];
+            opt.decode_lanes_into(black_box(&mut rx_lanes), &mut states)
+                .expect("masks stay loaded");
+            black_box(states)
         });
     });
     group.finish();
@@ -400,8 +459,10 @@ fn best_ns_per_burst(bursts: &[Burst], mut f: impl FnMut(&Burst)) -> f64 {
 /// Re-times the headline comparison and records it in `BENCH_encode.json`
 /// at the repository root: the allocating seed baseline vs. the LUT mask
 /// path vs. the materialising encode, all on 8-byte bursts, plus the
-/// trace-level rate and the runtime-plan plane (cached-plan hit path and
-/// cold plan construction).
+/// trace-level rate, the runtime-plan plane (cached-plan hit path and
+/// cold plan construction), and the vectorised lanes plane (8-chain
+/// encode/decode on the dispatch-selected kernel, with the kernel name
+/// and detected CPU features stamped into the JSON).
 fn write_bench_json(bursts: &[Burst], state: &BusState) {
     let weights = CostWeights::FIXED;
     let opt = OptFixedEncoder::new();
@@ -438,9 +499,32 @@ fn write_bench_json(bursts: &[Burst], state: &BusState) {
     let mut slab = BurstSlab::with_capacity(8, bursts.len());
     slab.extend_from_bursts(bursts).expect("uniform bursts");
     slab.set_pricing(false);
-    let slab_ns = time_slab(&mut slab);
+    let slab_chain_ns = time_slab(&mut slab);
     slab.set_pricing(true);
-    let slab_priced_ns = time_slab(&mut slab);
+    let slab_chain_priced_ns = time_slab(&mut slab);
+
+    // The vectorised lanes plane over the same bytes: eight independent
+    // chains of 128 bursts, encoded as parallel lanes of one recurrence
+    // by the dispatch-selected kernel. This is the headline slab number —
+    // the geometry a real channel (several lane groups per slab) runs.
+    let time_lanes = |slab: &mut BurstSlab| {
+        let mut best = f64::INFINITY;
+        for _ in 0..30 {
+            let mut states = [*state; 8];
+            let start = Instant::now();
+            opt.encode_lanes_into(slab, &mut states);
+            black_box(states);
+            let ns = start.elapsed().as_secs_f64() * 1e9 / bursts.len() as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        best
+    };
+    slab.set_pricing(false);
+    let slab_ns = time_lanes(&mut slab);
+    slab.set_pricing(true);
+    let slab_priced_ns = time_lanes(&mut slab);
 
     // Runtime cost-model plane: bespoke weights through a held cached
     // plan (the service steady state — sessions keep the Arc and encode
@@ -484,13 +568,40 @@ fn write_bench_json(bursts: &[Burst], state: &BusState) {
         rx_slab.push_bytes(wire).expect("uniform wire bursts");
     }
     rx_slab.load_masks(&wire_masks).expect("one mask per burst");
-    let mut decode_slab_ns = f64::INFINITY;
+    let mut decode_chain_ns = f64::INFINITY;
     for _ in 0..30 {
         let mut carried = *state;
         let start = Instant::now();
         opt.decode_slab_into(&mut rx_slab, &mut carried)
             .expect("masks stay loaded");
         black_box(carried);
+        let ns = start.elapsed().as_secs_f64() * 1e9 / bursts.len() as f64;
+        if ns < decode_chain_ns {
+            decode_chain_ns = ns;
+        }
+    }
+
+    // The lanes decode: the wire image of the 8-chain encode, decoded and
+    // re-priced whole-slab by the SWAR kernel. Priced on both sides, so
+    // `decode_over_encode` compares like with like.
+    let mut tx = BurstSlab::with_capacity(8, bursts.len());
+    tx.extend_from_bursts(bursts).expect("uniform bursts");
+    let mut tx_states = [*state; 8];
+    opt.encode_lanes_into(&mut tx, &mut tx_states);
+    let mut rx_lanes = BurstSlab::with_capacity(8, bursts.len());
+    for (index, mask) in tx.masks().iter().enumerate() {
+        let mut wire = tx.burst_bytes(index).expect("burst exists").to_vec();
+        mask.apply_in_place(&mut wire);
+        rx_lanes.push_bytes(&wire).expect("uniform wire bursts");
+    }
+    rx_lanes.load_masks(tx.masks()).expect("one mask per burst");
+    let mut decode_slab_ns = f64::INFINITY;
+    for _ in 0..30 {
+        let mut states = [*state; 8];
+        let start = Instant::now();
+        opt.decode_lanes_into(&mut rx_lanes, &mut states)
+            .expect("masks stay loaded");
+        black_box(states);
         let ns = start.elapsed().as_secs_f64() * 1e9 / bursts.len() as f64;
         if ns < decode_slab_ns {
             decode_slab_ns = ns;
@@ -511,22 +622,32 @@ fn write_bench_json(bursts: &[Burst], state: &BusState) {
 
     let speedup = baseline_ns / mask_ns;
     let plan_overhead = plan_cached_ns / mask_ns;
-    let slab_over_mask = slab_ns / mask_ns;
+    let slab_over_mask = slab_chain_ns / mask_ns;
+    let decode_over_encode = decode_slab_ns / slab_priced_ns;
+    let kernel = dbi_core::simd::selected_kernel().name();
+    let cpu_features = dbi_core::simd::cpu_features();
     let json = format!(
-        "{{\n  \"benchmark\": \"OptFixed encode, 8-byte bursts, {} bursts\",\n  \
+        "{{\n  \"benchmark\": \"OptFixed encode, 8-byte bursts, {} bursts \
+         (lanes rows: 8 chains x 128 bursts)\",\n  \
+         \"kernel\": \"{kernel}\",\n  \
+         \"cpu_features\": \"{cpu_features}\",\n  \
          \"seed_baseline_ns_per_burst\": {baseline_ns:.1},\n  \
          \"encode_mask_ns_per_burst\": {mask_ns:.1},\n  \
          \"slab_ns_per_burst\": {slab_ns:.1},\n  \
          \"slab_priced_ns_per_burst\": {slab_priced_ns:.1},\n  \
+         \"slab_chain_ns_per_burst\": {slab_chain_ns:.1},\n  \
+         \"slab_chain_priced_ns_per_burst\": {slab_chain_priced_ns:.1},\n  \
          \"encode_ns_per_burst\": {encode_ns:.1},\n  \
          \"decode_mask_ns_per_burst\": {decode_mask_ns:.1},\n  \
          \"decode_slab_ns_per_burst\": {decode_slab_ns:.1},\n  \
+         \"decode_chain_ns_per_burst\": {decode_chain_ns:.1},\n  \
          \"trace_encode_ns_per_burst\": {trace_best:.1},\n  \
          \"plan_cached_ns_per_burst\": {plan_cached_ns:.1},\n  \
          \"plan_refetch_ns_per_burst\": {plan_refetch_ns:.1},\n  \
          \"plan_cold_build_ns_per_burst\": {plan_cold_ns:.1},\n  \
          \"plan_cached_over_fixed\": {plan_overhead:.2},\n  \
          \"slab_over_mask\": {slab_over_mask:.2},\n  \
+         \"decode_over_encode\": {decode_over_encode:.2},\n  \
          \"mask_speedup_over_seed_baseline\": {speedup:.2}\n}}\n",
         bursts.len()
     );
@@ -554,6 +675,34 @@ fn write_bench_json(bursts: &[Burst], state: &BusState) {
     if slab_over_mask > 1.02 {
         let message = format!(
             "slab encode should be at most the per-burst mask cost, measured {slab_over_mask:.2}x"
+        );
+        if std::env::var_os("DBI_ENFORCE_SPEEDUP").is_some() {
+            panic!("{message}");
+        }
+        eprintln!("WARNING: {message} (set DBI_ENFORCE_SPEEDUP=1 to make this fatal)");
+    }
+    // The vectorised lanes plane must clear the 5 ns/burst ceiling on its
+    // headline masks-only geometry (8 chains x 128 BL8 bursts) — the
+    // memory-bandwidth argument of the SIMD kernels. Under
+    // DBI_FORCE_SCALAR the gate is skipped: pinning the scalar oracle is
+    // an escape hatch, not a perf claim.
+    if slab_ns >= 5.0 && !dbi_core::simd::forced_scalar() {
+        let message = format!(
+            "lanes slab encode should run under 5 ns/burst on kernel {kernel}, \
+             measured {slab_ns:.1} ns"
+        );
+        if std::env::var_os("DBI_ENFORCE_SPEEDUP").is_some() {
+            panic!("{message}");
+        }
+        eprintln!("WARNING: {message} (set DBI_ENFORCE_SPEEDUP=1 to make this fatal)");
+    }
+    // Decode parity: re-pricing the wire image whole-slab must stay
+    // within 1.2x of the priced lanes encode — the SWAR decode kernel's
+    // reason to exist (the old per-beat walk sat well above the encode).
+    if decode_over_encode > 1.2 {
+        let message = format!(
+            "lanes decode should stay within 1.2x of the priced lanes encode, \
+             measured {decode_over_encode:.2}x"
         );
         if std::env::var_os("DBI_ENFORCE_SPEEDUP").is_some() {
             panic!("{message}");

@@ -23,7 +23,12 @@
 //!   exceeds any other scheme's for the same burst and entry state, and
 //!   (on small bursts) equals the exhaustive 2ⁿ minimum;
 //! * **plan-swap coherence** — a [`BusSession`] whose plan is swapped at
-//!   a burst boundary stays bit-identical to the hand-stitched chain.
+//!   a burst boundary stays bit-identical to the hand-stitched chain;
+//! * **kernel-tier equality** — every available slab kernel
+//!   ([`dbi_core::simd::available_kernels`]: bit-sliced, SSE2, AVX2, NEON)
+//!   produces bit-identical masks, pricing and carried chain states to
+//!   the serial reference on multi-chain lane sweeps, encode and decode,
+//!   priced and masks-only.
 
 use crate::corpus::ref_scheme;
 use crate::reference;
@@ -66,6 +71,9 @@ pub struct FuzzReport {
     pub swaps: usize,
     /// Bursts certified against the exhaustive 2ⁿ oracle.
     pub exhaustive: usize,
+    /// Multi-chain kernel-tier sweeps (every available kernel checked
+    /// bit-identical to the serial reference, encode and decode).
+    pub lanes: usize,
 }
 
 /// Runs the fuzzer.
@@ -379,6 +387,87 @@ fn run_case(
         report.swaps += 1;
     }
 
+    // Kernel-tier differential: the multi-chain lanes encode and the SWAR
+    // decode must be bit-identical to the serial per-chain reference on
+    // EVERY available kernel (bit-sliced, SSE2, AVX2, NEON — whatever the
+    // CPU offers), priced and masks-only, whatever the geometry. This is
+    // what lets `DBI_FORCE_SCALAR` be an escape hatch rather than a
+    // different codec.
+    if case.is_multiple_of(3) {
+        let chains = rng.gen_range(1..10usize);
+        let pricing = rng.gen::<bool>();
+        let encoder = dbi_core::schemes::OptEncoder::new(weights);
+
+        // Chain 0 replays the structured chain; the rest are fresh draws
+        // so neighbouring lanes carry uncorrelated survivor masks.
+        let mut slab = BurstSlab::with_capacity(burst_len, chains * bursts);
+        slab.set_pricing(pricing);
+        for bytes in &scratch.chain {
+            slab.push_bytes(bytes).expect("chain bursts fit the slab");
+        }
+        let mut extra = Vec::new();
+        for _ in 1..chains {
+            draw_chain(rng, profiles, burst_len, bursts, &mut extra);
+            for bytes in &extra {
+                slab.push_bytes(bytes).expect("chain bursts fit the slab");
+            }
+        }
+        let initial: Vec<BusState> = (0..chains)
+            .map(|_| BusState::new(LaneWord::encode_byte(rng.gen(), rng.gen())))
+            .collect();
+
+        let mut reference = slab.clone();
+        let mut reference_states = initial.clone();
+        reference.encode_chains_with(&mut reference_states, |burst, state| {
+            encoder.encode_mask(burst, state)
+        });
+
+        for &kernel in dbi_core::simd::available_kernels() {
+            let mut lanes = slab.clone();
+            let mut states = initial.clone();
+            encoder.encode_lanes_into_with(kernel, &mut lanes, &mut states);
+            if lanes.masks() != reference.masks()
+                || lanes.costs() != reference.costs()
+                || states != reference_states
+            {
+                return Err(format!(
+                    "lanes kernel {kernel} diverges from the serial reference \
+                     (len {burst_len}, {chains}x{bursts}, pricing {pricing})"
+                ));
+            }
+
+            // Decode arm: the wire image must come back bit-identical
+            // through the same kernel tier, receiver states included.
+            let mut rx = BurstSlab::with_capacity(burst_len, chains * bursts);
+            rx.set_pricing(pricing);
+            for (index, mask) in lanes.masks().iter().enumerate() {
+                let bytes = lanes.burst_bytes(index).expect("burst was pushed above");
+                scratch.wire.clear();
+                scratch.wire.extend_from_slice(bytes);
+                mask.apply_in_place(&mut scratch.wire);
+                rx.push_bytes(&scratch.wire).expect("wire bursts fit");
+            }
+            rx.load_masks(lanes.masks())
+                .map_err(|err| format!("lanes {kernel}: load_masks: {err}"))?;
+            let mut rx_states = initial.clone();
+            rx.decode_in_place_with(kernel, &mut rx_states)
+                .map_err(|err| format!("lanes {kernel}: decode: {err}"))?;
+            if rx.bytes() != slab.bytes() || rx_states != states {
+                return Err(format!(
+                    "lanes kernel {kernel} decode diverges \
+                     (len {burst_len}, {chains}x{bursts}, pricing {pricing})"
+                ));
+            }
+            if pricing && rx.costs() != reference.costs() {
+                return Err(format!(
+                    "lanes kernel {kernel} wire re-pricing diverges \
+                     (len {burst_len}, {chains}x{bursts})"
+                ));
+            }
+        }
+        report.lanes += 1;
+    }
+
     Ok(())
 }
 
@@ -398,5 +487,6 @@ mod tests {
         assert_eq!(a.cases, 100);
         assert!(a.bursts > 0);
         assert!(a.swaps > 0);
+        assert!(a.lanes > 0);
     }
 }

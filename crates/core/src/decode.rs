@@ -140,6 +140,26 @@ pub trait DbiDecoder {
     fn decode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) -> Result<()> {
         slab.decode_in_place(state)
     }
+
+    /// Decodes a slab holding the bursts of `states.len()` independent
+    /// chains, chain-major, each with its own carried receiver state —
+    /// the mirror of [`DbiEncoder::encode_lanes_into`]. Rides the
+    /// runtime-selected kernel tier
+    /// ([`BurstSlab::decode_in_place_chains`]); with pricing on, the
+    /// SWAR tier re-prices eight beats per popcount.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::MaskCountMismatch`] when the mask column does
+    /// not cover every burst; the slab is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `states` is empty or the slab's burst count is not a
+    /// whole number of chains.
+    fn decode_lanes_into(&self, slab: &mut BurstSlab, states: &mut [BusState]) -> Result<()> {
+        slab.decode_in_place_chains(states)
+    }
 }
 
 impl<T: DbiEncoder + ?Sized> DbiDecoder for T {}

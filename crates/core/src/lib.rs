@@ -69,15 +69,20 @@
 //! | [`encoding`] | inversion masks, encoded bursts (inline small-buffer storage), decoding |
 //! | [`decode`] | the receiver: [`DbiDecoder`], mask/burst/slab decode with carried state |
 //! | [`slab`] | batched burst slabs ([`BurstSlab`]) and whole-slab encoding |
+//! | [`simd`] | vectorised slab kernels ([`simd::KernelKind`]), runtime dispatch |
 //! | [`schemes`] | RAW, DC, AC, ACDC, greedy, OPT, OPT(Fixed), exhaustive oracle |
 //! | [`graph`] | explicit trellis + Dijkstra (Fig. 2 cross-check) |
 //! | [`pareto`] | Pareto front of the zero/transition trade-off |
 //! | [`stats`] | per-scheme statistics over burst streams |
 //! | [`analysis`] | coefficient sweeps and relative savings (Figs. 3/4) |
 
+// `deny` rather than `forbid`: the `simd` module's runtime-dispatched
+// `core::arch` kernels need narrowly scoped `#[allow(unsafe_code)]` items
+// (each an `unsafe` call into a `#[target_feature]` function, guarded by
+// the matching CPU-feature detection). Everything else stays safe.
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod analysis;
 pub mod burst;
@@ -90,6 +95,7 @@ pub mod lut;
 pub mod pareto;
 pub mod plan;
 pub mod schemes;
+pub mod simd;
 pub mod slab;
 pub mod stats;
 pub mod word;
@@ -103,6 +109,7 @@ pub use lut::CostLut;
 pub use pareto::{ParetoFront, ParetoPoint};
 pub use plan::{EncodePlan, PlanCache, PlanCacheStats};
 pub use schemes::{DbiEncoder, Scheme};
+pub use simd::KernelKind;
 pub use slab::BurstSlab;
 pub use stats::{SchemeComparison, SchemeStats};
 pub use word::{DbiBit, LaneWord};

@@ -246,6 +246,20 @@ impl DbiEncoder for EncodePlan {
             PlanEncoder::Opt(e) => e.encode_slab_into(slab, state),
         }
     }
+
+    /// The multi-chain dispatch mirror of
+    /// [`DbiEncoder::encode_slab_into`]: the optimal variants reach the
+    /// lockstep SIMD kernels ([`crate::simd`]) through this match.
+    fn encode_lanes_into(&self, slab: &mut BurstSlab, states: &mut [BusState]) {
+        match &self.encoder {
+            PlanEncoder::Raw(e) => e.encode_lanes_into(slab, states),
+            PlanEncoder::Dc(e) => e.encode_lanes_into(slab, states),
+            PlanEncoder::Ac(e) => e.encode_lanes_into(slab, states),
+            PlanEncoder::AcDc(e) => e.encode_lanes_into(slab, states),
+            PlanEncoder::Greedy(e) => e.encode_lanes_into(slab, states),
+            PlanEncoder::Opt(e) => e.encode_lanes_into(slab, states),
+        }
+    }
 }
 
 impl core::fmt::Display for EncodePlan {

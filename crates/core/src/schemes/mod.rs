@@ -107,6 +107,29 @@ pub trait DbiEncoder {
     fn encode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) {
         slab.encode_with(state, |burst, state| self.encode_mask(burst, state));
     }
+
+    /// Encodes a slab holding the bursts of `states.len()` **independent
+    /// chains** (one per lane group of a channel), laid out chain-major:
+    /// chain `c`'s bursts occupy rows `c·per_chain .. (c+1)·per_chain`,
+    /// and each chain carries its own [`BusState`]. Semantically
+    /// equivalent to `states.len()` separate
+    /// [`DbiEncoder::encode_slab_into`] calls over the per-chain row
+    /// ranges — but because the chains are independent, the optimal
+    /// encoders override this with lockstep bit-sliced/SIMD kernels
+    /// ([`crate::simd`]) that sweep four or eight chains as parallel
+    /// lanes of one trellis recurrence.
+    ///
+    /// The default runs the serial per-burst chain per lane group, which
+    /// is the reference semantics every override is differential-tested
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `states` is empty or the slab's burst count is not a
+    /// whole number of chains.
+    fn encode_lanes_into(&self, slab: &mut BurstSlab, states: &mut [BusState]) {
+        slab.encode_chains_with(states, |burst, state| self.encode_mask(burst, state));
+    }
 }
 
 impl<T: DbiEncoder + ?Sized> DbiEncoder for &T {
@@ -128,6 +151,10 @@ impl<T: DbiEncoder + ?Sized> DbiEncoder for &T {
 
     fn encode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) {
         (**self).encode_slab_into(slab, state);
+    }
+
+    fn encode_lanes_into(&self, slab: &mut BurstSlab, states: &mut [BusState]) {
+        (**self).encode_lanes_into(slab, states);
     }
 }
 
@@ -151,6 +178,10 @@ impl<T: DbiEncoder + ?Sized> DbiEncoder for Box<T> {
     fn encode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) {
         (**self).encode_slab_into(slab, state);
     }
+
+    fn encode_lanes_into(&self, slab: &mut BurstSlab, states: &mut [BusState]) {
+        (**self).encode_lanes_into(slab, states);
+    }
 }
 
 impl<T: DbiEncoder + ?Sized> DbiEncoder for Arc<T> {
@@ -172,6 +203,10 @@ impl<T: DbiEncoder + ?Sized> DbiEncoder for Arc<T> {
 
     fn encode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) {
         (**self).encode_slab_into(slab, state);
+    }
+
+    fn encode_lanes_into(&self, slab: &mut BurstSlab, states: &mut [BusState]) {
+        (**self).encode_lanes_into(slab, states);
     }
 }
 
@@ -348,6 +383,10 @@ impl DbiEncoder for Scheme {
     /// `with_encoder` match each; the slab path resolves the encoder once.
     fn encode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) {
         self.with_encoder(|encoder| encoder.encode_slab_into(slab, state));
+    }
+
+    fn encode_lanes_into(&self, slab: &mut BurstSlab, states: &mut [BusState]) {
+        self.with_encoder(|encoder| encoder.encode_lanes_into(slab, states));
     }
 }
 

@@ -5,6 +5,7 @@ use crate::cost::{CostBreakdown, CostWeights};
 use crate::encoding::{EncodedBurst, InversionMask};
 use crate::lut::CostLut;
 use crate::schemes::DbiEncoder;
+use crate::simd::KernelKind;
 use crate::slab::BurstSlab;
 use crate::word::LaneWord;
 
@@ -161,7 +162,7 @@ impl OptEncoder {
     /// every load and popcount is indexed by pure input data, which is
     /// what lets consecutive bursts' sweeps overlap in the pipeline.
     #[inline]
-    fn entry_costs(&self, first: u8, last_data: u8, prev_low: bool) -> (u32, u32) {
+    pub(crate) fn entry_costs(&self, first: u8, last_data: u8, prev_low: bool) -> (u32, u32) {
         let x = last_data ^ first;
         let same = self.lut.transition_same(x);
         let cross = self.lut.transition_cross(x);
@@ -325,7 +326,7 @@ impl OptEncoder {
     /// `burst_len` into the chunking and the kernels' sweeps.
     #[allow(clippy::too_many_arguments)]
     #[inline(always)]
-    fn slab_runs(
+    pub(crate) fn slab_runs(
         &self,
         burst_len: usize,
         bytes: &[u8],
@@ -355,6 +356,187 @@ impl OptEncoder {
                 *prev_low = mask.is_inverted(burst_len - 1);
             }
         }
+    }
+
+    /// [`DbiEncoder::encode_lanes_into`] with an explicit kernel tier —
+    /// the differential-test surface: every [`KernelKind`] must produce
+    /// bit-identical masks, pricing and carried states.
+    ///
+    /// The slab is treated as `states.len()` independent chains laid out
+    /// chain-major (chain `c`'s bursts occupy rows `c·per_chain ..
+    /// (c+1)·per_chain`), each carrying its own [`BusState`] — the shape
+    /// of a multi-lane-group channel. Chains are swept in lockstep
+    /// blocks: eight at a time on the AVX2 BL8 kernel, four at a time on
+    /// the SSE2/NEON/bit-sliced tiers, scalar for the remainder (and for
+    /// [`KernelKind::Scalar`], which runs every chain through the scalar
+    /// oracle). Arch kernels requested on an architecture where they are
+    /// not compiled fall back to the bit-sliced tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `states` is empty or the slab's burst count is not a
+    /// whole number of chains.
+    pub fn encode_lanes_into_with(
+        &self,
+        kernel: KernelKind,
+        slab: &mut BurstSlab,
+        states: &mut [BusState],
+    ) {
+        let chains = states.len();
+        assert!(
+            chains > 0,
+            "lane-group encode needs at least one chain state"
+        );
+        let burst_len = slab.burst_len();
+        let pricing = slab.pricing();
+        let (bytes, masks, costs) = slab.encode_parts_mut();
+        let count = masks.len();
+        assert!(
+            count.is_multiple_of(chains),
+            "slab burst count ({count}) must be a whole number of {chains}-chain columns"
+        );
+        if bytes.is_empty() {
+            return;
+        }
+        let per_chain = count / chains;
+
+        let mut c = 0usize;
+        #[cfg(target_arch = "x86_64")]
+        if kernel == KernelKind::Avx2 && burst_len == 8 {
+            while c + 8 <= chains {
+                let mut chain_data = [0u8; 8];
+                let mut chain_low = [false; 8];
+                for (k, state) in states[c..c + 8].iter().enumerate() {
+                    let entry = state.last();
+                    chain_data[k] = entry.decode();
+                    chain_low[k] = entry.dbi().is_inverted();
+                }
+                let rows = c * per_chain..(c + 8) * per_chain;
+                let cost_block: &mut [CostBreakdown] = if pricing {
+                    &mut costs[rows.clone()]
+                } else {
+                    &mut []
+                };
+                // SAFETY: `Avx2` is only selected or listed as available
+                // after runtime AVX2 detection succeeded.
+                #[allow(unsafe_code)]
+                unsafe {
+                    crate::simd::encode_block8_avx2(
+                        self,
+                        per_chain,
+                        &bytes[rows.start * burst_len..rows.end * burst_len],
+                        &mut masks[rows.clone()],
+                        cost_block,
+                        pricing,
+                        &mut chain_data,
+                        &mut chain_low,
+                    );
+                }
+                for (k, state) in states[c..c + 8].iter_mut().enumerate() {
+                    *state = BusState::new(LaneWord::encode_byte(chain_data[k], chain_low[k]));
+                }
+                c += 8;
+            }
+        }
+        if kernel != KernelKind::Scalar {
+            while c + 4 <= chains {
+                let mut chain_data = [0u8; 4];
+                let mut chain_low = [false; 4];
+                for (k, state) in states[c..c + 4].iter().enumerate() {
+                    let entry = state.last();
+                    chain_data[k] = entry.decode();
+                    chain_low[k] = entry.dbi().is_inverted();
+                }
+                let rows = c * per_chain..(c + 4) * per_chain;
+                let cost_block: &mut [CostBreakdown] = if pricing {
+                    &mut costs[rows.clone()]
+                } else {
+                    &mut []
+                };
+                self.encode_block4(
+                    kernel,
+                    burst_len,
+                    per_chain,
+                    &bytes[rows.start * burst_len..rows.end * burst_len],
+                    &mut masks[rows.clone()],
+                    cost_block,
+                    pricing,
+                    &mut chain_data,
+                    &mut chain_low,
+                );
+                for (k, state) in states[c..c + 4].iter_mut().enumerate() {
+                    *state = BusState::new(LaneWord::encode_byte(chain_data[k], chain_low[k]));
+                }
+                c += 4;
+            }
+        }
+        for state in states[c..].iter_mut() {
+            let entry = state.last();
+            let mut last_data = entry.decode();
+            let mut prev_low = entry.dbi().is_inverted();
+            let rows = c * per_chain..(c + 1) * per_chain;
+            let cost_block: &mut [CostBreakdown] = if pricing {
+                &mut costs[rows.clone()]
+            } else {
+                &mut []
+            };
+            self.slab_runs(
+                burst_len,
+                &bytes[rows.start * burst_len..rows.end * burst_len],
+                &mut masks[rows.clone()],
+                cost_block,
+                pricing,
+                &mut last_data,
+                &mut prev_low,
+            );
+            *state = BusState::new(LaneWord::encode_byte(last_data, prev_low));
+            c += 1;
+        }
+    }
+
+    /// Routes a four-chain block to the requested tier, falling back to
+    /// the portable bit-sliced kernel for arch tiers that are not
+    /// compiled on this target (and for [`KernelKind::Avx2`]'s non-BL8
+    /// geometries, which ride the SSE2 four-lane kernel).
+    #[allow(clippy::too_many_arguments)]
+    fn encode_block4(
+        &self,
+        kernel: KernelKind,
+        burst_len: usize,
+        per_chain: usize,
+        bytes: &[u8],
+        masks: &mut [InversionMask],
+        costs: &mut [CostBreakdown],
+        pricing: bool,
+        last_data: &mut [u8; 4],
+        prev_low: &mut [bool; 4],
+    ) {
+        match kernel {
+            KernelKind::Sse2 | KernelKind::Avx2 => {
+                // SAFETY: SSE2 is unconditionally part of the x86-64
+                // baseline; the kernel's `#[target_feature]` annotation
+                // only exists to satisfy the safe-intrinsics rules.
+                #[cfg(target_arch = "x86_64")]
+                #[allow(unsafe_code)]
+                return unsafe {
+                    crate::simd::encode_block4_sse2(
+                        self, burst_len, per_chain, bytes, masks, costs, pricing, last_data,
+                        prev_low,
+                    )
+                };
+            }
+            KernelKind::Neon => {
+                #[cfg(target_arch = "aarch64")]
+                return crate::simd::encode_block4_neon(
+                    self, burst_len, per_chain, bytes, masks, costs, pricing, last_data, prev_low,
+                );
+            }
+            _ => {}
+        }
+        #[allow(unreachable_code)]
+        crate::simd::encode_block4_bitsliced(
+            self, burst_len, per_chain, bytes, masks, costs, pricing, last_data, prev_low,
+        )
     }
 }
 
@@ -461,6 +643,14 @@ impl DbiEncoder for OptEncoder {
         }
         *state = BusState::new(LaneWord::encode_byte(last_data, prev_low));
     }
+
+    /// The multi-chain slab encode rides the runtime-selected kernel
+    /// tier ([`crate::simd::selected_kernel`]): lockstep SIMD or
+    /// bit-sliced sweeps across the chains, scalar when pinned via
+    /// `DBI_FORCE_SCALAR`. See [`OptEncoder::encode_lanes_into_with`].
+    fn encode_lanes_into(&self, slab: &mut BurstSlab, states: &mut [BusState]) {
+        self.encode_lanes_into_with(crate::simd::selected_kernel(), slab, states);
+    }
 }
 
 /// The paper's "DBI OPT (Fixed)" variant: the optimal encoder hard-wired to
@@ -491,6 +681,17 @@ impl OptFixedEncoder {
     pub const fn weights(&self) -> CostWeights {
         CostWeights::FIXED
     }
+
+    /// [`OptEncoder::encode_lanes_into_with`] with the fixed
+    /// coefficients.
+    pub fn encode_lanes_into_with(
+        &self,
+        kernel: KernelKind,
+        slab: &mut BurstSlab,
+        states: &mut [BusState],
+    ) {
+        self.inner.encode_lanes_into_with(kernel, slab, states);
+    }
 }
 
 impl DbiEncoder for OptFixedEncoder {
@@ -509,6 +710,10 @@ impl DbiEncoder for OptFixedEncoder {
 
     fn encode_slab_into(&self, slab: &mut BurstSlab, state: &mut BusState) {
         self.inner.encode_slab_into(slab, state);
+    }
+
+    fn encode_lanes_into(&self, slab: &mut BurstSlab, states: &mut [BusState]) {
+        self.inner.encode_lanes_into(slab, states);
     }
 }
 

@@ -37,6 +37,7 @@ use crate::cost::CostBreakdown;
 use crate::encoding::InversionMask;
 use crate::error::{DbiError, Result};
 use crate::schemes::DbiEncoder;
+use crate::simd::KernelKind;
 use core::fmt;
 
 /// A caller-owned batch of fixed-length bursts plus their per-burst encode
@@ -386,7 +387,56 @@ impl BurstSlab {
     /// Returns [`DbiError::MaskCountMismatch`] when the mask column does
     /// not cover every burst. The slab is unchanged on error.
     pub fn decode_in_place(&mut self, state: &mut BusState) -> Result<()> {
-        use crate::word::LaneWord;
+        self.decode_in_place_chains(core::slice::from_mut(state))
+    }
+
+    /// [`BurstSlab::decode_in_place`] over multiple independent chains:
+    /// the slab's bursts are split chain-major into `states.len()` runs
+    /// (chain `c` owns rows `c·per_chain .. (c+1)·per_chain`), each
+    /// decoded with its own carried receiver state — the layout
+    /// [`DbiEncoder::encode_lanes_into`] encodes. Dispatches to the
+    /// runtime-selected kernel tier ([`crate::simd::selected_kernel`]):
+    /// the SWAR kernel re-prices eight beats per popcount where the
+    /// scalar tier walks beat-by-beat lane words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::MaskCountMismatch`] when the mask column does
+    /// not cover every burst. The slab is unchanged on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `states` is empty or the burst count is not a whole
+    /// number of chains.
+    pub fn decode_in_place_chains(&mut self, states: &mut [BusState]) -> Result<()> {
+        self.decode_in_place_with(crate::simd::selected_kernel(), states)
+    }
+
+    /// [`BurstSlab::decode_in_place_chains`] with an explicit kernel
+    /// tier — the differential-test surface: every [`KernelKind`] must
+    /// produce identical payload bytes, pricing rows and carried states.
+    /// Any non-scalar tier decodes through the SWAR kernel (decode has
+    /// no cross-chain recurrence to vectorise further).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbiError::MaskCountMismatch`] when the mask column does
+    /// not cover every burst. The slab is unchanged on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `states` is empty or the burst count is not a whole
+    /// number of chains.
+    pub fn decode_in_place_with(
+        &mut self,
+        kernel: KernelKind,
+        states: &mut [BusState],
+    ) -> Result<()> {
+        let chains = states.len();
+        assert!(
+            chains > 0,
+            "lane-group decode needs at least one chain state"
+        );
         let count = self.burst_count();
         if self.masks.len() != count {
             return Err(DbiError::MaskCountMismatch {
@@ -394,6 +444,10 @@ impl BurstSlab {
                 expected: count,
             });
         }
+        assert!(
+            count.is_multiple_of(chains),
+            "slab burst count ({count}) must be a whole number of {chains}-chain columns"
+        );
         self.costs.clear();
         if self.is_empty() {
             return Ok(());
@@ -401,23 +455,24 @@ impl BurstSlab {
         if self.pricing {
             self.costs.resize(count, CostBreakdown::ZERO);
         }
-        let mut prev = state.last();
-        for (index, chunk) in self.bytes.chunks_exact_mut(self.burst_len).enumerate() {
-            let mask = self.masks[index];
-            let mut zeros = 0u64;
-            let mut transitions = 0u64;
-            for (beat, byte) in chunk.iter_mut().enumerate() {
-                let word = LaneWord::from_wire(*byte, mask.is_inverted(beat));
-                zeros += u64::from(word.zeros());
-                transitions += u64::from(word.transitions_from(prev));
-                prev = word;
-                *byte = word.decode();
-            }
-            if self.pricing {
-                self.costs[index] = CostBreakdown::new(zeros, transitions);
+        let per_chain = count / chains;
+        let burst_len = self.burst_len;
+        let pricing = self.pricing;
+        for (c, state) in states.iter_mut().enumerate() {
+            let rows = c * per_chain..(c + 1) * per_chain;
+            let bytes = &mut self.bytes[rows.start * burst_len..rows.end * burst_len];
+            let masks = &self.masks[rows.clone()];
+            let costs: &mut [CostBreakdown] = if pricing {
+                &mut self.costs[rows]
+            } else {
+                &mut []
+            };
+            if kernel == KernelKind::Scalar {
+                decode_chain_scalar(burst_len, bytes, masks, costs, pricing, state);
+            } else {
+                crate::simd::decode_chain_swar(burst_len, bytes, masks, costs, pricing, state);
             }
         }
-        *state = BusState::new(prev);
         Ok(())
     }
 
@@ -429,29 +484,100 @@ impl BurstSlab {
     pub fn encode_with(
         &mut self,
         state: &mut BusState,
+        encode: impl FnMut(&Burst, &BusState) -> InversionMask,
+    ) {
+        self.encode_chains_with(core::slice::from_mut(state), encode);
+    }
+
+    /// [`BurstSlab::encode_with`] over multiple independent chains: the
+    /// bursts are split chain-major into `states.len()` runs (chain `c`
+    /// owns rows `c·per_chain .. (c+1)·per_chain`), each encoded as its
+    /// own serial per-burst chain with its own carried state. This is
+    /// the reference semantics of [`DbiEncoder::encode_lanes_into`] and
+    /// the oracle the lockstep SIMD kernels are differential-tested
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `states` is empty or the burst count is not a whole
+    /// number of chains.
+    pub fn encode_chains_with(
+        &mut self,
+        states: &mut [BusState],
         mut encode: impl FnMut(&Burst, &BusState) -> InversionMask,
     ) {
+        let chains = states.len();
+        assert!(
+            chains > 0,
+            "lane-group encode needs at least one chain state"
+        );
+        let count = self.burst_count();
+        assert!(
+            count.is_multiple_of(chains),
+            "slab burst count ({count}) must be a whole number of {chains}-chain columns"
+        );
         self.prepare_results();
+        if self.is_empty() {
+            return;
+        }
+        let per_chain = count / chains;
         let burst_len = self.burst_len;
         let pricing = self.pricing;
         let mut scratch = core::mem::take(&mut self.scratch);
-        for index in 0..self.burst_count() {
-            let start = index * burst_len;
-            scratch.clear();
-            scratch.extend_from_slice(&self.bytes[start..start + burst_len]);
-            // Move the gather buffer into the burst and recover it after:
-            // no allocation per burst.
-            let burst = Burst::new(scratch).expect("slab bursts are never empty");
-            let mask = encode(&burst, state);
-            if pricing {
-                self.costs[index] = mask.breakdown(&burst, state);
+        for (c, state) in states.iter_mut().enumerate() {
+            for index in c * per_chain..(c + 1) * per_chain {
+                let start = index * burst_len;
+                scratch.clear();
+                scratch.extend_from_slice(&self.bytes[start..start + burst_len]);
+                // Move the gather buffer into the burst and recover it
+                // after: no allocation per burst.
+                let burst = Burst::new(scratch).expect("slab bursts are never empty");
+                let mask = encode(&burst, state);
+                if pricing {
+                    self.costs[index] = mask.breakdown(&burst, state);
+                }
+                *state = mask.final_state(&burst, state);
+                self.masks[index] = mask;
+                scratch = burst.into_bytes();
             }
-            *state = mask.final_state(&burst, state);
-            self.masks[index] = mask;
-            scratch = burst.into_bytes();
         }
         self.scratch = scratch;
     }
+}
+
+/// The beat-by-beat scalar decode walk over one chain's run of bursts —
+/// the oracle the SWAR decode kernel
+/// ([`crate::simd::decode_chain_swar`]) is differential-tested against.
+/// Deliberately re-prices through [`LaneWord::from_wire`]: an
+/// independent path from the encode-side pricing, so a transmitter and
+/// receiver that disagree about activity expose an encode/decode
+/// asymmetry instead of hiding it.
+fn decode_chain_scalar(
+    burst_len: usize,
+    bytes: &mut [u8],
+    masks: &[InversionMask],
+    costs: &mut [CostBreakdown],
+    pricing: bool,
+    state: &mut BusState,
+) {
+    use crate::word::LaneWord;
+    let mut prev = state.last();
+    for (index, chunk) in bytes.chunks_exact_mut(burst_len).enumerate() {
+        let mask = masks[index];
+        let mut zeros = 0u64;
+        let mut transitions = 0u64;
+        for (beat, byte) in chunk.iter_mut().enumerate() {
+            let word = LaneWord::from_wire(*byte, mask.is_inverted(beat));
+            zeros += u64::from(word.zeros());
+            transitions += u64::from(word.transitions_from(prev));
+            prev = word;
+            *byte = word.decode();
+        }
+        if pricing {
+            costs[index] = CostBreakdown::new(zeros, transitions);
+        }
+    }
+    *state = BusState::new(prev);
 }
 
 /// Encodes every burst of a slab through an encoder's per-burst fast path,

@@ -279,3 +279,139 @@ fn re_encoding_a_slab_with_another_scheme_overwrites_results() {
     assert_ne!(slab.masks(), dc_masks.as_slice());
     assert_eq!(slab.masks().len(), 8);
 }
+
+// ---------------------------------------------------------------------------
+// Kernel-tier sweeps: every dispatchable kernel vs the scalar oracle
+// ---------------------------------------------------------------------------
+
+fn random_states(rng: &mut StdRng, chains: usize) -> Vec<BusState> {
+    (0..chains)
+        .map(|_| BusState::new(LaneWord::encode_byte(rng.gen(), rng.gen())))
+        .collect()
+}
+
+/// Every available kernel tier — bit-sliced, SSE2, AVX2, NEON, whatever the
+/// CPU offers — must produce bit-identical masks, pricing rows and carried
+/// chain states to the serial per-burst reference, across burst lengths,
+/// chain counts (including the AVX2 eight-chain geometry and its odd
+/// remainders) and masks-only mode.
+#[test]
+fn lane_kernels_are_bit_identical_to_the_serial_chain_reference() {
+    let mut rng = StdRng::seed_from_u64(0x51D3);
+    let encoder = dbi_core::schemes::OptEncoder::new(CostWeights::new(2, 3).unwrap());
+    for burst_len in [1usize, 3, 8, 16, 32] {
+        for chains in [1usize, 2, 4, 5, 8, 9] {
+            for per_chain in [1usize, 2, 17] {
+                for pricing in [true, false] {
+                    let mut slab = random_slab(&mut rng, burst_len, chains * per_chain);
+                    slab.set_pricing(pricing);
+                    let initial = random_states(&mut rng, chains);
+
+                    let mut reference = slab.clone();
+                    let mut reference_states = initial.clone();
+                    reference.encode_chains_with(&mut reference_states, |burst, state| {
+                        encoder.encode_mask(burst, state)
+                    });
+
+                    for &kernel in dbi_core::simd::available_kernels() {
+                        let mut lanes = slab.clone();
+                        let mut states = initial.clone();
+                        encoder.encode_lanes_into_with(kernel, &mut lanes, &mut states);
+                        let label = format!(
+                            "{kernel} len={burst_len} chains={chains} per={per_chain} \
+                             pricing={pricing}"
+                        );
+                        assert_eq!(lanes.masks(), reference.masks(), "{label}: masks");
+                        assert_eq!(lanes.costs(), reference.costs(), "{label}: costs");
+                        assert_eq!(states, reference_states, "{label}: states");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The SWAR decode kernel must agree with the scalar beat-by-beat decode —
+/// payload bytes, wire re-pricing and carried receiver states — and both
+/// must round-trip the transmitter exactly, across the same geometry sweep.
+#[test]
+fn lane_decode_kernels_match_the_scalar_decode_oracle() {
+    use dbi_core::simd::KernelKind;
+    let mut rng = StdRng::seed_from_u64(0xDE5A);
+    let encoder = dbi_core::schemes::OptEncoder::new(CostWeights::new(3, 1).unwrap());
+    for burst_len in [1usize, 3, 8, 16, 32] {
+        for chains in [1usize, 2, 5, 8] {
+            for per_chain in [1usize, 2, 17] {
+                for pricing in [true, false] {
+                    let bursts = chains * per_chain;
+                    let mut tx = random_slab(&mut rng, burst_len, bursts);
+                    let payload = tx.bytes().to_vec();
+                    let initial = random_states(&mut rng, chains);
+                    let mut tx_states = initial.clone();
+                    encoder.encode_lanes_into_with(
+                        dbi_core::simd::selected_kernel(),
+                        &mut tx,
+                        &mut tx_states,
+                    );
+                    let masks = tx.masks().to_vec();
+                    let tx_costs = tx.costs().to_vec();
+
+                    let mut wire = payload.clone();
+                    for (index, mask) in masks.iter().enumerate() {
+                        mask.apply_in_place(&mut wire[index * burst_len..(index + 1) * burst_len]);
+                    }
+
+                    let decode_with = |kernel: KernelKind| {
+                        let mut rx = BurstSlab::new(burst_len);
+                        rx.set_pricing(pricing);
+                        rx.extend_from_bytes(&wire).unwrap();
+                        rx.load_masks(&masks).unwrap();
+                        let mut states = initial.clone();
+                        rx.decode_in_place_with(kernel, &mut states).unwrap();
+                        (rx, states)
+                    };
+
+                    let (oracle, oracle_states) = decode_with(KernelKind::Scalar);
+                    assert_eq!(oracle.bytes(), &payload[..], "scalar round trip");
+                    assert_eq!(oracle_states, tx_states, "scalar receiver states");
+                    if pricing {
+                        assert_eq!(oracle.costs(), &tx_costs[..], "scalar wire pricing");
+                    }
+
+                    for &kernel in dbi_core::simd::available_kernels() {
+                        let (rx, states) = decode_with(kernel);
+                        let label = format!(
+                            "{kernel} len={burst_len} chains={chains} per={per_chain} \
+                             pricing={pricing}"
+                        );
+                        assert_eq!(rx.bytes(), oracle.bytes(), "{label}: payload");
+                        assert_eq!(rx.costs(), oracle.costs(), "{label}: costs");
+                        assert_eq!(states, oracle_states, "{label}: states");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `encode_lanes_into` with one chain must match the single-state slab
+/// kernel (`encode_slab_into`) exactly — lanes dispatch is a strict
+/// generalisation, not a parallel dialect.
+#[test]
+fn single_chain_lanes_encode_matches_the_slab_kernel() {
+    let mut rng = StdRng::seed_from_u64(0x1A4E);
+    for scheme in all_schemes() {
+        let mut slab = random_slab(&mut rng, 8, 48);
+        let mut lanes = slab.clone();
+        let initial = BusState::new(LaneWord::encode_byte(rng.gen(), rng.gen()));
+
+        let mut slab_state = initial;
+        scheme.encode_slab_into(&mut slab, &mut slab_state);
+        let mut lane_states = [initial];
+        scheme.encode_lanes_into(&mut lanes, &mut lane_states);
+
+        assert_eq!(slab.masks(), lanes.masks(), "{scheme}: masks");
+        assert_eq!(slab.costs(), lanes.costs(), "{scheme}: costs");
+        assert_eq!(slab_state, lane_states[0], "{scheme}: state");
+    }
+}

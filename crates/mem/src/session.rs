@@ -358,23 +358,32 @@ impl BusSession {
         // The session's contract includes per-group activity, so the slab
         // must price whatever the caller last used it for.
         slab.set_pricing(true);
+        // One chain-major fill — group `g` owns slab rows
+        // `g·accesses .. (g+1)·accesses` — and then ONE lanes dispatch
+        // encodes every group's chain, letting the SIMD kernels run the
+        // groups as parallel lanes of a single recurrence.
+        slab.reset(burst_len);
         for group in 0..groups {
-            slab.reset(burst_len);
             for access in 0..accesses {
                 let base = access * groups * burst_len;
                 slab.push_with(|out| {
                     out.extend((0..burst_len).map(|beat| data[base + beat * groups + group]));
                 });
             }
-            let mut state = self.groups[group];
-            self.plan.encode_slab_into(slab, &mut state);
-            self.groups[group] = state;
-            per_group[group] = slab.total();
-            if let Some(masks) = masks.as_deref_mut() {
-                // Scatter this group's column back into transmission order.
-                for (access, &mask) in slab.masks().iter().enumerate() {
-                    masks[access * groups + group] = mask;
-                }
+        }
+        let plan = Arc::clone(&self.plan);
+        plan.encode_lanes_into(slab, &mut self.groups);
+        for (group, activity) in per_group.iter_mut().enumerate() {
+            *activity = slab.costs()[group * accesses..(group + 1) * accesses]
+                .iter()
+                .copied()
+                .sum();
+        }
+        if let Some(masks) = masks {
+            // Scatter each group's column back into transmission order.
+            for (row, &mask) in slab.masks().iter().enumerate() {
+                let (group, access) = (row / accesses, row % accesses);
+                masks[access * groups + group] = mask;
             }
         }
         Ok((accesses * groups) as u64)
@@ -533,26 +542,36 @@ impl BusSession {
         out.resize(wire.len(), 0);
 
         slab.set_pricing(true);
-        for (group, activity) in per_group.iter_mut().enumerate() {
-            slab.reset(burst_len);
+        // Mirror of the encode path: one chain-major fill, one lanes
+        // dispatch, so the SWAR decode kernel re-prices every group's
+        // whole chain instead of walking beat-by-beat lane words.
+        slab.reset(burst_len);
+        for group in 0..groups {
             for access in 0..accesses {
                 let base = access * groups * burst_len;
                 slab.push_with(|bytes| {
                     bytes.extend((0..burst_len).map(|beat| wire[base + beat * groups + group]));
                 });
             }
-            slab.load_masks_from(masks.iter().copied().skip(group).step_by(groups))
-                .expect("mask stream was validated against the stream geometry");
-            let mut state = self.groups[group];
-            self.plan
-                .decode_slab_into(slab, &mut state)
-                .expect("the loaded mask column covers every burst");
-            self.groups[group] = state;
-            *activity = slab.total();
-            // Scatter the group's decoded bursts back into beat order.
+        }
+        slab.load_masks_from(ChainMajorMasks::new(masks, groups, accesses))
+            .expect("mask stream was validated against the stream geometry");
+        let plan = Arc::clone(&self.plan);
+        plan.decode_lanes_into(slab, &mut self.groups)
+            .expect("the loaded mask column covers every burst");
+        for (group, activity) in per_group.iter_mut().enumerate() {
+            *activity = slab.costs()[group * accesses..(group + 1) * accesses]
+                .iter()
+                .copied()
+                .sum();
+        }
+        // Scatter the decoded bursts back into beat-interleaved order.
+        for group in 0..groups {
             for access in 0..accesses {
                 let base = access * groups * burst_len;
-                let bytes = slab.burst_bytes(access).expect("burst was pushed above");
+                let bytes = slab
+                    .burst_bytes(group * accesses + access)
+                    .expect("burst was pushed above");
                 for (beat, &byte) in bytes.iter().enumerate() {
                     out[base + beat * groups + group] = byte;
                 }
@@ -665,6 +684,50 @@ impl BusSession {
         Ok(())
     }
 }
+
+/// Walks a transmission-order mask stream (group-major within each
+/// access) in **chain-major** order — all of group 0's masks, then all of
+/// group 1's, matching the slab row layout of the stream-slab paths.
+/// `ExactSizeIterator` so [`BurstSlab::load_masks_from`] can size-check
+/// before loading (a strided `flat_map` cannot promise its length).
+struct ChainMajorMasks<'a> {
+    masks: &'a [InversionMask],
+    groups: usize,
+    accesses: usize,
+    index: usize,
+}
+
+impl<'a> ChainMajorMasks<'a> {
+    fn new(masks: &'a [InversionMask], groups: usize, accesses: usize) -> Self {
+        debug_assert_eq!(masks.len(), groups * accesses);
+        Self {
+            masks,
+            groups,
+            accesses,
+            index: 0,
+        }
+    }
+}
+
+impl Iterator for ChainMajorMasks<'_> {
+    type Item = InversionMask;
+
+    fn next(&mut self) -> Option<InversionMask> {
+        if self.index >= self.masks.len() {
+            return None;
+        }
+        let (group, access) = (self.index / self.accesses, self.index % self.accesses);
+        self.index += 1;
+        Some(self.masks[access * self.groups + group])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.masks.len() - self.index;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for ChainMajorMasks<'_> {}
 
 #[cfg(test)]
 mod tests {

@@ -8,7 +8,11 @@
 //! and a power-of-two pass-size histogram from which the JSON reports the
 //! p50/p99 pass size plus the mean bursts per request. The engine stamps the shared
 //! plan-cache counters ([`dbi_core::PlanCacheStats`]: hits, misses,
-//! evictions, resident plans) into the snapshot as well. The snapshot's
+//! evictions, resident plans) into the snapshot as well, and a `kernel`
+//! block records which slab kernel tier the workers dispatch to
+//! ([`dbi_core::simd::selected_kernel`]) together with the detected CPU
+//! features — so a scraped metrics line names the hardware path behind
+//! its throughput numbers. The snapshot's
 //! [`to_json`](MetricsSnapshot::to_json) form is what the service answers
 //! metrics requests with; it is handwritten JSON (no serialisation crate
 //! exists offline) with a fixed key order, so it is easy to assert on in
@@ -266,6 +270,9 @@ impl MetricsRegistry {
         MetricsSnapshot {
             per_shard: self.shards.iter().map(ShardMetrics::snapshot).collect(),
             plan_cache: PlanCacheStats::default(),
+            kernel: dbi_core::simd::selected_kernel().name(),
+            forced_scalar: dbi_core::simd::forced_scalar(),
+            cpu_features: dbi_core::simd::cpu_features(),
         }
     }
 }
@@ -277,6 +284,14 @@ pub struct MetricsSnapshot {
     pub per_shard: Vec<ShardSnapshot>,
     /// Counters of the engine's shared plan cache.
     pub plan_cache: PlanCacheStats,
+    /// The slab kernel tier every worker's batched path dispatches to
+    /// ([`dbi_core::simd::selected_kernel`]) — `"scalar"` when pinned by
+    /// `DBI_FORCE_SCALAR`.
+    pub kernel: &'static str,
+    /// Whether `DBI_FORCE_SCALAR` pinned dispatch to the scalar tier.
+    pub forced_scalar: bool,
+    /// The CPU features detected at startup, comma-joined.
+    pub cpu_features: &'static str,
 }
 
 impl MetricsSnapshot {
@@ -291,7 +306,7 @@ impl MetricsSnapshot {
     }
 
     /// Serialises the snapshot as a single-line JSON object:
-    /// `{"shards":[{...},...],"totals":{...},"plan_cache":{...}}`.
+    /// `{"shards":[{...},...],"totals":{...},"plan_cache":{...},"kernel":{...}}`.
     #[must_use]
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
@@ -312,6 +327,12 @@ impl MetricsSnapshot {
             self.plan_cache.misses,
             self.plan_cache.evictions,
             self.plan_cache.entries
+        )
+        .expect("writing to a String cannot fail");
+        write!(
+            out,
+            ",\"kernel\":{{\"selected\":\"{}\",\"forced_scalar\":{},\"cpu_features\":\"{}\"}}",
+            self.kernel, self.forced_scalar, self.cpu_features
         )
         .expect("writing to a String cannot fail");
         out.push('}');
