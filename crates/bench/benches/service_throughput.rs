@@ -16,19 +16,26 @@
 //!
 //! Per-request latency is recorded and the run's requests/s, bursts/s
 //! and p50/p99 latency land in `BENCH_service.json` at the repository
-//! root, next to `BENCH_encode.json`.
+//! root, next to `BENCH_encode.json`. Each row also carries the
+//! **server-side stage latencies** for its window — queue-wait, encode
+//! and total percentiles read as deltas of the engine's stage histograms
+//! around the run — so client-observed latency can be decomposed into
+//! where the service actually spent it.
 //!
 //! Environment knobs: `DBI_SERVICE_SCHEME` (any name `Scheme::from_str`
 //! accepts, e.g. `opt-fixed`, `dc`, `opt:2,3`; default `opt-fixed`),
 //! `DBI_SERVICE_BENCH_REQUESTS` (requests per client per run) and
 //! `DBI_SERVICE_BENCH_SMOKE` (when set: 1 client, a small bounded
 //! request count, no timing gate and no JSON rewrite — the CI mode that
-//! fails the workflow on batch-path regressions without timing noise).
+//! fails the workflow on batch-path regressions without timing noise;
+//! it additionally asserts that every stage histogram that should have
+//! run reports non-zero counts and percentiles).
 
 use dbi_core::Scheme;
+use dbi_service::telemetry::LatencyStats;
 use dbi_service::{
-    CostModel, EncodeBatchRequest, EncodeReply, EncodeRequest, Engine, ServiceConfig, TcpClient,
-    TcpServer, VerifyMode,
+    CostModel, EncodeBatchRequest, EncodeReply, EncodeRequest, Engine, ServiceConfig, StageLatency,
+    TcpClient, TcpServer, VerifyMode,
 };
 use dbi_workloads::LoadProfile;
 use std::fmt::Write as _;
@@ -55,6 +62,12 @@ struct Row {
     bursts: u64,
     p50_us: f64,
     p99_us: f64,
+    /// Server-side stage percentiles over this run's window, read as
+    /// deltas of the engine's stage histograms (microseconds).
+    stage_queue_p99_us: f64,
+    stage_encode_p50_us: f64,
+    stage_encode_p99_us: f64,
+    stage_total_p99_us: f64,
 }
 
 fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
@@ -143,6 +156,21 @@ fn to_batch<'a>(request: &EncodeRequest<'a>) -> EncodeBatchRequest<'a> {
     EncodeBatchRequest::from_request(request).expect("bench payloads divide into whole bursts")
 }
 
+/// The samples one stage histogram gained between two snapshots.
+fn stage_delta(after: &LatencyStats, before: &LatencyStats) -> LatencyStats {
+    let mut delta = *after;
+    for (mine, earlier) in delta.buckets.iter_mut().zip(&before.buckets) {
+        *mine -= *earlier;
+    }
+    delta.count -= before.count;
+    delta.sum_ns -= before.sum_ns;
+    delta
+}
+
+fn percentile_delta_us(after: &LatencyStats, before: &LatencyStats, p: f64) -> f64 {
+    stage_delta(after, before).percentile_ns(p) as f64 / 1_000.0
+}
+
 fn run_config(
     engine: &Engine,
     tcp_addr: SocketAddr,
@@ -157,6 +185,7 @@ fn run_config(
     } else {
         ACCESSES_PER_REQUEST
     };
+    let stages_before: StageLatency = engine.metrics().totals().latency;
     let reports: Vec<ClientReport> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|client| {
@@ -250,6 +279,7 @@ fn run_config(
         .flat_map(|r| r.latencies_ns.iter().copied())
         .collect();
     latencies.sort_unstable();
+    let stages_after: StageLatency = engine.metrics().totals().latency;
     Row {
         transport,
         profile: profile_name.to_owned(),
@@ -259,6 +289,14 @@ fn run_config(
         bursts: reports.iter().map(|r| r.bursts).sum(),
         p50_us: percentile_us(&latencies, 0.50),
         p99_us: percentile_us(&latencies, 0.99),
+        stage_queue_p99_us: percentile_delta_us(
+            &stages_after.queue_wait,
+            &stages_before.queue_wait,
+            0.99,
+        ),
+        stage_encode_p50_us: percentile_delta_us(&stages_after.encode, &stages_before.encode, 0.50),
+        stage_encode_p99_us: percentile_delta_us(&stages_after.encode, &stages_before.encode, 0.99),
+        stage_total_p99_us: percentile_delta_us(&stages_after.total, &stages_before.total, 0.99),
     }
 }
 
@@ -304,7 +342,7 @@ fn main() {
                 };
                 let row = run_config(&engine, addr, transport, profile, scheme, clients, requests);
                 println!(
-                    "{:<11} {:<8} {:>2} clients: {:>9.0} req/s {:>12.0} bursts/s  p50 {:>7.1} us  p99 {:>7.1} us",
+                    "{:<11} {:<8} {:>2} clients: {:>9.0} req/s {:>12.0} bursts/s  p50 {:>7.1} us  p99 {:>7.1} us  [stage p99: queue {:>6.1} encode {:>6.1} total {:>6.1} us]",
                     row.transport,
                     row.profile,
                     row.clients,
@@ -312,6 +350,9 @@ fn main() {
                     row.bursts as f64 / row.elapsed_s,
                     row.p50_us,
                     row.p99_us,
+                    row.stage_queue_p99_us,
+                    row.stage_encode_p99_us,
+                    row.stage_total_p99_us,
                 );
                 rows.push(row);
             }
@@ -319,7 +360,28 @@ fn main() {
     }
 
     if smoke {
-        println!("smoke mode: skipping the BENCH_service.json rewrite");
+        // The CI gate for the telemetry plane: every stage that executed
+        // must have seen every request, with believable (non-zero)
+        // percentiles. Verify mode is off here, so that stage stays
+        // legitimately empty.
+        let latency = engine.metrics().totals().latency;
+        let executed = engine.metrics().totals().requests;
+        for (stage, stats) in latency.stages() {
+            if stage == "verify" {
+                assert_eq!(stats.count, 0, "verify never ran in this bench");
+                continue;
+            }
+            assert_eq!(
+                stats.count, executed,
+                "stage {stage} must have one sample per executed request"
+            );
+            assert!(
+                stats.percentile_ns(0.5) > 0 && stats.percentile_ns(0.999) > 0,
+                "stage {stage} percentiles must be non-zero"
+            );
+            assert!(stats.mean_ns() > 0, "stage {stage} mean must be non-zero");
+        }
+        println!("smoke mode: stage histograms consistent ({executed} samples per stage); skipping the BENCH_service.json rewrite");
     } else {
         let json = render_json(scheme, requests_per_client, &rows);
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
@@ -361,7 +423,9 @@ fn render_json(scheme: Scheme, requests_per_client: usize, rows: &[Row]) -> Stri
             json,
             "    {{\"transport\": \"{}\", \"profile\": \"{}\", \"clients\": {}, \
              \"requests\": {}, \"requests_per_s\": {:.0}, \"bursts_per_s\": {:.0}, \
-             \"p50_us\": {:.2}, \"p99_us\": {:.2}}}{comma}",
+             \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
+             \"stage_queue_p99_us\": {:.2}, \"stage_encode_p50_us\": {:.2}, \
+             \"stage_encode_p99_us\": {:.2}, \"stage_total_p99_us\": {:.2}}}{comma}",
             row.transport,
             row.profile,
             row.clients,
@@ -370,6 +434,10 @@ fn render_json(scheme: Scheme, requests_per_client: usize, rows: &[Row]) -> Stri
             row.bursts as f64 / row.elapsed_s,
             row.p50_us,
             row.p99_us,
+            row.stage_queue_p99_us,
+            row.stage_encode_p50_us,
+            row.stage_encode_p99_us,
+            row.stage_total_p99_us,
         );
     }
     let _ = writeln!(json, "  ]");

@@ -1,0 +1,131 @@
+//! Monotonic clock primitive for telemetry timestamps.
+//!
+//! Every stage timestamp the service records — enqueue, dequeue, encode
+//! done, verify done — must come from the *same* monotonic timeline so
+//! that span arithmetic (`total = end - enqueue`) is meaningful across
+//! threads. [`now_nanos`] provides that timeline: nanoseconds elapsed
+//! since a process-global anchor captured on first use.
+//!
+//! Anchoring at first use (rather than process start) keeps the values
+//! small enough that a `u64` holds ~584 years of uptime, and makes the
+//! zero point irrelevant: only differences between two [`now_nanos`]
+//! readings carry meaning. The anchor is a [`std::time::Instant`], so the
+//! timeline is immune to wall-clock steps (NTP adjustments, manual
+//! `date` changes).
+//!
+//! ```
+//! use dbi_core::clock;
+//!
+//! let start = clock::now_nanos();
+//! let elapsed = clock::now_nanos().saturating_sub(start);
+//! assert!(elapsed < 1_000_000_000, "the two reads happen within a second");
+//! ```
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-global anchor. All [`now_nanos`] readings are offsets from
+/// this instant, captured the first time any thread asks for the time.
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+/// The shared anchor instant (initialised on first call).
+#[inline]
+pub fn anchor() -> Instant {
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since the process-global anchor.
+///
+/// Monotone non-decreasing across all threads, allocation-free, and
+/// cheap enough for per-request use (a vDSO `clock_gettime` on Linux).
+#[inline]
+#[must_use]
+pub fn now_nanos() -> u64 {
+    anchor().elapsed().as_nanos() as u64
+}
+
+/// Seconds elapsed since the process-global anchor (truncated).
+///
+/// Used as the epoch key for sliding-window rate tracking.
+#[inline]
+#[must_use]
+pub fn now_seconds() -> u64 {
+    now_nanos() / NANOS_PER_SECOND
+}
+
+/// Nanoseconds in one second, as used by [`now_seconds`].
+pub const NANOS_PER_SECOND: u64 = 1_000_000_000;
+
+/// A started span: captures its birth timestamp and reports the elapsed
+/// nanoseconds on demand. Plain data — `Copy`, no `Drop` magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stopwatch {
+    started_ns: u64,
+}
+
+impl Stopwatch {
+    /// Start a stopwatch at the current monotonic time.
+    #[inline]
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            started_ns: now_nanos(),
+        }
+    }
+
+    /// The raw start timestamp, in [`now_nanos`] units.
+    #[inline]
+    #[must_use]
+    pub fn started_nanos(&self) -> u64 {
+        self.started_ns
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`].
+    #[inline]
+    #[must_use]
+    pub fn elapsed_nanos(&self) -> u64 {
+        now_nanos().saturating_sub(self.started_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_nanos_is_monotone() {
+        let a = now_nanos();
+        let b = now_nanos();
+        let c = now_nanos();
+        assert!(a <= b && b <= c);
+    }
+
+    #[test]
+    fn readings_agree_across_threads() {
+        let before = now_nanos();
+        let from_thread = std::thread::spawn(now_nanos).join().unwrap();
+        let after = now_nanos();
+        // The spawned thread shares the same anchor, so its reading is
+        // bracketed by the parent's.
+        assert!(before <= from_thread);
+        assert!(from_thread <= after);
+    }
+
+    #[test]
+    fn stopwatch_measures_real_time() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let elapsed = sw.elapsed_nanos();
+        assert!(elapsed >= 2_000_000, "slept 2ms but measured {elapsed}ns");
+        assert!(sw.started_nanos() <= now_nanos());
+    }
+
+    #[test]
+    fn seconds_track_nanos() {
+        let ns = now_nanos();
+        let s = now_seconds();
+        // `now_seconds` is derived from the same timeline, so it can lag
+        // the nanosecond reading by at most one tick of the division.
+        assert!(s <= ns / NANOS_PER_SECOND + 1);
+    }
+}

@@ -62,6 +62,7 @@
 //! | Module | Contents |
 //! |--------|----------|
 //! | [`word`] | 9-lane words (8 DQ + DBI), zero/transition counting |
+//! | [`clock`] | process-global monotonic timestamps ([`clock::now_nanos`]) for telemetry |
 //! | [`burst`] | burst payloads and bus state |
 //! | [`cost`] | α/β cost weights and activity breakdowns |
 //! | [`lut`] | precomputed trellis edge-cost tables (the encode hot path) |
@@ -86,6 +87,7 @@
 
 pub mod analysis;
 pub mod burst;
+pub mod clock;
 pub mod cost;
 pub mod decode;
 pub mod encoding;

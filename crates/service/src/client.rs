@@ -10,6 +10,7 @@
 
 use crate::engine::{EncodeBatchRequest, EncodeReply, EncodeRequest};
 use crate::error::ClientError;
+use crate::telemetry::TraceEvent;
 use crate::wire::{self, Frame, HEADER_LEN};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -159,6 +160,42 @@ impl TcpClient {
         self.round_trip()?;
         match wire::decode_frame(&self.in_buf)?.0 {
             Frame::MetricsResponse(json) => Ok(json.to_owned()),
+            Frame::Error(view) => Err(remote_error(&view)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Drains the service's recent trace events — up to `max_events` per
+    /// shard, merged into one timeline ordered by enqueue time (protocol
+    /// 4's `TraceDump` frame).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`TcpClient::metrics_json`].
+    pub fn trace_dump(&mut self, max_events: u32) -> Result<Vec<TraceEvent>, ClientError> {
+        self.out_buf.clear();
+        wire::encode_trace_dump_request(&mut self.out_buf, max_events);
+        self.round_trip()?;
+        match wire::decode_frame(&self.in_buf)?.0 {
+            Frame::TraceDumpResponse(view) => Ok(view.events().collect()),
+            Frame::Error(view) => Err(remote_error(&view)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Fetches the service's most recent slow requests (protocol 4's
+    /// `SlowlogQuery` frame). Returns the service's capture threshold in
+    /// nanoseconds alongside up to `max_entries` captures, newest last.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`TcpClient::metrics_json`].
+    pub fn slowlog(&mut self, max_entries: u32) -> Result<(u64, Vec<TraceEvent>), ClientError> {
+        self.out_buf.clear();
+        wire::encode_slowlog_request(&mut self.out_buf, max_entries);
+        self.round_trip()?;
+        match wire::decode_frame(&self.in_buf)?.0 {
+            Frame::SlowlogResponse(view) => Ok((view.threshold_ns, view.entries().collect())),
             Frame::Error(view) => Err(remote_error(&view)),
             _ => Err(ClientError::UnexpectedResponse),
         }

@@ -43,19 +43,34 @@
 //! queue storage — reuses capacity from previous requests, so a warmed-up
 //! client performs **zero heap allocations per request** (asserted by the
 //! counting-allocator test in `tests/local_alloc.rs`).
+//!
+//! ## Instrumentation
+//!
+//! Every submission is stamped with an engine-global request id and its
+//! enqueue time ([`dbi_core::clock::now_nanos`]); the worker stamps the
+//! dequeue, post-encode and post-verify times and feeds the per-stage
+//! durations into the shard's latency histograms
+//! ([`crate::metrics::StageLatency`]) plus one [`TraceEvent`] into the
+//! shard's trace ring and — when the total crosses the configured
+//! threshold — the shard's slowlog (see [`crate::telemetry`]). The cost
+//! per request is four monotonic-clock reads and a handful of relaxed
+//! atomic adds; the hot path stays allocation-free.
 
 use crate::error::ServiceError;
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::telemetry::{TelemetryRegistry, TraceEvent, TraceOutcome};
 use crate::wire::{CostModel, EncodeBatchRequestFrame, EncodeRequestFrame, VerifyMode};
 use dbi_core::{
-    BurstSlab, BusState, CostBreakdown, InversionMask, LaneWord, PlanCache, PlanCacheStats, Scheme,
+    clock, BurstSlab, BusState, CostBreakdown, InversionMask, LaneWord, PlanCache, PlanCacheStats,
+    Scheme,
 };
 use dbi_mem::{BusSession, ChannelActivity};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// The request type accepted by both the in-process [`LocalClient`] and the
 /// TCP [`TcpClient`](crate::TcpClient) — identical to the wire frame, so a
@@ -99,12 +114,24 @@ pub struct ServiceConfig {
     /// weight pair's cost tables are built at most once per engine no
     /// matter which shard first sees it. At least 1.
     pub plan_cache_capacity: usize,
+    /// Trace events each shard's always-on ring holds (the most recent N
+    /// worker-handled requests); drained by [`Engine::trace_dump`]. At
+    /// least 1.
+    pub trace_capacity: usize,
+    /// Entries each shard's slowlog holds (the most recent N requests
+    /// over the threshold); drained by [`Engine::slowlog`]. At least 1.
+    pub slowlog_capacity: usize,
+    /// Total service time (enqueue to completion) at or above which a
+    /// request is captured into the slowlog, in nanoseconds. Zero
+    /// captures everything.
+    pub slowlog_threshold_ns: u64,
 }
 
 impl Default for ServiceConfig {
     /// Shards default to the machine's parallelism capped at 4; queues
     /// hold 64 requests; payloads up to 1 MiB; 4096 sessions per shard;
-    /// 64 cached plans.
+    /// 64 cached plans; 1024-event trace rings; 64-entry slowlogs at a
+    /// 1 ms threshold.
     fn default() -> Self {
         ServiceConfig {
             shards: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
@@ -112,6 +139,9 @@ impl Default for ServiceConfig {
             max_payload: 1 << 20,
             max_sessions_per_shard: 4096,
             plan_cache_capacity: 64,
+            trace_capacity: 1024,
+            slowlog_capacity: 64,
+            slowlog_threshold_ns: 1_000_000,
         }
     }
 }
@@ -141,6 +171,9 @@ struct SlotState {
     want_masks: bool,
     verify: bool,
     payload: Vec<u8>,
+    // Telemetry identity, stamped at submission.
+    request_id: u64,
+    enqueue_ns: u64,
     // Response (written by the worker, read by the client).
     phase: Phase,
     result: Result<u64, ServiceError>,
@@ -165,6 +198,8 @@ impl RequestSlot {
                 want_masks: false,
                 verify: false,
                 payload: Vec::new(),
+                request_id: 0,
+                enqueue_ns: 0,
                 phase: Phase::Idle,
                 result: Err(ServiceError::Internal("request never executed")),
                 per_group: Vec::new(),
@@ -324,19 +359,34 @@ impl SessionEntry {
     }
 }
 
+/// Test-only fault injection shared by the engine handle and its workers.
+#[derive(Debug, Default)]
+struct TestHooks {
+    /// When set, workers corrupt one byte of every verify-mode round
+    /// trip's decoded output, so the `VerifyMismatch` path can be
+    /// exercised end to end (the decode plane being correct, nothing else
+    /// can make it fire).
+    corrupt_verify: AtomicBool,
+    /// When `slow_delay_ns` is nonzero, workers sleep that long before
+    /// executing any request whose session id equals `slow_session` — the
+    /// deterministic way to land a request in the slowlog.
+    slow_session: AtomicU64,
+    slow_delay_ns: AtomicU64,
+}
+
 #[derive(Debug)]
 struct EngineInner {
     config: ServiceConfig,
     queues: Vec<Arc<ShardQueue>>,
     metrics: Arc<MetricsRegistry>,
+    telemetry: Arc<TelemetryRegistry>,
     plans: Arc<PlanCache>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     stopped: AtomicBool,
-    /// Test-only fault injection: when set, workers corrupt one byte of
-    /// every verify-mode round trip's decoded output, so the
-    /// `VerifyMismatch` path can be exercised end to end (the decode
-    /// plane being correct, nothing else can make it fire).
-    corrupt_verify: Arc<AtomicBool>,
+    /// Engine-global request id source; every submission takes the next
+    /// id, so trace timelines interleave shards unambiguously.
+    next_request_id: AtomicU64,
+    hooks: Arc<TestHooks>,
 }
 
 /// A running sharded encode engine. Cheap to clone (`Arc` inside); the
@@ -377,21 +427,36 @@ impl Engine {
             .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
             .collect();
         let metrics = Arc::new(MetricsRegistry::new(config.shards));
+        let telemetry = Arc::new(TelemetryRegistry::new(
+            config.shards,
+            config.trace_capacity,
+            config.slowlog_capacity,
+            config.slowlog_threshold_ns,
+        ));
         let plans = Arc::new(PlanCache::new(config.plan_cache_capacity));
-        let corrupt_verify = Arc::new(AtomicBool::new(false));
+        let hooks = Arc::new(TestHooks::default());
         let workers = queues
             .iter()
             .enumerate()
             .map(|(shard, queue)| {
                 let queue = Arc::clone(queue);
                 let metrics = Arc::clone(&metrics);
+                let telemetry = Arc::clone(&telemetry);
                 let plans = Arc::clone(&plans);
-                let corrupt = Arc::clone(&corrupt_verify);
+                let hooks = Arc::clone(&hooks);
                 let max_sessions = config.max_sessions_per_shard;
                 std::thread::Builder::new()
                     .name(format!("dbi-shard-{shard}"))
                     .spawn(move || {
-                        worker_loop(shard, &queue, &metrics, &plans, max_sessions, &corrupt)
+                        worker_loop(
+                            shard,
+                            &queue,
+                            &metrics,
+                            &telemetry,
+                            &plans,
+                            max_sessions,
+                            &hooks,
+                        )
                     })
                     .expect("spawning a shard worker failed")
             })
@@ -401,10 +466,12 @@ impl Engine {
                 config,
                 queues,
                 metrics,
+                telemetry,
                 plans,
                 workers: Mutex::new(workers),
                 stopped: AtomicBool::new(false),
-                corrupt_verify,
+                next_request_id: AtomicU64::new(1),
+                hooks,
             }),
         }
     }
@@ -416,7 +483,27 @@ impl Engine {
     /// mismatch path end to end.
     #[doc(hidden)]
     pub fn corrupt_verify_for_tests(&self, enabled: bool) {
-        self.inner.corrupt_verify.store(enabled, Ordering::SeqCst);
+        self.inner
+            .hooks
+            .corrupt_verify
+            .store(enabled, Ordering::SeqCst);
+    }
+
+    /// Fault injection for tests: workers sleep `delay` before executing
+    /// any request for `session_id`, making that session's requests
+    /// deterministically slow enough to cross the slowlog threshold.
+    /// A zero `delay` disables the hook.
+    #[doc(hidden)]
+    pub fn inject_slowdown_for_tests(&self, session_id: u64, delay: Duration) {
+        let nanos = u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX);
+        self.inner
+            .hooks
+            .slow_session
+            .store(session_id, Ordering::SeqCst);
+        self.inner
+            .hooks
+            .slow_delay_ns
+            .store(nanos, Ordering::SeqCst);
     }
 
     /// Creates an in-process client with its own reusable request slot.
@@ -454,6 +541,30 @@ impl Engine {
     #[must_use]
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.inner.plans.stats()
+    }
+
+    /// Up to `max_events` of the most recent trace events *per shard*,
+    /// merged into one timeline ordered by enqueue time (ties by the
+    /// engine-global request id). Reading never blocks the workers.
+    #[must_use]
+    pub fn trace_dump(&self, max_events: usize) -> Vec<TraceEvent> {
+        self.inner.telemetry.trace_dump(max_events)
+    }
+
+    /// The most recent `max_entries` slowlog captures across all shards —
+    /// requests whose total service time crossed
+    /// [`ServiceConfig::slowlog_threshold_ns`] — in the same order as
+    /// [`Engine::trace_dump`].
+    #[must_use]
+    pub fn slowlog(&self, max_entries: usize) -> Vec<TraceEvent> {
+        self.inner.telemetry.slowlog_dump(max_entries)
+    }
+
+    /// The slowlog capture threshold this engine runs with, in
+    /// nanoseconds.
+    #[must_use]
+    pub fn slowlog_threshold_ns(&self) -> u64 {
+        self.inner.config.slowlog_threshold_ns
     }
 
     /// The metrics snapshot in its wire JSON form.
@@ -719,6 +830,8 @@ impl LocalClient {
             state.verify = verify.is_on();
             state.payload.clear();
             state.payload.extend_from_slice(payload);
+            state.request_id = self.engine.next_request_id.fetch_add(1, Ordering::Relaxed);
+            state.enqueue_ns = clock::now_nanos();
             state.phase = Phase::Queued;
         }
 
@@ -801,13 +914,67 @@ struct VerifyScratch {
     masks: Vec<InversionMask>,
 }
 
+/// Stage durations measured inside [`run_request`]. `None` stages did not
+/// run: no verify requested, or the request failed before encoding.
+#[derive(Debug, Default, Clone, Copy)]
+struct StageTiming {
+    encode_ns: Option<u64>,
+    verify_ns: Option<u64>,
+}
+
+/// Clamps a nanosecond duration into the trace event's `u32` stage fields
+/// (~4.3 s each; saturation only matters for pathological stalls).
+fn clamp_ns(nanos: u64) -> u32 {
+    u32::try_from(nanos).unwrap_or(u32::MAX)
+}
+
+/// Feeds one finished request into the shard's latency histograms, trace
+/// ring and slowlog: queue wait runs enqueue→dequeue, total runs
+/// enqueue→now (the completion signal follows immediately).
+#[allow(clippy::too_many_arguments)]
+fn record_telemetry(
+    telemetry: &TelemetryRegistry,
+    shard_metrics: &crate::metrics::ShardMetrics,
+    shard: usize,
+    key: &RouteKey,
+    state: &SlotState,
+    result: &Result<u64, ServiceError>,
+    dequeue_ns: u64,
+    timing: StageTiming,
+) {
+    let end_ns = clock::now_nanos();
+    let queue_wait_ns = dequeue_ns.saturating_sub(state.enqueue_ns);
+    let total_ns = end_ns.saturating_sub(state.enqueue_ns);
+    shard_metrics.record_stage_sample(queue_wait_ns, timing.encode_ns, timing.verify_ns, total_ns);
+    let (outcome, bursts) = match result {
+        Ok(bursts) => (TraceOutcome::Ok, *bursts),
+        Err(ServiceError::VerifyMismatch { .. }) => (TraceOutcome::VerifyFailed, 0),
+        Err(_) => (TraceOutcome::Rejected, 0),
+    };
+    let (scheme_tag, _) = crate::wire::scheme_to_wire(key.scheme);
+    telemetry.record(&TraceEvent {
+        request_id: state.request_id,
+        session_id: key.session_id,
+        enqueue_ns: state.enqueue_ns,
+        queue_wait_ns: clamp_ns(queue_wait_ns),
+        encode_ns: clamp_ns(timing.encode_ns.unwrap_or(0)),
+        verify_ns: clamp_ns(timing.verify_ns.unwrap_or(0)),
+        total_ns: clamp_ns(total_ns),
+        bursts: u32::try_from(bursts).unwrap_or(u32::MAX),
+        scheme_tag,
+        outcome,
+        shard: u16::try_from(shard).unwrap_or(u16::MAX),
+    });
+}
+
 fn worker_loop(
     shard: usize,
     queue: &ShardQueue,
     metrics: &MetricsRegistry,
+    telemetry: &TelemetryRegistry,
     plans: &PlanCache,
     max_sessions: usize,
-    corrupt_verify: &AtomicBool,
+    hooks: &TestHooks,
 ) {
     let shard_metrics = metrics.shard(shard);
     let mut sessions: HashMap<u64, SessionEntry> = HashMap::new();
@@ -828,6 +995,16 @@ fn worker_loop(
             shard_metrics.dequeue();
         }
         let coalesced = (pass.len() - 1) as u64;
+        // One dequeue stamp serves the whole pass: the coalesced siblings
+        // left the queue in the same drain.
+        let dequeue_ns = clock::now_nanos();
+        if hooks.slow_delay_ns.load(Ordering::Relaxed) > 0
+            && hooks.slow_session.load(Ordering::Relaxed) == key.session_id
+        {
+            std::thread::sleep(Duration::from_nanos(
+                hooks.slow_delay_ns.load(Ordering::Relaxed),
+            ));
+        }
 
         // One session-map resolution serves the whole pass.
         match claim_entry(
@@ -842,13 +1019,25 @@ fn worker_loop(
                 let mut pass_bursts = 0u64;
                 for slot in &pass {
                     let mut state = slot.state.lock().expect("slot mutex poisoned");
+                    let mut timing = StageTiming::default();
                     let result = run_request(
                         entry,
                         &mut state,
                         shard_metrics,
                         &mut slab,
                         &mut verify_scratch,
-                        corrupt_verify.load(Ordering::Relaxed),
+                        hooks.corrupt_verify.load(Ordering::Relaxed),
+                        &mut timing,
+                    );
+                    record_telemetry(
+                        telemetry,
+                        shard_metrics,
+                        shard,
+                        &key,
+                        &state,
+                        &result,
+                        dequeue_ns,
+                        timing,
                     );
                     if let Ok(bursts) = &result {
                         pass_bursts += *bursts;
@@ -866,6 +1055,16 @@ fn worker_loop(
                 for slot in &pass {
                     shard_metrics.record_reject();
                     let mut state = slot.state.lock().expect("slot mutex poisoned");
+                    record_telemetry(
+                        telemetry,
+                        shard_metrics,
+                        shard,
+                        &key,
+                        &state,
+                        &Err(err.clone()),
+                        dequeue_ns,
+                        StageTiming::default(),
+                    );
                     state.result = Err(err.clone());
                     state.phase = Phase::Done;
                     drop(state);
@@ -917,6 +1116,7 @@ fn claim_entry<'a>(
 /// encoding through the worker's slab straight into the slot's response
 /// buffers; for verify-mode requests, additionally replays the output
 /// through the entry's receiver session and fails on any asymmetry.
+/// Stage durations land in `timing`.
 fn run_request(
     entry: &mut SessionEntry,
     state: &mut SlotState,
@@ -924,6 +1124,7 @@ fn run_request(
     slab: &mut BurstSlab,
     verify_scratch: &mut VerifyScratch,
     corrupt_verify: bool,
+    timing: &mut StageTiming,
 ) -> Result<u64, ServiceError> {
     // Disjoint borrows of the slot: payload in, activity and masks out.
     let SlotState {
@@ -960,6 +1161,7 @@ fn run_request(
             );
         }
     }
+    let encode_start = clock::now_nanos();
     let bursts = entry
         .session
         .encode_stream_slab_into(payload, per_group, mask_sink, slab)
@@ -976,6 +1178,9 @@ fn run_request(
         }
         None => 0,
     };
+    // The savings walk is part of serving the request, so it bills to the
+    // encode stage.
+    timing.encode_ns = Some(clock::now_nanos().saturating_sub(encode_start));
 
     if verify {
         let used_masks: &[InversionMask] = if *want_masks {
@@ -983,6 +1188,7 @@ fn run_request(
         } else {
             &verify_scratch.masks
         };
+        let verify_start = clock::now_nanos();
         let outcome = verify_round_trip(
             &mut entry.receiver,
             &entry.session,
@@ -994,6 +1200,7 @@ fn run_request(
             &mut verify_scratch.rx_groups,
             corrupt_verify,
         );
+        timing.verify_ns = Some(clock::now_nanos().saturating_sub(verify_start));
         metrics.record_verify(outcome.is_ok());
         if let Err(byte_offset) = outcome {
             // Count the failure like every other failed request, so
@@ -1410,6 +1617,104 @@ mod tests {
         );
         let json = engine.metrics_json();
         assert!(json.contains("\"requests\":2"));
+    }
+
+    #[test]
+    fn telemetry_traces_requests_and_captures_slow_ones() {
+        let engine = Engine::start(ServiceConfig {
+            shards: 1,
+            queue_capacity: 8,
+            slowlog_threshold_ns: 1_000_000,
+            ..ServiceConfig::default()
+        });
+        engine.inject_slowdown_for_tests(7, Duration::from_millis(2));
+        let mut client = engine.local_client();
+        let mut reply = EncodeReply::new();
+        let payload = pseudo_random(64, 11);
+        let request = |session_id| EncodeRequest {
+            session_id,
+            scheme: Scheme::OptFixed,
+            cost_model: CostModel::Inline,
+            groups: 4,
+            burst_len: 8,
+            want_masks: false,
+            verify: VerifyMode::RoundTrip,
+            payload: &payload,
+        };
+        client.encode(&request(8), &mut reply).unwrap();
+        client.encode(&request(7), &mut reply).unwrap();
+        client.encode(&request(8), &mut reply).unwrap();
+
+        let trace = engine.trace_dump(16);
+        assert_eq!(trace.len(), 3);
+        for window in trace.windows(2) {
+            assert!(window[0].request_id < window[1].request_id);
+            assert!(window[0].enqueue_ns <= window[1].enqueue_ns);
+        }
+        for event in &trace {
+            assert_eq!(event.outcome, TraceOutcome::Ok);
+            assert!(event.bursts > 0);
+            // The stages partition the total: nothing counted twice,
+            // nothing outside the enqueue→done envelope.
+            let staged = u64::from(event.queue_wait_ns)
+                + u64::from(event.encode_ns)
+                + u64::from(event.verify_ns);
+            assert!(staged <= u64::from(event.total_ns), "{event:?}");
+            assert!(event.encode_ns > 0 && event.verify_ns > 0, "{event:?}");
+        }
+
+        // Only the artificially slowed session crossed the threshold.
+        let slow = engine.slowlog(16);
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].session_id, 7);
+        assert!(u64::from(slow[0].total_ns) >= engine.slowlog_threshold_ns());
+
+        // The histograms saw every request, the slow one included.
+        let totals = engine.metrics().totals();
+        assert_eq!(totals.latency.total.count, 3);
+        assert_eq!(totals.latency.encode.count, 3);
+        assert_eq!(totals.latency.verify.count, 3);
+        assert_eq!(totals.latency.queue_wait.count, 3);
+        assert!(totals.latency.total.percentile_ns(0.99) >= 1_000_000);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn rejected_passes_still_trace_with_reject_outcome() {
+        let engine = Engine::start(ServiceConfig {
+            shards: 1,
+            queue_capacity: 8,
+            max_sessions_per_shard: 1,
+            ..ServiceConfig::default()
+        });
+        let mut client = engine.local_client();
+        let mut reply = EncodeReply::new();
+        let payload = pseudo_random(32, 13);
+        let request = |session_id| EncodeRequest {
+            session_id,
+            scheme: Scheme::OptFixed,
+            cost_model: CostModel::Inline,
+            groups: 4,
+            burst_len: 8,
+            want_masks: false,
+            verify: VerifyMode::Off,
+            payload: &payload,
+        };
+        client.encode(&request(1), &mut reply).unwrap();
+        // The shard is full: a second session id is rejected *by the
+        // worker* (not validation), so it still earns a trace event.
+        assert_eq!(
+            client.encode(&request(2), &mut reply),
+            Err(ServiceError::SessionLimit { shard: 0 })
+        );
+        let trace = engine.trace_dump(16);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].outcome, TraceOutcome::Ok);
+        assert_eq!(trace[1].outcome, TraceOutcome::Rejected);
+        assert_eq!(trace[1].session_id, 2);
+        assert_eq!(trace[1].encode_ns, 0);
+        assert_eq!(trace[1].bursts, 0);
+        engine.shutdown();
     }
 
     #[test]

@@ -51,11 +51,20 @@
 //!   return identical bytes. [`TcpClient::encode_batch`] ships a whole
 //!   batch per round trip.
 //! * [`metrics`] — per-shard atomic counters (requests, rejects, bytes,
-//!   bursts, transitions saved, queue depth, sessions) plus a `batch`
-//!   block (worker passes, coalesced requests, pass-size p50/p99,
+//!   bursts, transitions saved, queue depth + peak, sessions) plus a
+//!   `batch` block (worker passes, coalesced requests, pass-size p50/p99,
 //!   bursts/request), a `verify` block (round trips run, mismatches
-//!   found) and the shared plan-cache counters (hits, misses,
-//!   evictions, resident plans), snapshotted as JSON on request.
+//!   found), a `rate` block (requests/s, rejects/s over a sliding
+//!   window), per-stage latency percentiles and the shared plan-cache
+//!   counters (hits, misses, evictions, resident plans), snapshotted as
+//!   JSON ([`MetricsSnapshot::to_json`]) or Prometheus text
+//!   ([`MetricsSnapshot::to_prometheus`]) on request.
+//! * [`telemetry`] — the observability plane behind those latency
+//!   numbers: lock-free per-shard stage histograms, an always-on binary
+//!   trace ring of recent requests ([`TraceEvent`]), a slowlog of
+//!   requests over a configurable threshold, and exports — the
+//!   `TraceDump`/`SlowlogQuery` wire frames (protocol version 4) plus
+//!   chrome://tracing JSON ([`telemetry::chrome_trace_json`]).
 //!
 //! ## Example
 //!
@@ -96,6 +105,7 @@ pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod server;
+pub mod telemetry;
 pub mod wire;
 
 pub use client::TcpClient;
@@ -104,8 +114,9 @@ pub use engine::{
     MAX_BURST_LEN, MAX_GROUPS,
 };
 pub use error::{ClientError, ServiceError};
-pub use metrics::{MetricsSnapshot, ShardSnapshot};
+pub use metrics::{MetricsSnapshot, ShardSnapshot, StageLatency};
 pub use server::TcpServer;
+pub use telemetry::{TelemetryRegistry, TraceEvent, TraceOutcome};
 pub use wire::{CostModel, VerifyMode};
 
 #[cfg(test)]

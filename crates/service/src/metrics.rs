@@ -16,10 +16,22 @@
 //! [`to_json`](MetricsSnapshot::to_json) form is what the service answers
 //! metrics requests with; it is handwritten JSON (no serialisation crate
 //! exists offline) with a fixed key order, so it is easy to assert on in
-//! tests and to scrape.
+//! tests and to scrape. [`to_prometheus`](MetricsSnapshot::to_prometheus)
+//! renders the same snapshot in Prometheus text exposition format.
+//!
+//! The telemetry plane adds three per-shard blocks (see
+//! [`crate::telemetry`]): a `rate` block (requests/s and rejects/s over a
+//! sliding [`RATE_WINDOW_SECONDS`]-second window), a `queue_depth_peak`
+//! high-watermark next to the instantaneous depth, and a `latency` block
+//! with p50/p90/p99/p999 for the queue-wait, encode, verify and
+//! total-service stages — log-bucketed lock-free histograms, same pattern
+//! as `batch_hist`.
 
+use crate::telemetry::{log2_percentile, LatencyHistogram, LatencyStats, RateWindow};
 use dbi_core::PlanCacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use crate::telemetry::window::RATE_WINDOW_SECONDS;
 
 /// Number of power-of-two histogram buckets tracking worker-pass sizes:
 /// bucket *i* counts passes of `[2^i, 2^(i+1))` bursts, the last bucket
@@ -36,12 +48,19 @@ pub struct ShardMetrics {
     bursts: AtomicU64,
     transitions_saved: AtomicU64,
     queue_depth: AtomicU64,
+    queue_depth_peak: AtomicU64,
     sessions: AtomicU64,
     passes: AtomicU64,
     coalesced: AtomicU64,
     batch_hist: [AtomicU64; BATCH_BUCKETS],
     verified: AtomicU64,
     verify_failures: AtomicU64,
+    request_rate: RateWindow,
+    reject_rate: RateWindow,
+    queue_wait_hist: LatencyHistogram,
+    encode_hist: LatencyHistogram,
+    verify_hist: LatencyHistogram,
+    total_hist: LatencyHistogram,
 }
 
 /// The histogram bucket a pass of `bursts` bursts lands in.
@@ -57,6 +76,29 @@ impl ShardMetrics {
         self.bursts.fetch_add(bursts, Ordering::Relaxed);
         self.transitions_saved
             .fetch_add(transitions_saved, Ordering::Relaxed);
+        self.request_rate.record();
+    }
+
+    /// Records the stage breakdown of one worker-handled request into the
+    /// shard's latency histograms. `encode_ns`/`verify_ns` are `None` for
+    /// requests that never reached the respective stage (rejects never
+    /// encode; only verify-mode requests verify) — a `None` stage is not
+    /// recorded at all, so zeros never dilute its distribution.
+    pub fn record_stage_sample(
+        &self,
+        queue_wait_ns: u64,
+        encode_ns: Option<u64>,
+        verify_ns: Option<u64>,
+        total_ns: u64,
+    ) {
+        self.queue_wait_hist.record(queue_wait_ns);
+        if let Some(nanos) = encode_ns {
+            self.encode_hist.record(nanos);
+        }
+        if let Some(nanos) = verify_ns {
+            self.verify_hist.record(nanos);
+        }
+        self.total_hist.record(total_ns);
     }
 
     /// Records one worker pass of `bursts` total bursts, `coalesced` of
@@ -70,6 +112,7 @@ impl ShardMetrics {
     /// Records one rejected request (validation failure or backpressure).
     pub fn record_reject(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.reject_rate.record();
     }
 
     /// Records one verify-mode round trip: the worker decoded its own
@@ -83,9 +126,12 @@ impl ShardMetrics {
         }
     }
 
-    /// Records a request entering the shard queue.
+    /// Records a request entering the shard queue, updating the depth
+    /// high-watermark (a scrape between passes reads an instantaneous
+    /// depth of ~0; the peak is what exposes backpressure pressure).
     pub fn enqueue(&self) {
-        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// Records a request leaving the shard queue.
@@ -112,18 +158,62 @@ impl ShardMetrics {
             bursts: self.bursts.load(Ordering::Relaxed),
             transitions_saved: self.transitions_saved.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
             sessions: self.sessions.load(Ordering::Relaxed),
             passes: self.passes.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             batch_hist,
             verified: self.verified.load(Ordering::Relaxed),
             verify_failures: self.verify_failures.load(Ordering::Relaxed),
+            requests_per_s: self.request_rate.rate_per_second(),
+            rejects_per_s: self.reject_rate.rate_per_second(),
+            latency: StageLatency {
+                queue_wait: self.queue_wait_hist.snapshot(),
+                encode: self.encode_hist.snapshot(),
+                verify: self.verify_hist.snapshot(),
+                total: self.total_hist.snapshot(),
+            },
         }
     }
 }
 
-/// A point-in-time copy of one shard's counters.
+/// The four per-stage latency snapshots of one shard: where a request's
+/// time goes, from queue admission to completion signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageLatency {
+    /// Time between enqueue and a worker picking the request up.
+    pub queue_wait: LatencyStats,
+    /// Time in the encode kernel (executed requests only).
+    pub encode: LatencyStats,
+    /// Time in the verify round trip (verify-mode requests only).
+    pub verify: LatencyStats,
+    /// Total service time, enqueue to completion signal (every
+    /// worker-handled request, including rejects).
+    pub total: LatencyStats,
+}
+
+impl StageLatency {
+    fn add(&mut self, other: &StageLatency) {
+        self.queue_wait.add(&other.queue_wait);
+        self.encode.add(&other.encode);
+        self.verify.add(&other.verify);
+        self.total.add(&other.total);
+    }
+
+    /// The stages as `(name, stats)` pairs, in reporting order.
+    #[must_use]
+    pub fn stages(&self) -> [(&'static str, &LatencyStats); 4] {
+        [
+            ("queue_wait", &self.queue_wait),
+            ("encode", &self.encode),
+            ("verify", &self.verify),
+            ("total", &self.total),
+        ]
+    }
+}
+
+/// A point-in-time copy of one shard's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ShardSnapshot {
     /// Requests executed.
     pub requests: u64,
@@ -137,6 +227,9 @@ pub struct ShardSnapshot {
     pub transitions_saved: u64,
     /// Requests currently sitting in the shard queue.
     pub queue_depth: u64,
+    /// The deepest the shard queue has ever been — the high-watermark
+    /// that exposes backpressure a between-passes scrape would miss.
+    pub queue_depth_peak: u64,
     /// Encode sessions resident on the shard.
     pub sessions: u64,
     /// Worker passes executed (each pass serves one or more coalesced
@@ -153,6 +246,13 @@ pub struct ShardSnapshot {
     /// Verify-mode requests whose round trip exposed an encode/decode
     /// asymmetry (answered with `VerifyMismatch`).
     pub verify_failures: u64,
+    /// Executed requests per second over the sliding
+    /// [`RATE_WINDOW_SECONDS`]-second window, as of the snapshot.
+    pub requests_per_s: f64,
+    /// Rejected requests per second over the same window.
+    pub rejects_per_s: f64,
+    /// Per-stage latency histograms: queue-wait, encode, verify, total.
+    pub latency: StageLatency,
 }
 
 impl ShardSnapshot {
@@ -171,26 +271,21 @@ impl ShardSnapshot {
         }
         self.verified += other.verified;
         self.verify_failures += other.verify_failures;
+        // The peak is summed like the other counters: the result is the
+        // (upper bound) high-watermark of total queued work, consistent
+        // with `queue_depth` above.
+        self.queue_depth_peak += other.queue_depth_peak;
+        self.requests_per_s += other.requests_per_s;
+        self.rejects_per_s += other.rejects_per_s;
+        self.latency.add(&other.latency);
     }
 
-    /// The histogram percentile of the pass-size distribution, reported
-    /// as the lower bound of the bucket the percentile falls in (0 when
-    /// no pass has been recorded).
+    /// The histogram percentile of the pass-size distribution in bursts,
+    /// interpolated within the winning power-of-two bucket (see
+    /// [`log2_percentile`]); 0 when no pass has been recorded.
     #[must_use]
     pub fn batch_size_percentile(&self, percentile: f64) -> u64 {
-        let total: u64 = self.batch_hist.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let target = (percentile * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (bucket, &count) in self.batch_hist.iter().enumerate() {
-            seen += count;
-            if seen >= target {
-                return 1u64 << bucket;
-            }
-        }
-        1u64 << (BATCH_BUCKETS - 1)
+        log2_percentile(&self.batch_hist, percentile)
     }
 
     /// Mean bursts per executed request (0 when no request has run).
@@ -208,17 +303,24 @@ impl ShardSnapshot {
         write!(
             out,
             "{{\"requests\":{},\"rejected\":{},\"bytes\":{},\"bursts\":{},\
-             \"transitions_saved\":{},\"queue_depth\":{},\"sessions\":{},\
+             \"transitions_saved\":{},\"queue_depth\":{},\
+             \"queue_depth_peak\":{},\"sessions\":{},\
+             \"rate\":{{\"requests_per_s\":{:.1},\"rejects_per_s\":{:.1},\
+             \"window_s\":{}}},\
              \"batch\":{{\"passes\":{},\"coalesced\":{},\"size_p50\":{},\
              \"size_p99\":{},\"bursts_per_request\":{:.1}}},\
-             \"verify\":{{\"requests\":{},\"failures\":{}}}}}",
+             \"verify\":{{\"requests\":{},\"failures\":{}}},\"latency\":{{",
             self.requests,
             self.rejected,
             self.bytes,
             self.bursts,
             self.transitions_saved,
             self.queue_depth,
+            self.queue_depth_peak,
             self.sessions,
+            self.requests_per_s,
+            self.rejects_per_s,
+            RATE_WINDOW_SECONDS,
             self.passes,
             self.coalesced,
             self.batch_size_percentile(0.50),
@@ -228,6 +330,24 @@ impl ShardSnapshot {
             self.verify_failures,
         )
         .expect("writing to a String cannot fail");
+        for (index, (name, stats)) in self.latency.stages().into_iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\
+                 \"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",
+                stats.count,
+                stats.mean_ns(),
+                stats.percentile_ns(0.50),
+                stats.percentile_ns(0.90),
+                stats.percentile_ns(0.99),
+                stats.percentile_ns(0.999),
+            )
+            .expect("writing to a String cannot fail");
+        }
+        out.push_str("}}");
     }
 }
 
@@ -278,7 +398,7 @@ impl MetricsRegistry {
 }
 
 /// A point-in-time copy of the whole registry.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
     /// One snapshot per shard, in shard order.
     pub per_shard: Vec<ShardSnapshot>,
@@ -303,6 +423,26 @@ impl MetricsSnapshot {
             total.add(shard);
         }
         total
+    }
+
+    /// Folds another snapshot into this one, shard by shard — shard *i*
+    /// of `other` is added onto shard *i* of `self`, extra shards are
+    /// appended, and the plan-cache counters sum. Useful for aggregating
+    /// scrapes of several engines (or of one engine across restarts) into
+    /// one view; the kernel block keeps `self`'s values, so merge
+    /// same-hardware snapshots if that block matters.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        if self.per_shard.len() < other.per_shard.len() {
+            self.per_shard
+                .resize(other.per_shard.len(), ShardSnapshot::default());
+        }
+        for (mine, theirs) in self.per_shard.iter_mut().zip(&other.per_shard) {
+            mine.add(theirs);
+        }
+        self.plan_cache.hits += other.plan_cache.hits;
+        self.plan_cache.misses += other.plan_cache.misses;
+        self.plan_cache.evictions += other.plan_cache.evictions;
+        self.plan_cache.entries += other.plan_cache.entries;
     }
 
     /// Serialises the snapshot as a single-line JSON object:
@@ -336,6 +476,173 @@ impl MetricsSnapshot {
         )
         .expect("writing to a String cannot fail");
         out.push('}');
+        out
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format: one
+    /// `{shard="i"}`-labelled series per counter (scrapers sum shards
+    /// themselves), a `dbi_stage_latency_nanoseconds` summary with
+    /// `{shard,stage,quantile}` labels plus `_sum`/`_count`, the
+    /// plan-cache counters, and a `dbi_kernel_info` gauge carrying the
+    /// dispatch tier and CPU features as labels.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        type Field = fn(&ShardSnapshot) -> u64;
+        const COUNTERS: [(&str, &str, Field); 10] = [
+            ("dbi_requests_total", "Requests executed.", |s| s.requests),
+            ("dbi_rejected_total", "Requests rejected.", |s| s.rejected),
+            ("dbi_bytes_total", "Payload bytes encoded.", |s| s.bytes),
+            ("dbi_bursts_total", "Per-group bursts encoded.", |s| {
+                s.bursts
+            }),
+            (
+                "dbi_transitions_saved_total",
+                "Lane transitions avoided versus sending the stream raw.",
+                |s| s.transitions_saved,
+            ),
+            ("dbi_batch_passes_total", "Worker passes executed.", |s| {
+                s.passes
+            }),
+            (
+                "dbi_batch_coalesced_total",
+                "Requests coalesced into another request's pass.",
+                |s| s.coalesced,
+            ),
+            (
+                "dbi_verify_requests_total",
+                "Verify-mode requests round-tripped.",
+                |s| s.verified,
+            ),
+            (
+                "dbi_verify_failures_total",
+                "Verify round trips that exposed an encode/decode asymmetry.",
+                |s| s.verify_failures,
+            ),
+            ("dbi_sessions_total", "Encode sessions created.", |s| {
+                s.sessions
+            }),
+        ];
+        const GAUGES: [(&str, &str, Field); 2] = [
+            ("dbi_queue_depth", "Requests currently queued.", |s| {
+                s.queue_depth
+            }),
+            (
+                "dbi_queue_depth_peak",
+                "Queue-depth high-watermark since startup.",
+                |s| s.queue_depth_peak,
+            ),
+        ];
+        let mut out = String::with_capacity(1024 + 2048 * self.per_shard.len());
+        for (name, help, field) in COUNTERS {
+            writeln!(out, "# HELP {name} {help}").expect("writing to a String cannot fail");
+            writeln!(out, "# TYPE {name} counter").expect("writing to a String cannot fail");
+            for (shard, snapshot) in self.per_shard.iter().enumerate() {
+                writeln!(out, "{name}{{shard=\"{shard}\"}} {}", field(snapshot))
+                    .expect("writing to a String cannot fail");
+            }
+        }
+        for (name, help, field) in GAUGES {
+            writeln!(out, "# HELP {name} {help}").expect("writing to a String cannot fail");
+            writeln!(out, "# TYPE {name} gauge").expect("writing to a String cannot fail");
+            for (shard, snapshot) in self.per_shard.iter().enumerate() {
+                writeln!(out, "{name}{{shard=\"{shard}\"}} {}", field(snapshot))
+                    .expect("writing to a String cannot fail");
+            }
+        }
+        for (name, help, field) in [
+            (
+                "dbi_requests_per_second",
+                "Executed requests per second over the sliding window.",
+                (|s| s.requests_per_s) as fn(&ShardSnapshot) -> f64,
+            ),
+            (
+                "dbi_rejects_per_second",
+                "Rejected requests per second over the sliding window.",
+                |s| s.rejects_per_s,
+            ),
+        ] {
+            writeln!(out, "# HELP {name} {help}").expect("writing to a String cannot fail");
+            writeln!(out, "# TYPE {name} gauge").expect("writing to a String cannot fail");
+            for (shard, snapshot) in self.per_shard.iter().enumerate() {
+                writeln!(out, "{name}{{shard=\"{shard}\"}} {:.1}", field(snapshot))
+                    .expect("writing to a String cannot fail");
+            }
+        }
+        let name = "dbi_stage_latency_nanoseconds";
+        writeln!(out, "# HELP {name} Per-stage request latency.")
+            .expect("writing to a String cannot fail");
+        writeln!(out, "# TYPE {name} summary").expect("writing to a String cannot fail");
+        for (shard, snapshot) in self.per_shard.iter().enumerate() {
+            for (stage, stats) in snapshot.latency.stages() {
+                for (quantile, value) in [
+                    ("0.5", stats.percentile_ns(0.50)),
+                    ("0.9", stats.percentile_ns(0.90)),
+                    ("0.99", stats.percentile_ns(0.99)),
+                    ("0.999", stats.percentile_ns(0.999)),
+                ] {
+                    writeln!(
+                        out,
+                        "{name}{{shard=\"{shard}\",stage=\"{stage}\",quantile=\"{quantile}\"}} {value}"
+                    )
+                    .expect("writing to a String cannot fail");
+                }
+                writeln!(
+                    out,
+                    "{name}_sum{{shard=\"{shard}\",stage=\"{stage}\"}} {}",
+                    stats.sum_ns
+                )
+                .expect("writing to a String cannot fail");
+                writeln!(
+                    out,
+                    "{name}_count{{shard=\"{shard}\",stage=\"{stage}\"}} {}",
+                    stats.count
+                )
+                .expect("writing to a String cannot fail");
+            }
+        }
+        for (name, kind, help, value) in [
+            (
+                "dbi_plan_cache_hits_total",
+                "counter",
+                "Plan-cache hits.",
+                self.plan_cache.hits,
+            ),
+            (
+                "dbi_plan_cache_misses_total",
+                "counter",
+                "Plan-cache misses.",
+                self.plan_cache.misses,
+            ),
+            (
+                "dbi_plan_cache_evictions_total",
+                "counter",
+                "Plan-cache evictions.",
+                self.plan_cache.evictions,
+            ),
+            (
+                "dbi_plan_cache_entries",
+                "gauge",
+                "Plans resident in the cache.",
+                self.plan_cache.entries as u64,
+            ),
+        ] {
+            writeln!(out, "# HELP {name} {help}").expect("writing to a String cannot fail");
+            writeln!(out, "# TYPE {name} {kind}").expect("writing to a String cannot fail");
+            writeln!(out, "{name} {value}").expect("writing to a String cannot fail");
+        }
+        writeln!(
+            out,
+            "# HELP dbi_kernel_info Selected slab kernel tier and detected CPU features."
+        )
+        .expect("writing to a String cannot fail");
+        writeln!(out, "# TYPE dbi_kernel_info gauge").expect("writing to a String cannot fail");
+        writeln!(
+            out,
+            "dbi_kernel_info{{selected=\"{}\",forced_scalar=\"{}\",cpu_features=\"{}\"}} 1",
+            self.kernel, self.forced_scalar, self.cpu_features
+        )
+        .expect("writing to a String cannot fail");
         out
     }
 }
@@ -382,8 +689,11 @@ mod tests {
         assert_eq!(snapshot.batch_hist[0], 1);
         assert_eq!(snapshot.batch_hist[6], 98);
         assert_eq!(snapshot.batch_hist[BATCH_BUCKETS - 1], 1);
-        assert_eq!(snapshot.batch_size_percentile(0.50), 64);
-        assert_eq!(snapshot.batch_size_percentile(0.99), 64);
+        // Interpolated within the [64, 128) bucket: p50's rank 50 sits
+        // halfway through its 98 samples (after the 1 fast pass), p99's
+        // rank 99 right at its end.
+        assert_eq!(snapshot.batch_size_percentile(0.50), 96);
+        assert_eq!(snapshot.batch_size_percentile(0.99), 128);
         assert_eq!(
             snapshot.batch_size_percentile(1.0),
             1 << (BATCH_BUCKETS - 1)
@@ -399,6 +709,24 @@ mod tests {
         assert_eq!(totals.passes, 2);
         assert_eq!(totals.coalesced, 2);
         assert_eq!(totals.batch_hist[3], 2);
+    }
+
+    #[test]
+    fn batch_percentiles_interpolate_at_bucket_boundaries() {
+        // One pass of 255 bursts lands in [128, 256): its p50 is the
+        // bucket midpoint 192, not the old lower-bound answer of 128.
+        let metrics = ShardMetrics::default();
+        metrics.record_pass(255, 0);
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.batch_size_percentile(0.50), 192);
+        // p0 reports the bucket floor, p100 its upper bound.
+        assert_eq!(snapshot.batch_size_percentile(0.0), 128);
+        assert_eq!(snapshot.batch_size_percentile(1.0), 256);
+
+        // 256 crosses into the next bucket.
+        let metrics = ShardMetrics::default();
+        metrics.record_pass(256, 0);
+        assert_eq!(metrics.snapshot().batch_size_percentile(0.50), 384);
     }
 
     #[test]
@@ -437,6 +765,9 @@ mod tests {
         assert!(json.contains("\"batch\":{\"passes\":0,\"coalesced\":0"));
         assert!(json.contains("\"bursts_per_request\":1.0"));
         assert!(json.contains("\"verify\":{\"requests\":0,\"failures\":0}"));
+        assert!(json.contains("\"queue_depth_peak\":0"));
+        assert!(json.contains("\"rate\":{\"requests_per_s\":"));
+        assert!(json.contains("\"window_s\":8}"));
         assert!(json.ends_with('}'));
         assert!(json.contains("\"totals\":{"));
         assert!(
@@ -445,6 +776,150 @@ mod tests {
         // Exactly one shard object plus the totals object, each with a
         // top-level and a verify-block "requests" key.
         assert_eq!(json.matches("\"requests\":").count(), 4);
-        assert_eq!(json.matches("\"verify\":").count(), 2);
+        // Per object: the verify counter block plus the verify latency
+        // stage.
+        assert_eq!(json.matches("\"verify\":").count(), 4);
+        assert_eq!(json.matches("\"latency\":{\"queue_wait\":{").count(), 2);
+    }
+
+    /// Builds a fully hand-specified snapshot so the golden strings below
+    /// are deterministic (live snapshots carry wall-clock rates).
+    fn golden_snapshot() -> MetricsSnapshot {
+        let mut total_buckets = [0u64; crate::telemetry::LATENCY_BUCKETS];
+        total_buckets[9] = 1; // one 700 ns sample in [512, 1024)
+        let total = LatencyStats {
+            buckets: total_buckets,
+            count: 1,
+            sum_ns: 700,
+        };
+        let mut batch_hist = [0u64; BATCH_BUCKETS];
+        batch_hist[1] = 2; // two passes in [2, 4) bursts
+        let shard = ShardSnapshot {
+            requests: 3,
+            rejected: 1,
+            bytes: 96,
+            bursts: 6,
+            transitions_saved: 12,
+            queue_depth: 1,
+            queue_depth_peak: 4,
+            sessions: 2,
+            passes: 2,
+            coalesced: 1,
+            batch_hist,
+            verified: 1,
+            verify_failures: 0,
+            requests_per_s: 2.5,
+            rejects_per_s: 0.5,
+            latency: StageLatency {
+                total,
+                ..StageLatency::default()
+            },
+        };
+        MetricsSnapshot {
+            per_shard: vec![shard],
+            plan_cache: PlanCacheStats {
+                hits: 4,
+                misses: 2,
+                evictions: 1,
+                entries: 1,
+            },
+            kernel: "scalar",
+            forced_scalar: false,
+            cpu_features: "none",
+        }
+    }
+
+    #[test]
+    fn json_golden_string_pins_the_full_key_order() {
+        let empty_stage = "{\"count\":0,\"mean_ns\":0,\"p50_ns\":0,\
+                           \"p90_ns\":0,\"p99_ns\":0,\"p999_ns\":0}";
+        let shard_json = format!(
+            "{{\"requests\":3,\"rejected\":1,\"bytes\":96,\"bursts\":6,\
+             \"transitions_saved\":12,\"queue_depth\":1,\
+             \"queue_depth_peak\":4,\"sessions\":2,\
+             \"rate\":{{\"requests_per_s\":2.5,\"rejects_per_s\":0.5,\
+             \"window_s\":8}},\
+             \"batch\":{{\"passes\":2,\"coalesced\":1,\"size_p50\":3,\
+             \"size_p99\":4,\"bursts_per_request\":2.0}},\
+             \"verify\":{{\"requests\":1,\"failures\":0}},\
+             \"latency\":{{\"queue_wait\":{empty_stage},\
+             \"encode\":{empty_stage},\"verify\":{empty_stage},\
+             \"total\":{{\"count\":1,\"mean_ns\":700,\"p50_ns\":768,\
+             \"p90_ns\":973,\"p99_ns\":1019,\"p999_ns\":1023}}}}}}"
+        );
+        // One shard, so the totals object equals the shard object.
+        let expected = format!(
+            "{{\"shards\":[{shard_json}],\"totals\":{shard_json},\
+             \"plan_cache\":{{\"hits\":4,\"misses\":2,\"evictions\":1,\
+             \"entries\":1}},\
+             \"kernel\":{{\"selected\":\"scalar\",\"forced_scalar\":false,\
+             \"cpu_features\":\"none\"}}}}"
+        );
+        assert_eq!(golden_snapshot().to_json(), expected);
+    }
+
+    #[test]
+    fn prometheus_exposition_reports_every_block() {
+        let text = golden_snapshot().to_prometheus();
+        assert!(text.contains("# TYPE dbi_requests_total counter\n"));
+        assert!(text.contains("dbi_requests_total{shard=\"0\"} 3\n"));
+        assert!(text.contains("dbi_rejected_total{shard=\"0\"} 1\n"));
+        assert!(text.contains("# TYPE dbi_queue_depth_peak gauge\n"));
+        assert!(text.contains("dbi_queue_depth_peak{shard=\"0\"} 4\n"));
+        assert!(text.contains("dbi_requests_per_second{shard=\"0\"} 2.5\n"));
+        assert!(text.contains("dbi_rejects_per_second{shard=\"0\"} 0.5\n"));
+        assert!(text.contains("# TYPE dbi_stage_latency_nanoseconds summary\n"));
+        assert!(text.contains(
+            "dbi_stage_latency_nanoseconds{shard=\"0\",stage=\"total\",quantile=\"0.5\"} 768\n"
+        ));
+        assert!(text.contains(
+            "dbi_stage_latency_nanoseconds{shard=\"0\",stage=\"total\",quantile=\"0.999\"} 1023\n"
+        ));
+        assert!(
+            text.contains("dbi_stage_latency_nanoseconds_sum{shard=\"0\",stage=\"total\"} 700\n")
+        );
+        assert!(
+            text.contains("dbi_stage_latency_nanoseconds_count{shard=\"0\",stage=\"total\"} 1\n")
+        );
+        assert!(text.contains(
+            "dbi_stage_latency_nanoseconds{shard=\"0\",stage=\"queue_wait\",quantile=\"0.99\"} 0\n"
+        ));
+        assert!(text.contains("dbi_plan_cache_hits_total 4\n"));
+        assert!(text.contains("dbi_plan_cache_entries 1\n"));
+        assert!(text.contains(
+            "dbi_kernel_info{selected=\"scalar\",forced_scalar=\"false\",cpu_features=\"none\"} 1\n"
+        ));
+        // Every series of a shard-labelled family appears once per shard.
+        assert_eq!(text.matches("dbi_batch_passes_total{shard=").count(), 1);
+    }
+
+    #[test]
+    fn merge_folds_snapshots_shard_by_shard() {
+        let mut left = golden_snapshot();
+        let mut right = golden_snapshot();
+        // Give the right side a second shard so merge has to extend.
+        right.per_shard.push(ShardSnapshot {
+            requests: 7,
+            queue_depth_peak: 9,
+            ..ShardSnapshot::default()
+        });
+
+        left.merge(&right);
+        assert_eq!(left.per_shard.len(), 2);
+        assert_eq!(left.per_shard[0].requests, 6);
+        assert_eq!(left.per_shard[0].bytes, 192);
+        assert_eq!(left.per_shard[0].queue_depth_peak, 8);
+        assert_eq!(left.per_shard[0].requests_per_s, 5.0);
+        assert_eq!(left.per_shard[0].latency.total.count, 2);
+        assert_eq!(left.per_shard[0].latency.total.sum_ns, 1400);
+        assert_eq!(left.per_shard[1].requests, 7);
+        assert_eq!(left.per_shard[1].queue_depth_peak, 9);
+        assert_eq!(left.plan_cache.hits, 8);
+        assert_eq!(left.plan_cache.entries, 2);
+        // The kernel block keeps the left side's values.
+        assert_eq!(left.kernel, "scalar");
+        let totals = left.totals();
+        assert_eq!(totals.requests, 13);
+        assert_eq!(totals.latency.total.count, 2);
     }
 }

@@ -6,7 +6,9 @@
 //! framing shim over exactly the path in-process callers use, and a TCP
 //! client observes byte-identical results to a local one. One frame in,
 //! one frame out: encode requests are answered with an encode response or
-//! an error frame, metrics requests with the JSON snapshot.
+//! an error frame, metrics requests with the JSON snapshot, and the
+//! protocol-4 telemetry requests with the engine's merged trace-ring and
+//! slowlog contents.
 //!
 //! Protocol violations at the *framing* level (bad magic, wrong version,
 //! oversized or truncated header) are answered with a
@@ -244,10 +246,22 @@ fn handle_connection(engine: &Engine, mut stream: TcpStream) {
             Ok((Frame::MetricsRequest, _)) => {
                 wire::encode_metrics_response(&mut out_buf, &engine.metrics_json());
             }
+            Ok((Frame::TraceDumpRequest(max_events), _)) => {
+                let events = engine.trace_dump(max_events as usize);
+                wire::encode_trace_dump_response(&mut out_buf, &events);
+            }
+            Ok((Frame::SlowlogRequest(max_entries), _)) => {
+                let entries = engine.slowlog(max_entries as usize);
+                wire::encode_slowlog_response(
+                    &mut out_buf,
+                    engine.slowlog_threshold_ns(),
+                    &entries,
+                );
+            }
             Ok(_) => {
                 ErrorFrame {
                     code: ErrorCode::BadRequest,
-                    message: "only encode and metrics requests are accepted",
+                    message: "only encode, metrics and telemetry requests are accepted",
                 }
                 .encode_into(&mut out_buf);
             }

@@ -1,0 +1,161 @@
+//! Trace export: rendering captured [`TraceEvent`]s as
+//! chrome://tracing-compatible JSON.
+//!
+//! The [Trace Event Format] is the JSON-array dialect both
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly: drop the output of [`chrome_trace_json`] into a `.json` file
+//! and the captured ring renders as a timeline — one track per shard
+//! (`pid`), one row per session (`tid`), one complete-span (`"ph":"X"`)
+//! box per stage of every request, with the outcome, scheme tag and burst
+//! count attached as arguments.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! Timestamps: the format wants microseconds. Events carry nanoseconds
+//! from the [`dbi_core::clock`] anchor, so `ts = enqueue_ns / 1000` with
+//! fractional microseconds preserved — the viewer handles floats fine and
+//! sub-microsecond encode stages would otherwise collapse to zero width.
+
+use super::trace::TraceEvent;
+use std::fmt::Write;
+
+/// The stages of one request, in timeline order: name plus a closure
+/// picking the stage's duration and its offset from enqueue.
+fn stages(event: &TraceEvent) -> [(&'static str, u64, u64); 3] {
+    // queue_wait starts at enqueue; encode follows it; verify follows
+    // encode. (The service stamps stage *durations*; offsets re-derive
+    // the timeline. Gaps — e.g. response signalling — show up as the
+    // remainder of the total span.)
+    let queue_end = u64::from(event.queue_wait_ns);
+    let encode_end = queue_end + u64::from(event.encode_ns);
+    [
+        ("queue-wait", 0, u64::from(event.queue_wait_ns)),
+        ("encode", queue_end, u64::from(event.encode_ns)),
+        ("verify", encode_end, u64::from(event.verify_ns)),
+    ]
+}
+
+fn push_span(
+    out: &mut String,
+    first: &mut bool,
+    event: &TraceEvent,
+    name: &str,
+    start_ns: u64,
+    duration_ns: u64,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    write!(
+        out,
+        "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\
+         \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"request_id\":{},\
+         \"outcome\":\"{}\",\"scheme_tag\":{},\"bursts\":{}}}}}",
+        event.shard,
+        event.session_id,
+        (event.enqueue_ns + start_ns) as f64 / 1_000.0,
+        duration_ns as f64 / 1_000.0,
+        event.request_id,
+        event.outcome.name(),
+        event.scheme_tag,
+        event.bursts,
+    )
+    .expect("writing to a String cannot fail");
+}
+
+/// Renders captured events as a chrome://tracing JSON document (the
+/// `{"traceEvents":[...]}` object form): per request, one span for the
+/// total service time and one per non-empty stage. Shards map to `pid`
+/// rows and sessions to `tid` rows, so the timeline groups the way the
+/// engine actually parallelises.
+#[must_use]
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 360);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for event in events {
+        push_span(
+            &mut out,
+            &mut first,
+            event,
+            "request",
+            0,
+            u64::from(event.total_ns),
+        );
+        for (name, start_ns, duration_ns) in stages(event) {
+            if duration_ns > 0 {
+                push_span(&mut out, &mut first, event, name, start_ns, duration_ns);
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::trace::TraceOutcome;
+    use super::*;
+
+    #[test]
+    fn spans_carry_the_stage_timeline() {
+        let event = TraceEvent {
+            request_id: 42,
+            session_id: 9,
+            enqueue_ns: 10_000,
+            queue_wait_ns: 1_000,
+            encode_ns: 2_000,
+            verify_ns: 500,
+            total_ns: 4_000,
+            bursts: 32,
+            scheme_tag: 6,
+            outcome: TraceOutcome::Ok,
+            shard: 1,
+        };
+        let json = chrome_trace_json(&[event]);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // The total span opens at enqueue (10 µs) and runs 4 µs.
+        assert!(json.contains(
+            "\"name\":\"request\",\"ph\":\"X\",\"pid\":1,\"tid\":9,\"ts\":10.000,\"dur\":4.000"
+        ));
+        // Encode starts after the queue wait: 10 + 1 = 11 µs.
+        assert!(json.contains(
+            "\"name\":\"encode\",\"ph\":\"X\",\"pid\":1,\"tid\":9,\"ts\":11.000,\"dur\":2.000"
+        ));
+        // Verify follows encode: 13 µs, half a microsecond long.
+        assert!(json.contains(
+            "\"name\":\"verify\",\"ph\":\"X\",\"pid\":1,\"tid\":9,\"ts\":13.000,\"dur\":0.500"
+        ));
+        assert!(json.contains("\"outcome\":\"ok\""));
+        assert!(json.contains("\"request_id\":42"));
+    }
+
+    #[test]
+    fn empty_stages_and_empty_input_render_cleanly() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}"
+        );
+        // A rejected request has no encode/verify stages: only the total
+        // and the queue wait appear.
+        let event = TraceEvent {
+            request_id: 1,
+            session_id: 2,
+            enqueue_ns: 0,
+            queue_wait_ns: 300,
+            encode_ns: 0,
+            verify_ns: 0,
+            total_ns: 900,
+            bursts: 0,
+            scheme_tag: 0,
+            outcome: TraceOutcome::Rejected,
+            shard: 0,
+        };
+        let json = chrome_trace_json(&[event]);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"outcome\":\"rejected\""));
+        assert!(!json.contains("\"name\":\"encode\""));
+    }
+}

@@ -1,0 +1,181 @@
+//! The telemetry plane: where a request's time goes, not just how many
+//! there were.
+//!
+//! The [`metrics`](crate::metrics) counters say *how much* the service has
+//! done; this module says *where the time went* and *what just happened*,
+//! with four cooperating pieces — every one of them lock-free or
+//! preallocated on the hot path, timestamped by [`dbi_core::clock`]:
+//!
+//! | Piece | Question it answers | Surface |
+//! |-------|---------------------|---------|
+//! | [`LatencyHistogram`] | where does a request's time go? | p50/p90/p99/p999 per stage in the metrics snapshot (JSON + Prometheus) |
+//! | [`RateWindow`] | how fast *right now*? | `rate` block of the metrics snapshot |
+//! | [`TraceRing`] | what were the last N requests? | `TraceDump` wire frame, [`chrome_trace_json`] export |
+//! | [`Slowlog`] | which recent requests were slow? | `SlowlogQuery` wire frame |
+//!
+//! Workers stamp four timestamps per request (enqueue, dequeue, encode
+//! done, verify done) and from them record four stage histograms
+//! (queue-wait, encode, verify, total), one [`TraceEvent`] in the shard's
+//! ring, and — when the total crosses the configured threshold — one
+//! slowlog entry. The cost is a handful of relaxed atomic adds and
+//! `clock_gettime` calls per request; the counting-allocator test in
+//! `tests/local_alloc.rs` pins the whole instrumented path at zero heap
+//! allocations once warm, and the bench smoke job bounds the throughput
+//! overhead.
+//!
+//! [`TelemetryRegistry`] owns the per-shard rings and slowlogs (the
+//! histograms and rate windows live inside
+//! [`ShardMetrics`](crate::metrics::ShardMetrics), next to the counters
+//! they extend); the engine drains it on demand for the admin frames.
+
+pub mod export;
+pub mod histogram;
+pub mod slowlog;
+pub mod trace;
+pub mod window;
+
+pub use export::chrome_trace_json;
+pub use histogram::{log2_percentile, LatencyHistogram, LatencyStats, LATENCY_BUCKETS};
+pub use slowlog::Slowlog;
+pub use trace::{TraceEvent, TraceOutcome, TraceRing};
+pub use window::{RateWindow, RATE_WINDOW_SECONDS};
+
+/// The per-shard trace rings and slowlogs of one engine. Histograms and
+/// rate windows live in the metrics registry; this holds the event-shaped
+/// telemetry.
+#[derive(Debug)]
+pub struct TelemetryRegistry {
+    rings: Vec<TraceRing>,
+    slowlogs: Vec<Slowlog>,
+}
+
+impl TelemetryRegistry {
+    /// Creates rings of `trace_capacity` events and slowlogs of
+    /// `slowlog_capacity` entries at `slowlog_threshold_ns`, one pair per
+    /// shard.
+    #[must_use]
+    pub fn new(
+        shards: usize,
+        trace_capacity: usize,
+        slowlog_capacity: usize,
+        slowlog_threshold_ns: u64,
+    ) -> Self {
+        TelemetryRegistry {
+            rings: (0..shards)
+                .map(|_| TraceRing::new(trace_capacity))
+                .collect(),
+            slowlogs: (0..shards)
+                .map(|_| Slowlog::new(slowlog_capacity, slowlog_threshold_ns))
+                .collect(),
+        }
+    }
+
+    /// The trace ring of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn ring(&self, shard: usize) -> &TraceRing {
+        &self.rings[shard]
+    }
+
+    /// The slowlog of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn slowlog(&self, shard: usize) -> &Slowlog {
+        &self.slowlogs[shard]
+    }
+
+    /// Records one finished request: pushes the event into the shard's
+    /// ring and offers it to the shard's slowlog. Single producer per
+    /// shard (the owning worker); allocation-free.
+    pub fn record(&self, event: &TraceEvent) {
+        let shard = usize::from(event.shard);
+        self.rings[shard].push(event);
+        self.slowlogs[shard].offer(event);
+    }
+
+    /// Drains up to `max_events` of the most recent events *per shard*
+    /// into one engine-wide view, merged and sorted by enqueue timestamp
+    /// (ties by request id, which is engine-global and monotone).
+    #[must_use]
+    pub fn trace_dump(&self, max_events: usize) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        let mut scratch = Vec::new();
+        for ring in &self.rings {
+            ring.read_recent(max_events, &mut scratch);
+            all.extend_from_slice(&scratch);
+        }
+        all.sort_by_key(|event| (event.enqueue_ns, event.request_id));
+        all
+    }
+
+    /// The most recent `max_entries` slowlog captures across all shards,
+    /// merged and sorted like [`TelemetryRegistry::trace_dump`], capped
+    /// at `max_entries` total (keeping the newest).
+    #[must_use]
+    pub fn slowlog_dump(&self, max_entries: usize) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        let mut scratch = Vec::new();
+        for slowlog in &self.slowlogs {
+            slowlog.read_recent(max_entries, &mut scratch);
+            all.extend_from_slice(&scratch);
+        }
+        all.sort_by_key(|event| (event.enqueue_ns, event.request_id));
+        if all.len() > max_entries {
+            all.drain(..all.len() - max_entries);
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(shard: u16, request_id: u64, total_ns: u32) -> TraceEvent {
+        TraceEvent {
+            request_id,
+            session_id: 5,
+            enqueue_ns: request_id * 100,
+            queue_wait_ns: 1,
+            encode_ns: 2,
+            verify_ns: 0,
+            total_ns,
+            bursts: 8,
+            scheme_tag: 6,
+            outcome: TraceOutcome::Ok,
+            shard,
+        }
+    }
+
+    #[test]
+    fn dumps_merge_shards_in_timeline_order() {
+        let registry = TelemetryRegistry::new(2, 8, 8, 50);
+        // Interleave enqueue order across shards.
+        registry.record(&event(0, 1, 10));
+        registry.record(&event(1, 2, 100));
+        registry.record(&event(0, 3, 10));
+        registry.record(&event(1, 4, 100));
+
+        let dump = registry.trace_dump(10);
+        let ids: Vec<u64> = dump.iter().map(|e| e.request_id).collect();
+        assert_eq!(ids, [1, 2, 3, 4]);
+
+        // Only the slow ones (total ≥ 50) were captured.
+        let slow = registry.slowlog_dump(10);
+        let ids: Vec<u64> = slow.iter().map(|e| e.request_id).collect();
+        assert_eq!(ids, [2, 4]);
+        // The total cap keeps the newest entries.
+        let slow = registry.slowlog_dump(1);
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].request_id, 4);
+
+        assert_eq!(registry.ring(0).pushed(), 2);
+        assert_eq!(registry.slowlog(1).threshold_ns(), 50);
+    }
+}

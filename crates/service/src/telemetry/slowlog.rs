@@ -1,0 +1,136 @@
+//! The slowlog: full stage breakdowns of the slowest recent requests.
+//!
+//! The trace ring answers "what just happened"; the slowlog answers "what
+//! was *slow* lately" — and survives much longer, because only requests
+//! whose total service time meets the configured threshold enter it.
+//! Entries are the same compact [`TraceEvent`]s the ring records, kept in
+//! a bounded most-recent-N buffer behind a mutex. The lock is fine here:
+//! the hot path only takes it for requests already slower than the
+//! threshold (milliseconds against a ~20 ns lock), and the buffer is
+//! preallocated so capture stays allocation-free.
+
+use super::trace::TraceEvent;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A bounded most-recent-N buffer of requests that exceeded the slowlog
+/// threshold.
+#[derive(Debug)]
+pub struct Slowlog {
+    entries: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    threshold_ns: u64,
+}
+
+impl Slowlog {
+    /// Creates a slowlog keeping the most recent `capacity` requests
+    /// (minimum 1) whose total service time is at least `threshold_ns`.
+    #[must_use]
+    pub fn new(capacity: usize, threshold_ns: u64) -> Self {
+        let capacity = capacity.max(1);
+        Slowlog {
+            // One slot of headroom: push-then-pop at the boundary never
+            // grows past the preallocated capacity.
+            entries: Mutex::new(VecDeque::with_capacity(capacity + 1)),
+            capacity,
+            threshold_ns,
+        }
+    }
+
+    /// The configured capture threshold in nanoseconds.
+    #[must_use]
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns
+    }
+
+    /// Entries the slowlog can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers one finished request: captured only if its total service
+    /// time meets the threshold, evicting the oldest entry when full.
+    /// Allocation-free (the buffer is preallocated).
+    pub fn offer(&self, event: &TraceEvent) {
+        if u64::from(event.total_ns) < self.threshold_ns {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("slowlog mutex poisoned");
+        if entries.len() == self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(*event);
+    }
+
+    /// Copies the most recent `max_entries` captured requests — oldest
+    /// first — into `out` (cleared first). Non-destructive.
+    pub fn read_recent(&self, max_entries: usize, out: &mut Vec<TraceEvent>) {
+        out.clear();
+        let entries = self.entries.lock().expect("slowlog mutex poisoned");
+        let skip = entries.len().saturating_sub(max_entries);
+        out.extend(entries.iter().skip(skip).copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::trace::TraceOutcome;
+    use super::*;
+
+    fn event(request_id: u64, total_ns: u32) -> TraceEvent {
+        TraceEvent {
+            request_id,
+            session_id: 1,
+            enqueue_ns: 0,
+            queue_wait_ns: 1,
+            encode_ns: 2,
+            verify_ns: 0,
+            total_ns,
+            bursts: 4,
+            scheme_tag: 0,
+            outcome: TraceOutcome::Ok,
+            shard: 0,
+        }
+    }
+
+    #[test]
+    fn only_requests_at_or_over_the_threshold_are_captured() {
+        let log = Slowlog::new(8, 1_000);
+        log.offer(&event(1, 999));
+        log.offer(&event(2, 1_000));
+        log.offer(&event(3, 5_000));
+        let mut out = Vec::new();
+        log.read_recent(10, &mut out);
+        let ids: Vec<u64> = out.iter().map(|e| e.request_id).collect();
+        assert_eq!(ids, [2, 3]);
+        assert_eq!(log.threshold_ns(), 1_000);
+    }
+
+    #[test]
+    fn the_buffer_keeps_the_most_recent_entries() {
+        let log = Slowlog::new(3, 0);
+        for id in 0..10 {
+            log.offer(&event(id, 100));
+        }
+        let mut out = Vec::new();
+        log.read_recent(10, &mut out);
+        let ids: Vec<u64> = out.iter().map(|e| e.request_id).collect();
+        assert_eq!(ids, [7, 8, 9]);
+        // A bounded read returns the *newest* slice of what is held.
+        log.read_recent(2, &mut out);
+        let ids: Vec<u64> = out.iter().map(|e| e.request_id).collect();
+        assert_eq!(ids, [8, 9]);
+        assert_eq!(log.capacity(), 3);
+    }
+
+    #[test]
+    fn capture_does_not_reallocate_the_buffer() {
+        let log = Slowlog::new(4, 0);
+        let before = log.entries.lock().unwrap().capacity();
+        for id in 0..100 {
+            log.offer(&event(id, 1));
+        }
+        assert_eq!(log.entries.lock().unwrap().capacity(), before);
+    }
+}

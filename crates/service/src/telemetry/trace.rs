@@ -1,0 +1,367 @@
+//! The always-on, lock-free per-shard trace ring.
+//!
+//! Every request a shard worker finishes — served, rejected, or failed
+//! verification — leaves one compact [`TraceEvent`] in the shard's
+//! [`TraceRing`]: a fixed-capacity ring of slots written allocation-free
+//! on the hot path and drained on demand (the `TraceDump` admin frame).
+//! When the ring wraps, the oldest events are overwritten; tracing is a
+//! flight recorder, not a log.
+//!
+//! ## Concurrency
+//!
+//! Each ring has exactly **one producer** — the owning shard worker — so
+//! writes need no CAS loops. Readers may race a wrapping writer, so every
+//! slot is a tiny seqlock: a sequence word that goes *odd* while the six
+//! data words are being stored and *even* (generation) when they are
+//! stable. A reader retries a slot whose sequence is odd or changed
+//! mid-read and otherwise gets a consistent event — all with plain
+//! atomics, no `unsafe`, no locks. Client-side rejections (validation,
+//! backpressure) never reach a worker and are therefore not traced; they
+//! are visible in the metrics counters instead.
+
+use crate::wire::WireError;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How a traced request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceOutcome {
+    /// Served successfully.
+    Ok = 0,
+    /// Rejected at the worker (session limit, mismatch, internal error).
+    Rejected = 1,
+    /// Executed, but the verify-mode round trip found an asymmetry.
+    VerifyFailed = 2,
+}
+
+impl TraceOutcome {
+    /// Decodes the wire byte; unknown values are a typed
+    /// [`WireError::UnknownTraceOutcome`].
+    pub fn from_wire(byte: u8) -> Result<Self, WireError> {
+        match byte {
+            0 => Ok(TraceOutcome::Ok),
+            1 => Ok(TraceOutcome::Rejected),
+            2 => Ok(TraceOutcome::VerifyFailed),
+            other => Err(WireError::UnknownTraceOutcome(other)),
+        }
+    }
+
+    /// The outcome's name, as used by the chrome-trace export.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceOutcome::Ok => "ok",
+            TraceOutcome::Rejected => "rejected",
+            TraceOutcome::VerifyFailed => "verify-failed",
+        }
+    }
+}
+
+impl core::fmt::Display for TraceOutcome {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One traced request: identity, stage breakdown, and outcome. Packs into
+/// six 64-bit words ([`TraceEvent::WIRE_BYTES`] on the wire), so a ring
+/// slot is one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Engine-wide request id, stamped at submission in admission order.
+    pub request_id: u64,
+    /// The session the request executed against.
+    pub session_id: u64,
+    /// When the request entered the shard queue, in
+    /// [`dbi_core::clock::now_nanos`] units.
+    pub enqueue_ns: u64,
+    /// Nanoseconds spent queued before a worker picked the request up.
+    pub queue_wait_ns: u32,
+    /// Nanoseconds spent in the encode kernel (0 for rejected requests).
+    pub encode_ns: u32,
+    /// Nanoseconds spent in the verify round trip (0 unless verify mode).
+    pub verify_ns: u32,
+    /// Total nanoseconds from enqueue to completion signal.
+    pub total_ns: u32,
+    /// Per-group bursts the request encoded (0 for rejected requests).
+    pub bursts: u32,
+    /// The wire tag of the scheme the request ran under.
+    pub scheme_tag: u8,
+    /// How the request ended.
+    pub outcome: TraceOutcome,
+    /// The shard that executed the request.
+    pub shard: u16,
+}
+
+impl TraceEvent {
+    /// Bytes of one event on the wire (six little-endian `u64` words).
+    pub const WIRE_BYTES: usize = 48;
+
+    /// Offset of the outcome byte inside the wire form — what
+    /// `decode_frame` validates per record before handing out views.
+    pub(crate) const OUTCOME_BYTE_AT: usize = 45;
+
+    /// Packs the event into its six-word memory/wire representation.
+    #[must_use]
+    pub(crate) fn pack(&self) -> [u64; 6] {
+        [
+            self.request_id,
+            self.session_id,
+            self.enqueue_ns,
+            u64::from(self.queue_wait_ns) | (u64::from(self.encode_ns) << 32),
+            u64::from(self.verify_ns) | (u64::from(self.total_ns) << 32),
+            u64::from(self.bursts)
+                | (u64::from(self.scheme_tag) << 32)
+                | ((self.outcome as u64) << 40)
+                | (u64::from(self.shard) << 48),
+        ]
+    }
+
+    /// Inverse of [`TraceEvent::pack`].
+    pub(crate) fn unpack(words: [u64; 6]) -> Result<Self, WireError> {
+        Ok(TraceEvent {
+            request_id: words[0],
+            session_id: words[1],
+            enqueue_ns: words[2],
+            queue_wait_ns: words[3] as u32,
+            encode_ns: (words[3] >> 32) as u32,
+            verify_ns: words[4] as u32,
+            total_ns: (words[4] >> 32) as u32,
+            bursts: words[5] as u32,
+            scheme_tag: (words[5] >> 32) as u8,
+            outcome: TraceOutcome::from_wire((words[5] >> 40) as u8)?,
+            shard: (words[5] >> 48) as u16,
+        })
+    }
+
+    /// The event in its 48-byte little-endian wire form.
+    #[must_use]
+    pub fn to_le_bytes(&self) -> [u8; Self::WIRE_BYTES] {
+        let mut bytes = [0u8; Self::WIRE_BYTES];
+        for (chunk, word) in bytes.chunks_exact_mut(8).zip(self.pack()) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        bytes
+    }
+
+    /// Inverse of [`TraceEvent::to_le_bytes`].
+    pub fn from_le_bytes(bytes: &[u8; Self::WIRE_BYTES]) -> Result<Self, WireError> {
+        let mut words = [0u64; 6];
+        for (word, chunk) in words.iter_mut().zip(bytes.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().expect("exact chunks"));
+        }
+        Self::unpack(words)
+    }
+}
+
+/// One ring slot: a seqlock sequence word plus the six packed event
+/// words. Odd sequence = a write is in progress.
+#[derive(Debug, Default)]
+struct TraceSlot {
+    seq: AtomicU64,
+    words: [AtomicU64; 6],
+}
+
+/// A single-producer, multi-reader ring of the most recent [`TraceEvent`]s
+/// of one shard.
+#[derive(Debug)]
+pub struct TraceRing {
+    slots: Vec<TraceSlot>,
+    /// Events ever pushed; `head % capacity` is the next slot to write.
+    head: AtomicU64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding the most recent `capacity` events
+    /// (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            slots: (0..capacity.max(1)).map(|_| TraceSlot::default()).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Events the ring can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events ever pushed (not capped by capacity).
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Records one event. **Single producer**: only the owning shard
+    /// worker may call this. Allocation-free.
+    pub fn push(&self, event: &TraceEvent) {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(head % self.slots.len() as u64) as usize];
+        // Seqlock write: go odd, store the words, go even. The release
+        // fence orders the odd store before the data stores (a plain
+        // release store would not constrain *later* stores), so a reader
+        // that observes any new word is guaranteed to observe the bumped
+        // sequence too; the final release store publishes the words to
+        // any reader that sees the even sequence.
+        let seq = slot.seq.load(Ordering::Relaxed);
+        slot.seq.store(seq + 1, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Release);
+        for (word_slot, word) in slot.words.iter().zip(event.pack()) {
+            word_slot.store(word, Ordering::Relaxed);
+        }
+        slot.seq.store(seq + 2, Ordering::Release);
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Copies the most recent `max_events` events — oldest first — into
+    /// `out` (cleared first). Non-destructive: the ring keeps recording.
+    /// A slot being overwritten mid-read is retried a few times and
+    /// skipped if the writer keeps lapping it; readers never block the
+    /// producer.
+    pub fn read_recent(&self, max_events: usize, out: &mut Vec<TraceEvent>) {
+        out.clear();
+        let head = self.head.load(Ordering::Acquire);
+        let available = head.min(self.slots.len() as u64);
+        let wanted = (max_events as u64).min(available);
+        // Oldest requested event first.
+        for index in (head - wanted)..head {
+            let slot = &self.slots[(index % self.slots.len() as u64) as usize];
+            for _attempt in 0..4 {
+                let before = slot.seq.load(Ordering::Acquire);
+                if before % 2 == 1 {
+                    continue; // write in progress
+                }
+                let mut words = [0u64; 6];
+                for (word, word_slot) in words.iter_mut().zip(&slot.words) {
+                    *word = word_slot.load(Ordering::Relaxed);
+                }
+                // The acquire fence pairs with the writer's release fence:
+                // if any word above came from a newer write, the reload
+                // below is guaranteed to see that write's odd sequence.
+                std::sync::atomic::fence(Ordering::Acquire);
+                if slot.seq.load(Ordering::Relaxed) != before {
+                    continue; // overwritten mid-read
+                }
+                // A torn read is excluded by the sequence check; a bad
+                // outcome byte therefore cannot occur, but stay typed
+                // rather than panicking if it ever did.
+                if let Ok(event) = TraceEvent::unpack(words) {
+                    out.push(event);
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(request_id: u64) -> TraceEvent {
+        TraceEvent {
+            request_id,
+            session_id: 7,
+            enqueue_ns: 1_000 + request_id,
+            queue_wait_ns: 10,
+            encode_ns: 20,
+            verify_ns: 5,
+            total_ns: 40,
+            bursts: 16,
+            scheme_tag: 6,
+            outcome: TraceOutcome::Ok,
+            shard: 3,
+        }
+    }
+
+    #[test]
+    fn events_roundtrip_through_the_wire_form() {
+        let original = TraceEvent {
+            request_id: u64::MAX,
+            session_id: 0xDEAD_BEEF,
+            enqueue_ns: 123_456_789,
+            queue_wait_ns: u32::MAX,
+            encode_ns: 1,
+            verify_ns: 2,
+            total_ns: u32::MAX - 1,
+            bursts: 999,
+            scheme_tag: 255,
+            outcome: TraceOutcome::VerifyFailed,
+            shard: u16::MAX,
+        };
+        let bytes = original.to_le_bytes();
+        assert_eq!(bytes.len(), TraceEvent::WIRE_BYTES);
+        assert_eq!(TraceEvent::from_le_bytes(&bytes).unwrap(), original);
+        // The outcome byte sits where the frame decoder validates it.
+        assert_eq!(bytes[TraceEvent::OUTCOME_BYTE_AT], 2);
+
+        let mut bad = bytes;
+        bad[TraceEvent::OUTCOME_BYTE_AT] = 9;
+        assert_eq!(
+            TraceEvent::from_le_bytes(&bad),
+            Err(WireError::UnknownTraceOutcome(9))
+        );
+    }
+
+    #[test]
+    fn outcomes_decode_and_name() {
+        for (byte, outcome) in [
+            (0, TraceOutcome::Ok),
+            (1, TraceOutcome::Rejected),
+            (2, TraceOutcome::VerifyFailed),
+        ] {
+            assert_eq!(TraceOutcome::from_wire(byte), Ok(outcome));
+            assert!(!outcome.to_string().is_empty());
+        }
+        assert!(TraceOutcome::from_wire(3).is_err());
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events_in_order() {
+        let ring = TraceRing::new(4);
+        let mut out = Vec::new();
+        ring.read_recent(10, &mut out);
+        assert!(out.is_empty());
+
+        for id in 0..6 {
+            ring.push(&event(id));
+        }
+        assert_eq!(ring.pushed(), 6);
+        assert_eq!(ring.capacity(), 4);
+        // Capacity 4: events 2..6 survive; ask for the last 3.
+        ring.read_recent(3, &mut out);
+        let ids: Vec<u64> = out.iter().map(|e| e.request_id).collect();
+        assert_eq!(ids, [3, 4, 5]);
+        // Asking for more than capacity yields everything still held.
+        ring.read_recent(100, &mut out);
+        let ids: Vec<u64> = out.iter().map(|e| e.request_id).collect();
+        assert_eq!(ids, [2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn readers_survive_a_concurrent_writer() {
+        use std::sync::Arc;
+        let ring = Arc::new(TraceRing::new(8));
+        let writer_ring = Arc::clone(&ring);
+        let writer = std::thread::spawn(move || {
+            for id in 0..20_000u64 {
+                writer_ring.push(&event(id));
+            }
+        });
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            ring.read_recent(8, &mut out);
+            for e in &out {
+                // Every surviving read is an untorn event: its fields
+                // are internally consistent, never a mix of two events.
+                assert_eq!(e.enqueue_ns, 1_000 + e.request_id);
+            }
+        }
+        writer.join().unwrap();
+        ring.read_recent(8, &mut out);
+        assert_eq!(out.len(), 8);
+        assert_eq!(out.last().unwrap().request_id, 19_999);
+    }
+}

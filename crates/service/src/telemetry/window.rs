@@ -1,0 +1,128 @@
+//! Sliding-window rate tracking.
+//!
+//! Lifetime counters answer "how much ever", never "how fast right now".
+//! [`RateWindow`] closes that gap with a ring of per-second slots: each
+//! slot holds `(epoch_second, count)`, recording bumps the slot keyed by
+//! the current second (resetting it with a CAS when the second has moved
+//! on), and the rate is the sum of the still-fresh slots divided by the
+//! window length. Everything is relaxed atomics — lock-free and
+//! allocation-free on the hot path, like every other telemetry primitive.
+//!
+//! The estimate deliberately trades a little precision for zero
+//! coordination: a slot that loses the reset race double-counts at most
+//! one increment, and a scrape mid-second sees a partially filled current
+//! slot. Both are invisible at service request rates.
+
+use dbi_core::clock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Seconds of history a [`RateWindow`] averages over.
+pub const RATE_WINDOW_SECONDS: usize = 8;
+
+/// One per-second slot: which epoch second it counts, and the count.
+#[derive(Debug, Default)]
+struct Slot {
+    epoch_s: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A lock-free events-per-second estimator over the last
+/// [`RATE_WINDOW_SECONDS`] seconds.
+#[derive(Debug, Default)]
+pub struct RateWindow {
+    slots: [Slot; RATE_WINDOW_SECONDS],
+}
+
+impl RateWindow {
+    /// Counts one event at the current monotonic second.
+    #[inline]
+    pub fn record(&self) {
+        self.record_at(clock::now_seconds());
+    }
+
+    /// Counts one event at an explicit second (the testable core of
+    /// [`RateWindow::record`]).
+    pub fn record_at(&self, now_s: u64) {
+        let slot = &self.slots[(now_s as usize) % RATE_WINDOW_SECONDS];
+        let stamped = slot.epoch_s.load(Ordering::Relaxed);
+        if stamped != now_s {
+            // The slot still counts a lapsed second: claim it for the
+            // current one. Exactly one racer wins the CAS and zeroes the
+            // count; the losers just bump the fresh slot below.
+            if slot
+                .epoch_s
+                .compare_exchange(stamped, now_s, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                slot.count.store(0, Ordering::Relaxed);
+            }
+        }
+        slot.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Events per second averaged over the window, reading only slots
+    /// whose stamped second is still inside it.
+    #[must_use]
+    pub fn rate_per_second(&self) -> f64 {
+        self.rate_at(clock::now_seconds())
+    }
+
+    /// The rate as seen at an explicit second (the testable core of
+    /// [`RateWindow::rate_per_second`]).
+    #[must_use]
+    pub fn rate_at(&self, now_s: u64) -> f64 {
+        let window = RATE_WINDOW_SECONDS as u64;
+        let oldest = now_s.saturating_sub(window - 1);
+        let mut total = 0u64;
+        for slot in &self.slots {
+            let stamped = slot.epoch_s.load(Ordering::Relaxed);
+            if (oldest..=now_s).contains(&stamped) {
+                total += slot.count.load(Ordering::Relaxed);
+            }
+        }
+        total as f64 / window as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_averages_the_window() {
+        let window = RateWindow::default();
+        // 16 events per second for 4 seconds, starting at second 100.
+        for second in 100..104 {
+            for _ in 0..16 {
+                window.record_at(second);
+            }
+        }
+        let rate = window.rate_at(103);
+        // 64 events over an 8-second window.
+        assert!((rate - 8.0).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn stale_slots_age_out() {
+        let window = RateWindow::default();
+        for _ in 0..80 {
+            window.record_at(200);
+        }
+        assert!(window.rate_at(200) > 0.0);
+        // Nine seconds later the slot's second is outside the window.
+        assert_eq!(window.rate_at(209), 0.0);
+        // A new burst reclaims the slot (same index, new second).
+        window.record_at(208); // 208 % 8 == 200 % 8
+        let rate = window.rate_at(208);
+        assert!((rate - 1.0 / 8.0).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn live_clock_path_works() {
+        let window = RateWindow::default();
+        for _ in 0..8 {
+            window.record();
+        }
+        assert!(window.rate_per_second() >= 1.0);
+    }
+}

@@ -26,6 +26,10 @@
 //! | 5 | metrics response (UTF-8 JSON body) | service → client | v1 |
 //! | 6 | [`EncodeBatchRequestFrame`] → [`EncodeBatchRequestView`] | client → service | v3 |
 //! | 7 | [`EncodeBatchResponseFrame`] → [`EncodeBatchResponseView`] | service → client | v3 |
+//! | 8 | trace-dump request (`u32` max events) | client → service | v4 |
+//! | 9 | [`TraceDumpResponseView`] | service → client | v4 |
+//! | 10 | slowlog query (`u32` max entries) | client → service | v4 |
+//! | 11 | [`SlowlogResponseView`] | service → client | v4 |
 //!
 //! ## The v3 batch frames
 //!
@@ -52,9 +56,31 @@
 //! mask_count u32 | per-group records | masks
 //! ```
 //!
+//! ## The v4 telemetry frames
+//!
+//! Protocol 4 adds the **observability plane** (see
+//! [`crate::telemetry`]): two admin request/response pairs draining the
+//! engine's trace rings and slowlogs. Both requests carry a single
+//! little-endian `u32` bound on the answer size. The trace-dump response
+//! body is a `u32` event count followed by that many fixed-width
+//! [`TraceEvent`] records ([`TraceEvent::WIRE_BYTES`] bytes each); the
+//! slowlog response prefixes the same layout with the engine's `u64`
+//! capture threshold in nanoseconds:
+//!
+//! ```text
+//! trace dump: count u32 | count × 48-byte TraceEvent records
+//! slowlog:    threshold_ns u64 | count u32 | count × 48-byte records
+//! ```
+//!
+//! The count field must agree with the body length
+//! ([`WireError::BodyMismatch`]) and every record's outcome byte must be
+//! a defined [`TraceOutcome`] ([`WireError::UnknownTraceOutcome`]) — both
+//! checked eagerly by the decoder, so the views' record iterators cannot
+//! fail. Every v1–v3 body layout is unchanged.
+//!
 //! ## Versioning
 //!
-//! This build speaks protocol [`VERSION`] 3. Version 2 added the
+//! This build speaks protocol [`VERSION`] 4. Version 2 added the
 //! fixed-width **cost-model field** to encode requests: [`CostModel`]
 //! selects the (α, β) source for a session — the weights embedded in the
 //! scheme (v1 semantics), raw runtime coefficients, or a named phy
@@ -74,17 +100,18 @@
 //!   [`CostModel::Inline`]; v2/v3 encode requests are byte-identical;
 //! * the batch tags (6, 7) exist only from v3 on — under a v1/v2 header
 //!   they are [`WireError::UnknownFrameType`], exactly as a genuine v1/v2
-//!   peer would treat them;
+//!   peer would treat them; the telemetry tags (8–11) exist only from v4
+//!   on, under the same rule;
 //! * the verify bit exists only from v3 on — under a v1/v2 header it is
 //!   [`WireError::VerifyUnsupported`] (those versions defined the byte
 //!   as a bare boolean, so a set bit 1 there is a corrupt or lying
 //!   frame, not a request); flag bits above bit 1 are
 //!   [`WireError::UnknownFlags`] under every version;
-//! * response/error/metrics bodies are byte-identical across all three
-//!   versions.
+//! * response/error/metrics bodies are byte-identical across every
+//!   accepted version.
 //!
 //! The compatibility is deliberately **receive-side only**: this build
-//! answers every peer with version-3 headers, so a strict v1/v2 peer
+//! answers every peer with version-4 headers, so a strict older peer
 //! (whose decoder rejects any newer version byte) can be *decoded by*
 //! this service but cannot parse its replies. That keeps the frame
 //! writers version-free and is sufficient for the supported migration
@@ -102,6 +129,7 @@
 //! allocations. Malformed input of any shape yields a typed [`WireError`],
 //! never a panic.
 
+use crate::telemetry::{TraceEvent, TraceOutcome};
 use core::fmt;
 use dbi_core::{CostBreakdown, CostWeights, InversionMask, Scheme};
 use dbi_phy::{NamedInterface, OperatingPoint};
@@ -112,11 +140,15 @@ pub const MAGIC: [u8; 2] = *b"DB";
 /// Protocol version written by this build. Peers announcing a version
 /// outside [`LEGACY_VERSION`]`..=`[`VERSION`] are rejected with
 /// [`WireError::UnsupportedVersion`].
-pub const VERSION: u8 = 3;
+pub const VERSION: u8 = 4;
 
-/// The previous protocol version (cost-model field, no batch frames),
-/// still accepted on decode (see the [module documentation](self) for the
-/// compatibility rules).
+/// The previous protocol version (batch frames and the verify bit, no
+/// telemetry frames), still accepted on decode (see the
+/// [module documentation](self) for the compatibility rules).
+pub const V3_VERSION: u8 = 3;
+
+/// Protocol version 2 (cost-model field, no batch frames), still
+/// accepted on decode.
 pub const V2_VERSION: u8 = 2;
 
 /// The protocol version that introduced the `EncodeBatch` frames. Batch
@@ -132,6 +164,12 @@ pub const BATCH_MIN_VERSION: u8 = 3;
 /// [`WireError::VerifyUnsupported`], exactly as a genuine v1/v2 peer
 /// (which defined no such bit) must not be assumed to have meant it.
 pub const VERIFY_MIN_VERSION: u8 = 3;
+
+/// The protocol version that introduced the telemetry admin frames
+/// (trace dump and slowlog query). Their tags under an older header are
+/// [`WireError::UnknownFrameType`] — pinned here, not to [`VERSION`], so
+/// future version bumps keep decoding version-4 telemetry streams.
+pub const TELEMETRY_MIN_VERSION: u8 = 4;
 
 /// The oldest protocol version still accepted on decode (no cost-model
 /// field, no batch frames).
@@ -180,6 +218,10 @@ mod tag {
     pub const METRICS_RESPONSE: u8 = 5;
     pub const ENCODE_BATCH_REQUEST: u8 = 6;
     pub const ENCODE_BATCH_RESPONSE: u8 = 7;
+    pub const TRACE_DUMP_REQUEST: u8 = 8;
+    pub const TRACE_DUMP_RESPONSE: u8 = 9;
+    pub const SLOWLOG_REQUEST: u8 = 10;
+    pub const SLOWLOG_RESPONSE: u8 = 11;
 }
 
 /// A malformed or unsupported frame. Decoding never panics; every failure
@@ -242,6 +284,9 @@ pub enum WireError {
     /// The request's flags byte carries bits this version does not define
     /// (beyond `want_masks` and, from v3, verify).
     UnknownFlags(u8),
+    /// A trace record's outcome byte is not one this version defines
+    /// (protocol version 4).
+    UnknownTraceOutcome(u8),
 }
 
 impl fmt::Display for WireError {
@@ -255,7 +300,7 @@ impl fmt::Display for WireError {
                 write!(
                     f,
                     "unsupported protocol version {v} (this build speaks {VERSION} \
-                     and still decodes {LEGACY_VERSION} through {V2_VERSION})"
+                     and still decodes {LEGACY_VERSION} through {V3_VERSION})"
                 )
             }
             WireError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
@@ -294,6 +339,9 @@ impl fmt::Display for WireError {
             }
             WireError::UnknownFlags(flags) => {
                 write!(f, "request flags {flags:#04x} carry undefined bits")
+            }
+            WireError::UnknownTraceOutcome(byte) => {
+                write!(f, "unknown trace outcome byte {byte}")
             }
         }
     }
@@ -552,7 +600,7 @@ impl core::str::FromStr for CostModel {
 }
 
 /// Maps a [`Scheme`] to its wire tag and the weights field it travels with.
-fn scheme_to_wire(scheme: Scheme) -> (u8, CostWeights) {
+pub(crate) fn scheme_to_wire(scheme: Scheme) -> (u8, CostWeights) {
     match scheme {
         Scheme::Raw => (0, CostWeights::FIXED),
         Scheme::Dc => (1, CostWeights::FIXED),
@@ -1177,6 +1225,156 @@ pub fn encode_metrics_response(out: &mut Vec<u8>, json: &str) {
     out.extend_from_slice(json.as_bytes());
 }
 
+/// Appends a trace-dump request to `out`: the service answers with up to
+/// `max_events` of the most recent trace events per shard (protocol 4).
+pub fn encode_trace_dump_request(out: &mut Vec<u8>, max_events: u32) {
+    push_header(out, tag::TRACE_DUMP_REQUEST, 4);
+    out.extend_from_slice(&max_events.to_le_bytes());
+}
+
+/// Appends a slowlog query to `out`: the service answers with up to
+/// `max_entries` of the most recent slowlog captures (protocol 4).
+pub fn encode_slowlog_request(out: &mut Vec<u8>, max_entries: u32) {
+    push_header(out, tag::SLOWLOG_REQUEST, 4);
+    out.extend_from_slice(&max_entries.to_le_bytes());
+}
+
+fn push_trace_records(out: &mut Vec<u8>, events: &[TraceEvent]) {
+    out.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    for event in events {
+        out.extend_from_slice(&event.to_le_bytes());
+    }
+}
+
+/// Appends a trace-dump response carrying `events` to `out` (protocol 4).
+pub fn encode_trace_dump_response(out: &mut Vec<u8>, events: &[TraceEvent]) {
+    push_header(
+        out,
+        tag::TRACE_DUMP_RESPONSE,
+        4 + events.len() * TraceEvent::WIRE_BYTES,
+    );
+    push_trace_records(out, events);
+}
+
+/// Appends a slowlog response carrying `entries` captured at
+/// `threshold_ns` to `out` (protocol 4).
+pub fn encode_slowlog_response(out: &mut Vec<u8>, threshold_ns: u64, entries: &[TraceEvent]) {
+    push_header(
+        out,
+        tag::SLOWLOG_RESPONSE,
+        8 + 4 + entries.len() * TraceEvent::WIRE_BYTES,
+    );
+    out.extend_from_slice(&threshold_ns.to_le_bytes());
+    push_trace_records(out, entries);
+}
+
+/// Validates a `count`-prefixed run of fixed-width trace records and
+/// returns the record bytes. The count must agree with the body length
+/// and every record's outcome byte must be defined, so the views'
+/// iterators decode infallibly.
+fn check_trace_records(body: &[u8]) -> Result<&[u8], WireError> {
+    if body.len() < 4 {
+        return Err(WireError::Truncated {
+            needed: 4,
+            got: body.len(),
+        });
+    }
+    let count = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
+    let records = &body[4..];
+    if count
+        .checked_mul(TraceEvent::WIRE_BYTES)
+        .ok_or(WireError::BodyMismatch)?
+        != records.len()
+    {
+        return Err(WireError::BodyMismatch);
+    }
+    for record in records.chunks_exact(TraceEvent::WIRE_BYTES) {
+        TraceOutcome::from_wire(record[TraceEvent::OUTCOME_BYTE_AT])?;
+    }
+    Ok(records)
+}
+
+/// Decodes one run of already-validated trace records.
+fn trace_records(bytes: &[u8]) -> impl Iterator<Item = TraceEvent> + '_ {
+    bytes.chunks_exact(TraceEvent::WIRE_BYTES).map(|chunk| {
+        TraceEvent::from_le_bytes(chunk.try_into().expect("exact chunks"))
+            .expect("records validated by the decoder")
+    })
+}
+
+/// A decoded trace-dump response (protocol 4). The records stay in the
+/// receive buffer and decode lazily; the decoder has already validated
+/// the count field and every outcome byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceDumpResponseView<'a> {
+    record_bytes: &'a [u8],
+}
+
+impl<'a> TraceDumpResponseView<'a> {
+    /// Number of trace events in the response.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.record_bytes.len() / TraceEvent::WIRE_BYTES
+    }
+
+    /// The trace events, decoded from the borrowed bytes.
+    pub fn events(&self) -> impl Iterator<Item = TraceEvent> + 'a {
+        trace_records(self.record_bytes)
+    }
+}
+
+/// A decoded slowlog response (protocol 4): the engine's capture
+/// threshold plus the captured events, lazily decoded like
+/// [`TraceDumpResponseView`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowlogResponseView<'a> {
+    /// The engine's slowlog capture threshold in nanoseconds.
+    pub threshold_ns: u64,
+    record_bytes: &'a [u8],
+}
+
+impl<'a> SlowlogResponseView<'a> {
+    /// Number of slowlog entries in the response.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.record_bytes.len() / TraceEvent::WIRE_BYTES
+    }
+
+    /// The captured events, decoded from the borrowed bytes.
+    pub fn entries(&self) -> impl Iterator<Item = TraceEvent> + 'a {
+        trace_records(self.record_bytes)
+    }
+}
+
+/// Decodes the `u32` bound carried by both telemetry request frames.
+fn decode_telemetry_bound(body: &[u8]) -> Result<u32, WireError> {
+    let bytes: [u8; 4] = body.try_into().map_err(|_| {
+        if body.len() < 4 {
+            WireError::Truncated {
+                needed: 4,
+                got: body.len(),
+            }
+        } else {
+            WireError::BodyMismatch
+        }
+    })?;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+fn decode_slowlog_response(body: &[u8]) -> Result<SlowlogResponseView<'_>, WireError> {
+    if body.len() < 8 {
+        return Err(WireError::Truncated {
+            needed: 8,
+            got: body.len(),
+        });
+    }
+    let threshold_ns = u64::from_le_bytes(body[..8].try_into().expect("checked length"));
+    Ok(SlowlogResponseView {
+        threshold_ns,
+        record_bytes: check_trace_records(&body[8..])?,
+    })
+}
+
 /// One decoded frame, borrowing the buffer it was decoded from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
@@ -1195,6 +1393,15 @@ pub enum Frame<'a> {
     EncodeBatchRequest(EncodeBatchRequestView<'a>),
     /// A service batch encode response (protocol 3).
     EncodeBatchResponse(EncodeBatchResponseView<'a>),
+    /// A client trace-dump request: the maximum events wanted per shard
+    /// (protocol 4).
+    TraceDumpRequest(u32),
+    /// A service trace-dump response (protocol 4).
+    TraceDumpResponse(TraceDumpResponseView<'a>),
+    /// A client slowlog query: the maximum entries wanted (protocol 4).
+    SlowlogRequest(u32),
+    /// A service slowlog response (protocol 4).
+    SlowlogResponse(SlowlogResponseView<'a>),
 }
 
 /// Decodes the frame starting at `bytes[0]` and returns it together with
@@ -1237,6 +1444,21 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame<'_>, usize), WireError> {
         }
         tag::ENCODE_BATCH_RESPONSE if header.version >= BATCH_MIN_VERSION => {
             Frame::EncodeBatchResponse(decode_batch_response(body)?)
+        }
+        // The telemetry tags exist only from protocol 4 on, same rule.
+        tag::TRACE_DUMP_REQUEST if header.version >= TELEMETRY_MIN_VERSION => {
+            Frame::TraceDumpRequest(decode_telemetry_bound(body)?)
+        }
+        tag::TRACE_DUMP_RESPONSE if header.version >= TELEMETRY_MIN_VERSION => {
+            Frame::TraceDumpResponse(TraceDumpResponseView {
+                record_bytes: check_trace_records(body)?,
+            })
+        }
+        tag::SLOWLOG_REQUEST if header.version >= TELEMETRY_MIN_VERSION => {
+            Frame::SlowlogRequest(decode_telemetry_bound(body)?)
+        }
+        tag::SLOWLOG_RESPONSE if header.version >= TELEMETRY_MIN_VERSION => {
+            Frame::SlowlogResponse(decode_slowlog_response(body)?)
         }
         other => return Err(WireError::UnknownFrameType(other)),
     };
@@ -1424,6 +1646,7 @@ mod tests {
             WireError::BadBatchCount { count: 4, got: 3 },
             WireError::VerifyUnsupported { version: 2 },
             WireError::UnknownFlags(0x80),
+            WireError::UnknownTraceOutcome(9),
         ];
         for err in variants {
             assert!(!err.to_string().is_empty());
@@ -1614,6 +1837,108 @@ mod tests {
         // Record-count corruption is still cross-checked.
         buf[HEADER_LEN + 20] ^= 1;
         assert_eq!(decode_frame(&buf), Err(WireError::BodyMismatch));
+    }
+
+    fn sample_trace_event(request_id: u64) -> TraceEvent {
+        TraceEvent {
+            request_id,
+            session_id: 7,
+            enqueue_ns: 1_000 + request_id,
+            queue_wait_ns: 10,
+            encode_ns: 20,
+            verify_ns: 5,
+            total_ns: 40,
+            bursts: 4,
+            scheme_tag: 6,
+            outcome: TraceOutcome::Ok,
+            shard: 1,
+        }
+    }
+
+    #[test]
+    fn telemetry_frames_roundtrip() {
+        let events = [sample_trace_event(1), sample_trace_event(2)];
+        let mut buf = Vec::new();
+        encode_trace_dump_request(&mut buf, 128);
+        encode_trace_dump_response(&mut buf, &events);
+        encode_slowlog_request(&mut buf, 16);
+        encode_slowlog_response(&mut buf, 1_000_000, &events[..1]);
+
+        let (frame, n1) = decode_frame(&buf).unwrap();
+        assert_eq!(frame, Frame::TraceDumpRequest(128));
+        let (Frame::TraceDumpResponse(view), n2) = decode_frame(&buf[n1..]).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(view.event_count(), 2);
+        assert_eq!(view.events().collect::<Vec<_>>(), events);
+        let (frame, n3) = decode_frame(&buf[n1 + n2..]).unwrap();
+        assert_eq!(frame, Frame::SlowlogRequest(16));
+        let (Frame::SlowlogResponse(view), n4) = decode_frame(&buf[n1 + n2 + n3..]).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(view.threshold_ns, 1_000_000);
+        assert_eq!(view.entry_count(), 1);
+        assert_eq!(view.entries().collect::<Vec<_>>(), &events[..1]);
+        assert_eq!(n1 + n2 + n3 + n4, buf.len());
+
+        // Empty dumps decode cleanly too.
+        let mut buf = Vec::new();
+        encode_trace_dump_response(&mut buf, &[]);
+        let (Frame::TraceDumpResponse(view), _) = decode_frame(&buf).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(view.event_count(), 0);
+    }
+
+    #[test]
+    fn telemetry_frames_reject_corruption_typed() {
+        let events = [sample_trace_event(1)];
+        let mut buf = Vec::new();
+        encode_trace_dump_response(&mut buf, &events);
+
+        // A count field disagreeing with the body length.
+        let mut bad = buf.clone();
+        bad[HEADER_LEN] = 2;
+        assert_eq!(decode_frame(&bad), Err(WireError::BodyMismatch));
+
+        // An undefined outcome byte is caught eagerly at decode.
+        let mut bad = buf.clone();
+        bad[HEADER_LEN + 4 + TraceEvent::OUTCOME_BYTE_AT] = 9;
+        assert_eq!(decode_frame(&bad), Err(WireError::UnknownTraceOutcome(9)));
+
+        // Same checks behind the slowlog's threshold prefix.
+        let mut buf = Vec::new();
+        encode_slowlog_response(&mut buf, 500, &events);
+        let mut bad = buf.clone();
+        bad[HEADER_LEN + 8 + 4 + TraceEvent::OUTCOME_BYTE_AT] = 7;
+        assert_eq!(decode_frame(&bad), Err(WireError::UnknownTraceOutcome(7)));
+
+        // Request bodies must be exactly the u32 bound.
+        let mut bad = Vec::new();
+        encode_trace_dump_request(&mut bad, 1);
+        bad[4..8].copy_from_slice(&5u32.to_le_bytes());
+        bad.push(0);
+        assert_eq!(decode_frame(&bad), Err(WireError::BodyMismatch));
+    }
+
+    #[test]
+    fn telemetry_tags_do_not_exist_below_v4() {
+        let mut requests = Vec::new();
+        encode_trace_dump_request(&mut requests, 8);
+        encode_slowlog_request(&mut requests, 8);
+        let mut offset = 0;
+        while offset < requests.len() {
+            let (_, len) = decode_frame(&requests[offset..]).unwrap();
+            let mut old = requests[offset..offset + len].to_vec();
+            old[2] = V3_VERSION;
+            let tag = old[3];
+            assert_eq!(
+                decode_frame(&old),
+                Err(WireError::UnknownFrameType(tag)),
+                "a v3 header must treat telemetry tag {tag} as unknown"
+            );
+            offset += len;
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Counting-allocator proof of the service claim: once warm, the
 //! `LocalClient` request loop performs **zero heap allocations per
-//! request** — across the queue hop, the shard worker, the encode itself
-//! and the metrics updates.
+//! request** — across the queue hop, the shard worker, the encode itself,
+//! the metrics updates and the full telemetry path (stage histograms,
+//! trace-ring write, slowlog capture — the threshold is pinned to 0 so
+//! *every* request takes the capture branch, not just slow ones).
 //!
 //! Extends the PR 1 zero-alloc pattern (`dbi-mem/tests/session_alloc.rs`):
 //! the allocator is global, so the measured window covers the worker
@@ -55,6 +57,9 @@ fn steady_state_requests_are_allocation_free() {
         shards: 2,
         queue_capacity: 8,
         max_payload: 1 << 16,
+        // Every request crosses a 0 threshold, so the measured window
+        // includes the slowlog capture path, not just the ring write.
+        slowlog_threshold_ns: 0,
         ..ServiceConfig::default()
     });
     let mut client = engine.local_client();
@@ -147,5 +152,14 @@ fn steady_state_requests_are_allocation_free() {
         "batch requests must not allocate once warm (observed {batch_steady})"
     );
     assert_eq!(reply.bursts, u64::from(batch.count));
+
+    // The telemetry plane really ran inside those measured windows: the
+    // rings and slowlogs hold events, and the stage histograms counted
+    // every executed request.
+    assert!(!engine.trace_dump(16).is_empty());
+    assert!(!engine.slowlog(16).is_empty(), "threshold 0 captures all");
+    let totals = engine.metrics().totals();
+    assert_eq!(totals.latency.total.count, totals.requests);
+    assert!(totals.latency.encode.count > 0);
     engine.shutdown();
 }
