@@ -12,7 +12,12 @@
 //! * `local-batch` / `tcp-batch` — the protocol-3 **batched data
 //!   plane**: each request is one `EncodeBatch` submission carrying
 //!   [`BATCH_ACCESSES`] accesses (one header + contiguous payload per
-//!   whole batch), the throughput headline of the slab refactor.
+//!   whole batch), the throughput headline of the slab refactor,
+//! * `pipelined` — the protocol-5 **high-fan-in rows**: one driver
+//!   multiplexing 64/256/1024 [`PipelinedClient`] connections into the
+//!   event-driven connection plane, keeping a constant
+//!   [`FAN_IN_WINDOW`]-deep aggregate pipeline in flight so the series
+//!   isolates what fan-in itself costs.
 //!
 //! Per-request latency is recorded and the run's requests/s, bursts/s
 //! and p50/p99 latency land in `BENCH_service.json` at the repository
@@ -34,8 +39,8 @@
 use dbi_core::Scheme;
 use dbi_service::telemetry::LatencyStats;
 use dbi_service::{
-    CostModel, EncodeBatchRequest, EncodeReply, EncodeRequest, Engine, ServiceConfig, StageLatency,
-    TcpClient, TcpServer, VerifyMode,
+    CostModel, EncodeBatchRequest, EncodeReply, EncodeRequest, Engine, PipelinedClient,
+    ServiceConfig, StageLatency, TcpClient, TcpServer, VerifyMode,
 };
 use dbi_workloads::LoadProfile;
 use std::fmt::Write as _;
@@ -51,6 +56,18 @@ const ACCESSES_PER_REQUEST: usize = 16;
 const BATCH_ACCESSES: usize = 256;
 const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
 const BENCH_SEED: u64 = 0x5E41_11CE;
+
+/// Connection counts for the high-fan-in rows: the same aggregate load
+/// spread over ever more pipelined connections, all multiplexed onto the
+/// fixed I/O-thread pool.
+const FAN_IN_CONNS: [usize; 3] = [64, 256, 1024];
+/// Aggregate in-flight pipeline depth for the fan-in runs. Holding this
+/// constant across connection counts means the row series isolates the
+/// connection-plane cost of fan-in (poller tables, per-connection buffer
+/// bookkeeping) from queueing depth.
+const FAN_IN_WINDOW: usize = 256;
+/// Requests each connection carries over a fan-in run.
+const FAN_IN_ROUNDS_PER_CONN: usize = 8;
 
 /// One measured configuration.
 struct Row {
@@ -300,6 +317,103 @@ fn run_config(
     }
 }
 
+/// High-fan-in run: one driver thread multiplexing `conns` pipelined v5
+/// connections, keeping a constant [`FAN_IN_WINDOW`]-deep aggregate
+/// pipeline in flight in waves. Each wave submits one request per
+/// round-robin-chosen connection and then drains those completions in
+/// submission order, asserting that every response comes back under the
+/// id it was submitted with.
+fn run_fan_in(
+    engine: &Engine,
+    tcp_addr: SocketAddr,
+    profile_name: &str,
+    scheme: Scheme,
+    conns: usize,
+    rounds_per_conn: usize,
+) -> Row {
+    let mut profile = profile_by_name(profile_name, BENCH_SEED ^ 0xFA_u64);
+    let pool: Vec<Vec<u8>> = (0..PAYLOAD_POOL)
+        .map(|_| {
+            let mut payload = Vec::new();
+            for _ in 0..ACCESSES_PER_REQUEST {
+                profile.fill_access(usize::from(GROUPS), usize::from(BURST_LEN), &mut payload);
+            }
+            payload
+        })
+        .collect();
+    let mut clients: Vec<PipelinedClient> = (0..conns)
+        .map(|index| {
+            PipelinedClient::connect(tcp_addr)
+                .unwrap_or_else(|err| panic!("fan-in connection {index}/{conns} failed: {err}"))
+        })
+        .collect();
+
+    let stages_before: StageLatency = engine.metrics().totals().latency;
+    let total = conns * rounds_per_conn;
+    let mut latencies: Vec<u64> = Vec::with_capacity(total);
+    let mut bursts = 0u64;
+    let mut reply = EncodeReply::new();
+    let mut next_conn = 0usize;
+    let mut submitted = 0usize;
+    let run_start = Instant::now();
+    while submitted < total {
+        let wave = FAN_IN_WINDOW.min(total - submitted);
+        let mut in_flight = Vec::with_capacity(wave);
+        for _ in 0..wave {
+            let index = next_conn % conns;
+            next_conn += 1;
+            let request = EncodeRequest {
+                session_id: index as u64 + 1,
+                scheme,
+                cost_model: CostModel::Inline,
+                groups: GROUPS,
+                burst_len: BURST_LEN,
+                want_masks: false,
+                verify: VerifyMode::Off,
+                payload: &pool[submitted % pool.len()],
+            };
+            let start = Instant::now();
+            let id = clients[index].submit(&request).expect("fan-in submit");
+            in_flight.push((index, id, start));
+            submitted += 1;
+        }
+        for (index, id, start) in in_flight {
+            let done = clients[index]
+                .next_completion(&mut reply)
+                .expect("fan-in completion");
+            assert!(done.is_ok(), "connection {index}: {:?}", done.error);
+            assert_eq!(
+                done.request_id, id,
+                "connection {index}: completion id mismatch"
+            );
+            latencies.push(start.elapsed().as_nanos() as u64);
+            bursts += reply.bursts;
+        }
+    }
+    let elapsed_s = run_start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+
+    latencies.sort_unstable();
+    let stages_after: StageLatency = engine.metrics().totals().latency;
+    Row {
+        transport: "pipelined",
+        profile: profile_name.to_owned(),
+        clients: conns,
+        requests: total as u64,
+        elapsed_s,
+        bursts,
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+        stage_queue_p99_us: percentile_delta_us(
+            &stages_after.queue_wait,
+            &stages_before.queue_wait,
+            0.99,
+        ),
+        stage_encode_p50_us: percentile_delta_us(&stages_after.encode, &stages_before.encode, 0.50),
+        stage_encode_p99_us: percentile_delta_us(&stages_after.encode, &stages_before.encode, 0.99),
+        stage_total_p99_us: percentile_delta_us(&stages_after.total, &stages_before.total, 0.99),
+    }
+}
+
 fn main() {
     // `cargo bench` passes harness flags; this custom harness ignores
     // everything except `--bench`-style invocations.
@@ -356,6 +470,37 @@ fn main() {
                 );
                 rows.push(row);
             }
+        }
+    }
+
+    // High-fan-in rows: the same aggregate pipeline depth spread over
+    // 64/256/1024 pipelined connections. Both socket ends live in this
+    // process, so make sure the fd table can hold the largest run.
+    let fan_in_counts: &[usize] = if smoke { &[32] } else { &FAN_IN_CONNS };
+    let rounds_per_conn = if smoke { 4 } else { FAN_IN_ROUNDS_PER_CONN };
+    let largest = *fan_in_counts.iter().max().unwrap() as u64;
+    let granted = poller::raise_nofile_limit(largest * 2 + 256).expect("query fd limit");
+    assert!(
+        granted >= largest * 2 + 256,
+        "fd limit {granted} cannot hold {largest} in-process fan-in connections"
+    );
+    for profile in profiles {
+        for &conns in fan_in_counts {
+            let row = run_fan_in(&engine, addr, profile, scheme, conns, rounds_per_conn);
+            println!(
+                "{:<11} {:<8} {:>4} conns:  {:>9.0} req/s {:>12.0} bursts/s  p50 {:>7.1} us  p99 {:>7.1} us  [stage p99: queue {:>6.1} encode {:>6.1} total {:>6.1} us]",
+                row.transport,
+                row.profile,
+                row.clients,
+                row.requests as f64 / row.elapsed_s,
+                row.bursts as f64 / row.elapsed_s,
+                row.p50_us,
+                row.p99_us,
+                row.stage_queue_p99_us,
+                row.stage_encode_p99_us,
+                row.stage_total_p99_us,
+            );
+            rows.push(row);
         }
     }
 

@@ -1,4 +1,4 @@
-//! The TCP client.
+//! The TCP clients.
 //!
 //! [`TcpClient`] speaks the [`wire`] protocol over one
 //! [`std::net::TcpStream`], request–response style, and exposes the same
@@ -7,11 +7,22 @@
 //! works against the other. The frame buffers are owned by the client and
 //! reused, so a steady request loop settles into zero buffer reallocation
 //! (the socket itself, of course, still costs syscalls).
+//!
+//! [`PipelinedClient`] speaks the protocol-5 pipelined form: requests are
+//! **submitted** without waiting ([`PipelinedClient::submit`] returns the
+//! auto-assigned request id immediately) and completions are **polled**
+//! ([`PipelinedClient::next_completion`] /
+//! [`PipelinedClient::try_next_completion`]), matched to submissions by
+//! the echoed id rather than by arrival order. Many requests ride one
+//! connection concurrently, so a single client can keep every engine
+//! shard busy without one thread per outstanding request.
 
 use crate::engine::{EncodeBatchRequest, EncodeReply, EncodeRequest};
 use crate::error::ClientError;
 use crate::telemetry::TraceEvent;
-use crate::wire::{self, Frame, HEADER_LEN};
+use crate::wire::{
+    self, ErrorCode, Frame, PipelinedBatchRequestFrame, PipelinedRequestFrame, HEADER_LEN,
+};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -199,6 +210,259 @@ impl TcpClient {
             Frame::Error(view) => Err(remote_error(&view)),
             _ => Err(ClientError::UnexpectedResponse),
         }
+    }
+}
+
+/// One finished pipelined exchange, handed out by
+/// [`PipelinedClient::next_completion`] /
+/// [`PipelinedClient::try_next_completion`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelinedCompletion {
+    /// The id [`PipelinedClient::submit`] returned for this request.
+    pub request_id: u64,
+    /// `None` when the request succeeded (the poll call filled its
+    /// reply); the service's typed error otherwise.
+    pub error: Option<(ErrorCode, String)>,
+}
+
+impl PipelinedCompletion {
+    /// Whether the request succeeded.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Bytes asked of the socket per read while polling for completions.
+/// Reads land in a stack scratch buffer and only the received bytes are
+/// appended, so the client's receive buffer stays as small as its actual
+/// backlog — a soak harness can hold thousands of these clients.
+const RECV_CHUNK: usize = 16 * 1024;
+
+/// A pipelined (protocol version 5) client over TCP: submit many, poll
+/// completions by request id.
+///
+/// Responses to different sessions may complete **out of order** — the
+/// engine's shards run independently — while responses within one
+/// session stay FIFO (sticky sharding orders same-session work). Code
+/// must therefore match completions to submissions by
+/// [`PipelinedCompletion::request_id`], never by arrival order.
+#[derive(Debug)]
+pub struct PipelinedClient {
+    stream: TcpStream,
+    out_buf: Vec<u8>,
+    recv_buf: Vec<u8>,
+    parsed: usize,
+    next_id: u64,
+    in_flight: usize,
+}
+
+impl PipelinedClient {
+    /// Connects to a service and disables Nagle batching (submissions
+    /// should hit the wire immediately — pipelining already amortises
+    /// the per-frame cost).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from establishing the connection.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<PipelinedClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(PipelinedClient {
+            stream,
+            out_buf: Vec::new(),
+            recv_buf: Vec::new(),
+            parsed: 0,
+            next_id: 0,
+            in_flight: 0,
+        })
+    }
+
+    /// Submits one encode request without waiting for its response;
+    /// returns the auto-assigned request id its completion will echo.
+    ///
+    /// The write itself is blocking: if the socket's send buffer is
+    /// full (the service applies backpressure by pausing its reads once
+    /// this connection has [`ConnConfig::max_in_flight`] requests in
+    /// flight), `submit` waits until the frame is fully handed to the
+    /// kernel.
+    ///
+    /// [`ConnConfig::max_in_flight`]: crate::ConnConfig::max_in_flight
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] — the transport failed mid-write.
+    pub fn submit(&mut self, request: &EncodeRequest<'_>) -> Result<u64, ClientError> {
+        let request_id = self.next_id;
+        self.out_buf.clear();
+        PipelinedRequestFrame {
+            request_id,
+            request: *request,
+        }
+        .encode_into(&mut self.out_buf);
+        self.stream.write_all(&self.out_buf)?;
+        self.next_id = self.next_id.wrapping_add(1);
+        self.in_flight += 1;
+        Ok(request_id)
+    }
+
+    /// Submits one **batched** encode request without waiting; returns
+    /// the auto-assigned request id. Same semantics as
+    /// [`PipelinedClient::submit`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] — the transport failed mid-write.
+    pub fn submit_batch(&mut self, request: &EncodeBatchRequest<'_>) -> Result<u64, ClientError> {
+        let request_id = self.next_id;
+        self.out_buf.clear();
+        PipelinedBatchRequestFrame {
+            request_id,
+            request: *request,
+        }
+        .encode_into(&mut self.out_buf);
+        self.stream.write_all(&self.out_buf)?;
+        self.next_id = self.next_id.wrapping_add(1);
+        self.in_flight += 1;
+        Ok(request_id)
+    }
+
+    /// How many submitted requests have not yet been completed.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Blocks until the next completion arrives (in the service's order,
+    /// which across sessions need not be submission order). On success
+    /// `reply` holds the response's results; on a per-request failure
+    /// the returned completion carries the typed error and `reply` is
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClientError::Io`] — the transport failed, or the service
+    ///   closed the connection with requests still in flight (e.g. a
+    ///   slow-consumer drop);
+    /// * [`ClientError::Wire`] — the service sent a malformed frame;
+    /// * [`ClientError::Remote`] — the service answered with a
+    ///   *connection-level* error frame (protocol violation);
+    /// * [`ClientError::UnexpectedResponse`] — the service sent a frame
+    ///   that is not a pipelined completion.
+    pub fn next_completion(
+        &mut self,
+        reply: &mut EncodeReply,
+    ) -> Result<PipelinedCompletion, ClientError> {
+        loop {
+            if let Some(done) = self.take_buffered(reply)? {
+                return Ok(done);
+            }
+            let mut chunk = [0u8; RECV_CHUNK];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(closed_early().into()),
+                Ok(n) => self.recv_buf.extend_from_slice(&chunk[..n]),
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                Err(err) => return Err(err.into()),
+            }
+        }
+    }
+
+    /// [`PipelinedClient::next_completion`] without blocking: drains
+    /// whatever the socket has ready and returns `Ok(None)` when no
+    /// complete response frame has arrived yet.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`PipelinedClient::next_completion`].
+    pub fn try_next_completion(
+        &mut self,
+        reply: &mut EncodeReply,
+    ) -> Result<Option<PipelinedCompletion>, ClientError> {
+        if let Some(done) = self.take_buffered(reply)? {
+            return Ok(Some(done));
+        }
+        self.stream.set_nonblocking(true)?;
+        let drained = self.drain_ready();
+        self.stream.set_nonblocking(false)?;
+        drained?;
+        self.take_buffered(reply)
+    }
+
+    /// Reads until the socket would block.
+    fn drain_ready(&mut self) -> Result<(), ClientError> {
+        let mut chunk = [0u8; RECV_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(closed_early().into()),
+                Ok(n) => self.recv_buf.extend_from_slice(&chunk[..n]),
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                Err(err) => return Err(err.into()),
+            }
+        }
+    }
+
+    /// Decodes one completion out of the receive buffer, if a whole
+    /// frame is there.
+    fn take_buffered(
+        &mut self,
+        reply: &mut EncodeReply,
+    ) -> Result<Option<PipelinedCompletion>, ClientError> {
+        let avail = &self.recv_buf[self.parsed..];
+        let header = match wire::parse_header(avail) {
+            Ok(header) => header,
+            Err(wire::WireError::Truncated { .. }) => return Ok(None),
+            Err(err) => return Err(err.into()),
+        };
+        let total = HEADER_LEN + header.body_len;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let completion = match wire::decode_frame(&avail[..total])?.0 {
+            Frame::PipelinedResponse {
+                request_id,
+                response,
+            } => {
+                fill_reply(
+                    reply,
+                    response.bursts,
+                    response.per_group(),
+                    response.masks(),
+                );
+                PipelinedCompletion {
+                    request_id,
+                    error: None,
+                }
+            }
+            Frame::PipelinedBatchResponse {
+                request_id,
+                response,
+            } => {
+                fill_reply(
+                    reply,
+                    response.bursts,
+                    response.per_group(),
+                    response.masks(),
+                );
+                PipelinedCompletion {
+                    request_id,
+                    error: None,
+                }
+            }
+            Frame::PipelinedError { request_id, error } => PipelinedCompletion {
+                request_id,
+                error: Some((error.code, error.message.to_owned())),
+            },
+            Frame::Error(view) => return Err(remote_error(&view)),
+            _ => return Err(ClientError::UnexpectedResponse),
+        };
+        self.parsed += total;
+        if self.parsed == self.recv_buf.len() {
+            self.recv_buf.clear();
+            self.parsed = 0;
+        }
+        self.in_flight = self.in_flight.saturating_sub(1);
+        Ok(Some(completion))
     }
 }
 

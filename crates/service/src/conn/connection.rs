@@ -1,0 +1,611 @@
+//! One multiplexed connection: buffered nonblocking reads, in-place
+//! frame parsing, engine submission with completion routing, and
+//! buffered nonblocking writes — the whole state machine one I/O thread
+//! drives for each of its connections.
+//!
+//! Framing errors follow the thread-per-connection front end's rules
+//! exactly: a *header*-level violation (bad magic, unsupported version,
+//! oversized body) is answered with one `BadRequest` error frame and the
+//! connection closes once it flushes — a peer that cannot frame
+//! correctly cannot be resynchronised. A well-framed body that fails to
+//! decode also gets `BadRequest`, but the frame boundary is intact, so
+//! the connection stays open and the next frame is served.
+
+use super::ConnConfig;
+use crate::engine::{
+    Completion, CompletionSink, EncodeBatchRequest, EncodeRequest, Engine, Phase, RequestSlot,
+    SubmitOptions,
+};
+use crate::error::ServiceError;
+use crate::metrics::ConnectionMetrics;
+use crate::wire::{
+    self, EncodeBatchResponseFrame, EncodeResponseFrame, ErrorCode, ErrorFrame, Frame,
+    PipelinedBatchResponseFrame, PipelinedErrorFrame, PipelinedResponseFrame, WireError,
+};
+use poller::Interest;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Bytes asked of the socket per read call. Reads land in a stack
+/// scratch buffer and only the received bytes are appended, so an idle
+/// connection's read buffer stays as small as its actual backlog —
+/// essential when one thread multiplexes thousands of connections.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Flushed-prefix length past which the write buffer is compacted even
+/// though unflushed bytes remain, bounding the memmove cost per byte.
+const FLUSH_COMPACT_THRESHOLD: usize = 64 * 1024;
+
+/// Why a connection is being torn down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Close {
+    /// Normal end: peer hung up, or a protocol violation finished
+    /// flushing its error frame.
+    Done,
+    /// The write buffer crossed the slow-consumer high-watermark.
+    Slow,
+    /// The transport failed mid-read or mid-write.
+    Error,
+}
+
+/// Everything a connection needs from its I/O thread to make progress.
+pub(crate) struct IoContext<'a> {
+    pub(crate) engine: &'a Engine,
+    pub(crate) config: &'a ConnConfig,
+    pub(crate) metrics: &'a ConnectionMetrics,
+    /// The thread's [`Inbox`](super::Inbox) as a completion sink,
+    /// cloned into every submission.
+    pub(crate) sink: &'a Arc<dyn CompletionSink>,
+    /// Thread-local pool of recycled request slots.
+    pub(crate) slot_pool: &'a mut Vec<Arc<RequestSlot>>,
+}
+
+/// How the response to one in-flight engine submission is framed.
+#[derive(Debug, Clone, Copy)]
+enum PendingKind {
+    /// A v1–v4 plain encode request: one-in, one-out, so parsing pauses
+    /// while it is in flight.
+    Legacy,
+    /// A v1–v4 batch encode request (same ordering contract).
+    LegacyBatch { count: u16 },
+    /// A v5 pipelined encode request, answered by echoed request id.
+    Pipelined { request_id: u64 },
+    /// A v5 pipelined batch encode request.
+    PipelinedBatch { request_id: u64, count: u16 },
+}
+
+impl PendingKind {
+    fn is_legacy(self) -> bool {
+        matches!(self, PendingKind::Legacy | PendingKind::LegacyBatch { .. })
+    }
+}
+
+/// One in-flight engine submission of this connection.
+struct Pending {
+    slot: Arc<RequestSlot>,
+    kind: PendingKind,
+}
+
+/// The full state of one multiplexed connection.
+pub(crate) struct Connection {
+    stream: TcpStream,
+    /// The completion token every submission of this connection carries:
+    /// `(slab index << 32) | generation`.
+    completion_token: u64,
+    /// Bytes read off the socket; `[..parsed]` is already consumed.
+    read_buf: Vec<u8>,
+    parsed: usize,
+    /// Bytes queued for the socket; `[..flushed]` is already written.
+    write_buf: Vec<u8>,
+    flushed: usize,
+    pending: Vec<Pending>,
+    /// A legacy (v1–v4) encode request is in flight: parsing is paused
+    /// to preserve strict one-in, one-out response ordering.
+    legacy_in_flight: bool,
+    /// Mirror of the pause condition, refreshed after every unit of
+    /// work, so interest can be computed without a context.
+    paused: bool,
+    /// The peer closed its write half (clean EOF on our reads).
+    read_closed: bool,
+    /// A header-level protocol violation was answered; close as soon as
+    /// the error frame (and any earlier responses) flush.
+    close_after_flush: bool,
+    current_interest: Interest,
+}
+
+impl Connection {
+    pub(crate) fn new(stream: TcpStream, completion_token: u64) -> Connection {
+        Connection {
+            stream,
+            completion_token,
+            read_buf: Vec::new(),
+            parsed: 0,
+            write_buf: Vec::new(),
+            flushed: 0,
+            pending: Vec::new(),
+            legacy_in_flight: false,
+            paused: false,
+            read_closed: false,
+            close_after_flush: false,
+            current_interest: Interest::READ,
+        }
+    }
+
+    pub(crate) fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    pub(crate) fn current_interest(&self) -> Interest {
+        self.current_interest
+    }
+
+    pub(crate) fn set_current_interest(&mut self, interest: Interest) {
+        self.current_interest = interest;
+    }
+
+    /// The readiness this connection needs right now: reads unless
+    /// paused (backpressure) or finished, writes only while flushing.
+    pub(crate) fn desired_interest(&self) -> Interest {
+        let read = !self.read_closed && !self.close_after_flush && !self.paused;
+        let write = self.flushed < self.write_buf.len();
+        match (read, write) {
+            (true, true) => Interest::READ_WRITE,
+            (true, false) => Interest::READ,
+            (false, true) => Interest::WRITE,
+            (false, false) => Interest::NONE,
+        }
+    }
+
+    /// Services one readiness notification.
+    pub(crate) fn handle_event(
+        &mut self,
+        event: poller::Event,
+        ctx: &mut IoContext<'_>,
+    ) -> Result<(), Close> {
+        if event.closed {
+            return Err(Close::Done);
+        }
+        if event.readable && !self.read_closed {
+            self.fill_read_buf(ctx)?;
+            self.parse_frames(ctx)?;
+        }
+        self.after_work(ctx)
+    }
+
+    /// Services one finished engine submission: frames its response,
+    /// then resumes parsing (the completion may have lifted the pause).
+    pub(crate) fn handle_completion(
+        &mut self,
+        slot: &Arc<RequestSlot>,
+        ctx: &mut IoContext<'_>,
+    ) -> Result<(), Close> {
+        let Some(position) = self
+            .pending
+            .iter()
+            .position(|entry| Arc::ptr_eq(&entry.slot, slot))
+        else {
+            // Not ours (cannot happen while generations are honoured);
+            // the caller recycles the slot either way.
+            return self.after_work(ctx);
+        };
+        let entry = self.pending.remove(position);
+        if entry.kind.is_legacy() {
+            self.legacy_in_flight = false;
+        }
+        {
+            let state = slot.state.lock().expect("slot mutex poisoned");
+            debug_assert_eq!(
+                state.phase,
+                Phase::Done,
+                "completion for an unfinished slot"
+            );
+            match &state.result {
+                Ok(bursts) => {
+                    let response = EncodeResponseFrame {
+                        session_id: state.session_id,
+                        bursts: *bursts,
+                        per_group: &state.per_group,
+                        masks: &state.masks,
+                    };
+                    match entry.kind {
+                        PendingKind::Legacy => response.encode_into(&mut self.write_buf),
+                        PendingKind::LegacyBatch { count } => EncodeBatchResponseFrame {
+                            session_id: state.session_id,
+                            bursts: *bursts,
+                            count,
+                            per_group: &state.per_group,
+                            masks: &state.masks,
+                        }
+                        .encode_into(&mut self.write_buf),
+                        PendingKind::Pipelined { request_id } => PipelinedResponseFrame {
+                            request_id,
+                            response,
+                        }
+                        .encode_into(&mut self.write_buf),
+                        PendingKind::PipelinedBatch { request_id, count } => {
+                            PipelinedBatchResponseFrame {
+                                request_id,
+                                response: EncodeBatchResponseFrame {
+                                    session_id: state.session_id,
+                                    bursts: *bursts,
+                                    count,
+                                    per_group: &state.per_group,
+                                    masks: &state.masks,
+                                },
+                            }
+                            .encode_into(&mut self.write_buf)
+                        }
+                    }
+                }
+                Err(err) => queue_failure(&mut self.write_buf, entry.kind, err),
+            }
+        }
+        self.note_queued_output(ctx)?;
+        self.parse_frames(ctx)?;
+        self.after_work(ctx)
+    }
+
+    /// Best-effort slow-consumer notice, sent right before the drop: one
+    /// nonblocking write of a typed error frame. A consumer too slow to
+    /// drain its responses may miss it; the drop itself is the signal.
+    pub(crate) fn send_slow_consumer_notice(&mut self) {
+        let mut notice = Vec::new();
+        ErrorFrame {
+            code: ErrorCode::SlowConsumer,
+            message: "response backlog crossed the write high-watermark; dropping connection",
+        }
+        .encode_into(&mut notice);
+        let _ = self.stream.write(&notice);
+    }
+
+    /// Reads until the socket would block, the peer reaches EOF, or the
+    /// unparsed backlog reaches the read high-watermark.
+    fn fill_read_buf(&mut self, ctx: &mut IoContext<'_>) -> Result<(), Close> {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            if self.read_buf.len() - self.parsed >= ctx.config.read_high_watermark {
+                break;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    break;
+                }
+                Ok(n) => self.read_buf.extend_from_slice(&chunk[..n]),
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Err(Close::Error),
+            }
+        }
+        ctx.metrics.record_read_buf(self.read_buf.len() as u64);
+        Ok(())
+    }
+
+    /// Parses and dispatches every complete frame in the read buffer,
+    /// stopping at a partial frame or when backpressure pauses the
+    /// connection.
+    fn parse_frames(&mut self, ctx: &mut IoContext<'_>) -> Result<(), Close> {
+        loop {
+            if self.close_after_flush || self.is_paused(ctx) {
+                break;
+            }
+            if self.parsed >= self.read_buf.len() {
+                break;
+            }
+            let header = match wire::parse_header(&self.read_buf[self.parsed..]) {
+                Ok(header) => header,
+                Err(WireError::Truncated { .. }) => break,
+                Err(err) => {
+                    // Framing violation: answer once, then close after
+                    // the flush — resynchronisation is impossible.
+                    queue_error(&mut self.write_buf, ErrorCode::BadRequest, &err.to_string());
+                    self.close_after_flush = true;
+                    break;
+                }
+            };
+            let total = wire::HEADER_LEN + header.body_len;
+            if self.read_buf.len() - self.parsed < total {
+                break;
+            }
+            let start = self.parsed;
+            self.parsed += total;
+            // Split borrows: the frame views borrow `read_buf` while the
+            // dispatch appends to `write_buf` and grows `pending`.
+            let Connection {
+                read_buf,
+                write_buf,
+                pending,
+                legacy_in_flight,
+                completion_token,
+                ..
+            } = self;
+            match wire::decode_frame(&read_buf[start..start + total]) {
+                Ok((frame, _)) => dispatch_frame(
+                    frame,
+                    write_buf,
+                    pending,
+                    legacy_in_flight,
+                    *completion_token,
+                    ctx,
+                ),
+                // Body-level decode failure: the frame boundary held, so
+                // answer and keep serving the connection.
+                Err(err) => queue_error(write_buf, ErrorCode::BadRequest, &err.to_string()),
+            }
+            self.note_queued_output(ctx)?;
+        }
+        if self.parsed > 0 {
+            self.read_buf.drain(..self.parsed);
+            self.parsed = 0;
+        }
+        Ok(())
+    }
+
+    /// Records the write-buffer watermark after queuing output and trips
+    /// the slow-consumer drop when the backlog crosses the limit.
+    fn note_queued_output(&mut self, ctx: &mut IoContext<'_>) -> Result<(), Close> {
+        let outstanding = self.write_buf.len() - self.flushed;
+        ctx.metrics.record_write_buf(outstanding as u64);
+        if outstanding > ctx.config.write_high_watermark {
+            return Err(Close::Slow);
+        }
+        Ok(())
+    }
+
+    /// Flushes what the socket will take, refreshes the pause mirror and
+    /// decides whether the connection is finished.
+    fn after_work(&mut self, ctx: &mut IoContext<'_>) -> Result<(), Close> {
+        self.flush().map_err(|_| Close::Error)?;
+        self.paused = self.is_paused(ctx);
+        let drained = self.flushed == self.write_buf.len();
+        if (self.read_closed || self.close_after_flush) && self.pending.is_empty() && drained {
+            return Err(Close::Done);
+        }
+        Ok(())
+    }
+
+    fn is_paused(&self, ctx: &IoContext<'_>) -> bool {
+        self.legacy_in_flight || self.pending.len() >= ctx.config.max_in_flight
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        while self.flushed < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.flushed..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.flushed += n,
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                Err(err) => return Err(err),
+            }
+        }
+        if self.flushed == self.write_buf.len() {
+            self.write_buf.clear();
+            self.flushed = 0;
+        } else if self.flushed >= FLUSH_COMPACT_THRESHOLD {
+            self.write_buf.drain(..self.flushed);
+            self.flushed = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Appends a plain error frame.
+fn queue_error(write_buf: &mut Vec<u8>, code: ErrorCode, message: &str) {
+    ErrorFrame { code, message }.encode_into(write_buf);
+}
+
+/// Appends the failure response matching a submission's framing: plain
+/// error frames for legacy requests, id-carrying pipelined error frames
+/// for v5 requests.
+fn queue_failure(write_buf: &mut Vec<u8>, kind: PendingKind, err: &ServiceError) {
+    let error = ErrorFrame {
+        code: err.code(),
+        message: &err.to_string(),
+    };
+    match kind {
+        PendingKind::Legacy | PendingKind::LegacyBatch { .. } => error.encode_into(write_buf),
+        PendingKind::Pipelined { request_id } | PendingKind::PipelinedBatch { request_id, .. } => {
+            PipelinedErrorFrame { request_id, error }.encode_into(write_buf)
+        }
+    }
+}
+
+/// Routes one decoded frame: encode requests into the engine's
+/// non-blocking submission path, metrics and telemetry requests answered
+/// inline, anything else refused.
+fn dispatch_frame(
+    frame: Frame<'_>,
+    write_buf: &mut Vec<u8>,
+    pending: &mut Vec<Pending>,
+    legacy_in_flight: &mut bool,
+    completion_token: u64,
+    ctx: &mut IoContext<'_>,
+) {
+    match frame {
+        Frame::EncodeRequest(view) => {
+            let request = EncodeRequest {
+                session_id: view.session_id,
+                scheme: view.scheme,
+                cost_model: view.cost_model,
+                groups: view.groups,
+                burst_len: view.burst_len,
+                want_masks: view.want_masks,
+                verify: view.verify,
+                payload: view.payload,
+            };
+            let prepared = ctx.engine.inner().prepare(&request);
+            submit_job(
+                prepared,
+                view.payload,
+                view.want_masks,
+                view.verify.is_on(),
+                PendingKind::Legacy,
+                write_buf,
+                pending,
+                legacy_in_flight,
+                completion_token,
+                ctx,
+            );
+        }
+        Frame::EncodeBatchRequest(view) => {
+            let request = EncodeBatchRequest {
+                session_id: view.session_id,
+                scheme: view.scheme,
+                cost_model: view.cost_model,
+                groups: view.groups,
+                burst_len: view.burst_len,
+                want_masks: view.want_masks,
+                verify: view.verify,
+                count: view.count,
+                payload: view.payload,
+            };
+            let prepared = ctx.engine.inner().prepare_batch(&request);
+            submit_job(
+                prepared,
+                view.payload,
+                view.want_masks,
+                view.verify.is_on(),
+                PendingKind::LegacyBatch { count: view.count },
+                write_buf,
+                pending,
+                legacy_in_flight,
+                completion_token,
+                ctx,
+            );
+        }
+        Frame::PipelinedRequest {
+            request_id,
+            request: view,
+        } => {
+            let request = EncodeRequest {
+                session_id: view.session_id,
+                scheme: view.scheme,
+                cost_model: view.cost_model,
+                groups: view.groups,
+                burst_len: view.burst_len,
+                want_masks: view.want_masks,
+                verify: view.verify,
+                payload: view.payload,
+            };
+            let prepared = ctx.engine.inner().prepare(&request);
+            submit_job(
+                prepared,
+                view.payload,
+                view.want_masks,
+                view.verify.is_on(),
+                PendingKind::Pipelined { request_id },
+                write_buf,
+                pending,
+                legacy_in_flight,
+                completion_token,
+                ctx,
+            );
+        }
+        Frame::PipelinedBatchRequest {
+            request_id,
+            request: view,
+        } => {
+            let request = EncodeBatchRequest {
+                session_id: view.session_id,
+                scheme: view.scheme,
+                cost_model: view.cost_model,
+                groups: view.groups,
+                burst_len: view.burst_len,
+                want_masks: view.want_masks,
+                verify: view.verify,
+                count: view.count,
+                payload: view.payload,
+            };
+            let prepared = ctx.engine.inner().prepare_batch(&request);
+            submit_job(
+                prepared,
+                view.payload,
+                view.want_masks,
+                view.verify.is_on(),
+                PendingKind::PipelinedBatch {
+                    request_id,
+                    count: view.count,
+                },
+                write_buf,
+                pending,
+                legacy_in_flight,
+                completion_token,
+                ctx,
+            );
+        }
+        Frame::MetricsRequest => {
+            // The engine snapshot plus this plane's live connection
+            // counters — the registry itself cannot see them.
+            let mut snapshot = ctx.engine.metrics();
+            snapshot.connections = ctx.metrics.snapshot();
+            wire::encode_metrics_response(write_buf, &snapshot.to_json());
+        }
+        Frame::TraceDumpRequest(max_events) => {
+            let events = ctx.engine.trace_dump(max_events as usize);
+            wire::encode_trace_dump_response(write_buf, &events);
+        }
+        Frame::SlowlogRequest(max_entries) => {
+            let entries = ctx.engine.slowlog(max_entries as usize);
+            wire::encode_slowlog_response(write_buf, ctx.engine.slowlog_threshold_ns(), &entries);
+        }
+        _ => queue_error(
+            write_buf,
+            ErrorCode::BadRequest,
+            "only encode, metrics and telemetry requests are accepted",
+        ),
+    }
+}
+
+/// Submits one prepared request through the engine's non-blocking path,
+/// recycling a pooled slot and registering the connection's completion
+/// token; synchronous failures (validation, backpressure, shutdown) are
+/// answered immediately in the request's own framing.
+#[allow(clippy::too_many_arguments)]
+fn submit_job(
+    prepared: Result<(usize, crate::engine::RouteKey), ServiceError>,
+    payload: &[u8],
+    want_masks: bool,
+    verify: bool,
+    kind: PendingKind,
+    write_buf: &mut Vec<u8>,
+    pending: &mut Vec<Pending>,
+    legacy_in_flight: &mut bool,
+    completion_token: u64,
+    ctx: &mut IoContext<'_>,
+) {
+    let (shard, key) = match prepared {
+        Ok(route) => route,
+        Err(err) => return queue_failure(write_buf, kind, &err),
+    };
+    let slot = ctx.slot_pool.pop().unwrap_or_else(RequestSlot::new);
+    let options = SubmitOptions {
+        want_masks,
+        verify,
+        completion: Some(Completion {
+            sink: Arc::clone(ctx.sink),
+            token: completion_token,
+        }),
+    };
+    match ctx
+        .engine
+        .inner()
+        .submit_slot(shard, key, payload, options, &slot)
+    {
+        Ok(()) => {
+            if kind.is_legacy() {
+                *legacy_in_flight = true;
+            }
+            pending.push(Pending { slot, kind });
+        }
+        Err(err) => {
+            super::recycle_slot(ctx.slot_pool, slot);
+            queue_failure(write_buf, kind, &err);
+        }
+    }
+}

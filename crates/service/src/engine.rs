@@ -148,7 +148,7 @@ impl Default for ServiceConfig {
 
 /// Where a request slot currently is in its life cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
+pub(crate) enum Phase {
     /// Owned by the client, not visible to any worker.
     Idle,
     /// Enqueued on a shard; a worker will fill in the response.
@@ -157,38 +157,79 @@ enum Phase {
     Done,
 }
 
+/// Where a finished slot's result is delivered when the submitter does
+/// not block on the slot's condvar — the connection plane's event loop.
+/// Fired by the shard worker *after* `Done` is published and the slot
+/// lock is released, so a sink may immediately re-lock the slot to read
+/// the response. Firing must not block: the implementation is expected
+/// to push the slot onto an inbox and wake a poller.
+pub(crate) trait CompletionSink: Send + Sync {
+    /// Delivers a finished slot. `token` is the submitter-chosen value
+    /// registered at submission; the engine never interprets it.
+    fn complete(&self, token: u64, slot: &Arc<RequestSlot>);
+}
+
+/// A completion registration riding in a slot: the sink to fire plus the
+/// opaque token the submitter uses to find its bookkeeping again.
+pub(crate) struct Completion {
+    pub(crate) sink: Arc<dyn CompletionSink>,
+    pub(crate) token: u64,
+}
+
+impl std::fmt::Debug for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Completion")
+            .field("token", &self.token)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-submission options for [`EngineInner::submit_slot`], beyond the
+/// routing key and payload: the wire flags plus the optional completion
+/// registration for non-blocking submitters.
+#[derive(Debug, Default)]
+pub(crate) struct SubmitOptions {
+    pub(crate) want_masks: bool,
+    pub(crate) verify: bool,
+    pub(crate) completion: Option<Completion>,
+}
+
 /// The scratch area one client call round-trips through. All buffers are
 /// reused across calls.
 #[derive(Debug)]
-struct SlotState {
+pub(crate) struct SlotState {
     // Request (written by the client, read by the worker). The scheme is
     // already *resolved*: the client applies the request's cost model
     // before enqueueing, so workers only ever see concrete weights.
-    session_id: u64,
-    scheme: Scheme,
-    groups: u16,
-    burst_len: u8,
-    want_masks: bool,
-    verify: bool,
-    payload: Vec<u8>,
+    pub(crate) session_id: u64,
+    pub(crate) scheme: Scheme,
+    pub(crate) groups: u16,
+    pub(crate) burst_len: u8,
+    pub(crate) want_masks: bool,
+    pub(crate) verify: bool,
+    pub(crate) payload: Vec<u8>,
     // Telemetry identity, stamped at submission.
-    request_id: u64,
-    enqueue_ns: u64,
+    pub(crate) request_id: u64,
+    pub(crate) enqueue_ns: u64,
+    // Completion routing for non-blocking submitters (the connection
+    // plane); `None` for blocking condvar round trips. Taken by the
+    // worker when the slot finishes.
+    pub(crate) completion: Option<Completion>,
     // Response (written by the worker, read by the client).
-    phase: Phase,
-    result: Result<u64, ServiceError>,
-    per_group: Vec<CostBreakdown>,
-    masks: Vec<InversionMask>,
+    pub(crate) phase: Phase,
+    pub(crate) result: Result<u64, ServiceError>,
+    pub(crate) per_group: Vec<CostBreakdown>,
+    pub(crate) masks: Vec<InversionMask>,
 }
 
 #[derive(Debug)]
-struct RequestSlot {
-    state: Mutex<SlotState>,
-    done: Condvar,
+pub(crate) struct RequestSlot {
+    pub(crate) state: Mutex<SlotState>,
+    pub(crate) done: Condvar,
 }
 
 impl RequestSlot {
-    fn new() -> Arc<Self> {
+    pub(crate) fn new() -> Arc<Self> {
         Arc::new(RequestSlot {
             state: Mutex::new(SlotState {
                 session_id: 0,
@@ -200,6 +241,7 @@ impl RequestSlot {
                 payload: Vec::new(),
                 request_id: 0,
                 enqueue_ns: 0,
+                completion: None,
                 phase: Phase::Idle,
                 result: Err(ServiceError::Internal("request never executed")),
                 per_group: Vec::new(),
@@ -215,11 +257,11 @@ impl RequestSlot {
 /// model already resolved into `scheme`). Workers coalesce queued entries
 /// whose keys are equal into one pass without touching the slots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct RouteKey {
-    session_id: u64,
-    scheme: Scheme,
-    groups: u16,
-    burst_len: u8,
+pub(crate) struct RouteKey {
+    pub(crate) session_id: u64,
+    pub(crate) scheme: Scheme,
+    pub(crate) groups: u16,
+    pub(crate) burst_len: u8,
 }
 
 /// A bounded multi-producer queue feeding one shard worker.
@@ -375,7 +417,7 @@ struct TestHooks {
 }
 
 #[derive(Debug)]
-struct EngineInner {
+pub(crate) struct EngineInner {
     config: ServiceConfig,
     queues: Vec<Arc<ShardQueue>>,
     metrics: Arc<MetricsRegistry>,
@@ -504,6 +546,12 @@ impl Engine {
             .hooks
             .slow_delay_ns
             .store(nanos, Ordering::SeqCst);
+    }
+
+    /// The shared engine internals, for the connection plane's
+    /// non-blocking submission path.
+    pub(crate) fn inner(&self) -> &Arc<EngineInner> {
+        &self.inner
     }
 
     /// Creates an in-process client with its own reusable request slot.
@@ -659,6 +707,137 @@ impl EngineInner {
         Ok(())
     }
 
+    /// Validates and resolves a plain encode request, yielding the shard
+    /// it routes to and the key workers coalesce on. Rejections are
+    /// counted against the target shard before returning, exactly as the
+    /// blocking client path does.
+    pub(crate) fn prepare(
+        &self,
+        request: &EncodeRequest<'_>,
+    ) -> Result<(usize, RouteKey), ServiceError> {
+        let shard = self.shard_of(request.session_id);
+        let shard_metrics = self.metrics.shard(shard);
+        if let Err(err) = self.validate(request) {
+            shard_metrics.record_reject();
+            return Err(err);
+        }
+        // Resolve the cost model up front: workers (and the session map)
+        // only ever see concrete weights, so two sessions whose models
+        // resolve differently can never collide silently.
+        let scheme = match resolve_scheme(request.scheme, request.cost_model) {
+            Ok(scheme) => scheme,
+            Err(err) => {
+                shard_metrics.record_reject();
+                return Err(err);
+            }
+        };
+        Ok((
+            shard,
+            RouteKey {
+                session_id: request.session_id,
+                scheme,
+                groups: request.groups,
+                burst_len: request.burst_len,
+            },
+        ))
+    }
+
+    /// The batched flavour of [`EngineInner::prepare`]: same validation
+    /// over the flattened payload, plus the burst-count/payload agreement
+    /// check of the batch frame.
+    pub(crate) fn prepare_batch(
+        &self,
+        request: &EncodeBatchRequest<'_>,
+    ) -> Result<(usize, RouteKey), ServiceError> {
+        let shard = self.shard_of(request.session_id);
+        let shard_metrics = self.metrics.shard(shard);
+        let plain = EncodeRequest {
+            session_id: request.session_id,
+            scheme: request.scheme,
+            cost_model: request.cost_model,
+            groups: request.groups,
+            burst_len: request.burst_len,
+            want_masks: request.want_masks,
+            verify: request.verify,
+            payload: request.payload,
+        };
+        if let Err(err) = self.validate(&plain) {
+            shard_metrics.record_reject();
+            return Err(err);
+        }
+        // Geometry is valid, so burst_len is nonzero and the division is
+        // exact; the count field must agree with it.
+        let bursts_in_payload = (request.payload.len() / usize::from(request.burst_len)) as u64;
+        if request.count == 0 || u64::from(request.count) != bursts_in_payload {
+            shard_metrics.record_reject();
+            return Err(ServiceError::BadBatchCount {
+                count: request.count,
+                got: bursts_in_payload,
+            });
+        }
+        let scheme = match resolve_scheme(request.scheme, request.cost_model) {
+            Ok(scheme) => scheme,
+            Err(err) => {
+                shard_metrics.record_reject();
+                return Err(err);
+            }
+        };
+        Ok((
+            shard,
+            RouteKey {
+                session_id: request.session_id,
+                scheme,
+                groups: request.groups,
+                burst_len: request.burst_len,
+            },
+        ))
+    }
+
+    /// Fills a prepared slot and enqueues it on its shard without
+    /// blocking for the result. On success the worker owns the slot until
+    /// it publishes `Done` (and fires the registered completion, if any);
+    /// on failure the slot is rolled back to `Idle`, the rejection is
+    /// counted, and the completion — never fired — is returned to the
+    /// caller inside the untouched slot.
+    pub(crate) fn submit_slot(
+        &self,
+        shard: usize,
+        key: RouteKey,
+        payload: &[u8],
+        options: SubmitOptions,
+        slot: &Arc<RequestSlot>,
+    ) -> Result<(), ServiceError> {
+        let shard_metrics = self.metrics.shard(shard);
+        {
+            let mut state = slot.state.lock().expect("slot mutex poisoned");
+            debug_assert_eq!(state.phase, Phase::Idle, "slot reused while in flight");
+            state.session_id = key.session_id;
+            state.scheme = key.scheme;
+            state.groups = key.groups;
+            state.burst_len = key.burst_len;
+            state.want_masks = options.want_masks;
+            state.verify = options.verify;
+            state.payload.clear();
+            state.payload.extend_from_slice(payload);
+            state.request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+            state.enqueue_ns = clock::now_nanos();
+            state.completion = options.completion;
+            state.phase = Phase::Queued;
+        }
+
+        // Count the enqueue *before* the job becomes visible: a fast
+        // worker may pop and `dequeue()` immediately, and the depth
+        // counter must never transiently underflow.
+        shard_metrics.enqueue();
+        if let Err(err) = self.queues[shard].try_push(shard, key, Arc::clone(slot)) {
+            shard_metrics.dequeue();
+            slot.state.lock().expect("slot mutex poisoned").phase = Phase::Idle;
+            shard_metrics.record_reject();
+            return Err(err);
+        }
+        Ok(())
+    }
+
     fn shutdown(&self) {
         if self.stopped.swap(true, Ordering::SeqCst) {
             return;
@@ -710,28 +889,7 @@ impl LocalClient {
         request: &EncodeRequest<'_>,
         reply: &mut EncodeReply,
     ) -> Result<(), ServiceError> {
-        let shard = self.engine.shard_of(request.session_id);
-        let shard_metrics = self.engine.metrics.shard(shard);
-        if let Err(err) = self.engine.validate(request) {
-            shard_metrics.record_reject();
-            return Err(err);
-        }
-        // Resolve the cost model up front: workers (and the session map)
-        // only ever see concrete weights, so two sessions whose models
-        // resolve differently can never collide silently.
-        let scheme = match resolve_scheme(request.scheme, request.cost_model) {
-            Ok(scheme) => scheme,
-            Err(err) => {
-                shard_metrics.record_reject();
-                return Err(err);
-            }
-        };
-        let key = RouteKey {
-            session_id: request.session_id,
-            scheme,
-            groups: request.groups,
-            burst_len: request.burst_len,
-        };
+        let (shard, key) = self.engine.prepare(request)?;
         self.submit(
             shard,
             key,
@@ -757,45 +915,7 @@ impl LocalClient {
         request: &EncodeBatchRequest<'_>,
         reply: &mut EncodeReply,
     ) -> Result<(), ServiceError> {
-        let shard = self.engine.shard_of(request.session_id);
-        let shard_metrics = self.engine.metrics.shard(shard);
-        let plain = EncodeRequest {
-            session_id: request.session_id,
-            scheme: request.scheme,
-            cost_model: request.cost_model,
-            groups: request.groups,
-            burst_len: request.burst_len,
-            want_masks: request.want_masks,
-            verify: request.verify,
-            payload: request.payload,
-        };
-        if let Err(err) = self.engine.validate(&plain) {
-            shard_metrics.record_reject();
-            return Err(err);
-        }
-        // Geometry is valid, so burst_len is nonzero and the division is
-        // exact; the count field must agree with it.
-        let bursts_in_payload = (request.payload.len() / usize::from(request.burst_len)) as u64;
-        if request.count == 0 || u64::from(request.count) != bursts_in_payload {
-            shard_metrics.record_reject();
-            return Err(ServiceError::BadBatchCount {
-                count: request.count,
-                got: bursts_in_payload,
-            });
-        }
-        let scheme = match resolve_scheme(request.scheme, request.cost_model) {
-            Ok(scheme) => scheme,
-            Err(err) => {
-                shard_metrics.record_reject();
-                return Err(err);
-            }
-        };
-        let key = RouteKey {
-            session_id: request.session_id,
-            scheme,
-            groups: request.groups,
-            burst_len: request.burst_len,
-        };
+        let (shard, key) = self.engine.prepare_batch(request)?;
         self.submit(
             shard,
             key,
@@ -818,33 +938,17 @@ impl LocalClient {
         payload: &[u8],
         reply: &mut EncodeReply,
     ) -> Result<(), ServiceError> {
-        let shard_metrics = self.engine.metrics.shard(shard);
-        {
-            let mut state = self.slot.state.lock().expect("slot mutex poisoned");
-            debug_assert_eq!(state.phase, Phase::Idle, "slot reused while in flight");
-            state.session_id = key.session_id;
-            state.scheme = key.scheme;
-            state.groups = key.groups;
-            state.burst_len = key.burst_len;
-            state.want_masks = want_masks;
-            state.verify = verify.is_on();
-            state.payload.clear();
-            state.payload.extend_from_slice(payload);
-            state.request_id = self.engine.next_request_id.fetch_add(1, Ordering::Relaxed);
-            state.enqueue_ns = clock::now_nanos();
-            state.phase = Phase::Queued;
-        }
-
-        // Count the enqueue *before* the job becomes visible: a fast
-        // worker may pop and `dequeue()` immediately, and the depth
-        // counter must never transiently underflow.
-        shard_metrics.enqueue();
-        if let Err(err) = self.engine.queues[shard].try_push(shard, key, Arc::clone(&self.slot)) {
-            shard_metrics.dequeue();
-            self.slot.state.lock().expect("slot mutex poisoned").phase = Phase::Idle;
-            shard_metrics.record_reject();
-            return Err(err);
-        }
+        self.engine.submit_slot(
+            shard,
+            key,
+            payload,
+            SubmitOptions {
+                want_masks,
+                verify: verify.is_on(),
+                completion: None,
+            },
+            &self.slot,
+        )?;
 
         let mut state = self.slot.state.lock().expect("slot mutex poisoned");
         while state.phase != Phase::Done {
@@ -1044,8 +1148,15 @@ fn worker_loop(
                     }
                     state.result = result;
                     state.phase = Phase::Done;
+                    // Take the completion before publishing: once the
+                    // lock drops, a blocking submitter may reclaim the
+                    // slot, and the completion must fire exactly once.
+                    let completion = state.completion.take();
                     drop(state);
                     slot.done.notify_all();
+                    if let Some(completion) = completion {
+                        completion.sink.complete(completion.token, slot);
+                    }
                 }
                 shard_metrics.record_pass(pass_bursts, coalesced);
             }
@@ -1067,8 +1178,12 @@ fn worker_loop(
                     );
                     state.result = Err(err.clone());
                     state.phase = Phase::Done;
+                    let completion = state.completion.take();
                     drop(state);
                     slot.done.notify_all();
+                    if let Some(completion) = completion {
+                        completion.sink.complete(completion.token, slot);
+                    }
                 }
             }
         }

@@ -10,11 +10,12 @@
 //! ## Architecture
 //!
 //! ```text
-//!                       ┌────────────────────────── Engine ───────────────┐
-//!  TcpClient ──TCP──▶ TcpServer ──▶ LocalClient ──▶ │ shard 0: queue ─ worker ─ {sessions} │
-//!                       │  (one per connection)     │ shard 1: queue ─ worker ─ {sessions} │
-//!  LocalClient ────────────in-process──────────────▶│   ...       bounded     BusSession   │
-//!                       └──────────────────────────────────────────────────┘
+//!                      ┌────── connection plane ──────┐ ┌────────────── Engine ──────────────┐
+//!  TcpClient ──────┐    accept ─round-▶ I/O thread 0 ──▶│ shard 0: queue ─ worker ─ {sessions} │
+//!  PipelinedClient ┼TCP▶thread  robin   epoll: conns…  │ shard 1: queue ─ worker ─ {sessions} │
+//!                  ┘                  ▶ I/O thread 1 ◀──│   ...       bounded     BusSession   │
+//!                                       epoll: conns…   └──── completion callbacks (tokens) ──┘
+//!  LocalClient ─────────── in-process ──────────────────▶
 //! ```
 //!
 //! * [`wire`] — the versioned, length-prefixed binary frame format with a
@@ -28,8 +29,12 @@
 //!   its own output through the receiver path
 //!   ([`dbi_mem::BusSession::decode_stream_into`]) and answers
 //!   [`wire::ErrorCode::VerifyMismatch`] on any encode/decode asymmetry.
-//!   Version 1 and 2 frames are still decoded (verify bits below v3 are
-//!   rejected typed).
+//!   Protocol version 5 adds **pipelining**: the `Pipelined*` frames
+//!   prefix request and response bodies with a client-chosen `u64`
+//!   request id, so one connection keeps many requests in flight and
+//!   matches responses by id — out of order across sessions, FIFO
+//!   within one. Version 1 through 4 frames are still decoded (tags
+//!   below the version that introduced them are rejected typed).
 //! * [`Engine`] — N shard workers, each owning a private map of
 //!   [`dbi_mem::BusSession`]s keyed by session id. Routing is *sticky*
 //!   (same session id → same shard), so each session's carried bus state
@@ -46,10 +51,27 @@
 //!   socket-free, and **zero heap allocations per request** once warm
 //!   (including requests carrying explicit cost models, and the
 //!   [`LocalClient::encode_batch`] batch path).
-//! * [`TcpServer`] / [`TcpClient`] — the socket front end; each
-//!   connection is served through its own `LocalClient`, so both paths
-//!   return identical bytes. [`TcpClient::encode_batch`] ships a whole
-//!   batch per round trip.
+//! * [`TcpServer`] / [`conn`] — the socket front end: an event-driven
+//!   **connection plane**. An accept thread round-robins incoming
+//!   connections onto a fixed pool of I/O threads, each multiplexing
+//!   thousands of nonblocking connections through its own
+//!   `poller` readiness loop (vendored epoll with a poll(2) fallback).
+//!   Engine workers hand completed requests back through per-thread
+//!   inboxes and wakers, matched by generation-tagged tokens.
+//!   Per-connection read/write buffers are sized by actual backlog and
+//!   bounded by high-watermarks — a client that stops reading while
+//!   responses pile up is dropped as a typed
+//!   [`wire::ErrorCode::SlowConsumer`], counted in the metrics
+//!   `connections` block. [`TcpServer::shutdown`] deterministically
+//!   joins every I/O thread and closes every connection.
+//! * [`TcpClient`] / [`PipelinedClient`] — the client sides:
+//!   `TcpClient` is the one-at-a-time v1–v4 surface (both paths return
+//!   bytes identical to [`LocalClient`]);
+//!   [`TcpClient::encode_batch`] ships a whole batch per round trip.
+//!   `PipelinedClient` speaks v5: [`PipelinedClient::submit`] returns
+//!   the assigned request id immediately,
+//!   [`PipelinedClient::next_completion`] blocks for the next
+//!   completion, [`PipelinedClient::try_next_completion`] polls.
 //! * [`metrics`] — per-shard atomic counters (requests, rejects, bytes,
 //!   bursts, transitions saved, queue depth + peak, sessions) plus a
 //!   `batch` block (worker passes, coalesced requests, pass-size p50/p99,
@@ -101,6 +123,7 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod conn;
 pub mod engine;
 pub mod error;
 pub mod metrics;
@@ -108,7 +131,8 @@ pub mod server;
 pub mod telemetry;
 pub mod wire;
 
-pub use client::TcpClient;
+pub use client::{PipelinedClient, PipelinedCompletion, TcpClient};
+pub use conn::ConnConfig;
 pub use engine::{
     EncodeBatchRequest, EncodeReply, EncodeRequest, Engine, LocalClient, ServiceConfig,
     MAX_BURST_LEN, MAX_GROUPS,

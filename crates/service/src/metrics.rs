@@ -19,6 +19,13 @@
 //! tests and to scrape. [`to_prometheus`](MetricsSnapshot::to_prometheus)
 //! renders the same snapshot in Prometheus text exposition format.
 //!
+//! The connection plane adds one engine-global `connections` block
+//! ([`ConnectionMetrics`]): accepted/active/closed counts, the
+//! slow-consumer drop count, and the largest read and write buffer any
+//! connection has grown. The block is owned by the TCP server's I/O
+//! threads, not the registry; an engine with no server attached reports
+//! it zeroed.
+//!
 //! The telemetry plane adds three per-shard blocks (see
 //! [`crate::telemetry`]): a `rate` block (requests/s and rejects/s over a
 //! sliding [`RATE_WINDOW_SECONDS`]-second window), a `queue_depth_peak`
@@ -174,6 +181,125 @@ impl ShardMetrics {
                 total: self.total_hist.snapshot(),
             },
         }
+    }
+}
+
+/// Lock-free counters of the connection plane — one set per server, not
+/// per shard, because connections are owned by the I/O threads, not the
+/// encode workers. Same discipline as [`ShardMetrics`]: relaxed atomics,
+/// bumped allocation-free from the event loop.
+#[derive(Debug, Default)]
+pub struct ConnectionMetrics {
+    active: AtomicU64,
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    dropped_slow: AtomicU64,
+    read_buf_high_watermark: AtomicU64,
+    write_buf_high_watermark: AtomicU64,
+}
+
+impl ConnectionMetrics {
+    /// Records an accepted connection entering the event loop.
+    pub fn on_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection leaving the event loop, however it ended
+    /// (peer hang-up, protocol violation, slow-consumer drop, shutdown).
+    pub fn on_close(&self) {
+        self.closed.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection dropped for falling behind its responses —
+    /// its write buffer crossed the configured high-watermark. The drop
+    /// still counts as a close via [`ConnectionMetrics::on_close`]; this
+    /// counter attributes the cause.
+    pub fn on_dropped_slow(&self) {
+        self.dropped_slow.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one connection's observed read-buffer peak into the plane's
+    /// high-watermark.
+    pub fn record_read_buf(&self, bytes: u64) {
+        self.read_buf_high_watermark
+            .fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Folds one connection's observed write-buffer peak into the plane's
+    /// high-watermark.
+    pub fn record_write_buf(&self, bytes: u64) {
+        self.write_buf_high_watermark
+            .fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Reads the counters into an owned snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> ConnectionsSnapshot {
+        ConnectionsSnapshot {
+            active: self.active.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            dropped_slow: self.dropped_slow.load(Ordering::Relaxed),
+            read_buf_high_watermark: self.read_buf_high_watermark.load(Ordering::Relaxed),
+            write_buf_high_watermark: self.write_buf_high_watermark.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the connection-plane counters. All zeros for
+/// an engine that is not fronted by a TCP server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConnectionsSnapshot {
+    /// Connections currently multiplexed by the I/O threads.
+    pub active: u64,
+    /// Connections accepted since startup.
+    pub accepted: u64,
+    /// Connections closed since startup, for any reason.
+    pub closed: u64,
+    /// Connections dropped because their write buffer crossed the
+    /// slow-consumer high-watermark (a subset of `closed`).
+    pub dropped_slow: u64,
+    /// Largest read buffer any connection has grown, in bytes.
+    pub read_buf_high_watermark: u64,
+    /// Largest write buffer any connection has grown, in bytes.
+    pub write_buf_high_watermark: u64,
+}
+
+impl ConnectionsSnapshot {
+    /// Folds another connection-plane snapshot into this one: the
+    /// counters (and `active`) sum; the buffer high-watermarks take the
+    /// maximum, because a watermark aggregated across planes is still
+    /// "the largest buffer any connection grew".
+    fn add(&mut self, other: &ConnectionsSnapshot) {
+        self.active += other.active;
+        self.accepted += other.accepted;
+        self.closed += other.closed;
+        self.dropped_slow += other.dropped_slow;
+        self.read_buf_high_watermark = self
+            .read_buf_high_watermark
+            .max(other.read_buf_high_watermark);
+        self.write_buf_high_watermark = self
+            .write_buf_high_watermark
+            .max(other.write_buf_high_watermark);
+    }
+
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        write!(
+            out,
+            "{{\"active\":{},\"accepted\":{},\"closed\":{},\
+             \"dropped_slow\":{},\"read_buf_high_watermark\":{},\
+             \"write_buf_high_watermark\":{}}}",
+            self.active,
+            self.accepted,
+            self.closed,
+            self.dropped_slow,
+            self.read_buf_high_watermark,
+            self.write_buf_high_watermark,
+        )
+        .expect("writing to a String cannot fail");
     }
 }
 
@@ -390,6 +516,7 @@ impl MetricsRegistry {
         MetricsSnapshot {
             per_shard: self.shards.iter().map(ShardMetrics::snapshot).collect(),
             plan_cache: PlanCacheStats::default(),
+            connections: ConnectionsSnapshot::default(),
             kernel: dbi_core::simd::selected_kernel().name(),
             forced_scalar: dbi_core::simd::forced_scalar(),
             cpu_features: dbi_core::simd::cpu_features(),
@@ -404,6 +531,11 @@ pub struct MetricsSnapshot {
     pub per_shard: Vec<ShardSnapshot>,
     /// Counters of the engine's shared plan cache.
     pub plan_cache: PlanCacheStats,
+    /// Counters of the connection plane fronting the engine; all zeros
+    /// when no TCP server is attached (the registry itself has no
+    /// connection counters — the server stamps the live block in when it
+    /// serves a metrics request).
+    pub connections: ConnectionsSnapshot,
     /// The slab kernel tier every worker's batched path dispatches to
     /// ([`dbi_core::simd::selected_kernel`]) — `"scalar"` when pinned by
     /// `DBI_FORCE_SCALAR`.
@@ -443,10 +575,11 @@ impl MetricsSnapshot {
         self.plan_cache.misses += other.plan_cache.misses;
         self.plan_cache.evictions += other.plan_cache.evictions;
         self.plan_cache.entries += other.plan_cache.entries;
+        self.connections.add(&other.connections);
     }
 
     /// Serialises the snapshot as a single-line JSON object:
-    /// `{"shards":[{...},...],"totals":{...},"plan_cache":{...},"kernel":{...}}`.
+    /// `{"shards":[{...},...],"totals":{...},"plan_cache":{...},"connections":{...},"kernel":{...}}`.
     #[must_use]
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
@@ -469,6 +602,8 @@ impl MetricsSnapshot {
             self.plan_cache.entries
         )
         .expect("writing to a String cannot fail");
+        out.push_str(",\"connections\":");
+        self.connections.write_json(&mut out);
         write!(
             out,
             ",\"kernel\":{{\"selected\":\"{}\",\"forced_scalar\":{},\"cpu_features\":\"{}\"}}",
@@ -483,7 +618,8 @@ impl MetricsSnapshot {
     /// `{shard="i"}`-labelled series per counter (scrapers sum shards
     /// themselves), a `dbi_stage_latency_nanoseconds` summary with
     /// `{shard,stage,quantile}` labels plus `_sum`/`_count`, the
-    /// plan-cache counters, and a `dbi_kernel_info` gauge carrying the
+    /// plan-cache counters, the connection-plane counters and buffer
+    /// high-watermarks, and a `dbi_kernel_info` gauge carrying the
     /// dispatch tier and CPU features as labels.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
@@ -625,6 +761,48 @@ impl MetricsSnapshot {
                 "gauge",
                 "Plans resident in the cache.",
                 self.plan_cache.entries as u64,
+            ),
+        ] {
+            writeln!(out, "# HELP {name} {help}").expect("writing to a String cannot fail");
+            writeln!(out, "# TYPE {name} {kind}").expect("writing to a String cannot fail");
+            writeln!(out, "{name} {value}").expect("writing to a String cannot fail");
+        }
+        for (name, kind, help, value) in [
+            (
+                "dbi_connections_active",
+                "gauge",
+                "Connections currently multiplexed by the I/O threads.",
+                self.connections.active,
+            ),
+            (
+                "dbi_connections_accepted_total",
+                "counter",
+                "Connections accepted.",
+                self.connections.accepted,
+            ),
+            (
+                "dbi_connections_closed_total",
+                "counter",
+                "Connections closed, for any reason.",
+                self.connections.closed,
+            ),
+            (
+                "dbi_connections_dropped_slow_total",
+                "counter",
+                "Connections dropped for crossing the slow-consumer write high-watermark.",
+                self.connections.dropped_slow,
+            ),
+            (
+                "dbi_connection_read_buf_high_watermark_bytes",
+                "gauge",
+                "Largest read buffer any connection has grown.",
+                self.connections.read_buf_high_watermark,
+            ),
+            (
+                "dbi_connection_write_buf_high_watermark_bytes",
+                "gauge",
+                "Largest write buffer any connection has grown.",
+                self.connections.write_buf_high_watermark,
             ),
         ] {
             writeln!(out, "# HELP {name} {help}").expect("writing to a String cannot fail");
@@ -773,6 +951,14 @@ mod tests {
         assert!(
             json.contains("\"plan_cache\":{\"hits\":5,\"misses\":2,\"evictions\":1,\"entries\":2}")
         );
+        // A registry snapshot has no connection plane attached, so the
+        // block is present but zeroed, sitting between plan_cache and
+        // kernel.
+        assert!(json.contains(
+            ",\"connections\":{\"active\":0,\"accepted\":0,\"closed\":0,\
+             \"dropped_slow\":0,\"read_buf_high_watermark\":0,\
+             \"write_buf_high_watermark\":0},\"kernel\":{"
+        ));
         // Exactly one shard object plus the totals object, each with a
         // top-level and a verify-block "requests" key.
         assert_eq!(json.matches("\"requests\":").count(), 4);
@@ -823,6 +1009,14 @@ mod tests {
                 evictions: 1,
                 entries: 1,
             },
+            connections: ConnectionsSnapshot {
+                active: 1,
+                accepted: 3,
+                closed: 2,
+                dropped_slow: 1,
+                read_buf_high_watermark: 4096,
+                write_buf_high_watermark: 65536,
+            },
             kernel: "scalar",
             forced_scalar: false,
             cpu_features: "none",
@@ -852,6 +1046,9 @@ mod tests {
             "{{\"shards\":[{shard_json}],\"totals\":{shard_json},\
              \"plan_cache\":{{\"hits\":4,\"misses\":2,\"evictions\":1,\
              \"entries\":1}},\
+             \"connections\":{{\"active\":1,\"accepted\":3,\"closed\":2,\
+             \"dropped_slow\":1,\"read_buf_high_watermark\":4096,\
+             \"write_buf_high_watermark\":65536}},\
              \"kernel\":{{\"selected\":\"scalar\",\"forced_scalar\":false,\
              \"cpu_features\":\"none\"}}}}"
         );
@@ -886,6 +1083,14 @@ mod tests {
         ));
         assert!(text.contains("dbi_plan_cache_hits_total 4\n"));
         assert!(text.contains("dbi_plan_cache_entries 1\n"));
+        assert!(text.contains("# TYPE dbi_connections_active gauge\n"));
+        assert!(text.contains("dbi_connections_active 1\n"));
+        assert!(text.contains("# TYPE dbi_connections_accepted_total counter\n"));
+        assert!(text.contains("dbi_connections_accepted_total 3\n"));
+        assert!(text.contains("dbi_connections_closed_total 2\n"));
+        assert!(text.contains("dbi_connections_dropped_slow_total 1\n"));
+        assert!(text.contains("dbi_connection_read_buf_high_watermark_bytes 4096\n"));
+        assert!(text.contains("dbi_connection_write_buf_high_watermark_bytes 65536\n"));
         assert!(text.contains(
             "dbi_kernel_info{selected=\"scalar\",forced_scalar=\"false\",cpu_features=\"none\"} 1\n"
         ));
@@ -916,6 +1121,14 @@ mod tests {
         assert_eq!(left.per_shard[1].queue_depth_peak, 9);
         assert_eq!(left.plan_cache.hits, 8);
         assert_eq!(left.plan_cache.entries, 2);
+        // Connection counters sum; the buffer high-watermarks take the
+        // maximum (both sides peaked at the same size here).
+        assert_eq!(left.connections.active, 2);
+        assert_eq!(left.connections.accepted, 6);
+        assert_eq!(left.connections.closed, 4);
+        assert_eq!(left.connections.dropped_slow, 2);
+        assert_eq!(left.connections.read_buf_high_watermark, 4096);
+        assert_eq!(left.connections.write_buf_high_watermark, 65536);
         // The kernel block keeps the left side's values.
         assert_eq!(left.kernel, "scalar");
         let totals = left.totals();

@@ -1,77 +1,94 @@
 //! The TCP front end.
 //!
 //! [`TcpServer::bind`] accepts connections on a [`std::net::TcpListener`]
-//! and serves each one from its own thread with a dedicated
-//! [`LocalClient`](crate::LocalClient) — so the socket layer is a thin
-//! framing shim over exactly the path in-process callers use, and a TCP
-//! client observes byte-identical results to a local one. One frame in,
-//! one frame out: encode requests are answered with an encode response or
-//! an error frame, metrics requests with the JSON snapshot, and the
-//! protocol-4 telemetry requests with the engine's merged trace-ring and
-//! slowlog contents.
+//! and hands each accepted stream to the event-driven connection plane
+//! ([`conn`](crate::conn)): a small fixed pool of I/O threads, each
+//! multiplexing thousands of nonblocking connections under a
+//! [`poller::Poller`] readiness loop. Requests flow into the engine's
+//! non-blocking submission path and responses flow back through
+//! per-thread completion mailboxes, so the socket layer adds no
+//! per-connection threads and a TCP client still observes byte-identical
+//! results to an in-process [`LocalClient`](crate::LocalClient).
 //!
-//! Protocol violations at the *framing* level (bad magic, wrong version,
-//! oversized or truncated header) are answered with a
-//! [`BadRequest`](crate::wire::ErrorCode::BadRequest) error frame, then
-//! the connection is closed: a peer that cannot frame correctly cannot be
-//! resynchronised. A well-framed body that fails to decode (unknown
-//! scheme tag, inconsistent lengths, bad UTF-8) also gets `BadRequest`,
-//! but the connection stays open — the frame boundary is intact, so the
-//! next frame can still be served.
+//! Legacy (v1–v4) frames keep their strict one-in, one-out ordering per
+//! connection. Protocol-5 *pipelined* frames carry a request id and may
+//! be submitted concurrently; their responses are matched by id, not
+//! arrival order. Framing-level protocol violations (bad magic, wrong
+//! version, oversized header) are answered with a
+//! [`BadRequest`](crate::wire::ErrorCode::BadRequest) error frame and the
+//! connection closes once it flushes; a well-framed body that fails to
+//! decode also gets `BadRequest` but the connection stays open. A
+//! connection that stops draining its responses is dropped with a typed
+//! [`SlowConsumer`](crate::wire::ErrorCode::SlowConsumer) frame once its
+//! write buffer crosses the configured high-watermark
+//! ([`ConnConfig::write_high_watermark`]).
 
-use crate::client::read_frame;
-use crate::engine::{EncodeBatchRequest, EncodeReply, EncodeRequest, Engine};
-use crate::error::ClientError;
-use crate::wire::{
-    self, EncodeBatchResponseFrame, EncodeResponseFrame, ErrorCode, ErrorFrame, Frame,
-};
-use std::io::{self, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use crate::conn::{ConnConfig, ConnPlane, Inbox};
+use crate::engine::Engine;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-
-type ConnectionList = Arc<Mutex<Vec<(JoinHandle<()>, Option<TcpStream>)>>>;
 
 /// A running TCP front end over an [`Engine`].
 ///
 /// Dropping the server (or calling [`TcpServer::shutdown`]) stops the
-/// accept loop, severs every open connection and joins all threads. The
-/// engine itself keeps running — it is shared, and may be fronted by
-/// several servers or used in-process at the same time.
+/// accept loop, then stops and joins every I/O thread — each closes all
+/// the connections it multiplexes on the way out, so shutdown is
+/// deterministic. The engine itself keeps running — it is shared, and
+/// may be fronted by several servers or used in-process at the same
+/// time.
 #[derive(Debug)]
 pub struct TcpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
-    connections: ConnectionList,
+    plane: ConnPlane,
 }
 
 impl TcpServer {
     /// Binds a listener (use port 0 for an OS-assigned port, retrievable
-    /// via [`TcpServer::addr`]) and starts accepting connections.
+    /// via [`TcpServer::addr`]) and starts accepting connections with the
+    /// default [`ConnConfig`].
     ///
     /// # Errors
     ///
-    /// Any [`io::Error`] from binding the listener.
+    /// Any [`io::Error`] from binding the listener or starting the
+    /// connection plane.
     pub fn bind(engine: &Engine, addr: impl ToSocketAddrs) -> io::Result<TcpServer> {
+        TcpServer::bind_with(engine, addr, ConnConfig::default())
+    }
+
+    /// [`TcpServer::bind`] with an explicit connection-plane
+    /// configuration (I/O thread count, buffer high-watermarks, and the
+    /// pipelining window).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from binding the listener or starting the
+    /// connection plane.
+    pub fn bind_with(
+        engine: &Engine,
+        addr: impl ToSocketAddrs,
+        config: ConnConfig,
+    ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let plane = ConnPlane::start(engine, config)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let connections: ConnectionList = Arc::new(Mutex::new(Vec::new()));
         let accept = {
-            let engine = engine.clone();
             let stop = Arc::clone(&stop);
-            let connections = Arc::clone(&connections);
+            let inboxes = plane.inboxes();
             std::thread::Builder::new()
                 .name("dbi-accept".to_owned())
-                .spawn(move || accept_loop(&listener, &engine, &stop, &connections))?
+                .spawn(move || accept_loop(&listener, &stop, &inboxes))?
         };
         Ok(TcpServer {
             addr: local,
             stop,
             accept: Some(accept),
-            connections,
+            plane,
         })
     }
 
@@ -81,7 +98,8 @@ impl TcpServer {
         self.addr
     }
 
-    /// Stops accepting, severs open connections and joins every thread.
+    /// Stops accepting, closes every multiplexed connection and joins
+    /// the accept thread and every I/O thread.
     pub fn shutdown(mut self) {
         self.stop_now();
     }
@@ -100,20 +118,7 @@ impl TcpServer {
                 let _ = accept.join();
             }
         }
-        let connections =
-            core::mem::take(&mut *self.connections.lock().expect("connection list poisoned"));
-        for (handle, stream) in connections {
-            match stream {
-                Some(stream) => {
-                    let _ = stream.shutdown(Shutdown::Both);
-                    let _ = handle.join();
-                }
-                // No severable handle (try_clone failed at accept time):
-                // a blocked reader cannot be woken, so leak the thread
-                // rather than deadlock shutdown on its join.
-                None => drop(handle),
-            }
-        }
+        self.plane.shutdown();
     }
 }
 
@@ -123,158 +128,18 @@ impl Drop for TcpServer {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    engine: &Engine,
-    stop: &Arc<AtomicBool>,
-    connections: &ConnectionList,
-) {
+/// The accept loop: blocking accept(2), round-robin hand-off of each
+/// stream to an I/O thread's inbox. All protocol work happens on the I/O
+/// threads.
+fn accept_loop(listener: &TcpListener, stop: &Arc<AtomicBool>, inboxes: &[Arc<Inbox>]) {
+    let mut next = 0usize;
     for incoming in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             return;
         }
         let Ok(stream) = incoming else { continue };
         let _ = stream.set_nodelay(true);
-        // Keep a second handle so shutdown can sever a blocked reader.
-        let severable = stream.try_clone().ok();
-        let engine = engine.clone();
-        let handle = std::thread::Builder::new()
-            .name("dbi-conn".to_owned())
-            .spawn(move || handle_connection(&engine, stream));
-        if let Ok(handle) = handle {
-            let mut list = connections.lock().expect("connection list poisoned");
-            // Reap finished connections so a long-lived server with many
-            // short-lived clients does not accumulate dead handles and
-            // their duplicated socket fds.
-            let mut index = 0;
-            while index < list.len() {
-                if list[index].0.is_finished() {
-                    let (done, stream) = list.swap_remove(index);
-                    drop(stream);
-                    let _ = done.join();
-                } else {
-                    index += 1;
-                }
-            }
-            list.push((handle, severable));
-        }
-    }
-}
-
-/// Serves one connection until the peer hangs up, the transport fails, or
-/// the peer violates the protocol.
-fn handle_connection(engine: &Engine, mut stream: TcpStream) {
-    let mut local = engine.local_client();
-    let mut in_buf = Vec::new();
-    let mut out_buf = Vec::new();
-    let mut reply = EncodeReply::new();
-
-    loop {
-        match read_frame(&mut stream, &mut in_buf) {
-            Ok(true) => {}
-            // Clean EOF: the peer is done.
-            Ok(false) => return,
-            Err(ClientError::Wire(err)) => {
-                out_buf.clear();
-                ErrorFrame {
-                    code: ErrorCode::BadRequest,
-                    message: &err.to_string(),
-                }
-                .encode_into(&mut out_buf);
-                let _ = stream.write_all(&out_buf);
-                return;
-            }
-            Err(_) => return,
-        }
-
-        out_buf.clear();
-        match wire::decode_frame(&in_buf) {
-            Ok((Frame::EncodeRequest(view), _)) => {
-                let request = EncodeRequest {
-                    session_id: view.session_id,
-                    scheme: view.scheme,
-                    cost_model: view.cost_model,
-                    groups: view.groups,
-                    burst_len: view.burst_len,
-                    want_masks: view.want_masks,
-                    verify: view.verify,
-                    payload: view.payload,
-                };
-                match local.encode(&request, &mut reply) {
-                    Ok(()) => EncodeResponseFrame {
-                        session_id: view.session_id,
-                        bursts: reply.bursts,
-                        per_group: &reply.per_group,
-                        masks: &reply.masks,
-                    }
-                    .encode_into(&mut out_buf),
-                    Err(err) => ErrorFrame {
-                        code: err.code(),
-                        message: &err.to_string(),
-                    }
-                    .encode_into(&mut out_buf),
-                }
-            }
-            Ok((Frame::EncodeBatchRequest(view), _)) => {
-                let request = EncodeBatchRequest {
-                    session_id: view.session_id,
-                    scheme: view.scheme,
-                    cost_model: view.cost_model,
-                    groups: view.groups,
-                    burst_len: view.burst_len,
-                    want_masks: view.want_masks,
-                    verify: view.verify,
-                    count: view.count,
-                    payload: view.payload,
-                };
-                match local.encode_batch(&request, &mut reply) {
-                    Ok(()) => EncodeBatchResponseFrame {
-                        session_id: view.session_id,
-                        bursts: reply.bursts,
-                        count: view.count,
-                        per_group: &reply.per_group,
-                        masks: &reply.masks,
-                    }
-                    .encode_into(&mut out_buf),
-                    Err(err) => ErrorFrame {
-                        code: err.code(),
-                        message: &err.to_string(),
-                    }
-                    .encode_into(&mut out_buf),
-                }
-            }
-            Ok((Frame::MetricsRequest, _)) => {
-                wire::encode_metrics_response(&mut out_buf, &engine.metrics_json());
-            }
-            Ok((Frame::TraceDumpRequest(max_events), _)) => {
-                let events = engine.trace_dump(max_events as usize);
-                wire::encode_trace_dump_response(&mut out_buf, &events);
-            }
-            Ok((Frame::SlowlogRequest(max_entries), _)) => {
-                let entries = engine.slowlog(max_entries as usize);
-                wire::encode_slowlog_response(
-                    &mut out_buf,
-                    engine.slowlog_threshold_ns(),
-                    &entries,
-                );
-            }
-            Ok(_) => {
-                ErrorFrame {
-                    code: ErrorCode::BadRequest,
-                    message: "only encode, metrics and telemetry requests are accepted",
-                }
-                .encode_into(&mut out_buf);
-            }
-            Err(err) => {
-                ErrorFrame {
-                    code: ErrorCode::BadRequest,
-                    message: &err.to_string(),
-                }
-                .encode_into(&mut out_buf);
-            }
-        }
-        if stream.write_all(&out_buf).is_err() {
-            return;
-        }
+        inboxes[next % inboxes.len()].push_conn(stream);
+        next = next.wrapping_add(1);
     }
 }

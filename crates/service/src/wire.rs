@@ -30,6 +30,11 @@
 //! | 9 | [`TraceDumpResponseView`] | service → client | v4 |
 //! | 10 | slowlog query (`u32` max entries) | client → service | v4 |
 //! | 11 | [`SlowlogResponseView`] | service → client | v4 |
+//! | 12 | [`PipelinedRequestFrame`] | client → service | v5 |
+//! | 13 | [`PipelinedResponseFrame`] | service → client | v5 |
+//! | 14 | [`PipelinedBatchRequestFrame`] | client → service | v5 |
+//! | 15 | [`PipelinedBatchResponseFrame`] | service → client | v5 |
+//! | 16 | [`PipelinedErrorFrame`] | service → client | v5 |
 //!
 //! ## The v3 batch frames
 //!
@@ -78,9 +83,30 @@
 //! checked eagerly by the decoder, so the views' record iterators cannot
 //! fail. Every v1–v3 body layout is unchanged.
 //!
+//! ## The v5 pipelined frames
+//!
+//! Protocol 5 adds **pipelining**: tags 12–16 are the encode
+//! request/response pair, the batch pair and the error frame with a
+//! little-endian `u64` **request id** prefixed to the otherwise
+//! unchanged body:
+//!
+//! ```text
+//! pipelined body: request_id u64 | the corresponding v3/v4 body
+//! ```
+//!
+//! The id is chosen by the client and echoed verbatim in the matching
+//! response (or [`PipelinedErrorFrame`]), so many requests can be in
+//! flight on one connection and responses are matched **by id rather
+//! than by arrival order**. Ordering contract: responses may complete
+//! out of order *across* sessions, but requests of one session complete
+//! FIFO — sticky shard routing still serialises each session's carried
+//! bus state, so pipelined results stay bit-identical to a serial run.
+//! The non-pipelined tags remain valid under a v5 header with their
+//! strict one-in-one-out semantics.
+//!
 //! ## Versioning
 //!
-//! This build speaks protocol [`VERSION`] 4. Version 2 added the
+//! This build speaks protocol [`VERSION`] 5. Version 2 added the
 //! fixed-width **cost-model field** to encode requests: [`CostModel`]
 //! selects the (α, β) source for a session — the weights embedded in the
 //! scheme (v1 semantics), raw runtime coefficients, or a named phy
@@ -101,7 +127,8 @@
 //! * the batch tags (6, 7) exist only from v3 on — under a v1/v2 header
 //!   they are [`WireError::UnknownFrameType`], exactly as a genuine v1/v2
 //!   peer would treat them; the telemetry tags (8–11) exist only from v4
-//!   on, under the same rule;
+//!   on, and the pipelined tags (12–16) only from v5 on, under the same
+//!   rule;
 //! * the verify bit exists only from v3 on — under a v1/v2 header it is
 //!   [`WireError::VerifyUnsupported`] (those versions defined the byte
 //!   as a bare boolean, so a set bit 1 there is a corrupt or lying
@@ -111,7 +138,7 @@
 //!   accepted version.
 //!
 //! The compatibility is deliberately **receive-side only**: this build
-//! answers every peer with version-4 headers, so a strict older peer
+//! answers every peer with version-5 headers, so a strict older peer
 //! (whose decoder rejects any newer version byte) can be *decoded by*
 //! this service but cannot parse its replies. That keeps the frame
 //! writers version-free and is sufficient for the supported migration
@@ -140,11 +167,15 @@ pub const MAGIC: [u8; 2] = *b"DB";
 /// Protocol version written by this build. Peers announcing a version
 /// outside [`LEGACY_VERSION`]`..=`[`VERSION`] are rejected with
 /// [`WireError::UnsupportedVersion`].
-pub const VERSION: u8 = 4;
+pub const VERSION: u8 = 5;
 
-/// The previous protocol version (batch frames and the verify bit, no
-/// telemetry frames), still accepted on decode (see the
+/// The previous protocol version (telemetry frames, no pipelined
+/// frames), still accepted on decode (see the
 /// [module documentation](self) for the compatibility rules).
+pub const V4_VERSION: u8 = 4;
+
+/// Protocol version 3 (batch frames and the verify bit, no telemetry
+/// frames), still accepted on decode.
 pub const V3_VERSION: u8 = 3;
 
 /// Protocol version 2 (cost-model field, no batch frames), still
@@ -171,6 +202,14 @@ pub const VERIFY_MIN_VERSION: u8 = 3;
 /// future version bumps keep decoding version-4 telemetry streams.
 pub const TELEMETRY_MIN_VERSION: u8 = 4;
 
+/// The protocol version that introduced the pipelined frames (tags
+/// 12–16): request/response pairs carrying a `u64` **request id** so
+/// many frames can be in flight per connection, matched by id rather
+/// than ordering. Their tags under an older header are
+/// [`WireError::UnknownFrameType`] — pinned here, not to [`VERSION`], so
+/// future version bumps keep decoding version-5 pipelined streams.
+pub const PIPELINE_MIN_VERSION: u8 = 5;
+
 /// The oldest protocol version still accepted on decode (no cost-model
 /// field, no batch frames).
 pub const LEGACY_VERSION: u8 = 1;
@@ -185,6 +224,10 @@ pub const MAX_BODY_LEN: usize = 8 << 20;
 /// Size of the fixed-width wire encoding of a [`CostModel`]: a tag byte
 /// plus a 12-byte payload (padded so every variant is the same width).
 pub const COST_MODEL_WIRE_BYTES: usize = 13;
+
+/// Size of the request-id prefix every protocol-5 pipelined body starts
+/// with.
+pub const REQUEST_ID_WIRE_BYTES: usize = 8;
 
 /// Fixed-size prefix of a version-2 encode-request body, before the
 /// payload bytes. Public so the engine can verify an admitted request
@@ -222,6 +265,11 @@ mod tag {
     pub const TRACE_DUMP_RESPONSE: u8 = 9;
     pub const SLOWLOG_REQUEST: u8 = 10;
     pub const SLOWLOG_RESPONSE: u8 = 11;
+    pub const PIPELINED_REQUEST: u8 = 12;
+    pub const PIPELINED_RESPONSE: u8 = 13;
+    pub const PIPELINED_BATCH_REQUEST: u8 = 14;
+    pub const PIPELINED_BATCH_RESPONSE: u8 = 15;
+    pub const PIPELINED_ERROR: u8 = 16;
 }
 
 /// A malformed or unsupported frame. Decoding never panics; every failure
@@ -300,7 +348,7 @@ impl fmt::Display for WireError {
                 write!(
                     f,
                     "unsupported protocol version {v} (this build speaks {VERSION} \
-                     and still decodes {LEGACY_VERSION} through {V3_VERSION})"
+                     and still decodes {LEGACY_VERSION} through {V4_VERSION})"
                 )
             }
             WireError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
@@ -375,6 +423,11 @@ pub enum ErrorCode {
     /// — the engine detected an encode/decode asymmetry (protocol
     /// version 3).
     VerifyMismatch = 9,
+    /// The connection's write buffer overran its high-watermark: the
+    /// peer stopped draining responses faster than it submitted
+    /// requests, and the service dropped the connection rather than
+    /// block an I/O thread on it (protocol version 5).
+    SlowConsumer = 10,
 }
 
 impl ErrorCode {
@@ -389,6 +442,7 @@ impl ErrorCode {
             7 => Ok(ErrorCode::Internal),
             8 => Ok(ErrorCode::BadCostModel),
             9 => Ok(ErrorCode::VerifyMismatch),
+            10 => Ok(ErrorCode::SlowConsumer),
             other => Err(WireError::UnknownErrorCode(other)),
         }
     }
@@ -716,12 +770,18 @@ impl EncodeRequestFrame<'_> {
     /// Appends the full frame (header + body) to `out`, in the
     /// [`VERSION`]-3 layout.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
-        let (tag, weights) = scheme_to_wire(self.scheme);
         push_header(
             out,
             tag::ENCODE_REQUEST,
             REQUEST_HEAD_LEN + self.payload.len(),
         );
+        self.push_body(out);
+    }
+
+    /// Appends the body alone — shared with the protocol-5 pipelined
+    /// form, whose body is this one behind a request-id prefix.
+    fn push_body(&self, out: &mut Vec<u8>) {
+        let (tag, weights) = scheme_to_wire(self.scheme);
         out.extend_from_slice(&self.session_id.to_le_bytes());
         out.push(tag);
         out.extend_from_slice(&weights.to_le_bytes());
@@ -859,12 +919,18 @@ impl<'a> EncodeBatchRequestFrame<'a> {
     /// Appends the full frame (header + body) to `out`, in the
     /// [`VERSION`]-3 layout.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
-        let (tag, weights) = scheme_to_wire(self.scheme);
         push_header(
             out,
             tag::ENCODE_BATCH_REQUEST,
             BATCH_REQUEST_HEAD_LEN + self.payload.len(),
         );
+        self.push_body(out);
+    }
+
+    /// Appends the body alone — shared with the protocol-5 pipelined
+    /// form.
+    fn push_body(&self, out: &mut Vec<u8>) {
+        let (tag, weights) = scheme_to_wire(self.scheme);
         out.extend_from_slice(&self.session_id.to_le_bytes());
         out.push(tag);
         out.extend_from_slice(&weights.to_le_bytes());
@@ -970,10 +1036,19 @@ pub struct EncodeResponseFrame<'a> {
 impl EncodeResponseFrame<'_> {
     /// Appends the full frame (header + body) to `out`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
-        let body_len = RESPONSE_HEAD_LEN
+        push_header(out, tag::ENCODE_RESPONSE, self.body_len());
+        self.push_body(out);
+    }
+
+    fn body_len(&self) -> usize {
+        RESPONSE_HEAD_LEN
             + self.per_group.len() * CostBreakdown::WIRE_BYTES
-            + self.masks.len() * InversionMask::WIRE_BYTES;
-        push_header(out, tag::ENCODE_RESPONSE, body_len);
+            + self.masks.len() * InversionMask::WIRE_BYTES
+    }
+
+    /// Appends the body alone — shared with the protocol-5 pipelined
+    /// form.
+    fn push_body(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.session_id.to_le_bytes());
         out.extend_from_slice(&self.bursts.to_le_bytes());
         out.extend_from_slice(&(self.per_group.len() as u16).to_le_bytes());
@@ -1082,10 +1157,19 @@ pub struct EncodeBatchResponseFrame<'a> {
 impl EncodeBatchResponseFrame<'_> {
     /// Appends the full frame (header + body) to `out`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
-        let body_len = BATCH_RESPONSE_HEAD_LEN
+        push_header(out, tag::ENCODE_BATCH_RESPONSE, self.body_len());
+        self.push_body(out);
+    }
+
+    fn body_len(&self) -> usize {
+        BATCH_RESPONSE_HEAD_LEN
             + self.per_group.len() * CostBreakdown::WIRE_BYTES
-            + self.masks.len() * InversionMask::WIRE_BYTES;
-        push_header(out, tag::ENCODE_BATCH_RESPONSE, body_len);
+            + self.masks.len() * InversionMask::WIRE_BYTES
+    }
+
+    /// Appends the body alone — shared with the protocol-5 pipelined
+    /// form.
+    fn push_body(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.session_id.to_le_bytes());
         out.extend_from_slice(&self.bursts.to_le_bytes());
         out.extend_from_slice(&self.count.to_le_bytes());
@@ -1212,6 +1296,142 @@ fn decode_error(body: &[u8]) -> Result<ErrorView<'_>, WireError> {
         code: ErrorCode::from_u8(code)?,
         message: core::str::from_utf8(message).map_err(|_| WireError::BadUtf8)?,
     })
+}
+
+/// Splits the `u64` request-id prefix off a protocol-5 pipelined body.
+fn split_request_id(body: &[u8]) -> Result<(u64, &[u8]), WireError> {
+    if body.len() < REQUEST_ID_WIRE_BYTES {
+        return Err(WireError::Truncated {
+            needed: REQUEST_ID_WIRE_BYTES,
+            got: body.len(),
+        });
+    }
+    let id = u64::from_le_bytes(body[..REQUEST_ID_WIRE_BYTES].try_into().expect("checked"));
+    Ok((id, &body[REQUEST_ID_WIRE_BYTES..]))
+}
+
+/// A pipelined encode request (protocol version 5): an
+/// [`EncodeRequestFrame`] behind a client-chosen `u64` **request id**.
+/// Many of these may be in flight on one connection; the service echoes
+/// the id on the matching [`PipelinedResponseFrame`] (or
+/// [`PipelinedErrorFrame`]), so responses are matched by id rather than
+/// by ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelinedRequestFrame<'a> {
+    /// Client-chosen id echoed by the matching response; unique among
+    /// the connection's in-flight requests.
+    pub request_id: u64,
+    /// The encode request itself, in its unchanged v3 body layout.
+    pub request: EncodeRequestFrame<'a>,
+}
+
+impl PipelinedRequestFrame<'_> {
+    /// Appends the full frame (header + body) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        push_header(
+            out,
+            tag::PIPELINED_REQUEST,
+            REQUEST_ID_WIRE_BYTES + REQUEST_HEAD_LEN + self.request.payload.len(),
+        );
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        self.request.push_body(out);
+    }
+}
+
+/// A pipelined batch encode request (protocol version 5): the
+/// [`EncodeBatchRequestFrame`] body behind a `u64` request id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelinedBatchRequestFrame<'a> {
+    /// See [`PipelinedRequestFrame::request_id`].
+    pub request_id: u64,
+    /// The batch request itself, in its unchanged v3 body layout.
+    pub request: EncodeBatchRequestFrame<'a>,
+}
+
+impl PipelinedBatchRequestFrame<'_> {
+    /// Appends the full frame (header + body) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        push_header(
+            out,
+            tag::PIPELINED_BATCH_REQUEST,
+            REQUEST_ID_WIRE_BYTES + BATCH_REQUEST_HEAD_LEN + self.request.payload.len(),
+        );
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        self.request.push_body(out);
+    }
+}
+
+/// A pipelined encode response (protocol version 5): the
+/// [`EncodeResponseFrame`] body behind the request's echoed id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelinedResponseFrame<'a> {
+    /// Echo of the request's id.
+    pub request_id: u64,
+    /// The response itself, in its unchanged v1 body layout.
+    pub response: EncodeResponseFrame<'a>,
+}
+
+impl PipelinedResponseFrame<'_> {
+    /// Appends the full frame (header + body) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        push_header(
+            out,
+            tag::PIPELINED_RESPONSE,
+            REQUEST_ID_WIRE_BYTES + self.response.body_len(),
+        );
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        self.response.push_body(out);
+    }
+}
+
+/// A pipelined batch encode response (protocol version 5): the
+/// [`EncodeBatchResponseFrame`] body behind the request's echoed id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelinedBatchResponseFrame<'a> {
+    /// Echo of the request's id.
+    pub request_id: u64,
+    /// The batch response itself, in its unchanged v3 body layout.
+    pub response: EncodeBatchResponseFrame<'a>,
+}
+
+impl PipelinedBatchResponseFrame<'_> {
+    /// Appends the full frame (header + body) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        push_header(
+            out,
+            tag::PIPELINED_BATCH_RESPONSE,
+            REQUEST_ID_WIRE_BYTES + self.response.body_len(),
+        );
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        self.response.push_body(out);
+    }
+}
+
+/// A pipelined error response (protocol version 5): an [`ErrorFrame`]
+/// behind the failed request's echoed id, so a failure among many
+/// in-flight requests still lands on the right caller. Connection-level
+/// failures that cannot be attributed to one request (malformed frames,
+/// slow-consumer drops) keep using the plain [`ErrorFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelinedErrorFrame<'a> {
+    /// Echo of the failed request's id.
+    pub request_id: u64,
+    /// The typed error itself, in its unchanged v1 body layout.
+    pub error: ErrorFrame<'a>,
+}
+
+impl PipelinedErrorFrame<'_> {
+    /// Appends the full frame (header + body) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        push_header(
+            out,
+            tag::PIPELINED_ERROR,
+            REQUEST_ID_WIRE_BYTES + 1 + self.error.message.len(),
+        );
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.push(self.error.code as u8);
+        out.extend_from_slice(self.error.message.as_bytes());
+    }
 }
 
 /// Appends a metrics-request frame (empty body) to `out`.
@@ -1402,6 +1622,44 @@ pub enum Frame<'a> {
     SlowlogRequest(u32),
     /// A service slowlog response (protocol 4).
     SlowlogResponse(SlowlogResponseView<'a>),
+    /// A pipelined client encode request (protocol 5), matched to its
+    /// response by `request_id` instead of arrival order.
+    PipelinedRequest {
+        /// The client-chosen request id.
+        request_id: u64,
+        /// The request body, unchanged from the non-pipelined form.
+        request: EncodeRequestView<'a>,
+    },
+    /// A pipelined service encode response (protocol 5).
+    PipelinedResponse {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// The response body, unchanged from the non-pipelined form.
+        response: EncodeResponseView<'a>,
+    },
+    /// A pipelined client batch encode request (protocol 5).
+    PipelinedBatchRequest {
+        /// The client-chosen request id.
+        request_id: u64,
+        /// The batch request body, unchanged from the non-pipelined form.
+        request: EncodeBatchRequestView<'a>,
+    },
+    /// A pipelined service batch encode response (protocol 5).
+    PipelinedBatchResponse {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// The batch response body, unchanged from the non-pipelined
+        /// form.
+        response: EncodeBatchResponseView<'a>,
+    },
+    /// A pipelined service error response (protocol 5), attributed to
+    /// one in-flight request by its echoed id.
+    PipelinedError {
+        /// Echo of the failed request's id.
+        request_id: u64,
+        /// The typed error body, unchanged from the non-pipelined form.
+        error: ErrorView<'a>,
+    },
 }
 
 /// Decodes the frame starting at `bytes[0]` and returns it together with
@@ -1459,6 +1717,42 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame<'_>, usize), WireError> {
         }
         tag::SLOWLOG_RESPONSE if header.version >= TELEMETRY_MIN_VERSION => {
             Frame::SlowlogResponse(decode_slowlog_response(body)?)
+        }
+        // The pipelined tags exist only from protocol 5 on, same rule.
+        tag::PIPELINED_REQUEST if header.version >= PIPELINE_MIN_VERSION => {
+            let (request_id, rest) = split_request_id(body)?;
+            Frame::PipelinedRequest {
+                request_id,
+                request: decode_request(rest, header.version)?,
+            }
+        }
+        tag::PIPELINED_RESPONSE if header.version >= PIPELINE_MIN_VERSION => {
+            let (request_id, rest) = split_request_id(body)?;
+            Frame::PipelinedResponse {
+                request_id,
+                response: decode_response(rest)?,
+            }
+        }
+        tag::PIPELINED_BATCH_REQUEST if header.version >= PIPELINE_MIN_VERSION => {
+            let (request_id, rest) = split_request_id(body)?;
+            Frame::PipelinedBatchRequest {
+                request_id,
+                request: decode_batch_request(rest, header.version)?,
+            }
+        }
+        tag::PIPELINED_BATCH_RESPONSE if header.version >= PIPELINE_MIN_VERSION => {
+            let (request_id, rest) = split_request_id(body)?;
+            Frame::PipelinedBatchResponse {
+                request_id,
+                response: decode_batch_response(rest)?,
+            }
+        }
+        tag::PIPELINED_ERROR if header.version >= PIPELINE_MIN_VERSION => {
+            let (request_id, rest) = split_request_id(body)?;
+            Frame::PipelinedError {
+                request_id,
+                error: decode_error(rest)?,
+            }
         }
         other => return Err(WireError::UnknownFrameType(other)),
     };

@@ -111,7 +111,21 @@ fn two_sessions_with_different_cost_models_carry_independent_streams() {
     let json = client_a.metrics_json().unwrap();
     assert!(json.contains("\"plan_cache\":{\"hits\":"), "{json}");
     assert!(json.contains("\"misses\":2"), "{json}");
-    assert_eq!(engine.metrics().to_json(), json);
+    // The wire snapshot additionally carries the live connection-plane
+    // counters, which the engine-side registry cannot see; both TCP
+    // clients must show up in it. Splice the block down to the zeroed
+    // engine-side shape before comparing the rest byte-for-byte.
+    let start = json.find("\"connections\":{").expect("connections block");
+    let end = start + json[start..].find('}').expect("flat object") + 1;
+    assert!(json[start..end].contains("\"active\":2"), "{json}");
+    assert!(json[start..end].contains("\"accepted\":2"), "{json}");
+    let neutral = format!(
+        "{}\"connections\":{{\"active\":0,\"accepted\":0,\"closed\":0,\"dropped_slow\":0,\
+         \"read_buf_high_watermark\":0,\"write_buf_high_watermark\":0}}{}",
+        &json[..start],
+        &json[end..]
+    );
+    assert_eq!(engine.metrics().to_json(), neutral);
 
     drop(client_a);
     drop(client_b);

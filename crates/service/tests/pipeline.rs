@@ -1,0 +1,226 @@
+//! End-to-end tests of protocol-5 pipelining over the event-driven
+//! connection plane: many requests in flight on one connection, matched
+//! to responses by request id.
+//!
+//! The ordering contract under test:
+//!
+//! * **across sessions** completions may arrive out of submission order
+//!   (shard workers run independently);
+//! * **within one session** completions stay FIFO (sticky sharding
+//!   orders same-session work);
+//! * and the interleaved pipelined results are **bit-identical** to a
+//!   serial [`BusSession`] run, because each session's carried bus state
+//!   evolves exactly as in a single-threaded encode.
+
+use dbi_core::{InversionMask, Scheme};
+use dbi_mem::BusSession;
+use dbi_service::wire::ErrorCode;
+use dbi_service::{
+    CostModel, EncodeReply, EncodeRequest, Engine, PipelinedClient, ServiceConfig, TcpServer,
+    VerifyMode,
+};
+use std::collections::HashMap;
+use std::time::Duration;
+
+const GROUPS: u16 = 4;
+const BURST_LEN: u8 = 8;
+const ACCESS_BYTES: usize = GROUPS as usize * BURST_LEN as usize;
+
+fn pseudo_random(len: usize, mut seed: u32) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (seed >> 24) as u8
+        })
+        .collect()
+}
+
+fn request(session_id: u64, payload: &[u8]) -> EncodeRequest<'_> {
+    EncodeRequest {
+        session_id,
+        scheme: Scheme::OptFixed,
+        cost_model: CostModel::Inline,
+        groups: GROUPS,
+        burst_len: BURST_LEN,
+        want_masks: true,
+        verify: VerifyMode::Off,
+        payload,
+    }
+}
+
+/// Serial reference: the same stream through one `BusSession`.
+fn reference_masks(data: &[u8]) -> Vec<InversionMask> {
+    let mut session = BusSession::with_plan_geometry(
+        usize::from(GROUPS),
+        usize::from(BURST_LEN),
+        Scheme::OptFixed.plan(),
+    );
+    let mut per_group = Vec::new();
+    let mut masks = Vec::new();
+    session
+        .encode_stream_into(data, &mut per_group, Some(&mut masks))
+        .unwrap();
+    masks
+}
+
+/// A deterministically slowed session's completion must arrive *after*
+/// faster sessions submitted behind it — responses are matched by id,
+/// not by ordering.
+#[test]
+fn completions_cross_sessions_out_of_order() {
+    let engine = Engine::start(ServiceConfig {
+        shards: 2,
+        ..ServiceConfig::default()
+    });
+    const SLOW_SESSION: u64 = 1_000;
+    engine.inject_slowdown_for_tests(SLOW_SESSION, Duration::from_millis(50));
+
+    let server = TcpServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let mut client = PipelinedClient::connect(server.addr()).unwrap();
+    let payload = pseudo_random(ACCESS_BYTES, 0x51);
+
+    // The slow session goes first; eight fast sessions pile in behind it.
+    // Sticky sharding is deterministic, so some of them always land on
+    // the other shard and finish while the slow worker sleeps.
+    let slow_id = client.submit(&request(SLOW_SESSION, &payload)).unwrap();
+    let mut fast_ids = Vec::new();
+    for session in 1..=8u64 {
+        fast_ids.push(client.submit(&request(session, &payload)).unwrap());
+    }
+
+    let mut reply = EncodeReply::new();
+    let mut arrival = Vec::new();
+    for _ in 0..=fast_ids.len() {
+        let done = client.next_completion(&mut reply).unwrap();
+        assert!(done.is_ok(), "{:?}", done.error);
+        arrival.push(done.request_id);
+    }
+    assert_eq!(client.in_flight(), 0);
+    assert_ne!(
+        arrival[0], slow_id,
+        "a fast session must complete before the slowed one: {arrival:?}"
+    );
+    assert!(arrival.contains(&slow_id), "{arrival:?}");
+
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// Within one session, completions arrive in submission order even with
+/// the whole window in flight — sticky sharding serialises them.
+#[test]
+fn completions_within_a_session_stay_fifo() {
+    let engine = Engine::start(ServiceConfig {
+        shards: 4,
+        ..ServiceConfig::default()
+    });
+    let server = TcpServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let mut client = PipelinedClient::connect(server.addr()).unwrap();
+
+    const REQUESTS: usize = 32;
+    let data = pseudo_random(ACCESS_BYTES * REQUESTS, 0xF1F0);
+    let mut submitted = Vec::new();
+    for chunk in data.chunks(ACCESS_BYTES) {
+        submitted.push(client.submit(&request(7, chunk)).unwrap());
+    }
+
+    let mut reply = EncodeReply::new();
+    let mut arrival = Vec::new();
+    for _ in 0..REQUESTS {
+        let done = client.next_completion(&mut reply).unwrap();
+        assert!(done.is_ok(), "{:?}", done.error);
+        arrival.push(done.request_id);
+    }
+    assert_eq!(
+        arrival, submitted,
+        "one session's completions must keep submission order"
+    );
+
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// Four sessions interleaved through one pipelined connection produce
+/// masks bit-identical to four serial `BusSession` runs — carried state
+/// never leaks across sessions, whatever the completion interleaving.
+#[test]
+fn interleaved_pipelined_load_is_bit_identical_to_serial() {
+    let engine = Engine::start(ServiceConfig {
+        shards: 2,
+        ..ServiceConfig::default()
+    });
+    let server = TcpServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let mut client = PipelinedClient::connect(server.addr()).unwrap();
+
+    const SESSIONS: u64 = 4;
+    const REQUESTS_PER_SESSION: usize = 6;
+    let streams: Vec<Vec<u8>> = (0..SESSIONS)
+        .map(|s| pseudo_random(ACCESS_BYTES * REQUESTS_PER_SESSION, 0xBEEF ^ (s as u32)))
+        .collect();
+
+    // Round-robin submission: session 0's chunk 0, session 1's chunk 0,
+    // ..., session 0's chunk 1, ... — maximum interleaving on the wire.
+    let mut id_to_session = HashMap::new();
+    for chunk in 0..REQUESTS_PER_SESSION {
+        for (session, stream) in streams.iter().enumerate() {
+            let payload = &stream[chunk * ACCESS_BYTES..(chunk + 1) * ACCESS_BYTES];
+            let id = client
+                .submit(&request(session as u64 + 1, payload))
+                .unwrap();
+            id_to_session.insert(id, session);
+        }
+    }
+
+    // Collect every completion, appending masks per session in arrival
+    // order (FIFO within a session makes that the stream order).
+    let mut reply = EncodeReply::new();
+    let mut masks: Vec<Vec<InversionMask>> = vec![Vec::new(); SESSIONS as usize];
+    for _ in 0..SESSIONS as usize * REQUESTS_PER_SESSION {
+        let done = client.next_completion(&mut reply).unwrap();
+        assert!(done.is_ok(), "{:?}", done.error);
+        let session = id_to_session[&done.request_id];
+        masks[session].extend_from_slice(&reply.masks);
+    }
+
+    for (session, stream) in streams.iter().enumerate() {
+        assert_eq!(
+            masks[session],
+            reference_masks(stream),
+            "session {session} diverged from the serial reference"
+        );
+    }
+
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// A per-request failure comes back as a `PipelinedError` echoing the
+/// failed request's id — and the connection stays usable for the
+/// requests around it.
+#[test]
+fn per_request_failures_echo_their_id_and_keep_the_connection() {
+    let engine = Engine::start(ServiceConfig::default());
+    let server = TcpServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let mut client = PipelinedClient::connect(server.addr()).unwrap();
+    let good = pseudo_random(ACCESS_BYTES, 0x60);
+    let bad = pseudo_random(ACCESS_BYTES - 1, 0xBAD); // not a whole access
+
+    let ok_before = client.submit(&request(1, &good)).unwrap();
+    let failing = client.submit(&request(2, &bad)).unwrap();
+    let ok_after = client.submit(&request(1, &good)).unwrap();
+
+    let mut reply = EncodeReply::new();
+    let mut outcomes = HashMap::new();
+    for _ in 0..3 {
+        let done = client.next_completion(&mut reply).unwrap();
+        outcomes.insert(done.request_id, done.error);
+    }
+    assert_eq!(outcomes[&ok_before], None);
+    assert_eq!(outcomes[&ok_after], None);
+    let (code, message) = outcomes[&failing].clone().expect("bad payload must fail");
+    assert_eq!(code, ErrorCode::BadPayload);
+    assert!(message.contains("31"), "{message}");
+
+    server.shutdown();
+    engine.shutdown();
+}

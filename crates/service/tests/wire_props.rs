@@ -718,3 +718,374 @@ fn concatenated_frames_are_walkable() {
     assert_eq!(seen, expected.len());
     assert_eq!(offset, buf.len());
 }
+
+// ---------------------------------------------------------------------------
+// Protocol 5: pipelined frames.
+// ---------------------------------------------------------------------------
+
+use dbi_service::wire::{
+    PipelinedBatchRequestFrame, PipelinedBatchResponseFrame, PipelinedErrorFrame,
+    PipelinedRequestFrame, PipelinedResponseFrame, V3_VERSION, V4_VERSION,
+};
+
+#[test]
+fn arbitrary_pipelined_frames_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x9192_5EED);
+    let mut payload = Vec::new();
+    let mut buf = Vec::new();
+    for _ in 0..ROUNDS {
+        // Request behind an id.
+        let (session_id, scheme, cost_model, groups, burst_len, want_masks) =
+            arbitrary_request(&mut rng, &mut payload);
+        let request = EncodeRequestFrame {
+            session_id,
+            scheme,
+            cost_model,
+            groups,
+            burst_len,
+            want_masks,
+            verify: VerifyMode::Off,
+            payload: &payload,
+        };
+        let request_id = rng.gen::<u64>();
+        buf.clear();
+        PipelinedRequestFrame {
+            request_id,
+            request,
+        }
+        .encode_into(&mut buf);
+        let (decoded, consumed) = decode_frame(&buf).expect("well-formed pipelined request");
+        assert_eq!(consumed, buf.len());
+        let Frame::PipelinedRequest {
+            request_id: echoed,
+            request: view,
+        } = decoded
+        else {
+            panic!("round trip changed the frame type");
+        };
+        assert_eq!(echoed, request_id);
+        assert_eq!(view.session_id, session_id);
+        assert_eq!(view.scheme, scheme);
+        assert_eq!(view.cost_model, cost_model);
+        assert_eq!(view.groups, groups);
+        assert_eq!(view.burst_len, burst_len);
+        assert_eq!(view.want_masks, want_masks);
+        assert_eq!(view.payload, payload.as_slice());
+
+        // Response behind the echoed id.
+        let per_group: Vec<CostBreakdown> = (0..rng.gen_range(0usize..8))
+            .map(|_| CostBreakdown::new(rng.gen::<u64>(), rng.gen::<u64>()))
+            .collect();
+        let masks: Vec<InversionMask> = (0..rng.gen_range(0usize..32))
+            .map(|_| InversionMask::from_bits(rng.gen::<u32>()))
+            .collect();
+        buf.clear();
+        PipelinedResponseFrame {
+            request_id,
+            response: EncodeResponseFrame {
+                session_id,
+                bursts: rng.gen::<u64>(),
+                per_group: &per_group,
+                masks: &masks,
+            },
+        }
+        .encode_into(&mut buf);
+        let (decoded, consumed) = decode_frame(&buf).expect("well-formed pipelined response");
+        assert_eq!(consumed, buf.len());
+        let Frame::PipelinedResponse {
+            request_id: echoed,
+            response: view,
+        } = decoded
+        else {
+            panic!("round trip changed the frame type");
+        };
+        assert_eq!(echoed, request_id);
+        assert_eq!(view.session_id, session_id);
+        assert_eq!(view.per_group().collect::<Vec<_>>(), per_group);
+        assert_eq!(view.masks().collect::<Vec<_>>(), masks);
+
+        // Typed failure behind the echoed id.
+        let message: String = (0..rng.gen_range(0usize..48))
+            .map(|_| char::from(rng.gen_range(b' '..b'~')))
+            .collect();
+        buf.clear();
+        PipelinedErrorFrame {
+            request_id,
+            error: ErrorFrame {
+                code: ErrorCode::Overloaded,
+                message: &message,
+            },
+        }
+        .encode_into(&mut buf);
+        let (decoded, consumed) = decode_frame(&buf).expect("well-formed pipelined error");
+        assert_eq!(consumed, buf.len());
+        let Frame::PipelinedError {
+            request_id: echoed,
+            error: view,
+        } = decoded
+        else {
+            panic!("round trip changed the frame type");
+        };
+        assert_eq!(echoed, request_id);
+        assert_eq!(view.code, ErrorCode::Overloaded);
+        assert_eq!(view.message, message);
+    }
+}
+
+#[test]
+fn arbitrary_pipelined_batch_frames_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C_41D5);
+    let mut payload = Vec::new();
+    let mut buf = Vec::new();
+    for _ in 0..ROUNDS {
+        let batch = arbitrary_batch(&mut rng, &mut payload);
+        let request_id = rng.gen::<u64>();
+        buf.clear();
+        PipelinedBatchRequestFrame {
+            request_id,
+            request: batch,
+        }
+        .encode_into(&mut buf);
+        let (decoded, consumed) = decode_frame(&buf).expect("well-formed pipelined batch");
+        assert_eq!(consumed, buf.len());
+        let Frame::PipelinedBatchRequest {
+            request_id: echoed,
+            request: view,
+        } = decoded
+        else {
+            panic!("round trip changed the frame type");
+        };
+        assert_eq!(echoed, request_id);
+        assert_eq!(view.session_id, batch.session_id);
+        assert_eq!(view.count, batch.count);
+        assert_eq!(view.payload, batch.payload);
+
+        buf.clear();
+        PipelinedBatchResponseFrame {
+            request_id,
+            response: EncodeBatchResponseFrame {
+                session_id: batch.session_id,
+                bursts: u64::from(batch.count),
+                count: batch.count,
+                per_group: &[],
+                masks: &[],
+            },
+        }
+        .encode_into(&mut buf);
+        let (decoded, consumed) = decode_frame(&buf).expect("well-formed pipelined batch response");
+        assert_eq!(consumed, buf.len());
+        let Frame::PipelinedBatchResponse {
+            request_id: echoed,
+            response: view,
+        } = decoded
+        else {
+            panic!("round trip changed the frame type");
+        };
+        assert_eq!(echoed, request_id);
+        assert_eq!(view.session_id, batch.session_id);
+        assert_eq!(view.count, batch.count);
+    }
+}
+
+/// Every strict prefix of a pipelined frame — the header, the request-id
+/// field, and everywhere inside the carried body — must decode to
+/// `Truncated`, never a panic or a wrong type.
+#[test]
+fn every_pipelined_truncation_is_rejected_without_panicking() {
+    let mut rng = StdRng::seed_from_u64(0x0007_0CA7);
+    let mut payload = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
+    for _ in 0..16 {
+        let (session_id, scheme, cost_model, groups, burst_len, want_masks) =
+            arbitrary_request(&mut rng, &mut payload);
+        buf.clear();
+        PipelinedRequestFrame {
+            request_id: rng.gen::<u64>(),
+            request: EncodeRequestFrame {
+                session_id,
+                scheme,
+                cost_model,
+                groups,
+                burst_len,
+                want_masks,
+                verify: VerifyMode::Off,
+                payload: &payload,
+            },
+        }
+        .encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            match decode_frame(&buf[..cut]) {
+                Err(WireError::Truncated { needed, got }) => {
+                    assert_eq!(got, cut);
+                    assert!(
+                        needed > cut,
+                        "cut at {cut}: needed {needed} must exceed the cut"
+                    );
+                }
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    // The error form too: its body is id + code + message.
+    buf.clear();
+    PipelinedErrorFrame {
+        request_id: 0x0123_4567_89AB_CDEF,
+        error: ErrorFrame {
+            code: ErrorCode::SlowConsumer,
+            message: "too slow",
+        },
+    }
+    .encode_into(&mut buf);
+    for cut in 0..buf.len() {
+        assert!(
+            matches!(decode_frame(&buf[..cut]), Err(WireError::Truncated { .. })),
+            "error frame cut at {cut} must be Truncated"
+        );
+    }
+}
+
+/// The request id is an opaque `u64`: every value is legal, so corrupting
+/// its bytes cannot be a wire error — but it must change *only* the id,
+/// leaving the carried request bit-identical.
+#[test]
+fn request_id_corruption_stays_inside_the_id_field() {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&[0xAB; 64]);
+    let request = EncodeRequestFrame {
+        session_id: 77,
+        scheme: Scheme::OptFixed,
+        cost_model: CostModel::Inline,
+        groups: 4,
+        burst_len: 8,
+        want_masks: true,
+        verify: VerifyMode::Off,
+        payload: &payload,
+    };
+    let original_id = 0x1111_2222_3333_4444u64;
+    let mut buf = Vec::new();
+    PipelinedRequestFrame {
+        request_id: original_id,
+        request,
+    }
+    .encode_into(&mut buf);
+    let id_field = HEADER_LEN..HEADER_LEN + dbi_service::wire::REQUEST_ID_WIRE_BYTES;
+    for byte in id_field.clone() {
+        for flip in [0x01u8, 0x80u8, 0xFF] {
+            let mut corrupt = buf.clone();
+            corrupt[byte] ^= flip;
+            let (decoded, consumed) =
+                decode_frame(&corrupt).expect("id corruption is not detectable");
+            assert_eq!(consumed, corrupt.len());
+            let Frame::PipelinedRequest {
+                request_id,
+                request: view,
+            } = decoded
+            else {
+                panic!("id corruption changed the frame type");
+            };
+            let mut expected = original_id.to_le_bytes();
+            expected[byte - HEADER_LEN] ^= flip;
+            assert_eq!(request_id, u64::from_le_bytes(expected));
+            assert_eq!(view.session_id, request.session_id);
+            assert_eq!(view.scheme, request.scheme);
+            assert_eq!(view.payload, request.payload);
+        }
+    }
+}
+
+/// v1–v4 headers predate the pipelined tags: under them, tags 12–16 are
+/// `UnknownFrameType` — exactly what a genuine old peer would answer.
+#[test]
+fn pipelined_frames_do_not_exist_below_v5() {
+    let payload = [0u8; 32];
+    let request = EncodeRequestFrame {
+        session_id: 5,
+        scheme: Scheme::OptFixed,
+        cost_model: CostModel::Inline,
+        groups: 4,
+        burst_len: 8,
+        want_masks: false,
+        verify: VerifyMode::Off,
+        payload: &payload,
+    };
+    let mut frames: Vec<(Vec<u8>, u8)> = Vec::new();
+    let mut buf = Vec::new();
+    PipelinedRequestFrame {
+        request_id: 1,
+        request,
+    }
+    .encode_into(&mut buf);
+    frames.push((buf.clone(), 12));
+    buf.clear();
+    PipelinedResponseFrame {
+        request_id: 1,
+        response: EncodeResponseFrame {
+            session_id: 5,
+            bursts: 1,
+            per_group: &[],
+            masks: &[],
+        },
+    }
+    .encode_into(&mut buf);
+    frames.push((buf.clone(), 13));
+    buf.clear();
+    PipelinedBatchRequestFrame {
+        request_id: 1,
+        request: EncodeBatchRequestFrame {
+            session_id: 5,
+            scheme: Scheme::OptFixed,
+            cost_model: CostModel::Inline,
+            groups: 4,
+            burst_len: 8,
+            want_masks: false,
+            verify: VerifyMode::Off,
+            count: 4,
+            payload: &payload,
+        },
+    }
+    .encode_into(&mut buf);
+    frames.push((buf.clone(), 14));
+    buf.clear();
+    PipelinedBatchResponseFrame {
+        request_id: 1,
+        response: EncodeBatchResponseFrame {
+            session_id: 5,
+            bursts: 1,
+            count: 1,
+            per_group: &[],
+            masks: &[],
+        },
+    }
+    .encode_into(&mut buf);
+    frames.push((buf.clone(), 15));
+    buf.clear();
+    PipelinedErrorFrame {
+        request_id: 1,
+        error: ErrorFrame {
+            code: ErrorCode::Overloaded,
+            message: "busy",
+        },
+    }
+    .encode_into(&mut buf);
+    frames.push((buf.clone(), 16));
+
+    for (frame, tag) in &frames {
+        assert_eq!(frame[3], *tag, "frame tag moved");
+        for old in [LEGACY_VERSION, V2_VERSION, V3_VERSION, V4_VERSION] {
+            let mut stamped = frame.clone();
+            stamped[2] = old;
+            assert_eq!(
+                decode_frame(&stamped),
+                Err(WireError::UnknownFrameType(*tag)),
+                "version {old} must not know pipelined tag {tag}"
+            );
+        }
+        // And under v5 the same bytes decode cleanly.
+        assert!(
+            decode_frame(frame).is_ok(),
+            "tag {tag} under v5: {:?}",
+            decode_frame(frame)
+        );
+    }
+}
