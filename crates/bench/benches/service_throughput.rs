@@ -17,7 +17,13 @@
 //!   multiplexing 64/256/1024 [`PipelinedClient`] connections into the
 //!   event-driven connection plane, keeping a constant
 //!   [`FAN_IN_WINDOW`]-deep aggregate pipeline in flight so the series
-//!   isolates what fan-in itself costs.
+//!   isolates what fan-in itself costs,
+//! * `local-contend` — the **many-session contention rows**:
+//!   [`CONTEND_SESSIONS`] client threads, each its own session, firing
+//!   small ([`CONTEND_ACCESSES`]-access) requests at once. This is the
+//!   profile the packed worker pass and the lock-free shard queues are
+//!   built for — many shallow streams contending for the same shards —
+//!   and `stage_queue_p99_us` is its headline column.
 //!
 //! Per-request latency is recorded and the run's requests/s, bursts/s
 //! and p50/p99 latency land in `BENCH_service.json` at the repository
@@ -35,6 +41,12 @@
 //! fails the workflow on batch-path regressions without timing noise;
 //! it additionally asserts that every stage histogram that should have
 //! run reports non-zero counts and percentiles).
+//!
+//! Full (non-smoke) runs also gate against the previously recorded
+//! `BENCH_service.json`: if any `local-batch` row's bursts/s falls below
+//! [`GATE_TOLERANCE`] of its recorded value the run prints a regression
+//! warning — or fails outright when `DBI_ENFORCE_SPEEDUP=1`, the CI mode
+//! for machines whose baseline was recorded on the same hardware.
 
 use dbi_core::Scheme;
 use dbi_service::telemetry::LatencyStats;
@@ -56,6 +68,18 @@ const ACCESSES_PER_REQUEST: usize = 16;
 const BATCH_ACCESSES: usize = 256;
 const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
 const BENCH_SEED: u64 = 0x5E41_11CE;
+
+/// Sessions in the many-session contention rows: enough concurrent
+/// shallow streams that shard queues stay deep and worker passes can
+/// pack cross-session rounds.
+const CONTEND_SESSIONS: usize = 64;
+/// Accesses per request on the contention rows: small on purpose, so
+/// queue handling and dispatch packing dominate over raw encode time.
+const CONTEND_ACCESSES: usize = 4;
+/// A `local-batch` row may drop to this fraction of its recorded
+/// bursts/s before the regression gate trips; headroom for ordinary
+/// run-to-run bench noise.
+const GATE_TOLERANCE: f64 = 0.90;
 
 /// Connection counts for the high-fan-in rows: the same aggregate load
 /// spread over ever more pipelined connections, all multiplexed onto the
@@ -199,6 +223,8 @@ fn run_config(
 ) -> Row {
     let accesses_per_request = if transport.ends_with("batch") {
         BATCH_ACCESSES
+    } else if transport == "local-contend" {
+        CONTEND_ACCESSES
     } else {
         ACCESSES_PER_REQUEST
     };
@@ -209,7 +235,7 @@ fn run_config(
                 let profile = profile_by_name(profile_name, BENCH_SEED ^ (client as u64) << 8);
                 let session_id = 0xB00 + client as u64;
                 s.spawn(move || match transport {
-                    "local" => {
+                    "local" | "local-contend" => {
                         let mut local = engine.local_client();
                         drive_client(
                             profile,
@@ -504,6 +530,37 @@ fn main() {
         }
     }
 
+    // Many-session contention rows: every session is its own client
+    // thread firing small requests, so shard queues stay deep and worker
+    // passes pack cross-session rounds. Queue-wait p99 is the headline.
+    let contend_clients = if smoke { 8 } else { CONTEND_SESSIONS };
+    let contend_requests = (requests_per_client / 4).max(8);
+    for profile in profiles {
+        let row = run_config(
+            &engine,
+            addr,
+            "local-contend",
+            profile,
+            scheme,
+            contend_clients,
+            contend_requests,
+        );
+        println!(
+            "{:<11} {:<8} {:>2} clients: {:>9.0} req/s {:>12.0} bursts/s  p50 {:>7.1} us  p99 {:>7.1} us  [stage p99: queue {:>6.1} encode {:>6.1} total {:>6.1} us]",
+            row.transport,
+            row.profile,
+            row.clients,
+            row.requests as f64 / row.elapsed_s,
+            row.bursts as f64 / row.elapsed_s,
+            row.p50_us,
+            row.p99_us,
+            row.stage_queue_p99_us,
+            row.stage_encode_p99_us,
+            row.stage_total_p99_us,
+        );
+        rows.push(row);
+    }
+
     if smoke {
         // The CI gate for the telemetry plane: every stage that executed
         // must have seen every request, with believable (non-zero)
@@ -528,8 +585,12 @@ fn main() {
         }
         println!("smoke mode: stage histograms consistent ({executed} samples per stage); skipping the BENCH_service.json rewrite");
     } else {
-        let json = render_json(scheme, requests_per_client, &rows);
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+        // Gate against the recorded baseline *before* overwriting it.
+        if let Ok(previous) = std::fs::read_to_string(path) {
+            gate_against_baseline(&previous, &rows);
+        }
+        let json = render_json(scheme, requests_per_client, &rows);
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {path}"),
             Err(err) => eprintln!("could not write {path}: {err}"),
@@ -549,6 +610,79 @@ fn main() {
     );
     server.shutdown();
     engine.shutdown();
+}
+
+/// Pulls one `"key": value` number out of a recorded row line. The file
+/// is this bench's own line-oriented output, so no JSON crate is needed.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Pulls one `"key": "value"` string out of a recorded row line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// The local-batch throughput gate: compares every freshly measured
+/// `local-batch` row against the same (profile, clients) row recorded in
+/// the previous `BENCH_service.json`. Regressions beyond
+/// [`GATE_TOLERANCE`] warn by default — bench runners are noisy and the
+/// recorded file may come from different hardware — and abort the run
+/// when `DBI_ENFORCE_SPEEDUP=1`.
+fn gate_against_baseline(previous: &str, rows: &[Row]) {
+    let mut regressions = 0u32;
+    for line in previous
+        .lines()
+        .filter(|line| line.contains("\"transport\": \"local-batch\""))
+    {
+        let (Some(profile), Some(clients), Some(recorded)) = (
+            field_str(line, "profile"),
+            field_f64(line, "clients"),
+            field_f64(line, "bursts_per_s"),
+        ) else {
+            continue;
+        };
+        let Some(row) = rows.iter().find(|row| {
+            row.transport == "local-batch"
+                && row.profile == profile
+                && row.clients == clients as usize
+        }) else {
+            continue;
+        };
+        let measured = row.bursts as f64 / row.elapsed_s;
+        if measured < recorded * GATE_TOLERANCE {
+            regressions += 1;
+            eprintln!(
+                "regression: local-batch/{profile}/{clients} clients: \
+                 {measured:.0} bursts/s vs {recorded:.0} recorded \
+                 ({:.1}% of baseline)",
+                measured / recorded * 100.0
+            );
+        }
+    }
+    if regressions > 0 {
+        let enforce = std::env::var("DBI_ENFORCE_SPEEDUP").is_ok_and(|v| v == "1");
+        assert!(
+            !enforce,
+            "{regressions} local-batch row(s) regressed past {GATE_TOLERANCE} \
+             of the recorded baseline (DBI_ENFORCE_SPEEDUP=1)"
+        );
+        eprintln!(
+            "warning: {regressions} local-batch row(s) below {GATE_TOLERANCE} of the \
+             recorded baseline; set DBI_ENFORCE_SPEEDUP=1 to make this fatal"
+        );
+    } else {
+        println!(
+            "throughput gate: every local-batch row within tolerance of the recorded baseline"
+        );
+    }
 }
 
 fn render_json(scheme: Scheme, requests_per_client: usize, rows: &[Row]) -> String {

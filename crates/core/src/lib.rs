@@ -112,7 +112,7 @@ pub use pareto::{ParetoFront, ParetoPoint};
 pub use plan::{EncodePlan, PlanCache, PlanCacheStats};
 pub use schemes::{DbiEncoder, Scheme};
 pub use simd::KernelKind;
-pub use slab::BurstSlab;
+pub use slab::{BurstSlab, ChainView};
 pub use stats::{SchemeComparison, SchemeStats};
 pub use word::{DbiBit, LaneWord};
 

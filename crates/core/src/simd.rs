@@ -66,6 +66,26 @@ pub enum KernelKind {
 }
 
 impl KernelKind {
+    /// How many chains this tier sweeps per lockstep block for the given
+    /// burst length — the lane-occupancy target a packed dispatch should
+    /// fill. The AVX2 tier is eight-wide only for its BL8 fast path
+    /// (other geometries ride the four-wide SSE2 blocks); the scalar
+    /// oracle walks one chain at a time.
+    #[must_use]
+    pub const fn lane_width(self, burst_len: usize) -> usize {
+        match self {
+            KernelKind::Scalar => 1,
+            KernelKind::Avx2 => {
+                if burst_len == 8 {
+                    8
+                } else {
+                    4
+                }
+            }
+            KernelKind::BitSliced | KernelKind::Sse2 | KernelKind::Neon => 4,
+        }
+    }
+
     /// Stable lowercase name, as recorded in `BENCH_encode.json`.
     #[must_use]
     pub const fn name(self) -> &'static str {

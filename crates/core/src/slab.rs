@@ -278,6 +278,42 @@ impl BurstSlab {
         self.costs.iter().copied().sum()
     }
 
+    /// A read-only view of one **chain** of a multi-chain slab — the
+    /// columns of rows `chain·per_chain .. (chain+1)·per_chain` under the
+    /// chain-major layout [`encode_chains_with`](BurstSlab::encode_chains_with)
+    /// and the lanes dispatches use. This is how a caller that packed
+    /// chains from *several* independent streams (the service packs lane
+    /// groups of several sessions into one kernel dispatch) carves its own
+    /// slice of the shared results back out: masks and cost rows come back
+    /// per chain without copying or re-walking the whole slab.
+    ///
+    /// The mask and cost slices are empty before the first encode (and the
+    /// cost slice whenever [`BurstSlab::pricing`] is off).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chains` is zero, `chain` is out of range, or the
+    /// slab's burst count is not a whole number of chains.
+    #[must_use]
+    pub fn chain_view(&self, chain: usize, chains: usize) -> ChainView<'_> {
+        assert!(chains > 0, "a chain view needs at least one chain");
+        assert!(chain < chains, "chain {chain} out of range for {chains}");
+        let count = self.burst_count();
+        assert!(
+            count.is_multiple_of(chains),
+            "slab burst count ({count}) must be a whole number of {chains}-chain columns"
+        );
+        let per_chain = count / chains;
+        let rows = chain * per_chain..(chain + 1) * per_chain;
+        let bytes = rows.start * self.burst_len..rows.end * self.burst_len;
+        ChainView {
+            bytes: &self.bytes[bytes],
+            masks: self.masks.get(rows.clone()).unwrap_or(&[]),
+            costs: self.costs.get(rows).unwrap_or(&[]),
+            burst_len: self.burst_len,
+        }
+    }
+
     /// Sizes the result arrays to the burst count (zeroing them) and hands
     /// out the three column views an encoder kernel writes through:
     /// `(payload bytes, masks, cost rows)`. For [`DbiEncoder`]
@@ -580,6 +616,58 @@ fn decode_chain_scalar(
     *state = BusState::new(prev);
 }
 
+/// One chain's slice of a multi-chain slab, as carved out by
+/// [`BurstSlab::chain_view`]: the payload bytes, inversion decisions and
+/// cost rows of the bursts that chain owns, in chain order. Borrowed, so
+/// reading a packed dispatch back costs no allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainView<'a> {
+    bytes: &'a [u8],
+    masks: &'a [InversionMask],
+    costs: &'a [CostBreakdown],
+    burst_len: usize,
+}
+
+impl<'a> ChainView<'a> {
+    /// The chain's payload bytes, burst-major.
+    #[must_use]
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// The payload bytes of burst `index` within the chain, if it exists.
+    #[must_use]
+    pub fn burst_bytes(&self, index: usize) -> Option<&'a [u8]> {
+        let start = index.checked_mul(self.burst_len)?;
+        self.bytes.get(start..start + self.burst_len)
+    }
+
+    /// The chain's per-burst inversion decisions (empty before the first
+    /// encode).
+    #[must_use]
+    pub fn masks(&self) -> &'a [InversionMask] {
+        self.masks
+    }
+
+    /// The chain's per-burst activity rows (empty when pricing is off).
+    #[must_use]
+    pub fn costs(&self) -> &'a [CostBreakdown] {
+        self.costs
+    }
+
+    /// Total activity across the chain's bursts.
+    #[must_use]
+    pub fn total(&self) -> CostBreakdown {
+        self.costs.iter().copied().sum()
+    }
+
+    /// Bursts in the chain.
+    #[must_use]
+    pub fn burst_count(&self) -> usize {
+        self.bytes.len() / self.burst_len
+    }
+}
+
 /// Encodes every burst of a slab through an encoder's per-burst fast path,
 /// carrying the bus state — the reference the overridden kernels must stay
 /// bit-identical to. Free function so tests and default implementations
@@ -650,5 +738,47 @@ mod tests {
         assert_eq!(state, before);
         assert!(slab.masks().is_empty());
         assert_eq!(slab.total(), CostBreakdown::ZERO);
+    }
+
+    #[test]
+    fn chain_views_carve_a_packed_encode_back_apart() {
+        // Three independent 4-burst chains in one slab: the per-chain
+        // views must return exactly the rows a per-chain encode of the
+        // same bytes would have produced.
+        let mut slab = BurstSlab::new(8);
+        let bytes: Vec<u8> = (0..96u32)
+            .map(|i| (i.wrapping_mul(37) >> 2) as u8)
+            .collect();
+        slab.extend_from_bytes(&bytes).unwrap();
+        let mut states = [BusState::idle(); 3];
+        Scheme::OptFixed.encode_lanes_into(&mut slab, &mut states);
+
+        for chain in 0..3 {
+            let view = slab.chain_view(chain, 3);
+            assert_eq!(view.burst_count(), 4);
+            assert_eq!(view.bytes(), &bytes[chain * 32..(chain + 1) * 32]);
+            assert_eq!(
+                view.burst_bytes(0),
+                Some(&bytes[chain * 32..chain * 32 + 8])
+            );
+            assert_eq!(view.burst_bytes(4), None);
+
+            let mut solo = BurstSlab::new(8);
+            solo.extend_from_bytes(view.bytes()).unwrap();
+            let mut state = BusState::idle();
+            Scheme::OptFixed.encode_slab_into(&mut solo, &mut state);
+            assert_eq!(view.masks(), solo.masks());
+            assert_eq!(view.costs(), solo.costs());
+            assert_eq!(view.total(), solo.total());
+            assert_eq!(states[chain], state);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn chain_view_rejects_ragged_chains() {
+        let mut slab = BurstSlab::new(8);
+        slab.extend_from_bytes(&[0u8; 24]).unwrap();
+        let _ = slab.chain_view(0, 2);
     }
 }

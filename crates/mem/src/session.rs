@@ -350,10 +350,6 @@ impl BusSession {
         let groups = self.groups.len();
         let burst_len = self.burst_len;
         let accesses = data.len() / self.access_bytes();
-        per_group.resize(groups, CostBreakdown::ZERO);
-        if let Some(masks) = masks.as_deref_mut() {
-            masks.resize(accesses * groups, InversionMask::NONE);
-        }
 
         // The session's contract includes per-group activity, so the slab
         // must price whatever the caller last used it for.
@@ -361,8 +357,52 @@ impl BusSession {
         // One chain-major fill — group `g` owns slab rows
         // `g·accesses .. (g+1)·accesses` — and then ONE lanes dispatch
         // encodes every group's chain, letting the SIMD kernels run the
-        // groups as parallel lanes of a single recurrence.
+        // groups as parallel lanes of a single recurrence. The fill and
+        // the result gather are the same primitives a *packed* caller
+        // (the service, packing several sessions into one dispatch) uses;
+        // here the session's chains are simply the whole slab.
         slab.reset(burst_len);
+        self.append_chains_to_slab(data, slab)?;
+        let plan = Arc::clone(&self.plan);
+        plan.encode_lanes_into(slab, &mut self.groups);
+        self.gather_packed_results(slab, groups, 0, per_group, masks);
+        Ok((accesses * groups) as u64)
+    }
+
+    /// Appends this session's lane-group **chains** for `data` onto
+    /// `slab`, chain-major — group `g`'s bursts in stream order, groups in
+    /// ascending order — without resetting the slab. This is the packing
+    /// half of the cross-session dispatch protocol: a caller serving
+    /// several sessions appends each session's chains in turn, gathers
+    /// every session's carried states with
+    /// [`BusSession::export_states_into`], runs **one**
+    /// `encode_lanes_into` over the shared slab, then hands results and
+    /// states back per session
+    /// ([`BusSession::gather_packed_results`] /
+    /// [`BusSession::import_states`]). Chains are independent recurrences,
+    /// so the packed dispatch is bit-identical to per-session dispatches.
+    ///
+    /// Returns the number of bursts appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadAccessSize`] when `data` is empty or not a
+    /// multiple of [`BusSession::access_bytes`]; the slab is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slab's burst length differs from the session's
+    /// (the caller primes the shared slab's geometry once per pass).
+    pub fn append_chains_to_slab(&self, data: &[u8], slab: &mut BurstSlab) -> Result<u64> {
+        self.check_stream(data)?;
+        assert_eq!(
+            slab.burst_len(),
+            self.burst_len,
+            "shared slab primed for a different burst length"
+        );
+        let groups = self.groups.len();
+        let burst_len = self.burst_len;
+        let accesses = data.len() / self.access_bytes();
         for group in 0..groups {
             for access in 0..accesses {
                 let base = access * groups * burst_len;
@@ -371,22 +411,76 @@ impl BusSession {
                 });
             }
         }
-        let plan = Arc::clone(&self.plan);
-        plan.encode_lanes_into(slab, &mut self.groups);
+        Ok((accesses * groups) as u64)
+    }
+
+    /// Carves this session's share of a **packed** dispatch back out of
+    /// the shared slab: per-group activity sums and — when requested — the
+    /// mask stream in transmission order (group-major within each access),
+    /// exactly as [`BusSession::encode_stream_slab_into`] reports them.
+    /// `chains_total` is the slab's total chain count across every packed
+    /// session and `chain_base` the index of this session's first chain,
+    /// as established by the [`BusSession::append_chains_to_slab`] order.
+    /// `per_group` and `masks` are cleared and refilled, reusing capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the chain range does not lie inside the slab's chain
+    /// grid (see [`BurstSlab::chain_view`]).
+    pub fn gather_packed_results(
+        &self,
+        slab: &BurstSlab,
+        chains_total: usize,
+        chain_base: usize,
+        per_group: &mut Vec<CostBreakdown>,
+        masks: Option<&mut Vec<InversionMask>>,
+    ) {
+        let groups = self.groups.len();
+        per_group.clear();
+        per_group.resize(groups, CostBreakdown::ZERO);
+        let mut accesses = 0;
         for (group, activity) in per_group.iter_mut().enumerate() {
-            *activity = slab.costs()[group * accesses..(group + 1) * accesses]
-                .iter()
-                .copied()
-                .sum();
+            let view = slab.chain_view(chain_base + group, chains_total);
+            accesses = view.burst_count();
+            *activity = view.total();
         }
         if let Some(masks) = masks {
-            // Scatter each group's column back into transmission order.
-            for (row, &mask) in slab.masks().iter().enumerate() {
-                let (group, access) = (row / accesses, row % accesses);
-                masks[access * groups + group] = mask;
+            masks.clear();
+            masks.resize(accesses * groups, InversionMask::NONE);
+            // Scatter each group's chain column back into transmission
+            // order.
+            for group in 0..groups {
+                let view = slab.chain_view(chain_base + group, chains_total);
+                for (access, &mask) in view.masks().iter().enumerate() {
+                    masks[access * groups + group] = mask;
+                }
             }
         }
-        Ok((accesses * groups) as u64)
+    }
+
+    /// Appends this session's carried per-group [`BusState`]s onto `out`
+    /// — the handoff a packed caller uses to assemble the chain-state
+    /// array of a multi-session `encode_lanes_into` dispatch (states in
+    /// the same order as the chains appended by
+    /// [`BusSession::append_chains_to_slab`]).
+    pub fn export_states_into(&self, out: &mut Vec<BusState>) {
+        out.extend_from_slice(&self.groups);
+    }
+
+    /// Installs the post-dispatch carried states handed back by a packed
+    /// caller, one per lane group — the inverse of
+    /// [`BusSession::export_states_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `states` does not hold exactly one state per group.
+    pub fn import_states(&mut self, states: &[BusState]) {
+        assert_eq!(
+            states.len(),
+            self.groups.len(),
+            "state handoff must cover every lane group"
+        );
+        self.groups.copy_from_slice(states);
     }
 
     /// Produces the **wire image** of an encoded stream: the payload bytes
@@ -860,6 +954,97 @@ mod tests {
                 serial_groups.iter().copied().sum(),
                 "{scheme}: halves must add up"
             );
+        }
+    }
+
+    #[test]
+    fn packed_cross_session_dispatch_matches_serial_sessions() {
+        // Two sessions' chains appended to ONE slab, encoded by a single
+        // kernel dispatch over the concatenated state vector, must produce
+        // bit-identical masks/costs/carried-states to two serial
+        // `encode_stream_slab_into` calls. This is the contract the service
+        // engine's cross-session lane packing rests on.
+        let config = ChannelConfig::gddr5x();
+        let data_a = test_stream(config.access_bytes() * 24, 0xA11);
+        let data_b = test_stream(config.access_bytes() * 24, 0xB22);
+        for scheme in Scheme::paper_set().iter().copied() {
+            let mut serial_a = BusSession::new(&config, scheme);
+            let mut serial_b = BusSession::new(&config, scheme);
+            let mut ref_groups_a = Vec::new();
+            let mut ref_masks_a = Vec::new();
+            let mut ref_groups_b = Vec::new();
+            let mut ref_masks_b = Vec::new();
+            let mut scratch = dbi_core::BurstSlab::new(config.burst_len());
+            serial_a
+                .encode_stream_slab_into(
+                    &data_a,
+                    &mut ref_groups_a,
+                    Some(&mut ref_masks_a),
+                    &mut scratch,
+                )
+                .unwrap();
+            serial_b
+                .encode_stream_slab_into(
+                    &data_b,
+                    &mut ref_groups_b,
+                    Some(&mut ref_masks_b),
+                    &mut scratch,
+                )
+                .unwrap();
+
+            // Packed run: both sessions share one slab and one dispatch.
+            let mut packed_a = BusSession::new(&config, scheme);
+            let mut packed_b = BusSession::new(&config, scheme);
+            let groups = packed_a.group_count();
+            let mut slab = dbi_core::BurstSlab::new(config.burst_len());
+            slab.set_pricing(true);
+            slab.reset(config.burst_len());
+            packed_a.append_chains_to_slab(&data_a, &mut slab).unwrap();
+            packed_b.append_chains_to_slab(&data_b, &mut slab).unwrap();
+            let mut states = Vec::new();
+            packed_a.export_states_into(&mut states);
+            packed_b.export_states_into(&mut states);
+            assert_eq!(states.len(), groups * 2);
+            let plan = Arc::clone(packed_a.plan());
+            plan.encode_lanes_into(&mut slab, &mut states);
+            packed_a.import_states(&states[..groups]);
+            packed_b.import_states(&states[groups..]);
+            let chains = groups * 2;
+            let mut got_groups_a = Vec::new();
+            let mut got_masks_a = Vec::new();
+            let mut got_groups_b = Vec::new();
+            let mut got_masks_b = Vec::new();
+            packed_a.gather_packed_results(
+                &slab,
+                chains,
+                0,
+                &mut got_groups_a,
+                Some(&mut got_masks_a),
+            );
+            packed_b.gather_packed_results(
+                &slab,
+                chains,
+                groups,
+                &mut got_groups_b,
+                Some(&mut got_masks_b),
+            );
+
+            assert_eq!(got_groups_a, ref_groups_a, "{scheme}: session A costs");
+            assert_eq!(got_masks_a, ref_masks_a, "{scheme}: session A masks");
+            assert_eq!(got_groups_b, ref_groups_b, "{scheme}: session B costs");
+            assert_eq!(got_masks_b, ref_masks_b, "{scheme}: session B masks");
+            for group in 0..groups {
+                assert_eq!(
+                    packed_a.group_state(group),
+                    serial_a.group_state(group),
+                    "{scheme}: session A carried state, group {group}"
+                );
+                assert_eq!(
+                    packed_b.group_state(group),
+                    serial_b.group_state(group),
+                    "{scheme}: session B carried state, group {group}"
+                );
+            }
         }
     }
 

@@ -9,27 +9,42 @@
 //! single-threaded run. No session is ever shared between threads, so the
 //! workers need no locks around the encode hot path.
 //!
-//! Queues are bounded: when a shard's queue is full, submission fails
-//! *immediately* with [`ServiceError::Overloaded`] — explicit backpressure
-//! instead of unbounded memory growth. Rejections, queue depth and
-//! per-request work are all counted in the per-shard
-//! [`metrics`](crate::metrics).
+//! Queues are bounded and **lock-free**: each shard queue is a
+//! Vyukov-style MPSC ring ([`eventring::Ring`]) paired with an eventcount
+//! ([`eventring::EventCount`]) the worker parks on when idle, so
+//! submitters never serialise on a queue mutex. When a shard's ring is
+//! full, submission fails *immediately* with [`ServiceError::Overloaded`]
+//! — explicit backpressure instead of unbounded memory growth.
+//! Rejections, queue depth and per-request work are all counted in the
+//! per-shard [`metrics`](crate::metrics).
 //!
-//! ## The batched data plane
+//! ## The packed data plane
 //!
-//! Workers encode through the slab path: each worker owns one reusable
-//! [`dbi_core::BurstSlab`] and runs every request through
-//! [`BusSession::encode_stream_slab_into`], so a whole request is one
-//! `encode_slab_into` kernel call per lane group instead of one dispatch
-//! per burst. When a worker pops a request it also **coalesces**: queued
-//! requests for the *same session and configuration* (matched by the
-//! routing key stamped on every queue entry) are drained — up to a bounded
-//! batch — and executed in the same worker pass, against one session-map
-//! lookup and one warm slab. Each coalesced request still gets its own
-//! response; because the drained requests are executed in their queue
-//! order against the same carried state, results are bit-identical to the
-//! uncoalesced schedule. Pass sizes and coalesced counts land in the
-//! `batch` block of the metrics.
+//! Workers encode through the slab path, and a worker pass packs chains
+//! from **multiple queued sessions** into shared kernel dispatches. A
+//! pass pops one job, drains a bounded window of further queued jobs
+//! (whatever their sessions), and partitions the window — in queue order
+//! — into *rounds*: each round holds at most one job per session, and
+//! every job in a round shares the same scheme, burst length and access
+//! count, so the round's chains form one uniform slab grid. The round
+//! then runs as ONE packed dispatch: each session appends its lane-group
+//! chains ([`BusSession::append_chains_to_slab`]) and exports its carried
+//! states ([`BusSession::export_states_into`]), a single
+//! `encode_lanes_into` sweep encodes every chain — cross-session packing
+//! is what fills the SIMD kernels' full lane width even when each request
+//! covers only a few groups — and each session then re-imports its
+//! states and carves its share of masks and costs back out
+//! ([`BusSession::import_states`] /
+//! [`BusSession::gather_packed_results`]).
+//!
+//! Chains are independent recurrences and rounds execute in formation
+//! order, so per-session FIFO is preserved and every reply is
+//! bit-identical to the uncoalesced schedule (differential-tested in
+//! `tests/packed_differential.rs`). Verify-mode requests ride the same
+//! packed machinery: the receiver session decodes through
+//! [`BusSession::decode_stream_slab_into`], the slab-kernel decode path.
+//! Pass sizes, coalesced counts and per-dispatch lane occupancy land in
+//! the `batch` block of the metrics.
 //!
 //! ## The allocation-free request path
 //!
@@ -61,14 +76,14 @@ use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::telemetry::{TelemetryRegistry, TraceEvent, TraceOutcome};
 use crate::wire::{CostModel, EncodeBatchRequestFrame, EncodeRequestFrame, VerifyMode};
 use dbi_core::{
-    clock, BurstSlab, BusState, CostBreakdown, InversionMask, LaneWord, PlanCache, PlanCacheStats,
-    Scheme,
+    clock, BurstSlab, BusState, CostBreakdown, DbiEncoder, InversionMask, KernelKind, LaneWord,
+    PlanCache, PlanCacheStats, Scheme,
 };
 use dbi_mem::{BusSession, ChannelActivity};
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -82,10 +97,20 @@ pub type EncodeRequest<'a> = EncodeRequestFrame<'a>;
 /// [`EncodeRequest`].
 pub type EncodeBatchRequest<'a> = EncodeBatchRequestFrame<'a>;
 
-/// Upper bound on how many queued same-session requests one worker pass
-/// coalesces behind the request it popped. Bounds the latency a burst of
-/// sibling requests can add to unrelated sessions waiting in the queue.
+/// Upper bound on how many further queued requests one worker pass drains
+/// behind the request it popped (the packing window). Bounds the latency
+/// a burst of requests can add to work still arriving behind it.
 const COALESCE_LIMIT: usize = 16;
+
+/// Largest chain count one packed round accepts before a job opens a new
+/// round. Generous multiple of every kernel's lane width; bounds the
+/// shared slab's mask/cost arrays.
+const ROUND_CHAIN_LIMIT: u32 = 64;
+
+/// Largest payload volume (bytes) one packed round accepts before a job
+/// opens a new round — bounds the shared slab's resident size no matter
+/// how large the individual requests in the window are.
+const ROUND_BYTE_LIMIT: usize = 1 << 20;
 
 /// Largest accepted lane-group count. A x64 channel is 8 groups; 64 leaves
 /// generous headroom for exotic geometries without letting a hostile frame
@@ -264,33 +289,38 @@ pub(crate) struct RouteKey {
     pub(crate) burst_len: u8,
 }
 
-/// A bounded multi-producer queue feeding one shard worker.
+/// A bounded **lock-free** multi-producer queue feeding one shard worker:
+/// a Vyukov-style ring holds the jobs (exact logical capacity, so the
+/// [`ServiceError::Overloaded`] threshold is precisely
+/// [`ServiceConfig::queue_capacity`]) and an eventcount lets the worker
+/// park when idle without putting a mutex on the submission path.
+///
+/// Shutdown protocol: `close` raises the flag, spins out the producers
+/// currently inside `try_push` (the `inflight` count), then wakes the
+/// worker. `pop_blocking` only returns `None` after observing
+/// `closed && inflight == 0` *and* a final empty pop — so every job a
+/// producer was admitted to push is drained and answered before the
+/// worker exits, exactly as the old mutex queue guaranteed by
+/// linearising `close` against `try_push`.
 #[derive(Debug)]
 struct ShardQueue {
-    inner: Mutex<QueueState>,
-    not_empty: Condvar,
-}
-
-#[derive(Debug)]
-struct QueueState {
-    jobs: VecDeque<(RouteKey, Arc<RequestSlot>)>,
-    capacity: usize,
-    closed: bool,
+    ring: eventring::Ring<(RouteKey, Arc<RequestSlot>)>,
+    ready: eventring::EventCount,
+    closed: AtomicBool,
+    inflight: AtomicUsize,
 }
 
 impl ShardQueue {
     fn new(capacity: usize) -> Self {
         ShardQueue {
-            inner: Mutex::new(QueueState {
-                jobs: VecDeque::with_capacity(capacity),
-                capacity,
-                closed: false,
-            }),
-            not_empty: Condvar::new(),
+            ring: eventring::Ring::with_capacity(capacity),
+            ready: eventring::EventCount::new(),
+            closed: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
         }
     }
 
-    /// Non-blocking enqueue: a full queue is an immediate, explicit
+    /// Non-blocking enqueue: a full ring is an immediate, explicit
     /// overload signal, never a stall.
     fn try_push(
         &self,
@@ -298,58 +328,54 @@ impl ShardQueue {
         key: RouteKey,
         job: Arc<RequestSlot>,
     ) -> Result<(), ServiceError> {
-        let mut state = self.inner.lock().expect("queue mutex poisoned");
-        if state.closed {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        if self.closed.load(Ordering::SeqCst) {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
             return Err(ServiceError::ShuttingDown);
         }
-        if state.jobs.len() >= state.capacity {
-            return Err(ServiceError::Overloaded { shard });
+        let pushed = self.ring.push((key, job));
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        match pushed {
+            Ok(()) => {
+                self.ready.notify_all();
+                Ok(())
+            }
+            Err(_full) => Err(ServiceError::Overloaded { shard }),
         }
-        state.jobs.push_back((key, job));
-        drop(state);
-        self.not_empty.notify_one();
-        Ok(())
+    }
+
+    /// Non-blocking dequeue, used to drain the packing window behind a
+    /// popped job.
+    fn try_pop(&self) -> Option<(RouteKey, Arc<RequestSlot>)> {
+        self.ring.pop()
     }
 
     /// Blocking dequeue; `None` once the queue is closed and drained.
-    fn pop(&self) -> Option<(RouteKey, Arc<RequestSlot>)> {
-        let mut state = self.inner.lock().expect("queue mutex poisoned");
+    fn pop_blocking(&self) -> Option<(RouteKey, Arc<RequestSlot>)> {
         loop {
-            if let Some(job) = state.jobs.pop_front() {
+            if let Some(job) = self.ring.pop() {
                 return Some(job);
             }
-            if state.closed {
-                return None;
+            let ticket = self.ready.listen();
+            if let Some(job) = self.ring.pop() {
+                return Some(job);
             }
-            state = self.not_empty.wait(state).expect("queue mutex poisoned");
-        }
-    }
-
-    /// Removes every queued job whose key equals `key` — up to `limit` of
-    /// them, preserving their relative order — into `out`. Jobs for other
-    /// sessions keep their positions, so coalescing never reorders work
-    /// *within* any session.
-    fn drain_matching(&self, key: &RouteKey, out: &mut Vec<Arc<RequestSlot>>, limit: usize) {
-        if limit == 0 {
-            return;
-        }
-        let mut state = self.inner.lock().expect("queue mutex poisoned");
-        let mut index = 0;
-        let mut taken = 0;
-        while index < state.jobs.len() && taken < limit {
-            if state.jobs[index].0 == *key {
-                let (_, slot) = state.jobs.remove(index).expect("index is in bounds");
-                out.push(slot);
-                taken += 1;
-            } else {
-                index += 1;
+            if self.closed.load(Ordering::SeqCst) && self.inflight.load(Ordering::SeqCst) == 0 {
+                // Reading `inflight == 0` (SeqCst) after `closed` means
+                // every admitted push has finished its ring insertion;
+                // one last pop linearises the drain.
+                return self.ring.pop();
             }
+            self.ready.wait(ticket);
         }
     }
 
     fn close(&self) {
-        self.inner.lock().expect("queue mutex poisoned").closed = true;
-        self.not_empty.notify_all();
+        self.closed.store(true, Ordering::SeqCst);
+        while self.inflight.load(Ordering::SeqCst) > 0 {
+            std::hint::spin_loop();
+        }
+        self.ready.notify_all();
     }
 }
 
@@ -1071,6 +1097,73 @@ fn record_telemetry(
     });
 }
 
+/// One job of a worker pass: the queue entry plus the packing decisions
+/// made for it (which round it executes in and where its chains start in
+/// that round's shared slab).
+struct PassJob {
+    key: RouteKey,
+    slot: Arc<RequestSlot>,
+    /// Accesses (bursts per lane group) in the job's payload, read once
+    /// at window-drain time; the round key that keeps slab grids uniform.
+    accesses: u32,
+    /// Round index this job executes in (set by `form_rounds`).
+    round: u32,
+    /// Index of this job's first chain within its round's packed state
+    /// vector and slab grid (set during the round's packing phase).
+    chain_base: u32,
+    /// Set once the job's slot has been published (success or failure);
+    /// later phases skip it.
+    done: bool,
+}
+
+/// A packed round's shared identity: every member job agrees on all
+/// three, so the round's chains form one uniform slab grid encoded by a
+/// single `encode_lanes_into` dispatch.
+#[derive(Clone, Copy)]
+struct RoundMeta {
+    scheme: Scheme,
+    burst_len: u8,
+    accesses: u32,
+    /// Chains packed so far (sum of member jobs' group counts).
+    chains: u32,
+    /// Payload bytes packed so far (for [`ROUND_BYTE_LIMIT`]).
+    bytes: usize,
+}
+
+/// One shard worker's whole private state: the session map plus every
+/// reusable buffer of the packed data path. All scratch survives across
+/// passes, so a warmed-up worker allocates nothing per request.
+struct ShardWorker<'a> {
+    shard: usize,
+    metrics: &'a crate::metrics::ShardMetrics,
+    telemetry: &'a TelemetryRegistry,
+    plans: &'a PlanCache,
+    hooks: &'a TestHooks,
+    max_sessions: usize,
+    /// The process-selected SIMD tier, resolved once: a dispatch whose
+    /// chain count reaches this kernel's lane width is "full-width" in
+    /// the lane-occupancy metrics.
+    kernel: KernelKind,
+    sessions: HashMap<u64, SessionEntry>,
+    /// The packed encode slab every round runs through.
+    slab: BurstSlab,
+    /// The receiver-side slab verify-mode round trips decode through.
+    decode_slab: BurstSlab,
+    /// The packed dispatch's chain states: each member session's carried
+    /// states, concatenated in chain order. Post-dispatch states are
+    /// imported back per session.
+    states: Vec<BusState>,
+    /// Copy of `states` taken before the dispatch — the transmitter
+    /// pre-request states verify-mode receivers are synchronised to.
+    pre_states: Vec<BusState>,
+    verify_scratch: VerifyScratch,
+    window: Vec<PassJob>,
+    rounds: Vec<RoundMeta>,
+    /// Last round index per session seen while forming rounds (linear
+    /// scan: the window is small).
+    session_rounds: Vec<(u64, u32)>,
+}
+
 fn worker_loop(
     shard: usize,
     queue: &ShardQueue,
@@ -1080,113 +1173,346 @@ fn worker_loop(
     max_sessions: usize,
     hooks: &TestHooks,
 ) {
-    let shard_metrics = metrics.shard(shard);
-    let mut sessions: HashMap<u64, SessionEntry> = HashMap::new();
-    // One reusable slab per worker: every request on this shard encodes
-    // through it, whatever the session geometry (the session resets it).
-    let mut slab = BurstSlab::new(dbi_core::STANDARD_BURST_LEN);
-    let mut verify_scratch = VerifyScratch::default();
-    let mut pass: Vec<Arc<RequestSlot>> = Vec::with_capacity(COALESCE_LIMIT + 1);
-    while let Some((key, slot)) = queue.pop() {
-        shard_metrics.dequeue();
-        pass.clear();
-        pass.push(slot);
-        // Coalesce queued siblings of the same session/config into this
-        // pass — their relative order is preserved, so the carried state
-        // evolves exactly as it would have uncoalesced.
-        queue.drain_matching(&key, &mut pass, COALESCE_LIMIT);
-        for _ in 1..pass.len() {
-            shard_metrics.dequeue();
+    let mut worker = ShardWorker {
+        shard,
+        metrics: metrics.shard(shard),
+        telemetry,
+        plans,
+        hooks,
+        max_sessions,
+        kernel: dbi_core::simd::selected_kernel(),
+        sessions: HashMap::new(),
+        slab: BurstSlab::new(dbi_core::STANDARD_BURST_LEN),
+        decode_slab: BurstSlab::new(dbi_core::STANDARD_BURST_LEN),
+        states: Vec::new(),
+        pre_states: Vec::new(),
+        verify_scratch: VerifyScratch::default(),
+        window: Vec::with_capacity(COALESCE_LIMIT + 1),
+        rounds: Vec::with_capacity(COALESCE_LIMIT + 1),
+        session_rounds: Vec::with_capacity(COALESCE_LIMIT + 1),
+    };
+    while let Some((key, slot)) = queue.pop_blocking() {
+        worker.metrics.dequeue();
+        worker.window.clear();
+        worker.push_job(key, slot);
+        // Drain the packing window: whatever is queued behind the popped
+        // job — any session, any geometry — joins this pass.
+        while worker.window.len() <= COALESCE_LIMIT {
+            match queue.try_pop() {
+                Some((key, slot)) => {
+                    worker.metrics.dequeue();
+                    worker.push_job(key, slot);
+                }
+                None => break,
+            }
         }
-        let coalesced = (pass.len() - 1) as u64;
-        // One dequeue stamp serves the whole pass: the coalesced siblings
-        // left the queue in the same drain.
+        // One dequeue stamp serves the whole pass: the window left the
+        // queue in the same drain.
         let dequeue_ns = clock::now_nanos();
-        if hooks.slow_delay_ns.load(Ordering::Relaxed) > 0
-            && hooks.slow_session.load(Ordering::Relaxed) == key.session_id
-        {
-            std::thread::sleep(Duration::from_nanos(
-                hooks.slow_delay_ns.load(Ordering::Relaxed),
-            ));
+        worker.run_pass(dequeue_ns);
+    }
+}
+
+impl ShardWorker<'_> {
+    fn push_job(&mut self, key: RouteKey, slot: Arc<RequestSlot>) {
+        let payload_len = slot
+            .state
+            .lock()
+            .expect("slot mutex poisoned")
+            .payload
+            .len();
+        let access_bytes = usize::from(key.groups) * usize::from(key.burst_len);
+        let accesses = (payload_len / access_bytes) as u32;
+        self.window.push(PassJob {
+            key,
+            slot,
+            accesses,
+            round: 0,
+            chain_base: 0,
+            done: false,
+        });
+    }
+
+    /// Partitions the window, in queue order, into packed rounds. A job
+    /// joins the first round that (a) comes strictly after every earlier
+    /// round holding the same session — rounds run in order, so this
+    /// preserves per-session FIFO and keeps at most one job per session
+    /// per round, (b) matches its scheme/burst-length/access-count, and
+    /// (c) still has chain and byte headroom; otherwise it opens a new
+    /// round. Jobs of *different* sessions may hop ahead into an earlier
+    /// round — sessions are independent, so their replies are unaffected.
+    fn form_rounds(&mut self) {
+        self.rounds.clear();
+        self.session_rounds.clear();
+        for job in &mut self.window {
+            let groups = u32::from(job.key.groups);
+            let bytes = job.accesses as usize
+                * usize::from(job.key.groups)
+                * usize::from(job.key.burst_len);
+            let floor = self
+                .session_rounds
+                .iter()
+                .find(|(session, _)| *session == job.key.session_id)
+                .map_or(0, |(_, last)| *last as usize + 1);
+            let mut chosen = None;
+            for index in floor..self.rounds.len() {
+                let round = &self.rounds[index];
+                if round.scheme == job.key.scheme
+                    && round.burst_len == job.key.burst_len
+                    && round.accesses == job.accesses
+                    && round.chains + groups <= ROUND_CHAIN_LIMIT
+                    && round.bytes + bytes <= ROUND_BYTE_LIMIT
+                {
+                    chosen = Some(index);
+                    break;
+                }
+            }
+            let index = chosen.unwrap_or_else(|| {
+                self.rounds.push(RoundMeta {
+                    scheme: job.key.scheme,
+                    burst_len: job.key.burst_len,
+                    accesses: job.accesses,
+                    chains: 0,
+                    bytes: 0,
+                });
+                self.rounds.len() - 1
+            });
+            let round = &mut self.rounds[index];
+            round.chains += groups;
+            round.bytes += bytes;
+            job.round = index as u32;
+            match self
+                .session_rounds
+                .iter_mut()
+                .find(|(session, _)| *session == job.key.session_id)
+            {
+                Some(entry) => entry.1 = index as u32,
+                None => self.session_rounds.push((job.key.session_id, index as u32)),
+            }
+        }
+    }
+
+    fn run_pass(&mut self, dequeue_ns: u64) {
+        self.form_rounds();
+        let coalesced = (self.window.len() - 1) as u64;
+        let corrupt = self.hooks.corrupt_verify.load(Ordering::Relaxed);
+        let mut pass_bursts = 0u64;
+        let mut executed = false;
+        for index in 0..self.rounds.len() {
+            let (bursts, round_executed) = self.run_round(index, dequeue_ns, corrupt);
+            pass_bursts += bursts;
+            executed |= round_executed;
+        }
+        // Pass accounting mirrors the pre-packing engine: a pass counts
+        // once it executed at least one claimed session's work.
+        if executed {
+            self.metrics.record_pass(pass_bursts, coalesced);
+        }
+    }
+
+    /// Executes one packed round: packs every member job's chains and
+    /// carried states into the shared slab, runs ONE kernel dispatch over
+    /// all of them, then hands each job its share of the results.
+    /// Returns the bursts encoded and whether any job actually executed.
+    fn run_round(&mut self, round_index: usize, dequeue_ns: u64, corrupt: bool) -> (u64, bool) {
+        let round = self.rounds[round_index];
+        let round_tag = round_index as u32;
+        if self.hooks.slow_delay_ns.load(Ordering::Relaxed) > 0 {
+            let slow = self.hooks.slow_session.load(Ordering::Relaxed);
+            if self
+                .window
+                .iter()
+                .any(|job| job.round == round_tag && !job.done && job.key.session_id == slow)
+            {
+                std::thread::sleep(Duration::from_nanos(
+                    self.hooks.slow_delay_ns.load(Ordering::Relaxed),
+                ));
+            }
         }
 
-        // One session-map resolution serves the whole pass.
-        match claim_entry(
-            shard,
-            &mut sessions,
-            &key,
-            shard_metrics,
-            plans,
-            max_sessions,
-        ) {
-            Ok(entry) => {
-                let mut pass_bursts = 0u64;
-                for slot in &pass {
-                    let mut state = slot.state.lock().expect("slot mutex poisoned");
-                    let mut timing = StageTiming::default();
-                    let result = run_request(
-                        entry,
-                        &mut state,
-                        shard_metrics,
-                        &mut slab,
-                        &mut verify_scratch,
-                        hooks.corrupt_verify.load(Ordering::Relaxed),
-                        &mut timing,
-                    );
-                    record_telemetry(
-                        telemetry,
-                        shard_metrics,
-                        shard,
-                        &key,
-                        &state,
-                        &result,
-                        dequeue_ns,
-                        timing,
-                    );
-                    if let Ok(bursts) = &result {
-                        pass_bursts += *bursts;
-                    }
-                    state.result = result;
-                    state.phase = Phase::Done;
-                    // Take the completion before publishing: once the
-                    // lock drops, a blocking submitter may reclaim the
-                    // slot, and the completion must fire exactly once.
-                    let completion = state.completion.take();
-                    drop(state);
-                    slot.done.notify_all();
-                    if let Some(completion) = completion {
-                        completion.sink.complete(completion.token, slot);
+        // Packing phase: claim each member's session, append its chains,
+        // export its carried states. Jobs whose claim fails are answered
+        // right here; the rest share one slab grid.
+        self.slab.set_pricing(true);
+        self.slab.reset(usize::from(round.burst_len));
+        self.states.clear();
+        let mut executed = false;
+        let mut round_plan = None;
+        for i in 0..self.window.len() {
+            if self.window[i].round != round_tag || self.window[i].done {
+                continue;
+            }
+            let key = self.window[i].key;
+            match claim_entry(
+                self.shard,
+                &mut self.sessions,
+                &key,
+                self.metrics,
+                self.plans,
+                self.max_sessions,
+            ) {
+                Ok(entry) => {
+                    let state = self.window[i]
+                        .slot
+                        .state
+                        .lock()
+                        .expect("slot mutex poisoned");
+                    match entry
+                        .session
+                        .append_chains_to_slab(&state.payload, &mut self.slab)
+                    {
+                        Ok(_) => {
+                            drop(state);
+                            self.window[i].chain_base = self.states.len() as u32;
+                            entry.session.export_states_into(&mut self.states);
+                            if round_plan.is_none() {
+                                round_plan = Some(Arc::clone(entry.session.plan()));
+                            }
+                            executed = true;
+                        }
+                        Err(_) => {
+                            finish_slot(
+                                self.telemetry,
+                                self.metrics,
+                                self.shard,
+                                &key,
+                                &self.window[i].slot,
+                                state,
+                                Err(ServiceError::Internal(
+                                    "validated payload rejected by the session",
+                                )),
+                                dequeue_ns,
+                                StageTiming::default(),
+                            );
+                            self.window[i].done = true;
+                        }
                     }
                 }
-                shard_metrics.record_pass(pass_bursts, coalesced);
-            }
-            Err(err) => {
-                // The whole pass shares the session identity, so every
-                // member fails the same way.
-                for slot in &pass {
-                    shard_metrics.record_reject();
-                    let mut state = slot.state.lock().expect("slot mutex poisoned");
-                    record_telemetry(
-                        telemetry,
-                        shard_metrics,
-                        shard,
+                Err(err) => {
+                    self.metrics.record_reject();
+                    let state = self.window[i]
+                        .slot
+                        .state
+                        .lock()
+                        .expect("slot mutex poisoned");
+                    finish_slot(
+                        self.telemetry,
+                        self.metrics,
+                        self.shard,
                         &key,
-                        &state,
-                        &Err(err.clone()),
+                        &self.window[i].slot,
+                        state,
+                        Err(err),
                         dequeue_ns,
                         StageTiming::default(),
                     );
-                    state.result = Err(err.clone());
-                    state.phase = Phase::Done;
-                    let completion = state.completion.take();
-                    drop(state);
-                    slot.done.notify_all();
-                    if let Some(completion) = completion {
-                        completion.sink.complete(completion.token, slot);
-                    }
+                    self.window[i].done = true;
                 }
             }
         }
+        if self.states.is_empty() {
+            return (0, executed);
+        }
+        self.pre_states.clear();
+        self.pre_states.extend_from_slice(&self.states);
+
+        // Dispatch phase: one kernel sweep encodes every packed chain.
+        let chains = self.states.len();
+        let plan = round_plan.expect("a packed chain implies a claimed session");
+        let encode_start = clock::now_nanos();
+        plan.encode_lanes_into(&mut self.slab, &mut self.states);
+        let encode_span = clock::now_nanos().saturating_sub(encode_start);
+        let full = chains >= self.kernel.lane_width(usize::from(round.burst_len));
+        self.metrics.record_dispatch(chains as u64, full);
+
+        // Gather phase, in job order: import post-dispatch states, carve
+        // out per-job results, verify, publish. The shared dispatch span
+        // is apportioned to each job by its share of the slab's rows.
+        let mut round_bursts = 0u64;
+        for i in 0..self.window.len() {
+            if self.window[i].round != round_tag || self.window[i].done {
+                continue;
+            }
+            let key = self.window[i].key;
+            let groups = usize::from(key.groups);
+            let base = self.window[i].chain_base as usize;
+            let entry = self
+                .sessions
+                .get_mut(&key.session_id)
+                .expect("session was claimed in the packing phase");
+            entry
+                .session
+                .import_states(&self.states[base..base + groups]);
+            let mut timing = StageTiming {
+                encode_ns: Some(((encode_span * groups as u64) / chains as u64).max(1)),
+                verify_ns: None,
+            };
+            let mut state = self.window[i]
+                .slot
+                .state
+                .lock()
+                .expect("slot mutex poisoned");
+            let result = finish_job(
+                entry,
+                &mut state,
+                self.metrics,
+                &self.slab,
+                chains,
+                base,
+                &mut self.decode_slab,
+                &mut self.verify_scratch,
+                &self.pre_states[base..base + groups],
+                corrupt,
+                &mut timing,
+            );
+            if let Ok(bursts) = &result {
+                round_bursts += *bursts;
+            }
+            finish_slot(
+                self.telemetry,
+                self.metrics,
+                self.shard,
+                &key,
+                &self.window[i].slot,
+                state,
+                result,
+                dequeue_ns,
+                timing,
+            );
+            self.window[i].done = true;
+        }
+        (round_bursts, executed)
+    }
+}
+
+/// Publishes a finished slot: records telemetry, stores the result, flips
+/// the phase to `Done`, and fires the completion (if registered) after
+/// the lock is released — once per slot, exactly.
+#[allow(clippy::too_many_arguments)]
+fn finish_slot(
+    telemetry: &TelemetryRegistry,
+    metrics: &crate::metrics::ShardMetrics,
+    shard: usize,
+    key: &RouteKey,
+    slot: &Arc<RequestSlot>,
+    mut state: MutexGuard<'_, SlotState>,
+    result: Result<u64, ServiceError>,
+    dequeue_ns: u64,
+    timing: StageTiming,
+) {
+    record_telemetry(
+        telemetry, metrics, shard, key, &state, &result, dequeue_ns, timing,
+    );
+    state.result = result;
+    state.phase = Phase::Done;
+    // Take the completion before publishing: once the lock drops, a
+    // blocking submitter may reclaim the slot, and the completion must
+    // fire exactly once.
+    let completion = state.completion.take();
+    drop(state);
+    slot.done.notify_all();
+    if let Some(completion) = completion {
+        completion.sink.complete(completion.token, slot);
     }
 }
 
@@ -1227,23 +1553,30 @@ fn claim_entry<'a>(
     }
 }
 
-/// Runs one validated request against its resolved session entry,
-/// encoding through the worker's slab straight into the slot's response
-/// buffers; for verify-mode requests, additionally replays the output
-/// through the entry's receiver session and fails on any asymmetry.
-/// Stage durations land in `timing`.
-fn run_request(
+/// Finishes one job of a packed round after the shared dispatch: carves
+/// its masks and per-group activity out of the slab straight into the
+/// slot's response buffers, walks the transitions-saved metric, and — for
+/// verify-mode requests — replays the output through the entry's receiver
+/// session (synchronised to the transmitter's pre-request states) and
+/// fails on any asymmetry. Stage durations accumulate into `timing`.
+#[allow(clippy::too_many_arguments)]
+fn finish_job(
     entry: &mut SessionEntry,
     state: &mut SlotState,
     metrics: &crate::metrics::ShardMetrics,
-    slab: &mut BurstSlab,
+    slab: &BurstSlab,
+    round_chains: usize,
+    chain_base: usize,
+    decode_slab: &mut BurstSlab,
     verify_scratch: &mut VerifyScratch,
+    pre_states: &[BusState],
     corrupt_verify: bool,
     timing: &mut StageTiming,
 ) -> Result<u64, ServiceError> {
     // Disjoint borrows of the slot: payload in, activity and masks out.
     let SlotState {
         session_id,
+        burst_len,
         payload,
         per_group,
         masks,
@@ -1265,22 +1598,12 @@ fn run_request(
             None
         }
     };
-    if verify {
-        // Synchronise the receiver to the transmitter's pre-request lane
-        // states: a session may alternate verify on and off, so the
-        // receiver replays exactly this request's slice of the stream.
-        for group in 0..entry.session.group_count() {
-            entry.receiver.set_group_state(
-                group,
-                entry.session.group_state(group).expect("group is in range"),
-            );
-        }
-    }
-    let encode_start = clock::now_nanos();
-    let bursts = entry
+    let gather_start = clock::now_nanos();
+    entry
         .session
-        .encode_stream_slab_into(payload, per_group, mask_sink, slab)
-        .map_err(|_| ServiceError::Internal("validated payload rejected by the session"))?;
+        .gather_packed_results(slab, round_chains, chain_base, per_group, mask_sink);
+    // Geometry was validated at submission, so this division is exact.
+    let bursts = (payload.len() / usize::from(*burst_len)) as u64;
 
     // Transitions-saved metric: what the same stream would have cost the
     // wires uninverted, minus what it actually cost. A single carried
@@ -1293,11 +1616,19 @@ fn run_request(
         }
         None => 0,
     };
-    // The savings walk is part of serving the request, so it bills to the
-    // encode stage.
-    timing.encode_ns = Some(clock::now_nanos().saturating_sub(encode_start));
+    // The gather and savings walk serve this request alone, so they bill
+    // to its encode stage on top of its share of the packed dispatch.
+    let solo_ns = clock::now_nanos().saturating_sub(gather_start);
+    timing.encode_ns = Some(timing.encode_ns.unwrap_or(0).saturating_add(solo_ns));
 
     if verify {
+        // Synchronise the receiver to the transmitter's pre-request lane
+        // states (captured before the packed dispatch): a session may
+        // alternate verify on and off, so the receiver replays exactly
+        // this request's slice of the stream.
+        for (group, pre) in pre_states.iter().enumerate() {
+            entry.receiver.set_group_state(group, *pre);
+        }
         let used_masks: &[InversionMask] = if *want_masks {
             masks
         } else {
@@ -1313,6 +1644,7 @@ fn run_request(
             &mut verify_scratch.wire,
             &mut verify_scratch.decoded,
             &mut verify_scratch.rx_groups,
+            decode_slab,
             corrupt_verify,
         );
         timing.verify_ns = Some(clock::now_nanos().saturating_sub(verify_start));
@@ -1334,11 +1666,11 @@ fn run_request(
 
 /// The verify-mode round trip: reconstruct the wire image the encode
 /// decisions would drive, decode it through the receiver session (whose
-/// states were synchronised to the transmitter's pre-request states), and
-/// compare payload bytes, receiver-side wire activity and carried lane
-/// states against the transmitter. `Err` carries the first mismatching
-/// payload byte offset, or `None` when the payload matched but activity
-/// or carried state diverged.
+/// states were synchronised to the transmitter's pre-request states) via
+/// the slab-kernel decode path, and compare payload bytes, receiver-side
+/// wire activity and carried lane states against the transmitter. `Err`
+/// carries the first mismatching payload byte offset, or `None` when the
+/// payload matched but activity or carried state diverged.
 #[allow(clippy::too_many_arguments)]
 fn verify_round_trip(
     receiver: &mut BusSession,
@@ -1349,13 +1681,14 @@ fn verify_round_trip(
     wire: &mut Vec<u8>,
     decoded: &mut Vec<u8>,
     rx_groups: &mut Vec<CostBreakdown>,
+    decode_slab: &mut BurstSlab,
     corrupt: bool,
 ) -> Result<(), Option<u64>> {
     receiver
         .transmit_stream_into(payload, masks, wire)
         .map_err(|_| None)?;
     receiver
-        .decode_stream_into(wire, masks, rx_groups, decoded)
+        .decode_stream_slab_into(wire, masks, rx_groups, decoded, decode_slab)
         .map_err(|_| None)?;
     if corrupt {
         if let Some(byte) = decoded.first_mut() {

@@ -59,6 +59,9 @@ pub struct ShardMetrics {
     sessions: AtomicU64,
     passes: AtomicU64,
     coalesced: AtomicU64,
+    dispatches: AtomicU64,
+    dispatch_chains: AtomicU64,
+    full_dispatches: AtomicU64,
     batch_hist: [AtomicU64; BATCH_BUCKETS],
     verified: AtomicU64,
     verify_failures: AtomicU64,
@@ -116,6 +119,18 @@ impl ShardMetrics {
         self.batch_hist[batch_bucket(bursts)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one packed kernel dispatch of `chains` lane-group chains;
+    /// `full` marks a dispatch whose chain count reached the selected
+    /// kernel's lane width — the lane-occupancy counters behind the
+    /// `batch` block's `lane_occupancy` and `full_dispatch_fraction`.
+    pub fn record_dispatch(&self, chains: u64, full: bool) {
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.dispatch_chains.fetch_add(chains, Ordering::Relaxed);
+        if full {
+            self.full_dispatches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Records one rejected request (validation failure or backpressure).
     pub fn record_reject(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -169,6 +184,9 @@ impl ShardMetrics {
             sessions: self.sessions.load(Ordering::Relaxed),
             passes: self.passes.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            dispatch_chains: self.dispatch_chains.load(Ordering::Relaxed),
+            full_dispatches: self.full_dispatches.load(Ordering::Relaxed),
             batch_hist,
             verified: self.verified.load(Ordering::Relaxed),
             verify_failures: self.verify_failures.load(Ordering::Relaxed),
@@ -364,6 +382,15 @@ pub struct ShardSnapshot {
     /// Requests that were coalesced into another request's pass instead
     /// of opening their own.
     pub coalesced: u64,
+    /// Packed kernel dispatches executed (one per round: a single
+    /// `encode_lanes_into` sweep over every chain packed into the round).
+    pub dispatches: u64,
+    /// Lane-group chains encoded across all dispatches — `dispatch_chains
+    /// / dispatches` is the average lane occupancy of a kernel sweep.
+    pub dispatch_chains: u64,
+    /// Dispatches whose chain count reached the selected kernel's lane
+    /// width (a fully occupied SIMD sweep).
+    pub full_dispatches: u64,
     /// Power-of-two histogram of pass sizes in bursts: bucket *i* counts
     /// passes of `[2^i, 2^(i+1))` bursts.
     pub batch_hist: [u64; BATCH_BUCKETS],
@@ -392,6 +419,9 @@ impl ShardSnapshot {
         self.sessions += other.sessions;
         self.passes += other.passes;
         self.coalesced += other.coalesced;
+        self.dispatches += other.dispatches;
+        self.dispatch_chains += other.dispatch_chains;
+        self.full_dispatches += other.full_dispatches;
         for (mine, theirs) in self.batch_hist.iter_mut().zip(&other.batch_hist) {
             *mine += theirs;
         }
@@ -424,6 +454,29 @@ impl ShardSnapshot {
         }
     }
 
+    /// Mean lane-group chains per packed kernel dispatch (0 before the
+    /// first dispatch) — how full the cross-session packing keeps the
+    /// kernel sweeps.
+    #[must_use]
+    pub fn lane_occupancy(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.dispatch_chains as f64 / self.dispatches as f64
+        }
+    }
+
+    /// Fraction of dispatches whose chain count reached the selected
+    /// kernel's lane width (0 before the first dispatch).
+    #[must_use]
+    pub fn full_dispatch_fraction(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.full_dispatches as f64 / self.dispatches as f64
+        }
+    }
+
     fn write_json(&self, out: &mut String) {
         use std::fmt::Write;
         write!(
@@ -433,8 +486,9 @@ impl ShardSnapshot {
              \"queue_depth_peak\":{},\"sessions\":{},\
              \"rate\":{{\"requests_per_s\":{:.1},\"rejects_per_s\":{:.1},\
              \"window_s\":{}}},\
-             \"batch\":{{\"passes\":{},\"coalesced\":{},\"size_p50\":{},\
-             \"size_p99\":{},\"bursts_per_request\":{:.1}}},\
+             \"batch\":{{\"passes\":{},\"coalesced\":{},\"dispatches\":{},\
+             \"lane_occupancy\":{:.1},\"full_dispatch_fraction\":{:.2},\
+             \"size_p50\":{},\"size_p99\":{},\"bursts_per_request\":{:.1}}},\
              \"verify\":{{\"requests\":{},\"failures\":{}}},\"latency\":{{",
             self.requests,
             self.rejected,
@@ -449,6 +503,9 @@ impl ShardSnapshot {
             RATE_WINDOW_SECONDS,
             self.passes,
             self.coalesced,
+            self.dispatches,
+            self.lane_occupancy(),
+            self.full_dispatch_fraction(),
             self.batch_size_percentile(0.50),
             self.batch_size_percentile(0.99),
             self.bursts_per_request(),
@@ -625,7 +682,7 @@ impl MetricsSnapshot {
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write;
         type Field = fn(&ShardSnapshot) -> u64;
-        const COUNTERS: [(&str, &str, Field); 10] = [
+        const COUNTERS: [(&str, &str, Field); 13] = [
             ("dbi_requests_total", "Requests executed.", |s| s.requests),
             ("dbi_rejected_total", "Requests rejected.", |s| s.rejected),
             ("dbi_bytes_total", "Payload bytes encoded.", |s| s.bytes),
@@ -644,6 +701,21 @@ impl MetricsSnapshot {
                 "dbi_batch_coalesced_total",
                 "Requests coalesced into another request's pass.",
                 |s| s.coalesced,
+            ),
+            (
+                "dbi_batch_dispatches_total",
+                "Packed kernel dispatches executed.",
+                |s| s.dispatches,
+            ),
+            (
+                "dbi_batch_dispatch_chains_total",
+                "Lane-group chains encoded across all packed dispatches.",
+                |s| s.dispatch_chains,
+            ),
+            (
+                "dbi_batch_full_dispatches_total",
+                "Dispatches that filled the selected kernel's lane width.",
+                |s| s.full_dispatches,
             ),
             (
                 "dbi_verify_requests_total",
@@ -696,6 +768,16 @@ impl MetricsSnapshot {
                 "dbi_rejects_per_second",
                 "Rejected requests per second over the sliding window.",
                 |s| s.rejects_per_s,
+            ),
+            (
+                "dbi_batch_lane_occupancy",
+                "Mean lane-group chains per packed kernel dispatch.",
+                |s| s.lane_occupancy(),
+            ),
+            (
+                "dbi_batch_full_dispatch_fraction",
+                "Fraction of dispatches that filled the kernel's lane width.",
+                |s| s.full_dispatch_fraction(),
             ),
         ] {
             writeln!(out, "# HELP {name} {help}").expect("writing to a String cannot fail");
@@ -991,6 +1073,9 @@ mod tests {
             sessions: 2,
             passes: 2,
             coalesced: 1,
+            dispatches: 2,
+            dispatch_chains: 7,
+            full_dispatches: 1,
             batch_hist,
             verified: 1,
             verify_failures: 0,
@@ -1033,8 +1118,9 @@ mod tests {
              \"queue_depth_peak\":4,\"sessions\":2,\
              \"rate\":{{\"requests_per_s\":2.5,\"rejects_per_s\":0.5,\
              \"window_s\":8}},\
-             \"batch\":{{\"passes\":2,\"coalesced\":1,\"size_p50\":3,\
-             \"size_p99\":4,\"bursts_per_request\":2.0}},\
+             \"batch\":{{\"passes\":2,\"coalesced\":1,\"dispatches\":2,\
+             \"lane_occupancy\":3.5,\"full_dispatch_fraction\":0.50,\
+             \"size_p50\":3,\"size_p99\":4,\"bursts_per_request\":2.0}},\
              \"verify\":{{\"requests\":1,\"failures\":0}},\
              \"latency\":{{\"queue_wait\":{empty_stage},\
              \"encode\":{empty_stage},\"verify\":{empty_stage},\
@@ -1094,6 +1180,13 @@ mod tests {
         assert!(text.contains(
             "dbi_kernel_info{selected=\"scalar\",forced_scalar=\"false\",cpu_features=\"none\"} 1\n"
         ));
+        assert!(text.contains("# TYPE dbi_batch_dispatches_total counter\n"));
+        assert!(text.contains("dbi_batch_dispatches_total{shard=\"0\"} 2\n"));
+        assert!(text.contains("dbi_batch_dispatch_chains_total{shard=\"0\"} 7\n"));
+        assert!(text.contains("dbi_batch_full_dispatches_total{shard=\"0\"} 1\n"));
+        assert!(text.contains("# TYPE dbi_batch_lane_occupancy gauge\n"));
+        assert!(text.contains("dbi_batch_lane_occupancy{shard=\"0\"} 3.5\n"));
+        assert!(text.contains("dbi_batch_full_dispatch_fraction{shard=\"0\"} 0.5\n"));
         // Every series of a shard-labelled family appears once per shard.
         assert_eq!(text.matches("dbi_batch_passes_total{shard=").count(), 1);
     }

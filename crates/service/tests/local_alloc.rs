@@ -11,7 +11,9 @@
 //! counters.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 use dbi_core::Scheme;
 use dbi_service::{
@@ -161,5 +163,122 @@ fn steady_state_requests_are_allocation_free() {
     let totals = engine.metrics().totals();
     assert_eq!(totals.latency.total.count, totals.requests);
     assert!(totals.latency.encode.count > 0);
+    engine.shutdown();
+
+    // ── Packed cross-session path ────────────────────────────────────
+    // The worker now packs chains from *multiple queued sessions* into
+    // one shared kernel dispatch and the shard queue is a lock-free
+    // `eventring` ring with an eventcount parking layer. Both must keep
+    // the guarantee: a warm multi-session pass allocates nothing — not
+    // in the ring hop, the eventcount wake, round formation, the shared
+    // slab dispatch, the per-job gather, or the slab-kernel verify leg.
+    let engine = Engine::start(ServiceConfig {
+        shards: 1, // every session shares one worker so windows really pack
+        queue_capacity: 32,
+        max_payload: 1 << 16,
+        slowlog_threshold_ns: 0,
+        ..ServiceConfig::default()
+    });
+
+    // One oversized request sizes every worker buffer (slab rows, state
+    // vectors, verify scratch, decode slab) beyond anything the packed
+    // rounds below can reach: 32 chains > 5 sessions x 4 groups.
+    let mut sizing_client = engine.local_client();
+    let sizing_payload: Vec<u8> = (0..2048u32).map(|i| (i * 11) as u8).collect();
+    sizing_client
+        .encode(
+            &EncodeRequest {
+                session_id: 0x512E,
+                scheme: Scheme::OptFixed,
+                cost_model: CostModel::Inline,
+                groups: 32,
+                burst_len: 8,
+                want_masks: true,
+                verify: VerifyMode::RoundTrip,
+                payload: &sizing_payload,
+            },
+            &mut reply,
+        )
+        .unwrap();
+
+    // Hold the worker inside the stall session's round so the other
+    // sessions' requests queue up behind it and drain into one packed
+    // window once the stall completes.
+    const STALL_SESSION: u64 = 0x57A11;
+    engine.inject_slowdown_for_tests(STALL_SESSION, Duration::from_micros(800));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(6)); // main + stall + 4 packers
+    let mut submitters = Vec::new();
+    for t in 0..5u64 {
+        let mut client = engine.local_client();
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        submitters.push(std::thread::spawn(move || {
+            let payload: Vec<u8> = (0..256u32).map(|i| (i * 37) as u8).collect();
+            let request = EncodeRequest {
+                session_id: if t == 0 { STALL_SESSION } else { 0xCAFE + t },
+                scheme: Scheme::OptFixed,
+                cost_model: CostModel::Inline,
+                groups: 4,
+                burst_len: 8,
+                want_masks: false,
+                // One packer rides with verify on so the measured window
+                // covers the packed verify leg too.
+                verify: if t == 1 {
+                    VerifyMode::RoundTrip
+                } else {
+                    VerifyMode::Off
+                },
+                payload: &payload,
+            };
+            let mut reply = EncodeReply::new();
+            loop {
+                barrier.wait();
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                if t != 0 {
+                    // Let the stall request reach the worker first so this
+                    // one lands in the queue behind it.
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                client.encode(&request, &mut reply).unwrap();
+                barrier.wait();
+            }
+        }));
+    }
+
+    let run_rounds = |n: usize| {
+        for _ in 0..n {
+            barrier.wait(); // release the submitters
+            barrier.wait(); // wait until every reply landed
+        }
+    };
+    run_rounds(16); // warm: session entries, slot buffers, ring slots
+    let packed_steady = allocations_during(|| run_rounds(48));
+    assert_eq!(
+        packed_steady, 0,
+        "warm multi-session packed passes must not allocate (observed {packed_steady})"
+    );
+
+    // The packed path really ran inside those windows: passes served
+    // multiple jobs and kernel dispatches carried multiple chains.
+    let totals = engine.metrics().totals();
+    assert!(
+        totals.coalesced > 0,
+        "no pass ever packed more than one job"
+    );
+    assert!(totals.dispatches > 0);
+    assert!(
+        totals.dispatch_chains > totals.dispatches,
+        "kernel dispatches never carried more than one chain"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    barrier.wait(); // release the submitters into the stop check
+    for submitter in submitters {
+        submitter.join().unwrap();
+    }
     engine.shutdown();
 }

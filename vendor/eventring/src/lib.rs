@@ -1,0 +1,463 @@
+//! Offline stand-in for a crossbeam-style bounded lock-free queue, in the
+//! same spirit as the other `vendor/` crates (`rand`, `criterion`,
+//! `rayon`, `poller`): the build environment has no crates.io access, so
+//! the subset of the API the workspace needs is reimplemented here from
+//! its published description.
+//!
+//! Two primitives, composed by the service's shard queues:
+//!
+//! * [`Ring<T>`] — a bounded multi-producer queue over a fixed slot
+//!   array, the Vyukov sequence-counter design every mainstream
+//!   `ArrayQueue` descends from. Producers claim slots with one CAS on
+//!   the tail counter; a full ring reports [`PushError::Full`]
+//!   *immediately* (the slot's sequence number lags the claimant's turn),
+//!   never blocking and never spinning unboundedly. The consumer side is
+//!   symmetric on the head counter. No operation takes a lock, so an
+//!   enqueue can never be descheduled while holding one — the
+//!   lock-convoy/priority-inversion failure mode of a mutex-guarded
+//!   `VecDeque` is structurally absent.
+//! * [`EventCount`] — the parking layer: a Dekker-style epoch counter
+//!   that lets a consumer sleep on "the ring might be empty" without a
+//!   lost-wakeup window. Waiters publish themselves ([`EventCount::listen`]),
+//!   re-check their condition, then sleep; notifiers bump the epoch
+//!   *first* and only touch the internal mutex when a sleeper is actually
+//!   registered — the producer fast path is one `fetch_add` and one load.
+//!
+//! Unsafe code is confined to this crate (the slot array is
+//! `UnsafeCell<MaybeUninit<T>>`); dependents keep `#![forbid(unsafe_code)]`.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Why a [`Ring::push`] did not take the value; the value rides back to
+/// the caller in either case.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// Every slot is occupied: the consumer has not caught up. Explicit
+    /// backpressure — retry later or shed the work.
+    Full(T),
+}
+
+impl<T> PushError<T> {
+    /// The value the queue refused.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(value) => value,
+        }
+    }
+}
+
+/// One slot of the ring: a sequence counter plus (possibly) a value.
+///
+/// The sequence protocol (Vyukov): slot `i` starts at sequence `i`. A
+/// producer whose claimed position is `pos` may write the slot iff
+/// `seq == pos`, then publishes `seq = pos + 1`. The consumer at `pos`
+/// may read iff `seq == pos + 1`, then releases the slot for the next
+/// lap with `seq = pos + capacity`. The counter is therefore both the
+/// hand-off flag and the ABA guard.
+struct Slot<T> {
+    sequence: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free multi-producer queue. The workspace uses it
+/// single-consumer (one shard worker), though nothing in the algorithm
+/// requires that.
+pub struct Ring<T> {
+    slots: Box<[Slot<T>]>,
+    /// Bit mask for the power-of-two slot count.
+    mask: usize,
+    /// Next position a producer will claim.
+    tail: AtomicUsize,
+    /// Next position the consumer will read.
+    head: AtomicUsize,
+    /// Logical capacity: the ring rounds its slot count up to a power of
+    /// two, but refuses values beyond the capacity it was asked for, so
+    /// backpressure fires exactly where the caller configured it.
+    capacity: usize,
+    /// Values currently queued (admission credit for `capacity`).
+    len: AtomicUsize,
+}
+
+// SAFETY: values move through the ring by ownership transfer; the
+// sequence protocol guarantees a slot is accessed by exactly one thread
+// at a time, so `Ring<T>` is as thread-safe as moving `T` between
+// threads.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    /// A ring that holds at most `capacity` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "a ring needs room for at least one value");
+        let slots_len = capacity.next_power_of_two();
+        let slots: Box<[Slot<T>]> = (0..slots_len)
+            .map(|i| Slot {
+                sequence: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Ring {
+            slots,
+            mask: slots_len - 1,
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+            capacity,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// The largest number of values the ring admits at once.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Values currently queued. Racy by nature; exact once producers and
+    /// consumer quiesce.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the ring currently holds no values (same caveat as
+    /// [`Ring::len`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `value`, or returns it inside [`PushError::Full`] when
+    /// the ring is at capacity. Lock-free: the only loop re-CASes the
+    /// tail counter after losing a race to another producer, which means
+    /// *some* producer made progress.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when the ring already holds `capacity` values.
+    pub fn push(&self, value: T) -> Result<(), PushError<T>> {
+        // Admission credit first: the slot array is rounded up to a power
+        // of two, so the configured capacity is enforced here.
+        let mut credit = self.len.load(Ordering::Relaxed);
+        loop {
+            if credit >= self.capacity {
+                return Err(PushError::Full(value));
+            }
+            match self.len.compare_exchange_weak(
+                credit,
+                credit + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => credit = seen,
+            }
+        }
+
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            if seq == pos {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS above made this thread the sole
+                        // owner of the slot until the sequence store
+                        // publishes it to the consumer.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.sequence.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(seen) => pos = seen,
+                }
+            } else {
+                // The slot is mid-release by the consumer (a transient
+                // state: we hold an admission credit, so a free slot is
+                // guaranteed to appear) or the tail moved under us.
+                std::hint::spin_loop();
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest value, or `None` when the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let expected = pos.wrapping_add(1);
+            if seq == expected {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS made this thread the slot's
+                        // sole owner; the value was fully written before
+                        // the producer's release store above.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.sequence
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        self.len.fetch_sub(1, Ordering::AcqRel);
+                        return Some(value);
+                    }
+                    Err(seen) => pos = seen,
+                }
+            } else if seq == pos {
+                // Empty at this position (no producer has filled it).
+                return None;
+            } else {
+                // The head moved under us; re-read and retry.
+                std::hint::spin_loop();
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Drain whatever is still queued so owned values are not leaked.
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for Ring<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ring")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The eventcount: sleep/wake for lock-free structures without a
+/// lost-wakeup window and without putting a lock on the notifier's fast
+/// path.
+///
+/// Protocol — waiter:
+/// 1. `let ticket = ec.listen();`
+/// 2. re-check the condition (e.g. try `ring.pop()` once more);
+/// 3. `ec.wait(ticket);` — sleeps only while the epoch still equals
+///    `ticket`.
+///
+/// Notifier: make the condition true (push), then [`EventCount::notify_all`].
+/// The epoch bump is sequenced before the waiter-count check, and the
+/// waiter registers itself before re-checking, so every interleaving
+/// either lets the waiter see the new value or lets the notifier see the
+/// waiter.
+#[derive(Debug, Default)]
+pub struct EventCount {
+    epoch: AtomicU64,
+    waiters: AtomicUsize,
+    lock: Mutex<()>,
+    condvar: Condvar,
+}
+
+impl EventCount {
+    /// A fresh eventcount with no waiters.
+    #[must_use]
+    pub fn new() -> Self {
+        EventCount::default()
+    }
+
+    /// Opens a wait: returns the ticket [`EventCount::wait`] sleeps
+    /// against. Re-check the guarded condition *after* calling this.
+    #[must_use]
+    pub fn listen(&self) -> u64 {
+        // SeqCst pairs with the notifier's epoch bump: whichever lands
+        // first in the total order, the other side observes it.
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Sleeps until the epoch moves past `ticket`. Returns immediately if
+    /// a notification already happened since [`EventCount::listen`].
+    pub fn wait(&self, ticket: u64) {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.lock.lock().expect("eventcount mutex poisoned");
+        while self.epoch.load(Ordering::SeqCst) == ticket {
+            guard = self.condvar.wait(guard).expect("eventcount mutex poisoned");
+        }
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wakes every current waiter (and invalidates every outstanding
+    /// ticket). The fast path — no waiter registered — is one `fetch_add`
+    /// and one load; the mutex is touched only when someone is actually
+    /// asleep.
+    pub fn notify_all(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            // Taking the lock orders this notify after any waiter that
+            // passed its epoch check but has not yet slept.
+            drop(self.lock.lock().expect("eventcount mutex poisoned"));
+            self.condvar.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_a_single_producer() {
+        let ring = Ring::with_capacity(4);
+        for i in 0..4 {
+            ring.push(i).unwrap();
+        }
+        assert_eq!(ring.push(99), Err(PushError::Full(99)));
+        for i in 0..4 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn capacity_is_exact_even_when_not_a_power_of_two() {
+        let ring = Ring::with_capacity(5);
+        assert_eq!(ring.capacity(), 5);
+        for i in 0..5 {
+            ring.push(i).unwrap();
+        }
+        assert!(matches!(ring.push(5), Err(PushError::Full(5))));
+        assert_eq!(ring.pop(), Some(0));
+        ring.push(5).unwrap();
+        assert_eq!(ring.len(), 5);
+    }
+
+    #[test]
+    fn values_survive_many_laps() {
+        let ring = Ring::with_capacity(3);
+        for lap in 0..1000u64 {
+            ring.push(lap).unwrap();
+            assert_eq!(ring.pop(), Some(lap));
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_queued_values() {
+        let value = Arc::new(());
+        {
+            let ring = Ring::with_capacity(2);
+            ring.push(Arc::clone(&value)).unwrap();
+            ring.push(Arc::clone(&value)).unwrap();
+            assert_eq!(Arc::strong_count(&value), 3);
+        }
+        assert_eq!(Arc::strong_count(&value), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let ring = Arc::new(Ring::with_capacity(1024));
+        let producers = 4u32;
+        let per_producer = 10_000u64;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let ring = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    let value = u64::from(p) * per_producer + i;
+                    loop {
+                        match ring.push(value) {
+                            Ok(()) => break,
+                            Err(PushError::Full(_)) => std::thread::yield_now(),
+                        }
+                    }
+                }
+            }));
+        }
+        let mut seen = vec![0u32; (u64::from(producers) * per_producer) as usize];
+        let mut last_per_producer = vec![None::<u64>; producers as usize];
+        let mut received = 0usize;
+        while received < seen.len() {
+            if let Some(value) = ring.pop() {
+                seen[value as usize] += 1;
+                // Per-producer FIFO: values from one producer arrive in
+                // the order they were pushed.
+                let producer = (value / per_producer) as usize;
+                let sequence = value % per_producer;
+                if let Some(last) = last_per_producer[producer] {
+                    assert!(sequence > last, "producer {producer} reordered");
+                }
+                last_per_producer[producer] = Some(sequence);
+                received += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert!(seen.iter().all(|&count| count == 1));
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn eventcount_has_no_lost_wakeup() {
+        let ring = Arc::new(Ring::with_capacity(64));
+        let ec = Arc::new(EventCount::new());
+        let total = 50_000u64;
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            let ec = Arc::clone(&ec);
+            std::thread::spawn(move || {
+                let mut sum = 0u64;
+                let mut got = 0u64;
+                while got < total {
+                    if let Some(v) = ring.pop() {
+                        sum += v;
+                        got += 1;
+                        continue;
+                    }
+                    let ticket = ec.listen();
+                    if let Some(v) = ring.pop() {
+                        sum += v;
+                        got += 1;
+                        continue;
+                    }
+                    ec.wait(ticket);
+                }
+                sum
+            })
+        };
+        for i in 0..total {
+            loop {
+                match ring.push(i) {
+                    Ok(()) => break,
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                }
+            }
+            ec.notify_all();
+        }
+        let sum = consumer.join().unwrap();
+        assert_eq!(sum, total * (total - 1) / 2);
+    }
+
+    #[test]
+    fn stale_ticket_returns_immediately() {
+        let ec = EventCount::new();
+        let ticket = ec.listen();
+        ec.notify_all();
+        // Must not block: the epoch moved past the ticket.
+        ec.wait(ticket);
+    }
+}
