@@ -10,7 +10,7 @@
 //! a diff under version control therefore always means the reference
 //! implementation (or the corpus shape) deliberately changed.
 
-use dbi_conformance::{Corpus, GOLDEN_SEED};
+use dbi_conformance::{persist_golden, Corpus, GOLDEN_SEED};
 
 fn main() {
     let corpus = Corpus::generate(GOLDEN_SEED);
@@ -25,5 +25,22 @@ fn main() {
         "wrote {} vectors ({} bytes) to {path}",
         corpus.vectors.len(),
         json.len()
+    );
+
+    // The durable-store format pin rides the same generator: hex images
+    // of a version-1 snapshot and its paired journal.
+    let snapshot = persist_golden::golden_snapshot_image();
+    let journal = persist_golden::golden_journal_image();
+    let doc = persist_golden::to_hex_document(&snapshot, &journal);
+    let (re_snapshot, re_journal) = persist_golden::from_hex_document(&doc);
+    assert_eq!(re_snapshot, snapshot, "hex document must round-trip");
+    assert_eq!(re_journal, journal, "hex document must round-trip");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/vectors/persist_v1.hex");
+    std::fs::write(path, &doc).expect("writing the persist image file");
+    println!(
+        "wrote persist images ({} + {} bytes) to {path}",
+        snapshot.len(),
+        journal.len()
     );
 }

@@ -21,6 +21,9 @@
 //!   vendored RNG) asserting encode→decode identity, reference-oracle
 //!   equality, optimal-cost invariants and plan-swap coherence over
 //!   randomised geometries, payload families and mutations.
+//! * [`persist_golden`] — checked-in golden images of the durable-store
+//!   byte formats (version-1 snapshot + journal), so the on-disk layout
+//!   cannot drift silently either.
 //!
 //! CI runs the corpus replay and a 10 000-case fuzz smoke on every push
 //! (`tests/golden.rs`, `tests/fuzz_smoke.rs`); the `conformance` binary
@@ -33,6 +36,7 @@
 pub mod corpus;
 pub mod fuzz;
 pub mod json;
+pub mod persist_golden;
 pub mod reference;
 pub mod replay;
 

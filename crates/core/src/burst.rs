@@ -240,6 +240,29 @@ impl BusState {
     pub const fn after(&self, word: LaneWord) -> Self {
         BusState { last: word }
     }
+
+    /// Width of the serialized form: the raw 9-bit lane word as a
+    /// little-endian `u16`.
+    pub const WIRE_BYTES: usize = 2;
+
+    /// The state in its fixed-width little-endian serialized form, the
+    /// same `to_le_bytes` pattern the wire types use. Only the low nine
+    /// bits are meaningful; the upper bits are always zero.
+    #[must_use]
+    pub const fn to_le_bytes(self) -> [u8; Self::WIRE_BYTES] {
+        self.last.bits().to_le_bytes()
+    }
+
+    /// Inverse of [`BusState::to_le_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`DbiError::InvalidLaneWord`] when the value has bits set above the
+    /// nine lane bits — a corrupt or foreign byte pair, never a state this
+    /// type produced.
+    pub fn from_le_bytes(bytes: [u8; Self::WIRE_BYTES]) -> Result<Self> {
+        Ok(BusState::new(LaneWord::new(u16::from_le_bytes(bytes))?))
+    }
 }
 
 impl Default for BusState {

@@ -74,6 +74,7 @@
 //! | [`schemes`] | RAW, DC, AC, ACDC, greedy, OPT, OPT(Fixed), exhaustive oracle |
 //! | [`graph`] | explicit trellis + Dijkstra (Fig. 2 cross-check) |
 //! | [`pareto`] | Pareto front of the zero/transition trade-off |
+//! | [`persist`] | CRC-guarded binary records of carried session state |
 //! | [`stats`] | per-scheme statistics over burst streams |
 //! | [`analysis`] | coefficient sweeps and relative savings (Figs. 3/4) |
 
@@ -95,6 +96,7 @@ pub mod error;
 pub mod graph;
 pub mod lut;
 pub mod pareto;
+pub mod persist;
 pub mod plan;
 pub mod schemes;
 pub mod simd;

@@ -21,7 +21,8 @@ use crate::engine::{EncodeBatchRequest, EncodeReply, EncodeRequest};
 use crate::error::ClientError;
 use crate::telemetry::TraceEvent;
 use crate::wire::{
-    self, ErrorCode, Frame, PipelinedBatchRequestFrame, PipelinedRequestFrame, HEADER_LEN,
+    self, ErrorCode, Frame, PipelinedBatchRequestFrame, PipelinedRequestFrame, SnapshotStatus,
+    HEADER_LEN,
 };
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -207,6 +208,62 @@ impl TcpClient {
         self.round_trip()?;
         match wire::decode_frame(&self.in_buf)?.0 {
             Frame::SlowlogResponse(view) => Ok((view.threshold_ns, view.entries().collect())),
+            Frame::Error(view) => Err(remote_error(&view)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Asks the service to take a durable snapshot now (protocol 6's
+    /// snapshot admin frame): every shard's sessions are captured and
+    /// written to the persist directory, and the journals rotate to a
+    /// fresh generation. Returns the durability status after the
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`TcpClient::metrics_json`]; additionally
+    /// the service answers `BadRequest` when it was started without a
+    /// persist directory, and `Internal` when writing the snapshot
+    /// failed.
+    pub fn trigger_snapshot(&mut self) -> Result<SnapshotStatus, ClientError> {
+        self.out_buf.clear();
+        wire::encode_snapshot_request(&mut self.out_buf);
+        self.admin_round_trip()
+    }
+
+    /// Fetches the service's durability status (protocol 6's
+    /// snapshot-status admin frame). Always answered — `configured` is
+    /// `false` when the service runs without a persist directory.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`TcpClient::metrics_json`].
+    pub fn snapshot_status(&mut self) -> Result<SnapshotStatus, ClientError> {
+        self.out_buf.clear();
+        wire::encode_snapshot_status_request(&mut self.out_buf);
+        self.admin_round_trip()
+    }
+
+    /// Asks the service to reload session state from its persist
+    /// directory (protocol 6's restore admin frame), replacing any live
+    /// session that shares an id with a restored one. Returns the
+    /// durability status after the restore.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`TcpClient::trigger_snapshot`].
+    pub fn restore(&mut self) -> Result<SnapshotStatus, ClientError> {
+        self.out_buf.clear();
+        wire::encode_restore_request(&mut self.out_buf);
+        self.admin_round_trip()
+    }
+
+    /// Shared exchange of the three durability admin requests: sends the
+    /// staged frame, expects a snapshot-status response.
+    fn admin_round_trip(&mut self) -> Result<SnapshotStatus, ClientError> {
+        self.round_trip()?;
+        match wire::decode_frame(&self.in_buf)?.0 {
+            Frame::SnapshotStatus(status) => Ok(status),
             Frame::Error(view) => Err(remote_error(&view)),
             _ => Err(ClientError::UnexpectedResponse),
         }

@@ -85,6 +85,10 @@ impl PendingKind {
 struct Pending {
     slot: Arc<RequestSlot>,
     kind: PendingKind,
+    /// The protocol version the request's header announced — failure
+    /// responses downgrade v6-only error codes for older peers
+    /// ([`ErrorCode::downgrade_for`]).
+    version: u8,
 }
 
 /// The full state of one multiplexed connection.
@@ -238,7 +242,7 @@ impl Connection {
                         }
                     }
                 }
-                Err(err) => queue_failure(&mut self.write_buf, entry.kind, err),
+                Err(err) => queue_failure(&mut self.write_buf, entry.kind, entry.version, err),
             }
         }
         self.note_queued_output(ctx)?;
@@ -323,6 +327,7 @@ impl Connection {
             match wire::decode_frame(&read_buf[start..start + total]) {
                 Ok((frame, _)) => dispatch_frame(
                     frame,
+                    header.version,
                     write_buf,
                     pending,
                     legacy_in_flight,
@@ -402,10 +407,11 @@ fn queue_error(write_buf: &mut Vec<u8>, code: ErrorCode, message: &str) {
 
 /// Appends the failure response matching a submission's framing: plain
 /// error frames for legacy requests, id-carrying pipelined error frames
-/// for v5 requests.
-fn queue_failure(write_buf: &mut Vec<u8>, kind: PendingKind, err: &ServiceError) {
+/// for v5 requests. The code is downgraded for peers whose announced
+/// `version` predates it ([`ErrorCode::downgrade_for`]).
+fn queue_failure(write_buf: &mut Vec<u8>, kind: PendingKind, version: u8, err: &ServiceError) {
     let error = ErrorFrame {
-        code: err.code(),
+        code: err.code().downgrade_for(version),
         message: &err.to_string(),
     };
     match kind {
@@ -417,10 +423,13 @@ fn queue_failure(write_buf: &mut Vec<u8>, kind: PendingKind, err: &ServiceError)
 }
 
 /// Routes one decoded frame: encode requests into the engine's
-/// non-blocking submission path, metrics and telemetry requests answered
-/// inline, anything else refused.
+/// non-blocking submission path, metrics, telemetry and durability admin
+/// requests answered inline, anything else refused. `version` is the
+/// request header's announced protocol version, threaded through so
+/// failure responses can downgrade v6-only error codes.
 fn dispatch_frame(
     frame: Frame<'_>,
+    version: u8,
     write_buf: &mut Vec<u8>,
     pending: &mut Vec<Pending>,
     legacy_in_flight: &mut bool,
@@ -446,6 +455,7 @@ fn dispatch_frame(
                 view.want_masks,
                 view.verify.is_on(),
                 PendingKind::Legacy,
+                version,
                 write_buf,
                 pending,
                 legacy_in_flight,
@@ -472,6 +482,7 @@ fn dispatch_frame(
                 view.want_masks,
                 view.verify.is_on(),
                 PendingKind::LegacyBatch { count: view.count },
+                version,
                 write_buf,
                 pending,
                 legacy_in_flight,
@@ -500,6 +511,7 @@ fn dispatch_frame(
                 view.want_masks,
                 view.verify.is_on(),
                 PendingKind::Pipelined { request_id },
+                version,
                 write_buf,
                 pending,
                 legacy_in_flight,
@@ -532,6 +544,7 @@ fn dispatch_frame(
                     request_id,
                     count: view.count,
                 },
+                version,
                 write_buf,
                 pending,
                 legacy_in_flight,
@@ -554,10 +567,31 @@ fn dispatch_frame(
             let entries = ctx.engine.slowlog(max_entries as usize);
             wire::encode_slowlog_response(write_buf, ctx.engine.slowlog_threshold_ns(), &entries);
         }
+        // Durability admin frames (v6): answered inline — a snapshot
+        // quiesces every shard anyway, so there is nothing to overlap.
+        Frame::SnapshotRequest => match ctx.engine.trigger_snapshot() {
+            Ok(status) => status.encode_into(write_buf),
+            Err(err) => queue_error(
+                write_buf,
+                err.code().downgrade_for(version),
+                &err.to_string(),
+            ),
+        },
+        Frame::SnapshotStatusRequest => {
+            ctx.engine.snapshot_status().encode_into(write_buf);
+        }
+        Frame::RestoreRequest => match ctx.engine.restore() {
+            Ok(status) => status.encode_into(write_buf),
+            Err(err) => queue_error(
+                write_buf,
+                err.code().downgrade_for(version),
+                &err.to_string(),
+            ),
+        },
         _ => queue_error(
             write_buf,
             ErrorCode::BadRequest,
-            "only encode, metrics and telemetry requests are accepted",
+            "only encode, metrics, telemetry and durability admin requests are accepted",
         ),
     }
 }
@@ -573,6 +607,7 @@ fn submit_job(
     want_masks: bool,
     verify: bool,
     kind: PendingKind,
+    version: u8,
     write_buf: &mut Vec<u8>,
     pending: &mut Vec<Pending>,
     legacy_in_flight: &mut bool,
@@ -581,7 +616,7 @@ fn submit_job(
 ) {
     let (shard, key) = match prepared {
         Ok(route) => route,
-        Err(err) => return queue_failure(write_buf, kind, &err),
+        Err(err) => return queue_failure(write_buf, kind, version, &err),
     };
     let slot = ctx.slot_pool.pop().unwrap_or_else(RequestSlot::new);
     let options = SubmitOptions {
@@ -601,11 +636,15 @@ fn submit_job(
             if kind.is_legacy() {
                 *legacy_in_flight = true;
             }
-            pending.push(Pending { slot, kind });
+            pending.push(Pending {
+                slot,
+                kind,
+                version,
+            });
         }
         Err(err) => {
             super::recycle_slot(ctx.slot_pool, slot);
-            queue_failure(write_buf, kind, &err);
+            queue_failure(write_buf, kind, version, &err);
         }
     }
 }

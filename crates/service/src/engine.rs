@@ -73,15 +73,20 @@
 
 use crate::error::ServiceError;
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::persist::journal::{journal_path, JournalWriter};
+use crate::persist::{snapshot, PersistConfig, PersistPlane, RestoredSession};
 use crate::telemetry::{TelemetryRegistry, TraceEvent, TraceOutcome};
-use crate::wire::{CostModel, EncodeBatchRequestFrame, EncodeRequestFrame, VerifyMode};
+use crate::wire::{
+    CostModel, EncodeBatchRequestFrame, EncodeRequestFrame, SnapshotStatus, VerifyMode,
+};
+use dbi_core::persist::push_session_record;
 use dbi_core::{
     clock, BurstSlab, BusState, CostBreakdown, DbiEncoder, InversionMask, KernelKind, LaneWord,
     PlanCache, PlanCacheStats, Scheme,
 };
 use dbi_mem::{BusSession, ChannelActivity};
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -150,6 +155,12 @@ pub struct ServiceConfig {
     /// request is captured into the slowlog, in nanoseconds. Zero
     /// captures everything.
     pub slowlog_threshold_ns: u64,
+    /// The durable session plane: when set, the engine recovers carried
+    /// session state from the directory on start, journals every touched
+    /// session at pass boundaries, and serves the v6 snapshot/restore
+    /// admin surface ([`Engine::trigger_snapshot`], [`Engine::restore`]).
+    /// `None` (the default) keeps sessions memory-only.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -167,6 +178,7 @@ impl Default for ServiceConfig {
             trace_capacity: 1024,
             slowlog_capacity: 64,
             slowlog_threshold_ns: 1_000_000,
+            persist: None,
         }
     }
 }
@@ -289,18 +301,99 @@ pub(crate) struct RouteKey {
     pub(crate) burst_len: u8,
 }
 
+/// An admin operation executed *by the shard worker itself*, between
+/// passes — the per-shard quiesce the durable session plane is built on:
+/// while the worker serves a control job, no request is mutating the
+/// shard's sessions, so a capture sees every session at a pass boundary.
+#[derive(Debug)]
+enum ControlRequest {
+    /// Serialise every live session into CRC-guarded records and mark
+    /// them captured.
+    Capture,
+    /// Truncate the shard's journal and restart it at `generation`.
+    Rotate { generation: u64 },
+    /// Replace the shard's sessions with state recovered from disk.
+    Restore { sessions: Vec<RestoredSession> },
+}
+
+/// What a control job came back with.
+#[derive(Debug)]
+enum ControlOutcome {
+    /// `Capture`: the shard's sessions as back-to-back session records.
+    Captured { records: u32, bytes: Vec<u8> },
+    /// `Rotate` / `Restore` completed.
+    Done,
+    /// The engine shut down before the worker could serve the job.
+    Aborted,
+}
+
+/// The rendezvous a control submitter blocks on. Every admitted control
+/// job is answered exactly once — served by the worker loop, or
+/// `Aborted` by the worker's shutdown drain.
+#[derive(Debug)]
+struct ControlReply {
+    result: Mutex<Option<ControlOutcome>>,
+    done: Condvar,
+}
+
+impl ControlReply {
+    fn new() -> Self {
+        ControlReply {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn deliver(&self, outcome: ControlOutcome) {
+        *self.result.lock().expect("control reply poisoned") = Some(outcome);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> ControlOutcome {
+        let mut guard = self.result.lock().expect("control reply poisoned");
+        loop {
+            if let Some(outcome) = guard.take() {
+                return outcome;
+            }
+            guard = self.done.wait(guard).expect("control reply poisoned");
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ControlJob {
+    request: ControlRequest,
+    reply: Arc<ControlReply>,
+}
+
+/// What a blocking dequeue produced.
+enum Popped {
+    /// A request to execute.
+    Job((RouteKey, Arc<RequestSlot>)),
+    /// One or more control jobs are pending; drain them via
+    /// [`ShardQueue::take_control`].
+    Control,
+    /// The queue is closed and drained; the worker exits.
+    Closed,
+}
+
 /// A bounded **lock-free** multi-producer queue feeding one shard worker:
 /// a Vyukov-style ring holds the jobs (exact logical capacity, so the
 /// [`ServiceError::Overloaded`] threshold is precisely
 /// [`ServiceConfig::queue_capacity`]) and an eventcount lets the worker
 /// park when idle without putting a mutex on the submission path.
 ///
+/// Beside the ring rides a small mutex-protected **control lane** for the
+/// rare admin jobs (snapshot capture, journal rotation, restore); a
+/// worker checks its flag before popping requests, so control jobs run at
+/// the next pass boundary without the data path ever touching the mutex.
+///
 /// Shutdown protocol: `close` raises the flag, spins out the producers
-/// currently inside `try_push` (the `inflight` count), then wakes the
-/// worker. `pop_blocking` only returns `None` after observing
-/// `closed && inflight == 0` *and* a final empty pop — so every job a
-/// producer was admitted to push is drained and answered before the
-/// worker exits, exactly as the old mutex queue guaranteed by
+/// currently inside `try_push`/`push_control` (the `inflight` count),
+/// then wakes the worker. `pop_blocking` only returns [`Popped::Closed`]
+/// after observing `closed && inflight == 0` *and* a final empty pop — so
+/// every job a producer was admitted to push is drained and answered
+/// before the worker exits, exactly as the old mutex queue guaranteed by
 /// linearising `close` against `try_push`.
 #[derive(Debug)]
 struct ShardQueue {
@@ -308,6 +401,8 @@ struct ShardQueue {
     ready: eventring::EventCount,
     closed: AtomicBool,
     inflight: AtomicUsize,
+    control: Mutex<VecDeque<ControlJob>>,
+    control_pending: AtomicBool,
 }
 
 impl ShardQueue {
@@ -317,6 +412,8 @@ impl ShardQueue {
             ready: eventring::EventCount::new(),
             closed: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
+            control: Mutex::new(VecDeque::new()),
+            control_pending: AtomicBool::new(false),
         }
     }
 
@@ -350,21 +447,65 @@ impl ShardQueue {
         self.ring.pop()
     }
 
-    /// Blocking dequeue; `None` once the queue is closed and drained.
-    fn pop_blocking(&self) -> Option<(RouteKey, Arc<RequestSlot>)> {
+    /// Enqueues a control job for the worker to serve at its next pass
+    /// boundary. The same admission protocol as `try_push`, so every
+    /// accepted job is guaranteed an answer even across shutdown.
+    fn push_control(&self, job: ControlJob) -> Result<(), ServiceError> {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        if self.closed.load(Ordering::SeqCst) {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServiceError::ShuttingDown);
+        }
+        {
+            let mut control = self.control.lock().expect("control lane poisoned");
+            control.push_back(job);
+            self.control_pending.store(true, Ordering::SeqCst);
+        }
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.ready.notify_all();
+        Ok(())
+    }
+
+    /// Pops one pending control job; clears the fast-path flag with the
+    /// last one (flag and queue move together under the lane's lock).
+    fn take_control(&self) -> Option<ControlJob> {
+        let mut control = self.control.lock().expect("control lane poisoned");
+        let job = control.pop_front();
+        if control.is_empty() {
+            self.control_pending.store(false, Ordering::SeqCst);
+        }
+        job
+    }
+
+    /// Blocking dequeue. Control jobs outrank requests — they are rare
+    /// and latency-sensitive (a capture holds the snapshot barrier) — and
+    /// the data path only ever reads their atomic flag.
+    fn pop_blocking(&self) -> Popped {
         loop {
+            if self.control_pending.load(Ordering::SeqCst) {
+                return Popped::Control;
+            }
             if let Some(job) = self.ring.pop() {
-                return Some(job);
+                return Popped::Job(job);
             }
             let ticket = self.ready.listen();
+            if self.control_pending.load(Ordering::SeqCst) {
+                return Popped::Control;
+            }
             if let Some(job) = self.ring.pop() {
-                return Some(job);
+                return Popped::Job(job);
             }
             if self.closed.load(Ordering::SeqCst) && self.inflight.load(Ordering::SeqCst) == 0 {
                 // Reading `inflight == 0` (SeqCst) after `closed` means
-                // every admitted push has finished its ring insertion;
-                // one last pop linearises the drain.
-                return self.ring.pop();
+                // every admitted push has finished its insertion; one
+                // last check of both lanes linearises the drain.
+                if self.control_pending.load(Ordering::SeqCst) {
+                    return Popped::Control;
+                }
+                return match self.ring.pop() {
+                    Some(job) => Popped::Job(job),
+                    None => Popped::Closed,
+                };
             }
             self.ready.wait(ticket);
         }
@@ -397,6 +538,15 @@ struct SessionEntry {
     /// to save against). Lets the savings metric be a single cheap walk
     /// over the payload instead of a second full encode.
     raw_prev: Option<Vec<LaneWord>>,
+    /// The worker's pass counter value the last time a request touched
+    /// this session. Idle-age eviction removes the smallest stamp first;
+    /// stamps equal to the current pass are in use and never evicted.
+    last_touch: u64,
+    /// Whether the session's current carried state is already on disk (a
+    /// snapshot capture or a journal record since its last touch).
+    /// Eviction prefers captured sessions: their state survives for an
+    /// admin restore, so evicting them loses nothing durable.
+    captured: bool,
 }
 
 impl SessionEntry {
@@ -417,6 +567,8 @@ impl SessionEntry {
                 plan,
             ),
             raw_prev,
+            last_touch: 0,
+            captured: false,
         }
     }
 
@@ -455,6 +607,9 @@ pub(crate) struct EngineInner {
     /// id, so trace timelines interleave shards unambiguously.
     next_request_id: AtomicU64,
     hooks: Arc<TestHooks>,
+    /// The durable session plane's shared bookkeeping; `None` when
+    /// persistence is not configured.
+    persist: Option<Arc<PersistPlane>>,
 }
 
 /// A running sharded encode engine. Cheap to clone (`Arc` inside); the
@@ -479,9 +634,34 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if `config.shards` or `config.queue_capacity` is zero.
+    /// Panics if `config.shards` or `config.queue_capacity` is zero, or
+    /// if persistence is configured and its on-disk state is unreadable
+    /// (use [`Engine::try_start`] to handle that as a typed error).
     #[must_use]
     pub fn start(config: ServiceConfig) -> Engine {
+        Engine::try_start(config).expect("engine start failed")
+    }
+
+    /// Starts the shard workers, recovering durable session state first
+    /// when [`ServiceConfig::persist`] is set.
+    ///
+    /// Recovery folds the snapshot and every live journal (journal
+    /// records winning), immediately re-writes the folded state as a
+    /// fresh snapshot — so start *self-compacts* and stale files never
+    /// accumulate — and seeds each shard's worker with its sessions
+    /// before the worker serves its first request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Persistence`] when the configured directory cannot
+    /// be created or its state is structurally corrupt (a torn journal
+    /// *tail* is recovered from, never an error — but a corrupt snapshot
+    /// or journal header must not silently reset every bus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` or `config.queue_capacity` is zero.
+    pub fn try_start(config: ServiceConfig) -> Result<Engine, ServiceError> {
         assert!(config.shards > 0, "an engine needs at least one shard");
         assert!(
             config.queue_capacity > 0,
@@ -491,6 +671,16 @@ impl Engine {
             config.max_sessions_per_shard > 0,
             "a shard needs room for at least one session"
         );
+        let mut seeded: Vec<Vec<RestoredSession>> =
+            (0..config.shards).map(|_| Vec::new()).collect();
+        let persist = match &config.persist {
+            None => None,
+            Some(persist_config) => Some(Arc::new(recover_persist_plane(
+                persist_config,
+                &config,
+                &mut seeded,
+            )?)),
+        };
         let queues: Vec<Arc<ShardQueue>> = (0..config.shards)
             .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
             .collect();
@@ -506,12 +696,14 @@ impl Engine {
         let workers = queues
             .iter()
             .enumerate()
-            .map(|(shard, queue)| {
+            .zip(seeded)
+            .map(|((shard, queue), restored)| {
                 let queue = Arc::clone(queue);
                 let metrics = Arc::clone(&metrics);
                 let telemetry = Arc::clone(&telemetry);
                 let plans = Arc::clone(&plans);
                 let hooks = Arc::clone(&hooks);
+                let persist = persist.clone();
                 let max_sessions = config.max_sessions_per_shard;
                 std::thread::Builder::new()
                     .name(format!("dbi-shard-{shard}"))
@@ -524,12 +716,14 @@ impl Engine {
                             &plans,
                             max_sessions,
                             &hooks,
+                            persist.as_deref(),
+                            restored,
                         )
                     })
                     .expect("spawning a shard worker failed")
             })
             .collect();
-        Engine {
+        Ok(Engine {
             inner: Arc::new(EngineInner {
                 config,
                 queues,
@@ -540,8 +734,118 @@ impl Engine {
                 stopped: AtomicBool::new(false),
                 next_request_id: AtomicU64::new(1),
                 hooks,
+                persist,
             }),
+        })
+    }
+
+    /// Takes a snapshot now: quiesces each shard in turn at a pass
+    /// boundary to capture its sessions, writes the combined capture
+    /// atomically as the new `snapshot.bin`, then rotates every shard's
+    /// journal past it.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServiceError::PersistenceDisabled`] — no
+    ///   [`ServiceConfig::persist`] was configured;
+    /// * [`ServiceError::ShuttingDown`] — the engine stopped before every
+    ///   shard could be captured;
+    /// * [`ServiceError::Persistence`] — the snapshot could not be
+    ///   written.
+    pub fn trigger_snapshot(&self) -> Result<SnapshotStatus, ServiceError> {
+        let plane = self
+            .inner
+            .persist
+            .as_deref()
+            .ok_or(ServiceError::PersistenceDisabled)?;
+        let _ops = plane.ops.lock().expect("persist ops lock poisoned");
+        let generation = plane.generation.load(Ordering::Relaxed);
+        let mut record_count = 0u32;
+        let mut record_bytes = Vec::new();
+        for queue in &self.inner.queues {
+            match self.inner.control_round(queue, ControlRequest::Capture)? {
+                ControlOutcome::Captured { records, bytes } => {
+                    record_count += records;
+                    record_bytes.extend_from_slice(&bytes);
+                }
+                _ => return Err(ServiceError::Internal("capture answered without records")),
+            }
         }
+        let bytes = snapshot::write_snapshot(&plane.dir, generation, record_count, &record_bytes)
+            .map_err(|err| ServiceError::Persistence {
+            detail: err.to_string(),
+        })?;
+        for queue in &self.inner.queues {
+            self.inner.control_round(
+                queue,
+                ControlRequest::Rotate {
+                    generation: generation + 1,
+                },
+            )?;
+        }
+        plane.generation.store(generation + 1, Ordering::Relaxed);
+        plane.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+        plane
+            .last_sessions
+            .store(u64::from(record_count), Ordering::Relaxed);
+        plane.last_bytes.store(bytes, Ordering::Relaxed);
+        Ok(self.snapshot_status())
+    }
+
+    /// The durable session plane's current counters. Always answers —
+    /// `configured` is `false` (and every counter zero) when persistence
+    /// is off.
+    #[must_use]
+    pub fn snapshot_status(&self) -> SnapshotStatus {
+        match self.inner.persist.as_deref() {
+            None => SnapshotStatus::default(),
+            Some(plane) => SnapshotStatus {
+                configured: true,
+                generation: plane.generation.load(Ordering::Relaxed),
+                snapshots_taken: plane.snapshots_taken.load(Ordering::Relaxed),
+                last_sessions: plane.last_sessions.load(Ordering::Relaxed),
+                last_bytes: plane.last_bytes.load(Ordering::Relaxed),
+                restored_sessions: plane.restored_sessions.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// Re-reads the durable state from disk and replaces every shard's
+    /// sessions with it — the recovery path, run against a live engine.
+    /// Sessions the disk does not mention (created since the last
+    /// snapshot+journal write, or evicted ones whose records survive)
+    /// keep their live entries.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::trigger_snapshot`], plus [`ServiceError::Persistence`]
+    /// when the on-disk state is structurally corrupt.
+    pub fn restore(&self) -> Result<SnapshotStatus, ServiceError> {
+        let plane = self
+            .inner
+            .persist
+            .as_deref()
+            .ok_or(ServiceError::PersistenceDisabled)?;
+        let _ops = plane.ops.lock().expect("persist ops lock poisoned");
+        let loaded =
+            crate::persist::load_state(&plane.dir).map_err(|err| ServiceError::Persistence {
+                detail: err.to_string(),
+            })?;
+        let mut seeded: Vec<Vec<RestoredSession>> =
+            (0..self.inner.config.shards).map(|_| Vec::new()).collect();
+        let restored = partition_restorable(
+            loaded.sessions,
+            &mut seeded,
+            self.inner.config.max_sessions_per_shard,
+        );
+        for (queue, sessions) in self.inner.queues.iter().zip(seeded) {
+            self.inner
+                .control_round(queue, ControlRequest::Restore { sessions })?;
+        }
+        plane
+            .restored_sessions
+            .fetch_add(restored, Ordering::Relaxed);
+        Ok(self.snapshot_status())
     }
 
     /// Fault injection for tests: when enabled, every verify-mode round
@@ -603,11 +907,12 @@ impl Engine {
     }
 
     /// A point-in-time snapshot of every shard's counters, including the
-    /// shared plan-cache counters.
+    /// shared plan-cache counters and the durable session plane's state.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snapshot = self.inner.metrics.snapshot();
         snapshot.plan_cache = self.inner.plans.stats();
+        snapshot.durability = self.snapshot_status();
         snapshot
     }
 
@@ -678,12 +983,119 @@ fn resolve_scheme(scheme: Scheme, cost_model: CostModel) -> Result<Scheme, Servi
     }
 }
 
+/// Fibonacci-hash a session id onto a shard: sticky and well spread even
+/// for sequential ids. Free-standing so recovery can partition restored
+/// sessions before the engine exists.
+fn shard_index(session_id: u64, shards: usize) -> usize {
+    let mixed = session_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((mixed >> 32) as usize) % shards
+}
+
+/// Distributes recovered sessions onto `seeded` (one bucket per shard) by
+/// the sticky hash, dropping any whose geometry this engine would not
+/// admit (a foreign or hand-edited file must not plant un-servable
+/// entries) and capping each bucket at the per-shard session limit.
+/// Returns how many sessions were kept.
+fn partition_restorable(
+    sessions: Vec<RestoredSession>,
+    seeded: &mut [Vec<RestoredSession>],
+    max_sessions: usize,
+) -> u64 {
+    let mut kept = 0u64;
+    for session in sessions {
+        if session.groups == 0
+            || session.groups > MAX_GROUPS
+            || session.burst_len == 0
+            || session.burst_len > MAX_BURST_LEN
+            || session.states.len() != usize::from(session.groups)
+        {
+            continue;
+        }
+        let shard = shard_index(session.session_id, seeded.len());
+        if seeded[shard].len() >= max_sessions {
+            continue;
+        }
+        seeded[shard].push(session);
+        kept += 1;
+    }
+    kept
+}
+
+/// Engine-start recovery: folds the on-disk state, partitions it onto the
+/// shards, self-compacts it into a fresh snapshot (so journals restart
+/// empty and files from defunct shard counts can be removed), and builds
+/// the shared plane. `seeded` receives each shard's sessions.
+fn recover_persist_plane(
+    persist_config: &PersistConfig,
+    config: &ServiceConfig,
+    seeded: &mut [Vec<RestoredSession>],
+) -> Result<PersistPlane, ServiceError> {
+    let persistence_err = |err: &dyn std::fmt::Display| ServiceError::Persistence {
+        detail: err.to_string(),
+    };
+    let dir = &persist_config.dir;
+    std::fs::create_dir_all(dir).map_err(|err| persistence_err(&err))?;
+    let loaded = crate::persist::load_state(dir).map_err(|err| persistence_err(&err))?;
+    let restored = partition_restorable(loaded.sessions, seeded, config.max_sessions_per_shard);
+
+    // Self-compact: everything recovery kept becomes the new snapshot,
+    // written *before* the old journals are removed — at no point does
+    // disk hold less than the recovered state.
+    let mut record_count = 0u32;
+    let mut record_bytes = Vec::new();
+    for bucket in seeded.iter() {
+        for session in bucket {
+            push_session_record(
+                &mut record_bytes,
+                session.session_id,
+                session.scheme,
+                session.burst_len,
+                &session.states,
+            );
+            record_count += 1;
+        }
+    }
+    let snapshot_generation = loaded.generation + 1;
+    let bytes = snapshot::write_snapshot(dir, snapshot_generation, record_count, &record_bytes)
+        .map_err(|err| persistence_err(&err))?;
+    for path in crate::persist::journal::journal_files(dir).map_err(|err| persistence_err(&err))? {
+        std::fs::remove_file(path).map_err(|err| persistence_err(&err))?;
+    }
+    Ok(PersistPlane {
+        dir: dir.clone(),
+        generation: AtomicU64::new(snapshot_generation + 1),
+        snapshots_taken: AtomicU64::new(1),
+        last_sessions: AtomicU64::new(u64::from(record_count)),
+        last_bytes: AtomicU64::new(bytes),
+        restored_sessions: AtomicU64::new(restored),
+        ops: Mutex::new(()),
+    })
+}
+
 impl EngineInner {
     /// Fibonacci-hash the session id onto a shard: sticky and well spread
     /// even for sequential ids.
     fn shard_of(&self, session_id: u64) -> usize {
-        let mixed = session_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        ((mixed >> 32) as usize) % self.config.shards
+        shard_index(session_id, self.config.shards)
+    }
+
+    /// Submits one control job to a shard and blocks for its answer.
+    /// Every admitted job is answered (served, or `Aborted` by the
+    /// worker's shutdown drain), so the wait cannot hang.
+    fn control_round(
+        &self,
+        queue: &ShardQueue,
+        request: ControlRequest,
+    ) -> Result<ControlOutcome, ServiceError> {
+        let reply = Arc::new(ControlReply::new());
+        queue.push_control(ControlJob {
+            request,
+            reply: Arc::clone(&reply),
+        })?;
+        match reply.wait() {
+            ControlOutcome::Aborted => Err(ServiceError::ShuttingDown),
+            outcome => Ok(outcome),
+        }
     }
 
     fn validate(&self, request: &EncodeRequest<'_>) -> Result<(), ServiceError> {
@@ -1160,10 +1572,22 @@ struct ShardWorker<'a> {
     window: Vec<PassJob>,
     rounds: Vec<RoundMeta>,
     /// Last round index per session seen while forming rounds (linear
-    /// scan: the window is small).
+    /// scan: the window is small). After the pass this doubles as the
+    /// journal's work list — exactly the sessions the pass touched.
     session_rounds: Vec<(u64, u32)>,
+    /// The shard's append-only journal; `None` when persistence is off
+    /// (or its file could not be created — durability degrades, the data
+    /// path never fails).
+    journal: Option<JournalWriter>,
+    /// Reused scratch for serialising one session's states into the
+    /// journal or a capture.
+    journal_states: Vec<BusState>,
+    /// Monotonic pass counter; stamps `SessionEntry::last_touch` for
+    /// idle-age eviction.
+    pass_stamp: u64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     shard: usize,
     queue: &ShardQueue,
@@ -1172,7 +1596,16 @@ fn worker_loop(
     plans: &PlanCache,
     max_sessions: usize,
     hooks: &TestHooks,
+    persist: Option<&PersistPlane>,
+    restored: Vec<RestoredSession>,
 ) {
+    let journal = persist.and_then(|plane| {
+        JournalWriter::create(
+            journal_path(&plane.dir, shard),
+            plane.generation.load(Ordering::Relaxed),
+        )
+        .ok()
+    });
     let mut worker = ShardWorker {
         shard,
         metrics: metrics.shard(shard),
@@ -1190,8 +1623,25 @@ fn worker_loop(
         window: Vec::with_capacity(COALESCE_LIMIT + 1),
         rounds: Vec::with_capacity(COALESCE_LIMIT + 1),
         session_rounds: Vec::with_capacity(COALESCE_LIMIT + 1),
+        journal,
+        journal_states: Vec::new(),
+        pass_stamp: 0,
     };
-    while let Some((key, slot)) = queue.pop_blocking() {
+    // Seed the shard with its recovered sessions before serving anything:
+    // the first request a restored session sees continues its carried
+    // state exactly where the previous process left it.
+    worker.restore_sessions(restored);
+    loop {
+        let (key, slot) = match queue.pop_blocking() {
+            Popped::Job(job) => job,
+            Popped::Control => {
+                while let Some(job) = queue.take_control() {
+                    worker.serve_control(job);
+                }
+                continue;
+            }
+            Popped::Closed => break,
+        };
         worker.metrics.dequeue();
         worker.window.clear();
         worker.push_job(key, slot);
@@ -1210,6 +1660,11 @@ fn worker_loop(
         // queue in the same drain.
         let dequeue_ns = clock::now_nanos();
         worker.run_pass(dequeue_ns);
+    }
+    // Answer control jobs that slipped in behind the close; their
+    // submitters are blocked on the reply.
+    while let Some(job) = queue.take_control() {
+        job.reply.deliver(ControlOutcome::Aborted);
     }
 }
 
@@ -1293,6 +1748,7 @@ impl ShardWorker<'_> {
     }
 
     fn run_pass(&mut self, dequeue_ns: u64) {
+        self.pass_stamp += 1;
         self.form_rounds();
         let coalesced = (self.window.len() - 1) as u64;
         let corrupt = self.hooks.corrupt_verify.load(Ordering::Relaxed);
@@ -1308,6 +1764,104 @@ impl ShardWorker<'_> {
         if executed {
             self.metrics.record_pass(pass_bursts, coalesced);
         }
+        // The pass boundary is the burst boundary the journal writes at:
+        // every session the pass touched gets one full-state record,
+        // flushed with a single write. The buffers are reused, so a warm
+        // journaled pass costs one `write_all` and no allocation.
+        if executed {
+            self.journal_pass();
+        }
+    }
+
+    /// Journals the full carried state of every session the just-finished
+    /// pass touched, then flushes. Write failures degrade durability (the
+    /// next snapshot re-captures everything) but never the data path.
+    fn journal_pass(&mut self) {
+        if self.journal.is_none() {
+            return;
+        }
+        let mut records = 0u64;
+        for &(session_id, _) in &self.session_rounds {
+            let Some(entry) = self.sessions.get_mut(&session_id) else {
+                continue;
+            };
+            self.journal_states.clear();
+            entry.session.export_states_into(&mut self.journal_states);
+            let journal = self.journal.as_mut().expect("checked above");
+            journal.append_session(
+                session_id,
+                entry.scheme,
+                entry.session.burst_len() as u8,
+                &self.journal_states,
+            );
+            entry.captured = true;
+            records += 1;
+        }
+        let journal = self.journal.as_mut().expect("checked above");
+        if let Ok(bytes) = journal.flush() {
+            if bytes > 0 {
+                self.metrics.record_journal(records, bytes as u64);
+            }
+        }
+    }
+
+    /// Seeds recovered sessions into the shard map (replacing any live
+    /// entry with the same id). Restored state is on disk by definition,
+    /// so the entries start `captured` — first in line for eviction until
+    /// a request touches them.
+    fn restore_sessions(&mut self, restored: Vec<RestoredSession>) {
+        for session in restored {
+            let mut entry = SessionEntry::new(
+                session.scheme,
+                session.groups,
+                session.burst_len,
+                self.plans,
+            );
+            entry.session.import_states(&session.states);
+            entry.captured = true;
+            if !self.sessions.contains_key(&session.session_id) {
+                self.metrics.session_created();
+            }
+            self.sessions.insert(session.session_id, entry);
+        }
+    }
+
+    /// Serves one quiesced admin job. Runs between passes, so every
+    /// session is at a burst boundary — the consistency point the
+    /// snapshot format stores.
+    fn serve_control(&mut self, job: ControlJob) {
+        let outcome = match job.request {
+            ControlRequest::Capture => {
+                let mut bytes = Vec::new();
+                let mut records = 0u32;
+                for (session_id, entry) in &mut self.sessions {
+                    self.journal_states.clear();
+                    entry.session.export_states_into(&mut self.journal_states);
+                    push_session_record(
+                        &mut bytes,
+                        *session_id,
+                        entry.scheme,
+                        entry.session.burst_len() as u8,
+                        &self.journal_states,
+                    );
+                    entry.captured = true;
+                    records += 1;
+                }
+                ControlOutcome::Captured { records, bytes }
+            }
+            ControlRequest::Rotate { generation } => {
+                if let Some(journal) = self.journal.as_mut() {
+                    let _ = journal.flush();
+                    let _ = journal.rotate(generation);
+                }
+                ControlOutcome::Done
+            }
+            ControlRequest::Restore { sessions } => {
+                self.restore_sessions(sessions);
+                ControlOutcome::Done
+            }
+        };
+        job.reply.deliver(outcome);
     }
 
     /// Executes one packed round: packs every member job's chains and
@@ -1350,6 +1904,7 @@ impl ShardWorker<'_> {
                 self.metrics,
                 self.plans,
                 self.max_sessions,
+                self.pass_stamp,
             ) {
                 Ok(entry) => {
                     let state = self.window[i]
@@ -1520,6 +2075,17 @@ fn finish_slot(
 /// per-shard session bound, detects configuration mismatches and creates
 /// the session on first touch. Rejection metrics are the caller's job
 /// (one per affected request).
+///
+/// When the map is full and a *fresh* id arrives, the least-recently
+/// touched idle session is evicted to make room — idle meaning not
+/// touched by the current pass (`last_touch < pass_stamp`), so a session
+/// with work in this very window can never lose its carried state
+/// mid-pass. Among idle candidates, snapshot/journal-captured entries go
+/// first: their state survives on disk and an admin restore can bring
+/// them back. Only when *every* resident session is active in the current
+/// pass does the claim fail with [`ServiceError::SessionLimit`] — a
+/// transient condition, not the permanent lock-out the map previously
+/// degenerated into once it filled.
 fn claim_entry<'a>(
     shard: usize,
     sessions: &'a mut HashMap<u64, SessionEntry>,
@@ -1527,9 +2093,21 @@ fn claim_entry<'a>(
     metrics: &crate::metrics::ShardMetrics,
     plans: &PlanCache,
     max_sessions: usize,
+    pass_stamp: u64,
 ) -> Result<&'a mut SessionEntry, ServiceError> {
     if sessions.len() >= max_sessions && !sessions.contains_key(&key.session_id) {
-        return Err(ServiceError::SessionLimit { shard });
+        let victim = sessions
+            .iter()
+            .filter(|(_, entry)| entry.last_touch < pass_stamp)
+            .min_by_key(|(_, entry)| (!entry.captured, entry.last_touch))
+            .map(|(id, _)| *id);
+        match victim {
+            Some(id) => {
+                sessions.remove(&id);
+                metrics.session_evicted();
+            }
+            None => return Err(ServiceError::SessionLimit { shard }),
+        }
     }
     match sessions.entry(key.session_id) {
         Entry::Occupied(occupied) => {
@@ -1539,16 +2117,20 @@ fn claim_entry<'a>(
                     session_id: key.session_id,
                 });
             }
+            entry.last_touch = pass_stamp;
+            entry.captured = false;
             Ok(entry)
         }
         Entry::Vacant(vacant) => {
             metrics.session_created();
-            Ok(vacant.insert(SessionEntry::new(
+            let entry = vacant.insert(SessionEntry::new(
                 key.scheme,
                 key.groups,
                 key.burst_len,
                 plans,
-            )))
+            ));
+            entry.last_touch = pass_stamp;
+            Ok(entry)
         }
     }
 }
@@ -1996,7 +2578,7 @@ mod tests {
     }
 
     #[test]
-    fn session_limit_rejects_fresh_ids_but_serves_existing_sessions() {
+    fn full_shard_evicts_idle_sessions_for_fresh_ids() {
         let engine = Engine::start(ServiceConfig {
             shards: 1,
             queue_capacity: 8,
@@ -2018,15 +2600,60 @@ mod tests {
         };
         client.encode(&request(1), &mut reply).unwrap();
         client.encode(&request(2), &mut reply).unwrap();
-        // The shard is full: a third id bounces, existing ids still work.
-        assert_eq!(
-            client.encode(&request(3), &mut reply),
-            Err(ServiceError::SessionLimit { shard: 0 })
-        );
+        // The shard is full, but both residents are idle: a third id
+        // evicts the least-recently-touched one (id 1) instead of
+        // bouncing.
+        client.encode(&request(3), &mut reply).unwrap();
+        // Id 1 comes back as a *fresh* session, evicting id 2 in turn.
         client.encode(&request(1), &mut reply).unwrap();
         let totals = engine.metrics().totals();
-        assert_eq!(totals.sessions, 2);
-        assert_eq!(totals.rejected, 1);
+        assert_eq!(totals.sessions, 4);
+        assert_eq!(totals.sessions_evicted, 2);
+        assert_eq!(totals.rejected, 0);
+    }
+
+    #[test]
+    fn session_churn_far_past_the_limit_serves_every_request() {
+        // The regression this pins: a full shard used to reject fresh
+        // session ids *forever* — slot exhaustion was permanent. Churn
+        // more than twice the limit through one shard; every request
+        // must be served, with evictions making the room.
+        let limit = 4usize;
+        let engine = Engine::start(ServiceConfig {
+            shards: 1,
+            queue_capacity: 8,
+            max_sessions_per_shard: limit,
+            ..ServiceConfig::default()
+        });
+        let mut client = engine.local_client();
+        let mut reply = EncodeReply::new();
+        let payload = pseudo_random(32, 3);
+        for round in 0..3u64 {
+            for id in 1..=(3 * limit as u64) {
+                client
+                    .encode(
+                        &EncodeRequest {
+                            session_id: id,
+                            scheme: Scheme::OptFixed,
+                            cost_model: CostModel::Inline,
+                            groups: 4,
+                            burst_len: 8,
+                            want_masks: false,
+                            verify: VerifyMode::Off,
+                            payload: &payload,
+                        },
+                        &mut reply,
+                    )
+                    .unwrap_or_else(|err| panic!("round {round} id {id}: {err}"));
+            }
+        }
+        let totals = engine.metrics().totals();
+        assert_eq!(totals.rejected, 0);
+        assert!(
+            totals.sessions_evicted > 0,
+            "churning 3x the limit must evict"
+        );
+        engine.shutdown();
     }
 
     #[test]
@@ -2132,15 +2759,14 @@ mod tests {
         let engine = Engine::start(ServiceConfig {
             shards: 1,
             queue_capacity: 8,
-            max_sessions_per_shard: 1,
             ..ServiceConfig::default()
         });
         let mut client = engine.local_client();
         let mut reply = EncodeReply::new();
         let payload = pseudo_random(32, 13);
-        let request = |session_id| EncodeRequest {
-            session_id,
-            scheme: Scheme::OptFixed,
+        let request = |scheme| EncodeRequest {
+            session_id: 1,
+            scheme,
             cost_model: CostModel::Inline,
             groups: 4,
             burst_len: 8,
@@ -2148,18 +2774,20 @@ mod tests {
             verify: VerifyMode::Off,
             payload: &payload,
         };
-        client.encode(&request(1), &mut reply).unwrap();
-        // The shard is full: a second session id is rejected *by the
+        client
+            .encode(&request(Scheme::OptFixed), &mut reply)
+            .unwrap();
+        // Reusing the id with a different scheme is rejected *by the
         // worker* (not validation), so it still earns a trace event.
         assert_eq!(
-            client.encode(&request(2), &mut reply),
-            Err(ServiceError::SessionLimit { shard: 0 })
+            client.encode(&request(Scheme::Dc), &mut reply),
+            Err(ServiceError::SessionMismatch { session_id: 1 })
         );
         let trace = engine.trace_dump(16);
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[0].outcome, TraceOutcome::Ok);
         assert_eq!(trace[1].outcome, TraceOutcome::Rejected);
-        assert_eq!(trace[1].session_id, 2);
+        assert_eq!(trace[1].session_id, 1);
         assert_eq!(trace[1].encode_ns, 0);
         assert_eq!(trace[1].bursts, 0);
         engine.shutdown();

@@ -82,11 +82,21 @@ pub enum ServiceError {
         session_id: u64,
     },
     /// The target shard already holds its configured maximum number of
-    /// sessions and refuses to create another — the bound that stops a
-    /// peer cycling through fresh session ids from exhausting memory.
+    /// sessions, every one of them was touched by the pass in flight, and
+    /// so none can be evicted to make room — the bound that stops a peer
+    /// cycling through fresh session ids from exhausting memory. Idle
+    /// sessions are evicted instead of rejected, so this is transient.
     SessionLimit {
         /// Index of the shard that is full.
         shard: usize,
+    },
+    /// A durability admin operation (snapshot, restore) was requested but
+    /// the engine was started without a persist directory configured.
+    PersistenceDisabled,
+    /// A durability operation failed against the persist directory.
+    Persistence {
+        /// Human-readable description of the underlying failure.
+        detail: String,
     },
     /// An invariant the engine relies on was violated; indicates a bug.
     Internal(&'static str),
@@ -107,9 +117,13 @@ impl ServiceError {
             ServiceError::BadBatchCount { .. } => ErrorCode::BadRequest,
             ServiceError::VerifyMismatch { .. } => ErrorCode::VerifyMismatch,
             ServiceError::SessionMismatch { .. } => ErrorCode::SessionMismatch,
-            // Resource exhaustion travels as Overloaded: the client's
-            // remedy (back off, spread over fewer sessions) is the same.
-            ServiceError::SessionLimit { .. } => ErrorCode::Overloaded,
+            // Typed as its own code since protocol v6. Peers negotiated
+            // below v6 receive Overloaded instead (the encoder applies
+            // [`ErrorCode::downgrade_for`]): their remedy — back off,
+            // spread over fewer sessions — is the same.
+            ServiceError::SessionLimit { .. } => ErrorCode::SessionLimit,
+            ServiceError::PersistenceDisabled => ErrorCode::BadRequest,
+            ServiceError::Persistence { .. } => ErrorCode::Internal,
             ServiceError::Internal(_) => ErrorCode::Internal,
         }
     }
@@ -168,6 +182,13 @@ impl fmt::Display for ServiceError {
                 f,
                 "shard {shard} is at its session limit, new session rejected"
             ),
+            ServiceError::PersistenceDisabled => write!(
+                f,
+                "durability is not configured; start the engine with a persist directory"
+            ),
+            ServiceError::Persistence { detail } => {
+                write!(f, "durability operation failed: {detail}")
+            }
             ServiceError::Internal(what) => write!(f, "internal service error: {what}"),
         }
     }
@@ -288,7 +309,14 @@ mod tests {
             ),
             (
                 ServiceError::SessionLimit { shard: 2 },
-                ErrorCode::Overloaded,
+                ErrorCode::SessionLimit,
+            ),
+            (ServiceError::PersistenceDisabled, ErrorCode::BadRequest),
+            (
+                ServiceError::Persistence {
+                    detail: "disk on fire".to_owned(),
+                },
+                ErrorCode::Internal,
             ),
             (ServiceError::Internal("x"), ErrorCode::Internal),
         ];

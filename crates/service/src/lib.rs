@@ -33,8 +33,13 @@
 //!   prefix request and response bodies with a client-chosen `u64`
 //!   request id, so one connection keeps many requests in flight and
 //!   matches responses by id — out of order across sessions, FIFO
-//!   within one. Version 1 through 4 frames are still decoded (tags
-//!   below the version that introduced them are rejected typed).
+//!   within one. Protocol version 6 adds the **durability admin
+//!   frames** — trigger a snapshot, query durability status, restore
+//!   from disk — and the typed [`wire::ErrorCode::SessionLimit`]
+//!   rejection (encode-side downgraded to `Overloaded` for peers that
+//!   announced v5 or older). Version 1 through 5 frames are still
+//!   decoded (tags below the version that introduced them are rejected
+//!   typed).
 //! * [`Engine`] — N shard workers, each owning a private map of
 //!   [`dbi_mem::BusSession`]s keyed by session id. Routing is *sticky*
 //!   (same session id → same shard), so each session's carried bus state
@@ -87,6 +92,23 @@
 //!   requests over a configurable threshold, and exports — the
 //!   `TraceDump`/`SlowlogQuery` wire frames (protocol version 4) plus
 //!   chrome://tracing JSON ([`telemetry::chrome_trace_json`]).
+//! * [`persist`] — the **durable session plane** (opt-in via
+//!   [`PersistConfig`]): a DBI memory-based code's decodability lives in
+//!   the carried per-session bus state, so losing it breaks every later
+//!   decode. Workers append each touched session's state to a per-shard
+//!   append-only journal at every burst boundary (buffered writer, zero
+//!   allocations once warm); [`Engine::trigger_snapshot`] quiesces the
+//!   shards one at a time and writes an atomic (temp-file + rename)
+//!   engine-wide snapshot; recovery at [`Engine::try_start`] folds
+//!   snapshot + journals (journal wins, torn tails skipped) and replays
+//!   **bit-identically** to an uninterrupted serial run. When a shard's
+//!   session table fills, the least-recently-touched idle session is
+//!   evicted (snapshot-captured sessions preferred) rather than
+//!   rejecting fresh ids forever; a full table of busy sessions answers
+//!   [`wire::ErrorCode::SessionLimit`]. Admin access: the v6 wire
+//!   frames, [`TcpClient::trigger_snapshot`] /
+//!   [`TcpClient::snapshot_status`] / [`TcpClient::restore`], and a
+//!   `durability` block in the metrics JSON and Prometheus text.
 //!
 //! ## Example
 //!
@@ -127,6 +149,7 @@ pub mod conn;
 pub mod engine;
 pub mod error;
 pub mod metrics;
+pub mod persist;
 pub mod server;
 pub mod telemetry;
 pub mod wire;
@@ -139,6 +162,7 @@ pub use engine::{
 };
 pub use error::{ClientError, ServiceError};
 pub use metrics::{MetricsSnapshot, ShardSnapshot, StageLatency};
+pub use persist::{PersistConfig, PersistError, RestoredSession};
 pub use server::TcpServer;
 pub use telemetry::{TelemetryRegistry, TraceEvent, TraceOutcome};
 pub use wire::{CostModel, VerifyMode};

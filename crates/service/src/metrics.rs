@@ -33,8 +33,18 @@
 //! with p50/p90/p99/p999 for the queue-wait, encode, verify and
 //! total-service stages — log-bucketed lock-free histograms, same pattern
 //! as `batch_hist`.
+//!
+//! The durable session plane (see [`crate::persist`]) adds a per-shard
+//! `sessions_evicted` counter and `journal` block (records and bytes the
+//! shard's worker has appended), plus one engine-global `durability`
+//! block mirroring the [`SnapshotStatus`] admin response: whether a
+//! persist directory is configured, the journal generation, snapshots
+//! taken, the last snapshot's session count and byte size, and sessions
+//! restored from disk. An engine without persistence reports the block
+//! with `configured: false` and zeros.
 
 use crate::telemetry::{log2_percentile, LatencyHistogram, LatencyStats, RateWindow};
+use crate::wire::SnapshotStatus;
 use dbi_core::PlanCacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -57,6 +67,9 @@ pub struct ShardMetrics {
     queue_depth: AtomicU64,
     queue_depth_peak: AtomicU64,
     sessions: AtomicU64,
+    sessions_evicted: AtomicU64,
+    journal_records: AtomicU64,
+    journal_bytes: AtomicU64,
     passes: AtomicU64,
     coalesced: AtomicU64,
     dispatches: AtomicU64,
@@ -166,6 +179,19 @@ impl ShardMetrics {
         self.sessions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records an idle session evicted to make room for a fresh id on a
+    /// full shard.
+    pub fn session_evicted(&self) {
+        self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one journal flush of `records` session records totalling
+    /// `bytes` on-disk bytes.
+    pub fn record_journal(&self, records: u64, bytes: u64) {
+        self.journal_records.fetch_add(records, Ordering::Relaxed);
+        self.journal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Reads the counters into an owned snapshot.
     #[must_use]
     pub fn snapshot(&self) -> ShardSnapshot {
@@ -182,6 +208,9 @@ impl ShardMetrics {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
             sessions: self.sessions.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            journal_records: self.journal_records.load(Ordering::Relaxed),
+            journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
             passes: self.passes.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             dispatches: self.dispatches.load(Ordering::Relaxed),
@@ -376,6 +405,13 @@ pub struct ShardSnapshot {
     pub queue_depth_peak: u64,
     /// Encode sessions resident on the shard.
     pub sessions: u64,
+    /// Idle sessions evicted to make room for fresh session ids once the
+    /// shard hit its configured session bound.
+    pub sessions_evicted: u64,
+    /// Session records the shard's worker has appended to its journal.
+    pub journal_records: u64,
+    /// Bytes the shard's worker has flushed to its journal.
+    pub journal_bytes: u64,
     /// Worker passes executed (each pass serves one or more coalesced
     /// requests of one session).
     pub passes: u64,
@@ -417,6 +453,9 @@ impl ShardSnapshot {
         self.transitions_saved += other.transitions_saved;
         self.queue_depth += other.queue_depth;
         self.sessions += other.sessions;
+        self.sessions_evicted += other.sessions_evicted;
+        self.journal_records += other.journal_records;
+        self.journal_bytes += other.journal_bytes;
         self.passes += other.passes;
         self.coalesced += other.coalesced;
         self.dispatches += other.dispatches;
@@ -484,6 +523,8 @@ impl ShardSnapshot {
             "{{\"requests\":{},\"rejected\":{},\"bytes\":{},\"bursts\":{},\
              \"transitions_saved\":{},\"queue_depth\":{},\
              \"queue_depth_peak\":{},\"sessions\":{},\
+             \"sessions_evicted\":{},\
+             \"journal\":{{\"records\":{},\"bytes\":{}}},\
              \"rate\":{{\"requests_per_s\":{:.1},\"rejects_per_s\":{:.1},\
              \"window_s\":{}}},\
              \"batch\":{{\"passes\":{},\"coalesced\":{},\"dispatches\":{},\
@@ -498,6 +539,9 @@ impl ShardSnapshot {
             self.queue_depth,
             self.queue_depth_peak,
             self.sessions,
+            self.sessions_evicted,
+            self.journal_records,
+            self.journal_bytes,
             self.requests_per_s,
             self.rejects_per_s,
             RATE_WINDOW_SECONDS,
@@ -574,6 +618,7 @@ impl MetricsRegistry {
             per_shard: self.shards.iter().map(ShardMetrics::snapshot).collect(),
             plan_cache: PlanCacheStats::default(),
             connections: ConnectionsSnapshot::default(),
+            durability: SnapshotStatus::default(),
             kernel: dbi_core::simd::selected_kernel().name(),
             forced_scalar: dbi_core::simd::forced_scalar(),
             cpu_features: dbi_core::simd::cpu_features(),
@@ -593,6 +638,12 @@ pub struct MetricsSnapshot {
     /// connection counters — the server stamps the live block in when it
     /// serves a metrics request).
     pub connections: ConnectionsSnapshot,
+    /// State of the durable session plane, mirroring the
+    /// [`SnapshotStatus`] admin response; all zeros with
+    /// `configured: false` when the engine was started without a persist
+    /// directory (the registry itself holds no durability state — the
+    /// engine stamps the live block in when it snapshots).
+    pub durability: SnapshotStatus,
     /// The slab kernel tier every worker's batched path dispatches to
     /// ([`dbi_core::simd::selected_kernel`]) — `"scalar"` when pinned by
     /// `DBI_FORCE_SCALAR`.
@@ -618,8 +669,9 @@ impl MetricsSnapshot {
     /// of `other` is added onto shard *i* of `self`, extra shards are
     /// appended, and the plan-cache counters sum. Useful for aggregating
     /// scrapes of several engines (or of one engine across restarts) into
-    /// one view; the kernel block keeps `self`'s values, so merge
-    /// same-hardware snapshots if that block matters.
+    /// one view; the kernel and durability blocks keep `self`'s values,
+    /// so merge same-hardware, same-store snapshots if those blocks
+    /// matter.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         if self.per_shard.len() < other.per_shard.len() {
             self.per_shard
@@ -636,7 +688,7 @@ impl MetricsSnapshot {
     }
 
     /// Serialises the snapshot as a single-line JSON object:
-    /// `{"shards":[{...},...],"totals":{...},"plan_cache":{...},"connections":{...},"kernel":{...}}`.
+    /// `{"shards":[{...},...],"totals":{...},"plan_cache":{...},"connections":{...},"durability":{...},"kernel":{...}}`.
     #[must_use]
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
@@ -663,6 +715,19 @@ impl MetricsSnapshot {
         self.connections.write_json(&mut out);
         write!(
             out,
+            ",\"durability\":{{\"configured\":{},\"generation\":{},\
+             \"snapshots_taken\":{},\"last_sessions\":{},\"last_bytes\":{},\
+             \"restored_sessions\":{}}}",
+            self.durability.configured,
+            self.durability.generation,
+            self.durability.snapshots_taken,
+            self.durability.last_sessions,
+            self.durability.last_bytes,
+            self.durability.restored_sessions,
+        )
+        .expect("writing to a String cannot fail");
+        write!(
+            out,
             ",\"kernel\":{{\"selected\":\"{}\",\"forced_scalar\":{},\"cpu_features\":\"{}\"}}",
             self.kernel, self.forced_scalar, self.cpu_features
         )
@@ -682,7 +747,7 @@ impl MetricsSnapshot {
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write;
         type Field = fn(&ShardSnapshot) -> u64;
-        const COUNTERS: [(&str, &str, Field); 13] = [
+        const COUNTERS: [(&str, &str, Field); 16] = [
             ("dbi_requests_total", "Requests executed.", |s| s.requests),
             ("dbi_rejected_total", "Requests rejected.", |s| s.rejected),
             ("dbi_bytes_total", "Payload bytes encoded.", |s| s.bytes),
@@ -730,6 +795,21 @@ impl MetricsSnapshot {
             ("dbi_sessions_total", "Encode sessions created.", |s| {
                 s.sessions
             }),
+            (
+                "dbi_sessions_evicted_total",
+                "Idle sessions evicted to admit fresh session ids on a full shard.",
+                |s| s.sessions_evicted,
+            ),
+            (
+                "dbi_journal_records_total",
+                "Session records appended to the shard's journal.",
+                |s| s.journal_records,
+            ),
+            (
+                "dbi_journal_bytes_total",
+                "Bytes flushed to the shard's journal.",
+                |s| s.journal_bytes,
+            ),
         ];
         const GAUGES: [(&str, &str, Field); 2] = [
             ("dbi_queue_depth", "Requests currently queued.", |s| {
@@ -891,6 +971,48 @@ impl MetricsSnapshot {
             writeln!(out, "# TYPE {name} {kind}").expect("writing to a String cannot fail");
             writeln!(out, "{name} {value}").expect("writing to a String cannot fail");
         }
+        for (name, kind, help, value) in [
+            (
+                "dbi_durability_configured",
+                "gauge",
+                "Whether a persist directory is configured (1) or not (0).",
+                u64::from(self.durability.configured),
+            ),
+            (
+                "dbi_durability_generation",
+                "gauge",
+                "Generation the shard journals are currently writing at.",
+                self.durability.generation,
+            ),
+            (
+                "dbi_snapshots_taken_total",
+                "counter",
+                "Engine snapshots written since startup (including the self-compacting recovery snapshot).",
+                self.durability.snapshots_taken,
+            ),
+            (
+                "dbi_snapshot_last_sessions",
+                "gauge",
+                "Sessions captured by the most recent snapshot.",
+                self.durability.last_sessions,
+            ),
+            (
+                "dbi_snapshot_last_bytes",
+                "gauge",
+                "On-disk size of the most recent snapshot in bytes.",
+                self.durability.last_bytes,
+            ),
+            (
+                "dbi_sessions_restored_total",
+                "counter",
+                "Sessions restored from disk (at startup or via the restore admin frame).",
+                self.durability.restored_sessions,
+            ),
+        ] {
+            writeln!(out, "# HELP {name} {help}").expect("writing to a String cannot fail");
+            writeln!(out, "# TYPE {name} {kind}").expect("writing to a String cannot fail");
+            writeln!(out, "{name} {value}").expect("writing to a String cannot fail");
+        }
         writeln!(
             out,
             "# HELP dbi_kernel_info Selected slab kernel tier and detected CPU features."
@@ -1033,14 +1155,19 @@ mod tests {
         assert!(
             json.contains("\"plan_cache\":{\"hits\":5,\"misses\":2,\"evictions\":1,\"entries\":2}")
         );
-        // A registry snapshot has no connection plane attached, so the
-        // block is present but zeroed, sitting between plan_cache and
-        // kernel.
+        // A registry snapshot has no connection plane or persist plane
+        // attached, so both blocks are present but zeroed, sitting between
+        // plan_cache and kernel.
         assert!(json.contains(
             ",\"connections\":{\"active\":0,\"accepted\":0,\"closed\":0,\
              \"dropped_slow\":0,\"read_buf_high_watermark\":0,\
-             \"write_buf_high_watermark\":0},\"kernel\":{"
+             \"write_buf_high_watermark\":0},\
+             \"durability\":{\"configured\":false,\"generation\":0,\
+             \"snapshots_taken\":0,\"last_sessions\":0,\"last_bytes\":0,\
+             \"restored_sessions\":0},\"kernel\":{"
         ));
+        assert!(json.contains("\"sessions_evicted\":0"));
+        assert!(json.contains("\"journal\":{\"records\":0,\"bytes\":0}"));
         // Exactly one shard object plus the totals object, each with a
         // top-level and a verify-block "requests" key.
         assert_eq!(json.matches("\"requests\":").count(), 4);
@@ -1071,6 +1198,9 @@ mod tests {
             queue_depth: 1,
             queue_depth_peak: 4,
             sessions: 2,
+            sessions_evicted: 1,
+            journal_records: 5,
+            journal_bytes: 240,
             passes: 2,
             coalesced: 1,
             dispatches: 2,
@@ -1102,6 +1232,14 @@ mod tests {
                 read_buf_high_watermark: 4096,
                 write_buf_high_watermark: 65536,
             },
+            durability: SnapshotStatus {
+                configured: true,
+                generation: 3,
+                snapshots_taken: 2,
+                last_sessions: 2,
+                last_bytes: 120,
+                restored_sessions: 1,
+            },
             kernel: "scalar",
             forced_scalar: false,
             cpu_features: "none",
@@ -1116,6 +1254,8 @@ mod tests {
             "{{\"requests\":3,\"rejected\":1,\"bytes\":96,\"bursts\":6,\
              \"transitions_saved\":12,\"queue_depth\":1,\
              \"queue_depth_peak\":4,\"sessions\":2,\
+             \"sessions_evicted\":1,\
+             \"journal\":{{\"records\":5,\"bytes\":240}},\
              \"rate\":{{\"requests_per_s\":2.5,\"rejects_per_s\":0.5,\
              \"window_s\":8}},\
              \"batch\":{{\"passes\":2,\"coalesced\":1,\"dispatches\":2,\
@@ -1135,6 +1275,9 @@ mod tests {
              \"connections\":{{\"active\":1,\"accepted\":3,\"closed\":2,\
              \"dropped_slow\":1,\"read_buf_high_watermark\":4096,\
              \"write_buf_high_watermark\":65536}},\
+             \"durability\":{{\"configured\":true,\"generation\":3,\
+             \"snapshots_taken\":2,\"last_sessions\":2,\"last_bytes\":120,\
+             \"restored_sessions\":1}},\
              \"kernel\":{{\"selected\":\"scalar\",\"forced_scalar\":false,\
              \"cpu_features\":\"none\"}}}}"
         );
@@ -1187,6 +1330,18 @@ mod tests {
         assert!(text.contains("# TYPE dbi_batch_lane_occupancy gauge\n"));
         assert!(text.contains("dbi_batch_lane_occupancy{shard=\"0\"} 3.5\n"));
         assert!(text.contains("dbi_batch_full_dispatch_fraction{shard=\"0\"} 0.5\n"));
+        assert!(text.contains("# TYPE dbi_sessions_evicted_total counter\n"));
+        assert!(text.contains("dbi_sessions_evicted_total{shard=\"0\"} 1\n"));
+        assert!(text.contains("dbi_journal_records_total{shard=\"0\"} 5\n"));
+        assert!(text.contains("dbi_journal_bytes_total{shard=\"0\"} 240\n"));
+        assert!(text.contains("# TYPE dbi_durability_configured gauge\n"));
+        assert!(text.contains("dbi_durability_configured 1\n"));
+        assert!(text.contains("dbi_durability_generation 3\n"));
+        assert!(text.contains("# TYPE dbi_snapshots_taken_total counter\n"));
+        assert!(text.contains("dbi_snapshots_taken_total 2\n"));
+        assert!(text.contains("dbi_snapshot_last_sessions 2\n"));
+        assert!(text.contains("dbi_snapshot_last_bytes 120\n"));
+        assert!(text.contains("dbi_sessions_restored_total 1\n"));
         // Every series of a shard-labelled family appears once per shard.
         assert_eq!(text.matches("dbi_batch_passes_total{shard=").count(), 1);
     }
@@ -1222,6 +1377,13 @@ mod tests {
         assert_eq!(left.connections.dropped_slow, 2);
         assert_eq!(left.connections.read_buf_high_watermark, 4096);
         assert_eq!(left.connections.write_buf_high_watermark, 65536);
+        // Per-shard durability counters fold like any other counter; the
+        // engine-level durability block keeps the left side's values,
+        // like the kernel block.
+        assert_eq!(left.per_shard[0].sessions_evicted, 2);
+        assert_eq!(left.per_shard[0].journal_records, 10);
+        assert_eq!(left.per_shard[0].journal_bytes, 480);
+        assert_eq!(left.durability.snapshots_taken, 2);
         // The kernel block keeps the left side's values.
         assert_eq!(left.kernel, "scalar");
         let totals = left.totals();

@@ -1,0 +1,376 @@
+//! The append-only per-shard session journal.
+//!
+//! Each shard worker owns one journal file, `journal-<shard>.bin`:
+//!
+//! ```text
+//!  0        4     5      6            14       18
+//! +--------+-----+------+------------+--------+------------------ - - -
+//! | "DBJL" | ver | rsvd | generation | crc32  | records, appended…
+//! |        | u8  | u8   | u64 LE     | u32 LE |
+//! +--------+-----+------+------------+--------+------------------ - - -
+//! ```
+//!
+//! The header CRC covers bytes `0..14`. After the header come CRC-guarded
+//! session records ([`dbi_core::persist`]), appended by the worker at
+//! every pass boundary for each session the pass touched — full carried
+//! state, not deltas, so replay needs only the *last* record per session.
+//!
+//! The writer buffers records in a worker-owned `Vec` and flushes once
+//! per pass with a single `write_all`, so the steady-state encode path
+//! performs no heap allocation for journaling (the buffer is sized by the
+//! first passes and then reused).
+//!
+//! Replay is **lenient at the tail**, strict everywhere else: a process
+//! killed mid-append leaves a torn final record, which replay skips
+//! cleanly (counting the dropped bytes); but a corrupt header or a bad
+//! record *followed by more bytes than a torn tail could explain* is
+//! still just the torn-tail rule — append-only files only ever tear at
+//! the end, so replay stops at the first unparseable record and reports
+//! everything after it as dropped.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use dbi_core::persist::{crc32, parse_session_record, push_session_record, RecordError};
+use dbi_core::{BusState, Scheme};
+
+use super::{PersistError, RestoredSession};
+
+/// Journal file magic, ASCII `"DBJL"`.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"DBJL";
+
+/// The journal format version this build writes and reads.
+pub const JOURNAL_VERSION: u8 = 1;
+
+/// Fixed journal header length (magic, version, reserved, generation,
+/// header CRC).
+pub const JOURNAL_HEAD_LEN: usize = 18;
+
+/// The journal file path for `shard` under `dir`.
+#[must_use]
+pub fn journal_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("journal-{shard}.bin"))
+}
+
+/// Every `journal-*.bin` under `dir`, sorted by name for deterministic
+/// replay order.
+pub fn journal_files(dir: &Path) -> Result<Vec<PathBuf>, PersistError> {
+    let mut files = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(files),
+        Err(err) => return Err(err.into()),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|name| name.to_str()) else {
+            continue;
+        };
+        if name.starts_with("journal-") && name.ends_with(".bin") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Serialises a journal header for `generation`. Exposed for the format
+/// tests and the drift check.
+#[must_use]
+pub fn encode_journal_header(generation: u64) -> [u8; JOURNAL_HEAD_LEN] {
+    let mut head = [0u8; JOURNAL_HEAD_LEN];
+    head[..4].copy_from_slice(&JOURNAL_MAGIC);
+    head[4] = JOURNAL_VERSION;
+    head[5] = 0; // reserved
+    head[6..14].copy_from_slice(&generation.to_le_bytes());
+    let crc = crc32(&head[..14]);
+    head[14..18].copy_from_slice(&crc.to_le_bytes());
+    head
+}
+
+/// A worker-owned buffered journal writer.
+#[derive(Debug)]
+pub struct JournalWriter {
+    path: PathBuf,
+    file: fs::File,
+    buf: Vec<u8>,
+    generation: u64,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) the journal at `path` and writes a fresh
+    /// header for `generation`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating the file or writing the header.
+    pub fn create(path: PathBuf, generation: u64) -> Result<Self, PersistError> {
+        let mut file = fs::File::create(&path)?;
+        file.write_all(&encode_journal_header(generation))?;
+        Ok(JournalWriter {
+            path,
+            file,
+            buf: Vec::new(),
+            generation,
+        })
+    }
+
+    /// The generation the journal is currently writing.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Buffers one session record. Appends into the reused buffer — once
+    /// the buffer has grown to a pass's working size this allocates
+    /// nothing.
+    pub fn append_session(
+        &mut self,
+        session_id: u64,
+        scheme: Scheme,
+        burst_len: u8,
+        states: &[BusState],
+    ) {
+        push_session_record(&mut self.buf, session_id, scheme, burst_len, states);
+    }
+
+    /// Bytes currently buffered and not yet flushed.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Writes the buffered records with one `write_all` and clears the
+    /// buffer (keeping its capacity). Returns the bytes written.
+    ///
+    /// # Errors
+    ///
+    /// The underlying write failure; the buffer is cleared regardless, so
+    /// a transiently failing disk degrades durability, not the encode
+    /// path.
+    pub fn flush(&mut self) -> Result<usize, PersistError> {
+        if self.buf.is_empty() {
+            return Ok(0);
+        }
+        let len = self.buf.len();
+        let result = self.file.write_all(&self.buf);
+        self.buf.clear();
+        result?;
+        Ok(len)
+    }
+
+    /// Starts a new generation: truncates the file and writes a fresh
+    /// header. Buffered-but-unflushed records are dropped — the caller
+    /// snapshots (capturing that state) before rotating.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure recreating the file.
+    pub fn rotate(&mut self, generation: u64) -> Result<(), PersistError> {
+        self.buf.clear();
+        let mut file = fs::File::create(&self.path)?;
+        file.write_all(&encode_journal_header(generation))?;
+        self.file = file;
+        self.generation = generation;
+        Ok(())
+    }
+}
+
+/// The result of replaying one journal file.
+#[derive(Debug)]
+pub struct JournalReplay {
+    /// The generation the journal was written at.
+    pub generation: u64,
+    /// Every parsed record, in append order (a session may appear many
+    /// times; the last occurrence is its newest state).
+    pub records: Vec<RestoredSession>,
+    /// Bytes dropped at the tail as a torn partial record.
+    pub dropped_bytes: u64,
+}
+
+/// Replays a journal file. `Ok(None)` when the file is missing or too
+/// short to hold a complete header (a journal that never got its header
+/// out is an empty journal). A corrupt header — bad magic, unknown
+/// version, CRC mismatch — is a typed error. Records then replay until
+/// the first malformation; everything from that point is a torn tail,
+/// skipped and counted in [`JournalReplay::dropped_bytes`].
+pub fn replay_journal(path: &Path) -> Result<Option<JournalReplay>, PersistError> {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(err) => return Err(err.into()),
+    };
+    if bytes.len() < JOURNAL_HEAD_LEN {
+        return Ok(None);
+    }
+    if bytes[..4] != JOURNAL_MAGIC {
+        return Err(PersistError::BadMagic([
+            bytes[0], bytes[1], bytes[2], bytes[3],
+        ]));
+    }
+    if bytes[4] != JOURNAL_VERSION {
+        return Err(PersistError::UnsupportedVersion(bytes[4]));
+    }
+    let stored = u32::from_le_bytes(bytes[14..18].try_into().expect("checked length"));
+    let computed = crc32(&bytes[..14]);
+    if stored != computed {
+        return Err(PersistError::BadHeaderCrc { stored, computed });
+    }
+    let generation = u64::from_le_bytes(bytes[6..14].try_into().expect("checked length"));
+
+    let mut records = Vec::new();
+    let mut offset = JOURNAL_HEAD_LEN;
+    while offset < bytes.len() {
+        match parse_session_record(&bytes[offset..]) {
+            Ok((view, consumed)) => {
+                records.push(RestoredSession {
+                    session_id: view.session_id,
+                    scheme: view.scheme,
+                    groups: view.group_count() as u16,
+                    burst_len: view.burst_len,
+                    states: view.states().collect(),
+                });
+                offset += consumed;
+            }
+            // Append-only files tear only at the tail: the first record
+            // that does not parse marks the kill point, and whatever
+            // follows it is the torn write.
+            Err(RecordError::Truncated { .. }) | Err(_) => break,
+        }
+    }
+    Ok(Some(JournalReplay {
+        generation,
+        records,
+        dropped_bytes: (bytes.len() - offset) as u64,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbi_core::LaneWord;
+
+    fn state(raw: u16) -> BusState {
+        BusState::new(LaneWord::new(raw).unwrap())
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "dbi-journal-{tag}-{}-{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn journal_round_trips_and_rotates() {
+        let path = temp_path("roundtrip");
+        let mut writer = JournalWriter::create(path.clone(), 4).unwrap();
+        assert_eq!(writer.generation(), 4);
+        writer.append_session(1, Scheme::OptFixed, 8, &[state(0x0AA), state(0x155)]);
+        writer.append_session(1, Scheme::OptFixed, 8, &[state(0x0AB), state(0x156)]);
+        writer.append_session(2, Scheme::Dc, 4, &[state(0x001)]);
+        assert!(writer.pending() > 0);
+        let written = writer.flush().unwrap();
+        assert!(written > 0);
+        assert_eq!(writer.pending(), 0);
+        assert_eq!(writer.flush().unwrap(), 0, "empty flush writes nothing");
+
+        let replay = replay_journal(&path).unwrap().unwrap();
+        assert_eq!(replay.generation, 4);
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.dropped_bytes, 0);
+        assert_eq!(replay.records[1].states, vec![state(0x0AB), state(0x156)]);
+
+        // Rotation truncates: the old records are gone, the new
+        // generation is in the header.
+        writer.rotate(5).unwrap();
+        writer.append_session(3, Scheme::Ac, 8, &[state(0x111)]);
+        writer.flush().unwrap();
+        let replay = replay_journal(&path).unwrap().unwrap();
+        assert_eq!(replay.generation, 5);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].session_id, 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_cleanly() {
+        let path = temp_path("torn");
+        let mut writer = JournalWriter::create(path.clone(), 1).unwrap();
+        writer.append_session(1, Scheme::OptFixed, 8, &[state(0x0AA)]);
+        writer.append_session(2, Scheme::OptFixed, 8, &[state(0x0BB)]);
+        writer.flush().unwrap();
+        drop(writer);
+
+        let full = fs::read(&path).unwrap();
+        // Kill the file at every byte of the final record: the first
+        // record must survive, the torn tail must be counted, and replay
+        // must never error or panic.
+        let second_record_at = {
+            let body = &full[JOURNAL_HEAD_LEN..];
+            let (_, consumed) = parse_session_record(body).unwrap();
+            JOURNAL_HEAD_LEN + consumed
+        };
+        for kill in second_record_at..full.len() {
+            fs::write(&path, &full[..kill]).unwrap();
+            let replay = replay_journal(&path).unwrap().unwrap();
+            assert_eq!(replay.records.len(), 1, "kill at {kill}");
+            assert_eq!(replay.dropped_bytes as usize, kill - second_record_at);
+        }
+
+        // A header that never finished writing is an empty journal.
+        for kill in 0..JOURNAL_HEAD_LEN {
+            fs::write(&path, &full[..kill]).unwrap();
+            assert!(replay_journal(&path).unwrap().is_none(), "kill at {kill}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_headers_are_typed_errors() {
+        let path = temp_path("header");
+        let mut writer = JournalWriter::create(path.clone(), 1).unwrap();
+        writer.append_session(1, Scheme::OptFixed, 8, &[state(0x0AA)]);
+        writer.flush().unwrap();
+        drop(writer);
+        let full = fs::read(&path).unwrap();
+
+        let mut bad_magic = full.clone();
+        bad_magic[0] = b'X';
+        fs::write(&path, &bad_magic).unwrap();
+        assert!(matches!(
+            replay_journal(&path),
+            Err(PersistError::BadMagic(_))
+        ));
+
+        let mut bad_version = full.clone();
+        bad_version[4] = 9;
+        fs::write(&path, &bad_version).unwrap();
+        assert!(matches!(
+            replay_journal(&path),
+            Err(PersistError::UnsupportedVersion(9))
+        ));
+
+        let mut bad_crc = full.clone();
+        bad_crc[6] ^= 1;
+        fs::write(&path, &bad_crc).unwrap();
+        assert!(matches!(
+            replay_journal(&path),
+            Err(PersistError::BadHeaderCrc { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_and_missing_dir_replay_as_empty() {
+        let path = temp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        assert!(replay_journal(&path).unwrap().is_none());
+        let ghost_dir =
+            std::env::temp_dir().join(format!("dbi-journal-ghost-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&ghost_dir);
+        assert!(journal_files(&ghost_dir).unwrap().is_empty());
+    }
+}

@@ -35,6 +35,10 @@
 //! | 14 | [`PipelinedBatchRequestFrame`] | client → service | v5 |
 //! | 15 | [`PipelinedBatchResponseFrame`] | service → client | v5 |
 //! | 16 | [`PipelinedErrorFrame`] | service → client | v5 |
+//! | 17 | snapshot request (empty body) | client → service | v6 |
+//! | 18 | snapshot-status request (empty body) | client → service | v6 |
+//! | 19 | restore request (empty body) | client → service | v6 |
+//! | 20 | [`SnapshotStatus`] response | service → client | v6 |
 //!
 //! ## The v3 batch frames
 //!
@@ -104,9 +108,29 @@
 //! The non-pipelined tags remain valid under a v5 header with their
 //! strict one-in-one-out semantics.
 //!
+//! ## The v6 durability admin frames
+//!
+//! Protocol 6 adds the **durable session plane** admin surface (see
+//! [`crate::persist`]): three empty-bodied requests — trigger a snapshot
+//! (tag 17), query snapshot status (tag 18), restore from disk (tag 19)
+//! — all answered by the shared [`SnapshotStatus`] response (tag 20),
+//! a fixed 41-byte body:
+//!
+//! ```text
+//! configured u8 | generation u64 | snapshots_taken u64 |
+//! last_sessions u64 | last_bytes u64 | restored_sessions u64
+//! ```
+//!
+//! `configured` must be 0 or 1 (anything else is
+//! [`WireError::UnknownFlags`]). Protocol 6 also gives session-limit
+//! rejections their own typed code, [`ErrorCode::SessionLimit`]; peers
+//! that announced an older version keep receiving
+//! [`ErrorCode::Overloaded`] for them (see
+//! [`ErrorCode::downgrade_for`]).
+//!
 //! ## Versioning
 //!
-//! This build speaks protocol [`VERSION`] 5. Version 2 added the
+//! This build speaks protocol [`VERSION`] 6. Version 2 added the
 //! fixed-width **cost-model field** to encode requests: [`CostModel`]
 //! selects the (α, β) source for a session — the weights embedded in the
 //! scheme (v1 semantics), raw runtime coefficients, or a named phy
@@ -127,8 +151,15 @@
 //! * the batch tags (6, 7) exist only from v3 on — under a v1/v2 header
 //!   they are [`WireError::UnknownFrameType`], exactly as a genuine v1/v2
 //!   peer would treat them; the telemetry tags (8–11) exist only from v4
-//!   on, and the pipelined tags (12–16) only from v5 on, under the same
-//!   rule;
+//!   on, the pipelined tags (12–16) only from v5 on, and the durability
+//!   admin tags (17–20) only from v6 on, under the same rule;
+//! * error-frame bodies are decoded version-blind, but the *writer*
+//!   downgrades codes a peer's announced version predates:
+//!   [`ErrorCode::SessionLimit`] (v6) travels as
+//!   [`ErrorCode::Overloaded`] to a peer whose failing request was
+//!   stamped v5 or older — the remedy (back off, spread over fewer
+//!   sessions) is the same, and the older peer's decoder would reject
+//!   the unknown code byte outright;
 //! * the verify bit exists only from v3 on — under a v1/v2 header it is
 //!   [`WireError::VerifyUnsupported`] (those versions defined the byte
 //!   as a bare boolean, so a set bit 1 there is a corrupt or lying
@@ -167,11 +198,15 @@ pub const MAGIC: [u8; 2] = *b"DB";
 /// Protocol version written by this build. Peers announcing a version
 /// outside [`LEGACY_VERSION`]`..=`[`VERSION`] are rejected with
 /// [`WireError::UnsupportedVersion`].
-pub const VERSION: u8 = 5;
+pub const VERSION: u8 = 6;
 
-/// The previous protocol version (telemetry frames, no pipelined
+/// The previous protocol version (pipelined frames, no durability admin
 /// frames), still accepted on decode (see the
 /// [module documentation](self) for the compatibility rules).
+pub const V5_VERSION: u8 = 5;
+
+/// Protocol version 4 (telemetry frames, no pipelined frames), still
+/// accepted on decode.
 pub const V4_VERSION: u8 = 4;
 
 /// Protocol version 3 (batch frames and the verify bit, no telemetry
@@ -209,6 +244,14 @@ pub const TELEMETRY_MIN_VERSION: u8 = 4;
 /// [`WireError::UnknownFrameType`] — pinned here, not to [`VERSION`], so
 /// future version bumps keep decoding version-5 pipelined streams.
 pub const PIPELINE_MIN_VERSION: u8 = 5;
+
+/// The protocol version that introduced the durability admin frames
+/// (tags 17–20: trigger snapshot, query snapshot status, restore, and
+/// the shared [`SnapshotStatus`] response) and the typed
+/// [`ErrorCode::SessionLimit`]. Their tags under an older header are
+/// [`WireError::UnknownFrameType`] — pinned here, not to [`VERSION`], so
+/// future version bumps keep decoding version-6 admin streams.
+pub const DURABILITY_MIN_VERSION: u8 = 6;
 
 /// The oldest protocol version still accepted on decode (no cost-model
 /// field, no batch frames).
@@ -270,6 +313,10 @@ mod tag {
     pub const PIPELINED_BATCH_REQUEST: u8 = 14;
     pub const PIPELINED_BATCH_RESPONSE: u8 = 15;
     pub const PIPELINED_ERROR: u8 = 16;
+    pub const SNAPSHOT_REQUEST: u8 = 17;
+    pub const SNAPSHOT_STATUS_REQUEST: u8 = 18;
+    pub const RESTORE_REQUEST: u8 = 19;
+    pub const SNAPSHOT_STATUS_RESPONSE: u8 = 20;
 }
 
 /// A malformed or unsupported frame. Decoding never panics; every failure
@@ -348,7 +395,7 @@ impl fmt::Display for WireError {
                 write!(
                     f,
                     "unsupported protocol version {v} (this build speaks {VERSION} \
-                     and still decodes {LEGACY_VERSION} through {V4_VERSION})"
+                     and still decodes {LEGACY_VERSION} through {V5_VERSION})"
                 )
             }
             WireError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
@@ -428,6 +475,13 @@ pub enum ErrorCode {
     /// requests, and the service dropped the connection rather than
     /// block an I/O thread on it (protocol version 5).
     SlowConsumer = 10,
+    /// The target shard holds its maximum number of sessions, all of
+    /// them busy in the pass in flight, so the new session could neither
+    /// be created nor make room by evicting an idle one (protocol
+    /// version 6; peers announcing an older version receive
+    /// [`ErrorCode::Overloaded`] instead — see
+    /// [`ErrorCode::downgrade_for`]).
+    SessionLimit = 11,
 }
 
 impl ErrorCode {
@@ -443,7 +497,23 @@ impl ErrorCode {
             8 => Ok(ErrorCode::BadCostModel),
             9 => Ok(ErrorCode::VerifyMismatch),
             10 => Ok(ErrorCode::SlowConsumer),
+            11 => Ok(ErrorCode::SessionLimit),
             other => Err(WireError::UnknownErrorCode(other)),
+        }
+    }
+
+    /// The code to actually put on the wire for a peer whose failing
+    /// request announced `version`: codes newer than the peer's version
+    /// are mapped to the closest code that version defines, so a strict
+    /// older decoder never sees a code byte it cannot type.
+    /// [`ErrorCode::SessionLimit`] (v6) downgrades to
+    /// [`ErrorCode::Overloaded`]; every pre-v6 code passes through
+    /// unchanged.
+    #[must_use]
+    pub fn downgrade_for(self, version: u8) -> Self {
+        match self {
+            ErrorCode::SessionLimit if version < DURABILITY_MIN_VERSION => ErrorCode::Overloaded,
+            other => other,
         }
     }
 }
@@ -1434,6 +1504,101 @@ impl PipelinedErrorFrame<'_> {
     }
 }
 
+/// The durability plane's answer to every v6 admin request (trigger
+/// snapshot, query status, restore): a fixed-width status block mirroring
+/// the engine's durability counters. The [`Default`] value is what an
+/// engine without a configured persist directory reports for a plain
+/// status query (`configured == false`, everything zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotStatus {
+    /// Whether the engine was started with a persist directory.
+    pub configured: bool,
+    /// The current journal generation (the on-disk snapshot is one
+    /// behind).
+    pub generation: u64,
+    /// Snapshots written since engine start (including the start-time
+    /// self-compaction snapshot).
+    pub snapshots_taken: u64,
+    /// Sessions captured by the most recent snapshot.
+    pub last_sessions: u64,
+    /// Size in bytes of the most recent snapshot file.
+    pub last_bytes: u64,
+    /// Sessions recovered from disk at engine start, plus any brought
+    /// back by explicit restore requests.
+    pub restored_sessions: u64,
+}
+
+/// Bytes in a [`SnapshotStatus`] response body.
+pub const SNAPSHOT_STATUS_WIRE_BYTES: usize = 1 + 5 * 8;
+
+impl SnapshotStatus {
+    /// Appends the full response frame (header + body) to `out`
+    /// (protocol 6).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        push_header(
+            out,
+            tag::SNAPSHOT_STATUS_RESPONSE,
+            SNAPSHOT_STATUS_WIRE_BYTES,
+        );
+        out.push(u8::from(self.configured));
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.snapshots_taken.to_le_bytes());
+        out.extend_from_slice(&self.last_sessions.to_le_bytes());
+        out.extend_from_slice(&self.last_bytes.to_le_bytes());
+        out.extend_from_slice(&self.restored_sessions.to_le_bytes());
+    }
+}
+
+fn decode_snapshot_status(body: &[u8]) -> Result<SnapshotStatus, WireError> {
+    if body.len() != SNAPSHOT_STATUS_WIRE_BYTES {
+        return Err(if body.len() < SNAPSHOT_STATUS_WIRE_BYTES {
+            WireError::Truncated {
+                needed: SNAPSHOT_STATUS_WIRE_BYTES,
+                got: body.len(),
+            }
+        } else {
+            WireError::BodyMismatch
+        });
+    }
+    let configured = match body[0] {
+        0 => false,
+        1 => true,
+        other => return Err(WireError::UnknownFlags(other)),
+    };
+    let word = |at: usize| u64::from_le_bytes(body[at..at + 8].try_into().expect("checked length"));
+    Ok(SnapshotStatus {
+        configured,
+        generation: word(1),
+        snapshots_taken: word(9),
+        last_sessions: word(17),
+        last_bytes: word(25),
+        restored_sessions: word(33),
+    })
+}
+
+/// Appends a snapshot-request frame (empty body) to `out`: the service
+/// quiesces every shard at a pass boundary, writes a fresh snapshot and
+/// rotates the journals, then answers with [`SnapshotStatus`]
+/// (protocol 6).
+pub fn encode_snapshot_request(out: &mut Vec<u8>) {
+    push_header(out, tag::SNAPSHOT_REQUEST, 0);
+}
+
+/// Appends a snapshot-status request frame (empty body) to `out`: the
+/// service answers with its current [`SnapshotStatus`] without touching
+/// disk (protocol 6).
+pub fn encode_snapshot_status_request(out: &mut Vec<u8>) {
+    push_header(out, tag::SNAPSHOT_STATUS_REQUEST, 0);
+}
+
+/// Appends a restore-request frame (empty body) to `out`: the service
+/// re-reads its persist directory and seeds every recovered session into
+/// the live shards (replacing same-id entries), then answers with
+/// [`SnapshotStatus`] (protocol 6).
+pub fn encode_restore_request(out: &mut Vec<u8>) {
+    push_header(out, tag::RESTORE_REQUEST, 0);
+}
+
 /// Appends a metrics-request frame (empty body) to `out`.
 pub fn encode_metrics_request(out: &mut Vec<u8>) {
     push_header(out, tag::METRICS_REQUEST, 0);
@@ -1660,6 +1825,16 @@ pub enum Frame<'a> {
         /// The typed error body, unchanged from the non-pipelined form.
         error: ErrorView<'a>,
     },
+    /// A client request to snapshot the durable session plane
+    /// (protocol 6).
+    SnapshotRequest,
+    /// A client query of the durability status (protocol 6).
+    SnapshotStatusRequest,
+    /// A client request to restore sessions from disk (protocol 6).
+    RestoreRequest,
+    /// The service's answer to every durability admin request
+    /// (protocol 6).
+    SnapshotStatus(SnapshotStatus),
 }
 
 /// Decodes the frame starting at `bytes[0]` and returns it together with
@@ -1753,6 +1928,29 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame<'_>, usize), WireError> {
                 request_id,
                 error: decode_error(rest)?,
             }
+        }
+        // The durability admin tags exist only from protocol 6 on, same
+        // rule.
+        tag::SNAPSHOT_REQUEST if header.version >= DURABILITY_MIN_VERSION => {
+            if !body.is_empty() {
+                return Err(WireError::BodyMismatch);
+            }
+            Frame::SnapshotRequest
+        }
+        tag::SNAPSHOT_STATUS_REQUEST if header.version >= DURABILITY_MIN_VERSION => {
+            if !body.is_empty() {
+                return Err(WireError::BodyMismatch);
+            }
+            Frame::SnapshotStatusRequest
+        }
+        tag::RESTORE_REQUEST if header.version >= DURABILITY_MIN_VERSION => {
+            if !body.is_empty() {
+                return Err(WireError::BodyMismatch);
+            }
+            Frame::RestoreRequest
+        }
+        tag::SNAPSHOT_STATUS_RESPONSE if header.version >= DURABILITY_MIN_VERSION => {
+            Frame::SnapshotStatus(decode_snapshot_status(body)?)
         }
         other => return Err(WireError::UnknownFrameType(other)),
     };
@@ -2412,5 +2610,128 @@ mod tests {
             decode_frame(&future),
             Err(WireError::UnsupportedVersion(VERSION + 1))
         );
+    }
+
+    #[test]
+    fn durability_admin_frames_roundtrip() {
+        let status = SnapshotStatus {
+            configured: true,
+            generation: 7,
+            snapshots_taken: 3,
+            last_sessions: 120,
+            last_bytes: 4096,
+            restored_sessions: 11,
+        };
+        let mut buf = Vec::new();
+        encode_snapshot_request(&mut buf);
+        encode_snapshot_status_request(&mut buf);
+        encode_restore_request(&mut buf);
+        status.encode_into(&mut buf);
+
+        let (frame, n1) = decode_frame(&buf).unwrap();
+        assert_eq!(frame, Frame::SnapshotRequest);
+        let (frame, n2) = decode_frame(&buf[n1..]).unwrap();
+        assert_eq!(frame, Frame::SnapshotStatusRequest);
+        let (frame, n3) = decode_frame(&buf[n1 + n2..]).unwrap();
+        assert_eq!(frame, Frame::RestoreRequest);
+        let (frame, n4) = decode_frame(&buf[n1 + n2 + n3..]).unwrap();
+        assert_eq!(frame, Frame::SnapshotStatus(status));
+        assert_eq!(n1 + n2 + n3 + n4, buf.len());
+
+        // The default status (durability off) round-trips too.
+        let mut buf = Vec::new();
+        SnapshotStatus::default().encode_into(&mut buf);
+        let (frame, _) = decode_frame(&buf).unwrap();
+        assert_eq!(frame, Frame::SnapshotStatus(SnapshotStatus::default()));
+    }
+
+    #[test]
+    fn durability_frames_reject_corruption_typed() {
+        // Admin requests must carry empty bodies.
+        let mut bad = Vec::new();
+        encode_snapshot_request(&mut bad);
+        bad[4..8].copy_from_slice(&1u32.to_le_bytes());
+        bad.push(0);
+        assert_eq!(decode_frame(&bad), Err(WireError::BodyMismatch));
+
+        // The status body is fixed-width: short is truncated, long is a
+        // mismatch, and the configured byte is two-valued.
+        let mut buf = Vec::new();
+        SnapshotStatus {
+            configured: true,
+            generation: 1,
+            ..SnapshotStatus::default()
+        }
+        .encode_into(&mut buf);
+        let mut short = buf.clone();
+        short.truncate(buf.len() - 1);
+        short[4..8].copy_from_slice(&((SNAPSHOT_STATUS_WIRE_BYTES - 1) as u32).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&short),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut long = buf.clone();
+        long.push(0);
+        long[4..8].copy_from_slice(&((SNAPSHOT_STATUS_WIRE_BYTES + 1) as u32).to_le_bytes());
+        assert_eq!(decode_frame(&long), Err(WireError::BodyMismatch));
+        let mut bad_flag = buf;
+        bad_flag[HEADER_LEN] = 2;
+        assert_eq!(decode_frame(&bad_flag), Err(WireError::UnknownFlags(2)));
+    }
+
+    #[test]
+    fn durability_tags_do_not_exist_below_v6() {
+        let mut frames = Vec::new();
+        encode_snapshot_request(&mut frames);
+        encode_snapshot_status_request(&mut frames);
+        encode_restore_request(&mut frames);
+        SnapshotStatus::default().encode_into(&mut frames);
+        let mut offset = 0;
+        while offset < frames.len() {
+            let (_, len) = decode_frame(&frames[offset..]).unwrap();
+            let mut old = frames[offset..offset + len].to_vec();
+            old[2] = V5_VERSION;
+            let tag = old[3];
+            assert_eq!(
+                decode_frame(&old),
+                Err(WireError::UnknownFrameType(tag)),
+                "a v5 header must treat durability tag {tag} as unknown"
+            );
+            offset += len;
+        }
+    }
+
+    #[test]
+    fn session_limit_code_roundtrips_and_downgrades() {
+        // The v6 code survives the wire…
+        let mut buf = Vec::new();
+        ErrorFrame {
+            code: ErrorCode::SessionLimit,
+            message: "shard 0 is at its session limit",
+        }
+        .encode_into(&mut buf);
+        let (Frame::Error(view), _) = decode_frame(&buf).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(view.code, ErrorCode::SessionLimit);
+
+        // …and the writer downgrades it for pre-v6 peers, leaving every
+        // older code untouched under every version.
+        for version in LEGACY_VERSION..DURABILITY_MIN_VERSION {
+            assert_eq!(
+                ErrorCode::SessionLimit.downgrade_for(version),
+                ErrorCode::Overloaded
+            );
+            assert_eq!(
+                ErrorCode::VerifyMismatch.downgrade_for(version),
+                ErrorCode::VerifyMismatch
+            );
+        }
+        assert_eq!(
+            ErrorCode::SessionLimit.downgrade_for(DURABILITY_MIN_VERSION),
+            ErrorCode::SessionLimit
+        );
+        assert_eq!(ErrorCode::from_u8(11), Ok(ErrorCode::SessionLimit));
+        assert_eq!(ErrorCode::from_u8(12), Err(WireError::UnknownErrorCode(12)));
     }
 }

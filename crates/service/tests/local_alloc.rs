@@ -9,6 +9,12 @@
 //! the allocator is global, so the measured window covers the worker
 //! thread too. Single `#[test]` so no concurrent test disturbs the
 //! counters.
+//!
+//! Both engines run with **journaling enabled**: the durable session
+//! plane appends every touched session's carried state to a per-shard
+//! journal at each burst boundary, and that hot path must be as
+//! allocation-free as the encode itself (reused state scratch, reused
+//! writer buffer, one `write_all` per pass).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -17,8 +23,17 @@ use std::time::Duration;
 
 use dbi_core::Scheme;
 use dbi_service::{
-    CostModel, EncodeBatchRequest, EncodeReply, EncodeRequest, Engine, ServiceConfig, VerifyMode,
+    CostModel, EncodeBatchRequest, EncodeReply, EncodeRequest, Engine, PersistConfig,
+    ServiceConfig, VerifyMode,
 };
+
+/// A fresh persist directory under the system temp dir, so the
+/// journaling hot path is live inside every measured window.
+fn persist_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbi-local-alloc-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
 
 struct CountingAllocator;
 
@@ -55,6 +70,7 @@ fn allocations_during<R>(f: impl FnOnce() -> R) -> u64 {
 
 #[test]
 fn steady_state_requests_are_allocation_free() {
+    let serial_dir = persist_dir("serial");
     let engine = Engine::start(ServiceConfig {
         shards: 2,
         queue_capacity: 8,
@@ -62,6 +78,9 @@ fn steady_state_requests_are_allocation_free() {
         // Every request crosses a 0 threshold, so the measured window
         // includes the slowlog capture path, not just the ring write.
         slowlog_threshold_ns: 0,
+        persist: Some(PersistConfig {
+            dir: serial_dir.clone(),
+        }),
         ..ServiceConfig::default()
     });
     let mut client = engine.local_client();
@@ -164,6 +183,18 @@ fn steady_state_requests_are_allocation_free() {
     assert_eq!(totals.latency.total.count, totals.requests);
     assert!(totals.latency.encode.count > 0);
     engine.shutdown();
+    // The journaling hot path really ran inside the measured windows
+    // (read after shutdown: the workers have joined, so every pass's
+    // journal accounting has landed).
+    let totals = engine.metrics().totals();
+    assert!(
+        totals.journal_records >= totals.requests,
+        "journaling must capture every pass ({} records, {} requests)",
+        totals.journal_records,
+        totals.requests
+    );
+    assert!(totals.journal_bytes > 0);
+    let _ = std::fs::remove_dir_all(&serial_dir);
 
     // ── Packed cross-session path ────────────────────────────────────
     // The worker now packs chains from *multiple queued sessions* into
@@ -172,11 +203,15 @@ fn steady_state_requests_are_allocation_free() {
     // the guarantee: a warm multi-session pass allocates nothing — not
     // in the ring hop, the eventcount wake, round formation, the shared
     // slab dispatch, the per-job gather, or the slab-kernel verify leg.
+    let packed_dir = persist_dir("packed");
     let engine = Engine::start(ServiceConfig {
         shards: 1, // every session shares one worker so windows really pack
         queue_capacity: 32,
         max_payload: 1 << 16,
         slowlog_threshold_ns: 0,
+        persist: Some(PersistConfig {
+            dir: packed_dir.clone(),
+        }),
         ..ServiceConfig::default()
     });
 
@@ -280,5 +315,7 @@ fn steady_state_requests_are_allocation_free() {
     for submitter in submitters {
         submitter.join().unwrap();
     }
+    assert!(engine.metrics().totals().journal_records > 0);
     engine.shutdown();
+    let _ = std::fs::remove_dir_all(&packed_dir);
 }

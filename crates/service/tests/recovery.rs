@@ -1,0 +1,277 @@
+//! Kill-and-restore conformance of the durable session plane.
+//!
+//! The decodability of a DBI memory-based code lives in the carried
+//! per-session [`BusState`]: lose it and every later burst decodes
+//! wrong. This test drives half of each session's stream through one
+//! engine (snapshotting mid-way so recovery has to fold snapshot *and*
+//! journal), kills it, recovers a second engine from the same persist
+//! directory and drives the other half — the concatenated responses must
+//! be **bit-identical** to one uninterrupted serial [`BusSession`] run
+//! over the whole stream. Runs identically on both dispatch arms
+//! (`DBI_FORCE_SCALAR=1` pins the scalar tier; CI runs both).
+//!
+//! Also covers the protocol-6 admin surface end to end: snapshot /
+//! status / restore frames over a real socket, and the typed refusal
+//! when the engine runs without a persist directory.
+
+use dbi_core::{CostBreakdown, InversionMask, Scheme};
+use dbi_mem::BusSession;
+use dbi_service::{
+    CostModel, EncodeReply, EncodeRequest, Engine, PersistConfig, ServiceConfig, TcpClient,
+    TcpServer, VerifyMode,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+const GROUPS: u16 = 4;
+const BURST_LEN: u8 = 8;
+const SESSIONS: u64 = 6;
+const REQUESTS: usize = 24;
+const ACCESSES_PER_REQUEST: usize = 4;
+
+fn persist_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbi-recovery-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn session_stream(session: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(0xBEEF + session);
+    let len = usize::from(GROUPS) * usize::from(BURST_LEN) * ACCESSES_PER_REQUEST * REQUESTS;
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+fn session_scheme(session: u64) -> Scheme {
+    // Mix schemes so recovery restores heterogeneous sessions.
+    let set = Scheme::paper_set();
+    set[session as usize % set.len()]
+}
+
+/// Per-session accumulated responses: summed per-group activity plus the
+/// concatenated mask stream.
+#[derive(Clone)]
+struct Accumulated {
+    per_group: Vec<CostBreakdown>,
+    masks: Vec<InversionMask>,
+    bursts: u64,
+}
+
+impl Accumulated {
+    fn new() -> Self {
+        Accumulated {
+            per_group: vec![CostBreakdown::ZERO; usize::from(GROUPS)],
+            masks: Vec::new(),
+            bursts: 0,
+        }
+    }
+}
+
+/// Drives requests `range` of every session through the engine,
+/// round-robin across sessions so several shards stay busy at once.
+fn drive(engine: &Engine, range: std::ops::Range<usize>, into: &mut [Accumulated]) {
+    let mut client = engine.local_client();
+    let mut reply = EncodeReply::new();
+    let chunk = usize::from(GROUPS) * usize::from(BURST_LEN) * ACCESSES_PER_REQUEST;
+    for index in range {
+        for session in 0..SESSIONS {
+            let data = session_stream(session);
+            let piece = &data[index * chunk..(index + 1) * chunk];
+            client
+                .encode(
+                    &EncodeRequest {
+                        session_id: 0x5E55 + session,
+                        scheme: session_scheme(session),
+                        cost_model: CostModel::Inline,
+                        groups: GROUPS,
+                        burst_len: BURST_LEN,
+                        want_masks: true,
+                        verify: VerifyMode::RoundTrip,
+                        payload: piece,
+                    },
+                    &mut reply,
+                )
+                .unwrap_or_else(|err| panic!("session {session} request {index}: {err}"));
+            let acc = &mut into[session as usize];
+            acc.bursts += reply.bursts;
+            for (total, piece) in acc.per_group.iter_mut().zip(&reply.per_group) {
+                *total += *piece;
+            }
+            acc.masks.extend_from_slice(&reply.masks);
+        }
+    }
+}
+
+#[test]
+fn kill_and_restore_replay_is_bit_identical_to_serial() {
+    let dir = persist_dir("conformance");
+    let config = || ServiceConfig {
+        shards: 3,
+        queue_capacity: 16,
+        max_payload: 1 << 16,
+        persist: Some(PersistConfig { dir: dir.clone() }),
+        ..ServiceConfig::default()
+    };
+    let mut accumulated = vec![Accumulated::new(); SESSIONS as usize];
+    let half = REQUESTS / 2;
+
+    // First life: drive the first half, snapshotting a third of the way
+    // in — recovery must fold the snapshot AND the journal records
+    // written after it.
+    let engine = Engine::start(config());
+    drive(&engine, 0..half / 2, &mut accumulated);
+    let status = engine.trigger_snapshot().unwrap();
+    assert!(status.configured);
+    assert_eq!(status.last_sessions, SESSIONS);
+    drive(&engine, half / 2..half, &mut accumulated);
+    // The kill point: every served burst's state is already journaled
+    // (the worker flushes at each burst boundary), so a crash here loses
+    // nothing. Shutdown stands in for the kill.
+    engine.shutdown();
+    drop(engine);
+
+    // Second life: recover from the same directory and finish the
+    // streams on the carried state the journals preserved.
+    let engine = Engine::start(config());
+    let status = engine.snapshot_status();
+    assert_eq!(
+        status.restored_sessions, SESSIONS,
+        "every session must come back"
+    );
+    drive(&engine, half..REQUESTS, &mut accumulated);
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Uninterrupted serial reference over the whole stream.
+    for (session, got) in accumulated.iter().enumerate() {
+        let data = session_stream(session as u64);
+        let mut reference = BusSession::with_geometry(
+            usize::from(GROUPS),
+            usize::from(BURST_LEN),
+            session_scheme(session as u64),
+        );
+        let mut expected_per_group = Vec::new();
+        let mut expected_masks = Vec::new();
+        let expected_bursts = reference
+            .encode_stream_into(&data, &mut expected_per_group, Some(&mut expected_masks))
+            .unwrap();
+        assert_eq!(got.bursts, expected_bursts, "session {session}: bursts");
+        assert_eq!(
+            got.per_group, expected_per_group,
+            "session {session}: per-group activity diverged across the kill"
+        );
+        assert_eq!(
+            got.masks, expected_masks,
+            "session {session}: mask stream diverged across the kill"
+        );
+    }
+}
+
+#[test]
+fn admin_frames_round_trip_over_tcp() {
+    let dir = persist_dir("admin");
+    let engine = Engine::start(ServiceConfig {
+        shards: 2,
+        queue_capacity: 8,
+        persist: Some(PersistConfig { dir: dir.clone() }),
+        ..ServiceConfig::default()
+    });
+    let server = TcpServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let mut client = TcpClient::connect(server.addr()).unwrap();
+
+    let status = client.snapshot_status().unwrap();
+    assert!(status.configured);
+    // Startup self-compaction wrote the initial snapshot.
+    assert!(status.snapshots_taken >= 1);
+    assert_eq!(status.restored_sessions, 0);
+
+    // Put two sessions on the wire, snapshot them, pull them back.
+    let payload = [0x5Au8; 64];
+    let mut reply = EncodeReply::new();
+    for session_id in [1u64, 2] {
+        client
+            .encode(
+                &EncodeRequest {
+                    session_id,
+                    scheme: Scheme::OptFixed,
+                    cost_model: CostModel::Inline,
+                    groups: GROUPS,
+                    burst_len: BURST_LEN,
+                    want_masks: false,
+                    verify: VerifyMode::Off,
+                    payload: &payload,
+                },
+                &mut reply,
+            )
+            .unwrap();
+    }
+    let after_snapshot = client.trigger_snapshot().unwrap();
+    assert!(after_snapshot.snapshots_taken > status.snapshots_taken);
+    assert!(after_snapshot.generation > status.generation);
+    assert_eq!(after_snapshot.last_sessions, 2);
+    assert!(after_snapshot.last_bytes > 0);
+
+    let after_restore = client.restore().unwrap();
+    assert_eq!(after_restore.restored_sessions, 2);
+
+    // The durability state shows up in the metrics JSON too.
+    let json = client.metrics_json().unwrap();
+    assert!(
+        json.contains("\"durability\":{\"configured\":true"),
+        "{json}"
+    );
+
+    drop(client);
+    server.shutdown();
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admin_frames_without_persistence_are_refused_typed() {
+    let engine = Engine::start(ServiceConfig {
+        shards: 1,
+        queue_capacity: 8,
+        ..ServiceConfig::default()
+    });
+    let server = TcpServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let mut client = TcpClient::connect(server.addr()).unwrap();
+
+    // Status always answers; configured is simply false.
+    let status = client.snapshot_status().unwrap();
+    assert!(!status.configured);
+    assert_eq!(status.snapshots_taken, 0);
+
+    for result in [client.trigger_snapshot(), client.restore()] {
+        match result {
+            Err(dbi_service::ClientError::Remote { code, message }) => {
+                assert_eq!(code, dbi_service::wire::ErrorCode::BadRequest);
+                assert!(message.contains("persist"), "{message}");
+            }
+            other => panic!("expected a typed refusal, got {other:?}"),
+        }
+    }
+
+    // The connection survived the refusals: ordinary requests still work.
+    let payload = [0x11u8; 32];
+    let mut reply = EncodeReply::new();
+    client
+        .encode(
+            &EncodeRequest {
+                session_id: 9,
+                scheme: Scheme::Dc,
+                cost_model: CostModel::Inline,
+                groups: GROUPS,
+                burst_len: BURST_LEN,
+                want_masks: false,
+                verify: VerifyMode::Off,
+                payload: &payload,
+            },
+            &mut reply,
+        )
+        .unwrap();
+
+    drop(client);
+    server.shutdown();
+    engine.shutdown();
+}
